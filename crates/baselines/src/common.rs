@@ -1,0 +1,108 @@
+//! Shared baseline plumbing.
+
+use std::fmt;
+
+use acq_engine::{EngineError, ExecStats};
+use acq_query::{AcqError, AcqQuery};
+
+/// Errors raised by baseline techniques.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The technique cannot express this constraint (e.g. Top-k and
+    /// non-COUNT aggregates — *"translating other aggregate constraints is
+    /// difficult if not impossible"*, §8.2).
+    Unsupported(String),
+    /// The query failed validation.
+    Query(AcqError),
+    /// The evaluation layer failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unsupported(msg) => write!(f, "unsupported by this baseline: {msg}"),
+            Self::Query(e) => write!(f, "invalid ACQ: {e}"),
+            Self::Engine(e) => write!(f, "evaluation layer error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<AcqError> for BaselineError {
+    fn from(e: AcqError) -> Self {
+        Self::Query(e)
+    }
+}
+
+impl From<EngineError> for BaselineError {
+    fn from(e: EngineError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+/// The result a baseline produces, aligned with
+/// [`acquire_core::RefinedQueryResult`] so experiments can tabulate all
+/// techniques uniformly.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Predicate refinement vector of the produced (or implied) refined
+    /// query, percent per flexible predicate.
+    pub pscores: Vec<f64>,
+    /// Query refinement score under the experiment's norm.
+    pub qscore: f64,
+    /// The achieved aggregate value.
+    pub aggregate: f64,
+    /// Aggregate error against the constraint target.
+    pub error: f64,
+    /// Full queries the technique executed against the evaluation layer.
+    pub queries_executed: u64,
+    /// Evaluation-layer work counters.
+    pub stats: ExecStats,
+    /// The refined query rendered as SQL.
+    pub sql: String,
+}
+
+/// Per-flexible-predicate PScore caps derived from predicate domains — the
+/// same caps ACQUIRE's refined space uses, so all techniques search the same
+/// bounded universe.
+pub(crate) fn domain_caps(query: &AcqQuery, fallback: f64) -> Vec<f64> {
+    query
+        .flexible()
+        .iter()
+        .map(|&i| match query.predicates[i].max_useful_score() {
+            Some(m) if m.is_finite() => m,
+            _ => fallback,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_query::{AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide};
+
+    #[test]
+    fn caps_use_domains_with_fallback() {
+        let q = AcqQuery::builder()
+            .table("t")
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "a"),
+                    Interval::new(0.0, 10.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 30.0)),
+            )
+            .predicate(Predicate::select(
+                ColRef::new("t", "b"),
+                Interval::new(0.0, 10.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 5.0))
+            .build()
+            .unwrap();
+        assert_eq!(domain_caps(&q, 500.0), vec![200.0, 500.0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # acq-baselines — the techniques the paper compares against (§8.2)
+//!
+//! The paper evaluates ACQUIRE against three extensions of existing
+//! techniques, all reimplemented here from their published descriptions:
+//!
+//! * [`mod@topk`] — **Top-k** tuple ranking: `ORDER BY` the per-predicate
+//!   overshoot of each tuple, `LIMIT A_exp`. It can only express COUNT
+//!   constraints, never refines join predicates, and returns tuples rather
+//!   than a refined query; we additionally derive the minimal covering
+//!   refined query so its refinement score can be compared (Fig. 8c/9c).
+//! * [`mod@binsearch`] — **BinSearch** (Mishra, Koudas & Zuzarte, SIGMOD 2008):
+//!   binary search on one predicate bound at a time, in a fixed order. Fast,
+//!   but extremely sensitive to the predicate order — *"even a single change
+//!   to the order can change the error by a factor of 100"* (§8.4.1).
+//! * [`mod@tqgen`] — **TQGen** (same paper): iterative grid search over all
+//!   combinations of discretised predicate bounds, zooming into the best
+//!   cell each round. Accurate but exponential in the number of predicates
+//!   (Fig. 9a shows it 500× slower than ACQUIRE at d = 5).
+//!
+//! All baselines execute **full queries** against the same evaluation layer
+//! ACQUIRE uses, so execution-time and work-counter comparisons are
+//! apples-to-apples.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod binsearch;
+mod common;
+pub mod topk;
+pub mod tqgen;
+
+pub use binsearch::{binsearch, BinSearchParams};
+pub use common::{BaselineError, BaselineOutcome};
+pub use topk::topk;
+pub use tqgen::{tqgen, TqGenParams};

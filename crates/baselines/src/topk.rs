@@ -1,0 +1,191 @@
+//! The Top-k ranking baseline (§8.2).
+//!
+//! The paper expresses a COUNT-constrained ACQ as a ranking query using
+//! existing DBMS capabilities:
+//!
+//! ```sql
+//! SELECT * FROM table1 ORDER BY
+//!   (case when (x <= 10) then 0 else (x - 10)/(x.max - x.min) end) +
+//!   (case when (y <= 20) then 0 else (y - 20)/(y.max - y.min) end)
+//! LIMIT A_exp
+//! ```
+//!
+//! i.e. rank every tuple by its total normalised predicate overshoot and
+//! keep exactly `A_exp` of them. By construction the result has the right
+//! cardinality (no aggregate error), but:
+//!
+//! * only COUNT constraints can be translated (§8.2);
+//! * the whole table must be scored and sorted on every invocation, so the
+//!   cost is independent of how little refinement was actually needed
+//!   (Fig. 8a's flat Top-k curve);
+//! * the selected tuples "will likely be skewed in certain predicate
+//!   dimensions" (§9), so the *implied* refined query — the minimal query
+//!   covering all selected tuples, which we derive to make refinement
+//!   comparable — scores worse than ACQUIRE's (Fig. 8c).
+
+use acq_engine::Executor;
+use acq_query::{AcqQuery, AggFunc, Norm};
+
+use crate::common::{domain_caps, BaselineError, BaselineOutcome};
+
+/// Runs the Top-k baseline. Errors on non-COUNT constraints.
+pub fn topk(
+    exec: &mut Executor,
+    query: &AcqQuery,
+    norm: &Norm,
+) -> Result<BaselineOutcome, BaselineError> {
+    if query.constraint.spec.func != AggFunc::Count {
+        return Err(BaselineError::Unsupported(format!(
+            "Top-k ranking can only express COUNT constraints, not {}",
+            query.constraint.spec
+        )));
+    }
+    let mut query = query.clone();
+    exec.populate_domains(&mut query)?;
+    query.validate_with_norm(norm)?;
+    let caps = domain_caps(&query, f64::INFINITY);
+    let rq = exec.resolve(&query)?;
+    let rel = exec.base_relation(&rq, &caps)?;
+    let d = rq.dims();
+
+    // Score every tuple (the ORDER BY expression).
+    let bound = rq.bind(&rel)?;
+    let mut scores = vec![0.0; d];
+    let mut ranked: Vec<(f64, Vec<f64>)> = Vec::with_capacity(rel.len());
+    for row in 0..rel.len() {
+        if bound.score_into(&rel, row, &mut scores) {
+            ranked.push((norm.qscore(&scores), scores.clone()));
+        }
+    }
+    exec.stats_mut().tuples_scanned += rel.len() as u64;
+    exec.stats_mut().full_queries += 1;
+
+    let k = (query.constraint.target.round() as usize).min(ranked.len());
+    // The LIMIT clause: keep the k best-ranked tuples (full sort, as the
+    // DBMS ORDER BY would do).
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let selected = &ranked[..k];
+
+    // The implied refined query: per-dimension maximum refinement over the
+    // selected tuples (the smallest refined query covering them all).
+    let mut pscores = vec![0.0; d];
+    for (_, s) in selected {
+        for (p, v) in pscores.iter_mut().zip(s) {
+            *p = f64::max(*p, *v);
+        }
+    }
+    let qscore = norm.qscore(&pscores);
+    let aggregate = k as f64;
+    // "A Top-k query explicitly specifies the number of tuples to return and
+    // hence has no aggregate error by definition" (§8.4.1) — unless fewer
+    // admissible tuples exist than requested.
+    let error = query.error_fn.error(query.constraint.target, aggregate);
+
+    Ok(BaselineOutcome {
+        sql: query.refined_sql(&pscores),
+        pscores,
+        qscore,
+        aggregate,
+        error,
+        queries_executed: 1,
+        stats: exec.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_engine::{Catalog, DataType, Field, TableBuilder, Value};
+    use acq_query::{AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide};
+
+    fn catalog() -> Catalog {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+            ],
+        )
+        .unwrap();
+        // x = i, y skewed: most tuples need large y-refinement.
+        for i in 0..100 {
+            b.push_row(vec![
+                Value::Float(f64::from(i)),
+                Value::Float(if i % 10 == 0 { 0.0 } else { 90.0 }),
+            ]);
+        }
+        let mut cat = Catalog::new();
+        cat.register(b.finish().unwrap()).unwrap();
+        cat
+    }
+
+    fn query(target: f64) -> AcqQuery {
+        AcqQuery::builder()
+            .table("t")
+            .predicate(Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(0.0, 10.0),
+                RefineSide::Upper,
+            ))
+            .predicate(Predicate::select(
+                ColRef::new("t", "y"),
+                Interval::new(0.0, 10.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(
+                AggregateSpec::count(),
+                CmpOp::Eq,
+                target,
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn returns_exact_cardinality() {
+        let mut exec = Executor::new(catalog());
+        let out = topk(&mut exec, &query(30.0), &Norm::L1).unwrap();
+        assert_eq!(out.aggregate, 30.0);
+        assert_eq!(out.error, 0.0);
+        assert_eq!(out.queries_executed, 1);
+    }
+
+    #[test]
+    fn implied_query_covers_selection() {
+        let mut exec = Executor::new(catalog());
+        let out = topk(&mut exec, &query(30.0), &Norm::L1).unwrap();
+        // The implied refined query admits at least the selected tuples, so
+        // running it must return >= 30 rows.
+        let mut q = query(30.0);
+        exec.populate_domains(&mut q).unwrap();
+        let rq = exec.resolve(&q).unwrap();
+        let caps: Vec<f64> = out.pscores.clone();
+        let rel = exec.base_relation(&rq, &caps).unwrap();
+        let n = exec
+            .full_aggregate(&rq, &rel, &out.pscores)
+            .unwrap()
+            .value()
+            .unwrap();
+        assert!(n >= 30.0, "implied query admits {n}");
+    }
+
+    #[test]
+    fn rejects_non_count() {
+        let mut exec = Executor::new(catalog());
+        let mut q = query(30.0);
+        q.constraint =
+            AggConstraint::new(AggregateSpec::sum(ColRef::new("t", "y")), CmpOp::Ge, 100.0);
+        assert!(matches!(
+            topk(&mut exec, &q, &Norm::L1),
+            Err(BaselineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn clamps_k_to_available_tuples() {
+        let mut exec = Executor::new(catalog());
+        let out = topk(&mut exec, &query(5000.0), &Norm::L1).unwrap();
+        assert_eq!(out.aggregate, 100.0);
+        assert!(out.error > 0.9);
+    }
+}

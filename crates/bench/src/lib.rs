@@ -1,0 +1,34 @@
+//! # acq-bench — the paper's evaluation, reproduced
+//!
+//! Harness code shared by the Criterion benches and the `reproduce` binary.
+//! Each figure of §8 maps to a [`workloads`] constructor plus a sweep in
+//! `src/bin/reproduce.rs`:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Fig. 8a–c (aggregate ratio 0.1–0.9) | `reproduce fig8` |
+//! | Fig. 9a–c (dimensionality 1–5) | `reproduce fig9` |
+//! | Fig. 10a (table size 1K–1M) | `reproduce fig10a` |
+//! | Fig. 10b (refinement threshold γ 2–12) | `reproduce fig10b` |
+//! | Fig. 10c (cardinality threshold δ 1e-4–1e-1) | `reproduce fig10c` |
+//! | Fig. 11a–b (SUM/COUNT/MAX) | `reproduce fig11` |
+//! | §8.4.4 (Zipf Z=1) | `reproduce skew` |
+//! | Table 1 (capability matrix) | `reproduce table1` |
+//! | §5/§6 work-sharing claim | `reproduce workshare` |
+//!
+//! The experiments measure wall-clock time *and* the engine's
+//! machine-independent work counters, so shapes are comparable with the
+//! paper even though the absolute hardware differs.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod report;
+pub mod runner;
+pub mod workloads;
+
+pub use report::{Row, Table};
+pub use runner::{measure, run_technique, Technique};
+pub use workloads::{
+    count_workload, join_workload, q2_sum_workload, ratio_target, Workload, WorkloadSpec,
+};

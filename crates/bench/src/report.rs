@@ -1,0 +1,120 @@
+//! Plain-text experiment tables (the rows/series the paper's figures plot).
+
+use std::fmt;
+
+/// One table row.
+#[derive(Debug, Clone, Default)]
+pub struct Row {
+    /// Cell texts.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from displayable cells.
+    #[must_use]
+    pub fn new(cells: Vec<String>) -> Self {
+        Self { cells }
+    }
+}
+
+/// An aligned plain-text table with a title and column headers.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title (e.g. `Figure 8a: execution time vs aggregate ratio`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn push(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(Row::new(cells));
+    }
+
+    /// Formats a float compactly for table cells.
+    #[must_use]
+    pub fn fmt_num(v: f64) -> String {
+        if !v.is_finite() {
+            return "inf".to_string();
+        }
+        let a = v.abs();
+        if a == 0.0 {
+            "0".to_string()
+        } else if !(0.001..100_000.0).contains(&a) {
+            format!("{v:.3e}")
+        } else if a >= 100.0 {
+            format!("{v:.1}")
+        } else {
+            format!("{v:.4}")
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(&row.cells) {
+                *w = (*w).max(c.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (w, c) in widths.iter().zip(cells) {
+                parts.push(format!("{c:>w$}", w = w));
+            }
+            writeln!(f, "| {} |", parts.join(" | "))
+        };
+        line(f, &self.headers)?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &sep)?;
+        for row in &self.rows {
+            line(f, &row.cells)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["a", "long_header"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["300".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("long_header"));
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let lens: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(Table::fmt_num(0.0), "0");
+        assert_eq!(Table::fmt_num(f64::INFINITY), "inf");
+        assert_eq!(Table::fmt_num(12.3456789), "12.3457");
+        assert_eq!(Table::fmt_num(1234.5), "1234.5");
+        assert!(Table::fmt_num(1e9).contains('e'));
+        assert!(Table::fmt_num(1e-9).contains('e'));
+    }
+}

@@ -1,0 +1,379 @@
+//! Experiment workloads (§8.3).
+//!
+//! *"Our test queries are TPC-H queries which have been adapted to include
+//! only numeric range and join predicates. … For each dataset, query, and
+//! ACQUIRE settings, we define the original aggregate `A_actual` and the
+//! aggregate ratio `A_actual / A_exp`."*
+//!
+//! [`count_workload`] builds the COUNT experiments over `lineitem`, whose
+//! five numeric attributes supply 1–5 flexible predicates (Fig. 8–10);
+//! [`q2_sum_workload`] builds the Example 2 / Q2' join workload over
+//! `supplier ⋈ part ⋈ partsupp` for the aggregate-type experiments
+//! (Fig. 11).
+
+use acq_datagen::{tpch, GenConfig};
+use acq_engine::{Catalog, Executor};
+use acq_query::{
+    AcqQuery, AggConstraint, AggFunc, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide,
+};
+
+/// Parameters of a workload instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Base table cardinality (`lineitem`/`partsupp` rows).
+    pub rows: usize,
+    /// Number of flexible predicates (1–5 for `lineitem`).
+    pub dims: usize,
+    /// The aggregate ratio `A_actual / A_exp` (0.1–0.9 in Fig. 8).
+    pub ratio: f64,
+    /// Zipf skew `Z` (0 uniform, 1 for §8.4.4).
+    pub zipf_z: f64,
+    /// Data seed.
+    pub seed: u64,
+    /// Initial per-predicate selectivity fraction of the attribute domain.
+    pub frac: f64,
+}
+
+impl WorkloadSpec {
+    /// The Fig. 8 default shape: 3 flexible predicates, uniform data.
+    #[must_use]
+    pub fn new(rows: usize, dims: usize, ratio: f64) -> Self {
+        Self {
+            rows,
+            dims,
+            ratio,
+            zipf_z: 0.0,
+            seed: 0xACC_0FFEE,
+            frac: 0.45,
+        }
+    }
+
+    /// Same spec with Zipf skew `Z = 1`.
+    #[must_use]
+    pub fn skewed(mut self) -> Self {
+        self.zipf_z = 1.0;
+        self
+    }
+
+    fn gen_config(&self) -> GenConfig {
+        GenConfig {
+            rows: self.rows,
+            seed: self.seed,
+            zipf_z: self.zipf_z,
+        }
+    }
+}
+
+/// A ready-to-run experiment: data plus an ACQ whose target realises the
+/// requested aggregate ratio.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The dataset (cheap to clone: tables are shared).
+    pub catalog: Catalog,
+    /// The aggregation constrained query.
+    pub query: AcqQuery,
+    /// The original query's aggregate value `A_actual`.
+    pub original_aggregate: f64,
+    /// The requested ratio `A_actual / A_exp`.
+    pub ratio: f64,
+}
+
+/// `A_exp` from `A_actual` and the ratio.
+#[must_use]
+pub fn ratio_target(actual: f64, ratio: f64) -> f64 {
+    assert!(ratio > 0.0);
+    actual / ratio
+}
+
+/// The `lineitem` columns used as flexible predicates, in order.
+pub const LINEITEM_DIMS: [&str; 5] = [
+    "l_quantity",
+    "l_extendedprice",
+    "l_discount",
+    "l_tax",
+    "l_shipdate",
+];
+
+/// The `q`-quantile of a numeric column (exact, via sort).
+fn quantile(table: &acq_engine::Table, col: &str, q: f64) -> f64 {
+    let column = table.column_by_name(col).expect("column exists");
+    let mut vals: Vec<f64> = (0..table.num_rows())
+        .filter_map(|r| column.get_f64(r))
+        .collect();
+    vals.sort_by(f64::total_cmp);
+    let idx = ((vals.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    vals[idx]
+}
+
+/// Builds the COUNT workload of Fig. 8–10: `dims` one-sided range
+/// predicates over `lineitem`, each initially admitting `frac` of its
+/// attribute domain, with `COUNT(*) = A_actual / ratio`.
+pub fn count_workload(spec: &WorkloadSpec) -> Workload {
+    assert!(
+        (1..=LINEITEM_DIMS.len()).contains(&spec.dims),
+        "lineitem supports 1..=5 flexible predicates"
+    );
+    let catalog = tpch::generate_lineitem(&spec.gen_config()).expect("generate lineitem");
+    let table = catalog.table("lineitem").expect("lineitem exists");
+
+    let mut builder = AcqQuery::builder().table("lineitem");
+    for col in LINEITEM_DIMS.iter().take(spec.dims) {
+        let domain = table.numeric_domain(col).expect("numeric column");
+        // Anchor the initial bound at the `frac` data quantile (not a
+        // domain fraction): each predicate initially admits `frac` of the
+        // rows regardless of the column's distribution, exactly like a
+        // selectivity-controlled TPC-H range predicate.
+        let bound = quantile(&table, col, spec.frac);
+        builder = builder.predicate(
+            Predicate::select(
+                ColRef::new("lineitem", *col),
+                Interval::new(domain.lo(), bound.max(domain.lo())),
+                RefineSide::Upper,
+            )
+            .with_domain(domain),
+        );
+    }
+    let mut query = builder
+        .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 1.0))
+        .build()
+        .expect("valid workload query");
+
+    let original_aggregate = original_aggregate(&catalog, &query);
+    assert!(
+        original_aggregate > 0.0,
+        "workload query must admit at least one tuple (rows={}, dims={})",
+        spec.rows,
+        spec.dims
+    );
+    // Clamp the target to what full refinement can reach (95% of it, so the
+    // target stays strictly achievable): otherwise low ratios on skewed or
+    // low-dimensional workloads would ask for more tuples than exist and
+    // every technique would flatline at the cap.
+    let reachable = reachable_aggregate(&catalog, &query);
+    query.constraint.target = ratio_target(original_aggregate, spec.ratio).min(reachable * 0.95);
+    Workload {
+        catalog,
+        query,
+        original_aggregate,
+        ratio: spec.ratio,
+    }
+}
+
+/// Builds the Example 2 / Q2' workload: `supplier ⋈ part ⋈ partsupp` with
+/// NOREFINE key joins, refinable `p_retailprice` and `s_acctbal`
+/// predicates, and the requested aggregate over `ps_availqty` (Fig. 11
+/// evaluates SUM, COUNT and MAX).
+pub fn q2_sum_workload(spec: &WorkloadSpec, agg: AggFunc) -> Workload {
+    let catalog = tpch::generate_q2(&spec.gen_config()).expect("generate q2 tables");
+    let part = catalog.table("part").expect("part");
+    let supplier = catalog.table("supplier").expect("supplier");
+
+    let price_domain = part.numeric_domain("p_retailprice").expect("numeric");
+    let bal_domain = supplier.numeric_domain("s_acctbal").expect("numeric");
+    let price_bound = price_domain.lo() + spec.frac * price_domain.width();
+    let bal_bound = bal_domain.lo() + spec.frac * bal_domain.width();
+
+    // SUM/COUNT aggregate over the part quantities; MAX/MIN aggregate over
+    // the *refined attribute itself* (p_retailprice), so that expanding the
+    // price predicate moves the aggregate — MAX(ps_availqty) saturates at
+    // the domain maximum after a handful of tuples and makes the experiment
+    // degenerate.
+    let spec_agg = match agg {
+        AggFunc::Count => AggregateSpec::count(),
+        AggFunc::Sum => AggregateSpec::sum(ColRef::new("partsupp", "ps_availqty")),
+        AggFunc::Max => AggregateSpec::max(ColRef::new("part", "p_retailprice")),
+        AggFunc::Min => AggregateSpec::min(ColRef::new("part", "p_retailprice")),
+        AggFunc::Avg => AggregateSpec::avg(ColRef::new("partsupp", "ps_availqty")),
+        AggFunc::Uda(ref name) => {
+            AggregateSpec::uda(name.clone(), ColRef::new("partsupp", "ps_availqty"))
+        }
+    };
+    let op = if agg == AggFunc::Count {
+        CmpOp::Eq
+    } else {
+        CmpOp::Ge
+    };
+
+    let mut query = AcqQuery::builder()
+        .table("supplier")
+        .table("part")
+        .table("partsupp")
+        .join(
+            ColRef::new("supplier", "s_suppkey"),
+            ColRef::new("partsupp", "ps_suppkey"),
+        )
+        .join(
+            ColRef::new("part", "p_partkey"),
+            ColRef::new("partsupp", "ps_partkey"),
+        )
+        .predicate(
+            Predicate::select(
+                ColRef::new("part", "p_retailprice"),
+                Interval::new(price_domain.lo(), price_bound),
+                RefineSide::Upper,
+            )
+            .with_domain(price_domain),
+        )
+        .predicate(
+            Predicate::select(
+                ColRef::new("supplier", "s_acctbal"),
+                Interval::new(bal_domain.lo(), bal_bound),
+                RefineSide::Upper,
+            )
+            .with_domain(bal_domain),
+        )
+        .constraint(AggConstraint::new(spec_agg, op, 1.0))
+        .build()
+        .expect("valid q2 workload");
+
+    let original_aggregate = original_aggregate(&catalog, &query);
+    assert!(original_aggregate > 0.0, "q2 workload must admit tuples");
+    let reachable = reachable_aggregate(&catalog, &query);
+    query.constraint.target = ratio_target(original_aggregate, spec.ratio).min(reachable * 0.95);
+    Workload {
+        catalog,
+        query,
+        original_aggregate,
+        ratio: spec.ratio,
+    }
+}
+
+/// Builds the join-refinement workload (§2.4 / Table 1): two tables whose
+/// refinable equi-join `left.j = right.j` must widen into the band
+/// `|left.j - right.j| <= w` until the pair count reaches the target, plus
+/// one refinable selection predicate. `pair_density` scales the target as a
+/// fraction of `|left| x |right| / 1000` (one unit of band width over the
+/// [0, 1000] join domain admits about that many pairs).
+pub fn join_workload(rows: usize, pair_density: f64, seed: u64) -> Workload {
+    use acq_datagen::synthetic;
+    let catalog = synthetic::join_pair(
+        &GenConfig {
+            rows,
+            seed,
+            zipf_z: 0.0,
+        },
+        rows,
+        rows,
+    )
+    .expect("join pair");
+    let right = catalog.table("right").expect("right");
+    let v_domain = right.numeric_domain("v").expect("numeric");
+    let v_bound = v_domain.lo() + 0.5 * v_domain.width();
+    let query = AcqQuery::builder()
+        .table("left")
+        .table("right")
+        .predicate(Predicate::equi_join(
+            ColRef::new("left", "j"),
+            ColRef::new("right", "j"),
+        ))
+        .predicate(
+            Predicate::select(
+                ColRef::new("right", "v"),
+                Interval::new(v_domain.lo(), v_bound),
+                RefineSide::Upper,
+            )
+            .with_domain(v_domain),
+        )
+        .constraint(AggConstraint::new(
+            AggregateSpec::count(),
+            CmpOp::Ge,
+            (rows as f64 * rows as f64 / 1000.0) * pair_density,
+        ))
+        .build()
+        .expect("join workload");
+    let original_aggregate = original_aggregate(&catalog, &query);
+    Workload {
+        catalog,
+        query,
+        original_aggregate,
+        ratio: pair_density,
+    }
+}
+
+/// Executes the query at full per-dimension refinement caps and returns the
+/// best aggregate any refinement can reach.
+fn reachable_aggregate(catalog: &Catalog, query: &AcqQuery) -> f64 {
+    let mut exec = Executor::new(catalog.clone());
+    let mut q = query.clone();
+    exec.populate_domains(&mut q).expect("domains");
+    let caps: Vec<f64> = q
+        .flexible()
+        .iter()
+        .map(|&i| q.predicates[i].max_useful_score().unwrap_or(1000.0))
+        .collect();
+    let rq = exec.resolve(&q).expect("resolve");
+    let rel = exec.base_relation(&rq, &caps).expect("base relation");
+    exec.full_aggregate(&rq, &rel, &caps)
+        .expect("aggregate")
+        .value()
+        .unwrap_or(0.0)
+}
+
+/// Executes the unrefined query and returns its aggregate value.
+fn original_aggregate(catalog: &Catalog, query: &AcqQuery) -> f64 {
+    let mut exec = Executor::new(catalog.clone());
+    let mut q = query.clone();
+    exec.populate_domains(&mut q).expect("domains");
+    let rq = exec.resolve(&q).expect("resolve");
+    let zeros = vec![0.0; q.dims()];
+    let rel = exec.base_relation(&rq, &zeros).expect("base relation");
+    exec.full_aggregate(&rq, &rel, &zeros)
+        .expect("aggregate")
+        .value()
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_workload_realises_the_ratio() {
+        let w = count_workload(&WorkloadSpec::new(5_000, 3, 0.5));
+        assert!(w.original_aggregate > 0.0);
+        let expect = w.original_aggregate / 0.5;
+        assert!(w.query.constraint.target <= expect + 1e-9);
+        assert!(w.query.constraint.target > w.original_aggregate);
+        assert_eq!(w.query.dims(), 3);
+    }
+
+    #[test]
+    fn unreachable_targets_are_clamped() {
+        // Ratio 0.01 would demand 100x the original count, beyond the table
+        // size; the workload clamps to a reachable target.
+        let w = count_workload(&WorkloadSpec::new(2_000, 2, 0.01));
+        assert!(w.query.constraint.target <= 2_000.0);
+    }
+
+    #[test]
+    fn count_workload_dims_one_through_five() {
+        for d in 1..=5 {
+            let w = count_workload(&WorkloadSpec::new(2_000, d, 0.3));
+            assert_eq!(w.query.dims(), d, "dims {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=5")]
+    fn count_workload_rejects_dim_six() {
+        let _ = count_workload(&WorkloadSpec::new(1_000, 6, 0.3));
+    }
+
+    #[test]
+    fn q2_workload_builds_for_all_aggregates() {
+        for agg in [AggFunc::Sum, AggFunc::Count, AggFunc::Max] {
+            let w = q2_sum_workload(&WorkloadSpec::new(4_000, 2, 0.5), agg.clone());
+            assert_eq!(w.query.structural_joins.len(), 2);
+            assert_eq!(w.query.dims(), 2);
+            assert!(w.original_aggregate > 0.0, "{agg}");
+            assert!(w.query.constraint.target.is_finite());
+        }
+    }
+
+    #[test]
+    fn skewed_spec_generates_different_data() {
+        let u = count_workload(&WorkloadSpec::new(3_000, 2, 0.5));
+        let s = count_workload(&WorkloadSpec::new(3_000, 2, 0.5).skewed());
+        assert_ne!(u.original_aggregate, s.original_aggregate);
+    }
+}

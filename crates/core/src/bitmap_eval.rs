@@ -1,0 +1,316 @@
+//! The literal §7.4 evaluation layer: a bitmap grid index over *attribute*
+//! space.
+//!
+//! *"We divide each attribute dimension into equi-width parts and create a
+//! multi-dimensional grid on the table … this simple index structure can be
+//! used in the Explore phase to determine if a given cell query is empty
+//! without actually executing the query."*
+//!
+//! [`BitmapIndexEvaluator`] builds an [`acq_engine::index::BitmapGridIndex`]
+//! over the flexible predicates' columns of a **single-table** query with
+//! numeric selection predicates (the §7.4 setting). Each refined-space cell
+//! query maps to an axis-aligned box in attribute space:
+//!
+//! * a probe against the bitmap proves empty cells empty — they are skipped
+//!   without touching a tuple;
+//! * non-empty cells scan only the rows of the overlapping grid cells (the
+//!   CSR row lists), re-checking scores exactly.
+//!
+//! Unlike [`crate::GridIndexEvaluator`] (which buckets tuples by *score*
+//! for one specific search), the attribute-space index is search-agnostic:
+//! the same index serves any query over the indexed columns, which is how a
+//! DBMS would deploy it.
+
+use acq_engine::{
+    index::BitmapGridIndex, AggState, CellRange, EngineError, EngineResult, ExecStats, Executor,
+    Relation, ResolvedQuery,
+};
+use acq_query::{AcqQuery, Interval, PredFunction, RefineSide};
+
+use crate::eval::EvaluationLayer;
+
+/// §7.4 bitmap-grid-index evaluation layer for single-table numeric queries.
+#[derive(Debug)]
+pub struct BitmapIndexEvaluator<'a> {
+    exec: &'a mut Executor,
+    rq: ResolvedQuery,
+    rel: Relation,
+    index: BitmapGridIndex,
+    /// Per flexible dimension: (original interval, refine side, width basis).
+    dims: Vec<(Interval, RefineSide, f64)>,
+    probes: u64,
+    local: ExecStats,
+}
+
+impl<'a> BitmapIndexEvaluator<'a> {
+    /// Builds the index (`bins` equi-width bins per flexible dimension) over
+    /// the query's table. Errors when the query joins tables or refines
+    /// non-`Attr` predicates — the §7.4 construction is per-table.
+    pub fn new(
+        exec: &'a mut Executor,
+        query: &AcqQuery,
+        caps: &[f64],
+        bins: usize,
+    ) -> EngineResult<Self> {
+        if query.tables.len() != 1 {
+            return Err(EngineError::Unsupported(
+                "BitmapIndexEvaluator indexes a single table (\u{a7}7.4)".to_string(),
+            ));
+        }
+        let mut dims = Vec::new();
+        let mut cols = Vec::new();
+        let table = exec.catalog().table(&query.tables[0])?;
+        for &i in &query.flexible() {
+            let p = &query.predicates[i];
+            let PredFunction::Attr(col) = &p.func else {
+                return Err(EngineError::UnknownColumn(acq_query::ColRef::bare(
+                    format!("predicate {} is not a plain attribute predicate", p.label),
+                )));
+            };
+            let idx = table
+                .schema()
+                .index_of(&col.column)
+                .ok_or_else(|| EngineError::UnknownColumn(col.clone()))?;
+            cols.push(idx);
+            dims.push((p.interval, p.refine, p.width_basis()));
+        }
+        let index = BitmapGridIndex::build(&table, &cols, bins);
+        let rq = exec.resolve(query)?;
+        let rel = exec.base_relation(&rq, caps)?;
+        Ok(Self {
+            exec,
+            rq,
+            rel,
+            index,
+            dims,
+            probes: 0,
+            local: ExecStats::default(),
+        })
+    }
+
+    /// Maps one refined-space cell to the attribute box it selects: the
+    /// score range `(lo, hi]` of an Upper-refinable predicate `[a, b]`
+    /// corresponds to attribute values in `(b + lo·w/100, b + hi·w/100]`
+    /// (mirrored for Lower); score exactly 0 is the original interval.
+    fn attribute_box(&self, cell: &[CellRange]) -> Vec<(f64, f64)> {
+        cell.iter()
+            .zip(&self.dims)
+            .map(|(r, (iv, side, basis))| match (r, side) {
+                (CellRange::Zero, _) => (iv.lo(), iv.hi()),
+                (CellRange::Open { lo, hi }, RefineSide::Upper) => {
+                    (iv.hi() + lo / 100.0 * basis, iv.hi() + hi / 100.0 * basis)
+                }
+                (CellRange::Open { lo, hi }, RefineSide::Lower) => {
+                    (iv.lo() - hi / 100.0 * basis, iv.lo() - lo / 100.0 * basis)
+                }
+            })
+            .collect()
+    }
+
+    /// Index probes issued so far.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+}
+
+impl EvaluationLayer for BitmapIndexEvaluator<'_> {
+    fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState> {
+        let boxq = self.attribute_box(cell);
+        self.local.cell_queries += 1;
+        // §7.4: ask the index whether the cell query is provably empty.
+        if !self.index.box_maybe_occupied(&boxq, &mut self.probes) {
+            self.local.index_probes += 1;
+            self.local.cells_skipped += 1;
+            return AggState::empty(&self.rq.query.constraint.spec, self.exec.uda_registry());
+        }
+        self.local.index_probes += 1;
+        // Scan only the candidate rows of the overlapping grid cells.
+        let mut candidates = Vec::new();
+        self.index
+            .visit_box_candidates(&boxq, |r| candidates.push(r as usize));
+        self.local.tuples_scanned += candidates.len() as u64;
+        self.exec
+            .cell_aggregate_rows(&self.rq, &self.rel, cell, candidates.into_iter())
+    }
+
+    fn full_aggregate(&mut self, bounds: &[f64]) -> EngineResult<AggState> {
+        self.exec.full_aggregate(&self.rq, &self.rel, bounds)
+    }
+
+    fn empty_state(&self) -> EngineResult<AggState> {
+        AggState::empty(&self.rq.query.constraint.spec, self.exec.uda_registry())
+    }
+
+    fn stats(&self) -> ExecStats {
+        let mut s = self.exec.stats();
+        s += self.local;
+        s
+    }
+
+    fn universe_size(&self) -> usize {
+        self.rel.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcquireConfig;
+    use crate::driver::acquire;
+    use crate::eval::ScanEvaluator;
+    use crate::space::RefinedSpace;
+    use acq_engine::{Catalog, DataType, Field, TableBuilder, Value};
+    use acq_query::{AggConstraint, AggregateSpec, CmpOp, ColRef, Predicate};
+
+    fn catalog() -> Catalog {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+            ],
+        )
+        .unwrap();
+        // Correlated diagonal: most off-diagonal cells are empty, which is
+        // exactly where the §7.4 index pays off.
+        for i in 0..2_000 {
+            let v = f64::from(i) * 0.05;
+            b.push_row(vec![Value::Float(v), Value::Float(v + f64::from(i % 7))]);
+        }
+        let mut cat = Catalog::new();
+        cat.register(b.finish().unwrap()).unwrap();
+        cat
+    }
+
+    fn query(target: f64) -> AcqQuery {
+        AcqQuery::builder()
+            .table("t")
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "x"),
+                    Interval::new(0.0, 20.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 100.0)),
+            )
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "y"),
+                    Interval::new(0.0, 20.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 107.0)),
+            )
+            .constraint(AggConstraint::new(
+                AggregateSpec::count(),
+                CmpOp::Eq,
+                target,
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn agrees_with_the_scan_layer() {
+        let q = query(1_200.0);
+        let cfg = AcquireConfig::default();
+        let space = RefinedSpace::new(&q, &cfg).unwrap();
+        let caps = space.caps();
+
+        let mut e1 = Executor::new(catalog());
+        let mut scan = ScanEvaluator::new(&mut e1, &q, &caps).unwrap();
+        let scan_out = acquire(&mut scan, &q, &cfg).unwrap();
+
+        let mut e2 = Executor::new(catalog());
+        let mut idx = BitmapIndexEvaluator::new(&mut e2, &q, &caps, 32).unwrap();
+        let idx_out = acquire(&mut idx, &q, &cfg).unwrap();
+
+        assert_eq!(scan_out.satisfied, idx_out.satisfied);
+        assert_eq!(
+            scan_out.best().map(|r| (r.qscore, r.aggregate)),
+            idx_out.best().map(|r| (r.qscore, r.aggregate))
+        );
+    }
+
+    #[test]
+    fn skips_empty_cells_and_scans_less() {
+        let q = query(1_200.0);
+        let cfg = AcquireConfig::default();
+        let space = RefinedSpace::new(&q, &cfg).unwrap();
+        let caps = space.caps();
+        let mut exec = Executor::new(catalog());
+        let mut idx = BitmapIndexEvaluator::new(&mut exec, &q, &caps, 32).unwrap();
+        let out = acquire(&mut idx, &q, &cfg).unwrap();
+        assert!(out.satisfied);
+        assert!(
+            out.stats.cells_skipped > 0,
+            "diagonal data must yield empty cells"
+        );
+        // Far less than one full scan per cell query.
+        assert!(
+            out.stats.tuples_scanned < out.stats.cell_queries * 2_000 / 4,
+            "scanned {} over {} cells",
+            out.stats.tuples_scanned,
+            out.stats.cell_queries
+        );
+    }
+
+    #[test]
+    fn rejects_joins_and_non_attr_predicates() {
+        let mut exec = Executor::new(catalog());
+        let mut q = query(10.0);
+        q.predicates.push(Predicate::equi_join(
+            ColRef::new("t", "x"),
+            ColRef::new("t", "y"),
+        ));
+        assert!(BitmapIndexEvaluator::new(&mut exec, &q, &[10.0, 10.0, 10.0], 16).is_err());
+
+        let two_tables = AcqQuery::builder()
+            .table("t")
+            .table("u")
+            .predicate(Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(0.0, 1.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 1.0))
+            .build()
+            .unwrap();
+        let mut exec = Executor::new(catalog());
+        assert!(BitmapIndexEvaluator::new(&mut exec, &two_tables, &[10.0], 16).is_err());
+    }
+
+    #[test]
+    fn lower_side_boxes_are_oriented_correctly() {
+        // A Lower-refinable predicate: the cell box must extend downward.
+        let mut b = TableBuilder::new("t", vec![Field::new("x", DataType::Float)]).unwrap();
+        for i in 0..100 {
+            b.push_row(vec![Value::Float(f64::from(i))]);
+        }
+        let mut cat = Catalog::new();
+        cat.register(b.finish().unwrap()).unwrap();
+        let q = AcqQuery::builder()
+            .table("t")
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "x"),
+                    Interval::new(80.0, 99.0),
+                    RefineSide::Lower,
+                )
+                .with_domain(Interval::new(0.0, 99.0)),
+            )
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 60.0))
+            .build()
+            .unwrap();
+        let cfg = AcquireConfig::default();
+        let space = RefinedSpace::new(&q, &cfg).unwrap();
+        let caps = space.caps();
+        let mut exec = Executor::new(cat);
+        let mut idx = BitmapIndexEvaluator::new(&mut exec, &q, &caps, 16).unwrap();
+        let out = acquire(&mut idx, &q, &cfg).unwrap();
+        assert!(out.satisfied);
+        let best = out.best().unwrap();
+        assert!((best.aggregate - 60.0).abs() / 60.0 <= 0.05 + 1e-9);
+    }
+}

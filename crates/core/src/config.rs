@@ -1,0 +1,142 @@
+//! Driver configuration.
+
+use acq_query::Norm;
+
+use crate::error::CoreError;
+
+/// Tunable parameters of the ACQUIRE driver (Definition 1 and Algorithm 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcquireConfig {
+    /// The refinement (proximity) threshold `γ`: the grid step is `γ/d`, so
+    /// Theorem 1 guarantees some grid query lies within `γ` of the optimal
+    /// refinement. Fig. 10(b) varies it over 2–12; the default is 10.
+    pub gamma: f64,
+    /// The aggregate error threshold `δ` (relative, see
+    /// [`acq_query::AggErrorFn`]); the paper's experiments use 0.05, and
+    /// Fig. 10(c) varies it over 1e-4–1e-1.
+    pub delta: f64,
+    /// The norm folding per-predicate refinements into a QScore (default
+    /// `L1`, Eq. 3; `L∞` switches the Expand phase to Algorithm 2; weighted
+    /// norms express §7.1 preferences).
+    pub norm: Norm,
+    /// Number of repartitioning iterations `b` applied to a cell whose query
+    /// overshoots the constraint by more than `δ` (Algorithm 4 line 14).
+    pub repartition_depth: u32,
+    /// Safety cap on the number of query-layers explored; the search
+    /// returns the closest query found if it is reached.
+    pub max_layers: u64,
+    /// Safety cap on grid units per dimension for predicates whose attribute
+    /// domain is unknown (bounds memory on open-ended searches).
+    pub max_units_per_dim: u32,
+    /// Safety cap on the number of grid queries investigated (bounds the
+    /// combinatorial frontier growth that `max_layers` alone does not, e.g.
+    /// unsatisfiable constraints over predicates with unknown domains). The
+    /// search returns the closest query found when it is reached.
+    pub max_explored: u64,
+    /// Worker threads used by the cached/indexed evaluation layers when
+    /// scoring the base relation (1 = serial; results are identical either
+    /// way).
+    pub threads: usize,
+    /// Use best-first expansion keyed by the actual QScore instead of
+    /// Algorithm 1's L1-layered BFS. Exact ordering for any `Lp`/weighted
+    /// norm (an extension beyond the paper) at the cost of unbounded
+    /// sub-aggregate retention; irrelevant under `L1`, ignored under `L∞`.
+    pub exact_lp_order: bool,
+}
+
+impl Default for AcquireConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 10.0,
+            delta: 0.05,
+            norm: Norm::L1,
+            repartition_depth: 3,
+            max_layers: 100_000,
+            max_units_per_dim: 100_000,
+            max_explored: 50_000_000,
+            threads: 1,
+            exact_lp_order: false,
+        }
+    }
+}
+
+impl AcquireConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.gamma <= 0.0 || !self.gamma.is_finite() {
+            return Err(CoreError::Config(format!(
+                "gamma must be a positive finite number, got {}",
+                self.gamma
+            )));
+        }
+        if self.delta < 0.0 || !self.delta.is_finite() {
+            return Err(CoreError::Config(format!(
+                "delta must be a non-negative finite number, got {}",
+                self.delta
+            )));
+        }
+        if self.max_units_per_dim == 0 {
+            return Err(CoreError::Config(
+                "max_units_per_dim must be positive".into(),
+            ));
+        }
+        if self.threads == 0 {
+            return Err(CoreError::Config("threads must be at least 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Convenience: same config with a different `γ`.
+    #[must_use]
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Convenience: same config with a different `δ`.
+    #[must_use]
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Convenience: same config with a different norm.
+    #[must_use]
+    pub fn with_norm(mut self, norm: Norm) -> Self {
+        self.norm = norm;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let c = AcquireConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.gamma, 10.0);
+        assert_eq!(c.delta, 0.05);
+        assert_eq!(c.norm, Norm::L1);
+        assert_eq!(c.repartition_depth, 3);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(AcquireConfig::default().with_gamma(0.0).validate().is_err());
+        assert!(AcquireConfig::default()
+            .with_gamma(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(AcquireConfig::default()
+            .with_delta(-0.1)
+            .validate()
+            .is_err());
+        let c = AcquireConfig {
+            max_units_per_dim: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

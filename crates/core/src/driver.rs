@@ -1,0 +1,507 @@
+//! The ACQUIRE driver — Algorithm 4.
+//!
+//! Iteratively **Expand**s the refined space (grid queries in non-decreasing
+//! refinement order) and **Explore**s each query's aggregate via incremental
+//! aggregate computation. A query whose aggregate error is within `δ` joins
+//! the answer set and pins the minimal refinement layer; the search finishes
+//! that layer (collecting every alternative with the same refinement score)
+//! and stops. Queries that *overshoot* the target by more than `δ` have
+//! their cell repartitioned for `b` iterations (§6). If nothing satisfies
+//! the constraint, the query attaining the closest aggregate value is
+//! returned.
+
+use acq_engine::Executor;
+use acq_query::AcqQuery;
+
+use crate::config::AcquireConfig;
+use crate::error::CoreError;
+use crate::eval::{
+    CachedScoreEvaluator, EvalLayerKind, EvaluationLayer, GridIndexEvaluator, ScanEvaluator,
+};
+use crate::expand::{BestFirstExpander, BfsExpander, Expander, LinfExpander};
+use crate::explore::Explorer;
+use crate::repartition::repartition;
+use crate::result::{AcqOutcome, RefinedQueryResult};
+use crate::space::RefinedSpace;
+
+/// Runs ACQUIRE against a caller-constructed evaluation layer.
+///
+/// The evaluation layer must have been built with per-dimension caps at
+/// least [`RefinedSpace::caps`] for this query and configuration (which
+/// [`run_acquire`] guarantees).
+pub fn acquire<E: EvaluationLayer>(
+    eval: &mut E,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+) -> Result<AcqOutcome, CoreError> {
+    cfg.validate()?;
+    query.validate_with_norm(&cfg.norm)?;
+    let space = RefinedSpace::new(query, cfg)?;
+    let mut expander: Box<dyn Expander> = if cfg.norm.is_linf() {
+        Box::new(LinfExpander::new(&space))
+    } else if cfg.exact_lp_order {
+        Box::new(BestFirstExpander::new(&space))
+    } else {
+        Box::new(BfsExpander::new(&space))
+    };
+    let mut explorer = Explorer::new();
+
+    let target = query.constraint.target;
+    let err_fn = query.error_fn;
+    let expanding = query.constraint.op.is_expanding();
+
+    let mut answers: Vec<RefinedQueryResult> = Vec::new();
+    // The closest-aggregate fallback is tracked as raw numbers and only
+    // materialised (SQL rendered) once, when the outcome is assembled —
+    // it improves on a large fraction of explored points.
+    let mut closest: Option<(Vec<f64>, f64, f64)> = None; // (pscores, aggregate, error)
+    let mut min_ref_layer = u64::MAX;
+    let mut current_layer = 0u64;
+    let mut explored = 0u64;
+    let mut original_aggregate = f64::NAN;
+
+    while let Some(point) = expander.next_query() {
+        let layer = expander.layer_of(&point);
+        if layer > min_ref_layer || layer > cfg.max_layers || explored >= cfg.max_explored {
+            break;
+        }
+        if layer > current_layer {
+            // The recurrence only reaches back one layer (layered
+            // expanders; best-first forbids eviction).
+            if let Some(min) = expander.evictable_below(layer) {
+                explorer.evict_below(min);
+            }
+            current_layer = layer;
+        }
+        let state = explorer.compute_aggregate(eval, &space, &point, layer)?;
+        explored += 1;
+
+        let value = state.value();
+        if point.iter().all(|&u| u == 0) {
+            original_aggregate = value.unwrap_or(f64::NAN);
+        }
+        // MIN/MAX/AVG of an empty result set are undefined: not a candidate.
+        let Some(actual) = value else { continue };
+        let error = err_fn.error(target, actual);
+
+        let make = |point: Vec<u32>, actual: f64, error: f64| {
+            RefinedQueryResult::new(
+                query,
+                point.clone(),
+                space.pscores(&point),
+                space.qscore(&point),
+                actual,
+                error,
+            )
+        };
+
+        if error <= cfg.delta {
+            answers.push(make(point.clone(), actual, error));
+            min_ref_layer = min_ref_layer.min(layer);
+        } else if expanding && actual > target && answers.is_empty() {
+            // The constraint's crossing point lies inside this cell:
+            // repartition (Algorithm 4 / §6). Once a grid answer exists,
+            // finer fractional answers cannot improve the answer layer, so
+            // repartitioning stops (it would re-execute full queries for
+            // every overshooting point of the closing layer).
+            if let Some(hit) =
+                repartition(eval, &space, &point, target, err_fn, cfg.repartition_depth)?
+            {
+                let qscore = space.norm().qscore(&hit.bounds);
+                let r = RefinedQueryResult::new(
+                    query,
+                    Vec::new(),
+                    hit.bounds,
+                    qscore,
+                    hit.aggregate,
+                    hit.error,
+                );
+                if hit.error <= cfg.delta {
+                    answers.push(r);
+                    min_ref_layer = min_ref_layer.min(layer);
+                } else if closest.as_ref().is_none_or(|c| r.error < c.2) {
+                    closest = Some((r.pscores, r.aggregate, r.error));
+                }
+            }
+        }
+        if closest.as_ref().is_none_or(|c| error < c.2) {
+            closest = Some((space.pscores(&point), actual, error));
+        }
+    }
+
+    answers.sort_by(|a, b| a.qscore.total_cmp(&b.qscore));
+    let satisfied = !answers.is_empty();
+    let closest = closest.map(|(pscores, aggregate, error)| {
+        let qscore = cfg.norm.qscore(&pscores);
+        RefinedQueryResult::new(query, Vec::new(), pscores, qscore, aggregate, error)
+    });
+    Ok(AcqOutcome {
+        satisfied,
+        closest,
+        original_aggregate,
+        explored,
+        layers: current_layer,
+        peak_store: explorer.store().peak_len(),
+        stats: eval.stats(),
+        queries: answers,
+    })
+}
+
+/// Convenience entry point: fills predicate domains from catalog statistics,
+/// builds the requested evaluation layer with the right caps, and runs
+/// [`acquire`].
+///
+/// ```
+/// use acq_engine::{Catalog, DataType, Executor, Field, TableBuilder, Value};
+/// use acq_query::{AcqQuery, AggConstraint, AggregateSpec, CmpOp, ColRef, Interval,
+///                 Predicate, RefineSide};
+/// use acquire_core::{run_acquire, AcquireConfig, EvalLayerKind};
+///
+/// // 100 products priced 1..=100.
+/// let mut b = TableBuilder::new("products", vec![Field::new("price", DataType::Float)])?;
+/// for i in 1..=100 {
+///     b.push_row(vec![Value::Float(i as f64)]);
+/// }
+/// let mut catalog = Catalog::new();
+/// catalog.register(b.finish()?)?;
+///
+/// // "price <= 20" admits 20 products; the campaign needs 50.
+/// let query = AcqQuery::builder()
+///     .table("products")
+///     .predicate(Predicate::select(
+///         ColRef::new("products", "price"),
+///         Interval::new(1.0, 20.0),
+///         RefineSide::Upper,
+///     ))
+///     .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 50.0))
+///     .build()?;
+///
+/// let mut exec = Executor::new(catalog);
+/// let outcome = run_acquire(&mut exec, &query, &AcquireConfig::default(),
+///                           EvalLayerKind::GridIndex)?;
+/// assert!(outcome.satisfied);
+/// let best = outcome.best().unwrap();
+/// assert!((best.aggregate - 50.0).abs() <= 50.0 * 0.05); // within delta
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_acquire(
+    exec: &mut Executor,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+    kind: EvalLayerKind,
+) -> Result<AcqOutcome, CoreError> {
+    let mut query = query.clone();
+    exec.populate_domains(&mut query)?;
+    let space = RefinedSpace::new(&query, cfg)?;
+    let caps = space.caps();
+    match kind {
+        EvalLayerKind::Scan => {
+            let mut eval = ScanEvaluator::new(exec, &query, &caps)?;
+            acquire(&mut eval, &query, cfg)
+        }
+        EvalLayerKind::CachedScore => {
+            let mut eval = CachedScoreEvaluator::with_threads(exec, &query, &caps, cfg.threads)?;
+            acquire(&mut eval, &query, cfg)
+        }
+        EvalLayerKind::GridIndex => {
+            let mut eval =
+                GridIndexEvaluator::with_threads(exec, &query, &caps, space.step(), cfg.threads)?;
+            acquire(&mut eval, &query, cfg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_engine::{Catalog, DataType, Field, TableBuilder, Value};
+    use acq_query::{
+        AggConstraint, AggErrorFn, AggregateSpec, CmpOp, ColRef, Interval, Norm, Predicate,
+        RefineSide,
+    };
+
+    /// 1000 rows, x = 0.0, 0.1, ..., 99.9 and y = i mod 100.
+    fn catalog() -> Catalog {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+            ],
+        )
+        .unwrap();
+        for i in 0..1000 {
+            b.push_row(vec![
+                Value::Float(f64::from(i) * 0.1),
+                Value::Float(f64::from(i % 100)),
+            ]);
+        }
+        let mut cat = Catalog::new();
+        cat.register(b.finish().unwrap()).unwrap();
+        cat
+    }
+
+    fn count_query(target: f64) -> AcqQuery {
+        AcqQuery::builder()
+            .table("t")
+            .predicate(Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(0.0, 10.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(
+                AggregateSpec::count(),
+                CmpOp::Eq,
+                target,
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn satisfied_at_origin_when_constraint_already_met() {
+        let mut exec = Executor::new(catalog());
+        // x <= 10 admits 101 tuples; target 101 is met with zero refinement.
+        let out = run_acquire(
+            &mut exec,
+            &count_query(101.0),
+            &AcquireConfig::default(),
+            EvalLayerKind::Scan,
+        )
+        .unwrap();
+        assert!(out.satisfied);
+        let best = out.best().unwrap();
+        assert_eq!(best.qscore, 0.0);
+        assert_eq!(best.aggregate, 101.0);
+        assert_eq!(out.original_aggregate, 101.0);
+    }
+
+    #[test]
+    fn expands_to_meet_count_target() {
+        for kind in [
+            EvalLayerKind::Scan,
+            EvalLayerKind::CachedScore,
+            EvalLayerKind::GridIndex,
+        ] {
+            let mut exec = Executor::new(catalog());
+            // Need 200 tuples: x <= ~19.9, i.e. ~100% refinement of [0,10].
+            let out = run_acquire(
+                &mut exec,
+                &count_query(200.0),
+                &AcquireConfig::default(),
+                kind,
+            )
+            .unwrap();
+            assert!(out.satisfied, "{kind:?}");
+            let best = out.best().unwrap();
+            let err = (best.aggregate - 200.0).abs() / 200.0;
+            assert!(err <= 0.05, "{kind:?}: aggregate {}", best.aggregate);
+            // ~100% refinement expected (within one grid layer + delta slack).
+            assert!(
+                best.qscore >= 80.0 && best.qscore <= 120.0,
+                "{kind:?}: {}",
+                best.qscore
+            );
+        }
+    }
+
+    #[test]
+    fn all_evaluators_agree_on_the_outcome() {
+        let mut results = Vec::new();
+        for kind in [
+            EvalLayerKind::Scan,
+            EvalLayerKind::CachedScore,
+            EvalLayerKind::GridIndex,
+        ] {
+            let mut exec = Executor::new(catalog());
+            let out = run_acquire(
+                &mut exec,
+                &count_query(300.0),
+                &AcquireConfig::default(),
+                kind,
+            )
+            .unwrap();
+            let best = out.best().unwrap().clone();
+            results.push((best.qscore, best.aggregate));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn answer_layer_collects_alternatives() {
+        // Two symmetric dimensions: multiple grid queries in the answer
+        // layer satisfy the constraint.
+        let mut exec = Executor::new(catalog());
+        let q = AcqQuery::builder()
+            .table("t")
+            .predicate(Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(0.0, 50.0),
+                RefineSide::Upper,
+            ))
+            .predicate(Predicate::select(
+                ColRef::new("t", "y"),
+                Interval::new(0.0, 99.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Ge, 550.0))
+            .error_fn(AggErrorFn::HingeRelative)
+            .build()
+            .unwrap();
+        let out = run_acquire(
+            &mut exec,
+            &q,
+            &AcquireConfig::default(),
+            EvalLayerKind::CachedScore,
+        )
+        .unwrap();
+        assert!(out.satisfied);
+        // Every answer shares the minimal refinement layer; qscores are
+        // sorted ascending.
+        let qs: Vec<f64> = out.queries.iter().map(|r| r.qscore).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn unsatisfiable_returns_closest() {
+        let mut exec = Executor::new(catalog());
+        // Only 1000 tuples exist; a COUNT of 5000 is unreachable.
+        let out = run_acquire(
+            &mut exec,
+            &count_query(5000.0),
+            &AcquireConfig::default(),
+            EvalLayerKind::CachedScore,
+        )
+        .unwrap();
+        assert!(!out.satisfied);
+        assert!(out.queries.is_empty());
+        let closest = out.closest.unwrap();
+        assert_eq!(closest.aggregate, 1000.0, "closest admits everything");
+    }
+
+    #[test]
+    fn repartition_hits_fine_targets() {
+        let mut exec = Executor::new(catalog());
+        // delta tight enough that no coarse grid query matches 157 exactly,
+        // but the crossing cell can be repartitioned into it.
+        let cfg = AcquireConfig {
+            delta: 0.005,
+            repartition_depth: 12,
+            ..Default::default()
+        };
+        let out = run_acquire(
+            &mut exec,
+            &count_query(157.0),
+            &cfg,
+            EvalLayerKind::CachedScore,
+        )
+        .unwrap();
+        assert!(out.satisfied);
+        let best = out.best().unwrap();
+        assert!(
+            (best.aggregate - 157.0).abs() / 157.0 <= 0.005,
+            "aggregate {}",
+            best.aggregate
+        );
+    }
+
+    #[test]
+    fn sum_constraint_with_hinge() {
+        let mut exec = Executor::new(catalog());
+        let q = AcqQuery::builder()
+            .table("t")
+            .predicate(Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(0.0, 10.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(
+                AggregateSpec::sum(ColRef::new("t", "y")),
+                CmpOp::Ge,
+                20_000.0,
+            ))
+            .build()
+            .unwrap();
+        let out = run_acquire(
+            &mut exec,
+            &q,
+            &AcquireConfig::default(),
+            EvalLayerKind::GridIndex,
+        )
+        .unwrap();
+        assert!(out.satisfied);
+        assert!(out.best().unwrap().aggregate >= 20_000.0 * 0.95);
+    }
+
+    #[test]
+    fn max_constraint() {
+        let mut exec = Executor::new(catalog());
+        let q = AcqQuery::builder()
+            .table("t")
+            .predicate(Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(0.0, 5.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(
+                AggregateSpec::max(ColRef::new("t", "y")),
+                CmpOp::Ge,
+                80.0,
+            ))
+            .build()
+            .unwrap();
+        let out = run_acquire(
+            &mut exec,
+            &q,
+            &AcquireConfig::default(),
+            EvalLayerKind::CachedScore,
+        )
+        .unwrap();
+        assert!(out.satisfied);
+        assert!(out.best().unwrap().aggregate >= 80.0);
+    }
+
+    #[test]
+    fn linf_norm_uses_algorithm_two() {
+        let mut exec = Executor::new(catalog());
+        let cfg = AcquireConfig::default().with_norm(Norm::LInf);
+        let out = run_acquire(
+            &mut exec,
+            &count_query(200.0),
+            &cfg,
+            EvalLayerKind::CachedScore,
+        )
+        .unwrap();
+        assert!(out.satisfied);
+        let best = out.best().unwrap();
+        assert!((best.aggregate - 200.0).abs() / 200.0 <= 0.05);
+    }
+
+    #[test]
+    fn results_render_refined_sql() {
+        let mut exec = Executor::new(catalog());
+        let out = run_acquire(
+            &mut exec,
+            &count_query(200.0),
+            &AcquireConfig::default(),
+            EvalLayerKind::CachedScore,
+        )
+        .unwrap();
+        let best = out.best().unwrap();
+        assert!(best.sql.contains("SELECT * FROM t"), "{}", best.sql);
+        assert!(
+            best.sql.contains("CONSTRAINT COUNT(*) = 200"),
+            "{}",
+            best.sql
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut exec = Executor::new(catalog());
+        let cfg = AcquireConfig::default().with_gamma(-1.0);
+        let err = run_acquire(&mut exec, &count_query(10.0), &cfg, EvalLayerKind::Scan);
+        assert!(matches!(err.unwrap_err(), CoreError::Config(_)));
+    }
+}

@@ -1,0 +1,49 @@
+//! Core error type.
+
+use std::fmt;
+
+use acq_engine::EngineError;
+use acq_query::AcqError;
+
+/// Errors surfaced by the ACQUIRE driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The query or norm failed validation.
+    Query(AcqError),
+    /// The evaluation layer failed.
+    Engine(EngineError),
+    /// The configuration is unusable (e.g. non-positive thresholds).
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Query(e) => write!(f, "invalid ACQ: {e}"),
+            Self::Engine(e) => write!(f, "evaluation layer error: {e}"),
+            Self::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Query(e) => Some(e),
+            Self::Engine(e) => Some(e),
+            Self::Config(_) => None,
+        }
+    }
+}
+
+impl From<AcqError> for CoreError {
+    fn from(e: AcqError) -> Self {
+        Self::Query(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        Self::Engine(e)
+    }
+}

@@ -1,0 +1,334 @@
+//! Histogram-based estimation: the "estimation" evaluation-layer strategy
+//! of §3.
+//!
+//! [`HistogramEstimator`] answers COUNT cell queries without touching any
+//! tuple after construction: one scoring pass builds a per-dimension
+//! histogram of refinement scores aligned with the search grid, and every
+//! cell/full query is answered from the histograms under the attribute
+//! -value-independence (AVI) assumption standard in selectivity estimation.
+//! Construction costs one pass; every query afterwards costs `O(d)`.
+//!
+//! The estimate is exact when the scored dimensions are independent (e.g.
+//! independently generated columns) and biased when they are correlated —
+//! the classic AVI trade-off, demonstrated in this module's tests. Searches
+//! that must *guarantee* the δ threshold should re-verify their answer with
+//! an exact layer (see `verify_with`-style use in the integration tests).
+
+use acq_engine::{AggState, CellRange, EngineError, EngineResult, ExecStats, Executor};
+use acq_query::{AcqQuery, AggFunc};
+
+use crate::eval::EvaluationLayer;
+
+/// A COUNT-only evaluation layer answering queries from per-dimension score
+/// histograms under the independence assumption.
+#[derive(Debug)]
+pub struct HistogramEstimator {
+    /// Per-dimension bucket counts; bucket `k` of dimension `i` counts the
+    /// tuples whose score falls in the grid cell `k` (0 = satisfying).
+    hists: Vec<Vec<u64>>,
+    /// Tuples that survive every NOREFINE predicate.
+    universe: u64,
+    step: f64,
+    stats: ExecStats,
+}
+
+impl HistogramEstimator {
+    /// Builds the estimator with one scoring pass over the base relation.
+    /// `step` must equal the refined space's grid step; `caps` are the
+    /// per-dimension PScore caps.
+    pub fn new(
+        exec: &mut Executor,
+        query: &AcqQuery,
+        caps: &[f64],
+        step: f64,
+    ) -> EngineResult<Self> {
+        if query.constraint.spec.func != AggFunc::Count {
+            return Err(EngineError::Unsupported(format!(
+                "HistogramEstimator only supports COUNT constraints, not {}",
+                query.constraint.spec
+            )));
+        }
+        assert!(step > 0.0 && step.is_finite());
+        if caps.iter().any(|c| !c.is_finite() || *c < 0.0) {
+            return Err(EngineError::Unsupported(
+                "HistogramEstimator requires finite, non-negative per-dimension caps \
+                 (use RefinedSpace::caps)"
+                    .to_string(),
+            ));
+        }
+        let rq = exec.resolve(query)?;
+        let rel = exec.base_relation(&rq, caps)?;
+        let d = rq.dims();
+        let buckets_per_dim: Vec<usize> = caps
+            .iter()
+            .map(|c| (c / step).ceil() as usize + 2)
+            .collect();
+        let mut hists: Vec<Vec<u64>> = buckets_per_dim.iter().map(|&b| vec![0u64; b]).collect();
+
+        let bound = rq.bind(&rel)?;
+        let mut scores = vec![0.0; d];
+        let mut universe = 0u64;
+        for row in 0..rel.len() {
+            if !bound.score_into(&rel, row, &mut scores) {
+                continue;
+            }
+            universe += 1;
+            for (k, &s) in scores.iter().enumerate() {
+                let b = Self::bucket_of(s, step).min(hists[k].len() as u32 - 1) as usize;
+                hists[k][b] += 1;
+            }
+        }
+        let mut stats = ExecStats::default();
+        stats.tuples_scanned += rel.len() as u64;
+        Ok(Self {
+            hists,
+            universe,
+            step,
+            stats,
+        })
+    }
+
+    #[inline]
+    fn bucket_of(s: f64, step: f64) -> u32 {
+        if s <= 0.0 {
+            return 0;
+        }
+        let mut k = (s / step).ceil().max(1.0) as u32;
+        while k > 1 && s <= f64::from(k - 1) * step {
+            k -= 1;
+        }
+        while s > f64::from(k) * step {
+            k += 1;
+        }
+        k
+    }
+
+    /// Marginal probability of dimension `k` falling in buckets `lo..=hi`.
+    fn marginal(&self, k: usize, lo: u32, hi: u32) -> f64 {
+        if self.universe == 0 {
+            return 0.0;
+        }
+        let h = &self.hists[k];
+        let lo = lo as usize;
+        let hi = (hi as usize).min(h.len() - 1);
+        let sum: u64 = h[lo..=hi].iter().sum();
+        sum as f64 / self.universe as f64
+    }
+
+    /// The number of admissible tuples the estimator was built over.
+    #[must_use]
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+}
+
+impl EvaluationLayer for HistogramEstimator {
+    fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState> {
+        self.stats.cell_queries += 1;
+        // AVI: product of per-dimension marginals times the universe size.
+        let mut p = 1.0f64;
+        for (k, r) in cell.iter().enumerate() {
+            let b = match r {
+                CellRange::Zero => 0,
+                CellRange::Open { hi, .. } => (hi / self.step).round() as u32,
+            };
+            p *= self.marginal(k, b, b);
+        }
+        Ok(AggState::Sum(p * self.universe as f64))
+    }
+
+    fn full_aggregate(&mut self, bounds: &[f64]) -> EngineResult<AggState> {
+        self.stats.full_queries += 1;
+        let mut p = 1.0f64;
+        for (k, &b) in bounds.iter().enumerate() {
+            let hi = Self::bucket_of(b, self.step);
+            p *= self.marginal(k, 0, hi);
+        }
+        Ok(AggState::Sum(p * self.universe as f64))
+    }
+
+    fn empty_state(&self) -> EngineResult<AggState> {
+        Ok(AggState::Sum(0.0))
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn universe_size(&self) -> usize {
+        self.universe as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcquireConfig;
+    use crate::driver::acquire;
+    use crate::eval::CachedScoreEvaluator;
+    use crate::space::RefinedSpace;
+    use acq_engine::{Catalog, DataType, Field, TableBuilder, Value};
+    use acq_query::{AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Independent columns: the AVI assumption holds exactly in
+    /// expectation.
+    fn independent_catalog(n: usize) -> Catalog {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+            ],
+        )
+        .unwrap();
+        for _ in 0..n {
+            b.push_row(vec![
+                Value::Float(rng.gen_range(0.0..100.0)),
+                Value::Float(rng.gen_range(0.0..100.0)),
+            ]);
+        }
+        let mut cat = Catalog::new();
+        cat.register(b.finish().unwrap()).unwrap();
+        cat
+    }
+
+    fn query(target: f64) -> AcqQuery {
+        AcqQuery::builder()
+            .table("t")
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "x"),
+                    Interval::new(0.0, 30.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 100.0)),
+            )
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "y"),
+                    Interval::new(0.0, 30.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 100.0)),
+            )
+            .constraint(AggConstraint::new(
+                AggregateSpec::count(),
+                CmpOp::Eq,
+                target,
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn estimates_track_exact_counts_on_independent_data() {
+        let cat = independent_catalog(20_000);
+        let q = query(5_000.0);
+        let cfg = AcquireConfig::default();
+        let space = RefinedSpace::new(&q, &cfg).unwrap();
+        let caps = space.caps();
+
+        let mut e1 = Executor::new(cat.clone());
+        let mut est = HistogramEstimator::new(&mut e1, &q, &caps, space.step()).unwrap();
+        let mut e2 = Executor::new(cat);
+        let mut exact = CachedScoreEvaluator::new(&mut e2, &q, &caps).unwrap();
+
+        for bounds in [[0.0, 0.0], [50.0, 0.0], [100.0, 100.0], [30.0, 70.0]] {
+            let approx = est.full_aggregate(&bounds).unwrap().value().unwrap();
+            let truth = exact.full_aggregate(&bounds).unwrap().value().unwrap();
+            let rel = (approx - truth).abs() / truth.max(1.0);
+            assert!(rel < 0.05, "bounds {bounds:?}: {approx} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn acquire_over_the_estimator_finds_a_near_valid_refinement() {
+        let cat = independent_catalog(20_000);
+        let q = query(6_000.0);
+        let cfg = AcquireConfig::default();
+        let space = RefinedSpace::new(&q, &cfg).unwrap();
+        let caps = space.caps();
+
+        let mut e1 = Executor::new(cat.clone());
+        let mut est = HistogramEstimator::new(&mut e1, &q, &caps, space.step()).unwrap();
+        let out = acquire(&mut est, &q, &cfg).unwrap();
+        assert!(out.satisfied, "estimator-driven search should succeed");
+        let best = out.best().unwrap();
+
+        // Verify against the exact layer: the estimation error compounds
+        // with the AVI assumption, so allow 3x delta.
+        let mut e2 = Executor::new(cat);
+        let mut exact = CachedScoreEvaluator::new(&mut e2, &q, &caps).unwrap();
+        let truth = exact
+            .full_aggregate(&best.pscores)
+            .unwrap()
+            .value()
+            .unwrap();
+        let rel = (truth - 6_000.0).abs() / 6_000.0;
+        assert!(rel < 3.0 * cfg.delta, "true count {truth} vs target 6000");
+    }
+
+    #[test]
+    fn correlated_data_shows_avi_bias() {
+        // y == x: perfectly correlated. AVI underestimates the joint count
+        // of aligned boxes.
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+            ],
+        )
+        .unwrap();
+        for i in 0..1000 {
+            let v = f64::from(i) * 0.1;
+            b.push_row(vec![Value::Float(v), Value::Float(v)]);
+        }
+        let mut cat = Catalog::new();
+        cat.register(b.finish().unwrap()).unwrap();
+        let q = query(500.0);
+        let cfg = AcquireConfig::default();
+        let space = RefinedSpace::new(&q, &cfg).unwrap();
+        let caps = space.caps();
+        let mut e = Executor::new(cat.clone());
+        let mut est = HistogramEstimator::new(&mut e, &q, &caps, space.step()).unwrap();
+        let approx = est.full_aggregate(&[100.0, 0.0]).unwrap().value().unwrap();
+        // Truth: x <= 60 AND y <= 30 == y <= 30 -> 301 tuples; AVI predicts
+        // ~ (0.6)(0.3) * 1000 = 181.
+        let mut e2 = Executor::new(cat);
+        let mut exact = CachedScoreEvaluator::new(&mut e2, &q, &caps).unwrap();
+        let truth = exact
+            .full_aggregate(&[100.0, 0.0])
+            .unwrap()
+            .value()
+            .unwrap();
+        assert!(
+            approx < truth * 0.8,
+            "expected an AVI underestimate: {approx} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn rejects_non_count() {
+        let cat = independent_catalog(100);
+        let mut q = query(10.0);
+        q.constraint =
+            AggConstraint::new(AggregateSpec::sum(ColRef::new("t", "y")), CmpOp::Ge, 1.0);
+        let mut e = Executor::new(cat);
+        assert!(HistogramEstimator::new(&mut e, &q, &[100.0, 100.0], 5.0).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_caps() {
+        let cat = independent_catalog(100);
+        let q = query(10.0);
+        let mut e = Executor::new(cat);
+        assert!(
+            HistogramEstimator::new(&mut e, &q, &[f64::INFINITY, 100.0], 5.0).is_err(),
+            "infinite caps must not abort on allocation"
+        );
+    }
+}

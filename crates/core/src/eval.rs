@@ -1,0 +1,603 @@
+//! Evaluation layers: the modular execution backend of Fig. 2.
+//!
+//! *"We delegate all actual query execution tasks to an evaluation layer,
+//! which in this case is Postgres. However, the evaluation layer is modular
+//! and can be replaced with other techniques such as estimation, and/or
+//! sampling."* (§3)
+//!
+//! Three implementations with increasing amounts of precomputation:
+//!
+//! * [`ScanEvaluator`] — every cell query re-executes against the engine
+//!   (scan + per-tuple scoring over the materialised base relation). This is
+//!   the faithful model of the paper's Postgres deployment and the honest
+//!   cost baseline.
+//! * [`CachedScoreEvaluator`] — scores every tuple once at construction;
+//!   cell queries filter the cached score matrix (no re-join / re-decode).
+//! * [`GridIndexEvaluator`] — additionally buckets tuples by their grid
+//!   cell, so a cell query touches exactly its own tuples and **empty cells
+//!   are skipped without any execution**, the §7.4 bitmap-grid-index idea
+//!   applied in score space.
+
+use acq_engine::{AggState, CellRange, EngineResult, ExecStats, Executor, Relation, ResolvedQuery};
+use acq_query::AcqQuery;
+
+use crate::space::GridPoint;
+
+/// A backend able to answer cell queries and full refined-query aggregates
+/// for one ACQ search.
+pub trait EvaluationLayer {
+    /// Aggregate of the tuples whose refinement-score vector lies in `cell`.
+    fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState>;
+    /// Aggregate of the tuples admitted when each flexible predicate `k` is
+    /// refined by `bounds[k]` percent (used by repartitioning and by the
+    /// baseline techniques).
+    fn full_aggregate(&mut self, bounds: &[f64]) -> EngineResult<AggState>;
+    /// An identity aggregate state.
+    fn empty_state(&self) -> EngineResult<AggState>;
+    /// Work counters accumulated so far.
+    fn stats(&self) -> ExecStats;
+    /// Size of the materialised tuple universe.
+    fn universe_size(&self) -> usize;
+}
+
+/// Selects which evaluation layer [`crate::run_acquire`] constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalLayerKind {
+    /// Re-execute every cell query (the paper's Postgres-style deployment).
+    Scan,
+    /// Cache per-tuple scores once, scan the cache per query.
+    CachedScore,
+    /// Bucket tuples by grid cell; skip empty cells without execution (§7.4).
+    GridIndex,
+}
+
+// ---------------------------------------------------------------------------
+// ScanEvaluator
+// ---------------------------------------------------------------------------
+
+/// Re-executes every cell/full query against the engine.
+#[derive(Debug)]
+pub struct ScanEvaluator<'a> {
+    exec: &'a mut Executor,
+    rq: ResolvedQuery,
+    rel: Relation,
+}
+
+impl<'a> ScanEvaluator<'a> {
+    /// Materialises the base relation for `query` with the given per-flexible
+    /// -predicate PScore caps and wraps it for repeated execution.
+    pub fn new(exec: &'a mut Executor, query: &AcqQuery, caps: &[f64]) -> EngineResult<Self> {
+        let rq = exec.resolve(query)?;
+        let rel = exec.base_relation(&rq, caps)?;
+        Ok(Self { exec, rq, rel })
+    }
+}
+
+impl EvaluationLayer for ScanEvaluator<'_> {
+    fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState> {
+        self.exec.cell_aggregate(&self.rq, &self.rel, cell)
+    }
+
+    fn full_aggregate(&mut self, bounds: &[f64]) -> EngineResult<AggState> {
+        self.exec.full_aggregate(&self.rq, &self.rel, bounds)
+    }
+
+    fn empty_state(&self) -> EngineResult<AggState> {
+        AggState::empty(&self.rq.query.constraint.spec, self.exec.uda_registry())
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.exec.stats()
+    }
+
+    fn universe_size(&self) -> usize {
+        self.rel.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared score-matrix machinery
+// ---------------------------------------------------------------------------
+
+/// Per-tuple scores and aggregate inputs, computed once.
+#[derive(Debug)]
+struct ScoreMatrix {
+    /// Flattened `n × d` refinement scores of admissible tuples.
+    scores: Vec<f64>,
+    /// Aggregate-column value per admissible tuple.
+    vals: Vec<f64>,
+    d: usize,
+}
+
+impl ScoreMatrix {
+    /// Scores every admissible tuple using `threads` worker threads.
+    /// Deterministic: each thread scores a contiguous row chunk and the
+    /// chunks are concatenated in order, so the matrix is identical to a
+    /// serial build. Falls back to the serial path for `threads <= 1`.
+    fn build_with_threads(
+        exec: &mut Executor,
+        rq: &ResolvedQuery,
+        rel: &Relation,
+        threads: usize,
+    ) -> EngineResult<Self> {
+        if threads <= 1 || rel.len() < 2 * threads {
+            return Self::build(exec, rq, rel);
+        }
+        let d = rq.dims();
+        // Validate binding once up front so worker threads cannot fail.
+        let _ = rq.bind(rel)?;
+        let n = rel.len();
+        let chunk = n.div_ceil(threads);
+        let parts: Vec<(Vec<f64>, Vec<f64>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                handles.push(scope.spawn(move || {
+                    let bound = rq.bind(rel).expect("validated above");
+                    let mut scores = Vec::new();
+                    let mut vals = Vec::new();
+                    let mut row_scores = vec![0.0; d];
+                    for row in lo..hi {
+                        if bound.score_into(rel, row, &mut row_scores) {
+                            scores.extend_from_slice(&row_scores);
+                            vals.push(bound.agg_value(rel, row));
+                        }
+                    }
+                    (scores, vals)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scoring thread"))
+                .collect()
+        });
+        let mut scores = Vec::with_capacity(n * d);
+        let mut vals = Vec::with_capacity(n);
+        for (s, v) in parts {
+            scores.extend(s);
+            vals.extend(v);
+        }
+        exec.stats_mut().tuples_scanned += n as u64;
+        Ok(Self { scores, vals, d })
+    }
+
+    fn build(exec: &mut Executor, rq: &ResolvedQuery, rel: &Relation) -> EngineResult<Self> {
+        let d = rq.dims();
+        let bound = rq.bind(rel)?;
+        let mut scores = Vec::with_capacity(rel.len() * d);
+        let mut vals = Vec::with_capacity(rel.len());
+        let mut row_scores = vec![0.0; d];
+        for row in 0..rel.len() {
+            if bound.score_into(rel, row, &mut row_scores) {
+                scores.extend_from_slice(&row_scores);
+                vals.push(bound.agg_value(rel, row));
+            }
+        }
+        exec.stats_mut().tuples_scanned += rel.len() as u64;
+        Ok(Self { scores, vals, d })
+    }
+
+    fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.scores[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Folds every tuple admitted by `bounds` into `state` (the shared
+    /// full-query scan of the cached-score layers).
+    fn full_aggregate_into(&self, bounds: &[f64], state: &mut AggState) {
+        for i in 0..self.len() {
+            if self.row(i).iter().zip(bounds).all(|(s, b)| s <= b) {
+                state.update(self.vals[i]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CachedScoreEvaluator
+// ---------------------------------------------------------------------------
+
+/// Caches per-tuple scores; each query is a filter over the cache.
+#[derive(Debug)]
+pub struct CachedScoreEvaluator<'a> {
+    exec: &'a mut Executor,
+    rq: ResolvedQuery,
+    matrix: ScoreMatrix,
+}
+
+impl<'a> CachedScoreEvaluator<'a> {
+    /// Builds the evaluator (one base-relation materialisation plus one
+    /// scoring pass).
+    pub fn new(exec: &'a mut Executor, query: &AcqQuery, caps: &[f64]) -> EngineResult<Self> {
+        Self::with_threads(exec, query, caps, 1)
+    }
+
+    /// Like [`CachedScoreEvaluator::new`] but scores tuples on `threads`
+    /// worker threads (deterministic; identical matrix to a serial build).
+    pub fn with_threads(
+        exec: &'a mut Executor,
+        query: &AcqQuery,
+        caps: &[f64],
+        threads: usize,
+    ) -> EngineResult<Self> {
+        let rq = exec.resolve(query)?;
+        let rel = exec.base_relation(&rq, caps)?;
+        let matrix = ScoreMatrix::build_with_threads(exec, &rq, &rel, threads)?;
+        Ok(Self { exec, rq, matrix })
+    }
+}
+
+impl EvaluationLayer for CachedScoreEvaluator<'_> {
+    fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState> {
+        let stats = self.exec.stats_mut();
+        stats.cell_queries += 1;
+        stats.tuples_scanned += self.matrix.len() as u64;
+        let mut state = self.empty_state()?;
+        for i in 0..self.matrix.len() {
+            let row = self.matrix.row(i);
+            if row.iter().zip(cell).all(|(s, r)| r.contains(*s)) {
+                state.update(self.matrix.vals[i]);
+            }
+        }
+        Ok(state)
+    }
+
+    fn full_aggregate(&mut self, bounds: &[f64]) -> EngineResult<AggState> {
+        let stats = self.exec.stats_mut();
+        stats.full_queries += 1;
+        stats.tuples_scanned += self.matrix.len() as u64;
+        let mut state = self.empty_state()?;
+        self.matrix.full_aggregate_into(bounds, &mut state);
+        Ok(state)
+    }
+
+    fn empty_state(&self) -> EngineResult<AggState> {
+        AggState::empty(&self.rq.query.constraint.spec, self.exec.uda_registry())
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.exec.stats()
+    }
+
+    fn universe_size(&self) -> usize {
+        self.matrix.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GridIndexEvaluator
+// ---------------------------------------------------------------------------
+
+/// Buckets tuples by grid cell at construction; cell queries touch exactly
+/// their own tuples and provably empty cells are skipped (§7.4).
+#[derive(Debug)]
+pub struct GridIndexEvaluator<'a> {
+    exec: &'a mut Executor,
+    rq: ResolvedQuery,
+    matrix: ScoreMatrix,
+    cells: crate::fasthash::FastMap<GridPoint, CellBucket>,
+    step: f64,
+}
+
+#[derive(Debug)]
+struct CellBucket {
+    rows: Vec<u32>,
+}
+
+impl<'a> GridIndexEvaluator<'a> {
+    /// Builds the evaluator for searches over a grid of the given `step`
+    /// (PScore percent per unit — [`crate::RefinedSpace::step`]).
+    pub fn new(
+        exec: &'a mut Executor,
+        query: &AcqQuery,
+        caps: &[f64],
+        step: f64,
+    ) -> EngineResult<Self> {
+        Self::with_threads(exec, query, caps, step, 1)
+    }
+
+    /// Like [`GridIndexEvaluator::new`] but scores tuples on `threads`
+    /// worker threads (deterministic; identical buckets to a serial build).
+    pub fn with_threads(
+        exec: &'a mut Executor,
+        query: &AcqQuery,
+        caps: &[f64],
+        step: f64,
+        threads: usize,
+    ) -> EngineResult<Self> {
+        assert!(step > 0.0 && step.is_finite(), "grid step must be positive");
+        let rq = exec.resolve(query)?;
+        let rel = exec.base_relation(&rq, caps)?;
+        let matrix = ScoreMatrix::build_with_threads(exec, &rq, &rel, threads)?;
+        let mut cells: crate::fasthash::FastMap<GridPoint, CellBucket> =
+            crate::fasthash::FastMap::default();
+        let mut point = vec![0u32; rq.dims()];
+        for i in 0..matrix.len() {
+            for (k, &s) in matrix.row(i).iter().enumerate() {
+                point[k] = Self::bucket_of(s, step);
+            }
+            cells
+                .entry(point.clone())
+                .or_insert_with(|| CellBucket { rows: Vec::new() })
+                .rows
+                .push(i as u32);
+        }
+        Ok(Self {
+            exec,
+            rq,
+            matrix,
+            cells,
+            step,
+        })
+    }
+
+    /// The grid coordinate whose cell `(k-1)·step < s <= k·step` (with the
+    /// `s == 0 -> 0` convention) contains score `s`. Snapped so that the
+    /// bucket agrees with the comparison semantics of
+    /// [`CellRange::contains`] even at floating-point boundaries.
+    #[inline]
+    fn bucket_of(s: f64, step: f64) -> u32 {
+        if s <= 0.0 {
+            return 0;
+        }
+        let mut k = (s / step).ceil() as u32;
+        k = k.max(1);
+        // Snap to comparison-consistent bucket: the cell test is
+        // (k-1)*step < s <= k*step with multiplied bounds.
+        while k > 1 && s <= f64::from(k - 1) * step {
+            k -= 1;
+        }
+        while s > f64::from(k) * step {
+            k += 1;
+        }
+        k
+    }
+
+    /// Number of distinct occupied cells (index footprint gauge).
+    #[must_use]
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn point_of_cell(cell: &[CellRange], step: f64) -> GridPoint {
+        cell.iter()
+            .map(|r| match r {
+                CellRange::Zero => 0,
+                CellRange::Open { hi, .. } => (hi / step).round() as u32,
+            })
+            .collect()
+    }
+}
+
+impl EvaluationLayer for GridIndexEvaluator<'_> {
+    fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState> {
+        let point = Self::point_of_cell(cell, self.step);
+        let mut state = AggState::empty(&self.rq.query.constraint.spec, self.exec.uda_registry())?;
+        let stats = self.exec.stats_mut();
+        stats.cell_queries += 1;
+        stats.index_probes += 1;
+        match self.cells.get(&point) {
+            None => {
+                // Provably empty: skipped without execution (§7.4).
+                stats.cells_skipped += 1;
+            }
+            Some(bucket) => {
+                stats.tuples_scanned += bucket.rows.len() as u64;
+                for &i in &bucket.rows {
+                    state.update(self.matrix.vals[i as usize]);
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    fn full_aggregate(&mut self, bounds: &[f64]) -> EngineResult<AggState> {
+        let stats = self.exec.stats_mut();
+        stats.full_queries += 1;
+        stats.tuples_scanned += self.matrix.len() as u64;
+        let mut state = self.empty_state()?;
+        self.matrix.full_aggregate_into(bounds, &mut state);
+        Ok(state)
+    }
+
+    fn empty_state(&self) -> EngineResult<AggState> {
+        AggState::empty(&self.rq.query.constraint.spec, self.exec.uda_registry())
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.exec.stats()
+    }
+
+    fn universe_size(&self) -> usize {
+        self.matrix.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_engine::{Catalog, DataType, Field, TableBuilder, Value};
+    use acq_query::{AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide};
+
+    fn setup() -> (Executor, AcqQuery) {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+            ],
+        )
+        .unwrap();
+        for i in 0..100 {
+            b.push_row(vec![
+                Value::Float(f64::from(i)),
+                Value::Float(f64::from(i) * 2.0),
+            ]);
+        }
+        let mut cat = Catalog::new();
+        cat.register(b.finish().unwrap()).unwrap();
+        let q = AcqQuery::builder()
+            .table("t")
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "x"),
+                    Interval::new(0.0, 20.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 99.0)),
+            )
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "y"),
+                    Interval::new(0.0, 40.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 198.0)),
+            )
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 40.0))
+            .build()
+            .unwrap();
+        (Executor::new(cat), q)
+    }
+
+    fn caps() -> Vec<f64> {
+        vec![500.0, 500.0]
+    }
+
+    #[test]
+    fn all_layers_agree_on_cells_and_fulls() {
+        let step = 5.0;
+        let cells: Vec<Vec<CellRange>> = vec![
+            vec![CellRange::Zero, CellRange::Zero],
+            vec![CellRange::Open { lo: 0.0, hi: step }, CellRange::Zero],
+            vec![
+                CellRange::Open { lo: 0.0, hi: step },
+                CellRange::Open {
+                    lo: step,
+                    hi: 2.0 * step,
+                },
+            ],
+            vec![
+                CellRange::Open { lo: 45.0, hi: 50.0 },
+                CellRange::Open { lo: 45.0, hi: 50.0 },
+            ],
+        ];
+        let bounds: Vec<Vec<f64>> = vec![vec![0.0, 0.0], vec![10.0, 5.0], vec![100.0, 250.0]];
+
+        let (mut e1, q) = setup();
+        let mut scan = ScanEvaluator::new(&mut e1, &q, &caps()).unwrap();
+        let (mut e2, _) = setup();
+        let mut cached = CachedScoreEvaluator::new(&mut e2, &q, &caps()).unwrap();
+        let (mut e3, _) = setup();
+        let mut grid = GridIndexEvaluator::new(&mut e3, &q, &caps(), step).unwrap();
+
+        for cell in &cells {
+            let a = scan.cell_aggregate(cell).unwrap().value();
+            let b = cached.cell_aggregate(cell).unwrap().value();
+            let c = grid.cell_aggregate(cell).unwrap().value();
+            assert_eq!(a, b, "cell {cell:?}");
+            assert_eq!(a, c, "cell {cell:?}");
+        }
+        for b in &bounds {
+            let x = scan.full_aggregate(b).unwrap().value();
+            let y = cached.full_aggregate(b).unwrap().value();
+            let z = grid.full_aggregate(b).unwrap().value();
+            assert_eq!(x, y, "bounds {b:?}");
+            assert_eq!(x, z, "bounds {b:?}");
+        }
+    }
+
+    #[test]
+    fn grid_index_skips_empty_cells() {
+        let (mut exec, q) = setup();
+        let mut grid = GridIndexEvaluator::new(&mut exec, &q, &caps(), 5.0).unwrap();
+        // x and y are perfectly correlated (y = 2x); most off-diagonal cells
+        // are empty.
+        let empty = vec![
+            CellRange::Open { lo: 0.0, hi: 5.0 },
+            CellRange::Open {
+                lo: 400.0,
+                hi: 405.0,
+            },
+        ];
+        let s0 = grid.stats();
+        let a = grid.cell_aggregate(&empty).unwrap();
+        assert_eq!(a.value(), Some(0.0));
+        let s1 = grid.stats();
+        assert_eq!(s1.cells_skipped - s0.cells_skipped, 1);
+        assert_eq!(s1.tuples_scanned, s0.tuples_scanned, "no tuples touched");
+    }
+
+    #[test]
+    fn bucket_of_boundaries() {
+        let step = 5.0;
+        assert_eq!(GridIndexEvaluator::bucket_of(0.0, step), 0);
+        assert_eq!(GridIndexEvaluator::bucket_of(0.0001, step), 1);
+        assert_eq!(GridIndexEvaluator::bucket_of(5.0, step), 1);
+        assert_eq!(GridIndexEvaluator::bucket_of(5.0001, step), 2);
+        assert_eq!(GridIndexEvaluator::bucket_of(10.0, step), 2);
+        // Bucket agrees with CellRange::contains at awkward steps.
+        let step = 10.0 / 3.0;
+        for s in [step, 2.0 * step, 0.999 * step, 1.001 * step, 7.77] {
+            let k = GridIndexEvaluator::bucket_of(s, step);
+            let range = if k == 0 {
+                CellRange::Zero
+            } else {
+                CellRange::Open {
+                    lo: f64::from(k - 1) * step,
+                    hi: f64::from(k) * step,
+                }
+            };
+            assert!(range.contains(s), "score {s} bucket {k}");
+        }
+    }
+
+    #[test]
+    fn scan_counts_work_per_query() {
+        let (mut exec, q) = setup();
+        let mut scan = ScanEvaluator::new(&mut exec, &q, &caps()).unwrap();
+        let n = scan.universe_size() as u64;
+        let s0 = scan.stats();
+        let _ = scan
+            .cell_aggregate(&[CellRange::Zero, CellRange::Zero])
+            .unwrap();
+        let s1 = scan.stats();
+        assert_eq!(s1.cell_queries - s0.cell_queries, 1);
+        assert_eq!(s1.tuples_scanned - s0.tuples_scanned, n);
+    }
+
+    #[test]
+    fn parallel_scoring_matches_serial() {
+        let (mut e1, q) = setup();
+        let mut serial = CachedScoreEvaluator::new(&mut e1, &q, &caps()).unwrap();
+        let (mut e2, _) = setup();
+        let mut parallel = CachedScoreEvaluator::with_threads(&mut e2, &q, &caps(), 4).unwrap();
+        assert_eq!(serial.universe_size(), parallel.universe_size());
+        for bounds in [[0.0, 0.0], [25.0, 10.0], [500.0, 500.0]] {
+            assert_eq!(
+                serial.full_aggregate(&bounds).unwrap().value(),
+                parallel.full_aggregate(&bounds).unwrap().value(),
+                "bounds {bounds:?}"
+            );
+        }
+        let cell = vec![CellRange::Open { lo: 0.0, hi: 5.0 }, CellRange::Zero];
+        assert_eq!(
+            serial.cell_aggregate(&cell).unwrap().value(),
+            parallel.cell_aggregate(&cell).unwrap().value()
+        );
+    }
+
+    #[test]
+    fn universe_respects_caps() {
+        let (mut exec, q) = setup();
+        // Cap x at 30% (interval [0,20] -> up to 26), y unbounded-ish.
+        let scan = ScanEvaluator::new(&mut exec, &q, &[30.0, 1000.0]).unwrap();
+        // x <= 20 + 30% of 20 = 26 -> 27 rows.
+        assert_eq!(scan.universe_size(), 27);
+    }
+}

@@ -1,0 +1,462 @@
+//! Phase I: Expand — generating refined queries in refinement order (§4).
+//!
+//! The Expand phase must (1) stay within the proximity threshold and (2)
+//! emit queries whose QScores never decrease, so that the search can stop as
+//! soon as a query-layer containing an answer completes. For `Lp` norms this
+//! is Algorithm 1: a breadth-first search over the grid where each point's
+//! `d` neighbours increment one dimension by the unit step. For `L∞` it is
+//! Algorithm 2: explicit enumeration of the L-shaped layers `max_i u_i = k`.
+//!
+//! Both expanders additionally guarantee the *containment order* of Theorem
+//! 3: any grid query contained in `u` (component-wise `<= u`) is emitted
+//! before `u`, which is what lets the Explore phase reuse sub-aggregates.
+
+use std::collections::VecDeque;
+
+use crate::fasthash::FastSet;
+
+use crate::space::{GridPoint, RefinedSpace};
+
+/// A generator of grid queries in non-decreasing refinement order.
+pub trait Expander {
+    /// The next grid query, or `None` when the (limited) grid is exhausted.
+    fn next_query(&mut self) -> Option<GridPoint>;
+    /// The query-layer of a point under this expander's norm.
+    fn layer_of(&self, p: &[u32]) -> u64;
+    /// When `Some(k)`, the explorer may evict sub-aggregates of layers
+    /// strictly below `k` once `current_layer` is being investigated — the
+    /// layered expanders only ever reach one layer back. Best-first
+    /// expansion visits layers in an irregular order and returns `None`
+    /// (no eviction).
+    fn evictable_below(&self, current_layer: u64) -> Option<u64> {
+        Some(current_layer.saturating_sub(1))
+    }
+}
+
+/// Algorithm 1: breadth-first search over the refined-space grid, used for
+/// all `Lp` norms. Layers are L1 shells (`Σ u_i = k`).
+#[derive(Debug)]
+pub struct BfsExpander {
+    limits: Vec<u32>,
+    queue: VecDeque<GridPoint>,
+    /// Dedup set for the layer currently being *pushed*. A point in L1
+    /// layer `k + 1` is only ever generated while layer `k` is being
+    /// popped, so one layer's worth of entries suffices; the set is cleared
+    /// whenever the popped layer advances, bounding memory to a single
+    /// layer instead of the whole visited grid.
+    seen: FastSet<GridPoint>,
+    popped_layer: u64,
+}
+
+impl BfsExpander {
+    /// Starts the search at the origin of `space`.
+    #[must_use]
+    pub fn new(space: &RefinedSpace) -> Self {
+        Self {
+            limits: space.limits().to_vec(),
+            queue: VecDeque::from([space.origin()]),
+            seen: FastSet::default(),
+            popped_layer: 0,
+        }
+    }
+}
+
+impl Expander for BfsExpander {
+    fn next_query(&mut self) -> Option<GridPoint> {
+        let current = self.queue.pop_front()?;
+        let layer = RefinedSpace::l1_layer(&current);
+        if layer > self.popped_layer {
+            // All pushes now target layer + 1; the previous layer's dedup
+            // entries can never collide again.
+            self.seen.clear();
+            self.popped_layer = layer;
+        }
+        // GetNextNeighbor: increment each dimension by the unit step-size.
+        for i in 0..current.len() {
+            if current[i] < self.limits[i] {
+                let mut next = current.clone();
+                next[i] += 1;
+                if self.seen.insert(next.clone()) {
+                    self.queue.push_back(next);
+                }
+            }
+        }
+        Some(current)
+    }
+
+    fn layer_of(&self, p: &[u32]) -> u64 {
+        RefinedSpace::l1_layer(p)
+    }
+}
+
+/// Algorithm 2: sequential enumeration of the L-shaped `L∞` layers
+/// (`max_i u_i = k`), in lexicographic order within a layer so that
+/// contained queries still precede containing ones.
+#[derive(Debug)]
+pub struct LinfExpander {
+    limits: Vec<u32>,
+    layer: u64,
+    buffer: VecDeque<GridPoint>,
+    exhausted: bool,
+}
+
+impl LinfExpander {
+    /// Starts the enumeration at the origin of `space`.
+    #[must_use]
+    pub fn new(space: &RefinedSpace) -> Self {
+        let mut s = Self {
+            limits: space.limits().to_vec(),
+            layer: 0,
+            buffer: VecDeque::new(),
+            exhausted: false,
+        };
+        s.buffer.push_back(vec![0; space.dims()]);
+        s
+    }
+
+    /// Fills `buffer` with the shell `max_i u_i == layer` (respecting
+    /// per-dimension limits), in lexicographic order.
+    fn fill_layer(&mut self) {
+        let d = self.limits.len();
+        let k = self.layer;
+        if self.limits.iter().all(|&l| u64::from(l) < k) {
+            self.exhausted = true;
+            return;
+        }
+        let mut point = vec![0u32; d];
+        // Lexicographic odometer over the box [0, min(k, limit_i)] keeping
+        // only points whose maximum equals k.
+        let cap: Vec<u32> = self
+            .limits
+            .iter()
+            .map(|&l| l.min(k.min(u64::from(u32::MAX)) as u32))
+            .collect();
+        loop {
+            if point.iter().map(|&u| u64::from(u)).max().unwrap_or(0) == k {
+                self.buffer.push_back(point.clone());
+            }
+            // Increment odometer (last dimension fastest).
+            let mut i = d;
+            loop {
+                if i == 0 {
+                    return;
+                }
+                i -= 1;
+                if point[i] < cap[i] {
+                    point[i] += 1;
+                    for p in point.iter_mut().skip(i + 1) {
+                        *p = 0;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl Expander for LinfExpander {
+    fn next_query(&mut self) -> Option<GridPoint> {
+        while self.buffer.is_empty() && !self.exhausted {
+            self.layer += 1;
+            self.fill_layer();
+        }
+        self.buffer.pop_front()
+    }
+
+    fn layer_of(&self, p: &[u32]) -> u64 {
+        RefinedSpace::linf_layer(p)
+    }
+}
+
+/// Exact-order expansion for general `Lp` norms (an extension beyond the
+/// paper): Algorithm 1's breadth-first search emits queries in L1 layers,
+/// which coincide with QScore order only under the `L1` norm. This expander
+/// pops grid queries from a priority queue keyed by the *actual* QScore, so
+/// the driver's "stop when the answer layer closes" logic is exact for any
+/// `Lp` / weighted norm.
+///
+/// Containment order still holds: removing one unit from any coordinate
+/// strictly decreases every monotone norm, so a point's recurrence
+/// neighbours always pop first. The price is that no sub-aggregate layer
+/// can be evicted (visits interleave layers), so memory grows with the
+/// visited set.
+#[derive(Debug)]
+pub struct BestFirstExpander {
+    limits: Vec<u32>,
+    norm: acq_query::Norm,
+    step: f64,
+    heap: std::collections::BinaryHeap<HeapEntry>,
+    seen: FastSet<GridPoint>,
+    /// Quantisation of qscore into pseudo-layers for the driver (ties map
+    /// to the same layer).
+    layer_scale: f64,
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    qscore: f64,
+    point: GridPoint,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.qscore == other.qscore && self.point == other.point
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on qscore (BinaryHeap is a max-heap), lexicographic
+        // point order as a deterministic tie-break.
+        other
+            .qscore
+            .total_cmp(&self.qscore)
+            .then_with(|| other.point.cmp(&self.point))
+    }
+}
+
+impl BestFirstExpander {
+    /// Starts the search at the origin of `space`.
+    #[must_use]
+    pub fn new(space: &RefinedSpace) -> Self {
+        let mut s = Self {
+            limits: space.limits().to_vec(),
+            norm: space.norm().clone(),
+            step: space.step(),
+            heap: std::collections::BinaryHeap::new(),
+            seen: FastSet::default(),
+            layer_scale: 1024.0 / space.step().max(f64::MIN_POSITIVE),
+        };
+        let origin = space.origin();
+        s.seen.insert(origin.clone());
+        s.heap.push(HeapEntry {
+            qscore: 0.0,
+            point: origin,
+        });
+        s
+    }
+
+    fn qscore_of(&self, p: &[u32]) -> f64 {
+        let pscores: Vec<f64> = p.iter().map(|&u| f64::from(u) * self.step).collect();
+        self.norm.qscore(&pscores)
+    }
+}
+
+impl Expander for BestFirstExpander {
+    fn next_query(&mut self) -> Option<GridPoint> {
+        let HeapEntry { point, .. } = self.heap.pop()?;
+        for i in 0..point.len() {
+            if point[i] < self.limits[i] {
+                let mut next = point.clone();
+                next[i] += 1;
+                if self.seen.insert(next.clone()) {
+                    let qscore = self.qscore_of(&next);
+                    self.heap.push(HeapEntry {
+                        qscore,
+                        point: next,
+                    });
+                }
+            }
+        }
+        Some(point)
+    }
+
+    fn layer_of(&self, p: &[u32]) -> u64 {
+        // Quantised qscore: equal qscores share a layer, so the driver's
+        // answer-layer collection keeps exact ties together.
+        (self.qscore_of(p) * self.layer_scale).round() as u64
+    }
+
+    fn evictable_below(&self, _current_layer: u64) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcquireConfig;
+    use acq_query::{
+        AcqQuery, AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Norm, Predicate,
+        RefineSide,
+    };
+
+    fn space(d: usize, norm: Norm, limit_score: f64) -> RefinedSpace {
+        let mut b = AcqQuery::builder().table("t");
+        for i in 0..d {
+            b = b.predicate(
+                Predicate::select(
+                    ColRef::new("t", format!("x{i}")),
+                    Interval::new(0.0, 100.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 100.0 + limit_score)),
+            );
+        }
+        let q = b
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 10.0))
+            .build()
+            .unwrap();
+        RefinedSpace::new(&q, &AcquireConfig::default().with_norm(norm)).unwrap()
+    }
+
+    fn drain(mut e: impl Expander, max: usize) -> Vec<GridPoint> {
+        let mut out = Vec::new();
+        while let Some(p) = e.next_query() {
+            out.push(p);
+            if out.len() >= max {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn bfs_layers_nondecreasing_theorem2() {
+        // 2 dims, step 5, limits from domain: (limit_score=50)/5 = 10 units.
+        let s = space(2, Norm::L1, 50.0);
+        let e = BfsExpander::new(&s);
+        let pts = drain(e, 10_000);
+        // Exhaustive: (10+1)^2 points.
+        assert_eq!(pts.len(), 121);
+        let layers: Vec<u64> = pts.iter().map(|p| RefinedSpace::l1_layer(p)).collect();
+        assert!(layers.windows(2).all(|w| w[0] <= w[1]), "{layers:?}");
+        assert_eq!(pts[0], vec![0, 0]);
+    }
+
+    #[test]
+    fn bfs_emits_each_point_once() {
+        let s = space(3, Norm::L1, 20.0);
+        let pts = drain(BfsExpander::new(&s), 100_000);
+        let mut set = std::collections::HashSet::new();
+        for p in &pts {
+            assert!(set.insert(p.clone()), "duplicate {p:?}");
+        }
+        // limits: ceil(20 / (10/3)) = 6 -> 7^3 points.
+        assert_eq!(pts.len(), 343);
+    }
+
+    #[test]
+    fn bfs_containment_order_theorem3() {
+        let s = space(2, Norm::L1, 50.0);
+        let pts = drain(BfsExpander::new(&s), 10_000);
+        let pos = |p: &[u32]| pts.iter().position(|q| q == p).unwrap();
+        // Every point strictly contained in (3, 2) must come first.
+        for a in 0..=3u32 {
+            for b in 0..=2u32 {
+                if (a, b) != (3, 2) {
+                    assert!(pos(&[a, b]) < pos(&[3, 2]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linf_layers_nondecreasing_and_lexicographic() {
+        let s = space(2, Norm::LInf, 25.0); // limits = ceil(25/5) = 5 units
+        let pts = drain(LinfExpander::new(&s), 10_000);
+        assert_eq!(pts.len(), 36); // full 6x6 grid
+        let layers: Vec<u64> = pts.iter().map(|p| RefinedSpace::linf_layer(p)).collect();
+        assert!(layers.windows(2).all(|w| w[0] <= w[1]), "{layers:?}");
+        // Layer 1 of a 2-d grid is the L-shape {01,10,11}.
+        assert_eq!(&pts[1..4], &[vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn linf_containment_order_within_layer() {
+        let s = space(2, Norm::LInf, 25.0);
+        let pts = drain(LinfExpander::new(&s), 10_000);
+        let pos = |p: &[u32]| pts.iter().position(|q| q == p).unwrap();
+        // (3,1) is contained in (3,2): must be emitted first although both
+        // are in L∞ layer 3.
+        assert!(pos(&[3, 1]) < pos(&[3, 2]));
+        assert!(pos(&[1, 3]) < pos(&[2, 3]));
+    }
+
+    #[test]
+    fn expanders_respect_limits() {
+        let s = space(2, Norm::L1, 10.0); // limits = 2 units
+        let pts = drain(BfsExpander::new(&s), 1000);
+        assert_eq!(pts.len(), 9);
+        assert!(pts.iter().all(|p| p.iter().all(|&u| u <= 2)));
+        let s = space(2, Norm::LInf, 10.0);
+        let pts = drain(LinfExpander::new(&s), 1000);
+        assert_eq!(pts.len(), 9);
+    }
+
+    #[test]
+    fn best_first_orders_by_actual_lp_qscore() {
+        let s = space(2, Norm::Lp(2.0), 50.0);
+        let pts = drain(BestFirstExpander::new(&s), 10_000);
+        assert_eq!(pts.len(), 121, "exhaustive");
+        let q = |p: &[u32]| s.qscore(p);
+        for w in pts.windows(2) {
+            assert!(q(&w[0]) <= q(&w[1]) + 1e-9, "{:?} then {:?}", w[0], w[1]);
+        }
+        // BFS (Algorithm 1) violates exact L2 order inside its L1 layers:
+        // its FIFO emits (2,0) (L2 qscore 10) before (1,1) (qscore 7.07).
+        let bfs = drain(BfsExpander::new(&s), 10_000);
+        let pos = |pts: &[GridPoint], p: &[u32]| pts.iter().position(|x| x == p).unwrap();
+        assert!(pos(&bfs, &[2, 0]) < pos(&bfs, &[1, 1]), "BFS is L1-layered");
+        assert!(
+            pos(&pts, &[1, 1]) < pos(&pts, &[2, 0]),
+            "best-first respects the true L2 order"
+        );
+    }
+
+    #[test]
+    fn best_first_containment_order() {
+        let s = space(3, Norm::Lp(3.0), 20.0);
+        let pts = drain(BestFirstExpander::new(&s), 100_000);
+        assert_eq!(pts.len(), 343);
+        for (i, a) in pts.iter().enumerate() {
+            for b in pts.iter().skip(i + 1) {
+                let b_contained = b.iter().zip(a).all(|(x, y)| x <= y) && a != b;
+                assert!(!b_contained, "{b:?} contained in earlier {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_hints() {
+        let s = space(2, Norm::L1, 10.0);
+        assert_eq!(BfsExpander::new(&s).evictable_below(5), Some(4));
+        assert_eq!(LinfExpander::new(&s).evictable_below(5), Some(4));
+        assert_eq!(BestFirstExpander::new(&s).evictable_below(5), None);
+    }
+
+    #[test]
+    fn asymmetric_limits() {
+        // One dim capped at 0 via max_refinement.
+        let q = AcqQuery::builder()
+            .table("t")
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "a"),
+                    Interval::new(0.0, 10.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 10.0)), // no useful expansion
+            )
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "b"),
+                    Interval::new(0.0, 10.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 11.0)), // 10% -> 2 units
+            )
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 5.0))
+            .build()
+            .unwrap();
+        let s = RefinedSpace::new(&q, &AcquireConfig::default()).unwrap();
+        assert_eq!(s.limits(), &[0, 2]);
+        let pts = drain(BfsExpander::new(&s), 100);
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![0, 2]]);
+    }
+}

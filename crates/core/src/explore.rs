@@ -1,0 +1,266 @@
+//! Phase II: Explore — incremental aggregate computation (§5).
+//!
+//! A grid query `u = (u_1, …, u_d)` decomposes into `d + 1` sub-queries
+//! `O_1 … O_{d+1}` (cell, pillar, wall, …, block; Eq. 5–8): `O_j` fixes
+//! dimensions `j..d` to the bucket `u_i` and lets dimensions `1..j-1` range
+//! over `0..u_i`. Only `O_1` — the **cell** — is unique to the query; every
+//! other sub-query satisfies the recurrence
+//!
+//! ```text
+//! O_i(u) = O_{i-1}(u) + O_i(u_1, …, u_{i-1} - 1, …, u_d)      (Eq. 17)
+//! ```
+//!
+//! whose right-hand terms were stored when the *contained* queries were
+//! investigated (Theorem 3 guarantees they come first). `O_{d+1}` is the
+//! whole refined query. So each grid query costs exactly **one cell query**
+//! against the evaluation layer plus `d` constant-time merges — ACQUIRE
+//! "evaluates a large number of refined queries at a cost that is a fraction
+//! of the execution time for a single query" (§3).
+
+use acq_engine::{AggState, EngineResult};
+
+use crate::eval::EvaluationLayer;
+use crate::space::{GridPoint, RefinedSpace};
+use crate::store::AggStore;
+
+/// The Explore phase: owns the sub-aggregate store and applies Algorithm 3.
+#[derive(Debug, Default)]
+pub struct Explorer {
+    store: AggStore,
+}
+
+impl Explorer {
+    /// An explorer with an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Algorithm 3 (`ComputeAggregate`): computes the aggregate of the grid
+    /// query `point`, executing only its cell sub-query and combining stored
+    /// sub-aggregates of already-investigated neighbours.
+    ///
+    /// `layer` is the query-layer `point` is investigated in (used for store
+    /// eviction). Panics if a required neighbour was never investigated —
+    /// that would violate the Expand phase's containment order (Theorem 3).
+    pub fn compute_aggregate<E: EvaluationLayer>(
+        &mut self,
+        eval: &mut E,
+        space: &RefinedSpace,
+        point: &GridPoint,
+        layer: u64,
+    ) -> EngineResult<AggState> {
+        let d = space.dims();
+        let mut states: Vec<AggState> = Vec::with_capacity(d + 1);
+        // A[0] = O_1: the only execution against the evaluation layer.
+        states.push(eval.cell_aggregate(&space.cell(point))?);
+        // A[j] = O_{j+1}(u) = O_j(u) + O_{j+1}(u - e_j), j = 1..d.
+        // One scratch buffer serves every neighbour lookup (this loop runs
+        // once per grid query — millions of times in deep searches).
+        let mut prev = point.clone();
+        for j in 1..=d {
+            let mut s = states[j - 1].clone();
+            if point[j - 1] > 0 {
+                prev[j - 1] -= 1;
+                let prev_states = self.store.get(&prev).unwrap_or_else(|| {
+                    panic!(
+                        "contained query {prev:?} must be investigated before {point:?} \
+                         (Theorem 3)"
+                    )
+                });
+                s.merge(&prev_states[j])?;
+                prev[j - 1] += 1;
+            }
+            states.push(s);
+        }
+        let result = states[d].clone();
+        self.store.insert(prev, layer, states.into_boxed_slice());
+        Ok(result)
+    }
+
+    /// Evicts stored sub-aggregates from layers strictly below `min_layer`
+    /// (the recurrence never reaches further back than one layer).
+    pub fn evict_below(&mut self, min_layer: u64) {
+        self.store.evict_below(min_layer);
+    }
+
+    /// The underlying store (memory gauges for experiments).
+    #[must_use]
+    pub fn store(&self) -> &AggStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcquireConfig;
+    use crate::eval::{CachedScoreEvaluator, EvaluationLayer, ScanEvaluator};
+    use crate::expand::{BfsExpander, Expander};
+    use acq_engine::{Catalog, DataType, Executor, Field, TableBuilder, Value};
+    use acq_query::{
+        AcqQuery, AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random 2-column data + 2-predicate COUNT query.
+    fn setup(seed: u64, n: usize) -> (Executor, AcqQuery) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+            ],
+        )
+        .unwrap();
+        for _ in 0..n {
+            b.push_row(vec![
+                Value::Float(rng.gen_range(0.0..100.0)),
+                Value::Float(rng.gen_range(0.0..100.0)),
+            ]);
+        }
+        let mut cat = Catalog::new();
+        cat.register(b.finish().unwrap()).unwrap();
+        let q = AcqQuery::builder()
+            .table("t")
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "x"),
+                    Interval::new(0.0, 20.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 100.0)),
+            )
+            .predicate(
+                Predicate::select(
+                    ColRef::new("t", "y"),
+                    Interval::new(0.0, 30.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 100.0)),
+            )
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 100.0))
+            .build()
+            .unwrap();
+        (Executor::new(cat), q)
+    }
+
+    /// The paper's core invariant: the incremental aggregate of every grid
+    /// query equals naive full re-execution of that refined query.
+    #[test]
+    fn incremental_equals_naive_full_execution() {
+        let (mut exec, q) = setup(42, 500);
+        let cfg = AcquireConfig::default();
+        let space = RefinedSpace::new(&q, &cfg).unwrap();
+        let caps = space.caps();
+        let mut eval = ScanEvaluator::new(&mut exec, &q, &caps).unwrap();
+        let mut explorer = Explorer::new();
+        let mut expander = BfsExpander::new(&space);
+        let mut checked = 0;
+        while let Some(point) = expander.next_query() {
+            let layer = RefinedSpace::l1_layer(&point);
+            if layer > 12 {
+                break;
+            }
+            let inc = explorer
+                .compute_aggregate(&mut eval, &space, &point, layer)
+                .unwrap()
+                .value();
+            let naive = eval.full_aggregate(&space.bounds(&point)).unwrap().value();
+            assert_eq!(inc, naive, "point {point:?}");
+            checked += 1;
+        }
+        assert!(checked > 50, "checked {checked} points");
+    }
+
+    #[test]
+    fn incremental_matches_for_sum_min_max_avg() {
+        for spec in [
+            AggregateSpec::sum(ColRef::new("t", "y")),
+            AggregateSpec::min(ColRef::new("t", "y")),
+            AggregateSpec::max(ColRef::new("t", "y")),
+            AggregateSpec::avg(ColRef::new("t", "y")),
+        ] {
+            let (mut exec, mut q) = setup(7, 400);
+            q.constraint = AggConstraint::new(spec.clone(), CmpOp::Ge, 100.0);
+            let cfg = AcquireConfig::default();
+            let space = RefinedSpace::new(&q, &cfg).unwrap();
+            let caps = space.caps();
+            let mut eval = CachedScoreEvaluator::new(&mut exec, &q, &caps).unwrap();
+            let mut explorer = Explorer::new();
+            let mut expander = BfsExpander::new(&space);
+            while let Some(point) = expander.next_query() {
+                let layer = RefinedSpace::l1_layer(&point);
+                if layer > 10 {
+                    break;
+                }
+                let inc = explorer
+                    .compute_aggregate(&mut eval, &space, &point, layer)
+                    .unwrap()
+                    .value();
+                let naive = eval.full_aggregate(&space.bounds(&point)).unwrap().value();
+                match (inc, naive) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-9, "{spec:?} at {point:?}: {a} vs {b}")
+                    }
+                    (a, b) => assert_eq!(a, b, "{spec:?} at {point:?}"),
+                }
+            }
+        }
+    }
+
+    /// §5.1: once a query region has been executed it is never re-executed;
+    /// each grid point costs exactly one cell query.
+    #[test]
+    fn one_cell_query_per_grid_point() {
+        let (mut exec, q) = setup(3, 300);
+        let cfg = AcquireConfig::default();
+        let space = RefinedSpace::new(&q, &cfg).unwrap();
+        let caps = space.caps();
+        let mut eval = ScanEvaluator::new(&mut exec, &q, &caps).unwrap();
+        let mut explorer = Explorer::new();
+        let mut expander = BfsExpander::new(&space);
+        let mut points = 0u64;
+        while let Some(point) = expander.next_query() {
+            let layer = RefinedSpace::l1_layer(&point);
+            if layer > 8 {
+                break;
+            }
+            let _ = explorer
+                .compute_aggregate(&mut eval, &space, &point, layer)
+                .unwrap();
+            points += 1;
+        }
+        assert_eq!(eval.stats().cell_queries, points);
+        assert_eq!(eval.stats().full_queries, 0);
+    }
+
+    #[test]
+    fn eviction_keeps_recent_layers_usable() {
+        let (mut exec, q) = setup(11, 200);
+        let cfg = AcquireConfig::default();
+        let space = RefinedSpace::new(&q, &cfg).unwrap();
+        let caps = space.caps();
+        let mut eval = CachedScoreEvaluator::new(&mut exec, &q, &caps).unwrap();
+        let mut explorer = Explorer::new();
+        let mut expander = BfsExpander::new(&space);
+        let mut last_layer = 0u64;
+        while let Some(point) = expander.next_query() {
+            let layer = RefinedSpace::l1_layer(&point);
+            if layer > 6 {
+                break;
+            }
+            if layer > last_layer {
+                explorer.evict_below(layer.saturating_sub(1));
+                last_layer = layer;
+            }
+            // Must not panic: previous layer still present.
+            let _ = explorer
+                .compute_aggregate(&mut eval, &space, &point, layer)
+                .unwrap();
+        }
+        assert!(explorer.store().peak_len() < explorer.store().len() + 10_000);
+    }
+}

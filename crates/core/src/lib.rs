@@ -1,0 +1,62 @@
+//! # acquire-core — the ACQUIRE refinement framework
+//!
+//! Implements the paper's contribution end to end:
+//!
+//! * [`RefinedSpace`] — the d-dimensional grid abstraction over predicate
+//!   refinement scores, with step size `γ/d` (§4, Theorem 1);
+//! * **Expand** — [`expand::BfsExpander`] (Algorithm 1, breadth-first over
+//!   the grid for `Lp` norms) and [`expand::LinfExpander`] (Algorithm 2,
+//!   per-layer enumeration for `L∞`), both emitting grid queries in
+//!   non-decreasing refinement order (Theorem 2);
+//! * **Explore** — [`explore::Explorer`], the incremental aggregate
+//!   computation of §5: each grid query decomposes into `d + 1` sub-queries
+//!   (cell/pillar/wall/block, Eq. 5–8) of which only the *cell* is executed;
+//!   the rest come from the recurrence `O_i(u) = O_{i-1}(u) + O_i(u -
+//!   e_{i-1})` (Eq. 17, Algorithm 3), so no region of data is ever executed
+//!   twice;
+//! * **evaluation layers** — the modular execution backends of Fig. 2:
+//!   [`ScanEvaluator`] re-executes every cell query against the engine
+//!   (what the paper's Postgres deployment does), [`CachedScoreEvaluator`]
+//!   caches per-tuple scores, and [`GridIndexEvaluator`] pre-buckets tuples
+//!   by grid cell so empty cells are skipped without execution (§7.4);
+//! * the **driver** — [`acquire`] / [`run_acquire`], Algorithm 4 with the
+//!   aggregate-error threshold `δ`, proximity threshold `γ`, answer-layer
+//!   collection, and cell repartitioning for overshooting queries;
+//! * **contraction** (§7.2) — [`contract`] / [`run_contraction`] handles
+//!   queries that return too much by searching the space between `Q'_min`
+//!   (every predicate at its minimum) and `Q`, minimising refinement with
+//!   respect to `Q`.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod bitmap_eval;
+mod config;
+mod contraction;
+mod driver;
+mod error;
+mod estimate;
+mod eval;
+pub mod expand;
+pub mod explore;
+pub mod fasthash;
+mod repartition;
+mod result;
+mod session;
+mod space;
+mod store;
+
+pub use bitmap_eval::BitmapIndexEvaluator;
+pub use config::AcquireConfig;
+pub use contraction::{contract, contraction_query, run_contraction};
+pub use driver::{acquire, run_acquire};
+pub use error::CoreError;
+pub use estimate::HistogramEstimator;
+pub use eval::{
+    CachedScoreEvaluator, EvalLayerKind, EvaluationLayer, GridIndexEvaluator, ScanEvaluator,
+};
+pub use repartition::repartition;
+pub use result::{AcqOutcome, RefinedQueryResult};
+pub use session::Session;
+pub use space::{GridPoint, RefinedSpace};
+pub use store::AggStore;

@@ -1,0 +1,210 @@
+//! Interactive refinement sessions.
+//!
+//! The paper's motivating workflow is interactive: Alice states her
+//! demographic criteria once, then iterates on the audience size as the
+//! budget changes (§1). Re-running [`crate::run_acquire`] per target would
+//! re-materialise the base relation and re-score every tuple each time;
+//! a [`Session`] prepares the evaluation layer once and answers any number
+//! of targets (and thresholds) against it.
+//!
+//! ```
+//! use acq_engine::{Catalog, DataType, Executor, Field, TableBuilder, Value};
+//! use acq_query::{AcqQuery, AggConstraint, AggregateSpec, CmpOp, ColRef, Interval,
+//!                 Predicate, RefineSide};
+//! use acquire_core::{AcquireConfig, Session};
+//!
+//! let mut b = TableBuilder::new("t", vec![Field::new("x", DataType::Float)])?;
+//! for i in 0..1000 {
+//!     b.push_row(vec![Value::Float(i as f64 * 0.1)]);
+//! }
+//! let mut catalog = Catalog::new();
+//! catalog.register(b.finish()?)?;
+//!
+//! let query = AcqQuery::builder()
+//!     .table("t")
+//!     .predicate(Predicate::select(
+//!         ColRef::new("t", "x"),
+//!         Interval::new(0.0, 10.0),
+//!         RefineSide::Upper,
+//!     ))
+//!     .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 150.0))
+//!     .build()?;
+//!
+//! let mut exec = Executor::new(catalog);
+//! let mut session = Session::new(&mut exec, &query, &AcquireConfig::default())?;
+//! let a = session.run(150.0)?; // first budget
+//! let b = session.run(400.0)?; // Alice doubles the budget — no re-scan
+//! assert!(a.satisfied && b.satisfied);
+//! assert!(b.best().unwrap().qscore > a.best().unwrap().qscore);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use acq_engine::Executor;
+use acq_query::AcqQuery;
+
+use crate::config::AcquireConfig;
+use crate::driver::acquire;
+use crate::error::CoreError;
+use crate::eval::GridIndexEvaluator;
+use crate::result::AcqOutcome;
+use crate::space::RefinedSpace;
+
+/// A prepared ACQ whose aggregate target can be varied interactively; the
+/// evaluation layer (base relation, score matrix, cell buckets) is built
+/// once at construction.
+#[derive(Debug)]
+pub struct Session<'e> {
+    eval: GridIndexEvaluator<'e>,
+    query: AcqQuery,
+    cfg: AcquireConfig,
+}
+
+impl<'e> Session<'e> {
+    /// Prepares the session: resolves the query, fills predicate domains,
+    /// materialises the base relation and buckets every tuple by grid cell.
+    pub fn new(
+        exec: &'e mut Executor,
+        query: &AcqQuery,
+        cfg: &AcquireConfig,
+    ) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let mut query = query.clone();
+        exec.populate_domains(&mut query)?;
+        query.validate_with_norm(&cfg.norm)?;
+        let space = RefinedSpace::new(&query, cfg)?;
+        let caps = space.caps();
+        let eval = GridIndexEvaluator::new(exec, &query, &caps, space.step())?;
+        Ok(Self {
+            eval,
+            query,
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// The prepared query (with the most recent target).
+    #[must_use]
+    pub fn query(&self) -> &AcqQuery {
+        &self.query
+    }
+
+    /// Runs the search for a new aggregate target over the prepared layer.
+    pub fn run(&mut self, target: f64) -> Result<AcqOutcome, CoreError> {
+        self.query.constraint.target = target;
+        acquire(&mut self.eval, &self.query, &self.cfg)
+    }
+
+    /// Runs with a different error threshold `δ` for this run only (the
+    /// other knobs — `γ`, the norm — shape the prepared grid and stay
+    /// fixed; the session's configured `δ` is restored afterwards).
+    pub fn run_with_delta(&mut self, target: f64, delta: f64) -> Result<AcqOutcome, CoreError> {
+        let saved = self.cfg.delta;
+        self.cfg.delta = delta;
+        let out = self.run(target);
+        self.cfg.delta = saved;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvaluationLayer;
+    use acq_engine::{Catalog, DataType, Field, TableBuilder, Value};
+    use acq_query::{AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide};
+
+    fn setup() -> (Executor, AcqQuery) {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+            ],
+        )
+        .unwrap();
+        for i in 0..2_000 {
+            b.push_row(vec![
+                Value::Float(f64::from(i % 100)),
+                Value::Float(f64::from(i / 20)),
+            ]);
+        }
+        let mut cat = Catalog::new();
+        cat.register(b.finish().unwrap()).unwrap();
+        let q = AcqQuery::builder()
+            .table("t")
+            .predicate(Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(0.0, 20.0),
+                RefineSide::Upper,
+            ))
+            .predicate(Predicate::select(
+                ColRef::new("t", "y"),
+                Interval::new(0.0, 20.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 100.0))
+            .build()
+            .unwrap();
+        (Executor::new(cat), q)
+    }
+
+    #[test]
+    fn successive_targets_reuse_the_prepared_layer() {
+        let (mut exec, q) = setup();
+        let mut session = Session::new(&mut exec, &q, &AcquireConfig::default()).unwrap();
+        let scanned_after_build = session.eval.stats().tuples_scanned;
+
+        let a = session.run(800.0).unwrap();
+        assert!(a.satisfied);
+        let b = session.run(1_500.0).unwrap();
+        assert!(b.satisfied);
+        // No further base-relation scans: only cell-bucket visits, which
+        // touch each admissible tuple at most once per search.
+        let scanned_after_runs = session.eval.stats().tuples_scanned;
+        assert!(
+            scanned_after_runs <= scanned_after_build + 4 * 2_000,
+            "layers must be reused: {scanned_after_build} -> {scanned_after_runs}"
+        );
+        // Bigger target needs strictly more refinement.
+        assert!(b.best().unwrap().qscore > a.best().unwrap().qscore);
+    }
+
+    #[test]
+    fn session_matches_one_shot_runs() {
+        let (mut exec, q) = setup();
+        let cfg = AcquireConfig::default();
+        let mut session = Session::new(&mut exec, &q, &cfg).unwrap();
+        let via_session = session.run(800.0).unwrap();
+
+        let (mut exec2, mut q2) = setup();
+        q2.constraint.target = 800.0;
+        let one_shot = crate::driver::run_acquire(
+            &mut exec2,
+            &q2,
+            &cfg,
+            crate::eval::EvalLayerKind::GridIndex,
+        )
+        .unwrap();
+        assert_eq!(via_session.satisfied, one_shot.satisfied);
+        assert_eq!(
+            via_session.best().map(|r| (r.qscore, r.aggregate)),
+            one_shot.best().map(|r| (r.qscore, r.aggregate))
+        );
+    }
+
+    #[test]
+    fn delta_can_vary_per_run() {
+        let (mut exec, q) = setup();
+        let mut session = Session::new(&mut exec, &q, &AcquireConfig::default()).unwrap();
+        let loose = session.run_with_delta(777.0, 0.1).unwrap();
+        let tight = session.run_with_delta(777.0, 0.001).unwrap();
+        assert!(loose.satisfied);
+        if tight.satisfied {
+            assert!(tight.best().unwrap().error <= 0.001 + 1e-12);
+        }
+        // The per-run delta does not stick: a plain run() is back at the
+        // session's configured threshold (0.05), not the 0.001 above.
+        let after = session.run(777.0).unwrap();
+        assert!(after.satisfied);
+        assert!(after.best().unwrap().error <= 0.05 + 1e-12);
+    }
+}

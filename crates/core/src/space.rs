@@ -1,0 +1,247 @@
+//! The Refined Space abstraction (§4).
+//!
+//! Given an original query `Q` with `d` flexible predicates, `RS(Q)` is a
+//! d-dimensional space whose origin is `Q` and whose axes measure individual
+//! predicate refinement (PScore percent). ACQUIRE divides it into a grid of
+//! step `γ/d`; Theorem 1 shows that some grid query then satisfies the
+//! proximity threshold `γ` with respect to the optimal refinement. Every
+//! grid point *is* a refined query, and every unit hyper-cube is a *cell*
+//! sub-query (§5.1.1).
+
+use acq_engine::CellRange;
+use acq_query::{AcqQuery, Norm};
+
+use crate::config::AcquireConfig;
+use crate::error::CoreError;
+
+/// A grid query: per-dimension refinement in units of the grid step.
+pub type GridPoint = Vec<u32>;
+
+/// The refined space `RS(Q)` of a query: grid step, per-dimension limits,
+/// and the norm scoring its points.
+#[derive(Debug, Clone)]
+pub struct RefinedSpace {
+    step: f64,
+    limits: Vec<u32>,
+    norm: Norm,
+}
+
+impl RefinedSpace {
+    /// Builds the refined space for `query` under `cfg`.
+    ///
+    /// Per-dimension limits come from each predicate's
+    /// [`acq_query::Predicate::max_useful_score`] (expansion past the
+    /// attribute domain admits nothing new), clamped by
+    /// `cfg.max_units_per_dim` when the domain is unknown.
+    pub fn new(query: &AcqQuery, cfg: &AcquireConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        query.validate_with_norm(&cfg.norm)?;
+        let d = query.dims();
+        let step = cfg.gamma / d as f64;
+        let limits = query
+            .flexible()
+            .iter()
+            .map(|&i| {
+                let p = &query.predicates[i];
+                match p.max_useful_score() {
+                    Some(m) if m.is_finite() => {
+                        ((m / step).ceil() as u64).min(u64::from(cfg.max_units_per_dim)) as u32
+                    }
+                    _ => cfg.max_units_per_dim,
+                }
+            })
+            .collect();
+        Ok(Self {
+            step,
+            limits,
+            norm: cfg.norm.clone(),
+        })
+    }
+
+    /// Number of dimensions `d`.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.limits.len()
+    }
+
+    /// The grid step `γ/d`, in PScore percent.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Per-dimension upper limits (inclusive), in grid units.
+    #[must_use]
+    pub fn limits(&self) -> &[u32] {
+        &self.limits
+    }
+
+    /// The origin (the original query).
+    #[must_use]
+    pub fn origin(&self) -> GridPoint {
+        vec![0; self.dims()]
+    }
+
+    /// The norm used to score points.
+    #[must_use]
+    pub fn norm(&self) -> &Norm {
+        &self.norm
+    }
+
+    /// The PScore vector of a grid point (units × step).
+    #[must_use]
+    pub fn pscores(&self, p: &[u32]) -> Vec<f64> {
+        debug_assert_eq!(p.len(), self.dims());
+        p.iter().map(|&u| f64::from(u) * self.step).collect()
+    }
+
+    /// The QScore of a grid point under the space's norm.
+    #[must_use]
+    pub fn qscore(&self, p: &[u32]) -> f64 {
+        self.norm.qscore(&self.pscores(p))
+    }
+
+    /// The refinement bounds of the grid point, identical to its PScores —
+    /// what [`crate::EvaluationLayer::full_aggregate`] consumes.
+    #[must_use]
+    pub fn bounds(&self, p: &[u32]) -> Vec<f64> {
+        self.pscores(p)
+    }
+
+    /// The cell sub-query of a grid point (§5.1.1): coordinate `0` selects
+    /// tuples already satisfying the predicate; coordinate `k >= 1` selects
+    /// the half-open score bucket `((k-1)·step, k·step]`.
+    #[must_use]
+    pub fn cell(&self, p: &[u32]) -> Vec<CellRange> {
+        p.iter()
+            .map(|&u| {
+                if u == 0 {
+                    CellRange::Zero
+                } else {
+                    CellRange::Open {
+                        lo: f64::from(u - 1) * self.step,
+                        hi: f64::from(u) * self.step,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Per-dimension PScore caps for evaluation-layer construction: the
+    /// largest score any grid query in this space can request.
+    #[must_use]
+    pub fn caps(&self) -> Vec<f64> {
+        self.limits
+            .iter()
+            .map(|&u| f64::from(u) * self.step)
+            .collect()
+    }
+
+    /// Whether `p` lies within the per-dimension limits.
+    #[must_use]
+    pub fn in_limits(&self, p: &[u32]) -> bool {
+        p.iter().zip(&self.limits).all(|(u, l)| u <= l)
+    }
+
+    /// The L1 layer of a point (sum of units): the BFS query-layer for `Lp`
+    /// norms (Theorem 2).
+    #[must_use]
+    pub fn l1_layer(p: &[u32]) -> u64 {
+        p.iter().map(|&u| u64::from(u)).sum()
+    }
+
+    /// The L∞ layer of a point (max unit): the query-layer for Algorithm 2.
+    #[must_use]
+    pub fn linf_layer(p: &[u32]) -> u64 {
+        p.iter().map(|&u| u64::from(u)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_query::{AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide};
+
+    fn query(d: usize) -> AcqQuery {
+        let mut b = AcqQuery::builder().table("t");
+        for i in 0..d {
+            b = b.predicate(
+                Predicate::select(
+                    ColRef::new("t", format!("x{i}")),
+                    Interval::new(0.0, 100.0),
+                    RefineSide::Upper,
+                )
+                .with_domain(Interval::new(0.0, 1000.0)),
+            );
+        }
+        b.constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 10.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn step_is_gamma_over_d() {
+        let cfg = AcquireConfig::default(); // gamma = 10
+        let s2 = RefinedSpace::new(&query(2), &cfg).unwrap();
+        assert!((s2.step() - 5.0).abs() < 1e-12);
+        let s4 = RefinedSpace::new(&query(4), &cfg).unwrap();
+        assert!((s4.step() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limits_follow_domains() {
+        // Domain [0,1000], interval [0,100]: max useful score = 900%.
+        let cfg = AcquireConfig::default();
+        let s = RefinedSpace::new(&query(2), &cfg).unwrap();
+        // step = 5 -> limit = ceil(900/5) = 180.
+        assert_eq!(s.limits(), &[180, 180]);
+    }
+
+    #[test]
+    fn pscores_qscore_and_example3() {
+        let cfg = AcquireConfig::default();
+        let s = RefinedSpace::new(&query(2), &cfg).unwrap();
+        // The paper's Fig. 3: Q3' with PScore (0, 20) is the grid point
+        // (0, 4) under step 5 and has QScore 20 under L1.
+        let p = vec![0u32, 4];
+        assert_eq!(s.pscores(&p), vec![0.0, 20.0]);
+        assert!((s.qscore(&p) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_ranges() {
+        let cfg = AcquireConfig::default();
+        let s = RefinedSpace::new(&query(2), &cfg).unwrap();
+        let cell = s.cell(&[0, 3]);
+        assert_eq!(cell[0], CellRange::Zero);
+        assert_eq!(cell[1], CellRange::Open { lo: 10.0, hi: 15.0 });
+    }
+
+    #[test]
+    fn caps_and_limits() {
+        let cfg = AcquireConfig::default();
+        let s = RefinedSpace::new(&query(2), &cfg).unwrap();
+        assert_eq!(s.caps(), vec![900.0, 900.0]);
+        assert!(s.in_limits(&[180, 0]));
+        assert!(!s.in_limits(&[181, 0]));
+    }
+
+    #[test]
+    fn unknown_domain_falls_back_to_config_cap() {
+        let mut q = query(1);
+        q.predicates[0].domain = None;
+        let cfg = AcquireConfig {
+            max_units_per_dim: 42,
+            ..Default::default()
+        };
+        let s = RefinedSpace::new(&q, &cfg).unwrap();
+        assert_eq!(s.limits(), &[42]);
+    }
+
+    #[test]
+    fn layers() {
+        assert_eq!(RefinedSpace::l1_layer(&[2, 3, 0]), 5);
+        assert_eq!(RefinedSpace::linf_layer(&[2, 3, 0]), 3);
+        assert_eq!(RefinedSpace::linf_layer(&[]), 0);
+    }
+}

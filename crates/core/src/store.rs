@@ -1,0 +1,91 @@
+//! Storage of per-grid-query sub-aggregates.
+//!
+//! §5.1.1: *"We must store only the aggregate values for the d + 1
+//! sub-queries"* of each investigated grid query. The recurrence (Eq. 17)
+//! only reaches back one unit along each axis, i.e. one query-layer, so the
+//! store evicts layers that can no longer be referenced, bounding memory to
+//! two layers' worth of states.
+
+use acq_engine::AggState;
+
+use crate::fasthash::FastMap;
+
+use crate::space::GridPoint;
+
+/// Sub-aggregate store keyed by grid point.
+#[derive(Debug, Default)]
+pub struct AggStore {
+    map: FastMap<GridPoint, (u64, Box<[AggState]>)>,
+    peak_len: usize,
+}
+
+impl AggStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts the `d + 1` sub-aggregates of `point` (investigated in
+    /// query-layer `layer`).
+    pub fn insert(&mut self, point: GridPoint, layer: u64, states: Box<[AggState]>) {
+        self.map.insert(point, (layer, states));
+        self.peak_len = self.peak_len.max(self.map.len());
+    }
+
+    /// The stored sub-aggregates of `point`, if still retained.
+    #[must_use]
+    pub fn get(&self, point: &[u32]) -> Option<&[AggState]> {
+        self.map.get(point).map(|(_, s)| s.as_ref())
+    }
+
+    /// Evicts every entry from layers strictly below `min_layer`; the
+    /// recurrence never reaches further back than the previous layer.
+    pub fn evict_below(&mut self, min_layer: u64) {
+        self.map.retain(|_, (layer, _)| *layer >= min_layer);
+    }
+
+    /// Number of currently retained points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Largest number of points ever retained simultaneously (a memory
+    /// gauge for the experiments).
+    #[must_use]
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn states(n: u64) -> Box<[AggState]> {
+        vec![AggState::Count(n)].into_boxed_slice()
+    }
+
+    #[test]
+    fn insert_get_evict() {
+        let mut s = AggStore::new();
+        s.insert(vec![0, 0], 0, states(1));
+        s.insert(vec![1, 0], 1, states(2));
+        s.insert(vec![1, 1], 2, states(3));
+        assert_eq!(s.len(), 3);
+        assert!(s.get(&[1, 0]).is_some());
+        s.evict_below(2);
+        assert!(s.get(&[0, 0]).is_none());
+        assert!(s.get(&[1, 0]).is_none());
+        assert!(s.get(&[1, 1]).is_some());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.peak_len(), 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Failure-injection tests: engine-level failures surface as typed errors
+//! through the driver instead of panics or silent wrong answers.
+
+use acq_engine::{Catalog, DataType, Executor, Field, TableBuilder, Value};
+use acq_query::{
+    AcqQuery, AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide,
+};
+use acquire_core::{run_acquire, AcquireConfig, CoreError, EvalLayerKind};
+
+fn table(name: &str, rows: usize) -> acq_engine::Table {
+    let mut b = TableBuilder::new(
+        name,
+        vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ],
+    )
+    .unwrap();
+    for i in 0..rows {
+        b.push_row(vec![Value::Int(i as i64), Value::Float(i as f64)]);
+    }
+    b.finish().unwrap()
+}
+
+fn base_query() -> AcqQuery {
+    AcqQuery::builder()
+        .table("a")
+        .predicate(Predicate::select(
+            ColRef::new("a", "v"),
+            Interval::new(0.0, 10.0),
+            RefineSide::Upper,
+        ))
+        .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 5.0))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn unknown_table_surfaces() {
+    let mut exec = Executor::new(Catalog::new());
+    let err = run_acquire(
+        &mut exec,
+        &base_query(),
+        &AcquireConfig::default(),
+        EvalLayerKind::Scan,
+    )
+    .unwrap_err();
+    assert!(matches!(err, CoreError::Engine(_)), "{err}");
+    assert!(err.to_string().contains("unknown table"), "{err}");
+}
+
+#[test]
+fn unknown_column_surfaces() {
+    let mut cat = Catalog::new();
+    cat.register(table("a", 10)).unwrap();
+    let mut q = base_query();
+    q.predicates[0] = Predicate::select(
+        ColRef::new("a", "nope"),
+        Interval::new(0.0, 1.0),
+        RefineSide::Upper,
+    );
+    let mut exec = Executor::new(cat);
+    let err = run_acquire(
+        &mut exec,
+        &q,
+        &AcquireConfig::default(),
+        EvalLayerKind::GridIndex,
+    )
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("unknown or unresolved column"),
+        "{err}"
+    );
+}
+
+#[test]
+fn cross_product_limit_surfaces() {
+    let mut cat = Catalog::new();
+    cat.register(table("a", 2_000)).unwrap();
+    cat.register(table("b", 2_000)).unwrap();
+    // Two tables, no join predicate at all: a 4M-row cross product.
+    let q = AcqQuery::builder()
+        .table("a")
+        .table("b")
+        .predicate(Predicate::select(
+            ColRef::new("a", "v"),
+            Interval::new(0.0, 10.0),
+            RefineSide::Upper,
+        ))
+        .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 5.0))
+        .build()
+        .unwrap();
+    let mut exec = Executor::new(cat).with_cross_product_limit(100_000);
+    let err = run_acquire(
+        &mut exec,
+        &q,
+        &AcquireConfig::default(),
+        EvalLayerKind::CachedScore,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("cross product"), "{err}");
+}
+
+#[test]
+fn unregistered_uda_surfaces() {
+    let mut cat = Catalog::new();
+    cat.register(table("a", 10)).unwrap();
+    let mut q = base_query();
+    q.constraint = AggConstraint::new(
+        AggregateSpec::uda("MYSTERY", ColRef::new("a", "v")),
+        CmpOp::Ge,
+        1.0,
+    );
+    let mut exec = Executor::new(cat);
+    let err = run_acquire(
+        &mut exec,
+        &q,
+        &AcquireConfig::default(),
+        EvalLayerKind::Scan,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("not registered"), "{err}");
+}
+
+#[test]
+fn invalid_norm_weights_surface() {
+    let mut cat = Catalog::new();
+    cat.register(table("a", 10)).unwrap();
+    let cfg = AcquireConfig::default().with_norm(acq_query::Norm::WeightedLp {
+        p: 1.0,
+        weights: vec![1.0, 2.0],
+    });
+    let mut exec = Executor::new(cat);
+    let err = run_acquire(&mut exec, &base_query(), &cfg, EvalLayerKind::Scan).unwrap_err();
+    assert!(matches!(err, CoreError::Query(_)), "{err}");
+}
+
+#[test]
+fn empty_table_returns_closest_not_panic() {
+    let mut cat = Catalog::new();
+    cat.register(table("a", 0)).unwrap();
+    let mut exec = Executor::new(cat);
+    let out = run_acquire(
+        &mut exec,
+        &base_query(),
+        &AcquireConfig::default(),
+        EvalLayerKind::Scan,
+    )
+    .unwrap();
+    assert!(!out.satisfied);
+    assert_eq!(out.closest.unwrap().aggregate, 0.0);
+}

@@ -1,0 +1,103 @@
+//! The outlier-analysis `patients` table.
+//!
+//! §1 motivates AVG-constrained ACQs with "select patients who had extremely
+//! high average cost" (and §9's Top-k discussion selects patients by income,
+//! blood pressure and weekly exercise). Costs are heavy-tailed so that
+//! AVG-directed refinement has outliers to find.
+
+use rand::Rng;
+
+use acq_engine::{DataType, EngineResult, Field, Table, TableBuilder, Value};
+
+use crate::tpch::NumGen;
+use crate::GenConfig;
+
+/// Generates the `patients` table with `cfg.rows` rows.
+pub fn patients(cfg: &GenConfig) -> EngineResult<Table> {
+    let mut rng = cfg.rng(20);
+    let rows = cfg.rows;
+    let age = NumGen::new(0.0, 95.0, cfg.zipf_z);
+    let income = NumGen::new(5_000.0, 300_000.0, cfg.zipf_z);
+    let systolic = NumGen::new(90.0, 200.0, cfg.zipf_z);
+    let exercise = NumGen::new(0.0, 20.0, cfg.zipf_z);
+
+    let mut b = TableBuilder::new(
+        "patients",
+        vec![
+            Field::new("patient_id", DataType::Int),
+            Field::new("age", DataType::Int),
+            Field::new("income", DataType::Float),
+            Field::new("systolic_bp", DataType::Float),
+            Field::new("exercise_hours", DataType::Float),
+            Field::new("annual_cost", DataType::Float),
+        ],
+    )?;
+    b.reserve(rows);
+    for key in 0..rows {
+        let bp = systolic.sample(&mut rng);
+        let ex = exercise.sample(&mut rng);
+        // Log-uniform cost with a clinically plausible correlation: high
+        // blood pressure and little exercise shift the whole tail upward, so
+        // AVG(annual_cost) genuinely varies across predicate regions (the
+        // outlier-hunting scenario of §1 needs structure to find).
+        let base_exponent = rng.gen_range(2.0..=4.5);
+        let risk = (bp - 90.0) / 110.0 * 1.2 + (20.0 - ex) / 20.0 * 0.3;
+        let cost = 10f64.powf((base_exponent + risk).min(6.0));
+        b.push_row(vec![
+            Value::Int(key as i64),
+            Value::Int(age.sample_int(&mut rng).clamp(0, 95)),
+            Value::Float(income.sample(&mut rng)),
+            Value::Float(bp),
+            Value::Float(ex),
+            Value::Float(cost),
+        ]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_correlates_with_blood_pressure() {
+        // The outlier-analysis example depends on AVG(cost) varying across
+        // predicate regions: high-BP patients must cost more on average.
+        let t = patients(&GenConfig::uniform(8000)).unwrap();
+        let bp = t.column_by_name("systolic_bp").unwrap();
+        let cost = t.column_by_name("annual_cost").unwrap();
+        let (mut lo_sum, mut lo_n, mut hi_sum, mut hi_n) = (0.0, 0u32, 0.0, 0u32);
+        for r in 0..t.num_rows() {
+            let b = bp.get_f64(r).unwrap();
+            let c = cost.get_f64(r).unwrap();
+            if b < 120.0 {
+                lo_sum += c;
+                lo_n += 1;
+            } else if b > 170.0 {
+                hi_sum += c;
+                hi_n += 1;
+            }
+        }
+        let (lo_avg, hi_avg) = (lo_sum / f64::from(lo_n), hi_sum / f64::from(hi_n));
+        assert!(
+            hi_avg > 3.0 * lo_avg,
+            "high-BP cohort should cost much more: {hi_avg} vs {lo_avg}"
+        );
+    }
+
+    #[test]
+    fn domains_and_heavy_tail() {
+        let t = patients(&GenConfig::uniform(3000)).unwrap();
+        assert_eq!(t.num_rows(), 3000);
+        let cost = t.numeric_domain("annual_cost").unwrap();
+        assert!(cost.lo() >= 100.0);
+        assert!(cost.hi() <= 1_000_000.0);
+        // Median is far below the mean for a log-uniform tail.
+        let col = t.column_by_name("annual_cost").unwrap();
+        let mut v: Vec<f64> = (0..t.num_rows()).map(|r| col.get_f64(r).unwrap()).collect();
+        v.sort_by(f64::total_cmp);
+        let median = v[v.len() / 2];
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean > 2.0 * median, "mean {mean} median {median}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Schema-free synthetic tables for tests, property tests and benchmarks.
+
+use rand::Rng;
+
+use acq_engine::{Catalog, DataType, EngineResult, Field, Table, TableBuilder, Value};
+
+use crate::tpch::NumGen;
+use crate::GenConfig;
+
+/// A table `name` with `cols` float columns `x0..x{cols-1}` drawn from
+/// `[0, 1000]` under the configured skew, plus an integer key column `id`.
+pub fn numeric_table(cfg: &GenConfig, name: &str, cols: usize) -> EngineResult<Table> {
+    assert!(cols >= 1, "at least one data column");
+    let mut rng = cfg.rng(30 + cols as u64);
+    let gen = NumGen::new(0.0, 1000.0, cfg.zipf_z);
+    let mut fields = vec![Field::new("id", DataType::Int)];
+    for c in 0..cols {
+        fields.push(Field::new(format!("x{c}"), DataType::Float));
+    }
+    let mut b = TableBuilder::new(name, fields)?;
+    b.reserve(cfg.rows);
+    for key in 0..cfg.rows {
+        let mut row = Vec::with_capacity(cols + 1);
+        row.push(Value::Int(key as i64));
+        for _ in 0..cols {
+            row.push(Value::Float(gen.sample(&mut rng)));
+        }
+        b.push_row(row);
+    }
+    b.finish()
+}
+
+/// Two tables `left` and `right`, each with a float join attribute `j`
+/// in `[0, 1000]` and a float payload `v`, for join-refinement tests.
+pub fn join_pair(cfg: &GenConfig, left_rows: usize, right_rows: usize) -> EngineResult<Catalog> {
+    let mut catalog = Catalog::new();
+    for (stream, (name, rows)) in [("left", left_rows), ("right", right_rows)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut rng = cfg.rng(40 + stream as u64);
+        let j = NumGen::new(0.0, 1000.0, cfg.zipf_z);
+        let mut b = TableBuilder::new(
+            name,
+            vec![
+                Field::new("j", DataType::Float),
+                Field::new("v", DataType::Float),
+            ],
+        )?;
+        b.reserve(rows);
+        for _ in 0..rows {
+            b.push_row(vec![
+                Value::Float(j.sample(&mut rng)),
+                Value::Float(rng.gen_range(0.0..=100.0)),
+            ]);
+        }
+        catalog.register(b.finish()?)?;
+    }
+    Ok(catalog)
+}
+
+/// A catalog holding just one [`numeric_table`] named `t`.
+pub fn numeric_catalog(cfg: &GenConfig, cols: usize) -> EngineResult<Catalog> {
+    let mut catalog = Catalog::new();
+    catalog.register(numeric_table(cfg, "t", cols)?)?;
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_table_shape() {
+        let t = numeric_table(&GenConfig::uniform(100), "t", 3).unwrap();
+        assert_eq!(t.num_rows(), 100);
+        assert_eq!(t.schema().len(), 4);
+        let d = t.numeric_domain("x2").unwrap();
+        assert!(d.lo() >= 0.0 && d.hi() <= 1000.0);
+    }
+
+    #[test]
+    fn join_pair_builds_catalog() {
+        let c = join_pair(&GenConfig::uniform(50), 50, 30).unwrap();
+        assert_eq!(c.table("left").unwrap().num_rows(), 50);
+        assert_eq!(c.table("right").unwrap().num_rows(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data column")]
+    fn zero_columns_panics() {
+        let _ = numeric_table(&GenConfig::uniform(10), "t", 0);
+    }
+}

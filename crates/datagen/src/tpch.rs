@@ -1,0 +1,422 @@
+//! TPC-H-shaped tables.
+//!
+//! The paper's experiments run on TPC-H data (1K–10M tuples, §8.3) with
+//! queries adapted to numeric range and join predicates; Example 2's Q2
+//! skeleton joins `supplier ⋈ partsupp ⋈ part`. This module generates those
+//! tables (plus `customer`, `orders`, `lineitem`, whose five numeric
+//! attributes drive the dimensionality experiments) at any scale, uniform or
+//! Zipf-skewed per [`GenConfig::zipf_z`].
+//!
+//! Column domains follow the TPC-H specification's shapes (account balances
+//! in `[-999.99, 9999.99]`, part sizes `1..=50`, retail prices around
+//! `[900, 2100]`, quantities `1..=50`, …); exact dbgen value formulas are
+//! replaced by seeded draws, which preserves everything the refinement
+//! experiments depend on (domains, selectivities, skew).
+
+use rand::Rng;
+
+use acq_engine::{Catalog, DataType, EngineResult, Field, Table, TableBuilder, Value};
+
+use crate::zipf::Zipf;
+use crate::GenConfig;
+
+/// Number of value buckets used when skewing continuous attributes.
+const SKEW_BUCKETS: usize = 1000;
+
+/// A numeric value generator honouring the configured skew: under `Z = 0`
+/// values are continuous-uniform in `[lo, hi]`; under `Z > 0` a Zipfian rank
+/// picks one of [`SKEW_BUCKETS`] equi-width buckets (low values most
+/// frequent) with uniform jitter inside the bucket.
+#[derive(Debug, Clone)]
+pub(crate) struct NumGen {
+    lo: f64,
+    hi: f64,
+    zipf: Option<Zipf>,
+}
+
+impl NumGen {
+    pub(crate) fn new(lo: f64, hi: f64, z: f64) -> Self {
+        let zipf = (z > 0.0).then(|| Zipf::new(SKEW_BUCKETS, z));
+        Self { lo, hi, zipf }
+    }
+
+    pub(crate) fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match &self.zipf {
+            None => rng.gen_range(self.lo..=self.hi),
+            Some(zipf) => {
+                let bucket = zipf.sample(rng);
+                let w = (self.hi - self.lo) / SKEW_BUCKETS as f64;
+                let base = self.lo + bucket as f64 * w;
+                base + rng.gen_range(0.0..=w.max(f64::MIN_POSITIVE))
+            }
+        }
+    }
+
+    pub(crate) fn sample_int<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        self.sample(rng).round() as i64
+    }
+
+    /// A concentrated (Bates-style) draw: the mean of four samples. Real
+    /// measure-like attributes (amounts, totals, dates-of-activity) are
+    /// bell-shaped rather than uniform, and the refinement experiments
+    /// depend on that: most of the mass sits near the middle of the domain,
+    /// so moving a predicate bound a little admits many tuples — the
+    /// regime in which the paper's refinement scores (Fig. 8c: 0–35%)
+    /// live. Under skew the four draws are Zipfian, preserving the §8.4.4
+    /// asymmetry.
+    pub(crate) fn sample_bell<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.sample(rng) + self.sample(rng) + self.sample(rng) + self.sample(rng)) / 4.0
+    }
+}
+
+/// TPC-H part-type vocabulary (6 × 5 × 5 = 150 types, as in the spec).
+fn part_type(rng: &mut impl Rng) -> String {
+    const A: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+    const B: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+    const C: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+    format!(
+        "{} {} {}",
+        A[rng.gen_range(0..A.len())],
+        B[rng.gen_range(0..B.len())],
+        C[rng.gen_range(0..C.len())]
+    )
+}
+
+/// Row counts of each table at a given base size (`GenConfig::rows` is the
+/// `partsupp`/`lineitem` cardinality, the tables the experiments aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpchSizes {
+    /// `supplier` rows.
+    pub supplier: usize,
+    /// `part` rows.
+    pub part: usize,
+    /// `partsupp` rows.
+    pub partsupp: usize,
+    /// `customer` rows.
+    pub customer: usize,
+    /// `orders` rows.
+    pub orders: usize,
+    /// `lineitem` rows.
+    pub lineitem: usize,
+}
+
+impl TpchSizes {
+    /// Derives table sizes from the base row count, mirroring TPC-H's
+    /// relative cardinalities (suppliers ≪ parts < partsupp ≈ lineitem).
+    #[must_use]
+    pub fn for_base(rows: usize) -> Self {
+        let rows = rows.max(16);
+        Self {
+            supplier: (rows / 100).max(8),
+            part: (rows / 5).max(16),
+            partsupp: rows,
+            customer: (rows / 10).max(8),
+            orders: (rows / 2).max(8),
+            lineitem: rows,
+        }
+    }
+}
+
+/// Generates the full TPC-H-shaped catalog.
+pub fn generate(cfg: &GenConfig) -> EngineResult<Catalog> {
+    let mut catalog = Catalog::new();
+    let sizes = TpchSizes::for_base(cfg.rows);
+    catalog.register(supplier(cfg, sizes.supplier)?)?;
+    catalog.register(part(cfg, sizes.part)?)?;
+    catalog.register(partsupp(cfg, sizes.partsupp, sizes.part, sizes.supplier)?)?;
+    catalog.register(customer(cfg, sizes.customer)?)?;
+    catalog.register(orders(cfg, sizes.orders, sizes.customer)?)?;
+    catalog.register(lineitem(cfg, sizes.lineitem, sizes.orders)?)?;
+    Ok(catalog)
+}
+
+/// Generates only the Example 2 / Q2 tables (`supplier`, `part`,
+/// `partsupp`).
+pub fn generate_q2(cfg: &GenConfig) -> EngineResult<Catalog> {
+    let mut catalog = Catalog::new();
+    let sizes = TpchSizes::for_base(cfg.rows);
+    catalog.register(supplier(cfg, sizes.supplier)?)?;
+    catalog.register(part(cfg, sizes.part)?)?;
+    catalog.register(partsupp(cfg, sizes.partsupp, sizes.part, sizes.supplier)?)?;
+    Ok(catalog)
+}
+
+/// Generates only `lineitem` (the table with five numeric attributes used
+/// by the dimensionality experiments).
+pub fn generate_lineitem(cfg: &GenConfig) -> EngineResult<Catalog> {
+    let mut catalog = Catalog::new();
+    let sizes = TpchSizes::for_base(cfg.rows);
+    catalog.register(lineitem(cfg, sizes.lineitem, sizes.orders)?)?;
+    Ok(catalog)
+}
+
+/// The `supplier` table: `s_suppkey`, `s_nationkey`, `s_acctbal`.
+pub fn supplier(cfg: &GenConfig, rows: usize) -> EngineResult<Table> {
+    let mut rng = cfg.rng(1);
+    let acctbal = NumGen::new(-999.99, 9999.99, cfg.zipf_z);
+    let mut b = TableBuilder::new(
+        "supplier",
+        vec![
+            Field::new("s_suppkey", DataType::Int),
+            Field::new("s_nationkey", DataType::Int),
+            Field::new("s_acctbal", DataType::Float),
+        ],
+    )?;
+    b.reserve(rows);
+    for key in 0..rows {
+        b.push_row(vec![
+            Value::Int(key as i64),
+            Value::Int(rng.gen_range(0..25)),
+            Value::Float(acctbal.sample(&mut rng)),
+        ]);
+    }
+    b.finish()
+}
+
+/// The `part` table: `p_partkey`, `p_size`, `p_retailprice`, `p_type`.
+pub fn part(cfg: &GenConfig, rows: usize) -> EngineResult<Table> {
+    let mut rng = cfg.rng(2);
+    let price = NumGen::new(900.0, 2100.0, cfg.zipf_z);
+    let size = NumGen::new(1.0, 50.0, cfg.zipf_z);
+    let mut b = TableBuilder::new(
+        "part",
+        vec![
+            Field::new("p_partkey", DataType::Int),
+            Field::new("p_size", DataType::Int),
+            Field::new("p_retailprice", DataType::Float),
+            Field::new("p_type", DataType::Str),
+        ],
+    )?;
+    b.reserve(rows);
+    for key in 0..rows {
+        b.push_row(vec![
+            Value::Int(key as i64),
+            Value::Int(size.sample_int(&mut rng).clamp(1, 50)),
+            Value::Float(price.sample(&mut rng)),
+            Value::from(part_type(&mut rng)),
+        ]);
+    }
+    b.finish()
+}
+
+/// The `partsupp` table: `ps_partkey`, `ps_suppkey`, `ps_availqty`,
+/// `ps_supplycost`. Foreign keys are Zipf-distributed under skew so popular
+/// parts/suppliers dominate, as in the Chaudhuri–Narasayya generator.
+pub fn partsupp(
+    cfg: &GenConfig,
+    rows: usize,
+    parts: usize,
+    suppliers: usize,
+) -> EngineResult<Table> {
+    let mut rng = cfg.rng(3);
+    let qty = NumGen::new(1.0, 9999.0, cfg.zipf_z);
+    let cost = NumGen::new(1.0, 1000.0, cfg.zipf_z);
+    let pk = (cfg.zipf_z > 0.0).then(|| Zipf::new(parts, cfg.zipf_z));
+    let sk = (cfg.zipf_z > 0.0).then(|| Zipf::new(suppliers, cfg.zipf_z));
+    let mut b = TableBuilder::new(
+        "partsupp",
+        vec![
+            Field::new("ps_partkey", DataType::Int),
+            Field::new("ps_suppkey", DataType::Int),
+            Field::new("ps_availqty", DataType::Int),
+            Field::new("ps_supplycost", DataType::Float),
+        ],
+    )?;
+    b.reserve(rows);
+    for _ in 0..rows {
+        let p = match &pk {
+            Some(z) => z.sample(&mut rng) as i64,
+            None => rng.gen_range(0..parts as i64),
+        };
+        let s = match &sk {
+            Some(z) => z.sample(&mut rng) as i64,
+            None => rng.gen_range(0..suppliers as i64),
+        };
+        b.push_row(vec![
+            Value::Int(p),
+            Value::Int(s),
+            Value::Int(qty.sample_int(&mut rng).max(1)),
+            Value::Float(cost.sample(&mut rng)),
+        ]);
+    }
+    b.finish()
+}
+
+/// The `customer` table: `c_custkey`, `c_nationkey`, `c_acctbal`.
+pub fn customer(cfg: &GenConfig, rows: usize) -> EngineResult<Table> {
+    let mut rng = cfg.rng(4);
+    let acctbal = NumGen::new(-999.99, 9999.99, cfg.zipf_z);
+    let mut b = TableBuilder::new(
+        "customer",
+        vec![
+            Field::new("c_custkey", DataType::Int),
+            Field::new("c_nationkey", DataType::Int),
+            Field::new("c_acctbal", DataType::Float),
+        ],
+    )?;
+    b.reserve(rows);
+    for key in 0..rows {
+        b.push_row(vec![
+            Value::Int(key as i64),
+            Value::Int(rng.gen_range(0..25)),
+            Value::Float(acctbal.sample(&mut rng)),
+        ]);
+    }
+    b.finish()
+}
+
+/// The `orders` table: `o_orderkey`, `o_custkey`, `o_totalprice`,
+/// `o_orderdate` (days since epoch start of the 7-year TPC-H window).
+pub fn orders(cfg: &GenConfig, rows: usize, customers: usize) -> EngineResult<Table> {
+    let mut rng = cfg.rng(5);
+    let price = NumGen::new(1000.0, 500_000.0, cfg.zipf_z);
+    let ck = (cfg.zipf_z > 0.0).then(|| Zipf::new(customers, cfg.zipf_z));
+    let mut b = TableBuilder::new(
+        "orders",
+        vec![
+            Field::new("o_orderkey", DataType::Int),
+            Field::new("o_custkey", DataType::Int),
+            Field::new("o_totalprice", DataType::Float),
+            Field::new("o_orderdate", DataType::Int),
+        ],
+    )?;
+    b.reserve(rows);
+    for key in 0..rows {
+        let c = match &ck {
+            Some(z) => z.sample(&mut rng) as i64,
+            None => rng.gen_range(0..customers as i64),
+        };
+        b.push_row(vec![
+            Value::Int(key as i64),
+            Value::Int(c),
+            Value::Float(price.sample(&mut rng)),
+            Value::Int(rng.gen_range(0..2557)),
+        ]);
+    }
+    b.finish()
+}
+
+/// The `lineitem` table with five numeric non-key attributes —
+/// `l_quantity`, `l_extendedprice`, `l_discount`, `l_tax`, `l_shipdate` —
+/// which the dimensionality experiments refine one through five of.
+pub fn lineitem(cfg: &GenConfig, rows: usize, orders: usize) -> EngineResult<Table> {
+    let mut rng = cfg.rng(6);
+    let qty = NumGen::new(1.0, 50.0, cfg.zipf_z);
+    // As in TPC-H, the extended price is quantity × unit price, so its
+    // distribution is concentrated (a product of uniforms), not uniform —
+    // which matters for refinement experiments: most of the mass sits in
+    // the middle of the [900, 105000] domain.
+    let unit_price = NumGen::new(900.0, 2100.0, cfg.zipf_z);
+    let discount = NumGen::new(0.0, 0.10, cfg.zipf_z);
+    let tax = NumGen::new(0.0, 0.08, cfg.zipf_z);
+    let ship = NumGen::new(0.0, 2557.0, cfg.zipf_z);
+    let ok = (cfg.zipf_z > 0.0).then(|| Zipf::new(orders, cfg.zipf_z));
+    let mut b = TableBuilder::new(
+        "lineitem",
+        vec![
+            Field::new("l_orderkey", DataType::Int),
+            Field::new("l_quantity", DataType::Float),
+            Field::new("l_extendedprice", DataType::Float),
+            Field::new("l_discount", DataType::Float),
+            Field::new("l_tax", DataType::Float),
+            Field::new("l_shipdate", DataType::Float),
+        ],
+    )?;
+    b.reserve(rows);
+    for _ in 0..rows {
+        let o = match &ok {
+            Some(z) => z.sample(&mut rng) as i64,
+            None => rng.gen_range(0..orders as i64),
+        };
+        let quantity = qty.sample_bell(&mut rng);
+        let extended = quantity * unit_price.sample(&mut rng);
+        b.push_row(vec![
+            Value::Int(o),
+            Value::Float(quantity),
+            Value::Float(extended),
+            Value::Float(discount.sample_bell(&mut rng)),
+            Value::Float(tax.sample_bell(&mut rng)),
+            Value::Float(ship.sample_bell(&mut rng)),
+        ]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale_with_base() {
+        let s = TpchSizes::for_base(100_000);
+        assert_eq!(s.partsupp, 100_000);
+        assert_eq!(s.lineitem, 100_000);
+        assert_eq!(s.supplier, 1000);
+        assert_eq!(s.part, 20_000);
+        // Tiny bases clamp to usable minimums.
+        let tiny = TpchSizes::for_base(1);
+        assert!(tiny.supplier >= 8 && tiny.part >= 16);
+    }
+
+    #[test]
+    fn q2_catalog_has_three_tables() {
+        let cat = generate_q2(&GenConfig::uniform(1000)).unwrap();
+        assert!(cat.table("supplier").is_ok());
+        assert!(cat.table("part").is_ok());
+        assert!(cat.table("partsupp").is_ok());
+        assert_eq!(cat.len(), 3);
+    }
+
+    #[test]
+    fn full_catalog_and_domains() {
+        let cat = generate(&GenConfig::uniform(500)).unwrap();
+        assert_eq!(cat.len(), 6);
+        let part = cat.table("part").unwrap();
+        let size = part.numeric_domain("p_size").unwrap();
+        assert!(size.lo() >= 1.0 && size.hi() <= 50.0);
+        let li = cat.table("lineitem").unwrap();
+        let d = li.numeric_domain("l_discount").unwrap();
+        assert!(d.lo() >= 0.0 && d.hi() <= 0.10);
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_rows() {
+        let cfg = GenConfig::uniform(1000);
+        let sizes = TpchSizes::for_base(cfg.rows);
+        let ps = partsupp(&cfg, sizes.partsupp, sizes.part, sizes.supplier).unwrap();
+        let pk = ps.numeric_domain("ps_partkey").unwrap();
+        assert!(pk.lo() >= 0.0 && pk.hi() < sizes.part as f64);
+        let sk = ps.numeric_domain("ps_suppkey").unwrap();
+        assert!(sk.lo() >= 0.0 && sk.hi() < sizes.supplier as f64);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate_q2(&GenConfig::uniform(200)).unwrap();
+        let b = generate_q2(&GenConfig::uniform(200)).unwrap();
+        let (ta, tb) = (a.table("partsupp").unwrap(), b.table("partsupp").unwrap());
+        for row in 0..ta.num_rows() {
+            assert_eq!(ta.value(row, 3), tb.value(row, 3));
+        }
+        let c = generate_q2(&GenConfig::uniform(200).with_seed(9)).unwrap();
+        let tc = c.table("partsupp").unwrap();
+        let differs = (0..ta.num_rows()).any(|r| ta.value(r, 3) != tc.value(r, 3));
+        assert!(differs, "different seeds must differ");
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let cfg = GenConfig::skewed(20_000);
+        let li = lineitem(&cfg, 20_000, 1000).unwrap();
+        let col = li.column_by_name("l_quantity").unwrap();
+        let below_10 = (0..li.num_rows())
+            .filter(|&r| col.get_f64(r).unwrap() < 10.0)
+            .count();
+        // Under Z=1 the low buckets dominate: far more than the uniform 18%.
+        assert!(
+            below_10 as f64 > 0.5 * li.num_rows() as f64,
+            "{below_10} of {}",
+            li.num_rows()
+        );
+    }
+}

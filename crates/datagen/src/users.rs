@@ -1,0 +1,114 @@
+//! The Example 1 advertising-audience table.
+//!
+//! HighStyle Designers' campaign manager selects target users by
+//! demographics and needs the audience COUNT to hit the budgeted reach
+//! (§1, Example 1). This generator produces a `users` table with the
+//! numeric demographics the refined queries touch (age, income, activity,
+//! friends, account age) plus categorical columns (`city`, `gender`,
+//! `education`) for NOREFINE filters and the §7.3 ontology example.
+
+use rand::Rng;
+
+use acq_engine::{DataType, EngineResult, Field, Table, TableBuilder, Value};
+
+use crate::tpch::NumGen;
+use crate::zipf::Zipf;
+use crate::GenConfig;
+
+/// The cities users are drawn from (Zipf-popular head first).
+pub const CITIES: [&str; 12] = [
+    "New York",
+    "Los Angeles",
+    "Chicago",
+    "Boston",
+    "Seattle",
+    "Miami",
+    "Austin",
+    "Denver",
+    "Portland",
+    "Atlanta",
+    "Phoenix",
+    "Detroit",
+];
+
+/// Education levels.
+pub const EDUCATION: [&str; 4] = ["HighSchool", "CollegeGrad", "Masters", "Doctorate"];
+
+/// Generates the `users` table with `cfg.rows` rows.
+pub fn users(cfg: &GenConfig) -> EngineResult<Table> {
+    let mut rng = cfg.rng(10);
+    let rows = cfg.rows;
+    let age = NumGen::new(13.0, 80.0, cfg.zipf_z);
+    let income = NumGen::new(8_000.0, 250_000.0, cfg.zipf_z);
+    let minutes = NumGen::new(0.0, 600.0, cfg.zipf_z);
+    let account_age = NumGen::new(0.0, 5_000.0, cfg.zipf_z);
+    // Friend counts are heavy-tailed regardless of the skew setting: a few
+    // hubs, many low-degree users (always Zipf with z >= 1.1).
+    let friends = Zipf::new(5_000, cfg.zipf_z.max(1.1));
+    let city_pick = Zipf::new(CITIES.len(), 0.7);
+
+    let mut b = TableBuilder::new(
+        "users",
+        vec![
+            Field::new("user_id", DataType::Int),
+            Field::new("age", DataType::Int),
+            Field::new("income", DataType::Float),
+            Field::new("daily_minutes", DataType::Float),
+            Field::new("friend_count", DataType::Int),
+            Field::new("account_age_days", DataType::Float),
+            Field::new("city", DataType::Str),
+            Field::new("gender", DataType::Str),
+            Field::new("education", DataType::Str),
+        ],
+    )?;
+    b.reserve(rows);
+    for key in 0..rows {
+        b.push_row(vec![
+            Value::Int(key as i64),
+            Value::Int(age.sample_int(&mut rng).clamp(13, 80)),
+            Value::Float(income.sample(&mut rng)),
+            Value::Float(minutes.sample(&mut rng)),
+            Value::Int(friends.sample(&mut rng) as i64),
+            Value::Float(account_age.sample(&mut rng)),
+            Value::from(CITIES[city_pick.sample(&mut rng)]),
+            Value::from(if rng.gen_bool(0.5) { "Women" } else { "Men" }),
+            Value::from(EDUCATION[rng.gen_range(0..EDUCATION.len())]),
+        ]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_rows_with_sane_domains() {
+        let t = users(&GenConfig::uniform(2000)).unwrap();
+        assert_eq!(t.num_rows(), 2000);
+        let age = t.numeric_domain("age").unwrap();
+        assert!(age.lo() >= 13.0 && age.hi() <= 80.0);
+        let inc = t.numeric_domain("income").unwrap();
+        assert!(inc.lo() >= 8_000.0 && inc.hi() <= 250_000.0);
+    }
+
+    #[test]
+    fn cities_are_from_the_vocabulary() {
+        let t = users(&GenConfig::uniform(500)).unwrap();
+        let col = t.column_by_name("city").unwrap();
+        for r in 0..t.num_rows() {
+            let c = col.get_str(r).unwrap();
+            assert!(CITIES.contains(&c), "unexpected city {c}");
+        }
+    }
+
+    #[test]
+    fn friend_counts_are_heavy_tailed() {
+        let t = users(&GenConfig::uniform(5000)).unwrap();
+        let col = t.column_by_name("friend_count").unwrap();
+        let low = (0..t.num_rows())
+            .filter(|&r| col.get_i64(r).unwrap() < 100)
+            .count();
+        assert!(low > t.num_rows() / 2, "hubs should be rare: {low}");
+    }
+}

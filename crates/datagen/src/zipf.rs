@@ -1,0 +1,150 @@
+//! Exact Zipfian sampling over a finite rank set.
+//!
+//! The paper's skewed datasets use the Chaudhuri–Narasayya TPC-D generator
+//! with `Z = 1` (§8.3, reference 3); attribute values there follow a
+//! Zipfian rank-frequency law `p(rank k) ∝ 1 / k^Z`. This module implements
+//! the same law by inverse-CDF sampling over a precomputed cumulative table,
+//! which is exact (no rejection) and fast (binary search per draw).
+
+use rand::Rng;
+
+/// A Zipfian distribution over ranks `0..n` with exponent `z >= 0`;
+/// `z = 0` degenerates to the uniform distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k]` = P(rank <= k).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. Panics when `n == 0` or `z` is negative/NaN.
+    #[must_use]
+    pub fn new(n: usize, z: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(z >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(z);
+            cdf.push(total);
+        }
+        let norm = total;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        // Guard against floating error on the last entry.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is trivial (should never be; see `new`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    #[must_use]
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn z_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn z_one_matches_harmonic_weights() {
+        let z = Zipf::new(3, 1.0);
+        let h = 1.0 + 0.5 + 1.0 / 3.0;
+        assert!((z.pmf(0) - 1.0 / h).abs() < 1e-12);
+        assert!((z.pmf(1) - 0.5 / h).abs() < 1e-12);
+        assert!((z.pmf(2) - (1.0 / 3.0) / h).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_cover_support_and_skew() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate rank 50 heavily under Z=1.
+        assert!(
+            counts[0] > counts[50] * 10,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
+        // All samples in range (indexing would have panicked otherwise).
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(10, 0.5);
+        let a: Vec<usize> = (0..20)
+            .scan(StdRng::seed_from_u64(1), |r, _| Some(z.sample(r)))
+            .collect();
+        let b: Vec<usize> = (0..20)
+            .scan(StdRng::seed_from_u64(1), |r, _| Some(z.sample(r)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skew_grows_with_z() {
+        // The head's mass is monotone in the exponent.
+        let mut last = 0.0;
+        for z in [0.0, 0.5, 1.0, 2.0] {
+            let head = Zipf::new(50, z).pmf(0);
+            assert!(head >= last, "pmf(0) must grow with z: {head} < {last}");
+            last = head;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Table catalog.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use acq_query::ColRef;
+
+use crate::error::{EngineError, EngineResult};
+use crate::table::Table;
+
+/// A named collection of tables, shared by executors and binders.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table under its own name; rejects duplicates.
+    pub fn register(&mut self, table: Table) -> EngineResult<()> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(EngineError::DuplicateName(name));
+        }
+        self.tables.insert(name, Arc::new(table));
+        Ok(())
+    }
+
+    /// Replaces (or inserts) a table.
+    pub fn replace(&mut self, table: Table) {
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> EngineResult<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Resolves a column reference to `(table, column_index)`.
+    pub fn resolve(&self, col: &ColRef) -> EngineResult<(Arc<Table>, usize)> {
+        let table_name = col
+            .table
+            .as_deref()
+            .ok_or_else(|| EngineError::UnknownColumn(col.clone()))?;
+        let table = self.table(table_name)?;
+        let idx = table
+            .schema()
+            .index_of(&col.column)
+            .ok_or_else(|| EngineError::UnknownColumn(col.clone()))?;
+        Ok((table, idx))
+    }
+
+    /// Names of the registered tables (unordered).
+    #[must_use]
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::table::TableBuilder;
+    use crate::value::{DataType, Value};
+
+    fn table(name: &str) -> Table {
+        let mut b = TableBuilder::new(name, vec![Field::new("x", DataType::Int)]).unwrap();
+        b.push_row(vec![Value::Int(1)]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register(table("t")).unwrap();
+        assert!(c.table("t").is_ok());
+        assert_eq!(
+            c.table("u").unwrap_err(),
+            EngineError::UnknownTable("u".into())
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected_replace_allowed() {
+        let mut c = Catalog::new();
+        c.register(table("t")).unwrap();
+        assert!(matches!(
+            c.register(table("t")),
+            Err(EngineError::DuplicateName(_))
+        ));
+        c.replace(table("t"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn resolve_column() {
+        let mut c = Catalog::new();
+        c.register(table("t")).unwrap();
+        let (_, idx) = c.resolve(&ColRef::new("t", "x")).unwrap();
+        assert_eq!(idx, 0);
+        assert!(c.resolve(&ColRef::new("t", "nope")).is_err());
+        assert!(c.resolve(&ColRef::bare("x")).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Engine errors.
+
+use std::fmt;
+
+use acq_query::ColRef;
+
+use crate::value::DataType;
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors raised by storage and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// The referenced column does not exist, or the reference is unresolved.
+    UnknownColumn(ColRef),
+    /// A column was used with an incompatible type.
+    TypeMismatch {
+        /// The column in question.
+        col: ColRef,
+        /// Type the operation needed.
+        expected: DataType,
+        /// Type the column actually has.
+        actual: DataType,
+    },
+    /// Table construction received columns of inconsistent lengths.
+    RaggedColumns {
+        /// Table being built.
+        table: String,
+        /// Expected row count (from the first column).
+        expected: usize,
+        /// Offending column's row count.
+        actual: usize,
+    },
+    /// A duplicate table or column name.
+    DuplicateName(String),
+    /// The query's tables cannot be connected by its join predicates without
+    /// a cross product larger than the configured limit.
+    CrossProductTooLarge {
+        /// Estimated row count of the product.
+        estimated: u64,
+        /// Configured limit.
+        limit: u64,
+    },
+    /// A named user-defined aggregate was not registered.
+    UnknownUda(String),
+    /// Two aggregate states of different kinds were merged.
+    StateMismatch,
+    /// An operation was asked of a component that does not support it
+    /// (e.g. a COUNT-only evaluation layer given a SUM constraint).
+    Unsupported(String),
+    /// An I/O failure (CSV import/export).
+    Io(String),
+    /// Malformed external data (CSV parse failures).
+    Malformed {
+        /// Source description (path).
+        source: String,
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            Self::UnknownColumn(c) => write!(f, "unknown or unresolved column: {c}"),
+            Self::TypeMismatch {
+                col,
+                expected,
+                actual,
+            } => {
+                write!(f, "column {col} has type {actual}, expected {expected}")
+            }
+            Self::RaggedColumns {
+                table,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "table {table}: column length {actual} != expected {expected}"
+                )
+            }
+            Self::DuplicateName(n) => write!(f, "duplicate name: {n}"),
+            Self::CrossProductTooLarge { estimated, limit } => {
+                write!(
+                    f,
+                    "cross product of ~{estimated} rows exceeds limit {limit}"
+                )
+            }
+            Self::UnknownUda(n) => write!(f, "user-defined aggregate not registered: {n}"),
+            Self::StateMismatch => write!(f, "cannot merge aggregate states of different kinds"),
+            Self::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            Self::Io(msg) => write!(f, "I/O error: {msg}"),
+            Self::Malformed {
+                source,
+                line,
+                message,
+            } => {
+                write!(f, "{source}:{line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,801 @@
+//! Query execution: base-relation materialisation, cell queries, and full
+//! refined-query aggregates.
+//!
+//! The paper's evaluation layer receives two kinds of requests:
+//!
+//! * ACQUIRE issues **cell queries** — "aggregate the tuples whose
+//!   refinement scores fall in this one grid cell" (§5.1.1);
+//! * the baseline techniques issue **full queries** — "aggregate the tuples
+//!   admitted by this whole refined query" (§8.2).
+//!
+//! Both run against a *base relation*: the (possibly joined) tuple universe
+//! of the query, materialised once per search. NOREFINE predicates prefilter
+//! it (tuples violating them can never be admitted); refinable predicates
+//! keep every tuple within the search's per-dimension refinement caps.
+
+use acq_query::{AcqQuery, Interval, PredFunction};
+
+use crate::aggregate::{AggState, UdaRegistry};
+use crate::catalog::Catalog;
+use crate::error::{EngineError, EngineResult};
+use crate::join::{band_join, hash_equi_join};
+use crate::relation::Relation;
+use crate::scoring::ResolvedQuery;
+use crate::stats::ExecStats;
+use crate::table::Table;
+
+/// Default cap on materialised cross products (rows).
+pub const DEFAULT_CROSS_PRODUCT_LIMIT: u64 = 20_000_000;
+
+/// One dimension of a cell query: the refinement-score range the tuple must
+/// fall into.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellRange {
+    /// The tuple must already satisfy the predicate (score exactly 0) —
+    /// grid coordinate 0.
+    Zero,
+    /// Score in the half-open bucket `(lo, hi]` — grid coordinate `k >= 1`
+    /// with `lo = (k-1)·step`, `hi = k·step`.
+    Open {
+        /// Exclusive lower score bound.
+        lo: f64,
+        /// Inclusive upper score bound.
+        hi: f64,
+    },
+}
+
+impl CellRange {
+    /// Whether a tuple score falls in this range.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, s: f64) -> bool {
+        match self {
+            Self::Zero => s == 0.0,
+            Self::Open { lo, hi } => s > *lo && s <= *hi,
+        }
+    }
+
+    /// The inclusive upper score bound of the range.
+    #[must_use]
+    pub fn upper(&self) -> f64 {
+        match self {
+            Self::Zero => 0.0,
+            Self::Open { hi, .. } => *hi,
+        }
+    }
+}
+
+/// The engine's execution entry point: owns the catalog, the UDA registry
+/// and the work counters.
+#[derive(Debug)]
+pub struct Executor {
+    catalog: Catalog,
+    uda: UdaRegistry,
+    stats: ExecStats,
+    cross_product_limit: u64,
+    /// Human-readable trace of the most recent base-relation
+    /// materialisation (scan prefilters, join order, band widths).
+    last_plan: Vec<String>,
+}
+
+impl Executor {
+    /// Creates an executor over a catalog.
+    #[must_use]
+    pub fn new(catalog: Catalog) -> Self {
+        Self {
+            catalog,
+            uda: UdaRegistry::new(),
+            stats: ExecStats::default(),
+            cross_product_limit: DEFAULT_CROSS_PRODUCT_LIMIT,
+            last_plan: Vec::new(),
+        }
+    }
+
+    /// Replaces the UDA registry.
+    #[must_use]
+    pub fn with_uda_registry(mut self, uda: UdaRegistry) -> Self {
+        self.uda = uda;
+        self
+    }
+
+    /// Sets the cross-product row limit.
+    #[must_use]
+    pub fn with_cross_product_limit(mut self, limit: u64) -> Self {
+        self.cross_product_limit = limit;
+        self
+    }
+
+    /// The catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The UDA registry.
+    #[must_use]
+    pub fn uda_registry(&self) -> &UdaRegistry {
+        &self.uda
+    }
+
+    /// Mutable UDA registry (to register aggregates).
+    pub fn uda_registry_mut(&mut self) -> &mut UdaRegistry {
+        &mut self.uda
+    }
+
+    /// Accumulated work counters.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Resets the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Mutable access to the work counters, for evaluation layers that run
+    /// on top of the engine (cached scores, grid indexes) but still account
+    /// their work here.
+    pub fn stats_mut(&mut self) -> &mut ExecStats {
+        &mut self.stats
+    }
+
+    /// Human-readable trace of the most recent
+    /// [`Executor::base_relation`] call: one line per scan, join and cross
+    /// product, in execution order.
+    #[must_use]
+    pub fn last_plan(&self) -> &[String] {
+        &self.last_plan
+    }
+
+    /// Resolves a query's column references against the catalog.
+    pub fn resolve(&self, query: &AcqQuery) -> EngineResult<ResolvedQuery> {
+        ResolvedQuery::resolve(&self.catalog, query)
+    }
+
+    /// Fills in each predicate's attribute domain from table statistics
+    /// (used to bound the useful refinement of every dimension).
+    pub fn populate_domains(&self, query: &mut AcqQuery) -> EngineResult<()> {
+        for pred in &mut query.predicates {
+            if pred.domain.is_some() {
+                continue;
+            }
+            match &pred.func {
+                PredFunction::Attr(c) => {
+                    let (table, idx) = self.catalog.resolve(c)?;
+                    let field = &table.schema().fields()[idx];
+                    pred.domain = table.numeric_domain(&field.name);
+                }
+                PredFunction::JoinDelta { left, right } => {
+                    let (lt, lidx) = self.catalog.resolve(&left.col)?;
+                    let (rt, ridx) = self.catalog.resolve(&right.col)?;
+                    let lname = lt.schema().fields()[lidx].name.clone();
+                    let rname = rt.schema().fields()[ridx].name.clone();
+                    if let (Some(ld), Some(rd)) =
+                        (lt.numeric_domain(&lname), rt.numeric_domain(&rname))
+                    {
+                        let (llo, lhi) = (left.eval(ld.lo()), left.eval(ld.hi()));
+                        let (rlo, rhi) = (right.eval(rd.lo()), right.eval(rd.hi()));
+                        let (llo, lhi) = (llo.min(lhi), llo.max(lhi));
+                        let (rlo, rhi) = (rlo.min(rhi), rlo.max(rhi));
+                        let max_delta = (lhi - rlo).max(rhi - llo).max(0.0);
+                        pred.domain = Some(Interval::new(0.0, max_delta));
+                    }
+                }
+                PredFunction::Categorical { .. } => {
+                    // Categorical predicates carry their [0, 100] score
+                    // domain from construction.
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialises the query's base relation: every tuple combination that
+    /// could be admitted by *some* refinement within `flex_caps` (one PScore
+    /// cap per flexible predicate, parallel to `rq.flex()`).
+    ///
+    /// * NOREFINE selection predicates prefilter their tables;
+    /// * flexible selection predicates prefilter to `score <= cap`;
+    /// * NOREFINE equi-joins run as hash joins;
+    /// * join predicates run as band joins at their cap width;
+    /// * disconnected tables fall back to a size-limited cross product.
+    pub fn base_relation(
+        &mut self,
+        rq: &ResolvedQuery,
+        flex_caps: &[f64],
+    ) -> EngineResult<Relation> {
+        assert_eq!(flex_caps.len(), rq.dims(), "one cap per flexible predicate");
+        self.last_plan.clear();
+        let q = &rq.query;
+
+        // Map predicate index -> cap (flexible) for quick lookup.
+        let mut cap_of = vec![f64::INFINITY; q.predicates.len()];
+        for (k, &i) in rq.flex().iter().enumerate() {
+            cap_of[i] = flex_caps[k];
+        }
+
+        // --- per-table scans with prefilters --------------------------------
+        let mut components: Vec<Relation> = Vec::with_capacity(q.tables.len());
+        let mut comp_of: Vec<usize> = Vec::with_capacity(q.tables.len());
+        for (ti, name) in q.tables.iter().enumerate() {
+            let table = self.catalog.table(name)?;
+            let scanned = self.scan_table(rq, &cap_of, name, &table)?;
+            self.last_plan.push(format!(
+                "scan {name}: {} of {} rows pass the table-local prefilters",
+                scanned.len(),
+                table.num_rows()
+            ));
+            components.push(scanned);
+            comp_of.push(ti);
+        }
+
+        let table_pos = |q: &AcqQuery, name: &str| -> EngineResult<usize> {
+            q.tables
+                .iter()
+                .position(|t| t == name)
+                .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+        };
+
+        // Union-find-lite: merge components as joins connect them.
+        let merge = |components: &mut Vec<Relation>,
+                     comp_of: &mut Vec<usize>,
+                     a: usize,
+                     b: usize,
+                     joined: Relation| {
+            let (keep, drop) = (a.min(b), a.max(b));
+            components[keep] = joined;
+            components[drop] = Relation::from_rows(Vec::new(), Vec::new());
+            for c in comp_of.iter_mut() {
+                if *c == drop {
+                    *c = keep;
+                }
+            }
+        };
+
+        // --- structural NOREFINE equi-joins ---------------------------------
+        for ((lname, lcol), (rname, rcol)) in rq.structural_joins().iter().cloned() {
+            let (lt, rt) = (table_pos(q, &lname)?, table_pos(q, &rname)?);
+            let (ca, cb) = (comp_of[lt], comp_of[rt]);
+            if ca == cb {
+                let rel = &components[ca];
+                let (lp, rp) = (rel_pos(rel, &lname)?, rel_pos(rel, &rname)?);
+                self.stats.tuples_scanned += rel.len() as u64;
+                let filtered = rel.filter(|row| {
+                    matches!(
+                        (rel.get_f64(row, lp, lcol), rel.get_f64(row, rp, rcol)),
+                        (Some(l), Some(r)) if l == r
+                    )
+                });
+                let (lc_name, rc_name) = (
+                    self.catalog.table(&lname)?.schema().fields()[lcol]
+                        .name
+                        .clone(),
+                    self.catalog.table(&rname)?.schema().fields()[rcol]
+                        .name
+                        .clone(),
+                );
+                self.last_plan.push(format!(
+                    "filter {lname}.{lc_name} = {rname}.{rc_name} (same component): {} rows remain",
+                    filtered.len()
+                ));
+                components[ca] = filtered;
+            } else {
+                let (lrel, rrel) = (&components[ca], &components[cb]);
+                let (lp, rp) = (rel_pos(lrel, &lname)?, rel_pos(rrel, &rname)?);
+                let joined = hash_equi_join(lrel, (lp, lcol), rrel, (rp, rcol), &mut self.stats);
+                let (lc_name, rc_name) = (
+                    self.catalog.table(&lname)?.schema().fields()[lcol]
+                        .name
+                        .clone(),
+                    self.catalog.table(&rname)?.schema().fields()[rcol]
+                        .name
+                        .clone(),
+                );
+                self.last_plan.push(format!(
+                    "hash join on {lname}.{lc_name} = {rname}.{rc_name}: {} x {} -> {} rows",
+                    lrel.len(),
+                    rrel.len(),
+                    joined.len()
+                ));
+                merge(&mut components, &mut comp_of, ca, cb, joined);
+            }
+        }
+
+        // --- join predicates as band joins at cap width ---------------------
+        for (i, pred) in q.predicates.iter().enumerate() {
+            let Some(((lname, lcol, lscale, loff), (rname, rcol, rscale, roff))) =
+                rq.join_parts(i).map(|((a, b, c, d), (e, f, g, h))| {
+                    ((a.to_string(), b, c, d), (e.to_string(), f, g, h))
+                })
+            else {
+                continue;
+            };
+            let cap = if pred.refinable { cap_of[i] } else { 0.0 };
+            let width = if cap.is_finite() {
+                pred.refined_interval(cap).hi()
+            } else {
+                match pred.max_useful_score() {
+                    Some(s) => pred.refined_interval(s).hi(),
+                    None => f64::INFINITY,
+                }
+            };
+            let (lt, rt) = (table_pos(q, &lname)?, table_pos(q, &rname)?);
+            let (ca, cb) = (comp_of[lt], comp_of[rt]);
+            if ca == cb {
+                let rel = &components[ca];
+                let (lp, rp) = (rel_pos(rel, &lname)?, rel_pos(rel, &rname)?);
+                self.stats.tuples_scanned += rel.len() as u64;
+                components[ca] = rel.filter(|row| {
+                    match (rel.get_f64(row, lp, lcol), rel.get_f64(row, rp, rcol)) {
+                        (Some(l), Some(r)) => {
+                            ((lscale * l + loff) - (rscale * r + roff)).abs() <= width
+                        }
+                        _ => false,
+                    }
+                });
+            } else if width.is_finite() {
+                let (lrel, rrel) = (&components[ca], &components[cb]);
+                let (lp, rp) = (rel_pos(lrel, &lname)?, rel_pos(rrel, &rname)?);
+                let joined = band_join(
+                    lrel,
+                    (lp, lcol),
+                    (lscale, loff),
+                    rrel,
+                    (rp, rcol),
+                    (rscale, roff),
+                    width,
+                    &mut self.stats,
+                );
+                let (lc_name, rc_name) = (
+                    self.catalog.table(&lname)?.schema().fields()[lcol]
+                        .name
+                        .clone(),
+                    self.catalog.table(&rname)?.schema().fields()[rcol]
+                        .name
+                        .clone(),
+                );
+                self.last_plan.push(format!(
+                    "band join |{lname}.{lc_name} - {rname}.{rc_name}| <= {width}:                      {} x {} -> {} rows",
+                    lrel.len(),
+                    rrel.len(),
+                    joined.len()
+                ));
+                merge(&mut components, &mut comp_of, ca, cb, joined);
+            } else {
+                // Unbounded band: fall through to the cross-product stage,
+                // which enforces the size limit.
+            }
+        }
+
+        // --- cross products for anything still disconnected -----------------
+        let mut live: Vec<usize> = {
+            let mut seen = Vec::new();
+            for &c in &comp_of {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+            seen
+        };
+        while live.len() > 1 {
+            let (a, b) = (live[0], live[1]);
+            let (ra, rb) = (&components[a], &components[b]);
+            let est = ra.len() as u64 * rb.len() as u64;
+            if est > self.cross_product_limit {
+                return Err(EngineError::CrossProductTooLarge {
+                    estimated: est,
+                    limit: self.cross_product_limit,
+                });
+            }
+            self.stats.tuples_scanned += (ra.len() + rb.len()) as u64;
+            self.stats.rows_joined += est;
+            let mut pairs = Vec::with_capacity(est as usize);
+            for i in 0..ra.len() {
+                for j in 0..rb.len() {
+                    pairs.push((i as u32, j as u32));
+                }
+            }
+            let joined = Relation::zip_join(ra, rb, &pairs);
+            self.last_plan.push(format!(
+                "cross product (no connecting predicate): {} x {} -> {} rows",
+                ra.len(),
+                rb.len(),
+                joined.len()
+            ));
+            merge(&mut components, &mut comp_of, a, b, joined);
+            live = {
+                let mut seen = Vec::new();
+                for &c in &comp_of {
+                    if !seen.contains(&c) {
+                        seen.push(c);
+                    }
+                }
+                seen
+            };
+        }
+
+        Ok(components.swap_remove(live[0]))
+    }
+
+    /// Scans one table, applying the prefilters that are local to it.
+    fn scan_table(
+        &mut self,
+        rq: &ResolvedQuery,
+        cap_of: &[f64],
+        name: &str,
+        table: &std::sync::Arc<Table>,
+    ) -> EngineResult<Relation> {
+        self.stats.tuples_scanned += table.num_rows() as u64;
+        // Predicates entirely local to this table.
+        let local: Vec<usize> = (0..rq.query.predicates.len())
+            .filter(|&i| {
+                let tabs = rq.source_tables(i);
+                tabs.len() == 1 && tabs[0] == name && !rq.query.predicates[i].is_join()
+            })
+            .collect();
+        if local.is_empty() {
+            return Ok(Relation::table(table.clone()));
+        }
+        let kept: Vec<u32> = (0..table.num_rows())
+            .filter(|&row| {
+                local.iter().all(|&i| {
+                    let s = rq.score_local(i, table, row);
+                    // NOREFINE violations score infinite and are dropped;
+                    // flexible predicates keep tuples up to the search cap
+                    // (inclusive: a boundary tuple belongs to the top cell).
+                    s.is_finite() && s <= cap_of[i]
+                })
+            })
+            .map(|r| r as u32)
+            .collect();
+        if kept.len() == table.num_rows() {
+            Ok(Relation::table(table.clone()))
+        } else {
+            Ok(Relation::table_subset(table.clone(), kept))
+        }
+    }
+
+    /// Executes a **cell query** (§5.1.1): aggregates the tuples of `rel`
+    /// whose refinement-score vector lies in `cell` (one range per flexible
+    /// predicate).
+    pub fn cell_aggregate(
+        &mut self,
+        rq: &ResolvedQuery,
+        rel: &Relation,
+        cell: &[CellRange],
+    ) -> EngineResult<AggState> {
+        self.stats.cell_queries += 1;
+        self.cell_aggregate_rows(rq, rel, cell, 0..rel.len())
+    }
+
+    /// Cell query restricted to candidate rows (used by index-backed
+    /// evaluation layers, §7.4). Does not bump the cell-query counter.
+    pub fn cell_aggregate_rows(
+        &mut self,
+        rq: &ResolvedQuery,
+        rel: &Relation,
+        cell: &[CellRange],
+        rows: impl Iterator<Item = usize>,
+    ) -> EngineResult<AggState> {
+        assert_eq!(cell.len(), rq.dims(), "one range per flexible predicate");
+        let bound = rq.bind(rel)?;
+        let mut state = AggState::empty(&rq.query.constraint.spec, &self.uda)?;
+        let mut scores = vec![0.0; rq.dims()];
+        let mut scanned = 0u64;
+        for row in rows {
+            scanned += 1;
+            if !bound.score_into(rel, row, &mut scores) {
+                continue;
+            }
+            if scores.iter().zip(cell).all(|(s, r)| r.contains(*s)) {
+                state.update(bound.agg_value(rel, row));
+            }
+        }
+        self.stats.tuples_scanned += scanned;
+        Ok(state)
+    }
+
+    /// Executes a **full refined query**: aggregates the tuples admitted
+    /// when each flexible predicate `k` is refined by `bounds[k]` percent.
+    /// This is what the baseline techniques do for every candidate query.
+    pub fn full_aggregate(
+        &mut self,
+        rq: &ResolvedQuery,
+        rel: &Relation,
+        bounds: &[f64],
+    ) -> EngineResult<AggState> {
+        assert_eq!(bounds.len(), rq.dims(), "one bound per flexible predicate");
+        self.stats.full_queries += 1;
+        self.stats.tuples_scanned += rel.len() as u64;
+        let bound = rq.bind(rel)?;
+        let mut state = AggState::empty(&rq.query.constraint.spec, &self.uda)?;
+        let mut scores = vec![0.0; rq.dims()];
+        for row in 0..rel.len() {
+            if !bound.score_into(rel, row, &mut scores) {
+                continue;
+            }
+            if scores.iter().zip(bounds).all(|(s, b)| s <= b) {
+                state.update(bound.agg_value(rel, row));
+            }
+        }
+        Ok(state)
+    }
+
+    /// The aggregate of the *original* (unrefined) query — `A_actual` of the
+    /// input, step 1 of the system architecture (Fig. 2).
+    pub fn original_aggregate(
+        &mut self,
+        rq: &ResolvedQuery,
+        rel: &Relation,
+    ) -> EngineResult<AggState> {
+        let zeros = vec![0.0; rq.dims()];
+        self.full_aggregate(rq, rel, &zeros)
+    }
+}
+
+fn rel_pos(rel: &Relation, name: &str) -> EngineResult<usize> {
+    rel.tables()
+        .iter()
+        .position(|t| t.name() == name)
+        .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::table::TableBuilder;
+    use crate::value::{DataType, Value};
+    use acq_query::{AggConstraint, AggregateSpec, CmpOp, ColRef, Predicate, RefineSide};
+
+    fn single_table_catalog() -> Catalog {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+            ],
+        )
+        .unwrap();
+        // y values: 10, 20, ..., 100
+        for i in 1..=10 {
+            b.push_row(vec![Value::Float(i as f64), Value::Float(i as f64 * 10.0)]);
+        }
+        let mut c = Catalog::new();
+        c.register(b.finish().unwrap()).unwrap();
+        c
+    }
+
+    fn count_query() -> AcqQuery {
+        AcqQuery::builder()
+            .table("t")
+            .predicate(Predicate::select(
+                ColRef::new("t", "y"),
+                Interval::new(0.0, 30.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 5.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn original_aggregate_counts_satisfying_tuples() {
+        let mut ex = Executor::new(single_table_catalog());
+        let rq = ex.resolve(&count_query()).unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        let a = ex.original_aggregate(&rq, &rel).unwrap();
+        assert_eq!(a.value(), Some(3.0)); // y in {10,20,30}
+    }
+
+    #[test]
+    fn full_aggregate_expands_with_bounds() {
+        let mut ex = Executor::new(single_table_catalog());
+        let rq = ex.resolve(&count_query()).unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        // Refining [0,30] by 100% gives [0,60]: y in {10..60} -> 6 tuples.
+        let a = ex.full_aggregate(&rq, &rel, &[100.0]).unwrap();
+        assert_eq!(a.value(), Some(6.0));
+    }
+
+    #[test]
+    fn cell_aggregate_partitions_the_data() {
+        let mut ex = Executor::new(single_table_catalog());
+        let rq = ex.resolve(&count_query()).unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        // Cells of step 100% partition scores {0} U (0,100] U (100,200]...
+        let zero = ex.cell_aggregate(&rq, &rel, &[CellRange::Zero]).unwrap();
+        assert_eq!(zero.value(), Some(3.0));
+        let c1 = ex
+            .cell_aggregate(&rq, &rel, &[CellRange::Open { lo: 0.0, hi: 100.0 }])
+            .unwrap();
+        assert_eq!(c1.value(), Some(3.0)); // y in {40,50,60}: scores 33..100
+        let c2 = ex
+            .cell_aggregate(
+                &rq,
+                &rel,
+                &[CellRange::Open {
+                    lo: 100.0,
+                    hi: 200.0,
+                }],
+            )
+            .unwrap();
+        assert_eq!(c2.value(), Some(3.0)); // y in {70,80,90}
+    }
+
+    #[test]
+    fn base_relation_prefilters_by_cap() {
+        let mut ex = Executor::new(single_table_catalog());
+        let rq = ex.resolve(&count_query()).unwrap();
+        // Cap 100%: scores > 100 (y > 60) are excluded from the universe.
+        let rel = ex.base_relation(&rq, &[100.0]).unwrap();
+        assert_eq!(rel.len(), 6);
+        // Boundary tuple (y=60, score exactly 100) is kept.
+        let a = ex.full_aggregate(&rq, &rel, &[100.0]).unwrap();
+        assert_eq!(a.value(), Some(6.0));
+    }
+
+    #[test]
+    fn base_relation_prefilters_norefine() {
+        let mut ex = Executor::new(single_table_catalog());
+        let mut q = count_query();
+        q.predicates.push(
+            Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(0.0, 4.0),
+                RefineSide::Upper,
+            )
+            .no_refine(),
+        );
+        let rq = ex.resolve(&q).unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        assert_eq!(rel.len(), 4); // x <= 4
+    }
+
+    fn two_table_catalog() -> Catalog {
+        let mut a = TableBuilder::new(
+            "a",
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Float),
+            ],
+        )
+        .unwrap();
+        for i in 0..5 {
+            a.push_row(vec![Value::Int(i), Value::Float(i as f64)]);
+        }
+        let mut b = TableBuilder::new(
+            "b",
+            vec![
+                Field::new("k", DataType::Int),
+                Field::new("w", DataType::Float),
+            ],
+        )
+        .unwrap();
+        for i in 0..5 {
+            b.push_row(vec![Value::Int(i * 2), Value::Float(10.0 * i as f64)]);
+        }
+        let mut c = Catalog::new();
+        c.register(a.finish().unwrap()).unwrap();
+        c.register(b.finish().unwrap()).unwrap();
+        c
+    }
+
+    #[test]
+    fn structural_join_materialises_matches() {
+        let mut ex = Executor::new(two_table_catalog());
+        let q = AcqQuery::builder()
+            .table("a")
+            .table("b")
+            .join(ColRef::new("a", "k"), ColRef::new("b", "k"))
+            .predicate(Predicate::select(
+                ColRef::new("b", "w"),
+                Interval::new(0.0, 100.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 2.0))
+            .build()
+            .unwrap();
+        let rq = ex.resolve(&q).unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        // a.k in {0..4}, b.k in {0,2,4,6,8}: matches k in {0,2,4}.
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn refinable_join_band_is_capped() {
+        let mut ex = Executor::new(two_table_catalog());
+        let q = AcqQuery::builder()
+            .table("a")
+            .table("b")
+            .predicate(Predicate::equi_join(
+                ColRef::new("a", "k"),
+                ColRef::new("b", "k"),
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 5.0))
+            .build()
+            .unwrap();
+        let rq = ex.resolve(&q).unwrap();
+        // Cap = 1 percent == band width 1 for equi-joins.
+        let rel = ex.base_relation(&rq, &[1.0]).unwrap();
+        // |a.k - b.k| <= 1 pairs: a0-b0, a1-b0, a1-b2(=2)? |1-2|=1 yes...
+        let mut expected = 0;
+        for ak in 0..5i64 {
+            for bk in [0i64, 2, 4, 6, 8] {
+                if (ak - bk).abs() <= 1 {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(rel.len(), expected);
+    }
+
+    #[test]
+    fn cross_product_limit_enforced() {
+        let mut ex = Executor::new(two_table_catalog()).with_cross_product_limit(10);
+        let q = AcqQuery::builder()
+            .table("a")
+            .table("b")
+            .predicate(Predicate::select(
+                ColRef::new("a", "v"),
+                Interval::new(0.0, 100.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 2.0))
+            .build()
+            .unwrap();
+        let rq = ex.resolve(&q).unwrap();
+        let err = ex.base_relation(&rq, &[f64::INFINITY]).unwrap_err();
+        assert!(matches!(err, EngineError::CrossProductTooLarge { .. }));
+    }
+
+    #[test]
+    fn sum_aggregate_over_cells() {
+        let mut ex = Executor::new(single_table_catalog());
+        let mut q = count_query();
+        q.constraint =
+            AggConstraint::new(AggregateSpec::sum(ColRef::new("t", "x")), CmpOp::Ge, 10.0);
+        let rq = ex.resolve(&q).unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        let zero = ex.cell_aggregate(&rq, &rel, &[CellRange::Zero]).unwrap();
+        assert_eq!(zero.value(), Some(1.0 + 2.0 + 3.0));
+    }
+
+    #[test]
+    fn last_plan_describes_materialisation() {
+        let mut ex = Executor::new(two_table_catalog());
+        let q = AcqQuery::builder()
+            .table("a")
+            .table("b")
+            .join(ColRef::new("a", "k"), ColRef::new("b", "k"))
+            .predicate(Predicate::select(
+                ColRef::new("b", "w"),
+                Interval::new(0.0, 100.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 2.0))
+            .build()
+            .unwrap();
+        let rq = ex.resolve(&q).unwrap();
+        let _ = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        let plan = ex.last_plan().join("\n");
+        assert!(plan.contains("scan a:"), "{plan}");
+        assert!(plan.contains("scan b:"), "{plan}");
+        assert!(plan.contains("hash join on a.k = b.k"), "{plan}");
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let mut ex = Executor::new(single_table_catalog());
+        let rq = ex.resolve(&count_query()).unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        ex.reset_stats();
+        let _ = ex.cell_aggregate(&rq, &rel, &[CellRange::Zero]).unwrap();
+        let _ = ex.full_aggregate(&rq, &rel, &[0.0]).unwrap();
+        let s = ex.stats();
+        assert_eq!(s.cell_queries, 1);
+        assert_eq!(s.full_queries, 1);
+        assert_eq!(s.tuples_scanned, 2 * rel.len() as u64);
+    }
+}

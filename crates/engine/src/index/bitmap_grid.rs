@@ -1,0 +1,380 @@
+//! The §7.4 bitmap grid index.
+//!
+//! *"We divide each attribute dimension into equi-width parts and create a
+//! multi-dimensional grid on the table. … each cell is assigned a
+//! corresponding bit, which is set to 1 if the cell contains some tuple and
+//! 0 otherwise. Once constructed, this simple index structure can be used in
+//! the Explore phase to determine if a given cell query is empty without
+//! actually executing the query."*
+//!
+//! Beyond the paper's bit-per-cell, this implementation also keeps per-cell
+//! tuple counts and a CSR row-id layout so that non-empty box queries can be
+//! answered by scanning only the rows of overlapping grid cells.
+
+use acq_query::Interval;
+
+use crate::table::Table;
+
+/// One indexed dimension: an equi-width binning of a numeric column.
+#[derive(Debug, Clone)]
+pub struct GridDim {
+    /// Column index in the table.
+    pub col: usize,
+    /// Attribute domain covered by the bins.
+    pub domain: Interval,
+    /// Number of equi-width bins.
+    pub bins: usize,
+}
+
+impl GridDim {
+    #[inline]
+    fn bin_of(&self, v: f64) -> usize {
+        let w = self.domain.width();
+        if w <= 0.0 {
+            return 0;
+        }
+        let frac = (v - self.domain.lo()) / w;
+        // Clamp out-of-domain values into the edge bins so every row lands
+        // somewhere (domains come from table statistics, so this only
+        // triggers on floating-point edge effects).
+        ((frac * self.bins as f64) as isize).clamp(0, self.bins as isize - 1) as usize
+    }
+
+    /// The bins overlapping `[lo, hi]`, as an inclusive index range.
+    #[inline]
+    fn bin_range(&self, lo: f64, hi: f64) -> (usize, usize) {
+        (self.bin_of(lo), self.bin_of(hi))
+    }
+}
+
+/// A multi-dimensional equi-width grid over numeric columns of one table,
+/// with an occupancy bitmap, per-cell counts, and CSR row ids.
+#[derive(Debug, Clone)]
+pub struct BitmapGridIndex {
+    dims: Vec<GridDim>,
+    /// Bit per cell: 1 when the cell holds at least one row.
+    occupied: Vec<u64>,
+    /// Rows per cell.
+    counts: Vec<u32>,
+    /// CSR: `row_ids[cell_start[c]..cell_start[c+1]]` are the rows in cell c.
+    cell_start: Vec<u32>,
+    row_ids: Vec<u32>,
+    total_cells: usize,
+}
+
+impl BitmapGridIndex {
+    /// Builds the index over the given numeric columns of `table`, with
+    /// `bins` equi-width bins per dimension. String columns and empty tables
+    /// produce an index with zero dimensions that reports every region
+    /// occupied (callers fall back to scans).
+    #[must_use]
+    pub fn build(table: &Table, cols: &[usize], bins: usize) -> Self {
+        assert!(bins >= 1, "at least one bin per dimension");
+        let mut dims = Vec::with_capacity(cols.len());
+        for &col in cols {
+            let name = &table.schema().fields()[col].name;
+            let Some(domain) = table.numeric_domain(name) else {
+                return Self::degenerate();
+            };
+            dims.push(GridDim { col, domain, bins });
+        }
+        if dims.is_empty() || table.num_rows() == 0 {
+            return Self::degenerate();
+        }
+        let total_cells = bins.pow(dims.len() as u32);
+
+        // First pass: cell of each row + counts.
+        let n = table.num_rows();
+        let mut cell_of = vec![0u32; n];
+        let mut counts = vec![0u32; total_cells];
+        for (row, slot) in cell_of.iter_mut().enumerate() {
+            let mut cell = 0usize;
+            for d in &dims {
+                let v = table.column(d.col).get_f64(row).unwrap_or(d.domain.lo());
+                cell = cell * d.bins + d.bin_of(v);
+            }
+            *slot = cell as u32;
+            counts[cell] += 1;
+        }
+
+        // CSR layout.
+        let mut cell_start = vec![0u32; total_cells + 1];
+        for c in 0..total_cells {
+            cell_start[c + 1] = cell_start[c] + counts[c];
+        }
+        let mut cursor = cell_start[..total_cells].to_vec();
+        let mut row_ids = vec![0u32; n];
+        for (row, &cell) in cell_of.iter().enumerate() {
+            let c = cell as usize;
+            row_ids[cursor[c] as usize] = row as u32;
+            cursor[c] += 1;
+        }
+
+        let mut occupied = vec![0u64; total_cells.div_ceil(64)];
+        for (c, &cnt) in counts.iter().enumerate() {
+            if cnt > 0 {
+                occupied[c / 64] |= 1u64 << (c % 64);
+            }
+        }
+
+        Self {
+            dims,
+            occupied,
+            counts,
+            cell_start,
+            row_ids,
+            total_cells,
+        }
+    }
+
+    fn degenerate() -> Self {
+        Self {
+            dims: Vec::new(),
+            occupied: Vec::new(),
+            counts: Vec::new(),
+            cell_start: vec![0],
+            row_ids: Vec::new(),
+            total_cells: 0,
+        }
+    }
+
+    /// Whether the index carries usable dimensions.
+    #[must_use]
+    pub fn is_usable(&self) -> bool {
+        !self.dims.is_empty()
+    }
+
+    /// Number of grid cells.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.total_cells
+    }
+
+    /// Whether grid cell `c` holds any row.
+    #[inline]
+    #[must_use]
+    pub fn cell_occupied(&self, c: usize) -> bool {
+        (self.occupied[c / 64] >> (c % 64)) & 1 == 1
+    }
+
+    /// Rows in grid cell `c`.
+    #[must_use]
+    pub fn rows_in_cell(&self, c: usize) -> &[u32] {
+        let (s, e) = (self.cell_start[c] as usize, self.cell_start[c + 1] as usize);
+        &self.row_ids[s..e]
+    }
+
+    fn for_each_overlapping_cell(
+        &self,
+        boxes: &[(f64, f64)],
+        mut visit: impl FnMut(usize) -> bool,
+    ) {
+        debug_assert_eq!(boxes.len(), self.dims.len());
+        let ranges: Vec<(usize, usize)> = self
+            .dims
+            .iter()
+            .zip(boxes)
+            .map(|(d, &(lo, hi))| d.bin_range(lo, hi))
+            .collect();
+        // Odometer over the per-dimension bin ranges.
+        let mut idx: Vec<usize> = ranges.iter().map(|r| r.0).collect();
+        loop {
+            let mut cell = 0usize;
+            for (d, &i) in self.dims.iter().zip(&idx) {
+                cell = cell * d.bins + i;
+            }
+            if !visit(cell) {
+                return;
+            }
+            // Increment the odometer.
+            let mut k = idx.len();
+            loop {
+                if k == 0 {
+                    return;
+                }
+                k -= 1;
+                if idx[k] < ranges[k].1 {
+                    idx[k] += 1;
+                    for j in (k + 1)..idx.len() {
+                        idx[j] = ranges[j].0;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Whether any tuple may lie inside the attribute box (one `[lo, hi]`
+    /// range per indexed dimension). `false` means the corresponding cell
+    /// query is provably empty and need not be executed (§7.4).
+    ///
+    /// `probes` is incremented once per call.
+    #[must_use]
+    pub fn box_maybe_occupied(&self, boxes: &[(f64, f64)], probes: &mut u64) -> bool {
+        *probes += 1;
+        if !self.is_usable() {
+            return true;
+        }
+        if boxes.iter().any(|&(lo, hi)| lo > hi) {
+            return false;
+        }
+        let mut found = false;
+        self.for_each_overlapping_cell(boxes, |cell| {
+            if self.cell_occupied(cell) {
+                found = true;
+                false // stop
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    /// Upper bound on the number of tuples in the attribute box (sum of the
+    /// counts of every overlapping cell).
+    #[must_use]
+    pub fn box_count_upper_bound(&self, boxes: &[(f64, f64)]) -> u64 {
+        if !self.is_usable() {
+            return u64::MAX;
+        }
+        if boxes.iter().any(|&(lo, hi)| lo > hi) {
+            return 0;
+        }
+        let mut total = 0u64;
+        self.for_each_overlapping_cell(boxes, |cell| {
+            total += u64::from(self.counts[cell]);
+            true
+        });
+        total
+    }
+
+    /// Visits the row ids of every cell overlapping the attribute box.
+    /// Callers must re-check the exact predicate per row (grid cells are
+    /// coarser than the box).
+    pub fn visit_box_candidates(&self, boxes: &[(f64, f64)], mut visit: impl FnMut(u32)) {
+        if !self.is_usable() {
+            return;
+        }
+        if boxes.iter().any(|&(lo, hi)| lo > hi) {
+            return;
+        }
+        self.for_each_overlapping_cell(boxes, |cell| {
+            for &r in self.rows_in_cell(cell) {
+                visit(r);
+            }
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::table::TableBuilder;
+    use crate::value::{DataType, Value};
+
+    fn table_2d() -> Table {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+            ],
+        )
+        .unwrap();
+        // Points on a diagonal: (0,0), (10,10), ..., (90,90)
+        for i in 0..10 {
+            b.push_row(vec![
+                Value::Float(i as f64 * 10.0),
+                Value::Float(i as f64 * 10.0),
+            ]);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_and_cell_counts() {
+        let t = table_2d();
+        let idx = BitmapGridIndex::build(&t, &[0, 1], 10);
+        assert!(idx.is_usable());
+        assert_eq!(idx.num_cells(), 100);
+        // All 10 points are on the diagonal; exactly 10 occupied cells.
+        let occupied = (0..100).filter(|&c| idx.cell_occupied(c)).count();
+        assert_eq!(occupied, 10);
+        // Every row is in exactly one cell.
+        let total: usize = (0..100).map(|c| idx.rows_in_cell(c).len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn empty_region_detected() {
+        let t = table_2d();
+        let idx = BitmapGridIndex::build(&t, &[0, 1], 10);
+        let mut probes = 0;
+        // Off-diagonal box: x in [0,9], y in [60, 89] has no points.
+        assert!(!idx.box_maybe_occupied(&[(0.0, 9.0), (60.0, 89.0)], &mut probes));
+        // Diagonal box is occupied.
+        assert!(idx.box_maybe_occupied(&[(0.0, 9.0), (0.0, 9.0)], &mut probes));
+        assert_eq!(probes, 2);
+    }
+
+    #[test]
+    fn inverted_boxes_are_empty() {
+        let t = table_2d();
+        let idx = BitmapGridIndex::build(&t, &[0, 1], 10);
+        let mut probes = 0;
+        assert!(!idx.box_maybe_occupied(&[(5.0, 1.0), (0.0, 90.0)], &mut probes));
+        assert_eq!(idx.box_count_upper_bound(&[(5.0, 1.0), (0.0, 90.0)]), 0);
+    }
+
+    #[test]
+    fn candidates_superset_of_exact_matches() {
+        let t = table_2d();
+        let idx = BitmapGridIndex::build(&t, &[0, 1], 10);
+        let mut cands = Vec::new();
+        idx.visit_box_candidates(&[(10.0, 35.0), (0.0, 90.0)], |r| cands.push(r));
+        cands.sort_unstable();
+        // Exact matches are rows 1..=3 (x = 10, 20, 30); candidates may
+        // include rows from partially overlapping cells.
+        for exact in [1u32, 2, 3] {
+            assert!(cands.contains(&exact));
+        }
+        // Upper bound >= exact count.
+        assert!(idx.box_count_upper_bound(&[(10.0, 35.0), (0.0, 90.0)]) >= 3);
+    }
+
+    #[test]
+    fn degenerate_on_string_column() {
+        let mut b = TableBuilder::new("s", vec![Field::new("c", DataType::Str)]).unwrap();
+        b.push_row(vec![Value::from("a")]);
+        let t = b.finish().unwrap();
+        let idx = BitmapGridIndex::build(&t, &[0], 8);
+        assert!(!idx.is_usable());
+        let mut probes = 0;
+        // Degenerate index can never prove emptiness.
+        assert!(idx.box_maybe_occupied(&[(0.0, 1.0)], &mut probes));
+    }
+
+    #[test]
+    fn single_bin_grid() {
+        let t = table_2d();
+        let idx = BitmapGridIndex::build(&t, &[0], 1);
+        assert_eq!(idx.num_cells(), 1);
+        assert_eq!(idx.rows_in_cell(0).len(), 10);
+    }
+
+    #[test]
+    fn point_domain_column() {
+        let mut b = TableBuilder::new("p", vec![Field::new("x", DataType::Float)]).unwrap();
+        for _ in 0..5 {
+            b.push_row(vec![Value::Float(7.0)]);
+        }
+        let t = b.finish().unwrap();
+        let idx = BitmapGridIndex::build(&t, &[0], 4);
+        // All rows collapse into bin 0 of a zero-width domain.
+        assert_eq!(idx.rows_in_cell(0).len(), 5);
+        let mut probes = 0;
+        assert!(idx.box_maybe_occupied(&[(7.0, 7.0)], &mut probes));
+    }
+}

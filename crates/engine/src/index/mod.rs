@@ -1,0 +1,5 @@
+//! Index structures for the evaluation layer.
+
+mod bitmap_grid;
+
+pub use bitmap_grid::{BitmapGridIndex, GridDim};

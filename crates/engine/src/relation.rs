@@ -1,0 +1,209 @@
+//! Materialised relations: a base table scan or the product of joins.
+
+use std::sync::Arc;
+
+use crate::table::Table;
+
+/// A materialised relation over one or more base tables.
+///
+/// Each logical row is a tuple of row-ids, one per base table, stored
+/// flattened with stride `tables.len()`. Single-table relations use an
+/// implicit identity mapping to avoid materialising row-id vectors for
+/// full scans.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    tables: Vec<Arc<Table>>,
+    /// Flattened row-id tuples; empty when `identity`.
+    row_ids: Vec<u32>,
+    len: usize,
+    identity: bool,
+}
+
+impl Relation {
+    /// A full scan of one table (identity row mapping).
+    #[must_use]
+    pub fn table(table: Arc<Table>) -> Self {
+        let len = table.num_rows();
+        Self {
+            tables: vec![table],
+            row_ids: Vec::new(),
+            len,
+            identity: true,
+        }
+    }
+
+    /// A relation over one table restricted to the given rows.
+    #[must_use]
+    pub fn table_subset(table: Arc<Table>, rows: Vec<u32>) -> Self {
+        let len = rows.len();
+        Self {
+            tables: vec![table],
+            row_ids: rows,
+            len,
+            identity: false,
+        }
+    }
+
+    /// A relation over several tables with explicit flattened row-id tuples
+    /// (`row_ids.len() == len * tables.len()`).
+    #[must_use]
+    pub fn from_rows(tables: Vec<Arc<Table>>, row_ids: Vec<u32>) -> Self {
+        let stride = tables.len().max(1);
+        assert_eq!(
+            row_ids.len() % stride,
+            0,
+            "row ids must be a multiple of the stride"
+        );
+        let len = row_ids.len() / stride;
+        Self {
+            tables,
+            row_ids,
+            len,
+            identity: false,
+        }
+    }
+
+    /// The base tables, in position order.
+    #[must_use]
+    pub fn tables(&self) -> &[Arc<Table>] {
+        &self.tables
+    }
+
+    /// Number of logical rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the relation has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The base-table row id backing logical `row` for table `table_idx`.
+    #[inline]
+    #[must_use]
+    pub fn base_row(&self, row: usize, table_idx: usize) -> u32 {
+        debug_assert!(row < self.len);
+        debug_assert!(table_idx < self.tables.len());
+        if self.identity {
+            row as u32
+        } else {
+            self.row_ids[row * self.tables.len() + table_idx]
+        }
+    }
+
+    /// Numeric value of column `col_idx` of table `table_idx` at logical
+    /// `row` (`None` for string columns).
+    #[inline]
+    #[must_use]
+    pub fn get_f64(&self, row: usize, table_idx: usize, col_idx: usize) -> Option<f64> {
+        let base = self.base_row(row, table_idx) as usize;
+        self.tables[table_idx].column(col_idx).get_f64(base)
+    }
+
+    /// String value of column `col_idx` of table `table_idx` at logical
+    /// `row` (`None` for numeric columns).
+    #[inline]
+    #[must_use]
+    pub fn get_str(&self, row: usize, table_idx: usize, col_idx: usize) -> Option<&str> {
+        let base = self.base_row(row, table_idx) as usize;
+        self.tables[table_idx].column(col_idx).get_str(base)
+    }
+
+    /// Keeps only the logical rows for which `keep` returns true.
+    #[must_use]
+    pub fn filter(&self, mut keep: impl FnMut(usize) -> bool) -> Relation {
+        let stride = self.tables.len();
+        let mut row_ids = Vec::new();
+        for row in 0..self.len {
+            if keep(row) {
+                for t in 0..stride {
+                    row_ids.push(self.base_row(row, t));
+                }
+            }
+        }
+        Relation::from_rows(self.tables.clone(), row_ids)
+    }
+
+    /// Concatenates the columns of two relations row-wise given pairs of
+    /// matching logical rows `(left_row, right_row)`.
+    #[must_use]
+    pub fn zip_join(left: &Relation, right: &Relation, pairs: &[(u32, u32)]) -> Relation {
+        let mut tables = Vec::with_capacity(left.tables.len() + right.tables.len());
+        tables.extend(left.tables.iter().cloned());
+        tables.extend(right.tables.iter().cloned());
+        let stride = tables.len();
+        let mut row_ids = Vec::with_capacity(pairs.len() * stride);
+        for &(l, r) in pairs {
+            for t in 0..left.tables.len() {
+                row_ids.push(left.base_row(l as usize, t));
+            }
+            for t in 0..right.tables.len() {
+                row_ids.push(right.base_row(r as usize, t));
+            }
+        }
+        Relation::from_rows(tables, row_ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::table::TableBuilder;
+    use crate::value::{DataType, Value};
+
+    fn t(name: &str, vals: &[i64]) -> Arc<Table> {
+        let mut b = TableBuilder::new(name, vec![Field::new("x", DataType::Int)]).unwrap();
+        for &v in vals {
+            b.push_row(vec![Value::Int(v)]);
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn identity_scan() {
+        let rel = Relation::table(t("a", &[10, 20, 30]));
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.base_row(2, 0), 2);
+        assert_eq!(rel.get_f64(1, 0, 0), Some(20.0));
+    }
+
+    #[test]
+    fn subset() {
+        let rel = Relation::table_subset(t("a", &[10, 20, 30]), vec![2, 0]);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.get_f64(0, 0, 0), Some(30.0));
+        assert_eq!(rel.get_f64(1, 0, 0), Some(10.0));
+    }
+
+    #[test]
+    fn filter_materialises() {
+        let rel = Relation::table(t("a", &[1, 2, 3, 4]));
+        let f = rel.filter(|row| row % 2 == 0);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get_f64(1, 0, 0), Some(3.0));
+    }
+
+    #[test]
+    fn zip_join_concatenates_tables() {
+        let l = Relation::table(t("a", &[1, 2]));
+        let r = Relation::table(t("b", &[10, 20, 30]));
+        let j = Relation::zip_join(&l, &r, &[(0, 2), (1, 0)]);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.tables().len(), 2);
+        assert_eq!(j.get_f64(0, 0, 0), Some(1.0));
+        assert_eq!(j.get_f64(0, 1, 0), Some(30.0));
+        assert_eq!(j.get_f64(1, 1, 0), Some(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the stride")]
+    fn from_rows_validates_stride() {
+        let a = t("a", &[1]);
+        let b = t("b", &[1]);
+        let _ = Relation::from_rows(vec![a, b], vec![0, 0, 0]);
+    }
+}

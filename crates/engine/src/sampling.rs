@@ -1,0 +1,190 @@
+//! Catalog sampling: the "sampling" evaluation-layer strategy of §3.
+//!
+//! *"The evaluation layer is modular and can be replaced with other
+//! techniques such as estimation, and/or sampling"* — and the paper's
+//! Fig. 10a runs a 1K-tuple dataset precisely "to mimic a sample based
+//! approach". This module makes that a first-class operation: Bernoulli
+//! -sample selected tables of a catalog (deterministically, from a seed and
+//! the row identity — no RNG state involved) and scale the query target so
+//! a refinement search over the sample approximates the full-data search.
+//!
+//! Sampling each table of a join independently would destroy foreign-key
+//! matches, so [`sample_catalog_tables`] samples only the tables the caller
+//! names (typically the fact table) and keeps the rest intact.
+
+use acq_query::{AcqQuery, AggFunc};
+
+use crate::catalog::Catalog;
+use crate::column::ColumnData;
+use crate::error::EngineResult;
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// SplitMix64: a tiny, high-quality bit mixer for hash-based sampling.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Bernoulli-samples a table: row `i` is kept iff
+/// `hash(seed, table, i) < rate`. Deterministic in `(seed, table name, i)`.
+pub fn bernoulli_sample(table: &Table, rate: f64, seed: u64) -> EngineResult<Table> {
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "sampling rate must be in [0, 1]"
+    );
+    let threshold = (rate * u64::MAX as f64) as u64;
+    let tag = seed ^ fnv1a(table.name());
+    let kept: Vec<usize> = (0..table.num_rows())
+        .filter(|&row| splitmix64(tag ^ row as u64) <= threshold)
+        .collect();
+
+    let schema = Schema::new(table.schema().fields().to_vec())?;
+    let mut columns = Vec::with_capacity(schema.len());
+    for c in 0..schema.len() {
+        let src = table.column(c);
+        let mut dst = ColumnData::with_capacity(src.dtype(), kept.len());
+        for &row in &kept {
+            dst.push(src.get(row));
+        }
+        columns.push(dst);
+    }
+    Table::from_columns(table.name(), schema, columns)
+}
+
+/// Samples the named tables of a catalog at `rate`; every other table is
+/// shared as-is. Returns the sampled catalog and the *effective* rate of
+/// each sampled table (its realised |sample| / |table|), whose mean the
+/// caller can use for target scaling.
+pub fn sample_catalog_tables(
+    catalog: &Catalog,
+    tables: &[&str],
+    rate: f64,
+    seed: u64,
+) -> EngineResult<(Catalog, f64)> {
+    let mut out = Catalog::new();
+    let mut realised = Vec::new();
+    for name in catalog.table_names() {
+        let table = catalog.table(name)?;
+        if tables.contains(&name) {
+            let sampled = bernoulli_sample(&table, rate, seed)?;
+            if table.num_rows() > 0 {
+                realised.push(sampled.num_rows() as f64 / table.num_rows() as f64);
+            }
+            out.register(sampled)?;
+        } else {
+            out.register((*table).clone())?;
+        }
+    }
+    let eff = if realised.is_empty() {
+        rate
+    } else {
+        realised.iter().sum::<f64>() / realised.len() as f64
+    };
+    Ok((out, eff))
+}
+
+/// Scales a query's aggregate target for execution over a sample:
+/// extensive aggregates (COUNT, SUM) scale with the rate; MIN/MAX/AVG and
+/// UDAs are left unscaled (they are intensive — the caller owns any
+/// aggregate-specific correction).
+#[must_use]
+pub fn scale_target_for_sample(query: &AcqQuery, rate: f64) -> AcqQuery {
+    let mut q = query.clone();
+    match q.constraint.spec.func {
+        AggFunc::Count | AggFunc::Sum => q.constraint.target *= rate,
+        AggFunc::Min | AggFunc::Max | AggFunc::Avg | AggFunc::Uda(_) => {}
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::table::TableBuilder;
+    use crate::value::{DataType, Value};
+    use acq_query::{AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide};
+
+    fn table(n: usize) -> Table {
+        let mut b = TableBuilder::new("t", vec![Field::new("x", DataType::Float)]).unwrap();
+        for i in 0..n {
+            b.push_row(vec![Value::Float(i as f64)]);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn sample_rate_is_respected_and_deterministic() {
+        let t = table(10_000);
+        let s1 = bernoulli_sample(&t, 0.1, 7).unwrap();
+        let s2 = bernoulli_sample(&t, 0.1, 7).unwrap();
+        assert_eq!(s1.num_rows(), s2.num_rows());
+        let frac = s1.num_rows() as f64 / 10_000.0;
+        assert!((frac - 0.1).abs() < 0.02, "realised rate {frac}");
+        // Different seeds give different samples.
+        let s3 = bernoulli_sample(&t, 0.1, 8).unwrap();
+        let differs = s1.num_rows() != s3.num_rows()
+            || (0..s1.num_rows()).any(|r| s1.value(r, 0) != s3.value(r, 0));
+        assert!(differs);
+    }
+
+    #[test]
+    fn rate_extremes() {
+        let t = table(100);
+        assert_eq!(bernoulli_sample(&t, 1.0, 1).unwrap().num_rows(), 100);
+        assert_eq!(bernoulli_sample(&t, 0.0, 1).unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn catalog_sampling_touches_only_named_tables() {
+        let mut cat = Catalog::new();
+        cat.register(table(1_000)).unwrap();
+        let mut b = TableBuilder::new("dim", vec![Field::new("k", DataType::Int)]).unwrap();
+        for i in 0..50 {
+            b.push_row(vec![Value::Int(i)]);
+        }
+        cat.register(b.finish().unwrap()).unwrap();
+        let (sampled, eff) = sample_catalog_tables(&cat, &["t"], 0.2, 3).unwrap();
+        assert!(sampled.table("t").unwrap().num_rows() < 400);
+        assert_eq!(sampled.table("dim").unwrap().num_rows(), 50);
+        assert!(eff > 0.1 && eff < 0.3, "effective rate {eff}");
+    }
+
+    #[test]
+    fn target_scaling_by_aggregate_kind() {
+        let base = AcqQuery::builder()
+            .table("t")
+            .predicate(Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(0.0, 10.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(
+                AggregateSpec::count(),
+                CmpOp::Eq,
+                1000.0,
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(scale_target_for_sample(&base, 0.1).constraint.target, 100.0);
+
+        let mut maxq = base.clone();
+        maxq.constraint =
+            AggConstraint::new(AggregateSpec::max(ColRef::new("t", "x")), CmpOp::Ge, 500.0);
+        assert_eq!(scale_target_for_sample(&maxq, 0.1).constraint.target, 500.0);
+    }
+}

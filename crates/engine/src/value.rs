@@ -1,0 +1,130 @@
+//! Scalar values and data types.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The engine's column data types. The ACQ model refines numeric predicates
+/// (§2.2); strings exist to support categorical predicates scored through an
+/// ontology (§7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string (reference counted; columns share repeated values).
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Int => write!(f, "INT"),
+            Self::Float => write!(f, "FLOAT"),
+            Self::Str => write!(f, "STR"),
+        }
+    }
+}
+
+/// A scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// String value.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// The value's data type.
+    #[must_use]
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Self::Int(_) => DataType::Int,
+            Self::Float(_) => DataType::Float,
+            Self::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Numeric view of the value (`None` for strings).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Int(i) => Some(*i as f64),
+            Self::Float(f) => Some(*f),
+            Self::Str(_) => None,
+        }
+    }
+
+    /// String view of the value (`None` for numerics).
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(Arc::from(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Int(i) => write!(f, "{i}"),
+            Self::Float(x) => write!(f, "{x}"),
+            Self::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_views() {
+        assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("a").as_f64(), None);
+        assert_eq!(Value::from("a").as_str(), Some("a"));
+        assert_eq!(Value::from(1i64).as_str(), None);
+    }
+
+    #[test]
+    fn dtype_matches_variant() {
+        assert_eq!(Value::from(1i64).dtype(), DataType::Int);
+        assert_eq!(Value::from(1.0).dtype(), DataType::Float);
+        assert_eq!(Value::from("x").dtype(), DataType::Str);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::from(1i64).to_string(), "1");
+        assert_eq!(Value::from("ab").to_string(), "'ab'");
+    }
+}

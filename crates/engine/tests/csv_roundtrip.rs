@@ -1,0 +1,87 @@
+//! Property test: any table survives a CSV write/read round trip with
+//! identical schema and values.
+
+use proptest::prelude::*;
+
+use acq_engine::{csv, DataType, Field, Table, TableBuilder, Value};
+
+fn build(rows: &[(i64, f64, String)]) -> Table {
+    let mut b = TableBuilder::new(
+        "t",
+        vec![
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+            Field::new("s", DataType::Str),
+        ],
+    )
+    .unwrap();
+    for (i, f, s) in rows {
+        b.push_row(vec![
+            Value::Int(*i),
+            Value::Float(*f),
+            Value::from(s.as_str()),
+        ]);
+    }
+    b.finish().unwrap()
+}
+
+/// Strings that exercise the quoting rules but keep the non-empty /
+/// no-ambient-newline invariants of the engine's CSV profile, and that do
+/// not themselves parse as numbers (type inference must keep the column
+/// STR).
+fn csv_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z ,\"'_-]{1,20}")
+        .expect("valid regex")
+        .prop_filter("non-empty, non-numeric, no edge whitespace", |s| {
+            !s.trim().is_empty()
+                && s.trim() == s
+                && s.parse::<f64>().is_err()
+                && s.chars().any(|c| c.is_ascii_alphabetic())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_preserves_schema_and_values(
+        rows in prop::collection::vec(
+            (any::<i64>(), -1.0e15f64..1.0e15, csv_string()),
+            1..40,
+        )
+    ) {
+        let table = build(&rows);
+        let text = csv::write_csv_string(&table);
+        let back = csv::read_csv_str("t", "roundtrip", &text)
+            .unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(back.schema(), table.schema());
+        prop_assert_eq!(back.num_rows(), table.num_rows());
+        for r in 0..table.num_rows() {
+            for c in 0..3 {
+                prop_assert_eq!(
+                    back.value(r, c),
+                    table.value(r, c),
+                    "cell ({}, {})",
+                    r,
+                    c
+                );
+            }
+        }
+    }
+
+    /// Float columns survive exactly (shortest-round-trip formatting).
+    #[test]
+    fn floats_roundtrip_bit_exactly(vals in prop::collection::vec(any::<f64>(), 1..30)) {
+        prop_assume!(vals.iter().all(|v| v.is_finite()));
+        let mut b = TableBuilder::new("t", vec![Field::new("x", DataType::Float)]).unwrap();
+        for &v in &vals {
+            b.push_row(vec![Value::Float(v)]);
+        }
+        let table = b.finish().unwrap();
+        let back = csv::read_csv_str("t", "mem", &csv::write_csv_string(&table)).unwrap();
+        for (r, &v) in vals.iter().enumerate() {
+            let got = back.column_by_name("x").unwrap().get_f64(r).unwrap();
+            prop_assert_eq!(got.to_bits(), v.to_bits(), "row {}", r);
+        }
+    }
+}

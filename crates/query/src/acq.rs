@@ -1,0 +1,537 @@
+//! The Aggregation Constrained Query itself.
+
+use std::fmt;
+
+use crate::aggregate::{AggConstraint, AggFunc};
+use crate::error_fn::AggErrorFn;
+use crate::interval::Interval;
+use crate::norm::Norm;
+use crate::predicate::{ColRef, PredFunction, Predicate};
+
+/// A structural equi-join marked NOREFINE: it defines how relations are
+/// connected but never participates in refinement (e.g. the
+/// `s_suppkey = ps_suppkey NOREFINE` joins of the paper's Q2').
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquiJoin {
+    /// Left join key.
+    pub left: ColRef,
+    /// Right join key.
+    pub right: ColRef,
+}
+
+impl fmt::Display for EquiJoin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} = {}) NOREFINE", self.left, self.right)
+    }
+}
+
+/// Errors raised while constructing or validating an [`AcqQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcqError {
+    /// The query references no tables.
+    NoTables,
+    /// No predicate is refinable, so the refined space has zero dimensions.
+    NoRefinablePredicate,
+    /// A column reference lacks a table qualifier after binding.
+    UnresolvedColumn(ColRef),
+    /// The aggregate needs a column argument but none was given.
+    MissingAggregateColumn(AggFunc),
+    /// `COUNT` takes no column argument.
+    UnexpectedAggregateColumn,
+    /// The aggregate lacks the optimal substructure property.
+    UnsupportedAggregate(String),
+    /// The norm parameters do not match the query.
+    InvalidNorm(String),
+    /// Target aggregate values must be finite.
+    InvalidTarget(f64),
+}
+
+impl fmt::Display for AcqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoTables => write!(f, "query references no tables"),
+            Self::NoRefinablePredicate => {
+                write!(f, "every predicate is NOREFINE; nothing can be refined")
+            }
+            Self::UnresolvedColumn(c) => write!(f, "unresolved column reference: {c}"),
+            Self::MissingAggregateColumn(a) => {
+                write!(f, "aggregate {a} requires a column argument")
+            }
+            Self::UnexpectedAggregateColumn => write!(f, "COUNT(*) takes no column argument"),
+            Self::UnsupportedAggregate(msg) => write!(f, "{msg}"),
+            Self::InvalidNorm(msg) => write!(f, "invalid norm: {msg}"),
+            Self::InvalidTarget(t) => write!(f, "aggregate target must be finite, got {t}"),
+        }
+    }
+}
+
+impl std::error::Error for AcqError {}
+
+/// An Aggregation Constrained Query: tables, structural joins, predicates
+/// (refinable and NOREFINE), the aggregate constraint, and the error measure
+/// used to judge candidate refinements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcqQuery {
+    /// Referenced tables, in FROM-clause order.
+    pub tables: Vec<String>,
+    /// NOREFINE equi-joins connecting the tables.
+    pub structural_joins: Vec<EquiJoin>,
+    /// All predicates (refinable ones span the refined space).
+    pub predicates: Vec<Predicate>,
+    /// The `CONSTRAINT` clause.
+    pub constraint: AggConstraint,
+    /// Aggregate error measure (§2.5); defaults per aggregate.
+    pub error_fn: AggErrorFn,
+}
+
+impl AcqQuery {
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder() -> AcqQueryBuilder {
+        AcqQueryBuilder::default()
+    }
+
+    /// Indices (into [`AcqQuery::predicates`]) of the refinable predicates,
+    /// i.e. the dimensions of the refined space, in declaration order.
+    #[must_use]
+    pub fn flexible(&self) -> Vec<usize> {
+        self.predicates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.refinable.then_some(i))
+            .collect()
+    }
+
+    /// Number of refinement dimensions `d`.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.predicates.iter().filter(|p| p.refinable).count()
+    }
+
+    /// Validates the query for structural soundness.
+    pub fn validate(&self) -> Result<(), AcqError> {
+        if self.tables.is_empty() {
+            return Err(AcqError::NoTables);
+        }
+        if self.dims() == 0 {
+            return Err(AcqError::NoRefinablePredicate);
+        }
+        if !self.constraint.target.is_finite() {
+            return Err(AcqError::InvalidTarget(self.constraint.target));
+        }
+        match (&self.constraint.spec.func, &self.constraint.spec.col) {
+            (AggFunc::Count, Some(_)) => return Err(AcqError::UnexpectedAggregateColumn),
+            (f, None) if f.needs_column() => {
+                return Err(AcqError::MissingAggregateColumn(f.clone()))
+            }
+            _ => {}
+        }
+        for col in self.referenced_columns() {
+            if col.table.is_none() {
+                return Err(AcqError::UnresolvedColumn(col.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the query together with the norm that will score it.
+    pub fn validate_with_norm(&self, norm: &Norm) -> Result<(), AcqError> {
+        self.validate()?;
+        norm.validate(self.dims()).map_err(AcqError::InvalidNorm)
+    }
+
+    /// All column references in the query (joins, predicates, aggregate).
+    #[must_use]
+    pub fn referenced_columns(&self) -> Vec<&ColRef> {
+        let mut cols = Vec::new();
+        for j in &self.structural_joins {
+            cols.push(&j.left);
+            cols.push(&j.right);
+        }
+        for p in &self.predicates {
+            match &p.func {
+                PredFunction::Attr(c) => cols.push(c),
+                PredFunction::JoinDelta { left, right } => {
+                    cols.push(&left.col);
+                    cols.push(&right.col);
+                }
+                PredFunction::Categorical { col, .. } => cols.push(col),
+            }
+        }
+        if let Some(c) = &self.constraint.spec.col {
+            cols.push(c);
+        }
+        cols
+    }
+
+    /// The per-predicate intervals of the query refined by the given PScore
+    /// vector over its flexible predicates; NOREFINE predicates keep their
+    /// original intervals.
+    #[must_use]
+    pub fn refined_intervals(&self, flex_scores: &[f64]) -> Vec<Interval> {
+        let flex = self.flexible();
+        assert_eq!(
+            flex.len(),
+            flex_scores.len(),
+            "one PScore per flexible predicate"
+        );
+        let mut intervals: Vec<Interval> = self.predicates.iter().map(|p| p.interval).collect();
+        for (k, &i) in flex.iter().enumerate() {
+            intervals[i] = self.predicates[i].refined_interval(flex_scores[k]);
+        }
+        intervals
+    }
+
+    /// Renders the query in the paper's extended SQL (`CONSTRAINT` +
+    /// `NOREFINE` keywords, §2.1).
+    #[must_use]
+    pub fn to_sql(&self) -> String {
+        self.render_sql(None)
+    }
+
+    /// Renders the query refined by `flex_scores`, i.e. one of ACQUIRE's
+    /// output queries.
+    #[must_use]
+    pub fn refined_sql(&self, flex_scores: &[f64]) -> String {
+        self.render_sql(Some(flex_scores))
+    }
+
+    fn render_sql(&self, flex_scores: Option<&[f64]>) -> String {
+        let intervals = match flex_scores {
+            Some(s) => self.refined_intervals(s),
+            None => self.predicates.iter().map(|p| p.interval).collect(),
+        };
+        let mut out = format!(
+            "SELECT * FROM {} {}",
+            self.tables.join(", "),
+            self.constraint
+        );
+        let mut clauses: Vec<String> = self
+            .structural_joins
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        for (p, iv) in self.predicates.iter().zip(&intervals) {
+            for (clause, fixed) in render_predicate(p, iv) {
+                if fixed || !p.refinable {
+                    clauses.push(format!("{clause} NOREFINE"));
+                } else {
+                    clauses.push(clause);
+                }
+            }
+        }
+        if !clauses.is_empty() {
+            out.push_str(" WHERE ");
+            out.push_str(&clauses.join(" AND "));
+        }
+        out
+    }
+}
+
+/// Formats a bound for SQL rendering. Uses Rust's shortest
+/// exact-round-trip float formatting: the printed literal parses back to
+/// the identical `f64`, so re-compiling a rendered query never moves a
+/// predicate bound (a six-digit truncation here would silently exclude
+/// boundary tuples — caught by the `acq-sql` round-trip property test).
+fn fmt_bound(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Renders one predicate as `(clause, fixed)` pairs; `fixed` marks guard
+/// clauses that must carry NOREFINE so the rendered statement re-compiles
+/// with the *same* refinability structure (§2.2 splits ranges into two
+/// one-sided predicates — the fixed side must not silently become
+/// refinable on the way back in).
+fn render_predicate(p: &Predicate, iv: &Interval) -> Vec<(String, bool)> {
+    match &p.func {
+        PredFunction::Attr(c) => {
+            if iv.width() == 0.0 {
+                return vec![(format!("({c} = {})", fmt_bound(iv.lo())), false)];
+            }
+            match p.refine {
+                crate::RefineSide::Upper => {
+                    // The lower bound is the fixed side; omit it when it is
+                    // no tighter than the data domain (the binder recreates
+                    // it from statistics), otherwise emit a NOREFINE guard.
+                    let redundant = p.domain.is_some_and(|d| iv.lo() <= d.lo());
+                    let mut out = Vec::new();
+                    if !redundant {
+                        out.push((format!("({c} >= {})", fmt_bound(iv.lo())), true));
+                    }
+                    out.push((format!("({c} <= {})", fmt_bound(iv.hi())), false));
+                    out
+                }
+                crate::RefineSide::Lower => {
+                    let redundant = p.domain.is_some_and(|d| iv.hi() >= d.hi());
+                    let mut out = vec![(format!("({c} >= {})", fmt_bound(iv.lo())), false)];
+                    if !redundant {
+                        out.push((format!("({c} <= {})", fmt_bound(iv.hi())), true));
+                    }
+                    out
+                }
+            }
+        }
+        PredFunction::JoinDelta { left, right } => {
+            if iv.hi() == 0.0 {
+                vec![(format!("({left} = {right})"), false)]
+            } else {
+                vec![(
+                    format!("(|{left} - {right}| <= {})", fmt_bound(iv.hi())),
+                    false,
+                )]
+            }
+        }
+        PredFunction::Categorical {
+            col,
+            accepted,
+            ontology,
+        } => {
+            // A refined categorical predicate rolls the accepted set up; we
+            // render the roll-up level implied by the interval's upper bound.
+            let height = ontology.height().max(1) as f64;
+            let levels = (iv.hi() / (100.0 / height)).round() as u32;
+            if levels == 0 {
+                vec![(format!("({col} IN {{{}}})", accepted.join(", ")), false)]
+            } else {
+                vec![(
+                    format!("({col} IN rollup({{{}}}, {levels}))", accepted.join(", ")),
+                    false,
+                )]
+            }
+        }
+    }
+}
+
+/// Fluent builder for [`AcqQuery`]. `build` validates the result.
+#[derive(Debug, Default)]
+pub struct AcqQueryBuilder {
+    tables: Vec<String>,
+    structural_joins: Vec<EquiJoin>,
+    predicates: Vec<Predicate>,
+    constraint: Option<AggConstraint>,
+    error_fn: Option<AggErrorFn>,
+}
+
+impl AcqQueryBuilder {
+    /// Adds a table to the FROM clause.
+    #[must_use]
+    pub fn table(mut self, name: impl Into<String>) -> Self {
+        self.tables.push(name.into());
+        self
+    }
+
+    /// Adds a NOREFINE structural equi-join.
+    #[must_use]
+    pub fn join(mut self, left: ColRef, right: ColRef) -> Self {
+        self.structural_joins.push(EquiJoin { left, right });
+        self
+    }
+
+    /// Adds a predicate (refinable unless marked otherwise).
+    #[must_use]
+    pub fn predicate(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Sets the aggregate constraint.
+    #[must_use]
+    pub fn constraint(mut self, c: AggConstraint) -> Self {
+        self.constraint = Some(c);
+        self
+    }
+
+    /// Overrides the default aggregate error function.
+    #[must_use]
+    pub fn error_fn(mut self, e: AggErrorFn) -> Self {
+        self.error_fn = Some(e);
+        self
+    }
+
+    /// Builds and validates the query.
+    pub fn build(self) -> Result<AcqQuery, AcqError> {
+        let constraint = self.constraint.ok_or(AcqError::InvalidTarget(f64::NAN))?;
+        let error_fn = self
+            .error_fn
+            .unwrap_or_else(|| AggErrorFn::default_for(&constraint.spec.func, constraint.op));
+        let q = AcqQuery {
+            tables: self.tables,
+            structural_joins: self.structural_joins,
+            predicates: self.predicates,
+            constraint,
+            error_fn,
+        };
+        q.validate()?;
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{AggregateSpec, CmpOp};
+    use crate::predicate::RefineSide;
+
+    fn q3() -> AcqQuery {
+        // The paper's Q3: SELECT * FROM A, B WHERE A.x = B.x AND B.y < 50
+        AcqQuery::builder()
+            .table("A")
+            .table("B")
+            .predicate(Predicate::equi_join(
+                ColRef::new("A", "x"),
+                ColRef::new("B", "x"),
+            ))
+            .predicate(Predicate::select(
+                ColRef::new("B", "y"),
+                Interval::new(0.0, 50.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(
+                AggregateSpec::count(),
+                CmpOp::Eq,
+                1000.0,
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_query() {
+        let q = q3();
+        assert_eq!(q.dims(), 2);
+        assert_eq!(q.flexible(), vec![0, 1]);
+        assert_eq!(q.error_fn, AggErrorFn::Relative);
+    }
+
+    #[test]
+    fn flexible_skips_norefine() {
+        let mut q = q3();
+        q.predicates[0].refinable = false;
+        assert_eq!(q.dims(), 1);
+        assert_eq!(q.flexible(), vec![1]);
+    }
+
+    #[test]
+    fn validate_rejects_empty_tables() {
+        let r = AcqQuery::builder()
+            .predicate(Predicate::select(
+                ColRef::new("B", "y"),
+                Interval::new(0.0, 50.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 10.0))
+            .build();
+        assert_eq!(r.unwrap_err(), AcqError::NoTables);
+    }
+
+    #[test]
+    fn validate_rejects_all_norefine() {
+        let r = AcqQuery::builder()
+            .table("B")
+            .predicate(
+                Predicate::select(
+                    ColRef::new("B", "y"),
+                    Interval::new(0.0, 50.0),
+                    RefineSide::Upper,
+                )
+                .no_refine(),
+            )
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 10.0))
+            .build();
+        assert_eq!(r.unwrap_err(), AcqError::NoRefinablePredicate);
+    }
+
+    #[test]
+    fn validate_rejects_unresolved_columns() {
+        let r = AcqQuery::builder()
+            .table("B")
+            .predicate(Predicate::select(
+                ColRef::bare("y"),
+                Interval::new(0.0, 50.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Eq, 10.0))
+            .build();
+        assert!(matches!(r.unwrap_err(), AcqError::UnresolvedColumn(_)));
+    }
+
+    #[test]
+    fn validate_aggregate_column_arity() {
+        let missing = AcqQuery::builder()
+            .table("B")
+            .predicate(Predicate::select(
+                ColRef::new("B", "y"),
+                Interval::new(0.0, 50.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(
+                AggregateSpec {
+                    func: AggFunc::Sum,
+                    col: None,
+                },
+                CmpOp::Ge,
+                10.0,
+            ))
+            .build();
+        assert!(matches!(
+            missing.unwrap_err(),
+            AcqError::MissingAggregateColumn(AggFunc::Sum)
+        ));
+
+        let extra = AcqQuery::builder()
+            .table("B")
+            .predicate(Predicate::select(
+                ColRef::new("B", "y"),
+                Interval::new(0.0, 50.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(
+                AggregateSpec {
+                    func: AggFunc::Count,
+                    col: Some(ColRef::new("B", "y")),
+                },
+                CmpOp::Eq,
+                10.0,
+            ))
+            .build();
+        assert_eq!(extra.unwrap_err(), AcqError::UnexpectedAggregateColumn);
+    }
+
+    #[test]
+    fn refined_intervals_only_touch_flexible_dims() {
+        let mut q = q3();
+        q.predicates[0].refinable = false;
+        let ivs = q.refined_intervals(&[20.0]);
+        assert_eq!(ivs[0], Interval::point(0.0)); // NOREFINE equi-join unchanged
+        assert_eq!(ivs[1], Interval::new(0.0, 60.0)); // Example 3 refinement
+    }
+
+    #[test]
+    fn sql_rendering_roundtrips_the_paper_shape() {
+        let q = q3();
+        let sql = q.to_sql();
+        assert!(sql.contains("SELECT * FROM A, B"), "{sql}");
+        assert!(sql.contains("CONSTRAINT COUNT(*) = 1000"), "{sql}");
+        assert!(sql.contains("(A.x = B.x)"), "{sql}");
+        assert!(sql.contains("(B.y >= 0) NOREFINE"), "{sql}");
+        assert!(sql.contains("(B.y <= 50)"), "{sql}");
+
+        let refined = q.refined_sql(&[10.0, 20.0]);
+        assert!(refined.contains("(|A.x - B.x| <= 10)"), "{refined}");
+        assert!(refined.contains("(B.y <= 60)"), "{refined}");
+    }
+
+    #[test]
+    fn norm_validation_is_checked() {
+        let q = q3();
+        assert!(q.validate_with_norm(&Norm::L1).is_ok());
+        let bad = Norm::WeightedLp {
+            p: 1.0,
+            weights: vec![1.0],
+        };
+        assert!(matches!(
+            q.validate_with_norm(&bad),
+            Err(AcqError::InvalidNorm(_))
+        ));
+    }
+}

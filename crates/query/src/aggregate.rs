@@ -1,0 +1,292 @@
+//! Aggregate constraints: the `CONSTRAINT AGG(attr) Op X` clause (§2.1).
+
+use std::fmt;
+
+use crate::predicate::ColRef;
+
+/// The aggregate function of an ACQ constraint.
+///
+/// The technique requires the *optimal substructure property* (OSP, §2.6):
+/// the aggregate of a containing query must be computable from the aggregates
+/// of a contained query and of their difference, without re-reading the
+/// contained query's tuples. COUNT, SUM, MIN and MAX satisfy it directly;
+/// AVG decomposes into SUM and COUNT; STDDEV does not satisfy it and is
+/// rejected at construction time (see [`AggFunc::from_name`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` — result-set cardinality.
+    Count,
+    /// `SUM(attr)`.
+    Sum,
+    /// `MIN(attr)`. Note `MIN(x) = -MAX(-x)`, which is how the paper's §8.4.6
+    /// evaluates it.
+    Min,
+    /// `MAX(attr)`.
+    Max,
+    /// `AVG(attr)`, decomposed into SUM and COUNT (§2.6).
+    Avg,
+    /// A named user-defined aggregate registered with the engine. The
+    /// registry guarantees the OSP by construction (UDAs are defined through
+    /// a mergeable-state interface).
+    Uda(String),
+}
+
+impl AggFunc {
+    /// Parses an aggregate name, rejecting aggregates without the OSP.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Ok(Self::Count),
+            "SUM" => Ok(Self::Sum),
+            "MIN" => Ok(Self::Min),
+            "MAX" => Ok(Self::Max),
+            "AVG" | "AVERAGE" => Ok(Self::Avg),
+            "STDDEV" | "STDEV" | "VARIANCE" | "VAR" => Err(format!(
+                "aggregate {name} lacks the optimal substructure property (\u{a7}2.6) \
+                 and cannot be processed incrementally"
+            )),
+            other => Ok(Self::Uda(other.to_string())),
+        }
+    }
+
+    /// Whether the aggregate takes a column argument (`COUNT(*)` does not).
+    #[must_use]
+    pub fn needs_column(&self) -> bool {
+        !matches!(self, Self::Count)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Count => write!(f, "COUNT"),
+            Self::Sum => write!(f, "SUM"),
+            Self::Min => write!(f, "MIN"),
+            Self::Max => write!(f, "MAX"),
+            Self::Avg => write!(f, "AVG"),
+            Self::Uda(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// An aggregate expression `AGG(attr)` or `COUNT(*)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated column; `None` only for `COUNT(*)`.
+    pub col: Option<ColRef>,
+}
+
+impl AggregateSpec {
+    /// `COUNT(*)`.
+    #[must_use]
+    pub fn count() -> Self {
+        Self {
+            func: AggFunc::Count,
+            col: None,
+        }
+    }
+
+    /// `SUM(col)`.
+    #[must_use]
+    pub fn sum(col: ColRef) -> Self {
+        Self {
+            func: AggFunc::Sum,
+            col: Some(col),
+        }
+    }
+
+    /// `MIN(col)`.
+    #[must_use]
+    pub fn min(col: ColRef) -> Self {
+        Self {
+            func: AggFunc::Min,
+            col: Some(col),
+        }
+    }
+
+    /// `MAX(col)`.
+    #[must_use]
+    pub fn max(col: ColRef) -> Self {
+        Self {
+            func: AggFunc::Max,
+            col: Some(col),
+        }
+    }
+
+    /// `AVG(col)`.
+    #[must_use]
+    pub fn avg(col: ColRef) -> Self {
+        Self {
+            func: AggFunc::Avg,
+            col: Some(col),
+        }
+    }
+
+    /// A named user-defined aggregate over a column.
+    #[must_use]
+    pub fn uda(name: impl Into<String>, col: ColRef) -> Self {
+        Self {
+            func: AggFunc::Uda(name.into()),
+            col: Some(col),
+        }
+    }
+}
+
+impl fmt::Display for AggregateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.col {
+            Some(c) => write!(f, "{}({c})", self.func),
+            None => write!(f, "{}(*)", self.func),
+        }
+    }
+}
+
+/// Comparison operator of an aggregate constraint.
+///
+/// The paper's main algorithm expands queries to meet `=`, `>=` and `>`
+/// constraints; `<=`/`<` constraints are handled by the contraction
+/// extension (§7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<=` (contraction, §7.2)
+    Le,
+    /// `<` (contraction, §7.2)
+    Lt,
+}
+
+impl CmpOp {
+    /// Whether the comparison holds for `actual Op target`.
+    #[must_use]
+    pub fn satisfied(&self, actual: f64, target: f64) -> bool {
+        match self {
+            Self::Eq => actual == target,
+            Self::Ge => actual >= target,
+            Self::Gt => actual > target,
+            Self::Le => actual <= target,
+            Self::Lt => actual < target,
+        }
+    }
+
+    /// Whether the constraint calls for *expanding* the query (the query
+    /// undershoots and must admit more tuples): `=`, `>=`, `>`.
+    #[must_use]
+    pub fn is_expanding(&self) -> bool {
+        matches!(self, Self::Eq | Self::Ge | Self::Gt)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Eq => "=",
+            Self::Ge => ">=",
+            Self::Gt => ">",
+            Self::Le => "<=",
+            Self::Lt => "<",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The full `CONSTRAINT AGG(attr) Op X` clause: an aggregate, a comparison
+/// operator, and the expected aggregate value `A_exp` (a positive number,
+/// §2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggConstraint {
+    /// Aggregate expression.
+    pub spec: AggregateSpec,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// The expected aggregate value `A_exp`.
+    pub target: f64,
+}
+
+impl AggConstraint {
+    /// Creates a constraint.
+    #[must_use]
+    pub fn new(spec: AggregateSpec, op: CmpOp, target: f64) -> Self {
+        Self { spec, op, target }
+    }
+}
+
+impl fmt::Display for AggConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CONSTRAINT {} {} {}", self.spec, self.op, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_name_accepts_osp_aggregates() {
+        assert_eq!(AggFunc::from_name("count").unwrap(), AggFunc::Count);
+        assert_eq!(AggFunc::from_name("Sum").unwrap(), AggFunc::Sum);
+        assert_eq!(AggFunc::from_name("AVG").unwrap(), AggFunc::Avg);
+        assert_eq!(AggFunc::from_name("AVERAGE").unwrap(), AggFunc::Avg);
+        assert_eq!(AggFunc::from_name("MIN").unwrap(), AggFunc::Min);
+        assert_eq!(AggFunc::from_name("MAX").unwrap(), AggFunc::Max);
+    }
+
+    #[test]
+    fn stddev_rejected_for_missing_osp() {
+        let err = AggFunc::from_name("STDDEV").unwrap_err();
+        assert!(err.contains("optimal substructure"));
+        assert!(AggFunc::from_name("variance").is_err());
+    }
+
+    #[test]
+    fn unknown_names_become_udas() {
+        assert_eq!(
+            AggFunc::from_name("geomean").unwrap(),
+            AggFunc::Uda("GEOMEAN".into())
+        );
+    }
+
+    #[test]
+    fn count_needs_no_column() {
+        assert!(!AggFunc::Count.needs_column());
+        assert!(AggFunc::Sum.needs_column());
+    }
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(CmpOp::Eq.satisfied(5.0, 5.0));
+        assert!(!CmpOp::Eq.satisfied(5.0, 6.0));
+        assert!(CmpOp::Ge.satisfied(6.0, 5.0));
+        assert!(!CmpOp::Gt.satisfied(5.0, 5.0));
+        assert!(CmpOp::Le.satisfied(5.0, 5.0));
+        assert!(CmpOp::Lt.satisfied(4.0, 5.0));
+    }
+
+    #[test]
+    fn expansion_direction() {
+        assert!(CmpOp::Eq.is_expanding());
+        assert!(CmpOp::Ge.is_expanding());
+        assert!(CmpOp::Gt.is_expanding());
+        assert!(!CmpOp::Le.is_expanding());
+        assert!(!CmpOp::Lt.is_expanding());
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = AggConstraint::new(
+            AggregateSpec::sum(ColRef::new("partsupp", "ps_availqty")),
+            CmpOp::Ge,
+            100_000.0,
+        );
+        assert_eq!(
+            c.to_string(),
+            "CONSTRAINT SUM(partsupp.ps_availqty) >= 100000"
+        );
+        assert_eq!(AggregateSpec::count().to_string(), "COUNT(*)");
+    }
+}

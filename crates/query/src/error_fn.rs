@@ -1,0 +1,159 @@
+//! Aggregate error measures (§2.5).
+
+use std::fmt;
+
+use crate::aggregate::{AggFunc, CmpOp};
+
+/// Measures the discrepancy between the expected aggregate value `A_exp` and
+/// the actual value `A_actual` of a refined query.
+///
+/// §2.5 of the paper: the relative error `|A_exp - A_actual| / A_exp` is
+/// appropriate for COUNT and AVG, while a *hinge* function that only
+/// penalises undershoot suits SUM, MIN and MAX (overshooting
+/// `SUM(ps_availqty) >= 100K` is fine; undershooting is not). The design is
+/// user-overridable — these are the paper's sensible defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggErrorFn {
+    /// `|A_exp - A_actual| / A_exp` (Eq. 4).
+    Relative,
+    /// `max(0, (A_exp - A_actual) / A_exp)`: the paper's hinge measure,
+    /// normalised by the target so a single threshold `δ` applies across
+    /// aggregates of different magnitudes.
+    HingeRelative,
+    /// `max(0, A_exp - A_actual)`: the literal hinge of §2.5.
+    HingeAbsolute,
+    /// `max(0, (A_actual - A_exp) / A_exp)`: the mirrored hinge used by the
+    /// §7.2 contraction extension for `<=`/`<` constraints, where only
+    /// overshooting the target is an error.
+    HingeRelativeAbove,
+}
+
+impl AggErrorFn {
+    /// Computes the error for `(expected, actual)`.
+    ///
+    /// A zero `expected` with the relative measures is degenerate: the error
+    /// is `0` when `actual` is also zero and `+∞` otherwise.
+    #[must_use]
+    pub fn error(&self, expected: f64, actual: f64) -> f64 {
+        match self {
+            Self::Relative => {
+                if expected == 0.0 {
+                    if actual == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (expected - actual).abs() / expected.abs()
+                }
+            }
+            Self::HingeRelative => {
+                if expected == 0.0 {
+                    0.0
+                } else {
+                    ((expected - actual) / expected.abs()).max(0.0)
+                }
+            }
+            Self::HingeAbsolute => (expected - actual).max(0.0),
+            Self::HingeRelativeAbove => {
+                if expected == 0.0 {
+                    if actual <= 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    ((actual - expected) / expected.abs()).max(0.0)
+                }
+            }
+        }
+    }
+
+    /// The paper's default error function per constraint operator: the
+    /// symmetric relative error (Eq. 4, "appropriate for aggregates such as
+    /// COUNT or AVG") for `=` constraints, and the one-sided hinge (§2.5)
+    /// for inequality constraints, where overshooting in the allowed
+    /// direction costs nothing.
+    #[must_use]
+    pub fn default_for(_func: &AggFunc, op: CmpOp) -> Self {
+        match op {
+            CmpOp::Eq => Self::Relative,
+            CmpOp::Ge | CmpOp::Gt => Self::HingeRelative,
+            CmpOp::Le | CmpOp::Lt => Self::HingeRelativeAbove,
+        }
+    }
+}
+
+impl fmt::Display for AggErrorFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Relative => write!(f, "relative"),
+            Self::HingeRelative => write!(f, "hinge-relative"),
+            Self::HingeAbsolute => write!(f, "hinge-absolute"),
+            Self::HingeRelativeAbove => write!(f, "hinge-relative-above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_is_symmetric() {
+        let e = AggErrorFn::Relative;
+        assert!((e.error(100.0, 90.0) - 0.1).abs() < 1e-12);
+        assert!((e.error(100.0, 110.0) - 0.1).abs() < 1e-12);
+        assert_eq!(e.error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn hinge_only_penalises_undershoot() {
+        let e = AggErrorFn::HingeRelative;
+        assert!((e.error(100.0, 80.0) - 0.2).abs() < 1e-12);
+        assert_eq!(e.error(100.0, 150.0), 0.0);
+        let a = AggErrorFn::HingeAbsolute;
+        assert_eq!(a.error(100.0, 80.0), 20.0);
+        assert_eq!(a.error(100.0, 150.0), 0.0);
+    }
+
+    #[test]
+    fn zero_expected_is_handled() {
+        assert_eq!(AggErrorFn::Relative.error(0.0, 0.0), 0.0);
+        assert!(AggErrorFn::Relative.error(0.0, 5.0).is_infinite());
+        assert_eq!(AggErrorFn::HingeRelative.error(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn hinge_above_penalises_overshoot_only() {
+        let e = AggErrorFn::HingeRelativeAbove;
+        assert_eq!(e.error(100.0, 80.0), 0.0);
+        assert!((e.error(100.0, 130.0) - 0.3).abs() < 1e-12);
+        assert_eq!(e.error(0.0, 0.0), 0.0);
+        assert!(e.error(0.0, 5.0).is_infinite());
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(
+            AggErrorFn::default_for(&AggFunc::Count, CmpOp::Eq),
+            AggErrorFn::Relative
+        );
+        assert_eq!(
+            AggErrorFn::default_for(&AggFunc::Avg, CmpOp::Ge),
+            AggErrorFn::HingeRelative
+        );
+        assert_eq!(
+            AggErrorFn::default_for(&AggFunc::Sum, CmpOp::Ge),
+            AggErrorFn::HingeRelative
+        );
+        assert_eq!(
+            AggErrorFn::default_for(&AggFunc::Max, CmpOp::Gt),
+            AggErrorFn::HingeRelative
+        );
+        assert_eq!(
+            AggErrorFn::default_for(&AggFunc::Count, CmpOp::Le),
+            AggErrorFn::HingeRelativeAbove
+        );
+    }
+}

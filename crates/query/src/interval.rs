@@ -1,0 +1,193 @@
+//! Closed numeric intervals of acceptable predicate-function values.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` of acceptable values for a predicate
+/// function (the paper's `P_I = (min_I, max_I)`, §2.2).
+///
+/// Degenerate intervals (`lo == hi`) are allowed and arise from equality
+/// predicates (`p_size = 10`) and equi-joins (`A.x = B.x`, whose delta
+/// interval is `[0, 0]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval. Panics if `lo > hi` or either bound is NaN; the
+    /// query model never produces such intervals and the early panic keeps
+    /// downstream arithmetic honest.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
+        assert!(
+            lo <= hi,
+            "interval lower bound {lo} exceeds upper bound {hi}"
+        );
+        Self { lo, hi }
+    }
+
+    /// A degenerate point interval `[v, v]`.
+    #[must_use]
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo`; zero for point intervals.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `v` lies inside the closed interval.
+    #[must_use]
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    #[must_use]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && self.hi >= other.hi
+    }
+
+    /// Returns the interval with its lower bound moved down by `amount >= 0`.
+    #[must_use]
+    pub fn expand_lower(&self, amount: f64) -> Self {
+        debug_assert!(amount >= 0.0);
+        Self::new(self.lo - amount, self.hi)
+    }
+
+    /// Returns the interval with its upper bound moved up by `amount >= 0`.
+    #[must_use]
+    pub fn expand_upper(&self, amount: f64) -> Self {
+        debug_assert!(amount >= 0.0);
+        Self::new(self.lo, self.hi + amount)
+    }
+
+    /// Returns the intersection with `other`, or `None` if disjoint.
+    #[must_use]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| Interval::new(lo, hi))
+    }
+
+    /// Smallest interval covering both `self` and `other`.
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Distance from `v` to the interval: zero inside, otherwise the gap to
+    /// the nearest bound.
+    #[must_use]
+    pub fn distance(&self, v: f64) -> f64 {
+        if v < self.lo {
+            self.lo - v
+        } else if v > self.hi {
+            v - self.hi
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Interval::new(0.0, 50.0);
+        assert_eq!(i.lo(), 0.0);
+        assert_eq!(i.hi(), 50.0);
+        assert_eq!(i.width(), 50.0);
+    }
+
+    #[test]
+    fn point_interval_has_zero_width() {
+        let p = Interval::point(10.0);
+        assert_eq!(p.width(), 0.0);
+        assert!(p.contains(10.0));
+        assert!(!p.contains(10.0001));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn rejects_inverted_bounds() {
+        let _ = Interval::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn rejects_nan() {
+        let _ = Interval::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn contains_is_closed_on_both_ends() {
+        let i = Interval::new(2.0, 4.0);
+        assert!(i.contains(2.0));
+        assert!(i.contains(4.0));
+        assert!(!i.contains(1.999_999));
+        assert!(!i.contains(4.000_001));
+    }
+
+    #[test]
+    fn expansion_moves_exactly_one_bound() {
+        let i = Interval::new(0.0, 50.0);
+        let up = i.expand_upper(10.0);
+        assert_eq!((up.lo(), up.hi()), (0.0, 60.0));
+        let down = i.expand_lower(5.0);
+        assert_eq!((down.lo(), down.hi()), (-5.0, 50.0));
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = Interval::new(0.0, 10.0);
+        let b = Interval::new(5.0, 20.0);
+        let c = Interval::new(15.0, 16.0);
+        assert_eq!(a.intersect(&b), Some(Interval::new(5.0, 10.0)));
+        assert_eq!(a.intersect(&c), None);
+        assert_eq!(a.hull(&c), Interval::new(0.0, 16.0));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Interval::new(0.0, 10.0);
+        assert!(outer.contains_interval(&Interval::new(2.0, 3.0)));
+        assert!(outer.contains_interval(&outer));
+        assert!(!outer.contains_interval(&Interval::new(-1.0, 3.0)));
+    }
+
+    #[test]
+    fn distance_outside_and_inside() {
+        let i = Interval::new(0.0, 50.0);
+        assert_eq!(i.distance(25.0), 0.0);
+        assert_eq!(i.distance(60.0), 10.0);
+        assert_eq!(i.distance(-4.0), 4.0);
+    }
+}

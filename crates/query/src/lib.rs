@@ -1,0 +1,58 @@
+//! # acq-query — the Aggregation Constrained Query (ACQ) model
+//!
+//! This crate defines the *logical* representation of Aggregation Constrained
+//! Queries as introduced in *"Refinement Driven Processing of Aggregation
+//! Constrained Queries"* (Vartak, Raghavan, Rundensteiner, Madden; EDBT 2016).
+//!
+//! An ACQ is an ordinary select/join query plus a constraint on an aggregate
+//! computed over the query's **result set** (not over individual tuples), for
+//! example `COUNT(*) = 1_000_000` or `SUM(ps_availqty) >= 100_000`. Because
+//! attribute predicates and aggregate constraints are orthogonal, an ACQ is
+//! answered by *refining* (usually widening) the query's predicates as little
+//! as possible until the aggregate constraint is met.
+//!
+//! The crate provides:
+//!
+//! * [`Interval`] — closed numeric intervals of acceptable predicate-function
+//!   values (§2.2 of the paper);
+//! * [`Predicate`] / [`PredFunction`] — the decomposition of each predicate
+//!   into a monotonic *predicate function* `P_F` and a *predicate interval*
+//!   `P_I`, covering selection predicates, equi-joins and non-equi joins, and
+//!   categorical predicates scored through an ontology (§2.2, §2.4, §7.3);
+//! * [`Norm`] — `L1`, general `Lp`, `L∞` and weighted vector norms used to
+//!   fold a per-predicate refinement vector into a single query refinement
+//!   score `QScore` (§2.3, Eq. 3);
+//! * [`AggregateSpec`] / [`AggConstraint`] — the `CONSTRAINT AGG(attr) Op X`
+//!   clause, the five built-in aggregates with the optimal-substructure
+//!   property (§2.6) plus named user-defined aggregates;
+//! * [`AggErrorFn`] — relative and hinge aggregate error measures (§2.5);
+//! * [`AcqQuery`] — the full query: tables, structural (NOREFINE) equi-joins,
+//!   predicates, the aggregate constraint and its error function;
+//! * [`OntologyTree`] — taxonomy trees for measuring refinement distance
+//!   between categorical values (§7.3).
+//!
+//! Everything here is purely logical; execution lives in `acq-engine` and the
+//! refinement search in `acquire-core`.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod acq;
+mod aggregate;
+mod error_fn;
+mod interval;
+mod norm;
+mod ontology;
+mod predicate;
+mod score;
+
+pub use acq::{AcqError, AcqQuery, AcqQueryBuilder, EquiJoin};
+pub use aggregate::{AggConstraint, AggFunc, AggregateSpec, CmpOp};
+pub use error_fn::AggErrorFn;
+pub use interval::Interval;
+pub use norm::Norm;
+pub use ontology::{OntologyError, OntologyNodeId, OntologyTree};
+pub use predicate::{
+    ColRef, LinearExpr, PredFunction, Predicate, RefineSide, EQUIJOIN_WIDTH_BASIS,
+};
+pub use score::{dominates, PScores};

@@ -1,0 +1,213 @@
+//! Vector norms folding a predicate refinement vector into a `QScore` (§2.3).
+//!
+//! The query refinement score of a refined query `Q'` is a monotonic
+//! function `f : R^d -> R` of the predicate refinement vector
+//! `PScore(Q, Q')`; the paper uses weighted vector p-norms, with `L1` as the
+//! default (Eq. 3). `L∞` is special-cased in the Expand phase because its
+//! query-layers are L-shaped rather than planar (§4). Weighted norms are the
+//! paper's §7.1 mechanism for expressing refinement preferences.
+
+use std::fmt;
+
+/// A (possibly weighted) vector norm over predicate refinement scores.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Norm {
+    /// The default `L1` norm: `QScore = Σ PScore_i` (Eq. 3).
+    #[default]
+    L1,
+    /// A general `Lp` norm, `p >= 1`.
+    Lp(f64),
+    /// The `L∞` norm: `QScore = max_i PScore_i`.
+    LInf,
+    /// A weighted `Lp` norm (`LWp`, §7.1): weights scale each predicate's
+    /// refinement before the norm is taken, steering refinement away from
+    /// heavily weighted predicates.
+    WeightedLp {
+        /// The exponent `p >= 1`.
+        p: f64,
+        /// Per-flexible-predicate weights, all `> 0`.
+        weights: Vec<f64>,
+    },
+}
+
+impl Norm {
+    /// Computes `QScore(Q, Q')` from the predicate refinement vector.
+    ///
+    /// Entries must be non-negative; `+∞` entries propagate to an infinite
+    /// QScore (a query that cannot be reached by refinement).
+    ///
+    /// ```
+    /// use acq_query::Norm;
+    /// assert_eq!(Norm::L1.qscore(&[0.0, 20.0]), 20.0);  // Example 3
+    /// assert_eq!(Norm::LInf.qscore(&[5.0, 20.0]), 20.0);
+    /// assert!((Norm::Lp(2.0).qscore(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn qscore(&self, pscores: &[f64]) -> f64 {
+        debug_assert!(
+            pscores.iter().all(|&s| s >= 0.0),
+            "PScores are non-negative"
+        );
+        match self {
+            Norm::L1 => pscores.iter().sum(),
+            Norm::Lp(p) => {
+                debug_assert!(*p >= 1.0);
+                pscores
+                    .iter()
+                    .map(|s| s.powf(*p))
+                    .sum::<f64>()
+                    .powf(1.0 / p)
+            }
+            Norm::LInf => pscores.iter().copied().fold(0.0, f64::max),
+            Norm::WeightedLp { p, weights } => {
+                debug_assert_eq!(
+                    weights.len(),
+                    pscores.len(),
+                    "one weight per flexible predicate"
+                );
+                debug_assert!(*p >= 1.0);
+                pscores
+                    .iter()
+                    .zip(weights)
+                    .map(|(s, w)| (s * w).powf(*p))
+                    .sum::<f64>()
+                    .powf(1.0 / p)
+            }
+        }
+    }
+
+    /// Whether this is the `L∞` norm, which the Expand phase enumerates with
+    /// Algorithm 2 instead of breadth-first search.
+    #[must_use]
+    pub fn is_linf(&self) -> bool {
+        matches!(self, Norm::LInf)
+    }
+
+    /// Validates the norm parameters against a query with `dims` flexible
+    /// predicates.
+    pub fn validate(&self, dims: usize) -> Result<(), String> {
+        match self {
+            Norm::L1 | Norm::LInf => Ok(()),
+            Norm::Lp(p) => {
+                if *p >= 1.0 && p.is_finite() {
+                    Ok(())
+                } else {
+                    Err(format!("Lp norm requires finite p >= 1, got {p}"))
+                }
+            }
+            Norm::WeightedLp { p, weights } => {
+                if !(*p >= 1.0 && p.is_finite()) {
+                    return Err(format!("weighted Lp norm requires finite p >= 1, got {p}"));
+                }
+                if weights.len() != dims {
+                    return Err(format!(
+                        "weighted norm has {} weights but the query has {dims} flexible predicates",
+                        weights.len()
+                    ));
+                }
+                if weights.iter().any(|w| *w <= 0.0 || !w.is_finite()) {
+                    return Err("weighted norm weights must be finite and > 0".to_string());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Norm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Norm::L1 => write!(f, "L1"),
+            Norm::Lp(p) => write!(f, "L{p}"),
+            Norm::LInf => write!(f, "L∞"),
+            Norm::WeightedLp { p, .. } => write!(f, "LW{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_is_sum() {
+        // Example 3: PScore (0, 20) has QScore 20 under L1.
+        assert_eq!(Norm::L1.qscore(&[0.0, 20.0]), 20.0);
+        assert_eq!(Norm::L1.qscore(&[5.0, 7.0, 8.0]), 20.0);
+    }
+
+    #[test]
+    fn lp_reduces_to_euclidean_for_p2() {
+        let q = Norm::Lp(2.0).qscore(&[3.0, 4.0]);
+        assert!((q - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linf_is_max() {
+        assert_eq!(Norm::LInf.qscore(&[3.0, 9.0, 1.0]), 9.0);
+        assert!(Norm::LInf.is_linf());
+        assert!(!Norm::L1.is_linf());
+    }
+
+    #[test]
+    fn weighted_norm_scales_components() {
+        let n = Norm::WeightedLp {
+            p: 1.0,
+            weights: vec![2.0, 1.0],
+        };
+        assert_eq!(n.qscore(&[10.0, 10.0]), 30.0);
+    }
+
+    #[test]
+    fn infinity_propagates() {
+        assert!(Norm::L1.qscore(&[1.0, f64::INFINITY]).is_infinite());
+        assert!(Norm::LInf.qscore(&[1.0, f64::INFINITY]).is_infinite());
+    }
+
+    #[test]
+    fn empty_vector_scores_zero() {
+        assert_eq!(Norm::L1.qscore(&[]), 0.0);
+        assert_eq!(Norm::LInf.qscore(&[]), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Norm::L1.validate(3).is_ok());
+        assert!(Norm::Lp(0.5).validate(3).is_err());
+        assert!(Norm::WeightedLp {
+            p: 1.0,
+            weights: vec![1.0, 1.0]
+        }
+        .validate(3)
+        .is_err());
+        assert!(Norm::WeightedLp {
+            p: 1.0,
+            weights: vec![1.0, -1.0, 2.0]
+        }
+        .validate(3)
+        .is_err());
+        assert!(Norm::WeightedLp {
+            p: 2.0,
+            weights: vec![1.0, 1.0, 2.0]
+        }
+        .validate(3)
+        .is_ok());
+    }
+
+    #[test]
+    fn monotonicity_in_each_component() {
+        for norm in [
+            Norm::L1,
+            Norm::Lp(2.0),
+            Norm::LInf,
+            Norm::WeightedLp {
+                p: 1.5,
+                weights: vec![1.0, 3.0],
+            },
+        ] {
+            let base = norm.qscore(&[5.0, 5.0]);
+            let bumped = norm.qscore(&[5.0, 6.0]);
+            assert!(bumped >= base, "{norm} must be monotone");
+        }
+    }
+}

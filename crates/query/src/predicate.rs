@@ -1,0 +1,533 @@
+//! Predicates: the decomposition into predicate functions and intervals.
+//!
+//! Following §2.2 of the paper, each predicate `P_i` of a query
+//! `Q = P_1 ∧ … ∧ P_d` is split into a monotonic *predicate function*
+//! `P_F` over the attributes of the referenced relations and a *predicate
+//! interval* `P_I = [min, max]` of acceptable function values. Range
+//! predicates such as `10 < y < 50` are rewritten into two one-sided
+//! predicates so that each side can be refined independently; we therefore
+//! canonicalise every predicate to carry exactly one *refinable side*.
+//!
+//! Join predicates (§2.4) use a delta function `Δ(f1, f2) = |f1 - f2|` with
+//! interval `[0, w]`; refining a join by `w` units turns `A.x = B.x` into
+//! `|A.x - B.x| <= w`. Categorical predicates (§7.3) score values through an
+//! ontology tree.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::interval::Interval;
+use crate::ontology::OntologyTree;
+
+/// Denominator used by Eq. (1) for zero-width (equality / equi-join)
+/// intervals: *"For equality join predicates, the denominator is set to
+/// 100"* (§2.3). We apply the same convention to any degenerate interval.
+pub const EQUIJOIN_WIDTH_BASIS: f64 = 100.0;
+
+/// A fully qualified (or not-yet-resolved) column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// Table the column belongs to; `None` until a binder resolves it.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColRef {
+    /// A fully qualified reference `table.column`.
+    #[must_use]
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+
+    /// An unqualified reference, to be resolved by a binder.
+    #[must_use]
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self {
+            table: None,
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A linear expression `scale * column + offset`, enough to express the
+/// paper's non-equi join example `2*A.x < 3*B.x` (§2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearExpr {
+    /// Multiplicative coefficient.
+    pub scale: f64,
+    /// The referenced column.
+    pub col: ColRef,
+    /// Additive constant.
+    pub offset: f64,
+}
+
+impl LinearExpr {
+    /// The identity expression over a column (`1 * col + 0`).
+    #[must_use]
+    pub fn col(col: ColRef) -> Self {
+        Self {
+            scale: 1.0,
+            col,
+            offset: 0.0,
+        }
+    }
+
+    /// Evaluates the expression for a raw attribute value.
+    #[must_use]
+    pub fn eval(&self, v: f64) -> f64 {
+        self.scale * v + self.offset
+    }
+}
+
+impl fmt::Display for LinearExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if (self.scale - 1.0).abs() > f64::EPSILON {
+            write!(f, "{}*{}", self.scale, self.col)?;
+        } else {
+            write!(f, "{}", self.col)?;
+        }
+        if self.offset.abs() > f64::EPSILON {
+            write!(f, "{:+}", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+/// The predicate function `P_F` (§2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredFunction {
+    /// A selection predicate over a single numeric attribute: `f(τ) = τ.attr`.
+    Attr(ColRef),
+    /// A join predicate: `f(τ1, τ2) = |left(τ1) - right(τ2)|`, the distance
+    /// `Δ` between two predicate functions (§2.2). Equi-joins use identity
+    /// expressions and the interval `[0, 0]`.
+    JoinDelta {
+        /// Expression over the left relation.
+        left: LinearExpr,
+        /// Expression over the right relation.
+        right: LinearExpr,
+    },
+    /// A categorical predicate scored through an ontology tree (§7.3): the
+    /// refinement score of a value is the number of roll-up levels needed
+    /// for the accepted set to generalise over it, as a percentage of the
+    /// tree height.
+    Categorical {
+        /// The (string-typed) column.
+        col: ColRef,
+        /// The taxonomy used to measure roll-up distance.
+        ontology: Arc<OntologyTree>,
+        /// Accepted leaf values of the original query.
+        accepted: Vec<String>,
+    },
+}
+
+/// Which side of the predicate interval may be refined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineSide {
+    /// The lower bound may move down (`y > 10` refines toward smaller `y`).
+    Lower,
+    /// The upper bound may move up (`y < 50`, join widths, roll-ups).
+    Upper,
+}
+
+/// A canonical one-sided predicate: function, interval of acceptable values,
+/// the refinable side, and refinement metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// The predicate function `P_F`.
+    pub func: PredFunction,
+    /// The interval `P_I` of acceptable function values.
+    pub interval: Interval,
+    /// Which bound of `interval` moves when the predicate is refined.
+    pub refine: RefineSide,
+    /// `false` for NOREFINE predicates, which never contribute a refinement
+    /// dimension and exclude any tuple outside their interval.
+    pub refinable: bool,
+    /// Optional cap (in PScore percent) on how far this predicate may be
+    /// refined (§7.1 "maximum refinement limits on predicates").
+    pub max_refinement: Option<f64>,
+    /// Overrides the Eq. (1) denominator. Used by the §7.2 contraction
+    /// transform, which anchors a predicate at its minimum (zero-width
+    /// interval) while keeping the original predicate's refinement scale.
+    pub basis_override: Option<f64>,
+    /// The attribute's domain in the data, when known; expansion past the
+    /// domain admits no further tuples, so search can stop there.
+    pub domain: Option<Interval>,
+    /// Human-readable label used when rendering refined queries back to SQL.
+    pub label: String,
+}
+
+impl Predicate {
+    /// A refinable one-sided selection predicate.
+    #[must_use]
+    pub fn select(col: ColRef, interval: Interval, refine: RefineSide) -> Self {
+        let label = col.to_string();
+        Self {
+            func: PredFunction::Attr(col),
+            interval,
+            refine,
+            refinable: true,
+            max_refinement: None,
+            basis_override: None,
+            domain: None,
+            label,
+        }
+    }
+
+    /// A refinable equi-join predicate `left = right` (delta interval
+    /// `[0, 0]`, refined into a band `|left - right| <= w`).
+    #[must_use]
+    pub fn equi_join(left: ColRef, right: ColRef) -> Self {
+        let label = format!("{left}={right}");
+        Self {
+            func: PredFunction::JoinDelta {
+                left: LinearExpr::col(left),
+                right: LinearExpr::col(right),
+            },
+            interval: Interval::point(0.0),
+            refine: RefineSide::Upper,
+            refinable: true,
+            max_refinement: None,
+            basis_override: None,
+            domain: None,
+            label,
+        }
+    }
+
+    /// A refinable band-join predicate `|left - right| <= width`.
+    #[must_use]
+    pub fn band_join(left: LinearExpr, right: LinearExpr, width: f64) -> Self {
+        let label = format!("|{left}-{right}|<={width}");
+        Self {
+            func: PredFunction::JoinDelta { left, right },
+            interval: Interval::new(0.0, width),
+            refine: RefineSide::Upper,
+            refinable: true,
+            max_refinement: None,
+            basis_override: None,
+            domain: None,
+            label,
+        }
+    }
+
+    /// A categorical predicate accepting the given ontology leaves (§7.3).
+    #[must_use]
+    pub fn categorical(col: ColRef, ontology: Arc<OntologyTree>, accepted: Vec<String>) -> Self {
+        let height = ontology.height().max(1) as f64;
+        let label = format!("{col} IN {{{}}}", accepted.join(", "));
+        Self {
+            func: PredFunction::Categorical {
+                col,
+                ontology,
+                accepted,
+            },
+            // Score space: 0 .. 100, one roll-up level = 100/height percent.
+            interval: Interval::point(0.0),
+            refine: RefineSide::Upper,
+            refinable: true,
+            max_refinement: Some(height * (100.0 / height)),
+            basis_override: None,
+            domain: Some(Interval::new(0.0, 100.0)),
+            label,
+        }
+    }
+
+    /// Marks the predicate NOREFINE and returns it.
+    #[must_use]
+    pub fn no_refine(mut self) -> Self {
+        self.refinable = false;
+        self
+    }
+
+    /// Sets the refinement cap (§7.1) and returns the predicate.
+    #[must_use]
+    pub fn with_max_refinement(mut self, cap: f64) -> Self {
+        self.max_refinement = Some(cap);
+        self
+    }
+
+    /// Sets the attribute domain and returns the predicate.
+    #[must_use]
+    pub fn with_domain(mut self, domain: Interval) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+
+    /// Sets the display label and returns the predicate.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The denominator of Eq. (1): the interval width, or
+    /// [`EQUIJOIN_WIDTH_BASIS`] for degenerate intervals.
+    #[must_use]
+    pub fn width_basis(&self) -> f64 {
+        if let Some(b) = self.basis_override {
+            return b;
+        }
+        let w = self.interval.width();
+        if w > 0.0 {
+            w
+        } else {
+            EQUIJOIN_WIDTH_BASIS
+        }
+    }
+
+    /// Sets an explicit Eq. (1) denominator and returns the predicate.
+    #[must_use]
+    pub fn with_width_basis(mut self, basis: f64) -> Self {
+        assert!(basis > 0.0 && basis.is_finite());
+        self.basis_override = Some(basis);
+        self
+    }
+
+    /// The PScore (percent refinement, Eq. 1) needed to admit a tuple whose
+    /// predicate-function value is `v`:
+    ///
+    /// * `0` when `v` already satisfies the predicate;
+    /// * the percent departure of the refined bound when `v` lies beyond the
+    ///   refinable side;
+    /// * `+∞` when `v` violates the fixed side or the predicate is NOREFINE,
+    ///   or when the required refinement exceeds `max_refinement`.
+    ///
+    /// ```
+    /// use acq_query::{ColRef, Interval, Predicate, RefineSide};
+    ///
+    /// // The paper's Q3 predicate: B.y < 50 with min(B.y) = 0.
+    /// let p = Predicate::select(ColRef::new("B", "y"), Interval::new(0.0, 50.0),
+    ///                           RefineSide::Upper);
+    /// assert_eq!(p.score_value(25.0), 0.0);   // already satisfied
+    /// assert_eq!(p.score_value(60.0), 20.0);  // Example 3: widen to [0, 60]
+    /// assert!(p.score_value(-1.0).is_infinite()); // fixed side violated
+    /// ```
+    #[must_use]
+    pub fn score_value(&self, v: f64) -> f64 {
+        if v.is_nan() {
+            return f64::INFINITY;
+        }
+        if self.interval.contains(v) {
+            return 0.0;
+        }
+        if !self.refinable {
+            return f64::INFINITY;
+        }
+        let score = match self.refine {
+            RefineSide::Upper => {
+                if v < self.interval.lo() {
+                    return f64::INFINITY;
+                }
+                (v - self.interval.hi()) / self.width_basis() * 100.0
+            }
+            RefineSide::Lower => {
+                if v > self.interval.hi() {
+                    return f64::INFINITY;
+                }
+                (self.interval.lo() - v) / self.width_basis() * 100.0
+            }
+        };
+        match self.max_refinement {
+            Some(cap) if score > cap => f64::INFINITY,
+            _ => score,
+        }
+    }
+
+    /// The PScore needed to admit a categorical value `v` (§7.3): the number
+    /// of roll-up levels required for the accepted set to cover `v`, as a
+    /// percentage of the ontology height. Returns `+∞` for NOREFINE
+    /// predicates whose accepted set does not contain `v`, or for values
+    /// absent from the ontology.
+    #[must_use]
+    pub fn score_category(&self, v: &str) -> f64 {
+        let PredFunction::Categorical {
+            ontology, accepted, ..
+        } = &self.func
+        else {
+            return f64::INFINITY;
+        };
+        if accepted.iter().any(|a| a == v) {
+            return 0.0;
+        }
+        if !self.refinable {
+            return f64::INFINITY;
+        }
+        let height = ontology.height().max(1) as f64;
+        let Some(levels) = ontology.rollup_distance(accepted, v) else {
+            return f64::INFINITY;
+        };
+        let score = levels as f64 * (100.0 / height);
+        match self.max_refinement {
+            Some(cap) if score > cap => f64::INFINITY,
+            _ => score,
+        }
+    }
+
+    /// The interval obtained by refining this predicate by `score` percent
+    /// (the inverse of [`Predicate::score_value`]).
+    #[must_use]
+    pub fn refined_interval(&self, score: f64) -> Interval {
+        debug_assert!(score >= 0.0 && score.is_finite());
+        let amount = score / 100.0 * self.width_basis();
+        match self.refine {
+            RefineSide::Upper => self.interval.expand_upper(amount),
+            RefineSide::Lower => self.interval.expand_lower(amount),
+        }
+    }
+
+    /// The PScore of a given refined interval relative to this predicate's
+    /// original interval — Eq. (1):
+    /// `(|Δmin| + |Δmax|) / width * 100`.
+    #[must_use]
+    pub fn refinement_of(&self, refined: &Interval) -> f64 {
+        let dlo = (self.interval.lo() - refined.lo()).abs();
+        let dhi = (self.interval.hi() - refined.hi()).abs();
+        (dlo + dhi) / self.width_basis() * 100.0
+    }
+
+    /// The largest PScore that can still admit new tuples, i.e. the score at
+    /// which the refined interval covers the whole attribute domain. Returns
+    /// `None` when the domain is unknown.
+    #[must_use]
+    pub fn max_useful_score(&self) -> Option<f64> {
+        let domain = self.domain?;
+        let gap = match self.refine {
+            RefineSide::Upper => (domain.hi() - self.interval.hi()).max(0.0),
+            RefineSide::Lower => (self.interval.lo() - domain.lo()).max(0.0),
+        };
+        let mut score = gap / self.width_basis() * 100.0;
+        if let Some(cap) = self.max_refinement {
+            score = score.min(cap);
+        }
+        Some(score)
+    }
+
+    /// Whether this is a join predicate.
+    #[must_use]
+    pub fn is_join(&self) -> bool {
+        matches!(self.func, PredFunction::JoinDelta { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upper_pred() -> Predicate {
+        // B.y < 50 with min(B.y) = 0  =>  interval [0, 50], refine Upper.
+        Predicate::select(
+            ColRef::new("B", "y"),
+            Interval::new(0.0, 50.0),
+            RefineSide::Upper,
+        )
+    }
+
+    #[test]
+    fn score_zero_inside_interval() {
+        let p = upper_pred();
+        assert_eq!(p.score_value(0.0), 0.0);
+        assert_eq!(p.score_value(25.0), 0.0);
+        assert_eq!(p.score_value(50.0), 0.0);
+    }
+
+    #[test]
+    fn score_is_percent_overshoot_of_width() {
+        let p = upper_pred();
+        // Example 3 of the paper: widening [0,50] to [0,60] is a PScore of 20.
+        assert!((p.score_value(60.0) - 20.0).abs() < 1e-12);
+        assert!((p.score_value(75.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_side_violation_is_infinite() {
+        let p = upper_pred();
+        assert!(p.score_value(-1.0).is_infinite());
+        let mut lower = upper_pred();
+        lower.refine = RefineSide::Lower;
+        assert!(lower.score_value(51.0).is_infinite());
+        assert!((lower.score_value(-25.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norefine_scores_infinite_outside() {
+        let p = upper_pred().no_refine();
+        assert_eq!(p.score_value(10.0), 0.0);
+        assert!(p.score_value(51.0).is_infinite());
+    }
+
+    #[test]
+    fn max_refinement_caps_score() {
+        let p = upper_pred().with_max_refinement(30.0);
+        assert!((p.score_value(60.0) - 20.0).abs() < 1e-12);
+        assert!(p.score_value(80.0).is_infinite()); // would need 60%
+    }
+
+    #[test]
+    fn equijoin_uses_denominator_100() {
+        let p = Predicate::equi_join(ColRef::new("A", "x"), ColRef::new("B", "x"));
+        // |A.x - B.x| = 10 requires widening to [0, 10]; with denominator 100
+        // that is a PScore of exactly 10 (the paper's §2.4 example).
+        assert!((p.score_value(10.0) - 10.0).abs() < 1e-12);
+        assert_eq!(p.score_value(0.0), 0.0);
+    }
+
+    #[test]
+    fn refined_interval_roundtrips_with_score() {
+        let p = upper_pred();
+        let refined = p.refined_interval(20.0);
+        assert_eq!(refined, Interval::new(0.0, 60.0));
+        assert!((p.refinement_of(&refined) - 20.0).abs() < 1e-12);
+        // Any value admitted by the refined interval scores <= 20.
+        assert!(p.score_value(59.9) <= 20.0);
+        assert!(p.score_value(60.1) > 20.0);
+    }
+
+    #[test]
+    fn join_refined_interval() {
+        let p = Predicate::equi_join(ColRef::new("A", "x"), ColRef::new("B", "x"));
+        let refined = p.refined_interval(10.0);
+        assert_eq!(refined, Interval::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn max_useful_score_stops_at_domain() {
+        let p = upper_pred().with_domain(Interval::new(0.0, 100.0));
+        assert!((p.max_useful_score().unwrap() - 100.0).abs() < 1e-12);
+        let capped = upper_pred()
+            .with_domain(Interval::new(0.0, 100.0))
+            .with_max_refinement(40.0);
+        assert!((capped.max_useful_score().unwrap() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_scores_infinite() {
+        assert!(upper_pred().score_value(f64::NAN).is_infinite());
+    }
+
+    #[test]
+    fn linear_expr_eval_and_display() {
+        let e = LinearExpr {
+            scale: 2.0,
+            col: ColRef::new("A", "x"),
+            offset: 0.0,
+        };
+        assert_eq!(e.eval(3.0), 6.0);
+        assert_eq!(e.to_string(), "2*A.x");
+        let id = LinearExpr::col(ColRef::new("B", "y"));
+        assert_eq!(id.eval(5.0), 5.0);
+        assert_eq!(id.to_string(), "B.y");
+    }
+}

@@ -1,0 +1,33 @@
+//! Predicate refinement vectors (§2.3, Eq. 2).
+
+/// A predicate refinement vector `PScore(Q, Q') = (PScore_1, …, PScore_d)`
+/// over the *flexible* predicates of a query, in percent units.
+pub type PScores = Vec<f64>;
+
+/// Component-wise dominance: `a` dominates `b` when `a_i <= b_i` for every
+/// `i`. This is exactly the paper's *query containment* relation (§5.1): a
+/// refined query `Q'` is contained in `Q''` iff `PScore(Q, Q')` dominates
+/// `PScore(Q, Q'')`, in which case every result of `Q'` is a result of
+/// `Q''` (Theorem 3).
+#[must_use]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_componentwise() {
+        assert!(dominates(&[0.0, 1.0], &[0.0, 2.0]));
+        assert!(dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[2.0, 0.0], &[1.0, 5.0]));
+    }
+
+    #[test]
+    fn empty_vectors_trivially_dominate() {
+        assert!(dominates(&[], &[]));
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the ACQ model: interval algebra, predicate scoring,
+//! norms, and ontology distances.
+
+use proptest::prelude::*;
+
+use acq_query::{ColRef, Interval, Norm, OntologyTree, Predicate, RefineSide};
+
+fn ordered_pair() -> impl Strategy<Value = (f64, f64)> {
+    (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+}
+
+proptest! {
+    // ---------------------------------------------------------------------
+    // Interval algebra
+    // ---------------------------------------------------------------------
+
+    #[test]
+    fn interval_hull_contains_both((a, b) in ordered_pair(), (c, d) in ordered_pair()) {
+        let x = Interval::new(a, b);
+        let y = Interval::new(c, d);
+        let h = x.hull(&y);
+        prop_assert!(h.contains_interval(&x));
+        prop_assert!(h.contains_interval(&y));
+    }
+
+    #[test]
+    fn interval_intersection_is_contained((a, b) in ordered_pair(), (c, d) in ordered_pair()) {
+        let x = Interval::new(a, b);
+        let y = Interval::new(c, d);
+        if let Some(i) = x.intersect(&y) {
+            prop_assert!(x.contains_interval(&i));
+            prop_assert!(y.contains_interval(&i));
+        } else {
+            // Disjoint: no point is in both.
+            let probe = (a + d) / 2.0;
+            prop_assert!(!(x.contains(probe) && y.contains(probe)));
+        }
+    }
+
+    #[test]
+    fn interval_distance_zero_iff_contained((a, b) in ordered_pair(), v in -1000.0f64..1000.0) {
+        let x = Interval::new(a, b);
+        prop_assert_eq!(x.distance(v) == 0.0, x.contains(v));
+        prop_assert!(x.distance(v) >= 0.0);
+    }
+
+    // ---------------------------------------------------------------------
+    // Predicate scoring
+    // ---------------------------------------------------------------------
+
+    /// score_value and refined_interval are inverses: refining by exactly
+    /// the score of `v` admits `v` (and nothing needs less refinement).
+    #[test]
+    fn score_refine_roundtrip(
+        (lo, hi) in ordered_pair(),
+        v in -2000.0f64..2000.0,
+        upper in any::<bool>(),
+    ) {
+        prop_assume!(hi - lo > 1e-6);
+        let side = if upper { RefineSide::Upper } else { RefineSide::Lower };
+        let p = Predicate::select(ColRef::new("t", "x"), Interval::new(lo, hi), side);
+        let s = p.score_value(v);
+        if s.is_finite() {
+            let refined = p.refined_interval(s);
+            prop_assert!(refined.contains(v) || refined.distance(v) < 1e-9,
+                "refined {refined} must admit v={v} (score {s})");
+            // Monotonicity: any smaller refinement misses v (strictly
+            // outside tuples only).
+            if s > 1e-9 {
+                let under = p.refined_interval(s * 0.99);
+                prop_assert!(!under.contains(v));
+            }
+        }
+    }
+
+    /// Tuple scores are monotone in the refinement: a larger refinement
+    /// admits a superset of tuples.
+    #[test]
+    fn admission_is_monotone(
+        (lo, hi) in ordered_pair(),
+        v in -2000.0f64..2000.0,
+        s1 in 0.0f64..300.0,
+        s2 in 0.0f64..300.0,
+    ) {
+        prop_assume!(hi - lo > 1e-6);
+        let p = Predicate::select(ColRef::new("t", "x"), Interval::new(lo, hi), RefineSide::Upper);
+        let (small, big) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let admitted_small = p.score_value(v) <= small;
+        let admitted_big = p.score_value(v) <= big;
+        prop_assert!(!admitted_small || admitted_big);
+    }
+
+    /// Eq. 1 consistency: refinement_of(refined_interval(s)) == s.
+    #[test]
+    fn refinement_of_inverts(
+        (lo, hi) in ordered_pair(),
+        s in 0.0f64..500.0,
+        upper in any::<bool>(),
+    ) {
+        prop_assume!(hi - lo > 1e-6);
+        let side = if upper { RefineSide::Upper } else { RefineSide::Lower };
+        let p = Predicate::select(ColRef::new("t", "x"), Interval::new(lo, hi), side);
+        let refined = p.refined_interval(s);
+        let measured = p.refinement_of(&refined);
+        prop_assert!((measured - s).abs() < 1e-6, "{measured} vs {s}");
+    }
+
+    // ---------------------------------------------------------------------
+    // Norms
+    // ---------------------------------------------------------------------
+
+    #[test]
+    fn norms_are_monotone_and_zero_at_origin(
+        scores in prop::collection::vec(0.0f64..500.0, 1..6),
+        bump_idx in 0usize..6,
+        bump in 0.1f64..50.0,
+        p in 1.0f64..4.0,
+    ) {
+        let idx = bump_idx % scores.len();
+        for norm in [Norm::L1, Norm::Lp(p), Norm::LInf] {
+            let base = norm.qscore(&scores);
+            let mut bumped = scores.clone();
+            bumped[idx] += bump;
+            prop_assert!(norm.qscore(&bumped) >= base, "{norm}");
+            prop_assert_eq!(norm.qscore(&vec![0.0; scores.len()]), 0.0);
+        }
+    }
+
+    #[test]
+    fn lp_norms_bounded_by_l1_and_linf(
+        scores in prop::collection::vec(0.0f64..500.0, 1..6),
+        p in 1.0f64..6.0,
+    ) {
+        let l1 = Norm::L1.qscore(&scores);
+        let linf = Norm::LInf.qscore(&scores);
+        let lp = Norm::Lp(p).qscore(&scores);
+        prop_assert!(lp <= l1 + 1e-9);
+        prop_assert!(lp >= linf - 1e-9);
+    }
+
+    // ---------------------------------------------------------------------
+    // Ontologies
+    // ---------------------------------------------------------------------
+
+    /// Roll-up distance is bounded by tree height, 0 exactly on members,
+    /// and never increases when the accepted set grows.
+    #[test]
+    fn rollup_distance_properties(
+        paths in prop::collection::vec(prop::collection::vec(0u8..3, 1..4), 2..8),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut tree = OntologyTree::new("root");
+        let mut names = Vec::new();
+        for path in &paths {
+            // Node names encode their full path so shared prefixes reuse
+            // nodes and distinct branches never collide.
+            let parts: Vec<String> = (0..path.len())
+                .map(|d| {
+                    let prefix: String =
+                        path[..=d].iter().map(|b| char::from(b'a' + *b)).collect();
+                    format!("n{prefix}")
+                })
+                .collect();
+            let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+            tree.add_path(&refs).unwrap();
+            names.push(parts.last().unwrap().clone());
+        }
+        let candidate = names[pick.index(names.len())].clone();
+        let accepted = vec![names[0].clone()];
+        let d = tree.rollup_distance(&accepted, &candidate);
+        prop_assert!(d.is_some());
+        let d = d.unwrap();
+        prop_assert!(d <= tree.height());
+        if candidate == accepted[0] {
+            prop_assert_eq!(d, 0);
+        }
+        // Growing the accepted set can only shrink the distance.
+        let bigger: Vec<String> = names.clone();
+        let d2 = tree.rollup_distance(&bigger, &candidate).unwrap();
+        prop_assert!(d2 <= d);
+    }
+}

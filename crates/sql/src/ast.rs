@@ -1,0 +1,116 @@
+//! Abstract syntax of the ACQ SQL dialect.
+
+use acq_query::CmpOp;
+
+/// A possibly table-qualified column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualCol {
+    /// Optional table qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl QualCol {
+    /// Unqualified column.
+    #[must_use]
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Qualified column.
+    #[must_use]
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+/// A comparison operand: a number or a (scaled) column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Numeric literal.
+    Num(f64),
+    /// `scale * column` (scale 1.0 for a bare column).
+    Col {
+        /// Multiplicative coefficient.
+        scale: f64,
+        /// The column.
+        col: QualCol,
+    },
+}
+
+/// One WHERE-clause predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstPred {
+    /// `left op right` where at least one side references a column.
+    Cmp {
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator as written.
+        op: CmpOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// A two-sided range `lo lop col rop hi` (e.g. `25 <= age <= 35`).
+    Range {
+        /// Lower literal.
+        lo: f64,
+        /// The column.
+        col: QualCol,
+        /// Upper literal.
+        hi: f64,
+    },
+    /// `col IN ('a', 'b', ...)` or `col IN {'a', ...}` over strings.
+    InList {
+        /// The (categorical) column.
+        col: QualCol,
+        /// Accepted values.
+        values: Vec<String>,
+    },
+    /// `col = 'str'` string equality (singleton categorical).
+    StrEq {
+        /// The column.
+        col: QualCol,
+        /// Accepted value.
+        value: String,
+    },
+}
+
+/// A predicate together with its NOREFINE flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstClause {
+    /// The predicate.
+    pub pred: AstPred,
+    /// Whether the predicate is marked NOREFINE.
+    pub norefine: bool,
+}
+
+/// The `CONSTRAINT AGG(attr) Op X` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstConstraint {
+    /// Aggregate function name as written (validated by the binder).
+    pub func: String,
+    /// Aggregated column, `None` for `AGG(*)`.
+    pub col: Option<QualCol>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Target value `X`.
+    pub target: f64,
+}
+
+/// A parsed ACQ statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstQuery {
+    /// FROM-clause tables.
+    pub tables: Vec<String>,
+    /// The aggregate constraint.
+    pub constraint: AstConstraint,
+    /// WHERE-clause predicates.
+    pub clauses: Vec<AstClause>,
+}

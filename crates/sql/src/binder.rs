@@ -1,0 +1,508 @@
+//! Binding: AST → executable [`AcqQuery`] against a catalog.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use acq_engine::{Catalog, DataType};
+use acq_query::{
+    AcqError, AcqQuery, AggConstraint, AggFunc, AggregateSpec, CmpOp, ColRef, Interval, LinearExpr,
+    OntologyTree, Predicate, RefineSide,
+};
+
+use crate::ast::{AstPred, AstQuery, Operand, QualCol};
+use crate::error::SqlError;
+
+/// Binds parsed ACQ statements against a catalog.
+///
+/// Categorical predicates need an ontology to measure refinement distance
+/// (§7.3); register one per column with [`Binder::with_ontology`], or let
+/// the binder synthesise a flat one-level taxonomy over the column's
+/// distinct values (every roll-up then costs the full tree height).
+pub struct Binder<'a> {
+    catalog: &'a Catalog,
+    ontologies: HashMap<String, Arc<OntologyTree>>,
+}
+
+impl<'a> Binder<'a> {
+    /// A binder over `catalog` with no registered ontologies.
+    #[must_use]
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self {
+            catalog,
+            ontologies: HashMap::new(),
+        }
+    }
+
+    /// Registers the taxonomy used to score refinements of `column`.
+    #[must_use]
+    pub fn with_ontology(mut self, column: impl Into<String>, tree: Arc<OntologyTree>) -> Self {
+        self.ontologies.insert(column.into(), tree);
+        self
+    }
+
+    /// Binds a parsed query.
+    pub fn bind(&self, ast: &AstQuery) -> Result<AcqQuery, SqlError> {
+        for t in &ast.tables {
+            self.catalog.table(t)?;
+        }
+
+        let mut builder = AcqQuery::builder();
+        for t in &ast.tables {
+            builder = builder.table(t.clone());
+        }
+
+        // Constraint.
+        let func = AggFunc::from_name(&ast.constraint.func)
+            .map_err(|msg| SqlError::Query(AcqError::UnsupportedAggregate(msg)))?;
+        let agg_col = match &ast.constraint.col {
+            Some(qc) => Some(self.resolve(qc, &ast.tables)?),
+            None => None,
+        };
+        builder = builder.constraint(AggConstraint::new(
+            AggregateSpec { func, col: agg_col },
+            ast.constraint.op,
+            ast.constraint.target,
+        ));
+
+        // Predicates.
+        for clause in &ast.clauses {
+            match &clause.pred {
+                AstPred::Cmp { left, op, right } => match (left, right) {
+                    (Operand::Col { scale: ls, col: lc }, Operand::Col { scale: rs, col: rc }) => {
+                        if *op != CmpOp::Eq {
+                            return Err(SqlError::Bind(format!(
+                                "join predicates must be equalities (found {op}); a refined \
+                                 equi-join becomes the band |l - r| <= w (\u{a7}2.4)"
+                            )));
+                        }
+                        let lref = self.resolve(lc, &ast.tables)?;
+                        let rref = self.resolve(rc, &ast.tables)?;
+                        let unscaled =
+                            (ls - 1.0).abs() < f64::EPSILON && (rs - 1.0).abs() < f64::EPSILON;
+                        if clause.norefine && unscaled {
+                            builder = builder.join(lref, rref);
+                        } else {
+                            let mut p = Predicate::band_join(
+                                LinearExpr {
+                                    scale: *ls,
+                                    col: lref,
+                                    offset: 0.0,
+                                },
+                                LinearExpr {
+                                    scale: *rs,
+                                    col: rref,
+                                    offset: 0.0,
+                                },
+                                0.0,
+                            );
+                            if clause.norefine {
+                                p = p.no_refine();
+                            }
+                            builder = builder.predicate(p);
+                        }
+                    }
+                    (Operand::Col { scale, col }, Operand::Num(n))
+                    | (Operand::Num(n), Operand::Col { scale, col }) => {
+                        let flipped = matches!(left, Operand::Num(_));
+                        let p = self.bind_numeric(
+                            col,
+                            *scale,
+                            *op,
+                            *n,
+                            flipped,
+                            clause.norefine,
+                            &ast.tables,
+                        )?;
+                        builder = builder.predicate(p);
+                    }
+                    (Operand::Num(_), Operand::Num(_)) => {
+                        return Err(SqlError::Bind(
+                            "predicate compares two literals; nothing to refine".into(),
+                        ));
+                    }
+                },
+                AstPred::Range { lo, col, hi } => {
+                    // §2.2: ranges are rewritten into two one-sided
+                    // predicates so each side refines independently.
+                    let cref = self.resolve(col, &ast.tables)?;
+                    let domain = self.numeric_domain(&cref)?;
+                    let lower = Predicate::select(
+                        cref.clone(),
+                        Interval::new(*lo, lo.max(domain.hi())),
+                        RefineSide::Lower,
+                    )
+                    .with_domain(domain)
+                    .with_label(format!("{cref} >= {lo}"));
+                    let upper = Predicate::select(
+                        cref.clone(),
+                        Interval::new(hi.min(domain.lo()), *hi),
+                        RefineSide::Upper,
+                    )
+                    .with_domain(domain)
+                    .with_label(format!("{cref} <= {hi}"));
+                    let (lower, upper) = if clause.norefine {
+                        (lower.no_refine(), upper.no_refine())
+                    } else {
+                        (lower, upper)
+                    };
+                    builder = builder.predicate(lower).predicate(upper);
+                }
+                AstPred::InList { col, values } => {
+                    let p = self.bind_categorical(col, values, clause.norefine, &ast.tables)?;
+                    builder = builder.predicate(p);
+                }
+                AstPred::StrEq { col, value } => {
+                    let p = self.bind_categorical(
+                        col,
+                        std::slice::from_ref(value),
+                        clause.norefine,
+                        &ast.tables,
+                    )?;
+                    builder = builder.predicate(p);
+                }
+            }
+        }
+
+        Ok(builder.build()?)
+    }
+
+    /// Resolves a possibly-unqualified column against the FROM tables.
+    fn resolve(&self, qc: &QualCol, tables: &[String]) -> Result<ColRef, SqlError> {
+        if let Some(t) = &qc.table {
+            if !tables.iter().any(|x| x == t) {
+                return Err(SqlError::Bind(format!(
+                    "table {t} is not in the FROM clause"
+                )));
+            }
+            let table = self.catalog.table(t)?;
+            if table.schema().index_of(&qc.column).is_none() {
+                return Err(SqlError::Bind(format!(
+                    "column {}.{} does not exist",
+                    t, qc.column
+                )));
+            }
+            return Ok(ColRef::new(t.clone(), qc.column.clone()));
+        }
+        let mut hits = Vec::new();
+        for t in tables {
+            let table = self.catalog.table(t)?;
+            if table.schema().index_of(&qc.column).is_some() {
+                hits.push(t.clone());
+            }
+        }
+        match hits.len() {
+            0 => Err(SqlError::Bind(format!(
+                "column {} not found in any FROM table",
+                qc.column
+            ))),
+            1 => Ok(ColRef::new(hits.remove(0), qc.column.clone())),
+            _ => Err(SqlError::Bind(format!(
+                "column {} is ambiguous (in tables {})",
+                qc.column,
+                hits.join(", ")
+            ))),
+        }
+    }
+
+    fn numeric_domain(&self, cref: &ColRef) -> Result<Interval, SqlError> {
+        let table = self
+            .catalog
+            .table(cref.table.as_deref().unwrap_or_default())?;
+        table.numeric_domain(&cref.column).ok_or_else(|| {
+            SqlError::Bind(format!(
+                "column {cref} is not numeric (or the table is empty)"
+            ))
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn bind_numeric(
+        &self,
+        col: &QualCol,
+        scale: f64,
+        op: CmpOp,
+        n: f64,
+        flipped: bool,
+        norefine: bool,
+        tables: &[String],
+    ) -> Result<Predicate, SqlError> {
+        if (scale - 1.0).abs() > f64::EPSILON {
+            return Err(SqlError::Bind(
+                "scaled columns are only supported in join predicates".into(),
+            ));
+        }
+        let cref = self.resolve(col, tables)?;
+        let domain = self.numeric_domain(&cref)?;
+        // Normalise `n op col` into `col op' n`.
+        let op = if flipped {
+            match op {
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Gt => CmpOp::Lt,
+                CmpOp::Ge => CmpOp::Le,
+                CmpOp::Eq => CmpOp::Eq,
+            }
+        } else {
+            op
+        };
+        // Closed-interval semantics: strict and non-strict bounds coincide
+        // over continuous refinement (§2.2 treats B.y < 50 as (0, 50)).
+        let mut p = match op {
+            CmpOp::Lt | CmpOp::Le => Predicate::select(
+                cref.clone(),
+                Interval::new(domain.lo().min(n), n),
+                RefineSide::Upper,
+            )
+            .with_label(format!("{cref} <= {n}")),
+            CmpOp::Gt | CmpOp::Ge => Predicate::select(
+                cref.clone(),
+                Interval::new(n, domain.hi().max(n)),
+                RefineSide::Lower,
+            )
+            .with_label(format!("{cref} >= {n}")),
+            CmpOp::Eq => Predicate::select(cref.clone(), Interval::point(n), RefineSide::Upper)
+                .with_label(format!("{cref} = {n}")),
+        }
+        .with_domain(domain);
+        if norefine {
+            p = p.no_refine();
+        }
+        Ok(p)
+    }
+
+    fn bind_categorical(
+        &self,
+        col: &QualCol,
+        values: &[String],
+        norefine: bool,
+        tables: &[String],
+    ) -> Result<Predicate, SqlError> {
+        let cref = self.resolve(col, tables)?;
+        let table = self
+            .catalog
+            .table(cref.table.as_deref().unwrap_or_default())?;
+        let idx = table
+            .schema()
+            .index_of(&cref.column)
+            .expect("resolve verified the column");
+        if table.schema().fields()[idx].dtype != DataType::Str {
+            return Err(SqlError::Bind(format!(
+                "column {cref} is not a string column; IN lists are categorical"
+            )));
+        }
+        let ontology = match self.ontologies.get(&cref.column) {
+            Some(tree) => {
+                for v in values {
+                    if tree.node(v).is_none() {
+                        return Err(SqlError::Bind(format!(
+                            "value {v:?} is not in the ontology registered for {}",
+                            cref.column
+                        )));
+                    }
+                }
+                Arc::clone(tree)
+            }
+            None => {
+                // Synthesise a flat taxonomy over the column's distinct
+                // values: one roll-up relaxes to "anything".
+                let mut distinct: BTreeSet<String> = BTreeSet::new();
+                let column = table.column(idx);
+                for row in 0..table.num_rows() {
+                    if let Some(s) = column.get_str(row) {
+                        distinct.insert(s.to_string());
+                    }
+                }
+                for v in values {
+                    distinct.insert(v.clone());
+                }
+                let mut tree = OntologyTree::new(format!("any_{}", cref.column));
+                let root = tree.root();
+                for v in distinct {
+                    tree.add_child(root, v)
+                        .map_err(|e| SqlError::Bind(e.to_string()))?;
+                }
+                Arc::new(tree)
+            }
+        };
+        let mut p = Predicate::categorical(cref, ontology, values.to_vec());
+        if norefine {
+            p = p.no_refine();
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use acq_engine::{Field, TableBuilder, Value};
+    use acq_query::PredFunction;
+
+    fn catalog() -> Catalog {
+        let mut users = TableBuilder::new(
+            "users",
+            vec![
+                Field::new("age", DataType::Int),
+                Field::new("income", DataType::Float),
+                Field::new("city", DataType::Str),
+            ],
+        )
+        .unwrap();
+        for i in 0..50 {
+            users.push_row(vec![
+                Value::Int(13 + (i % 60)),
+                Value::Float(10_000.0 + i as f64 * 1000.0),
+                Value::from(if i % 2 == 0 { "Boston" } else { "Miami" }),
+            ]);
+        }
+        let mut orders = TableBuilder::new(
+            "orders",
+            vec![
+                Field::new("uid", DataType::Int),
+                Field::new("total", DataType::Float),
+            ],
+        )
+        .unwrap();
+        for i in 0..50 {
+            orders.push_row(vec![Value::Int(i), Value::Float(i as f64 * 2.0)]);
+        }
+        let mut cat = Catalog::new();
+        cat.register(users.finish().unwrap()).unwrap();
+        cat.register(orders.finish().unwrap()).unwrap();
+        cat
+    }
+
+    fn bind(sql: &str) -> Result<AcqQuery, SqlError> {
+        let cat = catalog();
+        let ast = parse(sql)?;
+        Binder::new(&cat).bind(&ast)
+    }
+
+    #[test]
+    fn binds_one_sided_predicates_with_domains() {
+        let q = bind("SELECT * FROM users CONSTRAINT COUNT(*) = 30 WHERE income < 20000").unwrap();
+        assert_eq!(q.dims(), 1);
+        let p = &q.predicates[0];
+        assert_eq!(p.refine, RefineSide::Upper);
+        assert_eq!(p.interval.hi(), 20_000.0);
+        assert_eq!(p.interval.lo(), 10_000.0); // domain minimum
+        assert!(p.domain.is_some());
+    }
+
+    #[test]
+    fn range_splits_into_two_predicates() {
+        let q = bind("SELECT * FROM users CONSTRAINT COUNT(*) = 30 WHERE 25 <= age <= 35").unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.predicates[0].refine, RefineSide::Lower);
+        assert_eq!(q.predicates[1].refine, RefineSide::Upper);
+        assert_eq!(q.predicates[0].interval.lo(), 25.0);
+        assert_eq!(q.predicates[1].interval.hi(), 35.0);
+    }
+
+    #[test]
+    fn norefine_equijoin_is_structural() {
+        let q = bind(
+            "SELECT * FROM users, orders CONSTRAINT COUNT(*) = 30 \
+             WHERE (age = uid) NOREFINE AND income < 20000",
+        )
+        .unwrap();
+        assert_eq!(q.structural_joins.len(), 1);
+        assert_eq!(q.dims(), 1);
+    }
+
+    #[test]
+    fn refinable_equijoin_is_a_band_predicate() {
+        let q = bind(
+            "SELECT * FROM users, orders CONSTRAINT COUNT(*) = 30 \
+             WHERE age = uid AND income < 20000",
+        )
+        .unwrap();
+        assert!(q.structural_joins.is_empty());
+        assert_eq!(q.dims(), 2);
+        assert!(matches!(
+            q.predicates[0].func,
+            PredFunction::JoinDelta { .. }
+        ));
+    }
+
+    #[test]
+    fn in_list_synthesises_flat_ontology() {
+        let q = bind(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 30 \
+             WHERE city IN ('Boston') AND income < 20000",
+        )
+        .unwrap();
+        let PredFunction::Categorical {
+            ontology, accepted, ..
+        } = &q.predicates[0].func
+        else {
+            panic!("expected categorical");
+        };
+        assert_eq!(accepted, &vec!["Boston".to_string()]);
+        assert!(ontology.node("Miami").is_some());
+        assert_eq!(ontology.height(), 1);
+    }
+
+    #[test]
+    fn registered_ontology_is_used_and_validated() {
+        let cat = catalog();
+        let tree = Arc::new(OntologyTree::sample_cuisine());
+        let binder = Binder::new(&cat).with_ontology("city", Arc::clone(&tree));
+        let ast =
+            parse("SELECT * FROM users CONSTRAINT COUNT(*) = 30 WHERE city IN ('Gyro')").unwrap();
+        let q = binder.bind(&ast).unwrap();
+        let PredFunction::Categorical { ontology, .. } = &q.predicates[0].func else {
+            panic!("expected categorical");
+        };
+        assert_eq!(ontology.height(), 3);
+
+        let bad =
+            parse("SELECT * FROM users CONSTRAINT COUNT(*) = 30 WHERE city IN ('Pizza')").unwrap();
+        assert!(matches!(binder.bind(&bad), Err(SqlError::Bind(_))));
+    }
+
+    #[test]
+    fn stddev_rejected_with_osp_message() {
+        let e =
+            bind("SELECT * FROM users CONSTRAINT STDDEV(income) = 5 WHERE age < 30").unwrap_err();
+        match e {
+            SqlError::Query(AcqError::UnsupportedAggregate(msg)) => {
+                assert!(msg.contains("optimal substructure"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_columns() {
+        let e =
+            bind("SELECT * FROM users, orders CONSTRAINT COUNT(*) = 5 WHERE nope < 3").unwrap_err();
+        assert!(matches!(e, SqlError::Bind(msg) if msg.contains("not found")));
+        let e =
+            bind("SELECT * FROM users CONSTRAINT COUNT(*) = 5 WHERE orders.total < 3").unwrap_err();
+        assert!(matches!(e, SqlError::Bind(msg) if msg.contains("FROM clause")));
+    }
+
+    #[test]
+    fn string_column_rejected_in_numeric_predicate() {
+        let e = bind("SELECT * FROM users CONSTRAINT COUNT(*) = 5 WHERE city < 3").unwrap_err();
+        assert!(matches!(e, SqlError::Bind(msg) if msg.contains("not numeric")));
+    }
+
+    #[test]
+    fn numeric_equality_binds_point_interval() {
+        let q =
+            bind("SELECT * FROM users CONSTRAINT COUNT(*) = 5 WHERE age = 30 AND income < 20000")
+                .unwrap();
+        assert_eq!(q.predicates[0].interval, Interval::point(30.0));
+        assert_eq!(q.predicates[0].width_basis(), 100.0);
+    }
+
+    #[test]
+    fn flipped_literal_comparison() {
+        let q = bind("SELECT * FROM users CONSTRAINT COUNT(*) = 5 WHERE 20000 > income").unwrap();
+        assert_eq!(q.predicates[0].refine, RefineSide::Upper);
+        assert_eq!(q.predicates[0].interval.hi(), 20_000.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Frontend errors.
+
+use std::fmt;
+
+use acq_engine::EngineError;
+use acq_query::AcqError;
+
+/// A lexing/parsing error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Any error surfaced while compiling ACQ SQL text into an executable query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The text failed to lex/parse.
+    Parse(ParseError),
+    /// A name failed to resolve or a clause is semantically invalid.
+    Bind(String),
+    /// Catalog access failed.
+    Engine(EngineError),
+    /// The bound query failed [`acq_query::AcqQuery::validate`].
+    Query(AcqError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "{e}"),
+            Self::Bind(msg) => write!(f, "bind error: {msg}"),
+            Self::Engine(e) => write!(f, "catalog error: {e}"),
+            Self::Query(e) => write!(f, "invalid query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<ParseError> for SqlError {
+    fn from(e: ParseError) -> Self {
+        Self::Parse(e)
+    }
+}
+
+impl From<EngineError> for SqlError {
+    fn from(e: EngineError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+impl From<AcqError> for SqlError {
+    fn from(e: AcqError) -> Self {
+        Self::Query(e)
+    }
+}

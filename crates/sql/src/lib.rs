@@ -1,0 +1,74 @@
+//! # acq-sql — the ACQ SQL extension frontend
+//!
+//! The paper encodes ACQs with two new keywords (§2.1):
+//!
+//! ```sql
+//! SELECT * FROM Table1, Table2 ...
+//! CONSTRAINT AGG(attribute) Op X
+//! WHERE Predicate1 AND Predicate2 ...
+//!   AND Predicate_i NOREFINE AND ... Predicate_n NOREFINE
+//! ```
+//!
+//! This crate parses that dialect — including the paper's Q1' and Q2'
+//! examples verbatim — and binds the result against an engine catalog into
+//! an executable [`acq_query::AcqQuery`]:
+//!
+//! * numeric comparisons (`p_retailprice < 1000`), equalities
+//!   (`p_size = 10`), and two-sided ranges (`25 <= age <= 35`, rewritten
+//!   into two one-sided predicates per §2.2);
+//! * equi-joins (`s_suppkey = ps_suppkey`), NOREFINE (structural) or
+//!   refinable (band-refined per §2.4), with linear scaling
+//!   (`2*A.x = 3*B.x`);
+//! * `IN` lists and string equality over categorical columns, scored via a
+//!   registered ontology (§7.3) or a synthesised flat taxonomy;
+//! * numeric literals with `K`/`M`/`B` suffixes (`COUNT(*) = 1M`);
+//! * aggregate names validated for the optimal substructure property
+//!   (`STDDEV` is rejected with the §2.6 explanation).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod ast;
+mod binder;
+mod error;
+mod lexer;
+mod parser;
+
+pub use ast::{AstClause, AstConstraint, AstPred, AstQuery, Operand, QualCol};
+pub use binder::Binder;
+pub use error::{ParseError, SqlError};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::parse;
+
+use acq_engine::Catalog;
+use acq_query::AcqQuery;
+
+/// One-shot convenience: parse `sql` and bind it against `catalog` with
+/// default binder settings.
+///
+/// ```
+/// use acq_engine::{Catalog, DataType, Field, TableBuilder, Value};
+/// use acq_sql::compile;
+///
+/// let mut b = TableBuilder::new("users", vec![
+///     Field::new("age", DataType::Int),
+///     Field::new("income", DataType::Float),
+/// ])?;
+/// b.push_row(vec![Value::Int(30), Value::Float(50_000.0)]);
+/// b.push_row(vec![Value::Int(55), Value::Float(90_000.0)]);
+/// let mut catalog = Catalog::new();
+/// catalog.register(b.finish()?)?;
+///
+/// let q = compile(
+///     "SELECT * FROM users CONSTRAINT COUNT(*) = 1K \
+///      WHERE 25 <= age <= 35 AND income <= 60000",
+///     &catalog,
+/// )?;
+/// assert_eq!(q.constraint.target, 1_000.0);
+/// assert_eq!(q.dims(), 3); // the range splits into two one-sided predicates
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(sql: &str, catalog: &Catalog) -> Result<AcqQuery, SqlError> {
+    let ast = parse(sql)?;
+    Binder::new(catalog).bind(&ast)
+}

@@ -1,0 +1,417 @@
+//! Recursive-descent parser for the ACQ SQL dialect (§2.1).
+
+use acq_query::CmpOp;
+
+use crate::ast::{AstClause, AstConstraint, AstPred, AstQuery, Operand, QualCol};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses one ACQ statement.
+pub fn parse(input: &str) -> Result<AstQuery, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.peek().offset, msg)
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.is_keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.peek().kind {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(n)
+            }
+            ref other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind:?}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input: {:?}", self.peek().kind)))
+        }
+    }
+
+    // query := SELECT * FROM table (, table)* [CONSTRAINT agg] [WHERE conj]
+    //        | SELECT * FROM ... WHERE ... (CONSTRAINT may precede WHERE)
+    fn query(&mut self) -> Result<AstQuery, ParseError> {
+        self.keyword("SELECT")?;
+        self.expect(&TokenKind::Star)?;
+        self.keyword("FROM")?;
+        let mut tables = vec![self.ident()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            tables.push(self.ident()?);
+        }
+        let constraint = if self.is_keyword("CONSTRAINT") {
+            self.bump();
+            self.constraint()?
+        } else {
+            return Err(self.err("an ACQ requires a CONSTRAINT clause"));
+        };
+        let mut clauses = Vec::new();
+        if self.is_keyword("WHERE") {
+            self.bump();
+            clauses.push(self.clause()?);
+            while self.is_keyword("AND") {
+                self.bump();
+                clauses.push(self.clause()?);
+            }
+        }
+        Ok(AstQuery {
+            tables,
+            constraint,
+            clauses,
+        })
+    }
+
+    // constraint := IDENT '(' ('*' | qualcol) ')' cmp number
+    fn constraint(&mut self) -> Result<AstConstraint, ParseError> {
+        let func = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let col = if self.peek().kind == TokenKind::Star {
+            self.bump();
+            None
+        } else {
+            Some(self.qualcol()?)
+        };
+        self.expect(&TokenKind::RParen)?;
+        let op = self.cmp_op()?;
+        let target = self.number()?;
+        Ok(AstConstraint {
+            func,
+            col,
+            op,
+            target,
+        })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::Gt => CmpOp::Gt,
+            ref other => return Err(self.err(format!("expected comparison, found {other:?}"))),
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn qualcol(&mut self) -> Result<QualCol, ParseError> {
+        let first = self.ident()?;
+        if self.peek().kind == TokenKind::Dot {
+            self.bump();
+            let col = self.ident()?;
+            Ok(QualCol::qualified(first, col))
+        } else {
+            Ok(QualCol::bare(first))
+        }
+    }
+
+    // clause := [ '(' ] pred [ ')' ] [NOREFINE]
+    fn clause(&mut self) -> Result<AstClause, ParseError> {
+        let parenthesised = self.peek().kind == TokenKind::LParen;
+        if parenthesised {
+            self.bump();
+        }
+        let pred = self.pred()?;
+        if parenthesised {
+            self.expect(&TokenKind::RParen)?;
+        }
+        let norefine = if self.is_keyword("NOREFINE") {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        Ok(AstClause { pred, norefine })
+    }
+
+    // operand := number | [number '*'] qualcol
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                if self.peek().kind == TokenKind::Star {
+                    self.bump();
+                    let col = self.qualcol()?;
+                    Ok(Operand::Col { scale: n, col })
+                } else {
+                    Ok(Operand::Num(n))
+                }
+            }
+            TokenKind::Ident(_) => Ok(Operand::Col {
+                scale: 1.0,
+                col: self.qualcol()?,
+            }),
+            other => Err(self.err(format!("expected operand, found {other:?}"))),
+        }
+    }
+
+    // pred := operand cmp operand [cmp operand]      (range form)
+    //       | qualcol IN list
+    //       | qualcol '=' string
+    fn pred(&mut self) -> Result<AstPred, ParseError> {
+        let left = self.operand()?;
+        // IN-list?
+        if let Operand::Col { scale, col } = &left {
+            if self.is_keyword("IN") {
+                if (*scale - 1.0).abs() > f64::EPSILON {
+                    return Err(self.err("IN lists cannot be scaled"));
+                }
+                self.bump();
+                let values = self.string_list()?;
+                return Ok(AstPred::InList {
+                    col: col.clone(),
+                    values,
+                });
+            }
+        }
+        let op = self.cmp_op()?;
+        // String equality?
+        if let TokenKind::Str(s) = self.peek().kind.clone() {
+            let Operand::Col { scale, col } = &left else {
+                return Err(self.err("string comparison requires a column on the left"));
+            };
+            if op != CmpOp::Eq || (*scale - 1.0).abs() > f64::EPSILON {
+                return Err(self.err("strings only support unscaled equality"));
+            }
+            self.bump();
+            return Ok(AstPred::StrEq {
+                col: col.clone(),
+                value: s,
+            });
+        }
+        let right = self.operand()?;
+        // Range form: number cmp col cmp number.
+        if matches!(
+            self.peek().kind,
+            TokenKind::Le | TokenKind::Lt | TokenKind::Ge | TokenKind::Gt
+        ) {
+            let op2 = self.cmp_op()?;
+            let third = self.operand()?;
+            let (Operand::Num(lo), Operand::Col { scale, col }, Operand::Num(hi)) =
+                (&left, &right, &third)
+            else {
+                return Err(self.err("range predicates must be `number op column op number`"));
+            };
+            if (*scale - 1.0).abs() > f64::EPSILON {
+                return Err(self.err("range predicates cannot scale the column"));
+            }
+            let ascending = matches!(op, CmpOp::Le | CmpOp::Lt);
+            let ascending2 = matches!(op2, CmpOp::Le | CmpOp::Lt);
+            if ascending != ascending2 {
+                return Err(self.err("range predicate bounds must point the same way"));
+            }
+            let (lo, hi) = if ascending { (*lo, *hi) } else { (*hi, *lo) };
+            if lo > hi {
+                return Err(self.err(format!("empty range: {lo} > {hi}")));
+            }
+            return Ok(AstPred::Range {
+                lo,
+                col: col.clone(),
+                hi,
+            });
+        }
+        Ok(AstPred::Cmp { left, op, right })
+    }
+
+    // list := '(' str (, str)* ')' | '{' str (, str)* '}'
+    fn string_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let close = match self.peek().kind {
+            TokenKind::LParen => TokenKind::RParen,
+            TokenKind::LBrace => TokenKind::RBrace,
+            ref other => return Err(self.err(format!("expected '(' or '{{', found {other:?}"))),
+        };
+        self.bump();
+        let mut values = Vec::new();
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Str(s) => {
+                    values.push(s);
+                    self.bump();
+                }
+                other => return Err(self.err(format!("expected string, found {other:?}"))),
+            }
+            if self.peek().kind == TokenKind::Comma {
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        self.expect(&close)?;
+        if values.is_empty() {
+            return Err(self.err("IN list must not be empty"));
+        }
+        Ok(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_query() {
+        let q = parse("SELECT * FROM t CONSTRAINT COUNT(*) = 100 WHERE x < 10").unwrap();
+        assert_eq!(q.tables, vec!["t"]);
+        assert_eq!(q.constraint.func, "COUNT");
+        assert_eq!(q.constraint.col, None);
+        assert_eq!(q.constraint.op, CmpOp::Eq);
+        assert_eq!(q.constraint.target, 100.0);
+        assert_eq!(q.clauses.len(), 1);
+        assert!(!q.clauses[0].norefine);
+    }
+
+    #[test]
+    fn parses_the_papers_q2_prime() {
+        let q = parse(
+            "SELECT * FROM supplier, part, partsupp \
+             CONSTRAINT SUM(ps_availqty) >= 0.1M \
+             WHERE (s_suppkey = ps_suppkey) NOREFINE AND \
+             (p_partkey = ps_partkey) NOREFINE AND \
+             (p_retailprice < 1000) AND (s_acctbal < 2000) \
+             AND (p_size = 10) NOREFINE AND \
+             (p_type = 'SMALL BURNISHED STEEL') NOREFINE",
+        )
+        .unwrap();
+        assert_eq!(q.tables, vec!["supplier", "part", "partsupp"]);
+        assert_eq!(q.constraint.func, "SUM");
+        assert_eq!(q.constraint.target, 100_000.0);
+        assert_eq!(q.constraint.op, CmpOp::Ge);
+        assert_eq!(q.clauses.len(), 6);
+        let norefines: Vec<bool> = q.clauses.iter().map(|c| c.norefine).collect();
+        assert_eq!(norefines, vec![true, true, false, false, true, true]);
+        assert!(matches!(
+            q.clauses[5].pred,
+            AstPred::StrEq { ref value, .. } if value == "SMALL BURNISHED STEEL"
+        ));
+    }
+
+    #[test]
+    fn parses_ranges_both_directions() {
+        let q =
+            parse("SELECT * FROM users CONSTRAINT COUNT(*) = 1M WHERE 25 <= age <= 35").unwrap();
+        assert_eq!(
+            q.clauses[0].pred,
+            AstPred::Range {
+                lo: 25.0,
+                col: QualCol::bare("age"),
+                hi: 35.0
+            }
+        );
+        let q2 =
+            parse("SELECT * FROM users CONSTRAINT COUNT(*) = 1M WHERE 35 >= age >= 25").unwrap();
+        assert_eq!(q.clauses[0].pred, q2.clauses[0].pred);
+    }
+
+    #[test]
+    fn parses_in_lists_and_scaled_joins() {
+        let q = parse(
+            "SELECT * FROM u CONSTRAINT COUNT(*) = 10 WHERE \
+             location IN ('Boston', 'Miami') NOREFINE AND 2*a.x = 3*b.x",
+        )
+        .unwrap();
+        assert!(matches!(&q.clauses[0].pred, AstPred::InList { values, .. } if values.len() == 2));
+        assert!(q.clauses[0].norefine);
+        match &q.clauses[1].pred {
+            AstPred::Cmp {
+                left: Operand::Col { scale: l, .. },
+                op: CmpOp::Eq,
+                right: Operand::Col { scale: r, .. },
+            } => {
+                assert_eq!((*l, *r), (2.0, 3.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn brace_lists_match_the_paper() {
+        let q = parse(
+            "SELECT * FROM u CONSTRAINT COUNT(*) = 10 WHERE interests IN {'Retail', 'Shopping'} NOREFINE",
+        )
+        .unwrap();
+        assert!(matches!(&q.clauses[0].pred, AstPred::InList { values, .. } if values.len() == 2));
+    }
+
+    #[test]
+    fn requires_constraint_clause() {
+        let e = parse("SELECT * FROM t WHERE x < 1").unwrap_err();
+        assert!(e.message.contains("CONSTRAINT"));
+    }
+
+    #[test]
+    fn rejects_mixed_range_directions() {
+        assert!(parse("SELECT * FROM t CONSTRAINT COUNT(*) = 1 WHERE 1 <= x >= 0").is_err());
+        assert!(parse("SELECT * FROM t CONSTRAINT COUNT(*) = 1 WHERE 5 <= x <= 2").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("SELECT * FROM t CONSTRAINT COUNT(*) = 1 WHERE x < 1 x").is_err());
+    }
+
+    #[test]
+    fn tolerates_trailing_semicolon() {
+        assert!(parse("SELECT * FROM t CONSTRAINT COUNT(*) = 1 WHERE x < 1;").is_ok());
+    }
+}

@@ -1,0 +1,53 @@
+//! Parser robustness: no input — valid, mangled, or random — may panic the
+//! frontend; it either parses or returns a positioned error.
+
+use proptest::prelude::*;
+
+use acq_sql::{parse, tokenize};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary unicode strings never panic the lexer or parser.
+    #[test]
+    fn arbitrary_strings_never_panic(s in "\\PC{0,200}") {
+        let _ = tokenize(&s);
+        let _ = parse(&s);
+    }
+
+    /// Strings built from the dialect's own vocabulary (keywords, operators,
+    /// numbers, names) — much likelier to get deep into the parser — never
+    /// panic either, and errors carry an in-bounds offset.
+    #[test]
+    fn dialect_soup_never_panics(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "CONSTRAINT", "NOREFINE", "AND", "IN",
+                "COUNT", "SUM", "AVG", "STDDEV", "(", ")", "{", "}", "*", ",",
+                "<=", ">=", "<", ">", "=", ".", "users", "age", "t.x", "'str'",
+                "1", "2.5", "1M", "0.1K", ";",
+            ]),
+            0..30,
+        )
+    ) {
+        let s = parts.join(" ");
+        match parse(&s) {
+            Ok(ast) => prop_assert!(!ast.tables.is_empty()),
+            Err(e) => prop_assert!(e.offset <= s.len(), "offset {} > len {}", e.offset, s.len()),
+        }
+    }
+
+    /// Mutating one byte of a valid statement never panics (it may still
+    /// parse, e.g. a digit change).
+    #[test]
+    fn single_byte_mutations_never_panic(pos in 0usize..100, byte in 0u8..128) {
+        let base = "SELECT * FROM users CONSTRAINT COUNT(*) = 1M \
+                    WHERE 25 <= age <= 35 AND city IN ('Boston') NOREFINE";
+        let mut bytes = base.as_bytes().to_vec();
+        let idx = pos % bytes.len();
+        bytes[idx] = byte;
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = parse(&s);
+        }
+    }
+}

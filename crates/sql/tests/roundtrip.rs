@@ -1,0 +1,124 @@
+//! Property test: queries rendered by `AcqQuery::to_sql` re-compile through
+//! the frontend into a query with identical semantics (same admitted
+//! aggregate on the same data), i.e. the dialect is closed under the
+//! library's own rendering.
+
+use proptest::prelude::*;
+
+use acq_engine::{Catalog, DataType, Executor, Field, TableBuilder, Value};
+use acq_query::{
+    AcqQuery, AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide,
+};
+use acq_sql::compile;
+
+fn catalog(values: &[(f64, f64)]) -> Catalog {
+    let mut b = TableBuilder::new(
+        "t",
+        vec![
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+        ],
+    )
+    .unwrap();
+    for &(x, y) in values {
+        b.push_row(vec![Value::Float(x), Value::Float(y)]);
+    }
+    let mut cat = Catalog::new();
+    cat.register(b.finish().unwrap()).unwrap();
+    cat
+}
+
+fn aggregate_of(catalog: &Catalog, query: &AcqQuery) -> f64 {
+    let mut exec = Executor::new(catalog.clone());
+    let mut q = query.clone();
+    exec.populate_domains(&mut q).unwrap();
+    let rq = exec.resolve(&q).unwrap();
+    let zeros = vec![0.0; q.dims()];
+    let rel = exec.base_relation(&rq, &zeros).unwrap();
+    exec.full_aggregate(&rq, &rel, &zeros)
+        .unwrap()
+        .value()
+        .unwrap_or(f64::NAN)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rendered_sql_recompiles_with_identical_semantics(
+        rows in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 5..60),
+        bx in 1.0f64..99.0,
+        by in 1.0f64..99.0,
+        upper_x in any::<bool>(),
+        norefine_y in any::<bool>(),
+        use_sum in any::<bool>(),
+        target in 1.0f64..500.0,
+    ) {
+        let cat = catalog(&rows);
+        let xd = cat.table("t").unwrap().numeric_domain("x").unwrap();
+        let yd = cat.table("t").unwrap().numeric_domain("y").unwrap();
+        // Predicate intervals must stay non-empty against the data domain.
+        let px = if upper_x {
+            Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(xd.lo().min(bx), bx),
+                RefineSide::Upper,
+            )
+        } else {
+            Predicate::select(
+                ColRef::new("t", "x"),
+                Interval::new(bx, xd.hi().max(bx)),
+                RefineSide::Lower,
+            )
+        };
+        let mut py = Predicate::select(
+            ColRef::new("t", "y"),
+            Interval::new(yd.lo().min(by), by),
+            RefineSide::Upper,
+        );
+        if norefine_y {
+            py = py.no_refine();
+        }
+        let spec = if use_sum {
+            AggregateSpec::sum(ColRef::new("t", "y"))
+        } else {
+            AggregateSpec::count()
+        };
+        let op = if use_sum { CmpOp::Ge } else { CmpOp::Eq };
+        let original = AcqQuery::builder()
+            .table("t")
+            .predicate(px)
+            .predicate(py)
+            .constraint(AggConstraint::new(spec, op, target))
+            .build()
+            .unwrap();
+
+        let sql = original.to_sql();
+        let recompiled = compile(&sql, &cat)
+            .unwrap_or_else(|e| panic!("rendered SQL failed to compile: {e}\n  {sql}"));
+
+        // NOREFINE markers survive the round trip.
+        prop_assert_eq!(
+            original.dims() > 1,
+            recompiled.dims() > 1,
+            "flexibility lost in round trip: {}",
+            sql
+        );
+        // Same constraint.
+        prop_assert_eq!(&original.constraint.op, &recompiled.constraint.op);
+        prop_assert!((original.constraint.target - recompiled.constraint.target).abs() < 1e-6);
+
+        // Identical admitted aggregate (the binder may split ranges into two
+        // one-sided predicates, so compare semantics, not structure).
+        let a = aggregate_of(&cat, &original);
+        let b = aggregate_of(&cat, &recompiled);
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => {}
+            (false, false) => prop_assert!(
+                (a - b).abs() < 1e-9,
+                "semantics changed: {a} vs {b}\n  {sql}"
+            ),
+            _ => prop_assert!(false, "one side undefined: {a} vs {b}\n  {sql}"),
+        }
+    }
+}

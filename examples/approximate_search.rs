@@ -1,0 +1,124 @@
+//! The §3 "estimation and/or sampling" evaluation-layer strategies in
+//! action: run the same ACQ search exactly, over a 10% Bernoulli sample,
+//! and over per-dimension histograms — then verify every recommendation
+//! against the full data.
+//!
+//! ```text
+//! cargo run --release --example approximate_search
+//! ```
+
+use std::time::Instant;
+
+use acquire::core::{
+    acquire, run_acquire, AcquireConfig, EvalLayerKind, HistogramEstimator, RefinedSpace,
+};
+use acquire::datagen::{tpch, GenConfig};
+use acquire::engine::{sample_catalog_tables, scale_target_for_sample, Catalog, Executor};
+use acquire::query::{
+    AcqQuery, AggConstraint, AggregateSpec, CmpOp, ColRef, Interval, Predicate, RefineSide,
+};
+
+fn exact_count(catalog: &Catalog, query: &AcqQuery, pscores: &[f64]) -> f64 {
+    let mut exec = Executor::new(catalog.clone());
+    let mut q = query.clone();
+    exec.populate_domains(&mut q).expect("domains");
+    let rq = exec.resolve(&q).expect("resolve");
+    let rel = exec.base_relation(&rq, pscores).expect("relation");
+    exec.full_aggregate(&rq, &rel, pscores)
+        .expect("aggregate")
+        .value()
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let rows = 200_000;
+    let target = 60_000.0;
+    let catalog = tpch::generate_lineitem(&GenConfig::uniform(rows)).expect("lineitem");
+    let table = catalog.table("lineitem").expect("table");
+
+    let mut b = AcqQuery::builder().table("lineitem");
+    for col in ["l_quantity", "l_extendedprice"] {
+        let domain = table.numeric_domain(col).expect("numeric");
+        b = b.predicate(
+            Predicate::select(
+                ColRef::new("lineitem", col),
+                Interval::new(domain.lo(), domain.lo() + 0.4 * domain.width()),
+                RefineSide::Upper,
+            )
+            .with_domain(domain),
+        );
+    }
+    let query = b
+        .constraint(AggConstraint::new(
+            AggregateSpec::count(),
+            CmpOp::Eq,
+            target,
+        ))
+        .build()
+        .expect("query");
+    let cfg = AcquireConfig::default();
+    println!("ACQ: {}\n", query.to_sql());
+
+    // --- exact -------------------------------------------------------------
+    let t0 = Instant::now();
+    let mut exec = Executor::new(catalog.clone());
+    let exact = run_acquire(&mut exec, &query, &cfg, EvalLayerKind::GridIndex).expect("exact");
+    let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let best = exact.best().expect("satisfiable").clone();
+    println!(
+        "exact      : {:8.1} ms  refinement {:6.2}  count {} (verified {})",
+        exact_ms,
+        best.qscore,
+        best.aggregate,
+        exact_count(&catalog, &query, &best.pscores)
+    );
+
+    // --- 10% Bernoulli sample (§3 "sampling", Fig. 10a's 1K mimic) ----------
+    let t0 = Instant::now();
+    let (sampled, rate) = sample_catalog_tables(&catalog, &["lineitem"], 0.1, 42).expect("sample");
+    let squery = scale_target_for_sample(&query, rate);
+    let mut exec = Executor::new(sampled);
+    let s = run_acquire(&mut exec, &squery, &cfg, EvalLayerKind::GridIndex).expect("sampled");
+    let sample_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let sbest = s.best().expect("satisfiable").clone();
+    let verified = exact_count(&catalog, &query, &sbest.pscores);
+    println!(
+        "10% sample : {:8.1} ms  refinement {:6.2}  full-data count {} (target {target}, err {:.3})",
+        sample_ms,
+        sbest.qscore,
+        verified,
+        (verified - target).abs() / target
+    );
+
+    // --- histogram estimation (§3 "estimation") -----------------------------
+    let t0 = Instant::now();
+    let mut q = query.clone();
+    Executor::new(catalog.clone())
+        .populate_domains(&mut q)
+        .expect("domains");
+    let space = RefinedSpace::new(&q, &cfg).expect("space");
+    let caps = space.caps();
+    let mut exec = Executor::new(catalog.clone());
+    let mut est = HistogramEstimator::new(&mut exec, &q, &caps, space.step()).expect("estimator");
+    let e = acquire(&mut est, &q, &cfg).expect("estimated");
+    let est_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let ebest = e.best().expect("satisfiable").clone();
+    let verified = exact_count(&catalog, &query, &ebest.pscores);
+    println!(
+        "histograms : {:8.1} ms  refinement {:6.2}  full-data count {} (target {target}, err {:.3})",
+        est_ms,
+        ebest.qscore,
+        verified,
+        (verified - target).abs() / target
+    );
+
+    println!(
+        "\nAll three searches explored {} / {} / {} grid queries respectively.",
+        exact.explored, s.explored, e.explored
+    );
+    println!(
+        "Note: l_extendedprice = l_quantity x unit price, so these two dimensions are\n\
+         correlated and the histogram layer's independence assumption (AVI) shows its\n\
+         classic bias — sampling does not suffer from it. See `HistogramEstimator` docs."
+    );
+}

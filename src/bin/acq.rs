@@ -1,0 +1,391 @@
+//! `acq` — run Aggregation Constrained Queries from the command line.
+//!
+//! ```text
+//! acq --table users=examples/data/users.csv \
+//!     [--gamma 10] [--delta 0.05] [--layer grid|cached|scan] [--top 5] \
+//!     [--norm l1|l2|linf] [--stats] \
+//!     "SELECT * FROM users CONSTRAINT COUNT(*) = 10K WHERE age <= 30"
+//!
+//! acq --demo users "SELECT * FROM users CONSTRAINT COUNT(*) = 5K WHERE income <= 60000"
+//! ```
+//!
+//! Loads CSV files into the engine catalog (`--table name=path`, repeatable;
+//! column types are inferred), compiles the ACQ statement, and runs ACQUIRE
+//! — expansion for `=`/`>=`/`>` constraints, the §7.2 contraction for
+//! `<=`/`<` — printing the recommended refined queries.
+
+use std::process::ExitCode;
+
+use acquire::core::{run_acquire, run_contraction, AcqOutcome, AcquireConfig, EvalLayerKind};
+use acquire::datagen::{patients, tpch, users, GenConfig};
+use acquire::engine::{csv, Catalog, Executor};
+use acquire::query::{CmpOp, Norm};
+use acquire::sql::compile;
+
+struct Opts {
+    tables: Vec<(String, String)>,
+    demos: Vec<String>,
+    sql: Option<String>,
+    gamma: f64,
+    delta: f64,
+    layer: EvalLayerKind,
+    norm: Norm,
+    top: usize,
+    demo_rows: usize,
+    show_stats: bool,
+    json: bool,
+    threads: usize,
+    explain: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            tables: Vec::new(),
+            demos: Vec::new(),
+            sql: None,
+            gamma: 10.0,
+            delta: 0.05,
+            layer: EvalLayerKind::GridIndex,
+            norm: Norm::L1,
+            top: 5,
+            demo_rows: 50_000,
+            show_stats: false,
+            json: false,
+            threads: 1,
+            explain: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: acq [OPTIONS] \"<ACQ SQL>\"
+
+options:
+  --table NAME=PATH   load a CSV file as table NAME (repeatable)
+  --demo NAME         generate a demo table: users | patients | tpch (repeatable)
+  --demo-rows N       demo table size (default 50000)
+  --gamma G           refinement threshold (default 10)
+  --delta D           aggregate error threshold (default 0.05)
+  --layer KIND        evaluation layer: grid | cached | scan (default grid)
+  --norm NORM         l1 | l2 | linf (default l1)
+  --top N             number of refined queries to print (default 5)
+  --json              print the outcome as JSON instead of text
+  --threads N         scoring worker threads (default 1)
+  --explain           print the base-relation materialisation plan
+  --stats             print evaluation-layer work counters
+  --help              this message
+
+The SQL dialect is the paper's: SELECT * FROM t [, t2 ...]
+CONSTRAINT AGG(attr) OP X WHERE pred [NOREFINE] AND ...";
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--table" => {
+                let spec = need("--table")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--table expects NAME=PATH, got {spec}"))?;
+                opts.tables.push((name.to_string(), path.to_string()));
+            }
+            "--demo" => opts.demos.push(need("--demo")?),
+            "--demo-rows" => {
+                opts.demo_rows = need("--demo-rows")?
+                    .parse()
+                    .map_err(|e| format!("--demo-rows: {e}"))?;
+            }
+            "--gamma" => {
+                opts.gamma = need("--gamma")?
+                    .parse()
+                    .map_err(|e| format!("--gamma: {e}"))?;
+            }
+            "--delta" => {
+                opts.delta = need("--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?;
+            }
+            "--layer" => {
+                opts.layer = match need("--layer")?.as_str() {
+                    "grid" => EvalLayerKind::GridIndex,
+                    "cached" => EvalLayerKind::CachedScore,
+                    "scan" => EvalLayerKind::Scan,
+                    other => return Err(format!("unknown layer {other}")),
+                };
+            }
+            "--norm" => {
+                opts.norm = match need("--norm")?.to_ascii_lowercase().as_str() {
+                    "l1" => Norm::L1,
+                    "l2" => Norm::Lp(2.0),
+                    "linf" | "loo" => Norm::LInf,
+                    other => return Err(format!("unknown norm {other}")),
+                };
+            }
+            "--top" => {
+                opts.top = need("--top")?.parse().map_err(|e| format!("--top: {e}"))?;
+            }
+            "--stats" => opts.show_stats = true,
+            "--json" => opts.json = true,
+            "--explain" => opts.explain = true,
+            "--threads" => {
+                opts.threads = need("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            other if opts.sql.is_none() && !other.starts_with("--") => {
+                opts.sql = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument {other}\n\n{USAGE}")),
+        }
+    }
+    if opts.sql.is_none() {
+        return Err(USAGE.to_string());
+    }
+    Ok(opts)
+}
+
+fn build_catalog(opts: &Opts) -> Result<Catalog, String> {
+    let mut catalog = Catalog::new();
+    for (name, path) in &opts.tables {
+        let table = csv::read_csv(name, path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "loaded {name}: {} rows, schema {}",
+            table.num_rows(),
+            table.schema()
+        );
+        catalog.register(table).map_err(|e| e.to_string())?;
+    }
+    for demo in &opts.demos {
+        let cfg = GenConfig::uniform(opts.demo_rows);
+        match demo.as_str() {
+            "users" => {
+                catalog
+                    .register(users::users(&cfg).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "patients" => {
+                catalog
+                    .register(patients::patients(&cfg).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "tpch" => {
+                let tp = tpch::generate(&cfg).map_err(|e| e.to_string())?;
+                for name in tp.table_names() {
+                    catalog
+                        .register((*tp.table(name).map_err(|e| e.to_string())?).clone())
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown demo dataset {other} (users|patients|tpch)"
+                ))
+            }
+        }
+        eprintln!("generated demo dataset: {demo} ({} rows)", opts.demo_rows);
+    }
+    if catalog.is_empty() {
+        return Err("no tables: pass --table NAME=PATH or --demo NAME".to_string());
+    }
+    Ok(catalog)
+}
+
+/// Minimal JSON string escaping (the outcome contains no exotic content,
+/// but SQL strings may embed quotes from categorical values).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn print_outcome_json(outcome: &AcqOutcome, opts: &Opts, original: &acquire::query::AcqQuery) {
+    let expanding = original.constraint.op.is_expanding();
+    let result_json = |r: &acquire::core::RefinedQueryResult| {
+        let pscores: Vec<String> = r.pscores.iter().map(|&p| json_num(p)).collect();
+        let changes: Vec<String> = if expanding {
+            r.explain(original)
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        format!(
+            "{{\"pscores\":[{}],\"qscore\":{},\"aggregate\":{},\"error\":{},\"sql\":\"{}\",\"changes\":[{}]}}",
+            pscores.join(","),
+            json_num(r.qscore),
+            json_num(r.aggregate),
+            json_num(r.error),
+            json_escape(&r.sql),
+            changes.join(",")
+        )
+    };
+    let queries: Vec<String> = outcome
+        .queries
+        .iter()
+        .take(opts.top)
+        .map(&result_json)
+        .collect();
+    let closest = outcome
+        .closest
+        .as_ref()
+        .map(&result_json)
+        .unwrap_or_else(|| "null".to_string());
+    println!(
+        "{{\"satisfied\":{},\"original_aggregate\":{},\"explored\":{},\"queries\":[{}],\"closest\":{},\"stats\":{{\"cell_queries\":{},\"full_queries\":{},\"tuples_scanned\":{}}}}}",
+        outcome.satisfied,
+        json_num(outcome.original_aggregate),
+        outcome.explored,
+        queries.join(","),
+        closest,
+        outcome.stats.cell_queries,
+        outcome.stats.full_queries,
+        outcome.stats.tuples_scanned
+    );
+}
+
+fn print_outcome(outcome: &AcqOutcome, opts: &Opts, original: &acquire::query::AcqQuery) {
+    if opts.json {
+        print_outcome_json(outcome, opts, original);
+        return;
+    }
+    if outcome.original_aggregate.is_finite() {
+        println!("original aggregate: {}", outcome.original_aggregate);
+    }
+    if outcome.satisfied {
+        println!(
+            "constraint satisfied; {} alternative refinement(s), {} grid queries explored\n",
+            outcome.queries.len(),
+            outcome.explored
+        );
+        for (i, r) in outcome.queries.iter().take(opts.top).enumerate() {
+            println!(
+                "#{i}  aggregate {}  error {:.4}  refinement {:.2}",
+                r.aggregate, r.error, r.qscore
+            );
+            println!("    {}\n", r.sql);
+        }
+    } else {
+        println!("constraint NOT satisfiable within thresholds.");
+        if let Some(c) = &outcome.closest {
+            println!(
+                "closest query reaches {} (error {:.4}, refinement {:.2}):\n    {}",
+                c.aggregate, c.error, c.qscore, c.sql
+            );
+        }
+    }
+    if opts.show_stats {
+        println!("work: {}", outcome.stats);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let catalog = build_catalog(&opts)?;
+    let sql = opts.sql.as_deref().expect("validated");
+    let query = compile(sql, &catalog).map_err(|e| e.to_string())?;
+    let query_for_explain = query.clone();
+
+    let cfg = AcquireConfig {
+        gamma: opts.gamma,
+        delta: opts.delta,
+        norm: opts.norm.clone(),
+        threads: opts.threads.max(1),
+        ..Default::default()
+    };
+    let mut exec = Executor::new(catalog);
+    let outcome = match query.constraint.op {
+        CmpOp::Le | CmpOp::Lt => {
+            if !opts.json {
+                println!("(overshooting constraint: running the §7.2 contraction search)\n");
+            }
+            run_contraction(&mut exec, &query, &cfg, opts.layer).map_err(|e| e.to_string())?
+        }
+        _ => {
+            let expanded =
+                run_acquire(&mut exec, &query, &cfg, opts.layer).map_err(|e| e.to_string())?;
+            // §7.2 also covers `=` constraints whose original query already
+            // returns too much: expansion can only grow the aggregate, so
+            // fall through to the contraction search.
+            if !expanded.satisfied
+                && query.constraint.op == CmpOp::Eq
+                && expanded.original_aggregate > query.constraint.target
+            {
+                match run_contraction(&mut exec, &query, &cfg, opts.layer) {
+                    Ok(contracted) => {
+                        if !opts.json {
+                            println!(
+                                "(the original query already overshoots {} > {}: \
+                                 ran the §7.2 contraction search)\n",
+                                expanded.original_aggregate, query.constraint.target
+                            );
+                        }
+                        contracted
+                    }
+                    // Nothing contractible (e.g. point predicates): the
+                    // expansion outcome's closest query is still useful.
+                    Err(_) => expanded,
+                }
+            } else {
+                expanded
+            }
+        }
+    };
+    if opts.explain && !opts.json {
+        println!("base-relation plan:");
+        for line in exec.last_plan() {
+            println!("  - {line}");
+        }
+        println!();
+    }
+    print_outcome(&outcome, &opts, &query_for_explain);
+    // `explain` interprets pscores as expansions of the original query;
+    // contraction outcomes measure the remaining contraction instead, so
+    // the per-predicate diff only applies to expansion searches.
+    if !opts.json && query_for_explain.constraint.op.is_expanding() {
+        if let Some(best) = outcome.best() {
+            let changes = best.explain(&query_for_explain);
+            if !changes.is_empty() {
+                println!("changes vs the original query:");
+                for c in changes {
+                    println!("  - {c}");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
