@@ -1,0 +1,842 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot fetch crates, so this implements the API
+//! subset the workspace's property tests use: the [`proptest!`] macro,
+//! range/tuple/collection/string strategies, `prop_assert*` / `prop_assume!`,
+//! [`test_runner::ProptestConfig`], `prop::sample`, and
+//! [`string::string_regex`] for the two regex shapes the tests rely on.
+//!
+//! Differences from upstream: **no shrinking** (a failing case reports its
+//! inputs and seed instead of a minimised counterexample), and case
+//! generation is deterministic per test name, so failures reproduce without
+//! a persistence file (`.proptest-regressions` files are ignored).
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// `generate` returns `None` when the underlying recipe rejected the
+    /// draw (e.g. a `prop_filter` that never matched); the runner retries
+    /// the whole case.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values for which `pred` holds (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                pred,
+                whence,
+            }
+        }
+
+        /// Chains a dependent strategy derived from each generated value.
+        fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> Option<O> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug)]
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            let _ = self.whence;
+            for _ in 0..64 {
+                if let Some(v) = self.inner.generate(rng) {
+                    if (self.pred)(&v) {
+                        return Some(v);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+        type Value = O::Value;
+        fn generate(&self, rng: &mut StdRng) -> Option<O::Value> {
+            let mid = self.inner.generate(rng)?;
+            (self.f)(mid).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for core::ops::Range<T>
+    where
+        T: rand::SampleUniform + Copy,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            Some(rng.gen_range(self.clone()))
+        }
+    }
+
+    impl<T> Strategy for core::ops::RangeInclusive<T>
+    where
+        T: rand::SampleUniform + Copy,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            Some(rng.gen_range(self.clone()))
+        }
+    }
+
+    /// String literals are regex strategies (`s in "[a-z]{1,5}"`).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> Option<String> {
+            let strat = crate::string::string_regex(self)
+                .unwrap_or_else(|e| panic!("invalid inline regex strategy {self:?}: {e:?}"));
+            strat.generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                    let ($($s,)+) = self;
+                    $(let $v = $s.generate(rng)?;)+
+                    Some(($($v,)+))
+                }
+            }
+        };
+    }
+    tuple_strategy!(A/a);
+    tuple_strategy!(A/a, B/b);
+    tuple_strategy!(A/a, B/b, C/c);
+    tuple_strategy!(A/a, B/b, C/c, D/d);
+    tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+    tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — default strategies per type.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical default strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the type's default distribution.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    /// The default strategy for `T`.
+    #[derive(Debug)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// The strategy generating [`Arbitrary`] values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    // Mix full-range draws with small values and edges, which
+                    // find boundary bugs far more often than uniform draws.
+                    match rng.gen_range(0..10u32) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3..=5 => rng.gen_range(0..100u32) as $t,
+                        _ => rng.gen(),
+                    }
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! arb_float {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    // Finite values only, like upstream's default f64 strategy.
+                    match rng.gen_range(0..8u32) {
+                        0 => 0.0,
+                        1 => -1.0,
+                        2 => 1.0,
+                        3 => rng.gen_range(-1.0..1.0),
+                        4 => rng.gen_range(-1.0e12..1.0e12),
+                        _ => rng.gen_range(-1.0e6..1.0e6),
+                    }
+                }
+            }
+        )*};
+    }
+    arb_float!(f32, f64);
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            crate::string::printable_char(rng)
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            crate::sample::Index::new(rng.gen())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// An inclusive-exclusive element-count range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let n = rng.gen_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`prop::sample`).
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A length-agnostic index: resolved against a concrete collection
+    /// length with [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        pub(crate) fn new(raw: usize) -> Self {
+            Self(raw)
+        }
+
+        /// This index resolved against a collection of `len` elements.
+        ///
+        /// Panics if `len` is zero, like upstream.
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            self.0 % len
+        }
+    }
+
+    /// See [`select`].
+    #[derive(Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly selects one of `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            Some(self.options[rng.gen_range(0..self.options.len())].clone())
+        }
+    }
+}
+
+pub mod string {
+    //! String-from-regex strategies for the pattern subset the tests use:
+    //! literal characters, `[...]` classes (with ranges), `\PC` / `\p{..}`
+    //! printable-character escapes, and `{m}` / `{m,n}` repetitions.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Regex could not be interpreted by this subset implementation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// A fixed character.
+        Literal(char),
+        /// One of an explicit alternative set (from `[...]`).
+        Class(Vec<(char, char)>),
+        /// Any printable (non-control) character (`\PC`).
+        Printable,
+    }
+
+    /// See [`string_regex`].
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<(Atom, usize, usize)>,
+    }
+
+    /// Builds a strategy generating strings matching `pattern` (subset: no
+    /// alternation, groups, or anchors).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '\\' => match chars.next() {
+                    Some('P') | Some('p') => {
+                        // \PC / \p{..}: consume an optional one-letter or
+                        // braced category; generate printable characters.
+                        match chars.peek() {
+                            Some('{') => {
+                                for c in chars.by_ref() {
+                                    if c == '}' {
+                                        break;
+                                    }
+                                }
+                            }
+                            Some(_) => {
+                                chars.next();
+                            }
+                            None => return Err(Error("dangling \\P".into())),
+                        }
+                        Atom::Printable
+                    }
+                    Some('n') => Atom::Literal('\n'),
+                    Some('t') => Atom::Literal('\t'),
+                    Some('r') => Atom::Literal('\r'),
+                    Some(e) => Atom::Literal(e),
+                    None => return Err(Error("dangling backslash".into())),
+                },
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let Some(c) = chars.next() else {
+                            return Err(Error("unterminated character class".into()));
+                        };
+                        match c {
+                            ']' => break,
+                            '\\' => {
+                                let Some(e) = chars.next() else {
+                                    return Err(Error("dangling backslash in class".into()));
+                                };
+                                if let Some(p) = prev.take() {
+                                    ranges.push((p, p));
+                                }
+                                prev = Some(e);
+                            }
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().expect("checked");
+                                let Some(hi) = chars.next() else {
+                                    return Err(Error("unterminated range".into()));
+                                };
+                                if hi < lo {
+                                    return Err(Error(format!("inverted range {lo}-{hi}")));
+                                }
+                                ranges.push((lo, hi));
+                            }
+                            c => {
+                                if let Some(p) = prev.take() {
+                                    ranges.push((p, p));
+                                }
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    if let Some(p) = prev.take() {
+                        ranges.push((p, p));
+                    }
+                    if ranges.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    Atom::Class(ranges)
+                }
+                '.' => Atom::Printable,
+                c => Atom::Literal(c),
+            };
+            // Optional repetition.
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    let parse = |s: &str| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| Error(format!("bad repetition {spec:?}: {e}")))
+                    };
+                    match spec.split_once(',') {
+                        Some((a, b)) => (parse(a)?, parse(b)?),
+                        None => {
+                            let n = parse(&spec)?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 16)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 16)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            atoms.push((atom, lo, hi));
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    /// A printable (non-control) character: mostly ASCII, sometimes wider
+    /// unicode, mirroring upstream's `\PC` behaviour closely enough for
+    /// robustness tests.
+    pub(crate) fn printable_char(rng: &mut StdRng) -> char {
+        loop {
+            let c = match rng.gen_range(0..10u32) {
+                0..=6 => return rng.gen_range(0x20u32..0x7f) as u8 as char,
+                7 => rng.gen_range(0xA0u32..0x0530),
+                8 => rng.gen_range(0x4E00u32..0x9FFF),
+                _ => rng.gen_range(0x1F300u32..0x1F700),
+            };
+            if let Some(c) = char::from_u32(c) {
+                if !c.is_control() {
+                    return c;
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> Option<String> {
+            let mut out = String::new();
+            for (atom, lo, hi) in &self.atoms {
+                let n = rng.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    match atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let (a, b) = ranges[rng.gen_range(0..ranges.len())];
+                            let c = rng.gen_range(a as u32..=b as u32);
+                            out.push(char::from_u32(c)?);
+                        }
+                        Atom::Printable => out.push(printable_char(rng)),
+                    }
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case execution: configuration, rejection bookkeeping, seeds.
+
+    /// Runner knobs; only the fields the workspace uses are meaningful.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each test runs.
+        pub cases: u32,
+        /// Cap on `prop_assume!`/filter rejections before the test errors.
+        pub max_global_rejects: u32,
+        /// Kept for signature compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 4096,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case is outside the property's domain; retried silently.
+        Reject(String),
+        /// The property is false for this case.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// A rejected assumption.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic per-test seed (FNV-1a over the test's full path).
+    #[must_use]
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+// The expansion of `proptest!` needs `rand` paths that resolve from any
+// caller crate, including ones without their own `rand` dependency.
+#[doc(hidden)]
+pub use ::rand as __rand;
+
+/// Generates one `#[test]` per property: runs `cases` accepted cases with
+/// deterministic seeds, retrying rejected draws, panicking with the seed and
+/// message on the first failing case (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __seed = $crate::test_runner::seed_for(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __config.cases {
+                __seed = __seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut __rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        __seed,
+                    );
+                let __drawn = (|| Some(( $( ($strat).generate(&mut __rng)?, )+ )))();
+                let Some(( $($arg,)+ )) = __drawn else {
+                    __rejected += 1;
+                    assert!(
+                        __rejected <= __config.max_global_rejects,
+                        "{}: too many rejected cases ({})",
+                        stringify!($name),
+                        __rejected
+                    );
+                    continue;
+                };
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                match __outcome {
+                    Ok(()) => __accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected <= __config.max_global_rejects,
+                            "{}: too many rejected cases ({})",
+                            stringify!($name),
+                            __rejected
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest case failed: {}\n(test {}, seed {:#x}, case {})",
+                            __msg,
+                            stringify!($name),
+                            __seed,
+                            __accepted
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*))
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?}` == `{:?}`", __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)*);
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{:?}` != `{:?}`", __a, __b
+        );
+    }};
+}
+
+/// Discards the current case (does not count towards `cases`) when the
+/// assumption is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond))
+            );
+        }
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module-style access (`prop::collection::vec`, `prop::sample::Index`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::string;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let s = crate::string::string_regex("[a-zA-Z ,\"'_-]{1,20}").unwrap();
+        for _ in 0..200 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!(!v.is_empty() && v.len() <= 20 * 4);
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || " ,\"'_-".contains(c)));
+        }
+        let p = crate::string::string_regex("\\PC{0,200}").unwrap();
+        for _ in 0..50 {
+            let v = p.generate(&mut rng).unwrap();
+            assert!(v.chars().count() <= 200);
+            assert!(v.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0i64..10, 0i64..10), flip in any::<bool>()) {
+            let (x, y) = if flip { (b, a) } else { (a, b) };
+            prop_assert!(x < 10 && y < 10);
+            prop_assert_eq!(x + y, a + b);
+        }
+
+        #[test]
+        fn vectors_respect_sizes(v in prop::collection::vec(0.0f64..1.0, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn index_resolves(idx in any::<prop::sample::Index>(),
+                          v in prop::collection::vec(0u8..255, 1..20)) {
+            let i = idx.index(v.len());
+            prop_assert!(i < v.len());
+        }
+
+        #[test]
+        fn select_picks_an_option(w in prop::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&w));
+        }
+    }
+}

@@ -3,6 +3,7 @@
 use acq_query::Norm;
 
 use crate::error::CoreError;
+use crate::govern::{ExecutionBudget, FaultPolicy};
 
 /// Tunable parameters of the ACQUIRE driver (Definition 1 and Algorithm 4).
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +43,16 @@ pub struct AcquireConfig {
     /// norm (an extension beyond the paper) at the cost of unbounded
     /// sub-aggregate retention; irrelevant under `L1`, ignored under `L∞`.
     pub exact_lp_order: bool,
+    /// Resource limits (wall-clock deadline, explored-query budget,
+    /// sub-aggregate memory budget) checked cooperatively once per grid
+    /// query. Hitting one interrupts the search, which still returns the
+    /// closest-so-far outcome with a machine-readable
+    /// [`crate::Termination::Interrupted`] status. Unlimited by default.
+    pub budget: ExecutionBudget,
+    /// What to do when the evaluation layer fails or panics mid-search:
+    /// propagate a typed error (default) or absorb the fault into an
+    /// interrupted, closest-so-far outcome.
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for AcquireConfig {
@@ -56,6 +67,8 @@ impl Default for AcquireConfig {
             max_explored: 50_000_000,
             threads: 1,
             exact_lp_order: false,
+            budget: ExecutionBudget::default(),
+            fault_policy: FaultPolicy::default(),
         }
     }
 }
@@ -104,6 +117,20 @@ impl AcquireConfig {
     #[must_use]
     pub fn with_norm(mut self, norm: Norm) -> Self {
         self.norm = norm;
+        self
+    }
+
+    /// Convenience: same config with a different execution budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: ExecutionBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Convenience: same config with a different fault policy.
+    #[must_use]
+    pub fn with_fault_policy(mut self, fault_policy: FaultPolicy) -> Self {
+        self.fault_policy = fault_policy;
         self
     }
 }

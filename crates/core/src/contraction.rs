@@ -23,12 +23,14 @@ use acq_engine::Executor;
 use acq_query::{AcqQuery, AggErrorFn, AggFunc, CmpOp, Interval, RefineSide};
 
 use crate::config::AcquireConfig;
+use crate::driver::isolated;
 use crate::error::CoreError;
 use crate::eval::{
     CachedScoreEvaluator, EvalLayerKind, EvaluationLayer, GridIndexEvaluator, ScanEvaluator,
 };
 use crate::expand::{BfsExpander, Expander, LinfExpander};
 use crate::explore::Explorer;
+use crate::govern::{CancellationToken, FaultPolicy, Governor, InterruptReason, Termination};
 use crate::result::{AcqOutcome, RefinedQueryResult};
 use crate::space::RefinedSpace;
 
@@ -97,6 +99,18 @@ pub fn contract<E: EvaluationLayer>(
     original: &AcqQuery,
     cfg: &AcquireConfig,
 ) -> Result<AcqOutcome, CoreError> {
+    contract_with(eval, original, cfg, &CancellationToken::new())
+}
+
+/// [`contract`] with an externally owned [`CancellationToken`]; budgets,
+/// cancellation, and fault handling behave exactly as in
+/// [`crate::acquire_with`].
+pub fn contract_with<E: EvaluationLayer>(
+    eval: &mut E,
+    original: &AcqQuery,
+    cfg: &AcquireConfig,
+    cancel: &CancellationToken,
+) -> Result<AcqOutcome, CoreError> {
     cfg.validate()?;
     let cq = contraction_query(original)?;
     cq.validate_with_norm(&cfg.norm)?;
@@ -108,6 +122,7 @@ pub fn contract<E: EvaluationLayer>(
         Box::new(BfsExpander::new(&space))
     };
     let mut explorer = Explorer::new();
+    let governor = Governor::new(cfg.budget.clone(), cancel.clone());
 
     let target = cq.constraint.target;
     let err_fn = cq.error_fn;
@@ -121,10 +136,31 @@ pub fn contract<E: EvaluationLayer>(
     let mut explored = 0u64;
     let mut current_layer = 0u64;
     let mut layer_min_actual = f64::INFINITY;
+    let mut interrupt: Option<InterruptReason> = None;
+
+    let on_fault = |e: CoreError,
+                    interrupt: &mut Option<InterruptReason>|
+     -> Result<(), CoreError> {
+        match cfg.fault_policy {
+            FaultPolicy::Propagate => Err(e),
+            FaultPolicy::BestEffort => {
+                *interrupt = Some(InterruptReason::Fault(e.to_string()));
+                Ok(())
+            }
+        }
+    };
 
     while let Some(point) = expander.next_query() {
         let layer = expander.layer_of(&point);
         if layer > cfg.max_layers {
+            break;
+        }
+        if explored >= cfg.max_explored {
+            interrupt = Some(InterruptReason::ExploredBudget);
+            break;
+        }
+        if let Some(reason) = governor.check(explored, explorer.store().approx_bytes()) {
+            interrupt = Some(reason);
             break;
         }
         if layer > current_layer {
@@ -139,7 +175,13 @@ pub fn contract<E: EvaluationLayer>(
             current_layer = layer;
             layer_min_actual = f64::INFINITY;
         }
-        let state = explorer.compute_aggregate(eval, &space, &point, layer)?;
+        let state = match isolated(|| explorer.compute_aggregate(eval, &space, &point, layer)) {
+            Ok(state) => state,
+            Err(e) => {
+                on_fault(e, &mut interrupt)?;
+                break;
+            }
+        };
         explored += 1;
         let Some(actual) = state.value() else {
             continue;
@@ -172,14 +214,23 @@ pub fn contract<E: EvaluationLayer>(
             if actual > target {
                 // The crossing lies inside this cell: repartition it, just
                 // as the expansion driver does (§6).
-                if let Some(hit) = crate::repartition::repartition(
-                    eval,
-                    &space,
-                    &point,
-                    target,
-                    err_fn,
-                    cfg.repartition_depth,
-                )? {
+                let hit = match isolated(|| {
+                    crate::repartition::repartition(
+                        eval,
+                        &space,
+                        &point,
+                        target,
+                        err_fn,
+                        cfg.repartition_depth,
+                    )
+                }) {
+                    Ok(hit) => hit,
+                    Err(e) => {
+                        on_fault(e, &mut interrupt)?;
+                        break;
+                    }
+                };
+                if let Some(hit) = hit {
                     let c: Vec<f64> = hit
                         .bounds
                         .iter()
@@ -207,6 +258,11 @@ pub fn contract<E: EvaluationLayer>(
     // Minimal change to Q first.
     answers.sort_by(|a, b| a.qscore.total_cmp(&b.qscore));
     let satisfied = !answers.is_empty();
+    let termination = match interrupt {
+        Some(reason) => governor.interrupted(reason, explored),
+        None if satisfied => Termination::Satisfied,
+        None => Termination::Exhausted,
+    };
     Ok(AcqOutcome {
         satisfied,
         closest,
@@ -215,6 +271,7 @@ pub fn contract<E: EvaluationLayer>(
         layers: current_layer,
         peak_store: explorer.store().peak_len(),
         stats: eval.stats(),
+        termination,
         queries: answers,
     })
 }

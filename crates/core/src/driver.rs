@@ -10,7 +10,7 @@
 //! the constraint, the query attaining the closest aggregate value is
 //! returned.
 
-use acq_engine::Executor;
+use acq_engine::{EngineResult, Executor};
 use acq_query::AcqQuery;
 
 use crate::config::AcquireConfig;
@@ -20,19 +20,62 @@ use crate::eval::{
 };
 use crate::expand::{BestFirstExpander, BfsExpander, Expander, LinfExpander};
 use crate::explore::Explorer;
+use crate::govern::{CancellationToken, FaultPolicy, Governor, InterruptReason, Termination};
 use crate::repartition::repartition;
 use crate::result::{AcqOutcome, RefinedQueryResult};
 use crate::space::RefinedSpace;
+
+/// Renders a `catch_unwind` payload as text (panics carry `&str` or
+/// `String` in practice).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs an evaluation-layer call with panic isolation: a panicking
+/// evaluator (or a violated driver invariant inside the call) becomes a
+/// typed [`CoreError::EvalPanicked`] instead of unwinding through — or
+/// aborting — the caller.
+pub(crate) fn isolated<T>(f: impl FnOnce() -> EngineResult<T>) -> Result<T, CoreError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result.map_err(CoreError::from),
+        Err(payload) => Err(CoreError::EvalPanicked(panic_message(payload))),
+    }
+}
 
 /// Runs ACQUIRE against a caller-constructed evaluation layer.
 ///
 /// The evaluation layer must have been built with per-dimension caps at
 /// least [`RefinedSpace::caps`] for this query and configuration (which
 /// [`run_acquire`] guarantees).
+///
+/// Equivalent to [`acquire_with`] with a token nobody can cancel; the
+/// configured [`AcquireConfig::budget`] still applies.
 pub fn acquire<E: EvaluationLayer>(
     eval: &mut E,
     query: &AcqQuery,
     cfg: &AcquireConfig,
+) -> Result<AcqOutcome, CoreError> {
+    acquire_with(eval, query, cfg, &CancellationToken::new())
+}
+
+/// Runs ACQUIRE with an externally owned [`CancellationToken`].
+///
+/// The search checks the token (and the configured budget) cooperatively
+/// once per grid query; on interrupt it returns `Ok` with everything found
+/// so far — the answer set, the closest-so-far query, and a
+/// [`Termination::Interrupted`] status naming the reason — making the
+/// driver an anytime algorithm.
+pub fn acquire_with<E: EvaluationLayer>(
+    eval: &mut E,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+    cancel: &CancellationToken,
 ) -> Result<AcqOutcome, CoreError> {
     cfg.validate()?;
     query.validate_with_norm(&cfg.norm)?;
@@ -45,6 +88,7 @@ pub fn acquire<E: EvaluationLayer>(
         Box::new(BfsExpander::new(&space))
     };
     let mut explorer = Explorer::new();
+    let governor = Governor::new(cfg.budget.clone(), cancel.clone());
 
     let target = query.constraint.target;
     let err_fn = query.error_fn;
@@ -59,10 +103,34 @@ pub fn acquire<E: EvaluationLayer>(
     let mut current_layer = 0u64;
     let mut explored = 0u64;
     let mut original_aggregate = f64::NAN;
+    let mut interrupt: Option<InterruptReason> = None;
+
+    // Absorbs a mid-search evaluation failure under `FaultPolicy::BestEffort`
+    // (recording it as an interrupt) or propagates it (the default).
+    let on_fault = |e: CoreError,
+                        interrupt: &mut Option<InterruptReason>|
+     -> Result<(), CoreError> {
+        match cfg.fault_policy {
+            FaultPolicy::Propagate => Err(e),
+            FaultPolicy::BestEffort => {
+                *interrupt = Some(InterruptReason::Fault(e.to_string()));
+                Ok(())
+            }
+        }
+    };
 
     while let Some(point) = expander.next_query() {
         let layer = expander.layer_of(&point);
-        if layer > min_ref_layer || layer > cfg.max_layers || explored >= cfg.max_explored {
+        if layer > min_ref_layer || layer > cfg.max_layers {
+            break;
+        }
+        if explored >= cfg.max_explored {
+            // The legacy safety cap behaves like an explored-query budget.
+            interrupt = Some(InterruptReason::ExploredBudget);
+            break;
+        }
+        if let Some(reason) = governor.check(explored, explorer.store().approx_bytes()) {
+            interrupt = Some(reason);
             break;
         }
         if layer > current_layer {
@@ -73,7 +141,13 @@ pub fn acquire<E: EvaluationLayer>(
             }
             current_layer = layer;
         }
-        let state = explorer.compute_aggregate(eval, &space, &point, layer)?;
+        let state = match isolated(|| explorer.compute_aggregate(eval, &space, &point, layer)) {
+            Ok(state) => state,
+            Err(e) => {
+                on_fault(e, &mut interrupt)?;
+                break;
+            }
+        };
         explored += 1;
 
         let value = state.value();
@@ -104,9 +178,16 @@ pub fn acquire<E: EvaluationLayer>(
             // finer fractional answers cannot improve the answer layer, so
             // repartitioning stops (it would re-execute full queries for
             // every overshooting point of the closing layer).
-            if let Some(hit) =
-                repartition(eval, &space, &point, target, err_fn, cfg.repartition_depth)?
-            {
+            let hit = match isolated(|| {
+                repartition(eval, &space, &point, target, err_fn, cfg.repartition_depth)
+            }) {
+                Ok(hit) => hit,
+                Err(e) => {
+                    on_fault(e, &mut interrupt)?;
+                    break;
+                }
+            };
+            if let Some(hit) = hit {
                 let qscore = space.norm().qscore(&hit.bounds);
                 let r = RefinedQueryResult::new(
                     query,
@@ -135,6 +216,11 @@ pub fn acquire<E: EvaluationLayer>(
         let qscore = cfg.norm.qscore(&pscores);
         RefinedQueryResult::new(query, Vec::new(), pscores, qscore, aggregate, error)
     });
+    let termination = match interrupt {
+        Some(reason) => governor.interrupted(reason, explored),
+        None if satisfied => Termination::Satisfied,
+        None => Termination::Exhausted,
+    };
     Ok(AcqOutcome {
         satisfied,
         closest,
@@ -143,6 +229,7 @@ pub fn acquire<E: EvaluationLayer>(
         layers: current_layer,
         peak_store: explorer.store().peak_len(),
         stats: eval.stats(),
+        termination,
         queries: answers,
     })
 }

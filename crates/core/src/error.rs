@@ -7,6 +7,7 @@ use acq_query::AcqError;
 
 /// Errors surfaced by the ACQUIRE driver.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// The query or norm failed validation.
     Query(AcqError),
@@ -14,6 +15,10 @@ pub enum CoreError {
     Engine(EngineError),
     /// The configuration is unusable (e.g. non-positive thresholds).
     Config(String),
+    /// The evaluation layer panicked mid-search; the driver isolated the
+    /// panic (`catch_unwind`) and surfaces its message here instead of
+    /// unwinding through — or aborting — the caller.
+    EvalPanicked(String),
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +27,7 @@ impl fmt::Display for CoreError {
             Self::Query(e) => write!(f, "invalid ACQ: {e}"),
             Self::Engine(e) => write!(f, "evaluation layer error: {e}"),
             Self::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::EvalPanicked(msg) => write!(f, "evaluation layer panicked: {msg}"),
         }
     }
 }
@@ -31,7 +37,7 @@ impl std::error::Error for CoreError {
         match self {
             Self::Query(e) => Some(e),
             Self::Engine(e) => Some(e),
-            Self::Config(_) => None,
+            _ => None,
         }
     }
 }

@@ -124,17 +124,15 @@ impl ScoreMatrix {
             return Self::build(exec, rq, rel);
         }
         let d = rq.dims();
-        // Validate binding once up front so worker threads cannot fail.
-        let _ = rq.bind(rel)?;
         let n = rel.len();
         let chunk = n.div_ceil(threads);
-        let parts: Vec<(Vec<f64>, Vec<f64>)> = std::thread::scope(|scope| {
+        let parts: Vec<EngineResult<(Vec<f64>, Vec<f64>)>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
-                handles.push(scope.spawn(move || {
-                    let bound = rq.bind(rel).expect("validated above");
+                handles.push(scope.spawn(move || -> EngineResult<(Vec<f64>, Vec<f64>)> {
+                    let bound = rq.bind(rel)?;
                     let mut scores = Vec::new();
                     let mut vals = Vec::new();
                     let mut row_scores = vec![0.0; d];
@@ -144,17 +142,20 @@ impl ScoreMatrix {
                             vals.push(bound.agg_value(rel, row));
                         }
                     }
-                    (scores, vals)
+                    Ok((scores, vals))
                 }));
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("scoring thread"))
+                // A worker panic propagates as a panic on this thread (the
+                // driver's isolation layer turns it into a typed error).
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         });
         let mut scores = Vec::with_capacity(n * d);
         let mut vals = Vec::with_capacity(n);
-        for (s, v) in parts {
+        for part in parts {
+            let (s, v) = part?;
             scores.extend(s);
             vals.extend(v);
         }

@@ -1,0 +1,254 @@
+//! Deterministic fault injection for evaluation layers.
+//!
+//! [`FaultInjectingLayer`] wraps any [`EvaluationLayer`] and injects
+//! seeded, reproducible faults — engine errors, panics, and latency — into
+//! its `cell_aggregate` / `full_aggregate` calls. It exists to *test* the
+//! driver's robustness guarantees: under any fault schedule,
+//! [`crate::acquire`] must return `Ok(outcome)` or a typed
+//! [`crate::CoreError`], never abort the process, and never execute a cell
+//! twice (§5's at-most-once property must survive faults and interrupts).
+//!
+//! Faults are a pure function of `(seed, call index)`, so a schedule that
+//! exposed a bug replays exactly from its seed.
+
+use std::time::Duration;
+
+use acq_engine::{AggState, CellRange, EngineError, EngineResult, ExecStats};
+
+use crate::eval::EvaluationLayer;
+
+/// Which fault (if any) a schedule injects into one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Delegate to the inner layer untouched.
+    None,
+    /// Return [`EngineError::Fault`] instead of delegating.
+    Error,
+    /// Panic instead of delegating (the driver's `catch_unwind` turns this
+    /// into [`crate::CoreError::EvalPanicked`]).
+    Panic,
+    /// Sleep for the schedule's latency, then delegate (exercises
+    /// deadlines).
+    Latency,
+}
+
+/// A seeded, deterministic plan of which evaluation calls fault and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Seed defining the whole schedule; equal seeds replay identically.
+    pub seed: u64,
+    /// Probability that a call returns an injected [`EngineError::Fault`].
+    pub error_rate: f64,
+    /// Probability that a call panics.
+    pub panic_rate: f64,
+    /// Probability that a call is delayed by [`FaultSchedule::latency`].
+    pub latency_rate: f64,
+    /// Injected delay for latency faults.
+    pub latency: Duration,
+    /// Number of initial calls exempt from faults (lets a search make
+    /// progress before the first fault lands).
+    pub skip_calls: u64,
+}
+
+impl FaultSchedule {
+    /// A schedule injecting nothing (useful as a pass-through baseline).
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            error_rate: 0.0,
+            panic_rate: 0.0,
+            latency_rate: 0.0,
+            latency: Duration::ZERO,
+            skip_calls: 0,
+        }
+    }
+
+    /// A schedule injecting errors with probability `rate`.
+    #[must_use]
+    pub fn errors(seed: u64, rate: f64) -> Self {
+        Self {
+            error_rate: rate,
+            ..Self::none(seed)
+        }
+    }
+
+    /// A schedule injecting panics with probability `rate`.
+    #[must_use]
+    pub fn panics(seed: u64, rate: f64) -> Self {
+        Self {
+            panic_rate: rate,
+            ..Self::none(seed)
+        }
+    }
+
+    /// A mixed schedule: `error_rate` errors plus `panic_rate` panics.
+    #[must_use]
+    pub fn mixed(seed: u64, error_rate: f64, panic_rate: f64) -> Self {
+        Self {
+            error_rate,
+            panic_rate,
+            ..Self::none(seed)
+        }
+    }
+
+    /// The fault this schedule injects into call number `call` (0-based).
+    /// Pure: depends only on the schedule and `call`.
+    #[must_use]
+    pub fn fault_at(&self, call: u64) -> InjectedFault {
+        if call < self.skip_calls {
+            return InjectedFault::None;
+        }
+        let u = unit(splitmix64(self.seed ^ call.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        if u < self.panic_rate {
+            InjectedFault::Panic
+        } else if u < self.panic_rate + self.error_rate {
+            InjectedFault::Error
+        } else if u < self.panic_rate + self.error_rate + self.latency_rate {
+            InjectedFault::Latency
+        } else {
+            InjectedFault::None
+        }
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalising mix (public domain,
+/// Steele et al.).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform f64 in [0, 1).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Wraps an [`EvaluationLayer`], injecting the faults of a
+/// [`FaultSchedule`] into its aggregate calls.
+///
+/// `cell_aggregate` and `full_aggregate` share one call counter, so the
+/// schedule covers both the grid search and repartitioning. Metadata calls
+/// (`empty_state`, `stats`, `universe_size`) never fault.
+#[derive(Debug)]
+pub struct FaultInjectingLayer<E> {
+    inner: E,
+    schedule: FaultSchedule,
+    calls: u64,
+}
+
+impl<E> FaultInjectingLayer<E> {
+    /// Wraps `inner` under `schedule`.
+    pub fn new(inner: E, schedule: FaultSchedule) -> Self {
+        Self {
+            inner,
+            schedule,
+            calls: 0,
+        }
+    }
+
+    /// Number of aggregate calls attempted so far (including faulted ones).
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// The wrapped layer.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwraps back into the inner layer.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    /// Applies the scheduled fault for the next call; `Ok(())` means the
+    /// call proceeds (possibly after injected latency).
+    fn trip(&mut self, what: &str) -> EngineResult<()> {
+        let call = self.calls;
+        self.calls += 1;
+        match self.schedule.fault_at(call) {
+            InjectedFault::None => Ok(()),
+            InjectedFault::Error => Err(EngineError::Fault(format!(
+                "injected error in {what} (seed {}, call {call})",
+                self.schedule.seed
+            ))),
+            InjectedFault::Panic => panic!(
+                "injected panic in {what} (seed {}, call {call})",
+                self.schedule.seed
+            ),
+            InjectedFault::Latency => {
+                std::thread::sleep(self.schedule.latency);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<E: EvaluationLayer> EvaluationLayer for FaultInjectingLayer<E> {
+    fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState> {
+        self.trip("cell_aggregate")?;
+        self.inner.cell_aggregate(cell)
+    }
+
+    fn full_aggregate(&mut self, bounds: &[f64]) -> EngineResult<AggState> {
+        self.trip("full_aggregate")?;
+        self.inner.full_aggregate(bounds)
+    }
+
+    fn empty_state(&self) -> EngineResult<AggState> {
+        self.inner.empty_state()
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.inner.stats()
+    }
+
+    fn universe_size(&self) -> usize {
+        self.inner.universe_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let s = FaultSchedule::mixed(42, 0.3, 0.2);
+        let a: Vec<_> = (0..100).map(|i| s.fault_at(i)).collect();
+        let b: Vec<_> = (0..100).map(|i| s.fault_at(i)).collect();
+        assert_eq!(a, b);
+        let other = FaultSchedule::mixed(43, 0.3, 0.2);
+        let c: Vec<_> = (0..100).map(|i| other.fault_at(i)).collect();
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let s = FaultSchedule::mixed(7, 0.25, 0.25);
+        let n = 4000u64;
+        let faults = (0..n)
+            .filter(|&i| s.fault_at(i) != InjectedFault::None)
+            .count();
+        let frac = faults as f64 / n as f64;
+        assert!((0.4..0.6).contains(&frac), "fault fraction {frac}");
+    }
+
+    #[test]
+    fn skip_calls_delays_the_first_fault() {
+        let mut s = FaultSchedule::errors(1, 1.0);
+        s.skip_calls = 5;
+        assert!((0..5).all(|i| s.fault_at(i) == InjectedFault::None));
+        assert_eq!(s.fault_at(5), InjectedFault::Error);
+    }
+
+    #[test]
+    fn none_schedule_never_faults() {
+        let s = FaultSchedule::none(99);
+        assert!((0..1000).all(|i| s.fault_at(i) == InjectedFault::None));
+    }
+}

@@ -1,0 +1,347 @@
+//! Resource governance: budgets, deadlines, cancellation, and termination
+//! status for anytime execution.
+//!
+//! ACQUIRE is an anytime algorithm in practice: the driver tracks the
+//! closest-so-far query from the very first grid point it explores, so an
+//! interrupted search still returns its best answer. This module supplies
+//! the machinery that decides *when* to interrupt:
+//!
+//! * [`ExecutionBudget`] — a wall-clock deadline, an explored-query budget,
+//!   and an approximate memory budget for retained sub-aggregates, all
+//!   checked cooperatively once per explored grid query.
+//! * [`CancellationToken`] — a cheaply clonable handle that lets the owner
+//!   of a [`crate::Session`] (or any other thread) interrupt a running
+//!   search.
+//! * [`Termination`] / [`InterruptReason`] — a machine-readable account of
+//!   why the search stopped, carried on every [`crate::AcqOutcome`].
+//! * [`Governor`] — the driver-internal combination of the above.
+//!
+//! Budgets are *cooperative*: they are checked between grid queries, never
+//! mid-evaluation, so a search overruns its deadline by at most one
+//! evaluation-layer call.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resource limits for one ACQUIRE search. The default is unlimited.
+///
+/// Limits compose: the first one hit interrupts the search, and the
+/// resulting [`crate::AcqOutcome`] carries the closest query found so far
+/// plus a [`Termination::Interrupted`] status naming the limit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecutionBudget {
+    /// Wall-clock deadline, measured from the start of the search.
+    pub deadline: Option<Duration>,
+    /// Maximum number of grid queries to explore.
+    pub max_explored: Option<u64>,
+    /// Approximate cap, in bytes, on retained sub-aggregate state
+    /// (see [`crate::AggStore::approx_bytes`]).
+    pub max_store_bytes: Option<usize>,
+}
+
+impl ExecutionBudget {
+    /// No limits (the default).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Same budget with a wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Same budget with an explored-query cap.
+    #[must_use]
+    pub fn with_max_explored(mut self, max_explored: u64) -> Self {
+        self.max_explored = Some(max_explored);
+        self
+    }
+
+    /// Same budget with an approximate memory cap for retained
+    /// sub-aggregates.
+    #[must_use]
+    pub fn with_max_store_bytes(mut self, max_store_bytes: usize) -> Self {
+        self.max_store_bytes = Some(max_store_bytes);
+        self
+    }
+
+    /// Whether no limit is set at all.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_explored.is_none() && self.max_store_bytes.is_none()
+    }
+}
+
+/// A shareable handle for interrupting a running search.
+///
+/// Clones share one flag; cancelling any clone interrupts every search
+/// polling the token. Cancellation is sticky and cooperative: the driver
+/// notices it between grid queries and returns the closest-so-far outcome
+/// with [`InterruptReason::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation of every search holding a clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a search was interrupted before running to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterruptReason {
+    /// The wall-clock deadline of [`ExecutionBudget::deadline`] passed.
+    DeadlineExceeded,
+    /// [`ExecutionBudget::max_explored`] (or the legacy
+    /// [`crate::AcquireConfig::max_explored`] cap) was reached.
+    ExploredBudget,
+    /// Retained sub-aggregates exceeded
+    /// [`ExecutionBudget::max_store_bytes`].
+    MemoryBudget,
+    /// A [`CancellationToken`] was cancelled.
+    Cancelled,
+    /// The evaluation layer failed or panicked and the configured
+    /// [`FaultPolicy`] is [`FaultPolicy::BestEffort`]; the payload
+    /// describes the fault.
+    Fault(String),
+}
+
+impl std::fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DeadlineExceeded => f.write_str("deadline exceeded"),
+            Self::ExploredBudget => f.write_str("explored-query budget exhausted"),
+            Self::MemoryBudget => f.write_str("sub-aggregate memory budget exhausted"),
+            Self::Cancelled => f.write_str("cancelled"),
+            Self::Fault(msg) => write!(f, "evaluation fault: {msg}"),
+        }
+    }
+}
+
+/// How a search ended, carried on every [`crate::AcqOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Termination {
+    /// The answer layer closed normally with at least one satisfying query.
+    Satisfied,
+    /// The refined space was exhausted (or structurally capped) without a
+    /// satisfying query; the outcome's `closest` is the final answer.
+    Exhausted,
+    /// The search stopped early; the outcome carries the closest-so-far
+    /// query and everything found up to the interrupt.
+    Interrupted {
+        /// What interrupted the search.
+        reason: InterruptReason,
+        /// Grid queries explored before the interrupt.
+        explored: u64,
+        /// Wall-clock time elapsed before the interrupt.
+        elapsed: Duration,
+    },
+}
+
+impl Termination {
+    /// Whether the search ran to completion (successfully or not).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        !matches!(self, Self::Interrupted { .. })
+    }
+
+    /// The interrupt reason, if the search was interrupted.
+    #[must_use]
+    pub fn interrupt_reason(&self) -> Option<&InterruptReason> {
+        match self {
+            Self::Interrupted { reason, .. } => Some(reason),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Satisfied => f.write_str("satisfied"),
+            Self::Exhausted => f.write_str("exhausted"),
+            Self::Interrupted {
+                reason,
+                explored,
+                elapsed,
+            } => write!(
+                f,
+                "interrupted ({reason}) after {explored} queries in {elapsed:?}"
+            ),
+        }
+    }
+}
+
+/// What the driver does when the evaluation layer returns an error or
+/// panics mid-search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Propagate the failure as a typed [`crate::CoreError`] (the default;
+    /// panics become [`crate::CoreError::EvalPanicked`]).
+    #[default]
+    Propagate,
+    /// Treat the failure as an interrupt: return the closest-so-far outcome
+    /// with [`InterruptReason::Fault`] instead of an error. Construction
+    /// and validation failures still propagate — only mid-search
+    /// evaluation faults are absorbed.
+    BestEffort,
+}
+
+/// Driver-internal budget/cancellation checker; one per search.
+#[derive(Debug)]
+pub struct Governor {
+    start: Instant,
+    budget: ExecutionBudget,
+    token: CancellationToken,
+}
+
+impl Governor {
+    /// Starts the clock on a new search.
+    #[must_use]
+    pub fn new(budget: ExecutionBudget, token: CancellationToken) -> Self {
+        Self {
+            start: Instant::now(),
+            budget,
+            token,
+        }
+    }
+
+    /// Wall-clock time since the search started.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Checks every limit against the current progress counters; returns
+    /// the first violated one. Called once per grid query, before its
+    /// evaluation.
+    #[must_use]
+    pub fn check(&self, explored: u64, store_bytes: usize) -> Option<InterruptReason> {
+        if self.token.is_cancelled() {
+            return Some(InterruptReason::Cancelled);
+        }
+        if let Some(cap) = self.budget.max_explored {
+            if explored >= cap {
+                return Some(InterruptReason::ExploredBudget);
+            }
+        }
+        if let Some(cap) = self.budget.max_store_bytes {
+            if store_bytes > cap {
+                return Some(InterruptReason::MemoryBudget);
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if self.start.elapsed() >= deadline {
+                return Some(InterruptReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// The termination status for an interrupt detected now.
+    #[must_use]
+    pub fn interrupted(&self, reason: InterruptReason, explored: u64) -> Termination {
+        Termination::Interrupted {
+            reason,
+            explored,
+            elapsed: self.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        let b = ExecutionBudget::default();
+        assert!(b.is_unlimited());
+        let g = Governor::new(b, CancellationToken::new());
+        assert_eq!(g.check(u64::MAX - 1, usize::MAX - 1), None);
+    }
+
+    #[test]
+    fn each_limit_trips_independently() {
+        let token = CancellationToken::new();
+        let g = Governor::new(
+            ExecutionBudget::unlimited().with_max_explored(10),
+            token.clone(),
+        );
+        assert_eq!(g.check(9, 0), None);
+        assert_eq!(g.check(10, 0), Some(InterruptReason::ExploredBudget));
+
+        let g = Governor::new(
+            ExecutionBudget::unlimited().with_max_store_bytes(1024),
+            CancellationToken::new(),
+        );
+        assert_eq!(g.check(0, 1024), None);
+        assert_eq!(g.check(0, 1025), Some(InterruptReason::MemoryBudget));
+
+        let g = Governor::new(
+            ExecutionBudget::unlimited().with_deadline(Duration::ZERO),
+            CancellationToken::new(),
+        );
+        assert_eq!(g.check(0, 0), Some(InterruptReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellation_is_shared_and_sticky() {
+        let token = CancellationToken::new();
+        let clone = token.clone();
+        let g = Governor::new(ExecutionBudget::unlimited(), token.clone());
+        assert_eq!(g.check(0, 0), None);
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(g.check(0, 0), Some(InterruptReason::Cancelled));
+        assert_eq!(g.check(0, 0), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_wins_over_other_limits() {
+        let token = CancellationToken::new();
+        token.cancel();
+        let g = Governor::new(
+            ExecutionBudget::unlimited()
+                .with_max_explored(0)
+                .with_deadline(Duration::ZERO),
+            token,
+        );
+        assert_eq!(g.check(5, 0), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn termination_accessors() {
+        assert!(Termination::Satisfied.is_complete());
+        assert!(Termination::Exhausted.is_complete());
+        let t = Termination::Interrupted {
+            reason: InterruptReason::Cancelled,
+            explored: 3,
+            elapsed: Duration::from_millis(1),
+        };
+        assert!(!t.is_complete());
+        assert_eq!(t.interrupt_reason(), Some(&InterruptReason::Cancelled));
+        assert!(t.to_string().contains("cancelled"), "{t}");
+    }
+}

@@ -25,7 +25,14 @@
 //! * **contraction** (§7.2) — [`contract`] / [`run_contraction`] handles
 //!   queries that return too much by searching the space between `Q'_min`
 //!   (every predicate at its minimum) and `Q`, minimising refinement with
-//!   respect to `Q`.
+//!   respect to `Q`;
+//! * **anytime execution** — [`govern`]: wall-clock deadlines,
+//!   explored-query and memory budgets ([`ExecutionBudget`]), cooperative
+//!   [`CancellationToken`]s, panic isolation around the evaluation layer,
+//!   and a machine-readable [`Termination`] status on every outcome; plus
+//!   [`fault`], a deterministic fault-injection harness
+//!   ([`FaultInjectingLayer`]) used to prove the driver never aborts and
+//!   never double-executes a region under faults or interrupts.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -40,6 +47,8 @@ mod eval;
 pub mod expand;
 pub mod explore;
 pub mod fasthash;
+pub mod fault;
+pub mod govern;
 mod repartition;
 mod result;
 mod session;
@@ -48,9 +57,13 @@ mod store;
 
 pub use bitmap_eval::BitmapIndexEvaluator;
 pub use config::AcquireConfig;
-pub use contraction::{contract, contraction_query, run_contraction};
-pub use driver::{acquire, run_acquire};
+pub use contraction::{contract, contraction_query, contract_with, run_contraction};
+pub use driver::{acquire, acquire_with, run_acquire};
 pub use error::CoreError;
+pub use fault::{FaultInjectingLayer, FaultSchedule};
+pub use govern::{
+    CancellationToken, ExecutionBudget, FaultPolicy, InterruptReason, Termination,
+};
 pub use estimate::HistogramEstimator;
 pub use eval::{
     CachedScoreEvaluator, EvalLayerKind, EvaluationLayer, GridIndexEvaluator, ScanEvaluator,

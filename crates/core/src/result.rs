@@ -3,6 +3,7 @@
 use acq_engine::ExecStats;
 use acq_query::{AcqQuery, PredFunction};
 
+use crate::govern::Termination;
 use crate::space::GridPoint;
 
 /// One refined query recommended by ACQUIRE.
@@ -117,6 +118,11 @@ pub struct AcqOutcome {
     pub peak_store: usize,
     /// Evaluation-layer work counters for the whole search.
     pub stats: ExecStats,
+    /// How the search ended: ran to completion (satisfied or exhausted) or
+    /// was interrupted by a budget, a cancellation, or an absorbed fault —
+    /// in which case the outcome is the anytime answer accumulated up to
+    /// the interrupt.
+    pub termination: Termination,
 }
 
 impl AcqOutcome {
@@ -131,6 +137,23 @@ impl AcqOutcome {
     #[must_use]
     pub fn min_qscore(&self) -> Option<f64> {
         self.best().map(|r| r.qscore)
+    }
+
+    /// Whether the search was interrupted before running to completion
+    /// (deadline, budget, cancellation, or absorbed fault). An interrupted
+    /// outcome still carries everything found so far — answers, `closest`,
+    /// and counters.
+    #[must_use]
+    pub fn is_interrupted(&self) -> bool {
+        !self.termination.is_complete()
+    }
+
+    /// The best answer if any, otherwise the closest-so-far query: the
+    /// anytime answer, well-defined whenever at least one grid query
+    /// produced a defined aggregate.
+    #[must_use]
+    pub fn best_or_closest(&self) -> Option<&RefinedQueryResult> {
+        self.best().or(self.closest.as_ref())
     }
 }
 

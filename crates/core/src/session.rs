@@ -43,20 +43,29 @@ use acq_engine::Executor;
 use acq_query::AcqQuery;
 
 use crate::config::AcquireConfig;
-use crate::driver::acquire;
+use crate::driver::acquire_with;
 use crate::error::CoreError;
 use crate::eval::GridIndexEvaluator;
+use crate::govern::{CancellationToken, ExecutionBudget};
 use crate::result::AcqOutcome;
 use crate::space::RefinedSpace;
 
 /// A prepared ACQ whose aggregate target can be varied interactively; the
 /// evaluation layer (base relation, score matrix, cell buckets) is built
 /// once at construction.
+///
+/// Each session owns a [`CancellationToken`]: hand a clone of
+/// [`Session::cancellation_token`] to another thread (say, a UI) and it can
+/// interrupt a running [`Session::run`], which then returns the
+/// closest-so-far outcome. Cancellation is sticky — further runs return
+/// immediately-interrupted outcomes until [`Session::reset_cancellation`]
+/// issues a fresh token.
 #[derive(Debug)]
 pub struct Session<'e> {
     eval: GridIndexEvaluator<'e>,
     query: AcqQuery,
     cfg: AcquireConfig,
+    cancel: CancellationToken,
 }
 
 impl<'e> Session<'e> {
@@ -78,6 +87,7 @@ impl<'e> Session<'e> {
             eval,
             query,
             cfg: cfg.clone(),
+            cancel: CancellationToken::new(),
         })
     }
 
@@ -87,10 +97,30 @@ impl<'e> Session<'e> {
         &self.query
     }
 
+    /// A clone of the session's cancellation token. Cancelling it (from any
+    /// thread) interrupts the current and any future run until
+    /// [`Session::reset_cancellation`].
+    #[must_use]
+    pub fn cancellation_token(&self) -> CancellationToken {
+        self.cancel.clone()
+    }
+
+    /// Replaces the (possibly cancelled) token with a fresh one and returns
+    /// it; previously handed-out clones no longer affect this session.
+    pub fn reset_cancellation(&mut self) -> CancellationToken {
+        self.cancel = CancellationToken::new();
+        self.cancel.clone()
+    }
+
+    /// Sets the execution budget applied to subsequent runs.
+    pub fn set_budget(&mut self, budget: ExecutionBudget) {
+        self.cfg.budget = budget;
+    }
+
     /// Runs the search for a new aggregate target over the prepared layer.
     pub fn run(&mut self, target: f64) -> Result<AcqOutcome, CoreError> {
         self.query.constraint.target = target;
-        acquire(&mut self.eval, &self.query, &self.cfg)
+        acquire_with(&mut self.eval, &self.query, &self.cfg, &self.cancel)
     }
 
     /// Runs with a different error threshold `δ` for this run only (the

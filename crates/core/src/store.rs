@@ -17,6 +17,17 @@ use crate::space::GridPoint;
 pub struct AggStore {
     map: FastMap<GridPoint, (u64, Box<[AggState]>)>,
     peak_len: usize,
+    approx_bytes: usize,
+}
+
+/// Approximate heap footprint of one stored entry: the key's coordinates
+/// plus the boxed state slice (UDA states may own further heap data that
+/// this estimate does not see).
+fn entry_bytes(dims: usize, states: usize) -> usize {
+    std::mem::size_of::<GridPoint>()
+        + dims * std::mem::size_of::<u32>()
+        + std::mem::size_of::<(u64, Box<[AggState]>)>()
+        + states * std::mem::size_of::<AggState>()
 }
 
 impl AggStore {
@@ -29,7 +40,15 @@ impl AggStore {
     /// Inserts the `d + 1` sub-aggregates of `point` (investigated in
     /// query-layer `layer`).
     pub fn insert(&mut self, point: GridPoint, layer: u64, states: Box<[AggState]>) {
-        self.map.insert(point, (layer, states));
+        let dims = point.len();
+        self.approx_bytes += entry_bytes(dims, states.len());
+        if let Some((_, old)) = self.map.insert(point, (layer, states)) {
+            // Replaced an entry: back out its full contribution (its key had
+            // the same dimensionality as the new one).
+            self.approx_bytes = self
+                .approx_bytes
+                .saturating_sub(entry_bytes(dims, old.len()));
+        }
         self.peak_len = self.peak_len.max(self.map.len());
     }
 
@@ -43,6 +62,11 @@ impl AggStore {
     /// recurrence never reaches further back than the previous layer.
     pub fn evict_below(&mut self, min_layer: u64) {
         self.map.retain(|_, (layer, _)| *layer >= min_layer);
+        self.approx_bytes = self
+            .map
+            .iter()
+            .map(|(k, (_, s))| entry_bytes(k.len(), s.len()))
+            .sum();
     }
 
     /// Number of currently retained points.
@@ -62,6 +86,15 @@ impl AggStore {
     #[must_use]
     pub fn peak_len(&self) -> usize {
         self.peak_len
+    }
+
+    /// Approximate heap bytes currently retained by the store, maintained
+    /// incrementally (O(1) to read). Excludes hash-table overhead and any
+    /// heap data owned by user-defined aggregate states, so treat it as a
+    /// lower-bound gauge for [`crate::ExecutionBudget::max_store_bytes`].
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
     }
 }
 
@@ -87,5 +120,23 @@ mod tests {
         assert!(s.get(&[1, 1]).is_some());
         assert_eq!(s.len(), 1);
         assert_eq!(s.peak_len(), 3);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_insert_replace_evict() {
+        let mut s = AggStore::new();
+        assert_eq!(s.approx_bytes(), 0);
+        s.insert(vec![0, 0], 0, states(1));
+        let one = s.approx_bytes();
+        assert!(one > 0);
+        s.insert(vec![1, 0], 1, states(2));
+        assert_eq!(s.approx_bytes(), 2 * one);
+        // Replacing a point must not double-count it.
+        s.insert(vec![1, 0], 1, states(9));
+        assert_eq!(s.approx_bytes(), 2 * one);
+        s.evict_below(1);
+        assert_eq!(s.approx_bytes(), one);
+        s.evict_below(u64::MAX);
+        assert_eq!(s.approx_bytes(), 0);
     }
 }

@@ -50,9 +50,9 @@ fn parse_record(line: &str, source: &str, lineno: usize) -> EngineResult<Vec<Str
 }
 
 /// Infers the narrowest type that fits every value of a column.
-fn infer_type(values: &[Vec<String>], col: usize) -> DataType {
+fn infer_type(values: &[(usize, Vec<String>)], col: usize) -> DataType {
     let mut ty = DataType::Int;
-    for row in values {
+    for (_, row) in values {
         let v = &row[col];
         match ty {
             DataType::Int => {
@@ -100,7 +100,7 @@ pub fn read_csv_str(name: &str, source: &str, text: &str) -> EngineResult<Table>
     let names = parse_record(header, source, hline + 1)?;
     let ncols = names.len();
 
-    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut rows: Vec<(usize, Vec<String>)> = Vec::new();
     for (i, line) in lines {
         let rec = parse_record(line, source, i + 1)?;
         if rec.len() != ncols {
@@ -117,7 +117,7 @@ pub fn read_csv_str(name: &str, source: &str, text: &str) -> EngineResult<Table>
                 message: "empty field (columns are non-nullable)".to_string(),
             });
         }
-        rows.push(rec);
+        rows.push((i + 1, rec));
     }
 
     let types: Vec<DataType> = (0..ncols).map(|c| infer_type(&rows, c)).collect();
@@ -131,11 +131,16 @@ pub fn read_csv_str(name: &str, source: &str, text: &str) -> EngineResult<Table>
         .iter()
         .map(|&t| ColumnData::with_capacity(t, rows.len()))
         .collect();
-    for rec in &rows {
+    for (lineno, rec) in &rows {
         for (c, v) in rec.iter().enumerate() {
+            let bad_value = || EngineError::Malformed {
+                source: source.to_string(),
+                line: *lineno,
+                message: format!("{v:?} does not parse as inferred type {:?}", types[c]),
+            };
             let value = match types[c] {
-                DataType::Int => Value::Int(v.parse::<i64>().expect("inferred int")),
-                DataType::Float => Value::Float(v.parse::<f64>().expect("inferred float")),
+                DataType::Int => Value::Int(v.parse::<i64>().map_err(|_| bad_value())?),
+                DataType::Float => Value::Float(v.parse::<f64>().map_err(|_| bad_value())?),
                 DataType::Str => Value::from(v.as_str()),
             };
             columns[c].push(value);

@@ -11,6 +11,7 @@ pub type EngineResult<T> = Result<T, EngineError>;
 
 /// Errors raised by storage and execution.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// The referenced table does not exist in the catalog.
     UnknownTable(String),
@@ -62,6 +63,10 @@ pub enum EngineError {
         /// What went wrong.
         message: String,
     },
+    /// An injected or environmental fault. Raised by the fault-injection
+    /// harness and available to out-of-tree evaluation layers for transient
+    /// backend failures (connection drops, timeouts).
+    Fault(String),
 }
 
 impl fmt::Display for EngineError {
@@ -104,6 +109,7 @@ impl fmt::Display for EngineError {
             } => {
                 write!(f, "{source}:{line}: {message}")
             }
+            Self::Fault(msg) => write!(f, "evaluation fault: {msg}"),
         }
     }
 }

@@ -16,7 +16,12 @@
 
 use std::process::ExitCode;
 
-use acquire::core::{run_acquire, run_contraction, AcqOutcome, AcquireConfig, EvalLayerKind};
+use std::time::Duration;
+
+use acquire::core::{
+    run_acquire, run_contraction, AcqOutcome, AcquireConfig, EvalLayerKind, ExecutionBudget,
+    FaultPolicy, InterruptReason, Termination,
+};
 use acquire::datagen::{patients, tpch, users, GenConfig};
 use acquire::engine::{csv, Catalog, Executor};
 use acquire::query::{CmpOp, Norm};
@@ -36,6 +41,10 @@ struct Opts {
     json: bool,
     threads: usize,
     explain: bool,
+    timeout: Option<f64>,
+    max_memory: Option<usize>,
+    max_explored: Option<u64>,
+    best_effort: bool,
 }
 
 impl Default for Opts {
@@ -54,6 +63,10 @@ impl Default for Opts {
             json: false,
             threads: 1,
             explain: false,
+            timeout: None,
+            max_memory: None,
+            max_explored: None,
+            best_effort: false,
         }
     }
 }
@@ -73,10 +86,31 @@ options:
   --threads N         scoring worker threads (default 1)
   --explain           print the base-relation materialisation plan
   --stats             print evaluation-layer work counters
+  --timeout SECS      wall-clock deadline for the search (fractional ok);
+                      on expiry the closest-so-far answer is returned
+  --max-memory BYTES  cap retained sub-aggregate memory (suffixes K/M/G)
+  --max-explored N    cap the number of grid queries explored
+  --best-effort       absorb mid-search evaluation faults into an
+                      interrupted outcome instead of failing
   --help              this message
 
 The SQL dialect is the paper's: SELECT * FROM t [, t2 ...]
 CONSTRAINT AGG(attr) OP X WHERE pred [NOREFINE] AND ...";
+
+/// Parses a byte count with an optional K/M/G suffix (powers of 1024).
+fn parse_bytes(s: &str) -> Result<usize, String> {
+    let (digits, shift) = match s.trim().to_ascii_uppercase() {
+        t if t.ends_with('K') => (t[..t.len() - 1].to_string(), 10),
+        t if t.ends_with('M') => (t[..t.len() - 1].to_string(), 20),
+        t if t.ends_with('G') => (t[..t.len() - 1].to_string(), 30),
+        t => (t, 0),
+    };
+    let n: usize = digits
+        .parse()
+        .map_err(|e| format!("--max-memory: {e} (expected BYTES with optional K/M/G)"))?;
+    n.checked_mul(1usize << shift)
+        .ok_or_else(|| format!("--max-memory: {s} overflows"))
+}
 
 fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts::default();
@@ -133,6 +167,26 @@ fn parse_args() -> Result<Opts, String> {
             "--stats" => opts.show_stats = true,
             "--json" => opts.json = true,
             "--explain" => opts.explain = true,
+            "--best-effort" => opts.best_effort = true,
+            "--timeout" => {
+                let secs: f64 = need("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("--timeout: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("--timeout: expected non-negative seconds, got {secs}"));
+                }
+                opts.timeout = Some(secs);
+            }
+            "--max-memory" => {
+                opts.max_memory = Some(parse_bytes(&need("--max-memory")?)?);
+            }
+            "--max-explored" => {
+                opts.max_explored = Some(
+                    need("--max-explored")?
+                        .parse()
+                        .map_err(|e| format!("--max-explored: {e}"))?,
+                );
+            }
             "--threads" => {
                 opts.threads = need("--threads")?
                     .parse()
@@ -222,6 +276,41 @@ fn json_num(v: f64) -> String {
     }
 }
 
+/// Stable machine-readable slug for an interrupt reason (the human text of
+/// `Display` may change; these may not).
+fn reason_slug(reason: &InterruptReason) -> &'static str {
+    match reason {
+        InterruptReason::DeadlineExceeded => "deadline",
+        InterruptReason::ExploredBudget => "explored-budget",
+        InterruptReason::MemoryBudget => "memory-budget",
+        InterruptReason::Cancelled => "cancelled",
+        InterruptReason::Fault(_) => "fault",
+        _ => "other",
+    }
+}
+
+fn termination_json(t: &Termination) -> String {
+    match t {
+        Termination::Satisfied => "{\"status\":\"satisfied\"}".to_string(),
+        Termination::Exhausted => "{\"status\":\"exhausted\"}".to_string(),
+        Termination::Interrupted {
+            reason,
+            explored,
+            elapsed,
+        } => format!(
+            "{{\"status\":\"interrupted\",\"reason\":\"{}\",\"detail\":\"{}\",\"explored\":{},\"elapsed_ms\":{}}}",
+            reason_slug(reason),
+            json_escape(&reason.to_string()),
+            explored,
+            elapsed.as_millis()
+        ),
+        other => format!(
+            "{{\"status\":\"{}\"}}",
+            json_escape(&other.to_string())
+        ),
+    }
+}
+
 fn print_outcome_json(outcome: &AcqOutcome, opts: &Opts, original: &acquire::query::AcqQuery) {
     let expanding = original.constraint.op.is_expanding();
     let result_json = |r: &acquire::core::RefinedQueryResult| {
@@ -256,8 +345,9 @@ fn print_outcome_json(outcome: &AcqOutcome, opts: &Opts, original: &acquire::que
         .map(&result_json)
         .unwrap_or_else(|| "null".to_string());
     println!(
-        "{{\"satisfied\":{},\"original_aggregate\":{},\"explored\":{},\"queries\":[{}],\"closest\":{},\"stats\":{{\"cell_queries\":{},\"full_queries\":{},\"tuples_scanned\":{}}}}}",
+        "{{\"satisfied\":{},\"termination\":{},\"original_aggregate\":{},\"explored\":{},\"queries\":[{}],\"closest\":{},\"stats\":{{\"cell_queries\":{},\"full_queries\":{},\"tuples_scanned\":{}}}}}",
         outcome.satisfied,
+        termination_json(&outcome.termination),
         json_num(outcome.original_aggregate),
         outcome.explored,
         queries.join(","),
@@ -275,6 +365,12 @@ fn print_outcome(outcome: &AcqOutcome, opts: &Opts, original: &acquire::query::A
     }
     if outcome.original_aggregate.is_finite() {
         println!("original aggregate: {}", outcome.original_aggregate);
+    }
+    if let Termination::Interrupted { reason, elapsed, .. } = &outcome.termination {
+        println!(
+            "search interrupted after {:.3}s ({reason}); results below are the best found so far",
+            elapsed.as_secs_f64()
+        );
     }
     if outcome.satisfied {
         println!(
@@ -306,15 +402,31 @@ fn print_outcome(outcome: &AcqOutcome, opts: &Opts, original: &acquire::query::A
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
     let catalog = build_catalog(&opts)?;
-    let sql = opts.sql.as_deref().expect("validated");
+    let sql = opts.sql.as_deref().ok_or_else(|| USAGE.to_string())?;
     let query = compile(sql, &catalog).map_err(|e| e.to_string())?;
     let query_for_explain = query.clone();
 
+    let mut budget = ExecutionBudget::unlimited();
+    if let Some(secs) = opts.timeout {
+        budget = budget.with_deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(bytes) = opts.max_memory {
+        budget = budget.with_max_store_bytes(bytes);
+    }
+    if let Some(n) = opts.max_explored {
+        budget = budget.with_max_explored(n);
+    }
     let cfg = AcquireConfig {
         gamma: opts.gamma,
         delta: opts.delta,
         norm: opts.norm.clone(),
         threads: opts.threads.max(1),
+        budget,
+        fault_policy: if opts.best_effort {
+            FaultPolicy::BestEffort
+        } else {
+            FaultPolicy::Propagate
+        },
         ..Default::default()
     };
     let mut exec = Executor::new(catalog);
