@@ -1,0 +1,363 @@
+//! CI perf-smoke harness: serial vs parallel ACQUIRE on the quick fig9
+//! (dimensionality) and fig10 (table size) workloads.
+//!
+//! For every workload the harness runs the search at 1 thread and at
+//! `--threads` (default 4), checks the two outcomes are **bit-identical**,
+//! and records wall-clock plus the machine-independent work counters to a
+//! JSON report (`--out`). Against a committed baseline (`--check`) it fails
+//! when wall-clock regresses more than 20% after normalising by a fixed
+//! CPU-calibration microbenchmark, so baselines recorded on one machine
+//! remain meaningful on another. `--require-speedup X` additionally fails
+//! when the geometric-mean parallel speedup drops below `X` — skipped (with
+//! a notice) when the host has fewer cores than `--threads`, where a
+//! speedup is physically impossible.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use acq_bench::{count_workload, measure, run_technique, Technique, WorkloadSpec};
+use acquire_core::{AcquireConfig, EvalLayerKind};
+
+/// How much slower than the (calibration-scaled) baseline a workload may
+/// get before the check fails.
+const REGRESSION_FACTOR: f64 = 1.2;
+/// Absolute slack added on top, so millisecond-scale workloads don't flake.
+const REGRESSION_FLOOR_MS: f64 = 10.0;
+
+struct Args {
+    out: Option<String>,
+    check: Option<String>,
+    require_speedup: Option<f64>,
+    threads: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        check: None,
+        require_speedup: None,
+        threads: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut need = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = Some(need("--out")?),
+            "--check" => args.check = Some(need("--check")?),
+            "--require-speedup" => {
+                args.require_speedup = Some(
+                    need("--require-speedup")?
+                        .parse()
+                        .map_err(|e| format!("--require-speedup: {e}"))?,
+                );
+            }
+            "--threads" => {
+                args.threads = need("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.threads < 2 {
+        return Err("--threads must be at least 2".into());
+    }
+    Ok(args)
+}
+
+/// A fixed, data-independent CPU workload (~a few hundred ms of splitmix64
+/// hashing). Its wall-clock is the unit used to transfer baselines between
+/// machines of different single-core speed.
+fn calibrate_ms() -> f64 {
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let (_, ms) = measure(|| {
+            let mut acc = 0u64;
+            for i in 0..30_000_000u64 {
+                acc ^= splitmix64(i);
+            }
+            std::hint::black_box(acc)
+        });
+        best = best.min(ms);
+    }
+    best
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    cells: u64,
+    tuples_scanned: u64,
+}
+
+impl WorkloadReport {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+/// Everything observable about a run except wall-clock, floats as bits.
+fn identity_key(r: &acq_bench::runner::RunResult) -> String {
+    format!(
+        "error={} qscore={} pscores={:?} aggregate={} queries={} satisfied={} peak_store={} stats={:?}",
+        r.error.to_bits(),
+        r.qscore.to_bits(),
+        r.pscores.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        r.aggregate.to_bits(),
+        r.queries,
+        r.satisfied,
+        r.peak_store,
+        r.stats,
+    )
+}
+
+fn run_workload(name: &'static str, spec: &WorkloadSpec, threads: usize) -> WorkloadReport {
+    let workload = count_workload(spec);
+    let technique = Technique::Acquire(EvalLayerKind::CachedScore);
+    let serial_cfg = AcquireConfig::default();
+    let parallel_cfg = AcquireConfig::default().with_threads(threads);
+
+    // Best-of-2 wall-clock; the outcomes themselves are deterministic.
+    let mut serial_ms = f64::INFINITY;
+    let mut parallel_ms = f64::INFINITY;
+    let mut serial = None;
+    let mut parallel = None;
+    for _ in 0..2 {
+        let r = run_technique(&workload, &technique, &serial_cfg).expect("serial run");
+        serial_ms = serial_ms.min(r.time_ms);
+        serial = Some(r);
+        let r = run_technique(&workload, &technique, &parallel_cfg).expect("parallel run");
+        parallel_ms = parallel_ms.min(r.time_ms);
+        parallel = Some(r);
+    }
+    let serial = serial.expect("ran");
+    let parallel = parallel.expect("ran");
+    assert_eq!(
+        identity_key(&serial),
+        identity_key(&parallel),
+        "{name}: parallel outcome diverged from serial"
+    );
+    WorkloadReport {
+        name,
+        serial_ms,
+        parallel_ms,
+        cells: serial.queries,
+        tuples_scanned: serial.stats.tuples_scanned,
+    }
+}
+
+fn render_json(
+    calibration_ms: f64,
+    threads: usize,
+    cores: usize,
+    rows: &[WorkloadReport],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"cores\": {cores},");
+    let _ = writeln!(s, "  \"calibration_ms\": {calibration_ms:.3},");
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{ \"name\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"cells\": {}, \"tuples_scanned\": {} }}{}",
+            r.name,
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup(),
+            r.cells,
+            r.tuples_scanned,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Minimal scanner for the JSON this tool writes: the numeric value that
+/// follows `"key":` at or after `from`. Returns (value, end offset).
+fn scan_f64(json: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = json.get(from..)?.find(&needle)? + from + needle.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == ' '))
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok().map(|v| (v, at + end))
+}
+
+struct Baseline {
+    calibration_ms: f64,
+    /// name → (serial_ms, parallel_ms)
+    workloads: Vec<(String, f64, f64)>,
+}
+
+fn parse_baseline(json: &str) -> Option<Baseline> {
+    let (calibration_ms, _) = scan_f64(json, "calibration_ms", 0)?;
+    let mut workloads = Vec::new();
+    let mut pos = 0;
+    while let Some(at) = json.get(pos..).and_then(|s| s.find("\"name\": \"")) {
+        let start = pos + at + "\"name\": \"".len();
+        let end = start + json.get(start..)?.find('"')?;
+        let name = json[start..end].to_string();
+        let (serial_ms, p) = scan_f64(json, "serial_ms", end)?;
+        let (parallel_ms, p2) = scan_f64(json, "parallel_ms", p)?;
+        workloads.push((name, serial_ms, parallel_ms));
+        pos = p2;
+    }
+    Some(Baseline {
+        calibration_ms,
+        workloads,
+    })
+}
+
+fn check_regressions(
+    baseline: &Baseline,
+    calibration_ms: f64,
+    rows: &[WorkloadReport],
+) -> Result<(), String> {
+    // >1 means this machine's single core is slower than the baseline's.
+    let scale = calibration_ms / baseline.calibration_ms;
+    let mut failures = String::new();
+    for r in rows {
+        let Some((_, base_serial, base_parallel)) = baseline
+            .workloads
+            .iter()
+            .find(|(name, _, _)| name == r.name)
+        else {
+            println!("note: no baseline entry for {}, skipping", r.name);
+            continue;
+        };
+        for (what, got, base) in [
+            ("serial", r.serial_ms, *base_serial),
+            ("parallel", r.parallel_ms, *base_parallel),
+        ] {
+            let allowed = base * scale * REGRESSION_FACTOR + REGRESSION_FLOOR_MS;
+            if got > allowed {
+                let _ = writeln!(
+                    failures,
+                    "{} {what}: {got:.1}ms exceeds {allowed:.1}ms \
+                     (baseline {base:.1}ms × cpu-scale {scale:.2} × {REGRESSION_FACTOR})",
+                    r.name,
+                );
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_smoke: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!("calibrating single-core speed...");
+    let calibration_ms = calibrate_ms();
+    println!(
+        "calibration: {calibration_ms:.1}ms, cores: {cores}, threads: {}\n",
+        args.threads
+    );
+
+    // The fig9 (dimensionality) and fig10 (table size) quick workloads.
+    let specs: [(&'static str, WorkloadSpec); 6] = [
+        ("fig9_d2", WorkloadSpec::new(10_000, 2, 0.3)),
+        ("fig9_d3", WorkloadSpec::new(10_000, 3, 0.3)),
+        ("fig9_d4", WorkloadSpec::new(10_000, 4, 0.3)),
+        ("fig10_1k", WorkloadSpec::new(1_000, 3, 0.3)),
+        ("fig10_10k", WorkloadSpec::new(10_000, 3, 0.3)),
+        ("fig10_100k", WorkloadSpec::new(100_000, 3, 0.3)),
+    ];
+    let mut rows = Vec::new();
+    for (name, spec) in &specs {
+        let r = run_workload(name, spec, args.threads);
+        println!(
+            "{name:12} serial {:8.1}ms  parallel({}) {:8.1}ms  speedup {:.2}x  cells {}",
+            r.serial_ms,
+            args.threads,
+            r.parallel_ms,
+            r.speedup(),
+            r.cells,
+        );
+        rows.push(r);
+    }
+
+    let json = render_json(calibration_ms, args.threads, cores, &rows);
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("bench_smoke: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {path}");
+    } else {
+        println!("\n{json}");
+    }
+
+    let mut failed = false;
+    if let Some(path) = &args.check {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match parse_baseline(&text) {
+                Some(baseline) => match check_regressions(&baseline, calibration_ms, &rows) {
+                    Ok(()) => println!("regression check vs {path}: ok"),
+                    Err(report) => {
+                        eprintln!("regression check vs {path} FAILED:\n{report}");
+                        failed = true;
+                    }
+                },
+                None => {
+                    eprintln!("bench_smoke: {path} is not a bench_smoke report");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("bench_smoke: reading {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(floor) = args.require_speedup {
+        if cores < args.threads {
+            println!(
+                "speedup gate skipped: {cores} core(s) < {} threads (no parallel speedup \
+                 is physically possible on this host; outcomes were still verified identical)",
+                args.threads
+            );
+        } else {
+            let geomean =
+                (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+            if geomean < floor {
+                eprintln!(
+                    "speedup gate FAILED: geometric mean {geomean:.2}x < required {floor:.2}x"
+                );
+                failed = true;
+            } else {
+                println!("speedup gate: geometric mean {geomean:.2}x >= {floor:.2}x");
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

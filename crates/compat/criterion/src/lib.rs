@@ -83,9 +83,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id);
-        run_bench(&label, self.sample_size, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_bench(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
         self
     }
 

@@ -168,12 +168,12 @@ pub mod strategy {
             }
         };
     }
-    tuple_strategy!(A/a);
-    tuple_strategy!(A/a, B/b);
-    tuple_strategy!(A/a, B/b, C/c);
-    tuple_strategy!(A/a, B/b, C/c, D/d);
-    tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
-    tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+    tuple_strategy!(A / a);
+    tuple_strategy!(A / a, B / b);
+    tuple_strategy!(A / a, B / b, C / c);
+    tuple_strategy!(A / a, B / b, C / c, D / d);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
 }
 
 pub mod arbitrary {
@@ -744,10 +744,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => {{
         let (__a, __b) = (&$a, &$b);
-        $crate::prop_assert!(
-            *__a != *__b,
-            "assertion failed: `{:?}` != `{:?}`", __a, __b
-        );
+        $crate::prop_assert!(*__a != *__b, "assertion failed: `{:?}` != `{:?}`", __a, __b);
     }};
 }
 
@@ -757,9 +754,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            return ::core::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(stringify!($cond))
-            );
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
         }
     };
 }

@@ -257,7 +257,12 @@ pub mod rngs {
             }
             // An all-zero state is a fixed point of xoshiro; displace it.
             if s == [0; 4] {
-                s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    1,
+                ];
             }
             Self { s }
         }

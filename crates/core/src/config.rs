@@ -5,6 +5,39 @@ use acq_query::Norm;
 use crate::error::CoreError;
 use crate::govern::{ExecutionBudget, FaultPolicy};
 
+/// How the driver schedules the cell sub-queries of one Expand layer.
+///
+/// All cells of a layer are mutually independent (they partition score
+/// space; Theorem 2 orders layers, not cells), so they may execute
+/// concurrently. Outcomes are **bit-identical** across every variant and
+/// worker count: workers only *execute* cells, while the Eq. 17 merges,
+/// answer collection, budget checks and work accounting all happen in the
+/// serial emission order (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Evaluate cells one at a time on the calling thread (the default).
+    #[default]
+    Serial,
+    /// Use exactly this many worker threads (`Fixed(1)` behaves like
+    /// `Serial`; `Fixed(0)` is rejected by validation).
+    Fixed(usize),
+    /// One worker per available CPU
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+}
+
+impl Parallelism {
+    /// The worker count this setting resolves to (at least 1).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        match self {
+            Self::Serial => 1,
+            Self::Fixed(n) => (*n).max(1),
+            Self::Auto => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        }
+    }
+}
+
 /// Tunable parameters of the ACQUIRE driver (Definition 1 and Algorithm 4).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AcquireConfig {
@@ -38,6 +71,10 @@ pub struct AcquireConfig {
     /// scoring the base relation (1 = serial; results are identical either
     /// way).
     pub threads: usize,
+    /// Worker threads used by the Explore phase to evaluate the cell
+    /// sub-queries of one Expand layer concurrently. Outcomes are
+    /// bit-identical for every setting; see [`Parallelism`].
+    pub parallelism: Parallelism,
     /// Use best-first expansion keyed by the actual QScore instead of
     /// Algorithm 1's L1-layered BFS. Exact ordering for any `Lp`/weighted
     /// norm (an extension beyond the paper) at the cost of unbounded
@@ -66,6 +103,7 @@ impl Default for AcquireConfig {
             max_units_per_dim: 100_000,
             max_explored: 50_000_000,
             threads: 1,
+            parallelism: Parallelism::Serial,
             exact_lp_order: false,
             budget: ExecutionBudget::default(),
             fault_policy: FaultPolicy::default(),
@@ -95,6 +133,11 @@ impl AcquireConfig {
         }
         if self.threads == 0 {
             return Err(CoreError::Config("threads must be at least 1".into()));
+        }
+        if self.parallelism == Parallelism::Fixed(0) {
+            return Err(CoreError::Config(
+                "parallelism must name at least 1 worker (use Serial or Fixed(n >= 1))".into(),
+            ));
         }
         Ok(())
     }
@@ -133,6 +176,27 @@ impl AcquireConfig {
         self.fault_policy = fault_policy;
         self
     }
+
+    /// Convenience: same config with a different Explore parallelism.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Convenience: same config with `threads` worker threads for both
+    /// evaluation-layer construction (scoring) and the parallel Explore
+    /// phase. This is what the CLI's `--threads` maps to.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.parallelism = if threads <= 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Fixed(threads)
+        };
+        self
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +229,31 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        assert!(AcquireConfig::default()
+            .with_parallelism(Parallelism::Fixed(0))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn parallelism_resolves_to_at_least_one_worker() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Fixed(1).workers(), 1);
+        assert_eq!(Parallelism::Fixed(6).workers(), 6);
+        assert!(Parallelism::Auto.workers() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Serial);
+    }
+
+    #[test]
+    fn with_threads_sets_both_knobs() {
+        let c = AcquireConfig::default().with_threads(4);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.parallelism, Parallelism::Fixed(4));
+        c.validate().unwrap();
+        let c = AcquireConfig::default().with_threads(1);
+        assert_eq!(c.parallelism, Parallelism::Serial);
+        let c = AcquireConfig::default().with_threads(0);
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.parallelism, Parallelism::Serial);
     }
 }

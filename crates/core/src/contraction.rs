@@ -138,17 +138,16 @@ pub fn contract_with<E: EvaluationLayer>(
     let mut layer_min_actual = f64::INFINITY;
     let mut interrupt: Option<InterruptReason> = None;
 
-    let on_fault = |e: CoreError,
-                    interrupt: &mut Option<InterruptReason>|
-     -> Result<(), CoreError> {
-        match cfg.fault_policy {
-            FaultPolicy::Propagate => Err(e),
-            FaultPolicy::BestEffort => {
-                *interrupt = Some(InterruptReason::Fault(e.to_string()));
-                Ok(())
+    let on_fault =
+        |e: CoreError, interrupt: &mut Option<InterruptReason>| -> Result<(), CoreError> {
+            match cfg.fault_policy {
+                FaultPolicy::Propagate => Err(e),
+                FaultPolicy::BestEffort => {
+                    *interrupt = Some(InterruptReason::Fault(e.to_string()));
+                    Ok(())
+                }
             }
-        }
-    };
+        };
 
     while let Some(point) = expander.next_query() {
         let layer = expander.layer_of(&point);

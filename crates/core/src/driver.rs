@@ -9,6 +9,20 @@
 //! their cell repartitioned for `b` iterations (§6). If nothing satisfies
 //! the constraint, the query attaining the closest aggregate value is
 //! returned.
+//!
+//! # Parallel Explore
+//!
+//! The driver drains grid queries in **same-layer batches**. With
+//! [`crate::Parallelism`] above one worker and an evaluation layer exposing
+//! [`crate::ParallelCells`], each batch's cell sub-queries are executed
+//! speculatively on a work-stealing pool (the `pool` module); the merges of
+//! Eq. 17, answer collection, budget checks and work accounting then run in
+//! the serial emission order over the prefetched results. Because cells
+//! within a layer are mutually independent and the per-point control flow
+//! cannot break out of a layer mid-way (`min_ref_layer` only takes effect
+//! at the *next* layer boundary, and `max_layers` is constant within a
+//! batch), this is observably identical — bit for bit, including stats and
+//! termination — to the serial loop for any thread count.
 
 use acq_engine::{EngineResult, Executor};
 use acq_query::AcqQuery;
@@ -21,13 +35,14 @@ use crate::eval::{
 use crate::expand::{BestFirstExpander, BfsExpander, Expander, LinfExpander};
 use crate::explore::Explorer;
 use crate::govern::{CancellationToken, FaultPolicy, Governor, InterruptReason, Termination};
+use crate::pool::{self, CellOutcome};
 use crate::repartition::repartition;
 use crate::result::{AcqOutcome, RefinedQueryResult};
-use crate::space::RefinedSpace;
+use crate::space::{GridPoint, RefinedSpace};
 
 /// Renders a `catch_unwind` payload as text (panics carry `&str` or
 /// `String` in practice).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -107,106 +122,171 @@ pub fn acquire_with<E: EvaluationLayer>(
 
     // Absorbs a mid-search evaluation failure under `FaultPolicy::BestEffort`
     // (recording it as an interrupt) or propagates it (the default).
-    let on_fault = |e: CoreError,
-                        interrupt: &mut Option<InterruptReason>|
-     -> Result<(), CoreError> {
-        match cfg.fault_policy {
-            FaultPolicy::Propagate => Err(e),
-            FaultPolicy::BestEffort => {
-                *interrupt = Some(InterruptReason::Fault(e.to_string()));
-                Ok(())
+    let on_fault =
+        |e: CoreError, interrupt: &mut Option<InterruptReason>| -> Result<(), CoreError> {
+            match cfg.fault_policy {
+                FaultPolicy::Propagate => Err(e),
+                FaultPolicy::BestEffort => {
+                    *interrupt = Some(InterruptReason::Fault(e.to_string()));
+                    Ok(())
+                }
             }
-        }
-    };
+        };
 
-    while let Some(point) = expander.next_query() {
-        let layer = expander.layer_of(&point);
+    // Cap on one layer-batch: bounds the speculative work wasted if an
+    // interrupt lands mid-layer, and the transient memory of prefetched
+    // cell states.
+    const MAX_BATCH: usize = 4096;
+    // Below this batch size, spawning workers costs more than it saves
+    // (the first L1 layers hold only 1..d cells).
+    const MIN_PARALLEL_BATCH: usize = 4;
+    let workers = cfg.parallelism.workers();
+    // The first grid query of the next layer, popped while draining the
+    // current one.
+    let mut pending: Option<GridPoint> = None;
+
+    // -- assemble one same-layer batch per iteration (size 1 when serial) --
+    'search: while let Some(first) = pending.take().or_else(|| expander.next_query()) {
+        let layer = expander.layer_of(&first);
         if layer > min_ref_layer || layer > cfg.max_layers {
             break;
         }
-        if explored >= cfg.max_explored {
-            // The legacy safety cap behaves like an explored-query budget.
-            interrupt = Some(InterruptReason::ExploredBudget);
-            break;
-        }
-        if let Some(reason) = governor.check(explored, explorer.store().approx_bytes()) {
-            interrupt = Some(reason);
-            break;
-        }
-        if layer > current_layer {
-            // The recurrence only reaches back one layer (layered
-            // expanders; best-first forbids eviction).
-            if let Some(min) = expander.evictable_below(layer) {
-                explorer.evict_below(min);
+        let mut batch: Vec<GridPoint> = vec![first];
+        if workers > 1 {
+            // Never drain past the explored budgets: cells beyond them
+            // could only be wasted speculative work.
+            let remaining = cfg
+                .max_explored
+                .min(cfg.budget.max_explored.unwrap_or(u64::MAX))
+                .saturating_sub(explored);
+            let cap = usize::try_from(remaining.clamp(1, MAX_BATCH as u64)).unwrap_or(MAX_BATCH);
+            while batch.len() < cap {
+                match expander.next_query() {
+                    Some(p) if expander.layer_of(&p) == layer => batch.push(p),
+                    next => {
+                        pending = next;
+                        break;
+                    }
+                }
             }
-            current_layer = layer;
         }
-        let state = match isolated(|| explorer.compute_aggregate(eval, &space, &point, layer)) {
-            Ok(state) => state,
-            Err(e) => {
-                on_fault(e, &mut interrupt)?;
-                break;
+
+        // -- speculative phase: execute the batch's cells on the pool -----
+        let mut prefetched: Option<Vec<Option<CellOutcome>>> =
+            if workers > 1 && batch.len() >= MIN_PARALLEL_BATCH {
+                eval.parallel_cells().map(|par| {
+                    let cells: Vec<_> = batch.iter().map(|p| space.cell(p)).collect();
+                    pool::execute_batch(par, &cells, workers, &governor)
+                })
+            } else {
+                None
+            };
+
+        // -- commit phase: exactly the serial per-point loop --------------
+        for (i, point) in batch.iter().enumerate() {
+            if explored >= cfg.max_explored {
+                // The legacy safety cap behaves like an explored-query
+                // budget.
+                interrupt = Some(InterruptReason::ExploredBudget);
+                break 'search;
             }
-        };
-        explored += 1;
-
-        let value = state.value();
-        if point.iter().all(|&u| u == 0) {
-            original_aggregate = value.unwrap_or(f64::NAN);
-        }
-        // MIN/MAX/AVG of an empty result set are undefined: not a candidate.
-        let Some(actual) = value else { continue };
-        let error = err_fn.error(target, actual);
-
-        let make = |point: Vec<u32>, actual: f64, error: f64| {
-            RefinedQueryResult::new(
-                query,
-                point.clone(),
-                space.pscores(&point),
-                space.qscore(&point),
-                actual,
-                error,
-            )
-        };
-
-        if error <= cfg.delta {
-            answers.push(make(point.clone(), actual, error));
-            min_ref_layer = min_ref_layer.min(layer);
-        } else if expanding && actual > target && answers.is_empty() {
-            // The constraint's crossing point lies inside this cell:
-            // repartition (Algorithm 4 / §6). Once a grid answer exists,
-            // finer fractional answers cannot improve the answer layer, so
-            // repartitioning stops (it would re-execute full queries for
-            // every overshooting point of the closing layer).
-            let hit = match isolated(|| {
-                repartition(eval, &space, &point, target, err_fn, cfg.repartition_depth)
-            }) {
-                Ok(hit) => hit,
+            if let Some(reason) = governor.check(explored, explorer.store().approx_bytes()) {
+                interrupt = Some(reason);
+                break 'search;
+            }
+            if layer > current_layer {
+                // The recurrence only reaches back one layer (layered
+                // expanders; best-first forbids eviction).
+                if let Some(min) = expander.evictable_below(layer) {
+                    explorer.evict_below(min);
+                }
+                current_layer = layer;
+            }
+            let computed = match prefetched.as_mut().and_then(|slots| slots[i].take()) {
+                Some(CellOutcome::Done(cell_state, cost)) => {
+                    // Deferred accounting, applied in commit order so stats
+                    // are bit-identical to a serial run.
+                    eval.commit_cell_cost(&cost);
+                    isolated(|| explorer.merge_cell(cell_state, &space, point, layer))
+                }
+                Some(CellOutcome::Failed(e)) => Err(CoreError::from(e)),
+                Some(CellOutcome::Panicked(msg)) => Err(CoreError::EvalPanicked(msg)),
+                // Serial mode, or a slot the pool abandoned on abort — the
+                // governor check above fires first in that case, so this
+                // arm then only documents safety: the cell was never
+                // executed, and executing it here keeps at-most-once
+                // intact.
+                None => isolated(|| explorer.compute_aggregate(eval, &space, point, layer)),
+            };
+            let state = match computed {
+                Ok(state) => state,
                 Err(e) => {
                     on_fault(e, &mut interrupt)?;
-                    break;
+                    break 'search;
                 }
             };
-            if let Some(hit) = hit {
-                let qscore = space.norm().qscore(&hit.bounds);
-                let r = RefinedQueryResult::new(
+            explored += 1;
+
+            let value = state.value();
+            if point.iter().all(|&u| u == 0) {
+                original_aggregate = value.unwrap_or(f64::NAN);
+            }
+            // MIN/MAX/AVG of an empty result set are undefined: not a
+            // candidate.
+            let Some(actual) = value else { continue };
+            let error = err_fn.error(target, actual);
+
+            let make = |point: Vec<u32>, actual: f64, error: f64| {
+                RefinedQueryResult::new(
                     query,
-                    Vec::new(),
-                    hit.bounds,
-                    qscore,
-                    hit.aggregate,
-                    hit.error,
-                );
-                if hit.error <= cfg.delta {
-                    answers.push(r);
-                    min_ref_layer = min_ref_layer.min(layer);
-                } else if closest.as_ref().is_none_or(|c| r.error < c.2) {
-                    closest = Some((r.pscores, r.aggregate, r.error));
+                    point.clone(),
+                    space.pscores(&point),
+                    space.qscore(&point),
+                    actual,
+                    error,
+                )
+            };
+
+            if error <= cfg.delta {
+                answers.push(make(point.clone(), actual, error));
+                min_ref_layer = min_ref_layer.min(layer);
+            } else if expanding && actual > target && answers.is_empty() {
+                // The constraint's crossing point lies inside this cell:
+                // repartition (Algorithm 4 / §6). Once a grid answer
+                // exists, finer fractional answers cannot improve the
+                // answer layer, so repartitioning stops (it would
+                // re-execute full queries for every overshooting point of
+                // the closing layer).
+                let hit = match isolated(|| {
+                    repartition(eval, &space, point, target, err_fn, cfg.repartition_depth)
+                }) {
+                    Ok(hit) => hit,
+                    Err(e) => {
+                        on_fault(e, &mut interrupt)?;
+                        break 'search;
+                    }
+                };
+                if let Some(hit) = hit {
+                    let qscore = space.norm().qscore(&hit.bounds);
+                    let r = RefinedQueryResult::new(
+                        query,
+                        Vec::new(),
+                        hit.bounds,
+                        qscore,
+                        hit.aggregate,
+                        hit.error,
+                    );
+                    if hit.error <= cfg.delta {
+                        answers.push(r);
+                        min_ref_layer = min_ref_layer.min(layer);
+                    } else if closest.as_ref().is_none_or(|c| r.error < c.2) {
+                        closest = Some((r.pscores, r.aggregate, r.error));
+                    }
                 }
             }
-        }
-        if closest.as_ref().is_none_or(|c| error < c.2) {
-            closest = Some((space.pscores(&point), actual, error));
+            if closest.as_ref().is_none_or(|c| error < c.2) {
+                closest = Some((space.pscores(point), actual, error));
+            }
         }
     }
 

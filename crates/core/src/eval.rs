@@ -23,6 +23,48 @@ use acq_query::AcqQuery;
 
 use crate::space::GridPoint;
 
+/// Deferred work accounting for one speculatively executed cell query.
+///
+/// The parallel Explore phase executes cells on worker threads through
+/// [`ParallelCells::cell_aggregate_shared`], which must not touch the
+/// layer's shared [`ExecStats`]. Instead each execution returns its cost,
+/// and the driver applies it via [`EvaluationLayer::commit_cell_cost`] in
+/// emission order — so the stats on an [`crate::AcqOutcome`] are
+/// bit-identical to a serial run, and speculative work that is never
+/// committed (e.g. cells prefetched past an interrupt) is never counted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellCost {
+    /// Tuples scanned answering the cell query.
+    pub tuples_scanned: u64,
+    /// Grid-index probes performed.
+    pub index_probes: u64,
+    /// Cells skipped as provably empty (§7.4).
+    pub cells_skipped: u64,
+}
+
+impl CellCost {
+    /// Folds this cost (plus the implied one cell query) into `stats`.
+    pub(crate) fn apply(&self, stats: &mut ExecStats) {
+        stats.cell_queries += 1;
+        stats.tuples_scanned += self.tuples_scanned;
+        stats.index_probes += self.index_probes;
+        stats.cells_skipped += self.cells_skipped;
+    }
+}
+
+/// Shared-state cell evaluation for the parallel Explore phase.
+///
+/// Implementations are called concurrently from worker threads and must be
+/// pure with respect to observable layer state: the same cell always
+/// produces the same `(state, cost)`, and no call mutates anything another
+/// call (or a later serial call) can see. All accounting is deferred to
+/// [`EvaluationLayer::commit_cell_cost`].
+pub trait ParallelCells: Sync {
+    /// Aggregate of the tuples whose refinement-score vector lies in
+    /// `cell`, plus the work performed computing it.
+    fn cell_aggregate_shared(&self, cell: &[CellRange]) -> EngineResult<(AggState, CellCost)>;
+}
+
 /// A backend able to answer cell queries and full refined-query aggregates
 /// for one ACQ search.
 pub trait EvaluationLayer {
@@ -38,6 +80,19 @@ pub trait EvaluationLayer {
     fn stats(&self) -> ExecStats;
     /// Size of the materialised tuple universe.
     fn universe_size(&self) -> usize;
+    /// The layer's shared-state handle for concurrent cell evaluation, if it
+    /// supports one. Layers returning `None` (the default) are always driven
+    /// serially, whatever [`crate::config::Parallelism`] says.
+    fn parallel_cells(&self) -> Option<&dyn ParallelCells> {
+        None
+    }
+    /// Applies the deferred accounting of one committed speculative cell
+    /// (see [`ParallelCells::cell_aggregate_shared`]). The driver calls this
+    /// in emission order. The default is a no-op, matching the default
+    /// `parallel_cells()` of `None`.
+    fn commit_cell_cost(&mut self, cost: &CellCost) {
+        let _ = cost;
+    }
 }
 
 /// Selects which evaluation layer [`crate::run_acquire`] constructs.
@@ -92,6 +147,27 @@ impl EvaluationLayer for ScanEvaluator<'_> {
 
     fn universe_size(&self) -> usize {
         self.rel.len()
+    }
+
+    fn parallel_cells(&self) -> Option<&dyn ParallelCells> {
+        Some(self)
+    }
+
+    fn commit_cell_cost(&mut self, cost: &CellCost) {
+        cost.apply(self.exec.stats_mut());
+    }
+}
+
+impl ParallelCells for ScanEvaluator<'_> {
+    fn cell_aggregate_shared(&self, cell: &[CellRange]) -> EngineResult<(AggState, CellCost)> {
+        let (state, scanned) = self.exec.cell_aggregate_shared(&self.rq, &self.rel, cell)?;
+        Ok((
+            state,
+            CellCost {
+                tuples_scanned: scanned,
+                ..CellCost::default()
+            },
+        ))
     }
 }
 
@@ -268,6 +344,33 @@ impl EvaluationLayer for CachedScoreEvaluator<'_> {
     fn universe_size(&self) -> usize {
         self.matrix.len()
     }
+
+    fn parallel_cells(&self) -> Option<&dyn ParallelCells> {
+        Some(self)
+    }
+
+    fn commit_cell_cost(&mut self, cost: &CellCost) {
+        cost.apply(self.exec.stats_mut());
+    }
+}
+
+impl ParallelCells for CachedScoreEvaluator<'_> {
+    fn cell_aggregate_shared(&self, cell: &[CellRange]) -> EngineResult<(AggState, CellCost)> {
+        let mut state = self.empty_state()?;
+        for i in 0..self.matrix.len() {
+            let row = self.matrix.row(i);
+            if row.iter().zip(cell).all(|(s, r)| r.contains(*s)) {
+                state.update(self.matrix.vals[i]);
+            }
+        }
+        Ok((
+            state,
+            CellCost {
+                tuples_scanned: self.matrix.len() as u64,
+                ..CellCost::default()
+            },
+        ))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -416,6 +519,38 @@ impl EvaluationLayer for GridIndexEvaluator<'_> {
 
     fn universe_size(&self) -> usize {
         self.matrix.len()
+    }
+
+    fn parallel_cells(&self) -> Option<&dyn ParallelCells> {
+        Some(self)
+    }
+
+    fn commit_cell_cost(&mut self, cost: &CellCost) {
+        cost.apply(self.exec.stats_mut());
+    }
+}
+
+impl ParallelCells for GridIndexEvaluator<'_> {
+    fn cell_aggregate_shared(&self, cell: &[CellRange]) -> EngineResult<(AggState, CellCost)> {
+        let point = Self::point_of_cell(cell, self.step);
+        let mut state = self.empty_state()?;
+        let mut cost = CellCost {
+            index_probes: 1,
+            ..CellCost::default()
+        };
+        match self.cells.get(&point) {
+            None => {
+                // Provably empty: skipped without execution (§7.4).
+                cost.cells_skipped = 1;
+            }
+            Some(bucket) => {
+                cost.tuples_scanned = bucket.rows.len() as u64;
+                for &i in &bucket.rows {
+                    state.update(self.matrix.vals[i as usize]);
+                }
+            }
+        }
+        Ok((state, cost))
     }
 }
 
@@ -591,6 +726,75 @@ mod tests {
             serial.cell_aggregate(&cell).unwrap().value(),
             parallel.cell_aggregate(&cell).unwrap().value()
         );
+    }
+
+    /// Shared-path contract: the same state as the serial call, no stats
+    /// until the cost is committed, and a committed cost accounting exactly
+    /// what the serial call accounts.
+    fn check_shared_matches<E: EvaluationLayer>(eval: &mut E, cell: &[CellRange]) {
+        let before = eval.stats();
+        let (shared_state, cost) = eval
+            .parallel_cells()
+            .expect("layer supports parallel cells")
+            .cell_aggregate_shared(cell)
+            .unwrap();
+        assert_eq!(eval.stats(), before, "shared path defers all accounting");
+        let serial = eval.cell_aggregate(cell).unwrap();
+        assert_eq!(shared_state.value(), serial.value(), "cell {cell:?}");
+        let mid = eval.stats();
+        eval.commit_cell_cost(&cost);
+        let after = eval.stats();
+        assert_eq!(
+            after.cell_queries - mid.cell_queries,
+            mid.cell_queries - before.cell_queries
+        );
+        assert_eq!(
+            after.tuples_scanned - mid.tuples_scanned,
+            mid.tuples_scanned - before.tuples_scanned
+        );
+        assert_eq!(
+            after.index_probes - mid.index_probes,
+            mid.index_probes - before.index_probes
+        );
+        assert_eq!(
+            after.cells_skipped - mid.cells_skipped,
+            mid.cells_skipped - before.cells_skipped
+        );
+    }
+
+    #[test]
+    fn shared_cells_match_serial_cells_on_every_layer() {
+        let step = 5.0;
+        let cells: Vec<Vec<CellRange>> = vec![
+            vec![CellRange::Zero, CellRange::Zero],
+            vec![CellRange::Open { lo: 0.0, hi: step }, CellRange::Zero],
+            vec![
+                CellRange::Open { lo: 0.0, hi: step },
+                CellRange::Open {
+                    lo: step,
+                    hi: 2.0 * step,
+                },
+            ],
+            // Empty off-diagonal cell: exercises the skip path.
+            vec![
+                CellRange::Open { lo: 0.0, hi: step },
+                CellRange::Open {
+                    lo: 400.0,
+                    hi: 405.0,
+                },
+            ],
+        ];
+        for cell in &cells {
+            let (mut e1, q) = setup();
+            let mut scan = ScanEvaluator::new(&mut e1, &q, &caps()).unwrap();
+            check_shared_matches(&mut scan, cell);
+            let (mut e2, _) = setup();
+            let mut cached = CachedScoreEvaluator::new(&mut e2, &q, &caps()).unwrap();
+            check_shared_matches(&mut cached, cell);
+            let (mut e3, _) = setup();
+            let mut grid = GridIndexEvaluator::new(&mut e3, &q, &caps(), step).unwrap();
+            check_shared_matches(&mut grid, cell);
+        }
     }
 
     #[test]

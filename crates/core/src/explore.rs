@@ -50,10 +50,29 @@ impl Explorer {
         point: &GridPoint,
         layer: u64,
     ) -> EngineResult<AggState> {
+        // A[0] = O_1: the only execution against the evaluation layer.
+        let cell_state = eval.cell_aggregate(&space.cell(point))?;
+        self.merge_cell(cell_state, space, point, layer)
+    }
+
+    /// The merge half of Algorithm 3: combines an already-executed cell
+    /// sub-aggregate with the stored sub-aggregates of contained neighbours
+    /// (Eq. 17) and records the new query's sub-aggregate vector.
+    ///
+    /// This is `compute_aggregate` minus the evaluation-layer call; the
+    /// parallel driver executes cells speculatively on worker threads and
+    /// applies this merge serially in emission order, which is what keeps
+    /// parallel outcomes bit-identical to serial ones.
+    pub fn merge_cell(
+        &mut self,
+        cell_state: AggState,
+        space: &RefinedSpace,
+        point: &GridPoint,
+        layer: u64,
+    ) -> EngineResult<AggState> {
         let d = space.dims();
         let mut states: Vec<AggState> = Vec::with_capacity(d + 1);
-        // A[0] = O_1: the only execution against the evaluation layer.
-        states.push(eval.cell_aggregate(&space.cell(point))?);
+        states.push(cell_state);
         // A[j] = O_{j+1}(u) = O_j(u) + O_{j+1}(u - e_j), j = 1..d.
         // One scratch buffer serves every neighbour lookup (this loop runs
         // once per grid query — millions of times in deep searches).

@@ -6,16 +6,23 @@
 //! driver's robustness guarantees: under any fault schedule,
 //! [`crate::acquire`] must return `Ok(outcome)` or a typed
 //! [`crate::CoreError`], never abort the process, and never execute a cell
-//! twice (§5's at-most-once property must survive faults and interrupts).
+//! twice (§5's at-most-once property must survive faults, interrupts, and
+//! worker panics).
 //!
-//! Faults are a pure function of `(seed, call index)`, so a schedule that
-//! exposed a bug replays exactly from its seed.
+//! Faults are a pure function of `(seed, query coordinates)`: a cell query
+//! faults according to the cell it targets, a full query according to its
+//! bounds. Keying on coordinates rather than a call counter makes the
+//! schedule independent of evaluation order, so the *same* cells fault the
+//! same way whether the search runs serially or on a parallel worker pool
+//! of any size — and injected latency now sleeps on whichever worker thread
+//! evaluates the cell instead of always blocking the driver thread.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use acq_engine::{AggState, CellRange, EngineError, EngineResult, ExecStats};
 
-use crate::eval::EvaluationLayer;
+use crate::eval::{CellCost, EvaluationLayer, ParallelCells};
 
 /// Which fault (if any) a schedule injects into one call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,8 +31,9 @@ pub enum InjectedFault {
     None,
     /// Return [`EngineError::Fault`] instead of delegating.
     Error,
-    /// Panic instead of delegating (the driver's `catch_unwind` turns this
-    /// into [`crate::CoreError::EvalPanicked`]).
+    /// Panic instead of delegating (the driver's `catch_unwind` — or the
+    /// worker pool's, under parallel execution — turns this into
+    /// [`crate::CoreError::EvalPanicked`]).
     Panic,
     /// Sleep for the schedule's latency, then delegate (exercises
     /// deadlines).
@@ -33,6 +41,10 @@ pub enum InjectedFault {
 }
 
 /// A seeded, deterministic plan of which evaluation calls fault and how.
+///
+/// The plan is keyed by *query coordinates* (the cell's ranges, or a full
+/// query's bounds), never by call order or thread identity, so equal seeds
+/// replay identically under serial and parallel drivers alike.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultSchedule {
     /// Seed defining the whole schedule; equal seeds replay identically.
@@ -45,9 +57,10 @@ pub struct FaultSchedule {
     pub latency_rate: f64,
     /// Injected delay for latency faults.
     pub latency: Duration,
-    /// Number of initial calls exempt from faults (lets a search make
-    /// progress before the first fault lands).
-    pub skip_calls: u64,
+    /// Cell queries in L1 grid layers strictly below this are exempt from
+    /// faults (lets a search make progress before the first fault can
+    /// land). Full-query calls are never exempt.
+    pub skip_layers: u64,
 }
 
 impl FaultSchedule {
@@ -60,7 +73,7 @@ impl FaultSchedule {
             panic_rate: 0.0,
             latency_rate: 0.0,
             latency: Duration::ZERO,
-            skip_calls: 0,
+            skip_layers: 0,
         }
     }
 
@@ -92,14 +105,29 @@ impl FaultSchedule {
         }
     }
 
-    /// The fault this schedule injects into call number `call` (0-based).
-    /// Pure: depends only on the schedule and `call`.
+    /// The fault this schedule injects into the cell query for `cell`.
+    /// Pure in the cell's coordinates: the same cell faults the same way no
+    /// matter which worker thread evaluates it, how many workers exist, or
+    /// in what order cells run.
     #[must_use]
-    pub fn fault_at(&self, call: u64) -> InjectedFault {
-        if call < self.skip_calls {
+    pub fn fault_for_cell(&self, cell: &[CellRange]) -> InjectedFault {
+        if self.skip_layers > 0 && cell_layer(cell) < self.skip_layers {
             return InjectedFault::None;
         }
-        let u = unit(splitmix64(self.seed ^ call.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        self.decide(cell_key(cell))
+    }
+
+    /// The fault this schedule injects into a full refined-query execution
+    /// with the given per-dimension bounds (repartitioning, baselines).
+    #[must_use]
+    pub fn fault_for_full(&self, bounds: &[f64]) -> InjectedFault {
+        self.decide(full_key(bounds))
+    }
+
+    fn decide(&self, key: u64) -> InjectedFault {
+        let u = unit(splitmix64(
+            self.seed ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ));
         if u < self.panic_rate {
             InjectedFault::Panic
         } else if u < self.panic_rate + self.error_rate {
@@ -110,6 +138,50 @@ impl FaultSchedule {
             InjectedFault::None
         }
     }
+}
+
+/// L1 grid layer of a cell, recovered from its range geometry: every `Open`
+/// range spans exactly one grid step `(k-1)·step < s <= k·step`, so its
+/// coordinate is `hi / (hi - lo)` and the layer is the coordinate sum.
+fn cell_layer(cell: &[CellRange]) -> u64 {
+    cell.iter()
+        .map(|r| match r {
+            CellRange::Zero => 0,
+            CellRange::Open { lo, hi } => {
+                let step = hi - lo;
+                if step > 0.0 && step.is_finite() && hi.is_finite() {
+                    (hi / step).round() as u64
+                } else {
+                    0
+                }
+            }
+        })
+        .sum()
+}
+
+/// Position-sensitive hash of a cell's coordinates (f64 bit patterns).
+fn cell_key(cell: &[CellRange]) -> u64 {
+    let mut h = 0x00ce_11ce_11ce_11ce;
+    for r in cell {
+        match r {
+            CellRange::Zero => h = splitmix64(h ^ 0x5eed_0f0f_5eed_0f0f),
+            CellRange::Open { lo, hi } => {
+                h = splitmix64(h ^ lo.to_bits());
+                h = splitmix64(h ^ hi.to_bits());
+            }
+        }
+    }
+    h
+}
+
+/// Position-sensitive hash of a full query's bounds, tagged so it can never
+/// collide with a cell key by construction.
+fn full_key(bounds: &[f64]) -> u64 {
+    let mut h = 0x0f0f_f0f0_0f0f_f0f0;
+    for b in bounds {
+        h = splitmix64(h ^ b.to_bits());
+    }
+    h
 }
 
 /// SplitMix64: the standard 64-bit finalising mix (public domain,
@@ -129,14 +201,18 @@ fn unit(h: u64) -> f64 {
 /// Wraps an [`EvaluationLayer`], injecting the faults of a
 /// [`FaultSchedule`] into its aggregate calls.
 ///
-/// `cell_aggregate` and `full_aggregate` share one call counter, so the
-/// schedule covers both the grid search and repartitioning. Metadata calls
-/// (`empty_state`, `stats`, `universe_size`) never fault.
+/// Cell and full queries draw from one coordinate-keyed schedule, so it
+/// covers both the grid search and repartitioning. Metadata calls
+/// (`empty_state`, `stats`, `universe_size`) never fault. When the inner
+/// layer supports concurrent cell evaluation the wrapper does too: faults
+/// then fire on the worker thread that evaluates the cell (latency sleeps
+/// *there*, not on the driver thread), while hitting exactly the same
+/// cells as a serial run.
 #[derive(Debug)]
 pub struct FaultInjectingLayer<E> {
     inner: E,
     schedule: FaultSchedule,
-    calls: u64,
+    calls: AtomicU64,
 }
 
 impl<E> FaultInjectingLayer<E> {
@@ -145,14 +221,16 @@ impl<E> FaultInjectingLayer<E> {
         Self {
             inner,
             schedule,
-            calls: 0,
+            calls: AtomicU64::new(0),
         }
     }
 
     /// Number of aggregate calls attempted so far (including faulted ones).
+    /// Under parallel execution this counts speculative attempts in
+    /// whatever order workers made them — informational only.
     #[must_use]
     pub fn calls(&self) -> u64 {
-        self.calls
+        self.calls.load(Ordering::Relaxed)
     }
 
     /// The wrapped layer.
@@ -165,19 +243,24 @@ impl<E> FaultInjectingLayer<E> {
         self.inner
     }
 
-    /// Applies the scheduled fault for the next call; `Ok(())` means the
-    /// call proceeds (possibly after injected latency).
-    fn trip(&mut self, what: &str) -> EngineResult<()> {
-        let call = self.calls;
-        self.calls += 1;
-        match self.schedule.fault_at(call) {
+    /// Fires `fault` for the call described by `what`/`target`; `Ok(())`
+    /// means the call proceeds (possibly after injected latency, slept on
+    /// the *calling* thread — the worker, under parallel execution).
+    fn fire(
+        &self,
+        fault: InjectedFault,
+        what: &str,
+        target: &dyn std::fmt::Debug,
+    ) -> EngineResult<()> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        match fault {
             InjectedFault::None => Ok(()),
             InjectedFault::Error => Err(EngineError::Fault(format!(
-                "injected error in {what} (seed {}, call {call})",
+                "injected error in {what} (seed {}, target {target:?})",
                 self.schedule.seed
             ))),
             InjectedFault::Panic => panic!(
-                "injected panic in {what} (seed {}, call {call})",
+                "injected panic in {what} (seed {}, target {target:?})",
                 self.schedule.seed
             ),
             InjectedFault::Latency => {
@@ -188,14 +271,18 @@ impl<E> FaultInjectingLayer<E> {
     }
 }
 
-impl<E: EvaluationLayer> EvaluationLayer for FaultInjectingLayer<E> {
+impl<E: EvaluationLayer + Sync> EvaluationLayer for FaultInjectingLayer<E> {
     fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState> {
-        self.trip("cell_aggregate")?;
+        self.fire(self.schedule.fault_for_cell(cell), "cell_aggregate", &cell)?;
         self.inner.cell_aggregate(cell)
     }
 
     fn full_aggregate(&mut self, bounds: &[f64]) -> EngineResult<AggState> {
-        self.trip("full_aggregate")?;
+        self.fire(
+            self.schedule.fault_for_full(bounds),
+            "full_aggregate",
+            &bounds,
+        )?;
         self.inner.full_aggregate(bounds)
     }
 
@@ -210,21 +297,69 @@ impl<E: EvaluationLayer> EvaluationLayer for FaultInjectingLayer<E> {
     fn universe_size(&self) -> usize {
         self.inner.universe_size()
     }
+
+    fn parallel_cells(&self) -> Option<&dyn ParallelCells> {
+        // Parallel-capable exactly when the inner layer is; fault decisions
+        // are coordinate-keyed, so they land on the same cells either way.
+        self.inner
+            .parallel_cells()
+            .map(|_| self as &dyn ParallelCells)
+    }
+
+    fn commit_cell_cost(&mut self, cost: &CellCost) {
+        self.inner.commit_cell_cost(cost);
+    }
+}
+
+impl<E: EvaluationLayer + Sync> ParallelCells for FaultInjectingLayer<E> {
+    fn cell_aggregate_shared(&self, cell: &[CellRange]) -> EngineResult<(AggState, CellCost)> {
+        self.fire(self.schedule.fault_for_cell(cell), "cell_aggregate", &cell)?;
+        self.inner
+            .parallel_cells()
+            .expect("parallel_cells() returned this handle only when the inner layer has one")
+            .cell_aggregate_shared(cell)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A deterministic family of distinct cells: coordinate `i` on a 2-d
+    /// grid of step 5, in the layer-`i` diagonal position.
+    fn cell(i: u64) -> Vec<CellRange> {
+        let step = 5.0;
+        let k = |c: u64| {
+            if c == 0 {
+                CellRange::Zero
+            } else {
+                CellRange::Open {
+                    lo: (c - 1) as f64 * step,
+                    hi: c as f64 * step,
+                }
+            }
+        };
+        vec![k(i / 2), k(i - i / 2)]
+    }
+
     #[test]
     fn schedules_are_deterministic() {
         let s = FaultSchedule::mixed(42, 0.3, 0.2);
-        let a: Vec<_> = (0..100).map(|i| s.fault_at(i)).collect();
-        let b: Vec<_> = (0..100).map(|i| s.fault_at(i)).collect();
+        let a: Vec<_> = (0..100).map(|i| s.fault_for_cell(&cell(i))).collect();
+        let b: Vec<_> = (0..100).map(|i| s.fault_for_cell(&cell(i))).collect();
         assert_eq!(a, b);
         let other = FaultSchedule::mixed(43, 0.3, 0.2);
-        let c: Vec<_> = (0..100).map(|i| other.fault_at(i)).collect();
+        let c: Vec<_> = (0..100).map(|i| other.fault_for_cell(&cell(i))).collect();
         assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn faults_key_on_coordinates_not_call_order() {
+        let s = FaultSchedule::mixed(7, 0.3, 0.2);
+        let forward: Vec<_> = (0..50).map(|i| s.fault_for_cell(&cell(i))).collect();
+        let mut backward: Vec<_> = (0..50).rev().map(|i| s.fault_for_cell(&cell(i))).collect();
+        backward.reverse();
+        assert_eq!(forward, backward, "order of evaluation is irrelevant");
     }
 
     #[test]
@@ -232,23 +367,49 @@ mod tests {
         let s = FaultSchedule::mixed(7, 0.25, 0.25);
         let n = 4000u64;
         let faults = (0..n)
-            .filter(|&i| s.fault_at(i) != InjectedFault::None)
+            .filter(|&i| s.fault_for_cell(&cell(i)) != InjectedFault::None)
             .count();
         let frac = faults as f64 / n as f64;
         assert!((0.4..0.6).contains(&frac), "fault fraction {frac}");
     }
 
     #[test]
-    fn skip_calls_delays_the_first_fault() {
+    fn skip_layers_exempts_low_layers() {
         let mut s = FaultSchedule::errors(1, 1.0);
-        s.skip_calls = 5;
-        assert!((0..5).all(|i| s.fault_at(i) == InjectedFault::None));
-        assert_eq!(s.fault_at(5), InjectedFault::Error);
+        s.skip_layers = 5;
+        // cell(i) sits in L1 layer i (coordinates sum to i).
+        assert!((0..5).all(|i| s.fault_for_cell(&cell(i)) == InjectedFault::None));
+        assert_eq!(s.fault_for_cell(&cell(5)), InjectedFault::Error);
+        // Full queries are never exempt.
+        assert_eq!(s.fault_for_full(&[0.0, 0.0]), InjectedFault::Error);
+    }
+
+    #[test]
+    fn cell_and_full_keys_are_distinct_spaces() {
+        // A cell and a full query over numerically identical coordinates
+        // draw independent decisions (different key tags).
+        let s = FaultSchedule::errors(3, 0.5);
+        let agree = (0..200)
+            .filter(|&i| {
+                let c = cell(i);
+                let bounds: Vec<f64> = c
+                    .iter()
+                    .map(|r| match r {
+                        CellRange::Zero => 0.0,
+                        CellRange::Open { hi, .. } => *hi,
+                    })
+                    .collect();
+                (s.fault_for_cell(&c) == InjectedFault::None)
+                    == (s.fault_for_full(&bounds) == InjectedFault::None)
+            })
+            .count();
+        assert!(agree < 200, "cell and full decisions must not be coupled");
     }
 
     #[test]
     fn none_schedule_never_faults() {
         let s = FaultSchedule::none(99);
-        assert!((0..1000).all(|i| s.fault_at(i) == InjectedFault::None));
+        assert!((0..1000).all(|i| s.fault_for_cell(&cell(i)) == InjectedFault::None));
+        assert_eq!(s.fault_for_full(&[1.0, 2.0]), InjectedFault::None);
     }
 }

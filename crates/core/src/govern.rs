@@ -259,6 +259,24 @@ impl Governor {
         None
     }
 
+    /// Whether the search should stop dead right now: sticky cancellation
+    /// or a passed deadline. This is the cheap, commit-order-independent
+    /// subset of [`Governor::check`] that parallel workers poll between
+    /// cells so a cancelled or over-deadline search stops promptly instead
+    /// of draining its speculative batch. Explored/memory budgets are
+    /// excluded on purpose — they are functions of commit-order progress,
+    /// which workers cannot observe; the driver's commit loop enforces them.
+    /// Both conditions are monotone, so any cell a worker abandons is
+    /// guaranteed to sit behind a failing [`Governor::check`] in the commit
+    /// loop and is never reached.
+    #[must_use]
+    pub fn aborted(&self) -> bool {
+        if self.token.is_cancelled() {
+            return true;
+        }
+        matches!(self.budget.deadline, Some(d) if self.start.elapsed() >= d)
+    }
+
     /// The termination status for an interrupt detected now.
     #[must_use]
     pub fn interrupted(&self, reason: InterruptReason, explored: u64) -> Termination {
@@ -329,6 +347,27 @@ mod tests {
             token,
         );
         assert_eq!(g.check(5, 0), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn aborted_covers_exactly_cancellation_and_deadline() {
+        let token = CancellationToken::new();
+        let g = Governor::new(
+            ExecutionBudget::unlimited()
+                .with_max_explored(0)
+                .with_max_store_bytes(0),
+            token.clone(),
+        );
+        // Commit-order budgets never abort workers.
+        assert!(!g.aborted());
+        token.cancel();
+        assert!(g.aborted(), "cancellation aborts workers");
+
+        let g = Governor::new(
+            ExecutionBudget::unlimited().with_deadline(Duration::ZERO),
+            CancellationToken::new(),
+        );
+        assert!(g.aborted(), "a passed deadline aborts workers");
     }
 
     #[test]

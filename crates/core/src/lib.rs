@@ -32,7 +32,12 @@
 //!   and a machine-readable [`Termination`] status on every outcome; plus
 //!   [`fault`], a deterministic fault-injection harness
 //!   ([`FaultInjectingLayer`]) used to prove the driver never aborts and
-//!   never double-executes a region under faults or interrupts.
+//!   never double-executes a region under faults or interrupts;
+//! * **parallel Explore** — [`Parallelism`]: a per-layer work-stealing
+//!   worker pool evaluates all cell sub-queries of the current Expand layer
+//!   concurrently ([`ParallelCells`]), while the Eq. 17 merges, answer
+//!   collection and accounting stay in serial emission order, so outcomes
+//!   are bit-identical to a serial run for every thread count.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -49,6 +54,7 @@ pub mod explore;
 pub mod fasthash;
 pub mod fault;
 pub mod govern;
+mod pool;
 mod repartition;
 mod result;
 mod session;
@@ -56,18 +62,17 @@ mod space;
 mod store;
 
 pub use bitmap_eval::BitmapIndexEvaluator;
-pub use config::AcquireConfig;
-pub use contraction::{contract, contraction_query, contract_with, run_contraction};
+pub use config::{AcquireConfig, Parallelism};
+pub use contraction::{contract, contract_with, contraction_query, run_contraction};
 pub use driver::{acquire, acquire_with, run_acquire};
 pub use error::CoreError;
-pub use fault::{FaultInjectingLayer, FaultSchedule};
-pub use govern::{
-    CancellationToken, ExecutionBudget, FaultPolicy, InterruptReason, Termination,
-};
 pub use estimate::HistogramEstimator;
 pub use eval::{
-    CachedScoreEvaluator, EvalLayerKind, EvaluationLayer, GridIndexEvaluator, ScanEvaluator,
+    CachedScoreEvaluator, CellCost, EvalLayerKind, EvaluationLayer, GridIndexEvaluator,
+    ParallelCells, ScanEvaluator,
 };
+pub use fault::{FaultInjectingLayer, FaultSchedule};
+pub use govern::{CancellationToken, ExecutionBudget, FaultPolicy, InterruptReason, Termination};
 pub use repartition::repartition;
 pub use result::{AcqOutcome, RefinedQueryResult};
 pub use session::Session;

@@ -28,7 +28,7 @@ use acquire_core::expand::{BfsExpander, Expander};
 use acquire_core::explore::Explorer;
 use acquire_core::govern::Termination;
 use acquire_core::{
-    acquire, acquire_with, AcquireConfig, CancellationToken, CachedScoreEvaluator, CoreError,
+    acquire, acquire_with, AcquireConfig, CachedScoreEvaluator, CancellationToken, CoreError,
     EvaluationLayer, ExecutionBudget, FaultInjectingLayer, FaultPolicy, FaultSchedule,
     GridIndexEvaluator, InterruptReason, RefinedSpace, Session,
 };
@@ -69,7 +69,11 @@ fn ge_query(target: f64) -> AcqQuery {
             Interval::new(0.0, 30.0),
             RefineSide::Upper,
         ))
-        .constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Ge, target))
+        .constraint(AggConstraint::new(
+            AggregateSpec::count(),
+            CmpOp::Ge,
+            target,
+        ))
         .error_fn(AggErrorFn::HingeRelative)
         .build()
         .unwrap()
@@ -179,8 +183,8 @@ fn explored_budget_truncates_exactly() {
     assert!(full.explored > 5, "need a non-trivial search");
 
     for k in [1, 2, full.explored / 2] {
-        let cfg = AcquireConfig::default()
-            .with_budget(ExecutionBudget::unlimited().with_max_explored(k));
+        let cfg =
+            AcquireConfig::default().with_budget(ExecutionBudget::unlimited().with_max_explored(k));
         let out = run(&ge_query(800.0), &cfg);
         assert_eq!(out.explored, k, "budget {k}");
         match &out.termination {
@@ -197,8 +201,8 @@ fn explored_budget_truncates_exactly() {
 
 #[test]
 fn memory_budget_interrupts_with_closest_so_far() {
-    let cfg = AcquireConfig::default()
-        .with_budget(ExecutionBudget::unlimited().with_max_store_bytes(1));
+    let cfg =
+        AcquireConfig::default().with_budget(ExecutionBudget::unlimited().with_max_store_bytes(1));
     let out = run(&ge_query(800.0), &cfg);
     assert_eq!(
         out.termination.interrupt_reason(),
@@ -274,7 +278,9 @@ fn manual_prefix_closest(query: &AcqQuery, cfg: &AcquireConfig, k: u64) -> Optio
             .compute_aggregate(&mut eval, &space, &point, layer)
             .unwrap();
         explored += 1;
-        let Some(actual) = state.value() else { continue };
+        let Some(actual) = state.value() else {
+            continue;
+        };
         let error = err_fn.error(target, actual);
         if error <= cfg.delta {
             min_ref_layer = min_ref_layer.min(layer);
@@ -304,8 +310,8 @@ fn interrupted_closest_matches_manual_prefix() {
     let full = run(&query, &AcquireConfig::default());
     assert!(full.explored > 4);
     for k in sample_ks(full.explored) {
-        let cfg = AcquireConfig::default()
-            .with_budget(ExecutionBudget::unlimited().with_max_explored(k));
+        let cfg =
+            AcquireConfig::default().with_budget(ExecutionBudget::unlimited().with_max_explored(k));
         let out = run(&query, &cfg);
         let reference = manual_prefix_closest(&query, &cfg, k);
         let got = out.closest.as_ref().map(|c| (c.aggregate, c.error));
@@ -319,8 +325,8 @@ fn closest_error_improves_monotonically_with_budget() {
     let full = run(&query, &AcquireConfig::default());
     let mut last = f64::INFINITY;
     for k in sample_ks(full.explored) {
-        let cfg = AcquireConfig::default()
-            .with_budget(ExecutionBudget::unlimited().with_max_explored(k));
+        let cfg =
+            AcquireConfig::default().with_budget(ExecutionBudget::unlimited().with_max_explored(k));
         let out = run(&query, &cfg);
         let err = out.closest.as_ref().map_or(f64::INFINITY, |c| c.error);
         assert!(
@@ -348,8 +354,8 @@ fn cancellation_mid_run_equals_budget_truncation() {
         let mut eval = RecordingLayer::cancelling(inner, k, token.clone());
         let cancelled = acquire_with(&mut eval, &q, &cfg, &token).unwrap();
 
-        let budget_cfg = AcquireConfig::default()
-            .with_budget(ExecutionBudget::unlimited().with_max_explored(k));
+        let budget_cfg =
+            AcquireConfig::default().with_budget(ExecutionBudget::unlimited().with_max_explored(k));
         let budgeted = run(&query, &budget_cfg);
 
         assert_eq!(cancelled.explored, k);
@@ -441,7 +447,7 @@ fn best_effort_policy_always_returns_an_outcome() {
     let mut interrupted = 0;
     for seed in 0..32 {
         let mut schedule = FaultSchedule::mixed(seed, 0.2, 0.1);
-        schedule.skip_calls = 3; // let the search make some progress first
+        schedule.skip_layers = 2; // let the search make some progress first
         let out = run_faulted(schedule, FaultPolicy::BestEffort)
             .expect("best-effort absorbs all mid-search faults");
         match &out.termination {
@@ -470,7 +476,10 @@ fn injected_panic_becomes_eval_panicked() {
     match err {
         CoreError::EvalPanicked(msg) => {
             assert!(msg.contains("injected panic"), "{msg}");
-            assert!(msg.contains("seed 7"), "fault messages carry the seed: {msg}");
+            assert!(
+                msg.contains("seed 7"),
+                "fault messages carry the seed: {msg}"
+            );
         }
         other => panic!("expected EvalPanicked, got {other:?}"),
     }
@@ -479,8 +488,7 @@ fn injected_panic_becomes_eval_panicked() {
 #[test]
 fn fault_free_schedule_changes_nothing() {
     let baseline = run(&ge_query(900.0), &AcquireConfig::default());
-    let via_harness =
-        run_faulted(FaultSchedule::none(0), FaultPolicy::Propagate).unwrap();
+    let via_harness = run_faulted(FaultSchedule::none(0), FaultPolicy::Propagate).unwrap();
     assert_eq!(baseline.satisfied, via_harness.satisfied);
     assert_eq!(
         baseline.best().map(|r| (r.qscore, r.aggregate)),

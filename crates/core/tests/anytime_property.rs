@@ -44,10 +44,14 @@ fn ge_query(bound0: f64, bound1: f64, target: f64) -> AcqQuery {
             .with_domain(Interval::new(0.0, 100.0)),
         );
     }
-    b.constraint(AggConstraint::new(AggregateSpec::count(), CmpOp::Ge, target))
-        .error_fn(AggErrorFn::HingeRelative)
-        .build()
-        .unwrap()
+    b.constraint(AggConstraint::new(
+        AggregateSpec::count(),
+        CmpOp::Ge,
+        target,
+    ))
+    .error_fn(AggErrorFn::HingeRelative)
+    .build()
+    .unwrap()
 }
 
 fn run(catalog: &Catalog, query: &AcqQuery, cfg: &AcquireConfig) -> acquire_core::AcqOutcome {
@@ -91,7 +95,9 @@ fn manual_prefix_closest(
             .compute_aggregate(&mut eval, &space, &point, layer)
             .unwrap();
         explored += 1;
-        let Some(actual) = state.value() else { continue };
+        let Some(actual) = state.value() else {
+            continue;
+        };
         let error = err_fn.error(target, actual);
         if error <= cfg.delta {
             min_ref_layer = min_ref_layer.min(layer);

@@ -1,0 +1,524 @@
+//! Parallel Explore determinism: for every thread count, `acquire` must
+//! produce outcomes **bit-identical** to the serial driver — same answers,
+//! same closest-so-far, same stats, same termination — including under
+//! explored/memory budgets, deterministic fault injection, and mid-run
+//! cancellation.
+//!
+//! The comparison key serialises every observable field of [`AcqOutcome`]
+//! with floats rendered as raw bit patterns, so even a sign-of-zero or
+//! last-ulp divergence fails the tests. The only field deliberately
+//! excluded is the wall-clock `elapsed` inside
+//! [`Termination::Interrupted`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use acq_engine::{
+    AggState, Catalog, CellRange, DataType, EngineResult, ExecStats, Executor, Field, TableBuilder,
+    Value,
+};
+use acq_query::{
+    AcqQuery, AggConstraint, AggErrorFn, AggregateSpec, CmpOp, ColRef, Interval, Predicate,
+    RefineSide,
+};
+use acquire_core::govern::Termination;
+use acquire_core::{
+    acquire_with, AcqOutcome, AcquireConfig, CachedScoreEvaluator, CancellationToken, CellCost,
+    CoreError, EvaluationLayer, ExecutionBudget, FaultInjectingLayer, FaultPolicy, FaultSchedule,
+    GridIndexEvaluator, ParallelCells, Parallelism, RefinedQueryResult, RefinedSpace,
+};
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+/// 3000 rows: x = 0.0, 0.1, …, 299.9 and y = i mod 150 — wide enough that
+/// mid-search layers hold dozens of cells (the parallel path engages above
+/// a 4-cell batch).
+fn catalog() -> Catalog {
+    let mut b = TableBuilder::new(
+        "t",
+        vec![
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+        ],
+    )
+    .unwrap();
+    for i in 0..3000 {
+        b.push_row(vec![
+            Value::Float(f64::from(i) * 0.1),
+            Value::Float(f64::from(i % 150)),
+        ]);
+    }
+    let mut cat = Catalog::new();
+    cat.register(b.finish().unwrap()).unwrap();
+    cat
+}
+
+fn base_query(op: CmpOp, err: AggErrorFn, target: f64) -> AcqQuery {
+    AcqQuery::builder()
+        .table("t")
+        .predicate(Predicate::select(
+            ColRef::new("t", "x"),
+            Interval::new(0.0, 10.0),
+            RefineSide::Upper,
+        ))
+        .predicate(Predicate::select(
+            ColRef::new("t", "y"),
+            Interval::new(0.0, 30.0),
+            RefineSide::Upper,
+        ))
+        .constraint(AggConstraint::new(AggregateSpec::count(), op, target))
+        .error_fn(err)
+        .build()
+        .unwrap()
+}
+
+/// `COUNT(*) >= target` with hinge error: overshoot satisfies, so the
+/// repartitioning branch never runs.
+fn ge_query(target: f64) -> AcqQuery {
+    base_query(CmpOp::Ge, AggErrorFn::HingeRelative, target)
+}
+
+/// `COUNT(*) = target` with symmetric relative error: overshooting cells
+/// exercise the Algorithm 4 repartitioning branch.
+fn eq_query(target: f64) -> AcqQuery {
+    base_query(CmpOp::Eq, AggErrorFn::Relative, target)
+}
+
+// ---------------------------------------------------------------------------
+// Outcome fingerprinting (floats as raw bits)
+// ---------------------------------------------------------------------------
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+fn result_key(r: &RefinedQueryResult) -> String {
+    format!(
+        "point={:?} pscores={:?} qscore={} aggregate={} error={} sql={}",
+        r.point,
+        r.pscores.iter().copied().map(bits).collect::<Vec<_>>(),
+        bits(r.qscore),
+        bits(r.aggregate),
+        bits(r.error),
+        r.sql,
+    )
+}
+
+/// Every observable field of the outcome, minus wall-clock time.
+fn fingerprint(out: &AcqOutcome) -> String {
+    let termination = match &out.termination {
+        Termination::Interrupted {
+            reason, explored, ..
+        } => format!("Interrupted(reason={reason:?}, explored={explored})"),
+        t => format!("{t:?}"),
+    };
+    format!(
+        "satisfied={} explored={} layers={} peak_store={} original={} stats={:?} \
+         termination={termination} closest={:?} answers={:?}",
+        out.satisfied,
+        out.explored,
+        out.layers,
+        out.peak_store,
+        bits(out.original_aggregate),
+        out.stats,
+        out.closest.as_ref().map(result_key),
+        out.queries.iter().map(result_key).collect::<Vec<_>>(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Runners
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum Layer {
+    Cached,
+    Grid,
+}
+
+fn run_layer(
+    layer: Layer,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+    cancel: &CancellationToken,
+) -> Result<AcqOutcome, CoreError> {
+    let mut exec = Executor::new(catalog());
+    let mut query = query.clone();
+    exec.populate_domains(&mut query).unwrap();
+    let space = RefinedSpace::new(&query, cfg).unwrap();
+    let caps = space.caps();
+    match layer {
+        Layer::Cached => {
+            let mut eval = CachedScoreEvaluator::new(&mut exec, &query, &caps).unwrap();
+            acquire_with(&mut eval, &query, cfg, cancel)
+        }
+        Layer::Grid => {
+            let mut eval = GridIndexEvaluator::new(&mut exec, &query, &caps, space.step()).unwrap();
+            acquire_with(&mut eval, &query, cfg, cancel)
+        }
+    }
+}
+
+fn run(layer: Layer, query: &AcqQuery, cfg: &AcquireConfig) -> AcqOutcome {
+    run_layer(layer, query, cfg, &CancellationToken::new()).unwrap()
+}
+
+/// Thread counts under test: serial, every pool size 2–8, and `Auto`.
+fn parallel_settings() -> Vec<Parallelism> {
+    let mut settings: Vec<Parallelism> = (2..=8).map(Parallelism::Fixed).collect();
+    settings.push(Parallelism::Auto);
+    settings
+}
+
+// ---------------------------------------------------------------------------
+// Plain equivalence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_thread_count_matches_serial_bit_for_bit() {
+    for (query, delta) in [(ge_query(800.0), 0.05), (eq_query(801.0), 0.001)] {
+        for layer in [Layer::Cached, Layer::Grid] {
+            let serial_cfg = AcquireConfig::default().with_delta(delta);
+            let baseline = fingerprint(&run(layer, &query, &serial_cfg));
+            for par in parallel_settings() {
+                let cfg = serial_cfg.clone().with_parallelism(par);
+                let got = fingerprint(&run(layer, &query, &cfg));
+                assert_eq!(got, baseline, "{par:?} diverged from serial");
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_interrupts_are_identical_across_thread_counts() {
+    let query = ge_query(800.0);
+    let full = run(Layer::Grid, &query, &AcquireConfig::default());
+    assert!(full.explored > 8, "need a non-trivial search");
+
+    // Explored budgets, including ones that land mid-layer.
+    for k in [1, 2, 5, full.explored / 2] {
+        let serial_cfg =
+            AcquireConfig::default().with_budget(ExecutionBudget::unlimited().with_max_explored(k));
+        let baseline = fingerprint(&run(Layer::Grid, &query, &serial_cfg));
+        assert!(baseline.contains("ExploredBudget"), "budget {k} must trip");
+        for par in parallel_settings() {
+            let cfg = serial_cfg.clone().with_parallelism(par);
+            let got = fingerprint(&run(Layer::Grid, &query, &cfg));
+            assert_eq!(got, baseline, "budget {k}, {par:?}");
+        }
+    }
+
+    // A zero deadline interrupts before any work on every path (non-zero
+    // deadlines are wall-clock dependent, hence not deterministic).
+    let serial_cfg = AcquireConfig::default()
+        .with_budget(ExecutionBudget::unlimited().with_deadline(Duration::ZERO));
+    let baseline = fingerprint(&run(Layer::Grid, &query, &serial_cfg));
+    for par in parallel_settings() {
+        let cfg = serial_cfg.clone().with_parallelism(par);
+        assert_eq!(fingerprint(&run(Layer::Grid, &query, &cfg)), baseline);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+fn run_faulted(
+    schedule: &FaultSchedule,
+    policy: FaultPolicy,
+    cfg: &AcquireConfig,
+) -> Result<AcqOutcome, CoreError> {
+    let query = ge_query(800.0);
+    let mut exec = Executor::new(catalog());
+    let mut query = query.clone();
+    exec.populate_domains(&mut query).unwrap();
+    let cfg = cfg.clone().with_fault_policy(policy);
+    let space = RefinedSpace::new(&query, &cfg).unwrap();
+    let caps = space.caps();
+    let inner = CachedScoreEvaluator::new(&mut exec, &query, &caps).unwrap();
+    let mut eval = FaultInjectingLayer::new(inner, schedule.clone());
+    acquire_with(&mut eval, &query, &cfg, &CancellationToken::new())
+}
+
+#[test]
+fn injected_faults_strike_the_same_cell_on_every_thread_count() {
+    let mut faulted = 0;
+    for seed in 0..12 {
+        let schedule = FaultSchedule::mixed(seed, 0.15, 0.1);
+
+        // Best-effort: the fault is absorbed into the outcome, which must
+        // be identical everywhere (coordinate-keyed schedules fire on the
+        // same cell regardless of execution order).
+        let serial = run_faulted(
+            &schedule,
+            FaultPolicy::BestEffort,
+            &AcquireConfig::default(),
+        )
+        .expect("best-effort absorbs faults");
+        let baseline = fingerprint(&serial);
+        if serial.termination.interrupt_reason().is_some() {
+            faulted += 1;
+        }
+        for par in [Parallelism::Fixed(4), Parallelism::Fixed(7)] {
+            let cfg = AcquireConfig::default().with_parallelism(par);
+            let got = fingerprint(&run_faulted(&schedule, FaultPolicy::BestEffort, &cfg).unwrap());
+            assert_eq!(got, baseline, "seed {seed}, {par:?}");
+        }
+
+        // Propagate: success and failure must agree, and failures must be
+        // the same typed error.
+        let serial = run_faulted(&schedule, FaultPolicy::Propagate, &AcquireConfig::default());
+        let baseline = match &serial {
+            Ok(out) => format!("Ok({})", fingerprint(out)),
+            Err(e) => format!("Err({e:?})"),
+        };
+        for par in [Parallelism::Fixed(4), Parallelism::Fixed(7)] {
+            let cfg = AcquireConfig::default().with_parallelism(par);
+            let got = match run_faulted(&schedule, FaultPolicy::Propagate, &cfg) {
+                Ok(out) => format!("Ok({})", fingerprint(&out)),
+                Err(e) => format!("Err({e:?})"),
+            };
+            assert_eq!(got, baseline, "seed {seed}, {par:?}");
+        }
+    }
+    assert!(faulted > 0, "the schedules must actually fault");
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run cancellation
+// ---------------------------------------------------------------------------
+
+/// Cancels a token after the `k`-th *committed* cell: in serial mode cells
+/// commit inside [`EvaluationLayer::cell_aggregate`]; in parallel mode
+/// prefetched cells commit through
+/// [`EvaluationLayer::commit_cell_cost`]. Both sites observe the driver's
+/// emission order, so the cancellation lands at the same logical instant
+/// for every thread count. Speculative executions
+/// ([`ParallelCells::cell_aggregate_shared`]) deliberately do not count.
+struct CancelAfterCommits<E> {
+    inner: E,
+    commits: AtomicU64,
+    after: u64,
+    token: CancellationToken,
+}
+
+impl<E> CancelAfterCommits<E> {
+    fn new(inner: E, after: u64, token: CancellationToken) -> Self {
+        Self {
+            inner,
+            commits: AtomicU64::new(0),
+            after,
+            token,
+        }
+    }
+
+    fn bump(&self) {
+        if self.commits.fetch_add(1, Ordering::Relaxed) + 1 >= self.after {
+            self.token.cancel();
+        }
+    }
+}
+
+impl<E: EvaluationLayer + Sync> EvaluationLayer for CancelAfterCommits<E> {
+    fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState> {
+        let out = self.inner.cell_aggregate(cell);
+        self.bump();
+        out
+    }
+
+    fn full_aggregate(&mut self, bounds: &[f64]) -> EngineResult<AggState> {
+        self.inner.full_aggregate(bounds)
+    }
+
+    fn empty_state(&self) -> EngineResult<AggState> {
+        self.inner.empty_state()
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.inner.stats()
+    }
+
+    fn universe_size(&self) -> usize {
+        self.inner.universe_size()
+    }
+
+    fn parallel_cells(&self) -> Option<&dyn ParallelCells> {
+        self.inner
+            .parallel_cells()
+            .map(|_| self as &dyn ParallelCells)
+    }
+
+    fn commit_cell_cost(&mut self, cost: &CellCost) {
+        self.inner.commit_cell_cost(cost);
+        self.bump();
+    }
+}
+
+impl<E: EvaluationLayer + Sync> ParallelCells for CancelAfterCommits<E> {
+    fn cell_aggregate_shared(&self, cell: &[CellRange]) -> EngineResult<(AggState, CellCost)> {
+        self.inner
+            .parallel_cells()
+            .expect("handle exists whenever parallel_cells() returned Some")
+            .cell_aggregate_shared(cell)
+    }
+}
+
+fn run_cancelling(after: u64, cfg: &AcquireConfig) -> AcqOutcome {
+    let query = ge_query(800.0);
+    let mut exec = Executor::new(catalog());
+    let mut query = query.clone();
+    exec.populate_domains(&mut query).unwrap();
+    let space = RefinedSpace::new(&query, cfg).unwrap();
+    let caps = space.caps();
+    let token = CancellationToken::new();
+    let inner = CachedScoreEvaluator::new(&mut exec, &query, &caps).unwrap();
+    let mut eval = CancelAfterCommits::new(inner, after, token.clone());
+    acquire_with(&mut eval, &query, cfg, &token).unwrap()
+}
+
+#[test]
+fn mid_run_cancellation_is_deterministic_across_thread_counts() {
+    let full = run(Layer::Cached, &ge_query(800.0), &AcquireConfig::default());
+    assert!(full.explored > 10, "need a non-trivial search");
+
+    for k in [1, 3, full.explored / 2] {
+        let baseline = fingerprint(&run_cancelling(k, &AcquireConfig::default()));
+        assert!(
+            baseline.contains("Cancelled"),
+            "cancellation after {k} commits must interrupt: {baseline}"
+        );
+        assert!(baseline.contains(&format!("explored={k} ")), "{baseline}");
+        for par in parallel_settings() {
+            let cfg = AcquireConfig::default().with_parallelism(par);
+            let got = fingerprint(&run_cancelling(k, &cfg));
+            assert_eq!(got, baseline, "cancel after {k}, {par:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// At-most-once across threads
+// ---------------------------------------------------------------------------
+
+/// Counts every execution attempt per cell coordinate, on both the serial
+/// (`cell_aggregate`) and the shared (`cell_aggregate_shared`) paths.
+struct CountingLayer<E> {
+    inner: E,
+    counts: Mutex<HashMap<String, u64>>,
+    shared_calls: AtomicU64,
+}
+
+impl<E> CountingLayer<E> {
+    fn new(inner: E) -> Self {
+        Self {
+            inner,
+            counts: Mutex::new(HashMap::new()),
+            shared_calls: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, cell: &[CellRange]) {
+        *self
+            .counts
+            .lock()
+            .unwrap()
+            .entry(format!("{cell:?}"))
+            .or_insert(0) += 1;
+    }
+}
+
+impl<E: EvaluationLayer + Sync> EvaluationLayer for CountingLayer<E> {
+    fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState> {
+        self.record(cell);
+        self.inner.cell_aggregate(cell)
+    }
+
+    fn full_aggregate(&mut self, bounds: &[f64]) -> EngineResult<AggState> {
+        self.inner.full_aggregate(bounds)
+    }
+
+    fn empty_state(&self) -> EngineResult<AggState> {
+        self.inner.empty_state()
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.inner.stats()
+    }
+
+    fn universe_size(&self) -> usize {
+        self.inner.universe_size()
+    }
+
+    fn parallel_cells(&self) -> Option<&dyn ParallelCells> {
+        self.inner
+            .parallel_cells()
+            .map(|_| self as &dyn ParallelCells)
+    }
+
+    fn commit_cell_cost(&mut self, cost: &CellCost) {
+        self.inner.commit_cell_cost(cost);
+    }
+}
+
+impl<E: EvaluationLayer + Sync> ParallelCells for CountingLayer<E> {
+    fn cell_aggregate_shared(&self, cell: &[CellRange]) -> EngineResult<(AggState, CellCost)> {
+        self.record(cell);
+        self.shared_calls.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .parallel_cells()
+            .expect("handle exists whenever parallel_cells() returned Some")
+            .cell_aggregate_shared(cell)
+    }
+}
+
+#[test]
+fn no_cell_is_ever_executed_twice_under_parallelism() {
+    // Faults, a mid-search budget, and 4 workers all at once: the
+    // speculative pool must still never re-execute a coordinate serially
+    // or vice versa.
+    let scenarios: Vec<(FaultSchedule, Option<u64>)> = vec![
+        (FaultSchedule::none(1), None),
+        (FaultSchedule::none(1), Some(7)),
+        (FaultSchedule::mixed(3, 0.1, 0.05), None),
+        (FaultSchedule::mixed(5, 0.1, 0.05), Some(11)),
+    ];
+    for (schedule, budget) in scenarios {
+        let seed = schedule.seed;
+        let faulty = schedule.error_rate > 0.0 || schedule.panic_rate > 0.0;
+        let query = ge_query(800.0);
+        let mut exec = Executor::new(catalog());
+        let mut query = query.clone();
+        exec.populate_domains(&mut query).unwrap();
+        let mut cfg = AcquireConfig::default()
+            .with_parallelism(Parallelism::Fixed(4))
+            .with_fault_policy(FaultPolicy::BestEffort);
+        if let Some(k) = budget {
+            cfg = cfg.with_budget(ExecutionBudget::unlimited().with_max_explored(k));
+        }
+        let space = RefinedSpace::new(&query, &cfg).unwrap();
+        let caps = space.caps();
+        let inner = CachedScoreEvaluator::new(&mut exec, &query, &caps).unwrap();
+        let eval = CountingLayer::new(FaultInjectingLayer::new(inner, schedule));
+        let mut eval = eval;
+        let out = acquire_with(&mut eval, &query, &cfg, &CancellationToken::new()).unwrap();
+        assert!(out.explored > 0 || out.termination.interrupt_reason().is_some());
+        if budget.is_none() && !faulty {
+            // Tight budgets clamp batches below the parallel threshold, and
+            // best-effort faults can end the run in the narrow early
+            // layers; in the plain scenario the pool must really engage.
+            assert!(
+                eval.shared_calls.load(Ordering::Relaxed) > 0,
+                "seed {seed}: the speculative pool must actually engage"
+            );
+        }
+        let counts = eval.counts.lock().unwrap();
+        assert!(!counts.is_empty(), "the search must attempt some cells");
+        for (cell, n) in counts.iter() {
+            assert_eq!(*n, 1, "cell {cell} attempted {n} times (seed {seed})");
+        }
+    }
+}

@@ -496,6 +496,34 @@ impl Executor {
         Ok(state)
     }
 
+    /// Shared-state variant of [`Executor::cell_aggregate`] for concurrent
+    /// cell evaluation: takes `&self`, touches no work counters, and returns
+    /// the number of tuples scanned so the caller can account the work later
+    /// in a deterministic (commit) order. The scan itself is identical to
+    /// [`Executor::cell_aggregate`], so the returned state is bit-identical.
+    pub fn cell_aggregate_shared(
+        &self,
+        rq: &ResolvedQuery,
+        rel: &Relation,
+        cell: &[CellRange],
+    ) -> EngineResult<(AggState, u64)> {
+        assert_eq!(cell.len(), rq.dims(), "one range per flexible predicate");
+        let bound = rq.bind(rel)?;
+        let mut state = AggState::empty(&rq.query.constraint.spec, &self.uda)?;
+        let mut scores = vec![0.0; rq.dims()];
+        let mut scanned = 0u64;
+        for row in 0..rel.len() {
+            scanned += 1;
+            if !bound.score_into(rel, row, &mut scores) {
+                continue;
+            }
+            if scores.iter().zip(cell).all(|(s, r)| r.contains(*s)) {
+                state.update(bound.agg_value(rel, row));
+            }
+        }
+        Ok((state, scanned))
+    }
+
     /// Executes a **full refined query**: aggregates the tuples admitted
     /// when each flexible predicate `k` is refined by `bounds[k]` percent.
     /// This is what the baseline techniques do for every candidate query.
@@ -540,6 +568,18 @@ fn rel_pos(rel: &Relation, name: &str) -> EngineResult<usize> {
         .position(|t| t.name() == name)
         .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
 }
+
+// The parallel Explore phase shares the executor, its base relation and the
+// resolved query across worker threads; keep these types `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Executor>();
+    assert_send_sync::<Relation>();
+    assert_send_sync::<ResolvedQuery>();
+    assert_send_sync::<AggState>();
+    assert_send_sync::<CellRange>();
+    assert_send_sync::<EngineError>();
+};
 
 #[cfg(test)]
 mod tests {

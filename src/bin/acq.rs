@@ -83,7 +83,9 @@ options:
   --norm NORM         l1 | l2 | linf (default l1)
   --top N             number of refined queries to print (default 5)
   --json              print the outcome as JSON instead of text
-  --threads N         scoring worker threads (default 1)
+  --threads N         worker threads for scoring and the parallel Explore
+                      phase (default 1; results are bit-identical for any
+                      value)
   --explain           print the base-relation materialisation plan
   --stats             print evaluation-layer work counters
   --timeout SECS      wall-clock deadline for the search (fractional ok);
@@ -173,7 +175,9 @@ fn parse_args() -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--timeout: {e}"))?;
                 if !secs.is_finite() || secs < 0.0 {
-                    return Err(format!("--timeout: expected non-negative seconds, got {secs}"));
+                    return Err(format!(
+                        "--timeout: expected non-negative seconds, got {secs}"
+                    ));
                 }
                 opts.timeout = Some(secs);
             }
@@ -366,7 +370,10 @@ fn print_outcome(outcome: &AcqOutcome, opts: &Opts, original: &acquire::query::A
     if outcome.original_aggregate.is_finite() {
         println!("original aggregate: {}", outcome.original_aggregate);
     }
-    if let Termination::Interrupted { reason, elapsed, .. } = &outcome.termination {
+    if let Termination::Interrupted {
+        reason, elapsed, ..
+    } = &outcome.termination
+    {
         println!(
             "search interrupted after {:.3}s ({reason}); results below are the best found so far",
             elapsed.as_secs_f64()
@@ -420,7 +427,6 @@ fn run() -> Result<(), String> {
         gamma: opts.gamma,
         delta: opts.delta,
         norm: opts.norm.clone(),
-        threads: opts.threads.max(1),
         budget,
         fault_policy: if opts.best_effort {
             FaultPolicy::BestEffort
@@ -428,7 +434,8 @@ fn run() -> Result<(), String> {
             FaultPolicy::Propagate
         },
         ..Default::default()
-    };
+    }
+    .with_threads(opts.threads);
     let mut exec = Executor::new(catalog);
     let outcome = match query.constraint.op {
         CmpOp::Le | CmpOp::Lt => {
