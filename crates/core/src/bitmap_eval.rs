@@ -148,6 +148,10 @@ impl EvaluationLayer for BitmapIndexEvaluator<'_> {
         s
     }
 
+    fn kind_name(&self) -> &'static str {
+        "bitmap-index"
+    }
+
     fn universe_size(&self) -> usize {
         self.rel.len()
     }

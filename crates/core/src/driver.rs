@@ -24,7 +24,10 @@
 //! batch), this is observably identical — bit for bit, including stats and
 //! termination — to the serial loop for any thread count.
 
+use std::time::Instant;
+
 use acq_engine::{EngineResult, Executor};
+use acq_obs::Obs;
 use acq_query::AcqQuery;
 
 use crate::config::AcquireConfig;
@@ -92,6 +95,29 @@ pub fn acquire_with<E: EvaluationLayer>(
     cfg: &AcquireConfig,
     cancel: &CancellationToken,
 ) -> Result<AcqOutcome, CoreError> {
+    acquire_observed(eval, query, cfg, cancel, &Obs::disabled())
+}
+
+/// Runs ACQUIRE with an externally owned [`CancellationToken`] and an
+/// [`Obs`] observability handle.
+///
+/// With a disabled handle (the default everywhere) this *is*
+/// [`acquire_with`]: every instrument call short-circuits on a null check.
+/// With an enabled handle the driver records phase spans (expand layer N,
+/// speculative pool, repartition), per-layer gauges (frontier batch size,
+/// store occupancy, budget headroom), per-cell execution latency, and the
+/// event counters of [`acq_obs::Metrics`]. All deterministic instruments
+/// are committed from this serial loop — in emission order, exactly where
+/// `explored` advances — so snapshot counters are reproducible for any
+/// thread count (see DESIGN.md). The outcome itself is bit-identical with
+/// observability on or off.
+pub fn acquire_observed<E: EvaluationLayer>(
+    eval: &mut E,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+    cancel: &CancellationToken,
+    obs: &Obs,
+) -> Result<AcqOutcome, CoreError> {
     cfg.validate()?;
     query.validate_with_norm(&cfg.norm)?;
     let space = RefinedSpace::new(query, cfg)?;
@@ -103,7 +129,7 @@ pub fn acquire_with<E: EvaluationLayer>(
         Box::new(BfsExpander::new(&space))
     };
     let mut explorer = Explorer::new();
-    let governor = Governor::new(cfg.budget.clone(), cancel.clone());
+    let governor = Governor::with_obs(cfg.budget.clone(), cancel.clone(), obs.clone());
 
     let target = query.constraint.target;
     let err_fn = query.error_fn;
@@ -145,6 +171,31 @@ pub fn acquire_with<E: EvaluationLayer>(
     // current one.
     let mut pending: Option<GridPoint> = None;
 
+    // Observability plumbing: bind the registry once so the hot loop pays a
+    // single null check per instrument, and precompute the effective
+    // explored cap feeding the budget-headroom gauge.
+    let metrics = obs.metrics();
+    let explored_limit = cfg
+        .max_explored
+        .min(cfg.budget.max_explored.unwrap_or(u64::MAX));
+    // Last layer traced as an expand event: serial mode produces one
+    // single-query batch per grid point, which would flood the trace with
+    // identical lines; multi-cell batches always trace.
+    let mut traced_layer = u64::MAX;
+    if obs.is_enabled() {
+        obs.set_meta("evaluator", eval.kind_name());
+        obs.set_meta("workers", &workers.to_string());
+        obs.set_meta("dims", &space.dims().to_string());
+        obs.trace(0, || {
+            format!(
+                "acquire: target {} ({} workers, {} dims)",
+                query.constraint.target,
+                workers,
+                space.dims()
+            )
+        });
+    }
+
     // -- assemble one same-layer batch per iteration (size 1 when serial) --
     'search: while let Some(first) = pending.take().or_else(|| expander.next_query()) {
         let layer = expander.layer_of(&first);
@@ -171,12 +222,38 @@ pub fn acquire_with<E: EvaluationLayer>(
             }
         }
 
+        if let Some(m) = metrics {
+            m.current_layer.set(layer);
+            m.frontier_batch.set(batch.len() as u64);
+            m.batch_cells.observe(batch.len() as u64);
+        }
+        if layer != traced_layer || batch.len() > 1 {
+            traced_layer = layer;
+            obs.trace(0, || {
+                format!(
+                    "expand layer {layer}: batch of {} grid queries",
+                    batch.len()
+                )
+            });
+        }
+
         // -- speculative phase: execute the batch's cells on the pool -----
         let mut prefetched: Option<Vec<Option<CellOutcome>>> =
             if workers > 1 && batch.len() >= MIN_PARALLEL_BATCH {
                 eval.parallel_cells().map(|par| {
                     let cells: Vec<_> = batch.iter().map(|p| space.cell(p)).collect();
-                    pool::execute_batch(par, &cells, workers, &governor)
+                    let t0 = obs.is_tracing().then(Instant::now);
+                    let out = pool::execute_batch(par, &cells, workers, &governor, obs);
+                    if let Some(t0) = t0 {
+                        obs.trace_span(1, t0.elapsed(), || {
+                            format!(
+                                "explore: speculative pool ({workers} workers, {}/{} cells)",
+                                out.iter().filter(|s| s.is_some()).count(),
+                                out.len()
+                            )
+                        });
+                    }
+                    out
                 })
             } else {
                 None
@@ -202,21 +279,31 @@ pub fn acquire_with<E: EvaluationLayer>(
                 }
                 current_layer = layer;
             }
-            let computed = match prefetched.as_mut().and_then(|slots| slots[i].take()) {
-                Some(CellOutcome::Done(cell_state, cost)) => {
+            let (computed, cell_ns) = match prefetched.as_mut().and_then(|slots| slots[i].take()) {
+                Some(CellOutcome::Done(cell_state, cost, nanos)) => {
                     // Deferred accounting, applied in commit order so stats
                     // are bit-identical to a serial run.
                     eval.commit_cell_cost(&cost);
-                    isolated(|| explorer.merge_cell(cell_state, &space, point, layer))
+                    (
+                        isolated(|| explorer.merge_cell(cell_state, &space, point, layer)),
+                        nanos,
+                    )
                 }
-                Some(CellOutcome::Failed(e)) => Err(CoreError::from(e)),
-                Some(CellOutcome::Panicked(msg)) => Err(CoreError::EvalPanicked(msg)),
+                Some(CellOutcome::Failed(e)) => (Err(CoreError::from(e)), 0),
+                Some(CellOutcome::Panicked(msg)) => (Err(CoreError::EvalPanicked(msg)), 0),
                 // Serial mode, or a slot the pool abandoned on abort — the
                 // governor check above fires first in that case, so this
                 // arm then only documents safety: the cell was never
                 // executed, and executing it here keeps at-most-once
                 // intact.
-                None => isolated(|| explorer.compute_aggregate(eval, &space, point, layer)),
+                None => {
+                    let t0 = metrics.map(|_| Instant::now());
+                    let r = isolated(|| explorer.compute_aggregate(eval, &space, point, layer));
+                    let nanos = t0
+                        .map(|t| t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+                        .unwrap_or(0);
+                    (r, nanos)
+                }
             };
             let state = match computed {
                 Ok(state) => state,
@@ -226,6 +313,21 @@ pub fn acquire_with<E: EvaluationLayer>(
                 }
             };
             explored += 1;
+            if let Some(m) = metrics {
+                // Deterministic instruments commit here, in emission order,
+                // right where `explored` advances: the cell-execution count
+                // and latency-histogram total track `explored` exactly.
+                m.cells_executed.inc();
+                m.cell_latency_ns.observe(cell_ns);
+                let store = explorer.store();
+                m.store_len.set(store.len() as u64);
+                m.store_peak.set(store.peak_len() as u64);
+                m.store_bytes.set(store.approx_bytes() as u64);
+                if explored_limit != u64::MAX {
+                    m.budget_headroom
+                        .set(explored_limit.saturating_sub(explored));
+                }
+            }
 
             let value = state.value();
             if point.iter().all(|&u| u == 0) {
@@ -250,6 +352,12 @@ pub fn acquire_with<E: EvaluationLayer>(
             if error <= cfg.delta {
                 answers.push(make(point.clone(), actual, error));
                 min_ref_layer = min_ref_layer.min(layer);
+                if let Some(m) = metrics {
+                    m.answers_found.inc();
+                }
+                obs.trace(1, || {
+                    format!("answer: aggregate {actual} (error {error:.4}, layer {layer})")
+                });
             } else if expanding && actual > target && answers.is_empty() {
                 // The constraint's crossing point lies inside this cell:
                 // repartition (Algorithm 4 / §6). Once a grid answer
@@ -257,6 +365,14 @@ pub fn acquire_with<E: EvaluationLayer>(
                 // answer layer, so repartitioning stops (it would
                 // re-execute full queries for every overshooting point of
                 // the closing layer).
+                if let Some(m) = metrics {
+                    m.repartitions.inc();
+                }
+                obs.trace(1, || {
+                    format!(
+                        "repartition: layer-{layer} cell overshoots target ({actual} > {target})"
+                    )
+                });
                 let hit = match isolated(|| {
                     repartition(eval, &space, point, target, err_fn, cfg.repartition_depth)
                 }) {
@@ -277,8 +393,15 @@ pub fn acquire_with<E: EvaluationLayer>(
                         hit.error,
                     );
                     if hit.error <= cfg.delta {
+                        let (aggregate, err) = (r.aggregate, r.error);
                         answers.push(r);
                         min_ref_layer = min_ref_layer.min(layer);
+                        if let Some(m) = metrics {
+                            m.answers_found.inc();
+                        }
+                        obs.trace(2, || {
+                            format!("answer: repartitioned aggregate {aggregate} (error {err:.4})")
+                        });
                     } else if closest.as_ref().is_none_or(|c| r.error < c.2) {
                         closest = Some((r.pscores, r.aggregate, r.error));
                     }
@@ -301,6 +424,14 @@ pub fn acquire_with<E: EvaluationLayer>(
         None if satisfied => Termination::Satisfied,
         None => Termination::Exhausted,
     };
+    let stats = eval.stats();
+    if obs.is_enabled() {
+        obs.record_exec_stats(&stats.fields());
+        let (termination, n_answers) = (&termination, answers.len());
+        obs.trace(0, || {
+            format!("done: {termination} — explored {explored}, {n_answers} answer(s)")
+        });
+    }
     Ok(AcqOutcome {
         satisfied,
         closest,
@@ -308,7 +439,7 @@ pub fn acquire_with<E: EvaluationLayer>(
         explored,
         layers: current_layer,
         peak_store: explorer.store().peak_len(),
-        stats: eval.stats(),
+        stats,
         termination,
         queries: answers,
     })
@@ -357,23 +488,37 @@ pub fn run_acquire(
     cfg: &AcquireConfig,
     kind: EvalLayerKind,
 ) -> Result<AcqOutcome, CoreError> {
+    run_acquire_observed(exec, query, cfg, kind, &Obs::disabled())
+}
+
+/// [`run_acquire`] with an [`Obs`] observability handle: builds the
+/// requested evaluation layer and runs [`acquire_observed`] with a token
+/// nobody can cancel.
+pub fn run_acquire_observed(
+    exec: &mut Executor,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+    kind: EvalLayerKind,
+    obs: &Obs,
+) -> Result<AcqOutcome, CoreError> {
     let mut query = query.clone();
     exec.populate_domains(&mut query)?;
     let space = RefinedSpace::new(&query, cfg)?;
     let caps = space.caps();
+    let cancel = CancellationToken::new();
     match kind {
         EvalLayerKind::Scan => {
             let mut eval = ScanEvaluator::new(exec, &query, &caps)?;
-            acquire(&mut eval, &query, cfg)
+            acquire_observed(&mut eval, &query, cfg, &cancel, obs)
         }
         EvalLayerKind::CachedScore => {
             let mut eval = CachedScoreEvaluator::with_threads(exec, &query, &caps, cfg.threads)?;
-            acquire(&mut eval, &query, cfg)
+            acquire_observed(&mut eval, &query, cfg, &cancel, obs)
         }
         EvalLayerKind::GridIndex => {
             let mut eval =
                 GridIndexEvaluator::with_threads(exec, &query, &caps, space.step(), cfg.threads)?;
-            acquire(&mut eval, &query, cfg)
+            acquire_observed(&mut eval, &query, cfg, &cancel, obs)
         }
     }
 }

@@ -158,6 +158,10 @@ impl EvaluationLayer for HistogramEstimator {
     fn universe_size(&self) -> usize {
         self.universe as usize
     }
+
+    fn kind_name(&self) -> &'static str {
+        "histogram-estimate"
+    }
 }
 
 #[cfg(test)]

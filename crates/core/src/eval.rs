@@ -93,6 +93,11 @@ pub trait EvaluationLayer {
     fn commit_cell_cost(&mut self, cost: &CellCost) {
         let _ = cost;
     }
+    /// A short stable identifier for this layer, recorded as run metadata
+    /// by observability.
+    fn kind_name(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// Selects which evaluation layer [`crate::run_acquire`] constructs.
@@ -147,6 +152,10 @@ impl EvaluationLayer for ScanEvaluator<'_> {
 
     fn universe_size(&self) -> usize {
         self.rel.len()
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "scan"
     }
 
     fn parallel_cells(&self) -> Option<&dyn ParallelCells> {
@@ -352,6 +361,10 @@ impl EvaluationLayer for CachedScoreEvaluator<'_> {
     fn commit_cell_cost(&mut self, cost: &CellCost) {
         cost.apply(self.exec.stats_mut());
     }
+
+    fn kind_name(&self) -> &'static str {
+        "cached-score"
+    }
 }
 
 impl ParallelCells for CachedScoreEvaluator<'_> {
@@ -527,6 +540,10 @@ impl EvaluationLayer for GridIndexEvaluator<'_> {
 
     fn commit_cell_cost(&mut self, cost: &CellCost) {
         cost.apply(self.exec.stats_mut());
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "grid-index"
     }
 }
 

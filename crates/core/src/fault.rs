@@ -213,15 +213,25 @@ pub struct FaultInjectingLayer<E> {
     inner: E,
     schedule: FaultSchedule,
     calls: AtomicU64,
+    obs: acq_obs::Obs,
 }
 
 impl<E> FaultInjectingLayer<E> {
     /// Wraps `inner` under `schedule`.
     pub fn new(inner: E, schedule: FaultSchedule) -> Self {
+        Self::with_observability(inner, schedule, acq_obs::Obs::disabled())
+    }
+
+    /// Wraps `inner` under `schedule`, counting every injected fault on
+    /// `obs` (`faults_injected`). Under parallel execution workers may fire
+    /// faults for cells the driver never commits, so the counter reflects
+    /// attempted injections, not committed ones.
+    pub fn with_observability(inner: E, schedule: FaultSchedule, obs: acq_obs::Obs) -> Self {
         Self {
             inner,
             schedule,
             calls: AtomicU64::new(0),
+            obs,
         }
     }
 
@@ -253,6 +263,13 @@ impl<E> FaultInjectingLayer<E> {
         target: &dyn std::fmt::Debug,
     ) -> EngineResult<()> {
         self.calls.fetch_add(1, Ordering::Relaxed);
+        if fault != InjectedFault::None {
+            if let Some(m) = self.obs.metrics() {
+                m.faults_injected.inc();
+            }
+            self.obs
+                .trace(2, || format!("fault injected: {fault:?} in {what}"));
+        }
         match fault {
             InjectedFault::None => Ok(()),
             InjectedFault::Error => Err(EngineError::Fault(format!(
@@ -296,6 +313,10 @@ impl<E: EvaluationLayer + Sync> EvaluationLayer for FaultInjectingLayer<E> {
 
     fn universe_size(&self) -> usize {
         self.inner.universe_size()
+    }
+
+    fn kind_name(&self) -> &'static str {
+        self.inner.kind_name()
     }
 
     fn parallel_cells(&self) -> Option<&dyn ParallelCells> {

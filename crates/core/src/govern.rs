@@ -24,6 +24,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use acq_obs::Obs;
+
 /// Resource limits for one ACQUIRE search. The default is unlimited.
 ///
 /// Limits compose: the first one hit interrupts the search, and the
@@ -214,16 +216,25 @@ pub struct Governor {
     start: Instant,
     budget: ExecutionBudget,
     token: CancellationToken,
+    obs: Obs,
 }
 
 impl Governor {
     /// Starts the clock on a new search.
     #[must_use]
     pub fn new(budget: ExecutionBudget, token: CancellationToken) -> Self {
+        Self::with_obs(budget, token, Obs::disabled())
+    }
+
+    /// Starts the clock on a new search, recording interrupt events on
+    /// `obs`.
+    #[must_use]
+    pub fn with_obs(budget: ExecutionBudget, token: CancellationToken, obs: Obs) -> Self {
         Self {
             start: Instant::now(),
             budget,
             token,
+            obs,
         }
     }
 
@@ -277,9 +288,15 @@ impl Governor {
         matches!(self.budget.deadline, Some(d) if self.start.elapsed() >= d)
     }
 
-    /// The termination status for an interrupt detected now.
+    /// The termination status for an interrupt detected now; records the
+    /// interrupt as an event on the governor's [`Obs`] handle.
     #[must_use]
     pub fn interrupted(&self, reason: InterruptReason, explored: u64) -> Termination {
+        if let Some(m) = self.obs.metrics() {
+            m.interrupts.inc();
+        }
+        self.obs
+            .trace(1, || format!("interrupt: {reason} (explored {explored})"));
         Termination::Interrupted {
             reason,
             explored,

@@ -37,7 +37,15 @@
 //!   worker pool evaluates all cell sub-queries of the current Expand layer
 //!   concurrently ([`ParallelCells`]), while the Eq. 17 merges, answer
 //!   collection and accounting stay in serial emission order, so outcomes
-//!   are bit-identical to a serial run for every thread count.
+//!   are bit-identical to a serial run for every thread count;
+//! * **observability** — [`acquire_observed`] / [`run_acquire_observed`]
+//!   thread an [`Obs`] handle (re-exported from `acq-obs`) through the
+//!   pipeline: phase spans, per-layer gauges, cell-latency histograms,
+//!   worker utilisation, and an at-most-once violation counter, with JSON
+//!   and Prometheus snapshot sinks. Deterministic instruments commit in
+//!   serial emission order, so snapshots are reproducible for any thread
+//!   count, and a disabled handle (the default) costs one null check per
+//!   instrument.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -61,10 +69,11 @@ mod session;
 mod space;
 mod store;
 
+pub use acq_obs::{MetricsSnapshot, Obs};
 pub use bitmap_eval::BitmapIndexEvaluator;
 pub use config::{AcquireConfig, Parallelism};
 pub use contraction::{contract, contract_with, contraction_query, run_contraction};
-pub use driver::{acquire, acquire_with, run_acquire};
+pub use driver::{acquire, acquire_observed, acquire_with, run_acquire, run_acquire_observed};
 pub use error::CoreError;
 pub use estimate::HistogramEstimator;
 pub use eval::{

@@ -22,8 +22,10 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use acq_engine::{AggState, CellRange, EngineError};
+use acq_obs::Obs;
 
 use crate::driver::panic_message;
 use crate::eval::{CellCost, ParallelCells};
@@ -32,8 +34,9 @@ use crate::govern::Governor;
 /// What one speculative cell execution produced.
 #[derive(Debug)]
 pub(crate) enum CellOutcome {
-    /// The cell executed: its aggregate state plus deferred accounting.
-    Done(AggState, CellCost),
+    /// The cell executed: its aggregate state plus deferred accounting and
+    /// its execution latency in nanoseconds (0 when observability is off).
+    Done(AggState, CellCost, u64),
     /// The backend returned an error for this cell.
     Failed(EngineError),
     /// The backend panicked evaluating this cell (payload text).
@@ -54,6 +57,7 @@ pub(crate) fn execute_batch(
     cells: &[Vec<CellRange>],
     workers: usize,
     governor: &Governor,
+    obs: &Obs,
 ) -> Vec<Option<CellOutcome>> {
     let n = cells.len();
     let workers = workers.clamp(1, n.max(1));
@@ -65,6 +69,7 @@ pub(crate) fn execute_batch(
     let ends: Vec<usize> = (0..workers).map(|w| ((w + 1) * chunk).min(n)).collect();
     let slots: Vec<OnceLock<CellOutcome>> = (0..n).map(|_| OnceLock::new()).collect();
 
+    let metrics = obs.metrics();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let (cursors, ends, slots) = (&cursors, &ends, &slots);
@@ -80,14 +85,30 @@ pub(crate) fn execute_batch(
                         if i >= ends[victim] {
                             break;
                         }
+                        let t0 = metrics.map(|_| Instant::now());
                         let outcome = match catch_unwind(AssertUnwindSafe(|| {
                             par.cell_aggregate_shared(&cells[i])
                         })) {
-                            Ok(Ok((state, cost))) => CellOutcome::Done(state, cost),
+                            Ok(Ok((state, cost))) => {
+                                let nanos =
+                                    t0.map(|t| t.elapsed().as_nanos().min(u128::from(u64::MAX)))
+                                        .unwrap_or(0) as u64;
+                                CellOutcome::Done(state, cost, nanos)
+                            }
                             Ok(Err(e)) => CellOutcome::Failed(e),
                             Err(payload) => CellOutcome::Panicked(panic_message(payload)),
                         };
-                        let _ = slots[i].set(outcome);
+                        if let Some(m) = metrics {
+                            m.record_worker_cell(w, v != 0);
+                        }
+                        if slots[i].set(outcome).is_err() {
+                            // Two claims of one index would be a broken §5
+                            // at-most-once invariant; the counter makes it
+                            // observable instead of silent.
+                            if let Some(m) = metrics {
+                                m.at_most_once_violations.inc();
+                            }
+                        }
                     }
                 }
             });
@@ -177,11 +198,11 @@ mod tests {
     fn every_cell_executes_exactly_once_for_any_worker_count() {
         for workers in [1, 2, 3, 4, 8, 17] {
             let probe = Probe::new(100);
-            let out = execute_batch(&probe, &cells(100), workers, &governor());
+            let out = execute_batch(&probe, &cells(100), workers, &governor(), &Obs::disabled());
             assert_eq!(out.len(), 100);
             for (i, slot) in out.iter().enumerate() {
                 match slot {
-                    Some(CellOutcome::Done(state, cost)) => {
+                    Some(CellOutcome::Done(state, cost, _)) => {
                         assert_eq!(state.value(), Some(i as f64), "slot {i}");
                         assert_eq!(cost.tuples_scanned, i as u64);
                     }
@@ -201,7 +222,7 @@ mod tests {
         let mut probe = Probe::new(20);
         probe.fail_at = Some(7);
         probe.panic_at = Some(13);
-        let out = execute_batch(&probe, &cells(20), 4, &governor());
+        let out = execute_batch(&probe, &cells(20), 4, &governor(), &Obs::disabled());
         for (i, slot) in out.iter().enumerate() {
             match (i, slot) {
                 (7, Some(CellOutcome::Failed(e))) => {
@@ -225,7 +246,7 @@ mod tests {
         token.cancel();
         let governor = Governor::new(ExecutionBudget::unlimited(), token);
         let probe = Probe::new(50);
-        let out = execute_batch(&probe, &cells(50), 4, &governor);
+        let out = execute_batch(&probe, &cells(50), 4, &governor, &Obs::disabled());
         assert!(out.iter().all(Option::is_none), "no slot filled");
         let total: u64 = probe
             .executions
@@ -233,5 +254,18 @@ mod tests {
             .map(|c| c.load(Ordering::Relaxed))
             .sum();
         assert_eq!(total, 0, "abandoned cells were never executed");
+    }
+
+    #[test]
+    fn observability_accounts_every_speculative_execution() {
+        let obs = Obs::enabled();
+        let probe = Probe::new(60);
+        let out = execute_batch(&probe, &cells(60), 4, &governor(), &obs);
+        assert_eq!(out.iter().filter(|s| s.is_some()).count(), 60);
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("cells_speculative"), Some(60));
+        assert_eq!(snap.counter("at_most_once_violations"), Some(0));
+        let per_worker: u64 = snap.workers.iter().map(|&(_, c, _)| c).sum();
+        assert_eq!(per_worker, 60, "worker tallies cover the batch");
     }
 }

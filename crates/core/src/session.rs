@@ -40,10 +40,11 @@
 //! ```
 
 use acq_engine::Executor;
+use acq_obs::Obs;
 use acq_query::AcqQuery;
 
 use crate::config::AcquireConfig;
-use crate::driver::acquire_with;
+use crate::driver::acquire_observed;
 use crate::error::CoreError;
 use crate::eval::GridIndexEvaluator;
 use crate::govern::{CancellationToken, ExecutionBudget};
@@ -66,6 +67,7 @@ pub struct Session<'e> {
     query: AcqQuery,
     cfg: AcquireConfig,
     cancel: CancellationToken,
+    obs: Obs,
 }
 
 impl<'e> Session<'e> {
@@ -88,6 +90,7 @@ impl<'e> Session<'e> {
             query,
             cfg: cfg.clone(),
             cancel: CancellationToken::new(),
+            obs: Obs::disabled(),
         })
     }
 
@@ -117,10 +120,30 @@ impl<'e> Session<'e> {
         self.cfg.budget = budget;
     }
 
+    /// Attaches an observability handle to subsequent runs. Instruments
+    /// accumulate *across* runs of this session (counters are never reset);
+    /// pass a fresh handle per run for per-run snapshots, or
+    /// [`Obs::disabled`] to switch observability off again.
+    pub fn set_observability(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The observability handle attached to this session.
+    #[must_use]
+    pub fn observability(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Runs the search for a new aggregate target over the prepared layer.
     pub fn run(&mut self, target: f64) -> Result<AcqOutcome, CoreError> {
         self.query.constraint.target = target;
-        acquire_with(&mut self.eval, &self.query, &self.cfg, &self.cancel)
+        acquire_observed(
+            &mut self.eval,
+            &self.query,
+            &self.cfg,
+            &self.cancel,
+            &self.obs,
+        )
     }
 
     /// Runs with a different error threshold `δ` for this run only (the

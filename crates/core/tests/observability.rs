@@ -1,0 +1,245 @@
+//! The observability layer must be a pure observer: enabling it may not
+//! change a single bit of any outcome, a disabled handle must be close to
+//! free, and the artifacts it emits (trace, JSON snapshot, Prometheus
+//! exposition) must be well-formed — the snapshot is validated against the
+//! same committed schema CI uses (`schemas/metrics.schema.json`).
+
+use std::time::Instant;
+
+use acq_engine::{Catalog, DataType, Executor, Field, TableBuilder, Value};
+use acq_query::{
+    AcqQuery, AggConstraint, AggErrorFn, AggregateSpec, CmpOp, ColRef, Interval, Predicate,
+    RefineSide,
+};
+use acquire_core::{
+    acquire_observed, AcqOutcome, AcquireConfig, CachedScoreEvaluator, CancellationToken, Obs,
+    Parallelism, RefinedSpace, Session,
+};
+
+fn catalog() -> Catalog {
+    let mut b = TableBuilder::new(
+        "t",
+        vec![
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+        ],
+    )
+    .unwrap();
+    for i in 0..3000 {
+        b.push_row(vec![
+            Value::Float(f64::from(i) * 0.1),
+            Value::Float(f64::from(i % 150)),
+        ]);
+    }
+    let mut cat = Catalog::new();
+    cat.register(b.finish().unwrap()).unwrap();
+    cat
+}
+
+fn query(target: f64) -> AcqQuery {
+    AcqQuery::builder()
+        .table("t")
+        .predicate(Predicate::select(
+            ColRef::new("t", "x"),
+            Interval::new(0.0, 10.0),
+            RefineSide::Upper,
+        ))
+        .predicate(Predicate::select(
+            ColRef::new("t", "y"),
+            Interval::new(0.0, 30.0),
+            RefineSide::Upper,
+        ))
+        .constraint(AggConstraint::new(
+            AggregateSpec::count(),
+            CmpOp::Ge,
+            target,
+        ))
+        .error_fn(AggErrorFn::HingeRelative)
+        .build()
+        .unwrap()
+}
+
+fn run_with(obs: &Obs, cfg: &AcquireConfig) -> AcqOutcome {
+    let mut exec = Executor::new(catalog());
+    let mut q = query(800.0);
+    exec.populate_domains(&mut q).unwrap();
+    let space = RefinedSpace::new(&q, cfg).unwrap();
+    let caps = space.caps();
+    let mut eval = CachedScoreEvaluator::new(&mut exec, &q, &caps).unwrap();
+    acquire_observed(&mut eval, &q, cfg, &CancellationToken::new(), obs).unwrap()
+}
+
+/// Every observable field, floats as raw bits.
+fn fingerprint(out: &AcqOutcome) -> String {
+    format!(
+        "satisfied={} explored={} layers={} peak_store={} original={} stats={:?} \
+         termination={:?} answers={:?}",
+        out.satisfied,
+        out.explored,
+        out.layers,
+        out.peak_store,
+        out.original_aggregate.to_bits(),
+        out.stats,
+        out.termination,
+        out.queries
+            .iter()
+            .map(|r| format!(
+                "{:?}/{}/{}",
+                r.point,
+                r.aggregate.to_bits(),
+                r.error.to_bits()
+            ))
+            .collect::<Vec<_>>(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Observation must not perturb the system
+// ---------------------------------------------------------------------------
+
+#[test]
+fn enabling_observability_never_changes_the_outcome() {
+    for par in [Parallelism::Serial, Parallelism::Fixed(4)] {
+        let cfg = AcquireConfig::default().with_parallelism(par);
+        let baseline = fingerprint(&run_with(&Obs::disabled(), &cfg));
+        for (what, obs) in [
+            ("counters", Obs::enabled()),
+            ("tracing", Obs::with_trace(10_000)),
+        ] {
+            let got = fingerprint(&run_with(&obs, &cfg));
+            assert_eq!(got, baseline, "{what} observability perturbed {par:?}");
+        }
+    }
+}
+
+/// A disabled handle costs one null check per instrument, so a run with
+/// observability off must stay within noise of one that never heard of it.
+/// Each attempt measures min-of-5 interleaved runs with an absolute floor;
+/// up to three attempts absorb transient contention from concurrently
+/// running tests (a *systematic* overhead regression fails every attempt,
+/// noise doesn't).
+#[test]
+fn disabled_observability_overhead_is_below_two_percent() {
+    let cfg = AcquireConfig::default();
+    // Warm-up: fault in lazily-initialised state on both paths.
+    run_with(&Obs::disabled(), &cfg);
+
+    let mut last = String::new();
+    for _attempt in 0..3 {
+        let mut plain = f64::INFINITY;
+        let mut enabled = f64::INFINITY;
+        for _ in 0..5 {
+            let t = Instant::now();
+            run_with(&Obs::disabled(), &cfg);
+            plain = plain.min(t.elapsed().as_secs_f64() * 1e3);
+
+            let obs = Obs::enabled();
+            let t = Instant::now();
+            run_with(&obs, &cfg);
+            enabled = enabled.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        // The counters-only path bounds the disabled path from above: if
+        // even live atomics fit in 2% + floor, the null-check path
+        // certainly does.
+        let allowed = plain * 1.02 + 15.0;
+        if enabled <= allowed {
+            return;
+        }
+        last =
+            format!("instrumented run {enabled:.1}ms exceeds {allowed:.1}ms (plain {plain:.1}ms)");
+    }
+    panic!("{last}");
+}
+
+// ---------------------------------------------------------------------------
+// Emitted artifacts
+// ---------------------------------------------------------------------------
+
+#[test]
+fn snapshot_json_validates_against_the_committed_schema() {
+    let obs = Obs::enabled();
+    let out = run_with(&obs, &AcquireConfig::default().with_threads(4));
+    let snap = obs.snapshot().unwrap();
+    assert_eq!(snap.counter("cells_executed"), Some(out.explored));
+
+    let doc = acq_obs::json::parse(&snap.to_json()).expect("snapshot renders valid JSON");
+    let schema_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/metrics.schema.json"
+    );
+    let schema_text = std::fs::read_to_string(schema_path).expect("committed schema exists");
+    let schema = acq_obs::json::parse(&schema_text).expect("schema is valid JSON");
+    let errors = acq_obs::schema::validate(&schema, &doc);
+    assert!(errors.is_empty(), "schema violations: {errors:#?}");
+}
+
+#[test]
+fn trace_records_the_pipeline_phases() {
+    let obs = Obs::with_trace(10_000);
+    let out = run_with(&obs, &AcquireConfig::default().with_threads(4));
+    assert!(out.explored > 0);
+    let trace = obs.render_trace().expect("tracing handle");
+    for needle in [
+        "acquire: target",
+        "expand layer 0",
+        "explore: speculative pool (4 workers",
+        "answer:",
+        "done: satisfied",
+    ] {
+        assert!(trace.contains(needle), "missing {needle:?} in:\n{trace}");
+    }
+    // Spans carry durations, events don't.
+    assert!(trace.contains("ms]"), "timestamps missing:\n{trace}");
+}
+
+#[test]
+fn prometheus_exposition_covers_every_instrument_family() {
+    let obs = Obs::enabled();
+    run_with(&obs, &AcquireConfig::default().with_threads(4));
+    let text = obs.snapshot().unwrap().to_prometheus();
+    for needle in [
+        "# TYPE acq_cells_executed_total counter",
+        "acq_store_peak ",
+        "acq_cell_latency_ns_bucket{le=\"+Inf\"}",
+        "acq_exec_cell_queries_total",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session plumbing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_threads_its_observability_handle_through_runs() {
+    let mut exec = Executor::new(catalog());
+    let q = query(800.0);
+    let cfg = AcquireConfig::default();
+    let mut session = Session::new(&mut exec, &q, &cfg).unwrap();
+    assert!(
+        !session.observability().is_enabled(),
+        "sessions default to a disabled handle"
+    );
+
+    session.set_observability(Obs::enabled());
+    let first = session.run(800.0).unwrap();
+    let after_first = session
+        .observability()
+        .snapshot()
+        .unwrap()
+        .counter("cells_executed")
+        .unwrap();
+    assert_eq!(after_first, first.explored);
+
+    // Instruments accumulate across runs of one session (documented):
+    // a second run adds its cells on top.
+    let second = session.run(820.0).unwrap();
+    let after_second = session
+        .observability()
+        .snapshot()
+        .unwrap()
+        .counter("cells_executed")
+        .unwrap();
+    assert_eq!(after_second, first.explored + second.explored);
+}

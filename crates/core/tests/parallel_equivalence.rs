@@ -25,9 +25,10 @@ use acq_query::{
 };
 use acquire_core::govern::Termination;
 use acquire_core::{
-    acquire_with, AcqOutcome, AcquireConfig, CachedScoreEvaluator, CancellationToken, CellCost,
-    CoreError, EvaluationLayer, ExecutionBudget, FaultInjectingLayer, FaultPolicy, FaultSchedule,
-    GridIndexEvaluator, ParallelCells, Parallelism, RefinedQueryResult, RefinedSpace,
+    acquire_observed, acquire_with, AcqOutcome, AcquireConfig, CachedScoreEvaluator,
+    CancellationToken, CellCost, CoreError, EvaluationLayer, ExecutionBudget, FaultInjectingLayer,
+    FaultPolicy, FaultSchedule, GridIndexEvaluator, Obs, ParallelCells, Parallelism,
+    RefinedQueryResult, RefinedSpace,
 };
 
 // ---------------------------------------------------------------------------
@@ -519,6 +520,167 @@ fn no_cell_is_ever_executed_twice_under_parallelism() {
         assert!(!counts.is_empty(), "the search must attempt some cells");
         for (cell, n) in counts.iter() {
             assert_eq!(*n, 1, "cell {cell} attempted {n} times (seed {seed})");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics ground truth
+// ---------------------------------------------------------------------------
+
+/// The deterministic instruments must agree with the outcome **exactly**:
+/// the cell-execution counter and the latency-histogram population both
+/// commit in the driver's serial emission loop at the same site where
+/// `explored` advances, so equality holds by construction — this test
+/// pins that construction down for every thread count and under every
+/// disruption the suite knows (faults, budgets, cancellation).
+fn assert_metrics_ground_truth(obs: &Obs, out: &AcqOutcome, what: &str) {
+    let snap = obs.snapshot().expect("enabled handle");
+    assert_eq!(
+        snap.counter("cells_executed"),
+        Some(out.explored),
+        "{what}: cells_executed != AcqOutcome.explored"
+    );
+    let hist = snap.histogram("cell_latency_ns").expect("known instrument");
+    assert_eq!(
+        hist.count, out.explored,
+        "{what}: latency histogram population != cells executed"
+    );
+    assert_eq!(
+        hist.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+        hist.count,
+        "{what}: histogram buckets don't sum to its count"
+    );
+    assert_eq!(
+        snap.counter("at_most_once_violations"),
+        Some(0),
+        "{what}: a cell sub-query was executed twice"
+    );
+    // Speculative executions are bounded by commits + in-flight discards;
+    // every one the pool recorded must be attributed to some worker.
+    let speculative = snap.counter("cells_speculative").unwrap();
+    let worker_cells: u64 = snap.workers.iter().map(|&(_, cells, _)| cells).sum();
+    assert_eq!(
+        worker_cells, speculative,
+        "{what}: per-worker tallies don't account for every speculative execution"
+    );
+}
+
+fn run_observed(
+    layer: Layer,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+    cancel: &CancellationToken,
+    obs: &Obs,
+) -> Result<AcqOutcome, CoreError> {
+    let mut exec = Executor::new(catalog());
+    let mut query = query.clone();
+    exec.populate_domains(&mut query).unwrap();
+    let space = RefinedSpace::new(&query, cfg).unwrap();
+    let caps = space.caps();
+    match layer {
+        Layer::Cached => {
+            let mut eval = CachedScoreEvaluator::new(&mut exec, &query, &caps).unwrap();
+            acquire_observed(&mut eval, &query, cfg, cancel, obs)
+        }
+        Layer::Grid => {
+            let mut eval = GridIndexEvaluator::new(&mut exec, &query, &caps, space.step()).unwrap();
+            acquire_observed(&mut eval, &query, cfg, cancel, obs)
+        }
+    }
+}
+
+/// All thread counts under test for the metrics property: serial plus
+/// every pool size 2–8.
+fn all_thread_settings() -> Vec<Parallelism> {
+    let mut settings = vec![Parallelism::Serial];
+    settings.extend((2..=8).map(Parallelism::Fixed));
+    settings
+}
+
+#[test]
+fn metrics_match_ground_truth_for_every_thread_count() {
+    // GE engages answers-without-repartition; EQ exercises repartitioning.
+    for (query, delta) in [(ge_query(800.0), 0.05), (eq_query(801.0), 0.001)] {
+        for layer in [Layer::Cached, Layer::Grid] {
+            for par in all_thread_settings() {
+                let cfg = AcquireConfig::default()
+                    .with_delta(delta)
+                    .with_parallelism(par);
+                let obs = Obs::enabled();
+                let out =
+                    run_observed(layer, &query, &cfg, &CancellationToken::new(), &obs).unwrap();
+                assert!(out.explored > 0);
+                assert_metrics_ground_truth(&obs, &out, &format!("{par:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_match_ground_truth_under_budgets_and_faults() {
+    let query = ge_query(800.0);
+
+    // Explored budgets that land mid-layer.
+    for k in [1, 5, 40] {
+        for par in [Parallelism::Serial, Parallelism::Fixed(4)] {
+            let cfg = AcquireConfig::default()
+                .with_parallelism(par)
+                .with_budget(ExecutionBudget::unlimited().with_max_explored(k));
+            let obs = Obs::enabled();
+            let out =
+                run_observed(Layer::Grid, &query, &cfg, &CancellationToken::new(), &obs).unwrap();
+            assert_metrics_ground_truth(&obs, &out, &format!("budget {k}, {par:?}"));
+            let snap = obs.snapshot().unwrap();
+            assert_eq!(
+                snap.counter("interrupts"),
+                Some(1),
+                "budget {k} must trip exactly one interrupt"
+            );
+        }
+    }
+
+    // Deterministic fault injection, best-effort policy.
+    for seed in [3, 5, 9] {
+        let schedule = FaultSchedule::mixed(seed, 0.15, 0.1);
+        for par in [Parallelism::Serial, Parallelism::Fixed(4)] {
+            let mut exec = Executor::new(catalog());
+            let mut query = query.clone();
+            exec.populate_domains(&mut query).unwrap();
+            let cfg = AcquireConfig::default()
+                .with_parallelism(par)
+                .with_fault_policy(FaultPolicy::BestEffort);
+            let space = RefinedSpace::new(&query, &cfg).unwrap();
+            let caps = space.caps();
+            let obs = Obs::enabled();
+            let inner = CachedScoreEvaluator::new(&mut exec, &query, &caps).unwrap();
+            let mut eval =
+                FaultInjectingLayer::with_observability(inner, schedule.clone(), obs.clone());
+            let out =
+                acquire_observed(&mut eval, &query, &cfg, &CancellationToken::new(), &obs).unwrap();
+            assert_metrics_ground_truth(&obs, &out, &format!("faults seed {seed}, {par:?}"));
+        }
+    }
+}
+
+#[test]
+fn metrics_match_ground_truth_under_mid_run_cancellation() {
+    for k in [1, 3, 25] {
+        for par in [Parallelism::Serial, Parallelism::Fixed(4)] {
+            let query = ge_query(800.0);
+            let mut exec = Executor::new(catalog());
+            let mut query = query.clone();
+            exec.populate_domains(&mut query).unwrap();
+            let cfg = AcquireConfig::default().with_parallelism(par);
+            let space = RefinedSpace::new(&query, &cfg).unwrap();
+            let caps = space.caps();
+            let token = CancellationToken::new();
+            let obs = Obs::enabled();
+            let inner = CachedScoreEvaluator::new(&mut exec, &query, &caps).unwrap();
+            let mut eval = CancelAfterCommits::new(inner, k, token.clone());
+            let out = acquire_observed(&mut eval, &query, &cfg, &token, &obs).unwrap();
+            assert_eq!(out.explored, k, "cancel after {k} commits");
+            assert_metrics_ground_truth(&obs, &out, &format!("cancel after {k}, {par:?}"));
         }
     }
 }

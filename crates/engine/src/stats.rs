@@ -36,6 +36,21 @@ impl ExecStats {
     pub fn total_queries(&self) -> u64 {
         self.cell_queries + self.full_queries
     }
+
+    /// Every counter as a stable `(name, value)` list — the bridge used by
+    /// observability snapshots and the CLI's JSON output, so neither needs
+    /// to hard-code the field set.
+    #[must_use]
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
+        [
+            ("cell_queries", self.cell_queries),
+            ("full_queries", self.full_queries),
+            ("tuples_scanned", self.tuples_scanned),
+            ("rows_joined", self.rows_joined),
+            ("index_probes", self.index_probes),
+            ("cells_skipped", self.cells_skipped),
+        ]
+    }
 }
 
 impl AddAssign for ExecStats {

@@ -1,0 +1,55 @@
+//! Validates a metrics snapshot JSON file against a JSON-schema file.
+//!
+//! Usage: `validate_metrics <schema.json> <metrics.json>`
+//!
+//! Exits 0 when the document conforms; prints each violation and exits 1
+//! otherwise. Used by CI to pin the `--metrics-out` format.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, schema_path, metrics_path] = args.as_slice() else {
+        eprintln!("usage: validate_metrics <schema.json> <metrics.json>");
+        return ExitCode::from(2);
+    };
+    let schema_text = match std::fs::read_to_string(schema_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {schema_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let metrics_text = match std::fs::read_to_string(metrics_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {metrics_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let schema = match acq_obs::json::parse(&schema_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {schema_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let metrics = match acq_obs::json::parse(&metrics_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {metrics_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errors = acq_obs::schema::validate(&schema, &metrics);
+    if errors.is_empty() {
+        println!("{metrics_path}: valid");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{metrics_path}: {e}");
+        }
+        eprintln!("{metrics_path}: {} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,161 @@
+//! A validator for the JSON-Schema subset used by
+//! `schemas/metrics.schema.json`.
+//!
+//! Supported keywords: `type` (string or array of strings, including
+//! `"integer"`), `required`, `properties`, `additionalProperties` (schema
+//! form only), `items`, `minimum`, `enum`, and `const`. That is enough to
+//! pin down the metrics snapshot structure; anything fancier would be
+//! over-engineering for an offline validator.
+
+use crate::json::JsonValue;
+
+/// Validates `value` against `schema`, returning every violation found
+/// (empty vec = valid). Paths in messages are JSON-pointer style.
+pub fn validate(schema: &JsonValue, value: &JsonValue) -> Vec<String> {
+    let mut errors = Vec::new();
+    check(schema, value, "", &mut errors);
+    errors
+}
+
+fn type_matches(ty: &str, value: &JsonValue) -> bool {
+    match ty {
+        "integer" => value.as_f64().is_some_and(|n| n.fract() == 0.0),
+        other => value.type_name() == other,
+    }
+}
+
+fn check(schema: &JsonValue, value: &JsonValue, path: &str, errors: &mut Vec<String>) {
+    let here = || {
+        if path.is_empty() {
+            "/".to_string()
+        } else {
+            path.to_string()
+        }
+    };
+
+    if let Some(expected) = schema.get("const") {
+        if expected != value {
+            errors.push(format!("{}: value does not match const", here()));
+        }
+    }
+    if let Some(options) = schema.get("enum").and_then(JsonValue::as_arr) {
+        if !options.contains(value) {
+            errors.push(format!("{}: value not in enum", here()));
+        }
+    }
+    if let Some(ty) = schema.get("type") {
+        let ok = match ty {
+            JsonValue::Str(t) => type_matches(t, value),
+            JsonValue::Arr(ts) => ts
+                .iter()
+                .filter_map(JsonValue::as_str)
+                .any(|t| type_matches(t, value)),
+            _ => true,
+        };
+        if !ok {
+            errors.push(format!(
+                "{}: expected type {:?}, found {}",
+                here(),
+                ty,
+                value.type_name()
+            ));
+            return; // structural keywords below assume the right type
+        }
+    }
+    if let Some(min) = schema.get("minimum").and_then(JsonValue::as_f64) {
+        if let Some(n) = value.as_f64() {
+            if n < min {
+                errors.push(format!("{}: {n} below minimum {min}", here()));
+            }
+        }
+    }
+    if let Some(obj) = value.as_obj() {
+        if let Some(required) = schema.get("required").and_then(JsonValue::as_arr) {
+            for key in required.iter().filter_map(JsonValue::as_str) {
+                if !obj.contains_key(key) {
+                    errors.push(format!("{}: missing required property \"{key}\"", here()));
+                }
+            }
+        }
+        let props = schema.get("properties").and_then(JsonValue::as_obj);
+        let additional = schema.get("additionalProperties");
+        for (key, member) in obj {
+            let child_path = format!("{path}/{key}");
+            if let Some(prop_schema) = props.and_then(|p| p.get(key)) {
+                check(prop_schema, member, &child_path, errors);
+            } else if let Some(add) = additional {
+                match add {
+                    JsonValue::Bool(false) => {
+                        errors.push(format!("{child_path}: property not allowed"));
+                    }
+                    JsonValue::Obj(_) => check(add, member, &child_path, errors),
+                    _ => {}
+                }
+            }
+        }
+    }
+    if let (Some(items), Some(arr)) = (schema.get("items"), value.as_arr()) {
+        for (i, item) in arr.iter().enumerate() {
+            check(items, item, &format!("{path}/{i}"), errors);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn schema() -> JsonValue {
+        parse(
+            r#"{
+                "type": "object",
+                "required": ["version", "counters"],
+                "properties": {
+                    "version": {"type": "integer", "const": 1},
+                    "counters": {
+                        "type": "object",
+                        "additionalProperties": {"type": "integer", "minimum": 0}
+                    },
+                    "tags": {"type": "array", "items": {"type": "string"}}
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_conforming_document() {
+        let doc = parse(r#"{"version":1,"counters":{"x":3},"tags":["a"]}"#).unwrap();
+        assert_eq!(validate(&schema(), &doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn reports_each_violation_with_a_path() {
+        let doc = parse(r#"{"version":2,"counters":{"x":-1},"tags":[5]}"#).unwrap();
+        let errors = validate(&schema(), &doc);
+        assert!(errors.iter().any(|e| e.contains("/version")), "{errors:?}");
+        assert!(
+            errors.iter().any(|e| e.contains("/counters/x")),
+            "{errors:?}"
+        );
+        assert!(errors.iter().any(|e| e.contains("/tags/0")), "{errors:?}");
+    }
+
+    #[test]
+    fn missing_required_property_is_an_error() {
+        let doc = parse(r#"{"version":1}"#).unwrap();
+        let errors = validate(&schema(), &doc);
+        assert!(errors.iter().any(|e| e.contains("counters")), "{errors:?}");
+    }
+
+    #[test]
+    fn additional_properties_false_rejects_unknown_keys() {
+        let schema =
+            parse(r#"{"type":"object","properties":{"a":{}},"additionalProperties":false}"#)
+                .unwrap();
+        let doc = parse(r#"{"a":1,"b":2}"#).unwrap();
+        let errors = validate(&schema, &doc);
+        assert!(errors.iter().any(|e| e.contains("/b")), "{errors:?}");
+    }
+}

@@ -1,0 +1,311 @@
+//! Point-in-time metric snapshots and their two text sinks: a compact JSON
+//! document (`--metrics-out`, validated in CI against
+//! `schemas/metrics.schema.json`) and a Prometheus text exposition.
+
+use crate::metrics::Metrics;
+
+/// Snapshot format version emitted in the JSON document. Bump when the
+/// structure changes and update `schemas/metrics.schema.json` to match.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// One histogram captured at snapshot time.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: &'static str,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// `(upper_bound, count)` per bucket; `None` is the overflow (`+Inf`)
+    /// bucket. Counts are per-bucket, not cumulative.
+    pub buckets: Vec<(Option<u64>, u64)>,
+}
+
+/// A consistent-enough point-in-time capture of every instrument.
+///
+/// Individual atomics are read without a global lock, so a snapshot taken
+/// *during* a run may be torn across instruments; snapshots taken after the
+/// driver returns (the supported use) are exact.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Milliseconds since the handle was created.
+    pub uptime_ms: u64,
+    /// Counter values in stable order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Set gauges in stable order.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Histogram captures.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// `(worker, cells, steals)` for each worker that executed a cell.
+    pub workers: Vec<(usize, u64, u64)>,
+    /// Engine executor statistics bridged in via
+    /// [`crate::Obs::record_exec_stats`].
+    pub exec_stats: Vec<(String, u64)>,
+    /// Free-form run metadata (evaluation layer kind, thread count, ...).
+    pub meta: Vec<(String, String)>,
+}
+
+impl MetricsSnapshot {
+    /// Captures every instrument of `metrics`.
+    pub fn capture(
+        metrics: &Metrics,
+        uptime_ms: u64,
+        exec_stats: Vec<(String, u64)>,
+        meta: Vec<(String, String)>,
+    ) -> Self {
+        let histograms = [
+            ("cell_latency_ns", &metrics.cell_latency_ns),
+            ("batch_cells", &metrics.batch_cells),
+        ]
+        .into_iter()
+        .map(|(name, h)| {
+            let counts = h.bucket_counts();
+            let buckets = h
+                .bounds()
+                .iter()
+                .map(|&b| Some(b))
+                .chain(std::iter::once(None))
+                .zip(counts)
+                .collect();
+            HistogramSnapshot {
+                name,
+                count: h.count(),
+                sum: h.sum(),
+                buckets,
+            }
+        })
+        .collect();
+        Self {
+            uptime_ms,
+            counters: metrics.counter_values(),
+            gauges: metrics.gauge_values(),
+            histograms,
+            workers: metrics.worker_tallies(),
+            exec_stats,
+            meta,
+        }
+    }
+
+    /// Convenience lookup of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Convenience lookup of a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Convenience lookup of a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the snapshot as a compact single-line JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        push_kv_num(&mut s, "version", SNAPSHOT_VERSION);
+        s.push(',');
+        push_kv_num(&mut s, "uptime_ms", self.uptime_ms);
+        s.push_str(",\"counters\":{");
+        push_pairs(&mut s, self.counters.iter().map(|&(k, v)| (k, v)));
+        s.push_str("},\"gauges\":{");
+        push_pairs(&mut s, self.gauges.iter().map(|&(k, v)| (k, v)));
+        s.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                h.name, h.count, h.sum
+            ));
+            for (j, (bound, count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                match bound {
+                    Some(b) => s.push_str(&format!("{{\"le\":{b},\"count\":{count}}}")),
+                    None => s.push_str(&format!("{{\"le\":null,\"count\":{count}}}")),
+                }
+            }
+            s.push_str("]}");
+        }
+        s.push_str("},\"workers\":[");
+        for (i, &(w, cells, steals)) in self.workers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"worker\":{w},\"cells\":{cells},\"steals\":{steals}}}"
+            ));
+        }
+        s.push_str("],\"exec_stats\":{");
+        push_pairs(
+            &mut s,
+            self.exec_stats.iter().map(|(k, v)| (k.as_str(), *v)),
+        );
+        s.push_str("},\"meta\":{");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format, with
+    /// every series prefixed `acq_`.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        for &(name, v) in &self.counters {
+            s.push_str(&format!(
+                "# TYPE acq_{name}_total counter\nacq_{name}_total {v}\n"
+            ));
+        }
+        for &(name, v) in &self.gauges {
+            s.push_str(&format!("# TYPE acq_{name} gauge\nacq_{name} {v}\n"));
+        }
+        for h in &self.histograms {
+            s.push_str(&format!("# TYPE acq_{} histogram\n", h.name));
+            let mut cumulative = 0u64;
+            for (bound, count) in &h.buckets {
+                cumulative += count;
+                let le = match bound {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                s.push_str(&format!(
+                    "acq_{}_bucket{{le=\"{le}\"}} {cumulative}\n",
+                    h.name
+                ));
+            }
+            s.push_str(&format!("acq_{}_sum {}\n", h.name, h.sum));
+            s.push_str(&format!("acq_{}_count {}\n", h.name, h.count));
+        }
+        for &(w, cells, steals) in &self.workers {
+            s.push_str(&format!(
+                "acq_worker_cells_total{{worker=\"{w}\"}} {cells}\n"
+            ));
+            s.push_str(&format!(
+                "acq_worker_steals_total{{worker=\"{w}\"}} {steals}\n"
+            ));
+        }
+        for (name, v) in &self.exec_stats {
+            s.push_str(&format!(
+                "# TYPE acq_exec_{name}_total counter\nacq_exec_{name}_total {v}\n"
+            ));
+        }
+        s
+    }
+}
+
+fn push_kv_num(s: &mut String, k: &str, v: u64) {
+    s.push_str(&format!("\"{k}\":{v}"));
+}
+
+fn push_pairs<'a>(s: &mut String, pairs: impl Iterator<Item = (&'a str, u64)>) {
+    for (i, (k, v)) in pairs.enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{k}\":{v}"));
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let m = Metrics::new();
+        m.cells_executed.add(42);
+        m.current_layer.set(3);
+        m.cell_latency_ns.observe(500);
+        m.record_worker_cell(1, true);
+        MetricsSnapshot::capture(
+            &m,
+            12,
+            vec![("cell_queries".to_string(), 42)],
+            vec![("layer".to_string(), "grid-index".to_string())],
+        )
+    }
+
+    #[test]
+    fn json_roundtrips_through_own_parser() {
+        let snap = sample();
+        let json = snap.to_json();
+        let v = crate::json::parse(&json).expect("snapshot JSON parses");
+        assert_eq!(v.pointer("/version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            v.pointer("/counters/cells_executed")
+                .and_then(|v| v.as_u64()),
+            Some(42)
+        );
+        assert_eq!(
+            v.pointer("/gauges/current_layer").and_then(|v| v.as_u64()),
+            Some(3)
+        );
+        assert_eq!(
+            v.pointer("/histograms/cell_latency_ns/count")
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            v.pointer("/meta/layer").and_then(|v| v.as_str()),
+            Some("grid-index")
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative() {
+        let snap = sample();
+        let text = snap.to_prometheus();
+        assert!(text.contains("acq_cells_executed_total 42"), "{text}");
+        assert!(text.contains("acq_current_layer 3"), "{text}");
+        assert!(
+            text.contains("acq_cell_latency_ns_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("acq_worker_cells_total{worker=\"1\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn lookups_find_instruments() {
+        let snap = sample();
+        assert_eq!(snap.counter("cells_executed"), Some(42));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("current_layer"), Some(3));
+        assert_eq!(snap.histogram("cell_latency_ns").unwrap().count, 1);
+    }
+}

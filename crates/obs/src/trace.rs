@@ -1,0 +1,141 @@
+//! A bounded in-memory span/event buffer with human-readable rendering.
+//!
+//! Tracing is strictly opt-in (see [`crate::Obs::with_trace`]): the hot path
+//! formats labels lazily, so a disabled or counters-only handle never pays
+//! for string construction. The buffer is bounded; once full, new events are
+//! counted as dropped rather than reallocating without limit.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One recorded event or completed span.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Offset from the start of the run.
+    pub at: Duration,
+    /// Span duration; `None` for instantaneous events.
+    pub dur: Option<Duration>,
+    /// Nesting depth used for indentation when rendering.
+    pub depth: u8,
+    /// Human-readable description.
+    pub label: String,
+}
+
+/// A bounded, thread-safe trace buffer.
+#[derive(Debug)]
+pub struct TraceBuf {
+    events: Mutex<Vec<TraceEvent>>,
+    cap: usize,
+}
+
+impl TraceBuf {
+    /// Creates a buffer that retains at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            events: Mutex::new(Vec::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Appends an event; returns `false` (dropped) once the buffer is full.
+    pub fn push(&self, event: TraceEvent) -> bool {
+        let mut events = self.events.lock().expect("trace buffer poisoned");
+        if events.len() >= self.cap {
+            return false;
+        }
+        events.push(event);
+        true
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the retained events in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace buffer poisoned").clone()
+    }
+
+    /// Renders the buffer as indented human-readable text, one event per
+    /// line: `[  12.345ms] (+2.1ms)   label`.
+    pub fn render(&self, dropped: u64) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 48);
+        for e in &events {
+            let indent = "  ".repeat(e.depth as usize);
+            match e.dur {
+                Some(d) => out.push_str(&format!(
+                    "[{:>10}] ({}) {}{}\n",
+                    fmt_dur(e.at),
+                    fmt_dur(d),
+                    indent,
+                    e.label
+                )),
+                None => out.push_str(&format!("[{:>10}] {}{}\n", fmt_dur(e.at), indent, e.label)),
+            }
+        }
+        if dropped > 0 {
+            out.push_str(&format!("... {dropped} event(s) dropped (buffer full)\n"));
+        }
+        out
+    }
+}
+
+/// Formats a duration with a unit scaled to its magnitude.
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ms: u64, label: &str) -> TraceEvent {
+        TraceEvent {
+            at: Duration::from_millis(ms),
+            dur: None,
+            depth: 0,
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn buffer_bounds_and_renders() {
+        let buf = TraceBuf::new(2);
+        assert!(buf.push(ev(1, "a")));
+        assert!(buf.push(TraceEvent {
+            dur: Some(Duration::from_micros(1500)),
+            depth: 1,
+            ..ev(2, "b")
+        }));
+        assert!(!buf.push(ev(3, "c")), "third event dropped");
+        assert_eq!(buf.len(), 2);
+        let text = buf.render(1);
+        assert!(text.contains("a\n"), "{text}");
+        assert!(text.contains("(1.5ms)   b"), "{text}");
+        assert!(text.contains("1 event(s) dropped"), "{text}");
+    }
+
+    #[test]
+    fn duration_formatting_scales_units() {
+        assert_eq!(fmt_dur(Duration::from_nanos(512)), "512ns");
+        assert_eq!(fmt_dur(Duration::from_micros(12)), "12.0us");
+        assert_eq!(fmt_dur(Duration::from_millis(3)), "3.0ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -19,8 +19,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use acquire::core::{
-    run_acquire, run_contraction, AcqOutcome, AcquireConfig, EvalLayerKind, ExecutionBudget,
-    FaultPolicy, InterruptReason, Termination,
+    run_acquire_observed, run_contraction, AcqOutcome, AcquireConfig, EvalLayerKind,
+    ExecutionBudget, FaultPolicy, InterruptReason, Obs, Termination,
 };
 use acquire::datagen::{patients, tpch, users, GenConfig};
 use acquire::engine::{csv, Catalog, Executor};
@@ -45,6 +45,9 @@ struct Opts {
     max_memory: Option<usize>,
     max_explored: Option<u64>,
     best_effort: bool,
+    trace: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Default for Opts {
@@ -67,6 +70,9 @@ impl Default for Opts {
             max_memory: None,
             max_explored: None,
             best_effort: false,
+            trace: false,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -94,6 +100,11 @@ options:
   --max-explored N    cap the number of grid queries explored
   --best-effort       absorb mid-search evaluation faults into an
                       interrupted outcome instead of failing
+  --trace             print a human-readable phase-span trace of the search
+                      to stderr
+  --trace-out PATH    write the trace to PATH instead
+  --metrics-out PATH  write a JSON metrics snapshot (counters, gauges,
+                      latency histograms, worker utilisation) to PATH
   --help              this message
 
 The SQL dialect is the paper's: SELECT * FROM t [, t2 ...]
@@ -170,6 +181,9 @@ fn parse_args() -> Result<Opts, String> {
             "--json" => opts.json = true,
             "--explain" => opts.explain = true,
             "--best-effort" => opts.best_effort = true,
+            "--trace" => opts.trace = true,
+            "--trace-out" => opts.trace_out = Some(need("--trace-out")?),
+            "--metrics-out" => opts.metrics_out = Some(need("--metrics-out")?),
             "--timeout" => {
                 let secs: f64 = need("--timeout")?
                     .parse()
@@ -315,7 +329,12 @@ fn termination_json(t: &Termination) -> String {
     }
 }
 
-fn print_outcome_json(outcome: &AcqOutcome, opts: &Opts, original: &acquire::query::AcqQuery) {
+fn print_outcome_json(
+    outcome: &AcqOutcome,
+    opts: &Opts,
+    original: &acquire::query::AcqQuery,
+    obs: &Obs,
+) {
     let expanding = original.constraint.op.is_expanding();
     let result_json = |r: &acquire::core::RefinedQueryResult| {
         let pscores: Vec<String> = r.pscores.iter().map(|&p| json_num(p)).collect();
@@ -348,23 +367,39 @@ fn print_outcome_json(outcome: &AcqOutcome, opts: &Opts, original: &acquire::que
         .as_ref()
         .map(&result_json)
         .unwrap_or_else(|| "null".to_string());
+    // Every executor work counter, not a hand-picked subset: the field list
+    // comes from the engine itself so the JSON never lags behind ExecStats.
+    let stats: Vec<String> = outcome
+        .stats
+        .fields()
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect();
+    let metrics = obs
+        .snapshot()
+        .map(|s| s.to_json())
+        .unwrap_or_else(|| "null".to_string());
     println!(
-        "{{\"satisfied\":{},\"termination\":{},\"original_aggregate\":{},\"explored\":{},\"queries\":[{}],\"closest\":{},\"stats\":{{\"cell_queries\":{},\"full_queries\":{},\"tuples_scanned\":{}}}}}",
+        "{{\"satisfied\":{},\"termination\":{},\"original_aggregate\":{},\"explored\":{},\"queries\":[{}],\"closest\":{},\"stats\":{{{}}},\"metrics\":{}}}",
         outcome.satisfied,
         termination_json(&outcome.termination),
         json_num(outcome.original_aggregate),
         outcome.explored,
         queries.join(","),
         closest,
-        outcome.stats.cell_queries,
-        outcome.stats.full_queries,
-        outcome.stats.tuples_scanned
+        stats.join(","),
+        metrics
     );
 }
 
-fn print_outcome(outcome: &AcqOutcome, opts: &Opts, original: &acquire::query::AcqQuery) {
+fn print_outcome(
+    outcome: &AcqOutcome,
+    opts: &Opts,
+    original: &acquire::query::AcqQuery,
+    obs: &Obs,
+) {
     if opts.json {
-        print_outcome_json(outcome, opts, original);
+        print_outcome_json(outcome, opts, original, obs);
         return;
     }
     if outcome.original_aggregate.is_finite() {
@@ -436,17 +471,31 @@ fn run() -> Result<(), String> {
         ..Default::default()
     }
     .with_threads(opts.threads);
+
+    // Observability: tracing when a trace sink is requested, counters-only
+    // when only metrics/JSON are, disabled otherwise (the zero-cost default).
+    let tracing = opts.trace || opts.trace_out.is_some();
+    let obs = if tracing {
+        Obs::with_trace(acquire::obs::DEFAULT_TRACE_CAPACITY)
+    } else if opts.metrics_out.is_some() || opts.json {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+
     let mut exec = Executor::new(catalog);
     let outcome = match query.constraint.op {
         CmpOp::Le | CmpOp::Lt => {
             if !opts.json {
                 println!("(overshooting constraint: running the §7.2 contraction search)\n");
             }
+            // The §7.2 contraction search is not phase-instrumented; its
+            // executor work counters are still bridged below.
             run_contraction(&mut exec, &query, &cfg, opts.layer).map_err(|e| e.to_string())?
         }
         _ => {
-            let expanded =
-                run_acquire(&mut exec, &query, &cfg, opts.layer).map_err(|e| e.to_string())?;
+            let expanded = run_acquire_observed(&mut exec, &query, &cfg, opts.layer, &obs)
+                .map_err(|e| e.to_string())?;
             // §7.2 also covers `=` constraints whose original query already
             // returns too much: expansion can only grow the aggregate, so
             // fall through to the contraction search.
@@ -481,7 +530,26 @@ fn run() -> Result<(), String> {
         }
         println!();
     }
-    print_outcome(&outcome, &opts, &query_for_explain);
+    // (Re-)bridge the final executor stats: the contraction and Eq-overshoot
+    // paths run outside `acquire_observed`, and replacement is idempotent
+    // for the plain expansion path.
+    obs.record_exec_stats(&outcome.stats.fields());
+    if let Some(trace) = obs.render_trace() {
+        if let Some(path) = &opts.trace_out {
+            std::fs::write(path, &trace).map_err(|e| format!("--trace-out {path}: {e}"))?;
+        }
+        if opts.trace {
+            eprint!("{trace}");
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        let snapshot = obs
+            .snapshot()
+            .expect("metrics requested but observability is disabled");
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    }
+    print_outcome(&outcome, &opts, &query_for_explain, &obs);
     // `explain` interprets pscores as expansions of the original query;
     // contraction outcomes measure the remaining contraction instead, so
     // the per-predicate diff only applies to expansion searches.

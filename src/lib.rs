@@ -16,7 +16,9 @@
 //! * [`core`] (`acquire-core`) — ACQUIRE itself: refined space, Expand,
 //!   Explore (incremental aggregate computation), driver, repartitioning,
 //!   contraction;
-//! * [`baselines`] (`acq-baselines`) — Top-k, TQGen, BinSearch.
+//! * [`baselines`] (`acq-baselines`) — Top-k, TQGen, BinSearch;
+//! * [`obs`] (`acq-obs`) — zero-dependency observability: spans, counters,
+//!   gauges, latency histograms, JSON/Prometheus snapshot sinks.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@
 pub use acq_baselines as baselines;
 pub use acq_datagen as datagen;
 pub use acq_engine as engine;
+pub use acq_obs as obs;
 pub use acq_query as query;
 pub use acq_sql as sql;
 pub use acquire_core as core;

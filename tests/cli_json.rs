@@ -142,6 +142,19 @@ fn json_output_is_valid_and_complete() {
         "\"pscores\":[",
         "\"sql\":\"SELECT * FROM users",
         "\"stats\":{",
+        // Every engine work counter, not a hand-picked subset.
+        "\"cell_queries\":",
+        "\"full_queries\":",
+        "\"tuples_scanned\":",
+        "\"rows_joined\":",
+        "\"index_probes\":",
+        "\"cells_skipped\":",
+        // --json always carries a metrics snapshot.
+        "\"metrics\":{",
+        "\"cells_executed\":",
+        "\"at_most_once_violations\":0",
+        "\"cell_latency_ns\":{",
+        "\"exec_stats\":{",
     ] {
         assert!(out.contains(key), "missing {key}\n{out}");
     }
