@@ -7,6 +7,7 @@ use acq_query::{AcqError, AcqQuery};
 
 /// Errors raised by baseline techniques.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum BaselineError {
     /// The technique cannot express this constraint (e.g. Top-k and
     /// non-COUNT aggregates — *"translating other aggregate constraints is

@@ -21,6 +21,7 @@
 //! ACQUIRE uses, so execution-time and work-counter comparisons are
 //! apples-to-apples.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -124,6 +124,7 @@ pub fn tqgen(
         }
     }
 
+    // lint-allow(panic-hygiene): the level loop always evaluates >= 1 candidate
     let (pscores, aggregate, error) = best.expect("TQGen executes at least one candidate");
     Ok(BaselineOutcome {
         sql: query.refined_sql(&pscores),

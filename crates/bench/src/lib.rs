@@ -20,6 +20,7 @@
 //! machine-independent work counters, so shapes are comparable with the
 //! paper even though the absolute hardware differs.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -9,6 +9,8 @@
 //! bench targets and compare orders of magnitude, without criterion's
 //! statistics, warm-up scheduling, or reports.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

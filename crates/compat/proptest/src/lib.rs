@@ -11,6 +11,8 @@
 //! generation is deterministic per test name, so failures reproduce without
 //! a persistence file (`.proptest-regressions` files are ignored).
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     //! The [`Strategy`] trait and combinators.
 

@@ -8,6 +8,8 @@
 //! data generators rely on) but do **not** reproduce upstream `rand`'s
 //! byte-for-byte output.
 
+#![forbid(unsafe_code)]
+
 /// Core low-level generator interface (mirrors `rand_core::RngCore`).
 pub trait RngCore {
     /// Next 32 random bits.

@@ -242,6 +242,7 @@ pub fn acquire_observed<E: EvaluationLayer>(
             if workers > 1 && batch.len() >= MIN_PARALLEL_BATCH {
                 eval.parallel_cells().map(|par| {
                     let cells: Vec<_> = batch.iter().map(|p| space.cell(p)).collect();
+                    // lint-allow(determinism): trace timing only; never branches the search
                     let t0 = obs.is_tracing().then(Instant::now);
                     let out = pool::execute_batch(par, &cells, workers, &governor, obs);
                     if let Some(t0) = t0 {
@@ -297,6 +298,7 @@ pub fn acquire_observed<E: EvaluationLayer>(
                 // executed, and executing it here keeps at-most-once
                 // intact.
                 None => {
+                    // lint-allow(determinism): latency metric only; never branches the search
                     let t0 = metrics.map(|_| Instant::now());
                     let r = isolated(|| explorer.compute_aggregate(eval, &space, point, layer));
                     let nanos = t0

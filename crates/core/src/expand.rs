@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use crate::fasthash::FastSet;
+use crate::fasthash::FastSet; // lint-allow(determinism): membership tests only; never iterated
 
 use crate::space::{GridPoint, RefinedSpace};
 
@@ -44,6 +44,7 @@ pub struct BfsExpander {
     /// popped, so one layer's worth of entries suffices; the set is cleared
     /// whenever the popped layer advances, bounding memory to a single
     /// layer instead of the whole visited grid.
+    // lint-allow(determinism): membership only; emission order comes from the frontier
     seen: FastSet<GridPoint>,
     popped_layer: u64,
 }
@@ -55,7 +56,7 @@ impl BfsExpander {
         Self {
             limits: space.limits().to_vec(),
             queue: VecDeque::from([space.origin()]),
-            seen: FastSet::default(),
+            seen: FastSet::default(), // lint-allow(determinism): membership only
             popped_layer: 0,
         }
     }
@@ -186,6 +187,7 @@ pub struct BestFirstExpander {
     norm: acq_query::Norm,
     step: f64,
     heap: std::collections::BinaryHeap<HeapEntry>,
+    // lint-allow(determinism): membership only; emission order comes from the frontier
     seen: FastSet<GridPoint>,
     /// Quantisation of qscore into pseudo-layers for the driver (ties map
     /// to the same layer).
@@ -229,7 +231,7 @@ impl BestFirstExpander {
             norm: space.norm().clone(),
             step: space.step(),
             heap: std::collections::BinaryHeap::new(),
-            seen: FastSet::default(),
+            seen: FastSet::default(), // lint-allow(determinism): membership only
             layer_scale: 1024.0 / space.step().max(f64::MIN_POSITIVE),
         };
         let origin = space.origin();

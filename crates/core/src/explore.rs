@@ -82,6 +82,10 @@ impl Explorer {
             if point[j - 1] > 0 {
                 prev[j - 1] -= 1;
                 let prev_states = self.store.get(&prev).unwrap_or_else(|| {
+                    // A missing neighbour means Expand broke its Theorem 3
+                    // containment order: an engine bug, and the parallel
+                    // driver isolates worker panics into CellOutcome.
+                    // lint-allow(panic-hygiene): internal invariant violation, not a user error
                     panic!(
                         "contained query {prev:?} must be investigated before {point:?} \
                          (Theorem 3)"

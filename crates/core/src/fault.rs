@@ -240,6 +240,7 @@ impl<E> FaultInjectingLayer<E> {
     /// whatever order workers made them — informational only.
     #[must_use]
     pub fn calls(&self) -> u64 {
+        // relaxed-ok: informational tally with no ordering against other state
         self.calls.load(Ordering::Relaxed)
     }
 
@@ -262,9 +263,12 @@ impl<E> FaultInjectingLayer<E> {
         what: &str,
         target: &dyn std::fmt::Debug,
     ) -> EngineResult<()> {
-        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone tally
         if fault != InjectedFault::None {
             if let Some(m) = self.obs.metrics() {
+                // The schedule is a pure function of the cell, so this
+                // count is identical for every interleaving.
+                // worker-metric-ok: schedule-determined count
                 m.faults_injected.inc();
             }
             self.obs
@@ -276,6 +280,7 @@ impl<E> FaultInjectingLayer<E> {
                 "injected error in {what} (seed {}, target {target:?})",
                 self.schedule.seed
             ))),
+            // lint-allow(panic-hygiene): the injected panic is this layer's contract
             InjectedFault::Panic => panic!(
                 "injected panic in {what} (seed {}, target {target:?})",
                 self.schedule.seed
@@ -337,6 +342,7 @@ impl<E: EvaluationLayer + Sync> ParallelCells for FaultInjectingLayer<E> {
         self.fire(self.schedule.fault_for_cell(cell), "cell_aggregate", &cell)?;
         self.inner
             .parallel_cells()
+            // lint-allow(panic-hygiene): Some by construction for Sync inner layers
             .expect("parallel_cells() returned this handle only when the inner layer has one")
             .cell_aggregate_shared(cell)
     }

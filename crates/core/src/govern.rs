@@ -98,12 +98,14 @@ impl CancellationToken {
 
     /// Requests cancellation of every search holding a clone of this token.
     pub fn cancel(&self) {
+        // relaxed-ok: sticky monotone flag; no payload is published through it
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// Whether cancellation has been requested.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
+        // relaxed-ok: a late `true` only delays the stop by one poll
         self.flag.load(Ordering::Relaxed)
     }
 }

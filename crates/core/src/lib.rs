@@ -47,6 +47,7 @@
 //!   count, and a disabled handle (the default) costs one null check per
 //!   instrument.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 

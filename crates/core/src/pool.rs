@@ -81,10 +81,17 @@ pub(crate) fn execute_batch(
                         if governor.aborted() {
                             break 'victims;
                         }
+                        // Claim uniqueness needs only the RMW total order
+                        // on this single atomic: `fetch_add` hands each index
+                        // to exactly one worker, and results publish through
+                        // `OnceLock::set`'s release/acquire edge (DESIGN.md,
+                        // "Memory ordering in the worker pool").
+                        // relaxed-ok: per-atomic RMW order suffices for unique claims
                         let i = cursors[victim].fetch_add(1, Ordering::Relaxed);
                         if i >= ends[victim] {
                             break;
                         }
+                        // lint-allow(determinism): latency metric only; never branches the search
                         let t0 = metrics.map(|_| Instant::now());
                         let outcome = match catch_unwind(AssertUnwindSafe(|| {
                             par.cell_aggregate_shared(&cells[i])
@@ -106,6 +113,7 @@ pub(crate) fn execute_batch(
                             // at-most-once invariant; the counter makes it
                             // observable instead of silent.
                             if let Some(m) = metrics {
+                                // worker-metric-ok: alarm counter; any nonzero value is the signal
                                 m.at_most_once_violations.inc();
                             }
                         }

@@ -8,13 +8,14 @@
 
 use acq_engine::AggState;
 
-use crate::fasthash::FastMap;
+use crate::fasthash::FastMap; // lint-allow(determinism): keyed access; the one fold is order-independent
 
 use crate::space::GridPoint;
 
 /// Sub-aggregate store keyed by grid point.
 #[derive(Debug, Default)]
 pub struct AggStore {
+    // lint-allow(determinism): keyed lookups plus an order-independent byte fold
     map: FastMap<GridPoint, (u64, Box<[AggState]>)>,
     peak_len: usize,
     approx_bytes: usize,

@@ -19,6 +19,7 @@
 //! Everything is deterministic in the seed: the same [`GenConfig`] always
 //! produces bit-identical tables.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -111,6 +111,7 @@ impl ColumnData {
             (Self::Int(col), Value::Int(x)) => col.push(x),
             (Self::Float(col), Value::Float(x)) => col.push(x),
             (Self::Str(col), Value::Str(x)) => col.push(x),
+            // lint-allow(panic-hygiene): documented contract; table builders validate dtypes
             (col, v) => panic!("cannot push {} into {} column", v.dtype(), col.dtype()),
         }
     }

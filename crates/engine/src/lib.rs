@@ -26,6 +26,7 @@
 //! Everything is seeded/deterministic and single-threaded by design: the
 //! experiments compare *work*, and wall-clock numbers remain meaningful.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 

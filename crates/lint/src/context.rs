@@ -1,0 +1,281 @@
+//! File classification and in-file context tracking.
+//!
+//! Every rule is scoped to a *context*: the invariants protect library code
+//! on the serving path, not tests, benches or one-shot binaries. Two layers
+//! decide the context of a given token:
+//!
+//! 1. [`classify`] maps the workspace-relative path to a [`FileContext`]
+//!    (cargo's directory conventions: `tests/`, `benches/`, `examples/`,
+//!    `src/bin/`, `main.rs`);
+//! 2. [`test_regions`] finds `#[cfg(test)]` items inside library files, so
+//!    an inline `mod tests { … }` is exempt exactly like a `tests/` file.
+
+use crate::lexer::{Scanned, Tok};
+
+/// Which compilation context a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileContext {
+    /// Library code — the serving path; all rules apply.
+    Lib,
+    /// A binary (`src/bin/`, `main.rs`, `build.rs`): fail-fast is fine.
+    Bin,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Benchmarks (`benches/`).
+    Bench,
+    /// Examples (`examples/`).
+    Example,
+}
+
+impl FileContext {
+    /// Context name as it appears in diagnostics and the JSON report.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Lib => "lib",
+            Self::Bin => "bin",
+            Self::Test => "test",
+            Self::Bench => "bench",
+            Self::Example => "example",
+        }
+    }
+}
+
+/// Classifies a workspace-relative path (always with `/` separators).
+#[must_use]
+pub fn classify(rel_path: &str) -> FileContext {
+    let has_dir =
+        |d: &str| rel_path.starts_with(&format!("{d}/")) || rel_path.contains(&format!("/{d}/"));
+    if has_dir("tests") {
+        FileContext::Test
+    } else if has_dir("benches") {
+        FileContext::Bench
+    } else if has_dir("examples") {
+        FileContext::Example
+    } else if has_dir("src/bin")
+        || rel_path.ends_with("/main.rs")
+        || rel_path == "main.rs"
+        || rel_path.ends_with("build.rs")
+    {
+        FileContext::Bin
+    } else {
+        FileContext::Lib
+    }
+}
+
+/// Whether `rel_path` is a crate root (`src/lib.rs` of some package, or the
+/// workspace facade's own `src/lib.rs`) — the files that must carry
+/// `#![forbid(unsafe_code)]`.
+#[must_use]
+pub fn is_crate_root(rel_path: &str) -> bool {
+    rel_path == "src/lib.rs" || rel_path.ends_with("/src/lib.rs")
+}
+
+/// An inclusive line range (1-based) covered by a `#[cfg(test)]` item.
+pub type LineRange = (u32, u32);
+
+/// Finds the line ranges of every `#[cfg(test)]` item: the attribute plus
+/// the braced item that follows it (typically `mod tests { … }`, but a
+/// `#[cfg(test)] fn helper() { … }` works the same way).
+#[must_use]
+pub fn test_regions(scanned: &Scanned) -> Vec<LineRange> {
+    let toks = &scanned.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(after_attr) = match_test_attr(scanned, i) {
+            let start_line = toks[i].line;
+            if let Some(end) = item_end(scanned, after_attr) {
+                regions.push((start_line, toks[end].line));
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Whether `line` falls inside any of `regions`.
+#[must_use]
+pub fn in_regions(regions: &[LineRange], line: u32) -> bool {
+    regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+fn is_punct(scanned: &Scanned, i: usize, c: char) -> bool {
+    scanned
+        .tokens
+        .get(i)
+        .is_some_and(|t| t.tok == Tok::Punct(c))
+}
+
+fn is_ident(scanned: &Scanned, i: usize, name: &str) -> bool {
+    matches!(&scanned.tokens.get(i), Some(t) if matches!(&t.tok, Tok::Ident(s) if s == name))
+}
+
+/// Matches `#[cfg(…test…)]` starting at token `i`; returns the index one
+/// past the closing `]`. `cfg(all(test, …))` counts: any `test` ident
+/// inside the attribute marks the item as test-only.
+fn match_test_attr(scanned: &Scanned, i: usize) -> Option<usize> {
+    if !(is_punct(scanned, i, '#')
+        && is_punct(scanned, i + 1, '[')
+        && is_ident(scanned, i + 2, "cfg"))
+    {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut saw_test = false;
+    let mut j = i + 1;
+    loop {
+        match &scanned.tokens.get(j)?.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return saw_test.then_some(j + 1);
+                }
+            }
+            Tok::Ident(s) if s == "test" => saw_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+/// From the token after an attribute, finds the index of the token ending
+/// the annotated item: the matching `}` of its first top-level brace block,
+/// or the `;` for item declarations without a body. Skips any further
+/// attributes first.
+fn item_end(scanned: &Scanned, mut i: usize) -> Option<usize> {
+    // Skip stacked attributes (`#[cfg(test)] #[allow(…)] mod t { … }`).
+    while is_punct(scanned, i, '#') && is_punct(scanned, i + 1, '[') {
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        loop {
+            match &scanned.tokens.get(j)?.tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    // Find the item body: the first `{` at bracket depth 0 (a `;` first
+    // means a body-less item like `mod tests;`).
+    let mut paren = 0i32;
+    let mut j = i;
+    loop {
+        match &scanned.tokens.get(j)?.tok {
+            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+            Tok::Punct(';') if paren == 0 => return Some(j),
+            Tok::Punct('{') if paren == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    // Match the braces.
+    let mut depth = 0i32;
+    loop {
+        match &scanned.tokens.get(j)?.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn classification_follows_cargo_conventions() {
+        assert_eq!(classify("crates/core/src/pool.rs"), FileContext::Lib);
+        assert_eq!(classify("src/lib.rs"), FileContext::Lib);
+        assert_eq!(classify("src/bin/acq.rs"), FileContext::Bin);
+        assert_eq!(
+            classify("crates/bench/src/bin/reproduce.rs"),
+            FileContext::Bin
+        );
+        assert_eq!(
+            classify("crates/core/tests/parallel_equivalence.rs"),
+            FileContext::Test
+        );
+        assert_eq!(classify("tests/cli_contract.rs"), FileContext::Test);
+        assert_eq!(
+            classify("crates/bench/benches/ablation.rs"),
+            FileContext::Bench
+        );
+        assert_eq!(classify("examples/quickstart.rs"), FileContext::Example);
+    }
+
+    #[test]
+    fn crate_roots() {
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/core/src/lib.rs"));
+        assert!(!is_crate_root("crates/core/src/pool.rs"));
+        assert!(!is_crate_root(
+            "crates/lint/tests/fixtures/forbid_unsafe/src/liberty.rs"
+        ));
+    }
+
+    #[test]
+    fn cfg_test_mod_region_covers_its_braces() {
+        let src = "\
+fn live() { x.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+
+fn also_live() {}
+";
+        let scanned = scan(src);
+        let regions = test_regions(&scanned);
+        assert_eq!(regions, vec![(3, 7)]);
+        assert!(in_regions(&regions, 6));
+        assert!(!in_regions(&regions, 1));
+        assert!(!in_regions(&regions, 9));
+    }
+
+    #[test]
+    fn cfg_all_test_and_stacked_attrs_count() {
+        let src = "\
+#[cfg(all(test, feature = \"slow\"))]
+#[allow(dead_code)]
+mod helpers {
+    fn h() {}
+}
+";
+        let regions = test_regions(&scan(src));
+        assert_eq!(regions, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_a_region() {
+        let regions = test_regions(&scan("#[cfg(unix)]\nmod m { fn f() {} }\n"));
+        assert!(regions.is_empty());
+    }
+
+    #[test]
+    fn bodyless_item_ends_at_semicolon() {
+        let regions = test_regions(&scan("#[cfg(test)]\nmod tests;\nfn live() {}\n"));
+        assert_eq!(regions, vec![(1, 2)]);
+    }
+}

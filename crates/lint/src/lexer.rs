@@ -1,0 +1,452 @@
+//! A Rust token scanner good enough for invariant linting.
+//!
+//! Follows the same hand-rolled approach as `acq-sql`'s SQL lexer: a single
+//! forward pass over the bytes, no lookahead tables, no external crates. The
+//! scanner does **not** attempt full fidelity with rustc — it only needs to
+//! distinguish identifiers, literals and punctuation reliably enough that
+//! rule patterns never fire inside strings, comments or doc text, and to
+//! report accurate 1-based `line:col` positions for the tokens it emits.
+//!
+//! Comments are not discarded: they are collected into a side channel so the
+//! rules can honour inline escape hatches such as
+//! `// lint-allow(<rule>): <reason>` and `// relaxed-ok: <reason>`.
+
+/// What a scanned token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unwrap`, `pub`, `HashMap`, `unsafe`, …).
+    Ident(String),
+    /// Lifetime (`'a`, `'static`); kept distinct so `'a'` char literals and
+    /// lifetimes never confuse the rules.
+    Lifetime(String),
+    /// Numeric literal, verbatim spelling.
+    Number(String),
+    /// Any string, raw-string, byte-string or char literal. The content is
+    /// deliberately dropped: no rule may ever match inside a literal.
+    Literal,
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+/// A comment (line or block) with the position of its opening delimiter.
+/// Doc comments (`///`, `//!`) are comments too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including delimiters.
+    pub text: String,
+    /// 1-based line of the opening delimiter.
+    pub line: u32,
+    /// 1-based line of the closing delimiter (differs for block comments).
+    pub end_line: u32,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/col cursor.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Scans `text` into tokens and comments. Never fails: malformed input
+/// degrades to punctuation tokens, which at worst makes a rule miss — the
+/// compiler, not the linter, owns syntax errors.
+pub fn scan(text: &str) -> Scanned {
+    let mut s = Scanner::new(text);
+    let mut out = Scanned::default();
+
+    while let Some(b) = s.peek(0) {
+        let (line, col) = (s.line, s.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => s.bump(),
+            b'/' if s.peek(1) == Some(b'/') => {
+                let text = s.take_while(|b| b != b'\n');
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    end_line: line,
+                });
+            }
+            b'/' if s.peek(1) == Some(b'*') => {
+                let start = s.pos;
+                s.bump_n(2);
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (s.peek(0), s.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            s.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            s.bump_n(2);
+                        }
+                        (Some(_), _) => s.bump(),
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&s.bytes[start..s.pos]).into_owned(),
+                    line,
+                    end_line: s.line,
+                });
+            }
+            b'"' => {
+                lex_string(&mut s);
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                let tok = lex_quote(&mut s);
+                out.tokens.push(Token { tok, line, col });
+            }
+            b'0'..=b'9' => {
+                let text = lex_number(&mut s);
+                out.tokens.push(Token {
+                    tok: Tok::Number(text),
+                    line,
+                    col,
+                });
+            }
+            b if is_ident_start(b) => {
+                // Raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`,
+                // `br#"…"#`) and byte chars (`b'x'`) start with what looks
+                // like an identifier; raw identifiers (`r#type`) also start
+                // with `r#`. Disambiguate before committing to an ident.
+                if let Some(tok) = lex_prefixed_literal(&mut s) {
+                    out.tokens.push(Token { tok, line, col });
+                } else {
+                    let text = s.take_while(is_ident_continue);
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(text),
+                        line,
+                        col,
+                    });
+                }
+            }
+            other => {
+                s.bump();
+                out.tokens.push(Token {
+                    tok: Tok::Punct(other as char),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string (opening quote under the cursor), honouring
+/// backslash escapes.
+fn lex_string(s: &mut Scanner<'_>) {
+    s.bump(); // opening quote
+    while let Some(b) = s.peek(0) {
+        match b {
+            b'\\' => s.bump_n(2),
+            b'"' => {
+                s.bump();
+                return;
+            }
+            _ => s.bump(),
+        }
+    }
+}
+
+/// Consumes a `'` and decides between a char literal and a lifetime.
+fn lex_quote(s: &mut Scanner<'_>) -> Tok {
+    s.bump(); // the quote
+    match s.peek(0) {
+        // Escaped char: '\n', '\'', '\u{…}'.
+        Some(b'\\') => {
+            s.bump_n(2);
+            // Consume up to the closing quote (covers \u{…}).
+            while let Some(b) = s.peek(0) {
+                s.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+            Tok::Literal
+        }
+        Some(b) if is_ident_start(b) => {
+            let name = s.take_while(is_ident_continue);
+            if s.peek(0) == Some(b'\'') {
+                // 'a' — a char literal whose payload scanned as an ident.
+                s.bump();
+                Tok::Literal
+            } else {
+                Tok::Lifetime(name)
+            }
+        }
+        // Any other single char ('.', '(', …) up to the closing quote.
+        _ => {
+            while let Some(b) = s.peek(0) {
+                s.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+            Tok::Literal
+        }
+    }
+}
+
+/// Consumes a numeric literal: decimal/hex/octal/binary digits, `_`
+/// separators, one fractional part, exponents and type suffixes.
+fn lex_number(s: &mut Scanner<'_>) -> String {
+    let start = s.pos;
+    // Integer part, radix prefixes and type suffixes are all covered by the
+    // alphanumeric class (`0xFF`, `1_000u64`, `1e9`).
+    s.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    // One fractional part — only when followed by a digit, so `0..10` and
+    // `1.max(2)` keep their dots as punctuation.
+    if s.peek(0) == Some(b'.') && s.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        s.bump();
+        s.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    // Signed exponent (`1e-9`): the sign stops the alphanumeric scan above.
+    if matches!(s.bytes.get(s.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+        && matches!(s.peek(0), Some(b'+' | b'-'))
+        && s.peek(1).is_some_and(|b| b.is_ascii_digit())
+    {
+        s.bump();
+        s.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    String::from_utf8_lossy(&s.bytes[start..s.pos]).into_owned()
+}
+
+/// Handles literals that begin with an identifier-looking prefix: raw
+/// strings, byte strings, byte chars, and raw identifiers. Returns `None`
+/// when the cursor is at a plain identifier.
+fn lex_prefixed_literal(s: &mut Scanner<'_>) -> Option<Tok> {
+    let b0 = s.peek(0)?;
+    match (b0, s.peek(1), s.peek(2)) {
+        // b'x' byte char.
+        (b'b', Some(b'\''), _) => {
+            s.bump();
+            Some(lex_quote(s))
+        }
+        // b"…" byte string.
+        (b'b', Some(b'"'), _) => {
+            s.bump();
+            lex_string(s);
+            Some(Tok::Literal)
+        }
+        // r"…" | r#"…"# | r#ident | br"…" | br#"…"#.
+        (b'r', Some(b'"'), _)
+        | (b'r', Some(b'#'), _)
+        | (b'b', Some(b'r'), Some(b'"'))
+        | (b'b', Some(b'r'), Some(b'#')) => {
+            let prefix = if b0 == b'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while s.peek(prefix + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if s.peek(prefix + hashes) != Some(b'"') {
+                if prefix == 1 && hashes >= 1 {
+                    // r#ident — a raw identifier, not a literal.
+                    s.bump_n(1 + hashes);
+                    let name = s.take_while(is_ident_continue);
+                    return Some(Tok::Ident(name));
+                }
+                return None;
+            }
+            s.bump_n(prefix + hashes + 1);
+            // Scan to `"` followed by `hashes` hash marks.
+            'outer: while let Some(b) = s.peek(0) {
+                if b == b'"' {
+                    for h in 0..hashes {
+                        if s.peek(1 + h) != Some(b'#') {
+                            s.bump();
+                            continue 'outer;
+                        }
+                    }
+                    s.bump_n(1 + hashes);
+                    break;
+                }
+                s.bump();
+            }
+            Some(Tok::Literal)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(text: &str) -> Vec<String> {
+        scan(text)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let s = scan("fn main() {\n    x.unwrap();\n}\n");
+        let unwrap = s
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("unwrap".into()))
+            .unwrap();
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn strings_and_chars_never_leak_idents() {
+        assert_eq!(
+            idents(r#"let s = "unwrap panic HashMap"; let c = 'u';"#),
+            vec!["let", "s", "let", "c"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        assert_eq!(
+            idents(r###"let s = r#"a "quoted" unwrap"#; done"###),
+            vec!["let", "s", "done"]
+        );
+        assert_eq!(
+            idents(r#"let b = br"bytes unwrap"; done"#),
+            vec!["let", "b", "done"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(s.tokens.iter().any(|t| t.tok == Tok::Literal));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let s = scan("// one\nlet x = 1; // two\n/* three\nspans */ let y = 2;\n");
+        assert_eq!(s.comments.len(), 3);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[1].line, 2);
+        assert_eq!((s.comments[2].line, s.comments[2].end_line), (3, 4));
+        // Comment text never becomes tokens.
+        assert_eq!(idents("// unwrap\n/* panic */"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* a /* b */ c */ let x = 1;");
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ let x = 1;"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn numbers_keep_dots_out_of_ranges_and_methods() {
+        let s = scan("0..10 1.max(2) 1.5e-3 0xFFu32");
+        let nums: Vec<_> = s
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Number(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1", "2", "1.5e-3", "0xFFu32"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        assert_eq!(
+            idents(r"let c = '\n'; let u = '\u{1F600}'; done"),
+            vec!["let", "c", "let", "u", "done"]
+        );
+    }
+}

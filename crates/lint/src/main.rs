@@ -1,0 +1,97 @@
+//! The `acq-lint` command-line entry point.
+//!
+//! ```text
+//! acq-lint --workspace [--root <dir>] [--config <lint.toml>]
+//!          [--json <report.json>] [--verbose]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error —
+//! the same contract as `validate_metrics`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use acq_lint::{load_config, run_workspace};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: None,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            // The workspace walk is the only mode; the flag exists so the
+            // CI invocation documents its own scope.
+            "--workspace" => {}
+            "--root" => args.root = next_path(&mut it, "--root")?,
+            "--config" => args.config = Some(next_path(&mut it, "--config")?),
+            "--json" => args.json = Some(next_path(&mut it, "--json")?),
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: acq-lint --workspace [--root <dir>] [--config <lint.toml>] \
+                     [--json <report.json>] [--verbose]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let cfg = match load_config(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run_workspace(&args.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(json_path) = &args.json {
+        if let Err(e) = std::fs::write(json_path, report.to_json()) {
+            eprintln!("error: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", report.render_text(args.verbose));
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

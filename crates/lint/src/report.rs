@@ -1,0 +1,239 @@
+//! Diagnostics and report rendering.
+//!
+//! Text output follows rustc's shape (`error[rule]: message` plus a
+//! `--> file:line:col` arrow) so editors and CI log scrapers pick the
+//! positions up for free. The JSON report is the machine-readable artifact
+//! CI uploads and validates against `schemas/lint.schema.json`, mirroring
+//! the `validate_metrics` pattern from `acq-obs`.
+
+use std::fmt::Write as _;
+
+/// One finding at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule family name (`panic-hygiene`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+/// How a finding was suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowedBy {
+    /// An inline `// lint-allow(<rule>): <reason>` annotation.
+    Inline,
+    /// A `lint.toml` `[allow]` path prefix.
+    Config,
+}
+
+impl AllowedBy {
+    fn name(self) -> &'static str {
+        match self {
+            Self::Inline => "inline",
+            Self::Config => "config",
+        }
+    }
+}
+
+/// A suppressed finding, kept in the report so the allowlist stays audited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allowed {
+    /// The underlying finding.
+    pub diagnostic: Diagnostic,
+    /// Which escape hatch suppressed it.
+    pub by: AllowedBy,
+}
+
+/// The complete result of one workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Violations that survived both escape hatches, sorted by position.
+    pub violations: Vec<Diagnostic>,
+    /// Findings suppressed by an annotation or the config allowlist.
+    pub allowed: Vec<Allowed>,
+}
+
+/// Version stamp of the JSON report layout (`schemas/lint.schema.json`).
+pub const REPORT_VERSION: u64 = 1;
+
+impl Report {
+    /// Sorts both lists by (file, line, col, rule) for deterministic output.
+    pub fn sort(&mut self) {
+        let key = |d: &Diagnostic| (d.file.clone(), d.line, d.col, d.rule);
+        self.violations.sort_by_key(key);
+        self.allowed.sort_by_key(|a| key(&a.diagnostic));
+    }
+
+    /// Whether the workspace is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders rustc-style text diagnostics plus a one-line summary.
+    #[must_use]
+    pub fn render_text(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for d in &self.violations {
+            let _ = writeln!(
+                out,
+                "error[{}]: {}\n  --> {}:{}:{}",
+                d.rule, d.message, d.file, d.line, d.col
+            );
+        }
+        if verbose {
+            for a in &self.allowed {
+                let d = &a.diagnostic;
+                let _ = writeln!(
+                    out,
+                    "note[{}]: allowed ({}) {}\n  --> {}:{}:{}",
+                    d.rule,
+                    a.by.name(),
+                    d.message,
+                    d.file,
+                    d.line,
+                    d.col
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "acq-lint: {} file(s), {} violation(s), {} allowed",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowed.len()
+        );
+        out
+    }
+
+    /// Renders the machine-readable report.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"version\": {REPORT_VERSION},\n  \"files_scanned\": {},\n",
+            self.files_scanned
+        ));
+        out.push_str("  \"violations\": [");
+        render_diags(&mut out, self.violations.iter().map(|d| (d, None)));
+        out.push_str("],\n  \"allowed\": [");
+        render_diags(
+            &mut out,
+            self.allowed.iter().map(|a| (&a.diagnostic, Some(a.by))),
+        );
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{ \"violations\": {}, \"allowed\": {}, \"clean\": {} }}\n}}\n",
+            self.violations.len(),
+            self.allowed.len(),
+            self.is_clean()
+        ));
+        out
+    }
+}
+
+fn render_diags<'a>(
+    out: &mut String,
+    diags: impl Iterator<Item = (&'a Diagnostic, Option<AllowedBy>)>,
+) {
+    let mut first = true;
+    for (d, by) in diags {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    { ");
+        let _ = write!(
+            out,
+            "\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"",
+            escape(d.rule),
+            escape(&d.file),
+            d.line,
+            d.col,
+            escape(&d.message)
+        );
+        if let Some(by) = by {
+            let _ = write!(out, ", \"by\": \"{}\"", by.name());
+        }
+        out.push_str(" }");
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Minimal JSON string escaping (the report contains no exotic content).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule: "panic-hygiene",
+            file: file.to_string(),
+            line,
+            col: 5,
+            message: "`.unwrap()` in library code".to_string(),
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_shaped() {
+        let mut r = Report {
+            files_scanned: 2,
+            violations: vec![diag("b.rs", 9), diag("a.rs", 3)],
+            allowed: vec![],
+        };
+        r.sort();
+        let text = r.render_text(false);
+        assert!(text.starts_with("error[panic-hygiene]"), "{text}");
+        assert!(text.contains("--> a.rs:3:5"), "{text}");
+        // Sorted: a.rs before b.rs.
+        assert!(text.find("a.rs").unwrap() < text.find("b.rs").unwrap());
+        assert!(text.contains("2 file(s), 2 violation(s), 0 allowed"));
+    }
+
+    #[test]
+    fn json_escapes_and_marks_allowed() {
+        let r = Report {
+            files_scanned: 1,
+            violations: vec![],
+            allowed: vec![Allowed {
+                diagnostic: Diagnostic {
+                    message: "say \"hi\"".to_string(),
+                    ..diag("a.rs", 1)
+                },
+                by: AllowedBy::Inline,
+            }],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\\\"hi\\\""), "{json}");
+        assert!(json.contains("\"by\": \"inline\""), "{json}");
+        assert!(json.contains("\"clean\": true"), "{json}");
+    }
+}

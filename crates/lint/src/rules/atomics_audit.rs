@@ -1,0 +1,80 @@
+//! **atomics-audit** — every `Ordering::Relaxed` must justify itself.
+//!
+//! The §5 at-most-once guarantee rests on the worker pool's `fetch_add`
+//! claim protocol; whether `Relaxed` is sound there is a real proof
+//! obligation (it is — RMW operations on a single atomic are totally
+//! ordered; see DESIGN.md), and the same is true of every other relaxed
+//! access in the workspace. Rather than banning `Relaxed` (upgrading a
+//! sound site to `AcqRel` hides the reasoning instead of recording it),
+//! the rule requires each use in library code to carry a
+//! `// relaxed-ok: <reason>` annotation on the same line or the line
+//! above. No annotation, no `Relaxed`.
+
+use crate::config::Config;
+use crate::report::Diagnostic;
+
+use super::{ident_at, qualified_by, SourceFile};
+
+/// Runs the rule over one file.
+pub fn check(f: &SourceFile, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let toks = &f.scanned.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ident_at(toks, i) != Some("Relaxed") || !qualified_by(toks, i, "Ordering") {
+            continue;
+        }
+        if !f.is_lib_line(t.line) {
+            continue;
+        }
+        if !f.annotations.relaxed_ok(t.line) {
+            out.push(f.diag(
+                "atomics-audit",
+                t,
+                "`Ordering::Relaxed` without a `// relaxed-ok: <reason>` justification".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/core/src/pool.rs", src, FileContext::Lib);
+        let mut out = Vec::new();
+        check(&f, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unannotated_relaxed_is_flagged_with_position() {
+        let out = run("fn f() {\n    c.fetch_add(1, Ordering::Relaxed);\n}");
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].line, out[0].col), (2, 30));
+    }
+
+    #[test]
+    fn trailing_and_preceding_annotations_satisfy() {
+        assert!(
+            run("fn f() { c.load(Ordering::Relaxed); // relaxed-ok: monotone flag\n}").is_empty()
+        );
+        assert!(run(
+            "fn f() {\n    // relaxed-ok: claim uniqueness is RMW total order\n    \
+             c.fetch_add(1, Ordering::Relaxed);\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn stronger_orderings_need_no_annotation() {
+        assert!(
+            run("fn f() { c.store(1, Ordering::AcqRel); c.load(Ordering::SeqCst); }").is_empty()
+        );
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        assert!(run("#[cfg(test)]\nmod t { fn f() { c.load(Ordering::Relaxed); } }").is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! **determinism** — keep nondeterminism out of the emission path.
+//!
+//! ACQUIRE's outcomes are bit-identical for any thread count because the
+//! driver merges (Eq. 17), accounts and answers in serial emission order.
+//! Three things would silently break that:
+//!
+//! * unordered-container iteration (`HashMap`/`HashSet`, or the project's
+//!   `FastMap`/`FastSet` aliases) in an emission-path file — iteration
+//!   order would leak into answers, so those files must use `BTreeMap` or
+//!   keyed lookups only;
+//! * wall-clock reads (`Instant::now`, `SystemTime::now`) outside the
+//!   governor (deadlines are *policy*) and `acq-obs` (latency metrics are
+//!   explicitly nondeterministic-class) — a clock anywhere else is a
+//!   timing dependency waiting to become a flaky answer;
+//! * `thread::sleep` anywhere but the fault injector, whose injected
+//!   latency is part of its contract.
+//!
+//! Paths are scoped in `lint.toml` (`[determinism]`); individual sound
+//! sites carry `// lint-allow(determinism): <reason>`.
+
+use crate::config::Config;
+use crate::report::Diagnostic;
+
+use super::{ident_at, qualified_by, SourceFile};
+
+const UNORDERED: [&str; 4] = ["HashMap", "HashSet", "FastMap", "FastSet"];
+
+/// Runs the rule over one file.
+pub fn check(f: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let toks = &f.scanned.tokens;
+    let ordered = cfg.is_ordered_path(&f.rel_path);
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = ident_at(toks, i) else {
+            continue;
+        };
+        if !f.is_lib_line(t.line) {
+            continue;
+        }
+        if ordered && UNORDERED.contains(&name) {
+            out.push(f.diag(
+                "determinism",
+                t,
+                format!(
+                    "`{name}` in an ordered emission path; use `BTreeMap`/`BTreeSet` or keyed \
+                     lookups with sorted iteration"
+                ),
+            ));
+        }
+        if name == "now"
+            && (qualified_by(toks, i, "Instant") || qualified_by(toks, i, "SystemTime"))
+            && !cfg.clock_allowed(&f.rel_path)
+        {
+            out.push(f.diag(
+                "determinism",
+                t,
+                "wall-clock read outside govern/obs; clocks belong to budget policy and metrics \
+                 only"
+                    .to_string(),
+            ));
+        }
+        if name == "sleep" && qualified_by(toks, i, "thread") && !cfg.sleep_allowed(&f.rel_path) {
+            out.push(f.diag(
+                "determinism",
+                t,
+                "`thread::sleep` outside the fault injector".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn cfg() -> Config {
+        Config::parse(
+            "[determinism]\n\
+             ordered_paths = [\"crates/core/src/store.rs\"]\n\
+             clock_allowed = [\"crates/obs/\"]\n\
+             sleep_allowed = [\"crates/core/src/fault.rs\"]\n",
+        )
+        .unwrap()
+    }
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path, src, FileContext::Lib);
+        let mut out = Vec::new();
+        check(&f, &cfg(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unordered_containers_flagged_only_on_ordered_paths() {
+        let src = "use std::collections::HashMap;\nstruct S { m: FastMap<u32, u32> }";
+        assert_eq!(run("crates/core/src/store.rs", src).len(), 2);
+        assert!(run("crates/core/src/eval.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clocks_allowed_only_where_configured() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        assert_eq!(run("crates/core/src/driver.rs", src).len(), 2);
+        assert!(run("crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sleep_allowed_only_in_the_fault_injector() {
+        let src = "fn f() { std::thread::sleep(d); }";
+        assert_eq!(run("crates/core/src/pool.rs", src).len(), 1);
+        assert!(run("crates/core/src/fault.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_now_and_sleep_idents_do_not_fire() {
+        assert!(run(
+            "crates/core/src/driver.rs",
+            "fn f() { let now = 3; now.max(1); }"
+        )
+        .is_empty());
+        assert!(run("crates/core/src/pool.rs", "fn f() { pool.sleep(); }").is_empty());
+    }
+}

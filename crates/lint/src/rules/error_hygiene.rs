@@ -1,0 +1,113 @@
+//! **error-hygiene** — public error enums are `#[non_exhaustive]`.
+//!
+//! PR 1 grew `CoreError`/`EngineError` new variants (`Fault`,
+//! `EvalPanicked`) without a breaking change only because both enums were
+//! `#[non_exhaustive]`. Every `pub enum *Error` must keep that property:
+//! downstream `match`es are forced to carry a wildcard arm, so the next
+//! anytime/fault/termination variant ships without an API break.
+
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::report::Diagnostic;
+
+use super::{ident_at, punct_at, SourceFile};
+
+/// Runs the rule over one file.
+pub fn check(f: &SourceFile, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let toks = &f.scanned.tokens;
+    for i in 0..toks.len() {
+        if ident_at(toks, i) != Some("enum") {
+            continue;
+        }
+        let Some(name) = ident_at(toks, i + 1) else {
+            continue;
+        };
+        if !name.ends_with("Error") || !f.is_lib_line(toks[i].line) {
+            continue;
+        }
+        // Only fully-public enums: `pub enum`, not `pub(crate) enum` (whose
+        // `)` precedes `enum`) or a private one.
+        if ident_at(toks, i.wrapping_sub(1)) != Some("pub") {
+            continue;
+        }
+        if !has_non_exhaustive_attr(f, i - 1) {
+            out.push(f.diag(
+                "error-hygiene",
+                &toks[i + 1],
+                format!("public error enum `{name}` must be `#[non_exhaustive]`"),
+            ));
+        }
+    }
+}
+
+/// Walks the attribute block immediately above the item starting at `item`
+/// (the `pub` token), looking for `non_exhaustive` anywhere in it. Doc
+/// comments are not tokens, so they never interrupt the walk.
+fn has_non_exhaustive_attr(f: &SourceFile, item: usize) -> bool {
+    let toks = &f.scanned.tokens;
+    let mut end = item; // exclusive end of the preceding attribute block
+    while end > 0 && punct_at(toks, end - 1, ']') {
+        // Find the matching `[` backwards.
+        let mut depth = 0i32;
+        let mut j = end - 1;
+        loop {
+            match toks[j].tok {
+                Tok::Punct(']') => depth += 1,
+                Tok::Punct('[') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+        if j == 0 || !punct_at(toks, j - 1, '#') {
+            return false;
+        }
+        if (j..end).any(|k| ident_at(toks, k) == Some("non_exhaustive")) {
+            return true;
+        }
+        end = j - 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/x/src/error.rs", src, FileContext::Lib);
+        let mut out = Vec::new();
+        check(&f, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_public_error_enum_is_flagged_at_its_name() {
+        let out = run("/// Docs.\n#[derive(Debug, Clone)]\npub enum SqlError { Parse(String) }");
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].line, out[0].col), (3, 10));
+        assert!(out[0].message.contains("SqlError"));
+    }
+
+    #[test]
+    fn non_exhaustive_in_any_attribute_position_passes() {
+        assert!(run("#[derive(Debug)]\n#[non_exhaustive]\npub enum AError { X }").is_empty());
+        assert!(run("#[non_exhaustive]\n#[derive(Debug)]\npub enum BError { X }").is_empty());
+    }
+
+    #[test]
+    fn private_restricted_and_non_error_enums_are_ignored() {
+        assert!(run("enum InnerError { X }").is_empty());
+        assert!(run("pub(crate) enum CrateError { X }").is_empty());
+        assert!(run("pub enum AggErrorFn { Absolute }").is_empty());
+        assert!(run("pub enum TokenKind { Eof }").is_empty());
+    }
+}

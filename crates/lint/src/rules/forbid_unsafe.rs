@@ -1,0 +1,141 @@
+//! **forbid-unsafe** — the workspace is `unsafe`-free, and stays that way.
+//!
+//! The whole reproduction is written in safe Rust (grep found zero `unsafe`
+//! blocks when this rule landed), so the strongest cheap guarantee is to
+//! lock it in: every crate root must carry `#![forbid(unsafe_code)]` —
+//! which makes the *compiler* reject any future unsafe block, even behind
+//! `#[allow]` — and the linter independently flags `unsafe` tokens in
+//! lib/bin code as defence in depth (and so the diagnostic appears even in
+//! files that are momentarily not compiled, e.g. behind a feature gate).
+
+use crate::config::Config;
+use crate::context::{is_crate_root, FileContext};
+use crate::lexer::Token;
+use crate::report::Diagnostic;
+
+use super::{ident_at, punct_at, SourceFile};
+
+/// Runs the rule over one file.
+pub fn check(f: &SourceFile, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let toks = &f.scanned.tokens;
+    if f.context == FileContext::Lib && is_crate_root(&f.rel_path) && !has_forbid_attr(f) {
+        out.push(Diagnostic {
+            rule: "forbid-unsafe",
+            file: f.rel_path.clone(),
+            line: 1,
+            col: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    if matches!(f.context, FileContext::Lib | FileContext::Bin) {
+        for (i, t) in toks.iter().enumerate() {
+            if ident_at(toks, i) == Some("unsafe") && f.is_unsafe_relevant_line(t) {
+                out.push(f.diag(
+                    "forbid-unsafe",
+                    t,
+                    "`unsafe` is forbidden workspace-wide".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+impl SourceFile {
+    /// Bin files have no test-region exemption to speak of, but inline
+    /// `#[cfg(test)]` modules in either context stay exempt for symmetry
+    /// with the other rules.
+    fn is_unsafe_relevant_line(&self, t: &Token) -> bool {
+        !crate::context::in_regions(&self.test_regions, t.line)
+    }
+}
+
+/// Scans for the inner attribute `#![forbid(unsafe_code)]` (possibly
+/// listing several lints: `#![forbid(unsafe_code, missing_docs)]`).
+fn has_forbid_attr(f: &SourceFile) -> bool {
+    let toks = &f.scanned.tokens;
+    for i in 0..toks.len() {
+        if punct_at(toks, i, '#')
+            && punct_at(toks, i + 1, '!')
+            && punct_at(toks, i + 2, '[')
+            && ident_at(toks, i + 3) == Some("forbid")
+            && punct_at(toks, i + 4, '(')
+        {
+            let mut j = i + 5;
+            while !punct_at(toks, j, ')') {
+                if ident_at(toks, j) == Some("unsafe_code") {
+                    return true;
+                }
+                if j >= toks.len() {
+                    return false;
+                }
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str, context: FileContext) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path, src, context);
+        let mut out = Vec::new();
+        check(&f, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn crate_root_without_the_attribute_is_flagged_at_1_1() {
+        let out = run(
+            "crates/x/src/lib.rs",
+            "//! Docs.\npub fn f() {}\n",
+            FileContext::Lib,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].line, out[0].col), (1, 1));
+    }
+
+    #[test]
+    fn attribute_variants_satisfy() {
+        for src in [
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            "//! Docs.\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\n",
+            "#![forbid(unsafe_code, missing_docs)]\n",
+        ] {
+            assert!(
+                run("crates/x/src/lib.rs", src, FileContext::Lib).is_empty(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_root_files_need_no_attribute_but_no_unsafe_either() {
+        assert!(run("crates/x/src/other.rs", "pub fn f() {}", FileContext::Lib).is_empty());
+        let out = run(
+            "crates/x/src/other.rs",
+            "#![forbid(unsafe_code)]\npub fn f(p: *const u8) { unsafe { p.read() }; }",
+            FileContext::Lib,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_in_tests_or_strings_is_not_flagged() {
+        assert!(run(
+            "crates/x/src/other.rs",
+            "#[cfg(test)]\nmod t { fn f() { unsafe {} } }",
+            FileContext::Lib
+        )
+        .is_empty());
+        assert!(run(
+            "crates/x/src/other.rs",
+            "fn f() { let s = \"unsafe\"; }",
+            FileContext::Lib
+        )
+        .is_empty());
+    }
+}

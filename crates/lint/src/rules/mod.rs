@@ -1,0 +1,261 @@
+//! The rule families and the per-file checking pipeline.
+//!
+//! Each rule is a function over a [`SourceFile`] — the scanned tokens plus
+//! everything needed to scope a finding: the file's [`FileContext`], its
+//! `#[cfg(test)]` regions, and the inline annotations parsed from comments.
+//! Rules emit raw [`Diagnostic`]s; the caller applies the two escape
+//! hatches (inline `lint-allow`, `lint.toml` `[allow]`) afterwards so
+//! suppressed findings still appear in the report's `allowed` list.
+
+pub mod atomics_audit;
+pub mod determinism;
+pub mod error_hygiene;
+pub mod forbid_unsafe;
+pub mod obs_discipline;
+pub mod panic_hygiene;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::context::{self, FileContext, LineRange};
+use crate::lexer::{Scanned, Tok, Token};
+use crate::report::Diagnostic;
+
+/// Every rule family, in report order. `lint.toml`'s `[allow]` keys are
+/// validated against this list.
+pub const ALL: [&str; 6] = [
+    "panic-hygiene",
+    "determinism",
+    "atomics-audit",
+    "obs-discipline",
+    "error-hygiene",
+    "forbid-unsafe",
+];
+
+/// Inline escape-hatch annotations, indexed by the line they cover. An
+/// annotation on line `L` covers findings on `L` (trailing comment) and
+/// `L + 1` (comment on its own line above the code).
+#[derive(Debug, Default)]
+pub struct Annotations {
+    lint_allow: BTreeMap<u32, Vec<String>>,
+    relaxed_ok: BTreeSet<u32>,
+    worker_metric_ok: BTreeSet<u32>,
+}
+
+impl Annotations {
+    /// Parses annotations out of scanned comments. An annotation without a
+    /// non-empty `: <reason>` does **not** count — the reason is the point.
+    #[must_use]
+    pub fn parse(scanned: &Scanned) -> Self {
+        let mut a = Self::default();
+        for c in &scanned.comments {
+            let anchor = c.end_line;
+            if let Some(rest) = find_after(&c.text, "lint-allow(") {
+                if let Some((rule, after)) = rest.split_once(')') {
+                    if reason_present(after) {
+                        a.lint_allow
+                            .entry(anchor)
+                            .or_default()
+                            .push(rule.trim().to_string());
+                    }
+                }
+            }
+            if find_after(&c.text, "relaxed-ok").is_some_and(reason_present) {
+                a.relaxed_ok.insert(anchor);
+            }
+            if find_after(&c.text, "worker-metric-ok").is_some_and(reason_present) {
+                a.worker_metric_ok.insert(anchor);
+            }
+        }
+        a
+    }
+
+    fn covers(set: &BTreeSet<u32>, line: u32) -> bool {
+        set.contains(&line) || (line > 1 && set.contains(&(line - 1)))
+    }
+
+    /// Whether a `lint-allow(rule)` annotation covers `line`.
+    #[must_use]
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        let hit = |l: u32| {
+            self.lint_allow
+                .get(&l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule))
+        };
+        hit(line) || (line > 1 && hit(line - 1))
+    }
+
+    /// Whether a `relaxed-ok: <reason>` annotation covers `line`.
+    #[must_use]
+    pub fn relaxed_ok(&self, line: u32) -> bool {
+        Self::covers(&self.relaxed_ok, line)
+    }
+
+    /// Whether a `worker-metric-ok: <reason>` annotation covers `line`.
+    #[must_use]
+    pub fn worker_metric_ok(&self, line: u32) -> bool {
+        Self::covers(&self.worker_metric_ok, line)
+    }
+}
+
+fn find_after<'a>(text: &'a str, needle: &str) -> Option<&'a str> {
+    text.find(needle).map(|i| &text[i + needle.len()..])
+}
+
+/// `": reason"` with a non-empty reason after the colon.
+fn reason_present(after: &str) -> bool {
+    after
+        .trim_start()
+        .strip_prefix(':')
+        .is_some_and(|r| !r.trim().is_empty())
+}
+
+/// One source file prepared for rule checking.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Compilation context from the path.
+    pub context: FileContext,
+    /// Tokens and comments.
+    pub scanned: Scanned,
+    /// `#[cfg(test)]` line ranges.
+    pub test_regions: Vec<LineRange>,
+    /// Inline escape hatches.
+    pub annotations: Annotations,
+}
+
+impl SourceFile {
+    /// Prepares `text` for checking as `rel_path` in the given context.
+    #[must_use]
+    pub fn new(rel_path: &str, text: &str, context: FileContext) -> Self {
+        let scanned = crate::lexer::scan(text);
+        let test_regions = context::test_regions(&scanned);
+        let annotations = Annotations::parse(&scanned);
+        Self {
+            rel_path: rel_path.to_string(),
+            context,
+            scanned,
+            test_regions,
+            annotations,
+        }
+    }
+
+    /// Whether the token at `line` is library code: a lib-context file,
+    /// outside any `#[cfg(test)]` region.
+    #[must_use]
+    pub fn is_lib_line(&self, line: u32) -> bool {
+        self.context == FileContext::Lib && !context::in_regions(&self.test_regions, line)
+    }
+
+    /// Emits a diagnostic at token `t`.
+    pub(crate) fn diag(&self, rule: &'static str, t: &Token, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: self.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            message,
+        }
+    }
+}
+
+/// Runs every rule family over `file`, returning raw findings.
+#[must_use]
+pub fn check_file(file: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    panic_hygiene::check(file, cfg, &mut out);
+    determinism::check(file, cfg, &mut out);
+    atomics_audit::check(file, cfg, &mut out);
+    obs_discipline::check(file, cfg, &mut out);
+    error_hygiene::check(file, cfg, &mut out);
+    forbid_unsafe::check(file, cfg, &mut out);
+    out
+}
+
+// ---- token-pattern helpers shared by the rule modules ---------------------
+
+/// The identifier text at index `i`, if any.
+pub(crate) fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Whether token `i` is the punctuation `c`.
+pub(crate) fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Whether tokens `i-2..i` spell `name::` (i.e. the ident at `i` is
+/// qualified by `name`).
+pub(crate) fn qualified_by(toks: &[Token], i: usize, name: &str) -> bool {
+    i >= 3
+        && punct_at(toks, i - 1, ':')
+        && punct_at(toks, i - 2, ':')
+        && ident_at(toks, i - 3) == Some(name)
+}
+
+/// Whether the ident at `i` is a method call: preceded by `.`, followed by
+/// `(` (possibly with turbofish generics in between — not used by any
+/// pattern here, so a plain `(` check is enough).
+pub(crate) fn is_method_call(toks: &[Token], i: usize) -> bool {
+    i >= 1 && punct_at(toks, i - 1, '.') && punct_at(toks, i + 1, '(')
+}
+
+/// Index of the matching `)` for the `(` at `open`.
+pub(crate) fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn annotations_require_reasons() {
+        let a = Annotations::parse(&scan(
+            "// lint-allow(panic-hygiene): fixture invariant\n\
+             x.unwrap();\n\
+             y.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone flag\n\
+             z.unwrap(); // lint-allow(panic-hygiene):\n\
+             w.load(Ordering::Relaxed); // relaxed-ok\n",
+        ));
+        assert!(a.allows("panic-hygiene", 2), "line-above coverage");
+        assert!(a.relaxed_ok(3), "trailing coverage");
+        assert!(!a.allows("panic-hygiene", 4), "empty reason rejected");
+        assert!(!a.relaxed_ok(5), "missing colon rejected");
+        assert!(!a.allows("determinism", 2), "rule names must match");
+    }
+
+    #[test]
+    fn qualified_and_method_patterns() {
+        let s = scan("Ordering::Relaxed; a.unwrap(); self.expect(x);");
+        let toks = &s.tokens;
+        let relaxed = toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident("Relaxed".into()))
+            .unwrap();
+        assert!(qualified_by(toks, relaxed, "Ordering"));
+        let unwrap = toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident("unwrap".into()))
+            .unwrap();
+        assert!(is_method_call(toks, unwrap));
+    }
+}

@@ -1,0 +1,149 @@
+//! **obs-discipline** — observability must not perturb determinism.
+//!
+//! Two contracts from PR 3:
+//!
+//! * **Lazy trace labels.** `Obs::trace`/`trace_span` take a label closure
+//!   so a disabled handle never builds a string. An eager argument (string
+//!   literal, `format!`, a bound variable) would both cost allocations on
+//!   the hot path and tempt the next author to weaken the API, so every
+//!   label argument must syntactically be a closure.
+//! * **No deterministic-metric commits on workers.** Deterministic
+//!   instruments (`cells_executed`, `answers_found`, …) are committed only
+//!   in the driver's serial emission loop; the worker-side files listed in
+//!   `lint.toml` (`[obs-discipline] worker_paths`) may only touch the
+//!   explicitly nondeterministic-class instruments, and each such commit
+//!   carries a `// worker-metric-ok: <reason>` annotation naming why the
+//!   instrument tolerates thread-schedule dependence.
+
+use crate::config::Config;
+use crate::report::Diagnostic;
+
+use super::{ident_at, is_method_call, matching_paren, punct_at, SourceFile};
+
+/// Metric-commit method names audited on worker paths.
+const COMMIT_METHODS: [&str; 5] = ["inc", "add", "observe", "record_exec_stats", "set_meta"];
+
+/// Runs the rule over one file.
+pub fn check(f: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let toks = &f.scanned.tokens;
+    let worker_path = cfg.is_worker_path(&f.rel_path);
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = ident_at(toks, i) else {
+            continue;
+        };
+        if !f.is_lib_line(t.line) || !is_method_call(toks, i) {
+            continue;
+        }
+        if matches!(name, "trace" | "trace_span") && !label_is_closure(f, i) {
+            out.push(f.diag(
+                "obs-discipline",
+                t,
+                format!("`{name}` label must be a lazy closure (`|| format!(…)`), never an eager string"),
+            ));
+        }
+        if worker_path && COMMIT_METHODS.contains(&name) && !f.annotations.worker_metric_ok(t.line)
+        {
+            out.push(f.diag(
+                "obs-discipline",
+                t,
+                format!(
+                    "metric commit `.{name}(…)` on a worker path without `// worker-metric-ok: \
+                     <reason>`; deterministic instruments commit in the serial emission loop only"
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the last top-level argument of the call at ident index `i`
+/// starts with `|` or `move` (a closure). Calls without arguments pass.
+fn label_is_closure(f: &SourceFile, i: usize) -> bool {
+    let toks = &f.scanned.tokens;
+    let open = i + 1;
+    let Some(close) = matching_paren(toks, open) else {
+        return true; // unparseable call: the compiler's problem, not ours
+    };
+    if close == open + 1 {
+        return true; // no arguments
+    }
+    // Find the start of the last top-level argument.
+    let mut depth = 0i32;
+    let mut last_arg = open + 1;
+    for (j, t) in toks.iter().enumerate().take(close).skip(open + 1) {
+        match t.tok {
+            crate::lexer::Tok::Punct('(' | '[' | '{') => depth += 1,
+            crate::lexer::Tok::Punct(')' | ']' | '}') => depth -= 1,
+            crate::lexer::Tok::Punct(',') if depth == 0 => last_arg = j + 1,
+            _ => {}
+        }
+    }
+    punct_at(toks, last_arg, '|') || ident_at(toks, last_arg) == Some("move")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path, src, FileContext::Lib);
+        let cfg = Config::parse("[obs-discipline]\nworker_paths = [\"crates/core/src/pool.rs\"]\n")
+            .unwrap();
+        let mut out = Vec::new();
+        check(&f, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn eager_trace_labels_are_flagged() {
+        assert_eq!(
+            run(
+                "crates/core/src/driver.rs",
+                "fn f() { obs.trace(1, format!(\"layer {l}\")); }"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run(
+                "crates/core/src/driver.rs",
+                "fn f() { obs.trace_span(1, dur, label); }"
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn closure_labels_pass_including_spans_with_method_args() {
+        assert!(run(
+            "crates/core/src/driver.rs",
+            "fn f() { obs.trace(1, || format!(\"x\")); \
+             obs.trace_span(1, t0.elapsed(), || format!(\"({a}, {b})\")); \
+             obs.trace(2, move || s.clone()); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn worker_metric_commits_need_annotations() {
+        let src = "fn f() { m.at_most_once_violations.inc(); }";
+        assert_eq!(run("crates/core/src/pool.rs", src).len(), 1);
+        assert!(run(
+            "crates/core/src/pool.rs",
+            "fn f() { m.at_most_once_violations.inc(); // worker-metric-ok: diagnostic counter\n}"
+        )
+        .is_empty());
+        // Off the worker paths the commit-side check does not apply.
+        assert!(run("crates/core/src/driver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn oncelock_set_is_not_a_metric_commit() {
+        assert!(run(
+            "crates/core/src/pool.rs",
+            "fn f() { slots[i].set(outcome); }"
+        )
+        .is_empty());
+    }
+}

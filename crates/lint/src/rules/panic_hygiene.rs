@@ -1,0 +1,101 @@
+//! **panic-hygiene** — no `unwrap`/`expect`/`panic!`/`todo!`/
+//! `unimplemented!` in library code.
+//!
+//! The PR-1 sweep replaced every panicking path in `core` and `engine` with
+//! typed `Result`s: a serving system degrades (anytime semantics,
+//! `Termination` statuses), it does not abort. This rule keeps the sweep
+//! swept. Binaries, tests, benches and examples may fail fast; invariants
+//! that genuinely cannot fail carry a `// lint-allow(panic-hygiene):
+//! <reason>` annotation stating why.
+
+use crate::config::Config;
+use crate::report::Diagnostic;
+
+use super::{ident_at, is_method_call, punct_at, SourceFile};
+
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Runs the rule over one file.
+pub fn check(f: &SourceFile, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let toks = &f.scanned.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = ident_at(toks, i) else {
+            continue;
+        };
+        if !f.is_lib_line(t.line) {
+            continue;
+        }
+        if PANIC_MACROS.contains(&name) && punct_at(toks, i + 1, '!') {
+            out.push(f.diag(
+                "panic-hygiene",
+                t,
+                format!("`{name}!` in library code; return a typed error instead"),
+            ));
+        }
+        if PANIC_METHODS.contains(&name) && is_method_call(toks, i) {
+            // `self.expect(…)` is a method on the receiver's own type (the
+            // SQL parser has one), not `Option::expect`.
+            if i >= 2 && ident_at(toks, i - 2) == Some("self") {
+                continue;
+            }
+            out.push(f.diag(
+                "panic-hygiene",
+                t,
+                format!(
+                    "`.{name}()` in library code; propagate the error or annotate the invariant"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/x/src/lib.rs", src, FileContext::Lib);
+        let mut out = Vec::new();
+        check(&f, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let out = run("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); todo!(); }");
+        let rules: Vec<_> = out.iter().map(|d| d.message.clone()).collect();
+        assert_eq!(out.len(), 4, "{rules:?}");
+    }
+
+    #[test]
+    fn self_expect_is_a_parser_method_not_option_expect() {
+        assert!(run("fn f(&mut self) { self.expect(&TokenKind::Star)?; }").is_empty());
+        // …but a field's expect still counts.
+        assert_eq!(run("fn f(&self) { self.parent.expect(\"m\"); }").len(), 1);
+    }
+
+    #[test]
+    fn test_regions_and_non_lib_contexts_are_exempt() {
+        assert!(run("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }").is_empty());
+        let f = SourceFile::new(
+            "src/bin/acq.rs",
+            "fn main() { x.unwrap(); }",
+            FileContext::Bin,
+        );
+        let mut out = Vec::new();
+        check(&f, &Config::default(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_strings_and_comments_is_ignored() {
+        assert!(run("fn f() { let s = \"x.unwrap()\"; /* panic!() */ }").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        assert!(run("fn f() { x.unwrap_or_default(); x.unwrap_or_else(f); }").is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Fixture tests: every rule family must detect its seeded violation at an
+//! exact `file:line:col`, and each escape hatch must suppress precisely —
+//! this is the proof that the analyzer sees what it claims to see.
+//!
+//! The fixtures under `tests/fixtures/` are never compiled; the workspace
+//! walk classifies them as test-context files (inert for every rule), and
+//! these tests re-check them with a forced [`FileContext::Lib`].
+
+use std::path::Path;
+
+use acq_lint::{check_source, Allowed, AllowedBy, Config, Diagnostic, FileContext};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// `(line, col)` pairs of the violations attributed to `rule`.
+fn positions(diags: &[Diagnostic], rule: &str) -> Vec<(u32, u32)> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| (d.line, d.col))
+        .collect()
+}
+
+fn allowed_positions(allowed: &[Allowed], rule: &str) -> Vec<(u32, u32, AllowedBy)> {
+    allowed
+        .iter()
+        .filter(|a| a.diagnostic.rule == rule)
+        .map(|a| (a.diagnostic.line, a.diagnostic.col, a.by))
+        .collect()
+}
+
+#[test]
+fn panic_hygiene_fixture_exact_positions() {
+    let (v, a) = check_source(
+        "crates/core/src/fixture.rs",
+        &fixture("panic_hygiene.rs"),
+        FileContext::Lib,
+        &Config::default(),
+    );
+    assert_eq!(
+        positions(&v, "panic-hygiene"),
+        [(5, 15), (6, 15), (8, 9), (10, 5)],
+        "unwrap / expect / panic! / todo! at their seeded positions"
+    );
+    // The annotated unwrap is suppressed but stays audited, and the
+    // parser-style `self.expect(…)` produces nothing at all.
+    assert_eq!(
+        allowed_positions(&a, "panic-hygiene"),
+        [(14, 7, AllowedBy::Inline)]
+    );
+    assert_eq!(v.len(), 4, "no other rule fires on this fixture: {v:?}");
+}
+
+#[test]
+fn determinism_fixture_exact_positions() {
+    let cfg = Config::parse("[determinism]\nordered_paths = [\"virtual/\"]\n").unwrap();
+    let (v, a) = check_source(
+        "virtual/emit.rs",
+        &fixture("determinism.rs"),
+        FileContext::Lib,
+        &cfg,
+    );
+    assert_eq!(
+        positions(&v, "determinism"),
+        [(4, 23), (8, 12), (8, 32), (9, 22), (10, 18)],
+        "HashMap import, both uses, Instant::now and thread::sleep"
+    );
+    assert_eq!(v.len(), 5, "{v:?}");
+    assert!(a.is_empty());
+}
+
+#[test]
+fn determinism_fixture_is_silent_off_the_ordered_paths() {
+    // Off ordered_paths the containers pass; clocks and sleeps still need
+    // their own grants, which this config provides.
+    let cfg = Config::parse(
+        "[determinism]\nclock_allowed = [\"virtual/\"]\nsleep_allowed = [\"virtual/\"]\n",
+    )
+    .unwrap();
+    let (v, _) = check_source(
+        "virtual/emit.rs",
+        &fixture("determinism.rs"),
+        FileContext::Lib,
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn atomics_audit_fixture_exact_positions() {
+    let (v, a) = check_source(
+        "crates/core/src/fixture.rs",
+        &fixture("atomics_audit.rs"),
+        FileContext::Lib,
+        &Config::default(),
+    );
+    assert_eq!(positions(&v, "atomics-audit"), [(6, 30)]);
+    assert_eq!(v.len(), 1, "{v:?}");
+    // A `relaxed-ok:` reason satisfies the rule outright (the justification
+    // lives in the code); nothing is even routed to the allowed list.
+    assert!(a.is_empty());
+}
+
+#[test]
+fn obs_discipline_fixture_exact_positions() {
+    let cfg = Config::parse("[obs-discipline]\nworker_paths = [\"virtual/\"]\n").unwrap();
+    let (v, a) = check_source(
+        "virtual/worker.rs",
+        &fixture("obs_discipline.rs"),
+        FileContext::Lib,
+        &cfg,
+    );
+    assert_eq!(
+        positions(&v, "obs-discipline"),
+        [(5, 9), (7, 13)],
+        "eager trace label and unannotated worker metric commit"
+    );
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(a.is_empty());
+}
+
+#[test]
+fn error_hygiene_fixture_exact_positions() {
+    let (v, _) = check_source(
+        "crates/query/src/fixture.rs",
+        &fixture("error_hygiene.rs"),
+        FileContext::Lib,
+        &Config::default(),
+    );
+    assert_eq!(positions(&v, "error-hygiene"), [(4, 10)]);
+    assert!(v[0].message.contains("SeededError"), "{:?}", v[0].message);
+    assert_eq!(v.len(), 1, "FineError must pass: {v:?}");
+}
+
+#[test]
+fn forbid_unsafe_fixture_exact_positions() {
+    let (v, _) = check_source(
+        "fixtures/forbid_unsafe/src/lib.rs",
+        &fixture("forbid_unsafe/src/lib.rs"),
+        FileContext::Lib,
+        &Config::default(),
+    );
+    assert_eq!(
+        positions(&v, "forbid-unsafe"),
+        [(1, 1), (5, 5)],
+        "missing crate-root attribute and the unsafe block itself"
+    );
+    assert_eq!(v.len(), 2, "{v:?}");
+}
+
+#[test]
+fn config_allowlist_suppresses_but_stays_audited() {
+    let cfg = Config::parse("[allow]\npanic-hygiene = [\"virtual/\"]\n").unwrap();
+    let (v, a) = check_source(
+        "virtual/vendored.rs",
+        &fixture("panic_hygiene.rs"),
+        FileContext::Lib,
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:?}");
+    // All five findings (the four seeded ones plus the inline-annotated
+    // unwrap) are recorded; the config allow takes precedence over inline.
+    assert_eq!(a.len(), 5);
+    assert!(a.iter().all(|x| x.by == AllowedBy::Config));
+}
+
+#[test]
+fn annotations_without_a_reason_do_not_count() {
+    for src in [
+        "fn f(x: Option<u32>) { x.unwrap(); // lint-allow(panic-hygiene):\n}",
+        "fn f(x: Option<u32>) { x.unwrap(); // lint-allow(panic-hygiene)\n}",
+    ] {
+        let (v, a) = check_source(
+            "crates/core/src/x.rs",
+            src,
+            FileContext::Lib,
+            &Config::default(),
+        );
+        assert_eq!(
+            v.len(),
+            1,
+            "reason-less annotation must not suppress: {src}"
+        );
+        assert!(a.is_empty());
+    }
+}
+
+#[test]
+fn fixtures_are_inert_in_their_real_test_context() {
+    // The workspace walk classifies tests/fixtures/*.rs as test files, where
+    // none of the library-context rules apply — the seeded violations must
+    // not leak into the repo's own lint run.
+    for name in ["panic_hygiene.rs", "determinism.rs", "atomics_audit.rs"] {
+        let rel = format!("crates/lint/tests/fixtures/{name}");
+        let (v, _) = check_source(&rel, &fixture(name), FileContext::Test, &Config::default());
+        assert!(v.is_empty(), "{name}: {v:?}");
+    }
+}

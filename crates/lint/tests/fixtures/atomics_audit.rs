@@ -1,0 +1,8 @@
+// Seeded atomics-audit fixture: every bare Relaxed needs a relaxed-ok reason.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn seeded(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::Relaxed) // relaxed-ok: fixture tally, read at rest
+}

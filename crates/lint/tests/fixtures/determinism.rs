@@ -1,0 +1,12 @@
+// Seeded determinism fixture: checked under a config whose ordered_paths
+// cover the virtual path the test assigns, with no clock or sleep grants.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn seeded() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let t = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _ = (m, t);
+}

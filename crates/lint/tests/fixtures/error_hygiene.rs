@@ -1,0 +1,12 @@
+// Seeded error-hygiene fixture: a public error enum without non_exhaustive.
+
+#[derive(Debug)]
+pub enum SeededError {
+    Boom,
+}
+
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum FineError {
+    Quiet,
+}

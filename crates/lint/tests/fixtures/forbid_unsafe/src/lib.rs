@@ -1,0 +1,6 @@
+// Seeded forbid-unsafe fixture: a crate root without the forbid attribute
+// and an unsafe block in library code.
+
+pub fn seeded(p: *const u8) -> u8 {
+    unsafe { p.read() }
+}

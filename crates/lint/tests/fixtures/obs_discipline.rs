@@ -1,0 +1,9 @@
+// Seeded obs-discipline fixture: an eager trace label and a worker-path
+// metric commit without its worker-metric-ok justification.
+
+pub fn seeded() {
+    obs.trace(1, format!("eager label"));
+    obs.trace(1, || format!("lazy label"));
+    m.cells.inc();
+    m.cells.inc(); // worker-metric-ok: fixture counter, order-free
+}

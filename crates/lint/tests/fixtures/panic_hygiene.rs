@@ -1,0 +1,23 @@
+// Seeded panic-hygiene fixture: never compiled, scanned as library code by
+// crates/lint/tests/fixtures.rs, which asserts these exact positions.
+
+pub fn seeded(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("boom");
+    if a > b {
+        panic!("nope");
+    }
+    todo!()
+}
+
+pub fn allowed(x: Option<u32>) -> u32 {
+    x.unwrap() // lint-allow(panic-hygiene): fixture invariant, always Some
+}
+
+pub struct Parser;
+impl Parser {
+    fn expect(&self, _t: u32) {}
+    pub fn run(&self) {
+        self.expect(1); // a parser's own `expect` method is not a panic
+    }
+}

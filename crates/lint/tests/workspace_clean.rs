@@ -1,0 +1,94 @@
+//! The linter must ship clean on its own workspace, and the JSON report it
+//! emits must validate against `schemas/lint.schema.json` — the same
+//! contract CI enforces with `validate_metrics`.
+
+use std::path::{Path, PathBuf};
+
+use acq_lint::report::REPORT_VERSION;
+use acq_lint::{check_source, load_config, run_workspace, Config, FileContext, Report};
+use acq_obs::{json, schema};
+
+fn repo_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+fn lint_schema() -> json::JsonValue {
+    let path = repo_root().join("schemas/lint.schema.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    json::parse(&text).expect("lint.schema.json parses")
+}
+
+fn run_repo() -> Report {
+    let root = repo_root();
+    let cfg = load_config(&root.join("lint.toml")).expect("lint.toml parses");
+    run_workspace(&root, &cfg).expect("workspace walk succeeds")
+}
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let report = run_repo();
+    assert!(
+        report.is_clean(),
+        "acq-lint must ship clean on its own repo:\n{}",
+        report.render_text(false)
+    );
+    assert!(
+        report.files_scanned > 100,
+        "the walk saw only {} files — is the root detection broken?",
+        report.files_scanned
+    );
+    // The escape hatches are in use (annotated sites, compat allows) and
+    // every use is audited in the report.
+    assert!(!report.allowed.is_empty());
+}
+
+#[test]
+fn the_json_report_validates_against_the_committed_schema() {
+    let report = run_repo();
+    let value = json::parse(&report.to_json()).expect("report JSON parses");
+    let errors = schema::validate(&lint_schema(), &value);
+    assert!(errors.is_empty(), "schema violations: {errors:?}");
+    assert_eq!(
+        value.pointer("/version").and_then(json::JsonValue::as_u64),
+        Some(REPORT_VERSION)
+    );
+    assert_eq!(
+        value
+            .pointer("/summary/clean")
+            .and_then(json::JsonValue::as_bool),
+        Some(true)
+    );
+}
+
+#[test]
+fn a_dirty_report_also_validates_against_the_schema() {
+    // Exercise the `violations` array branch of the schema, which the clean
+    // repo run never populates.
+    let cfg = Config::default();
+    let (violations, allowed) = check_source(
+        "crates/core/src/fixture.rs",
+        "fn f(x: Option<u32>) { x.unwrap(); }",
+        FileContext::Lib,
+        &cfg,
+    );
+    assert_eq!(violations.len(), 1);
+    let report = Report {
+        files_scanned: 1,
+        violations,
+        allowed,
+    };
+    let value = json::parse(&report.to_json()).expect("report JSON parses");
+    let errors = schema::validate(&lint_schema(), &value);
+    assert!(errors.is_empty(), "schema violations: {errors:?}");
+    assert_eq!(
+        value
+            .pointer("/summary/clean")
+            .and_then(json::JsonValue::as_bool),
+        Some(false)
+    );
+}

@@ -21,6 +21,7 @@
 //! emission order (see DESIGN.md), so two runs of the same query produce
 //! identical counter values for any thread count.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -34,7 +35,7 @@ pub use metrics::{Counter, Gauge, Histogram, Metrics, WorkerStats, MAX_WORKERS};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_VERSION};
 pub use trace::{TraceBuf, TraceEvent};
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Default bound on retained trace events.
@@ -146,7 +147,7 @@ impl Obs {
     /// Re-setting a key overwrites its previous value.
     pub fn set_meta(&self, key: &str, value: &str) {
         if let Some(inner) = self.inner.as_deref() {
-            let mut meta = inner.meta.lock().expect("obs meta poisoned");
+            let mut meta = inner.meta.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(slot) = meta.iter_mut().find(|(k, _)| k == key) {
                 slot.1 = value.to_string();
             } else {
@@ -159,7 +160,10 @@ impl Obs {
     /// name/value pairs so the engine crate needs no dependency on this one.
     pub fn record_exec_stats(&self, fields: &[(&str, u64)]) {
         if let Some(inner) = self.inner.as_deref() {
-            *inner.exec_stats.lock().expect("obs exec stats poisoned") =
+            *inner
+                .exec_stats
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) =
                 fields.iter().map(|&(k, v)| (k.to_string(), v)).collect();
         }
     }
@@ -173,9 +177,13 @@ impl Obs {
             inner
                 .exec_stats
                 .lock()
-                .expect("obs exec stats poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .clone(),
-            inner.meta.lock().expect("obs meta poisoned").clone(),
+            inner
+                .meta
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
         ))
     }
 

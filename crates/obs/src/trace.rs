@@ -5,7 +5,7 @@
 //! for string construction. The buffer is bounded; once full, new events are
 //! counted as dropped rather than reallocating without limit.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// One recorded event or completed span.
@@ -39,7 +39,7 @@ impl TraceBuf {
 
     /// Appends an event; returns `false` (dropped) once the buffer is full.
     pub fn push(&self, event: TraceEvent) -> bool {
-        let mut events = self.events.lock().expect("trace buffer poisoned");
+        let mut events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
         if events.len() >= self.cap {
             return false;
         }
@@ -49,7 +49,10 @@ impl TraceBuf {
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("trace buffer poisoned").len()
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether no events have been retained.
@@ -59,7 +62,10 @@ impl TraceBuf {
 
     /// Snapshot of the retained events in record order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("trace buffer poisoned").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Renders the buffer as indented human-readable text, one event per

@@ -27,6 +27,7 @@ impl fmt::Display for EquiJoin {
 
 /// Errors raised while constructing or validating an [`AcqQuery`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum AcqError {
     /// The query references no tables.
     NoTables,

@@ -34,6 +34,7 @@
 //! Everything here is purely logical; execution lives in `acq-engine` and the
 //! refinement search in `acquire-core`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -284,7 +284,7 @@ impl<'a> Binder<'a> {
         let idx = table
             .schema()
             .index_of(&cref.column)
-            .expect("resolve verified the column");
+            .ok_or_else(|| SqlError::Bind(format!("unknown column {cref}")))?;
         if table.schema().fields()[idx].dtype != DataType::Str {
             return Err(SqlError::Bind(format!(
                 "column {cref} is not a string column; IN lists are categorical"

@@ -33,6 +33,7 @@ impl std::error::Error for ParseError {}
 
 /// Any error surfaced while compiling ACQ SQL text into an executable query.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SqlError {
     /// The text failed to lex/parse.
     Parse(ParseError),

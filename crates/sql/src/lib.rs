@@ -25,6 +25,7 @@
 //! * aggregate names validated for the optimal substructure property
 //!   (`STDDEV` is rejected with the §2.6 explanation).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -49,6 +49,8 @@
 //! println!("{}", outcome.best().unwrap().sql);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use acq_baselines as baselines;
 pub use acq_datagen as datagen;
 pub use acq_engine as engine;
