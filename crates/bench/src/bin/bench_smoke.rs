@@ -16,22 +16,29 @@
 //! observability layer enabled, embeds the resulting metrics snapshot in
 //! the report (`"metrics"`), cross-checks the snapshot's deterministic
 //! counters against the uninstrumented run, and records the wall-clock
-//! overhead of a metrics-enabled run (`"obs_overhead"`). Baselines are
-//! versioned per PR (`BENCH_PR<n>.json`, see `BENCH_TRAJECTORY.md`);
-//! the parser accepts any version.
+//! overhead of a metrics-enabled run (`"obs_overhead"`). Version 3 adds
+//! `"serve_overhead"`: the same workload run through the serve crate's
+//! per-request instrumentation path (query registry, per-query traced
+//! `Obs` handle, snapshot folded into a process-scoped `Metrics`) versus
+//! a bare library call, i.e. what one request pays for the `/queries`,
+//! `/trace/<id>` and `/metrics` surfaces. Baselines are versioned per PR
+//! (`BENCH_PR<n>.json`, see `BENCH_TRAJECTORY.md`); the parser accepts
+//! any version.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use acq_bench::{count_workload, measure, run_technique, Technique, WorkloadSpec};
 use acq_engine::Executor;
+use acq_obs::{Metrics, QueryRegistry, QuerySummary};
 use acquire_core::{run_acquire_observed, AcquireConfig, EvalLayerKind, Obs};
 
 /// Report format version. v2 added `pr`, `obs_overhead` and the embedded
-/// `metrics` snapshot; the baseline parser accepts v1 reports too.
-const REPORT_VERSION: u64 = 2;
+/// `metrics` snapshot; v3 adds `serve_overhead`. The baseline parser
+/// accepts older reports too.
+const REPORT_VERSION: u64 = 3;
 /// The PR whose baseline this binary emits (`BENCH_PR<n>.json`).
-const BASELINE_PR: u64 = 3;
+const BASELINE_PR: u64 = 5;
 /// How much slower than the (calibration-scaled) baseline a workload may
 /// get before the check fails.
 const REGRESSION_FACTOR: f64 = 1.2;
@@ -230,12 +237,93 @@ fn observed_run(spec: &WorkloadSpec) -> ObsReport {
     }
 }
 
+/// Wall-clock comparison of a bare library run against the serve crate's
+/// per-request path.
+struct ServeReport {
+    plain_ms: f64,
+    served_ms: f64,
+}
+
+impl ServeReport {
+    fn overhead_pct(&self) -> f64 {
+        (self.served_ms / self.plain_ms - 1.0) * 100.0
+    }
+}
+
+/// Trace-buffer capacity matching the serve crate's default, so the
+/// measured per-request cost covers the same span recording a real
+/// `POST /query` pays for.
+const SERVE_TRACE_CAPACITY: usize = 4096;
+
+/// Runs one workload the way `acq-serve` runs a request — registry entry,
+/// per-query traced `Obs` handle, snapshot folded into the process-scoped
+/// `Metrics`, trace rendered at completion — and measures the wall-clock
+/// delta against a bare uninstrumented library call (best-of-3 each).
+/// Socket and JSON-parsing costs are excluded on purpose: they are
+/// per-deployment noise, while this path is the fixed per-request price of
+/// the observability surfaces.
+fn serve_mode_run(spec: &WorkloadSpec) -> ServeReport {
+    let workload = count_workload(spec);
+    let cfg = AcquireConfig::default();
+    let kind = EvalLayerKind::CachedScore;
+    let registry = QueryRegistry::default();
+    let process_metrics = Metrics::new();
+
+    let mut plain_ms = f64::INFINITY;
+    let mut served_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let mut exec = Executor::new(workload.catalog.clone());
+        let (out, ms) = measure(|| {
+            run_acquire_observed(&mut exec, &workload.query, &cfg, kind, &Obs::disabled())
+        });
+        out.expect("uninstrumented run");
+        plain_ms = plain_ms.min(ms);
+
+        let mut exec = Executor::new(workload.catalog.clone());
+        let ((id, out), ms) = measure(|| {
+            let id = registry.begin("bench serve-mode workload".to_string(), 1);
+            let obs = Obs::with_trace(SERVE_TRACE_CAPACITY);
+            obs.set_query_id(id);
+            let out = run_acquire_observed(&mut exec, &workload.query, &cfg, kind, &obs)
+                .expect("served run");
+            let snap = obs.snapshot().expect("enabled handle has a snapshot");
+            process_metrics.absorb_snapshot(&snap);
+            registry.finish(
+                id,
+                QuerySummary {
+                    termination: out.termination.slug().to_string(),
+                    explored: out.explored,
+                    cells_executed: snap.counter("cells_executed").unwrap_or(0),
+                    answers: out.queries.len() as u64,
+                    satisfied: out.satisfied,
+                    layers: out.layers,
+                },
+                0,
+                obs.render_trace_json(),
+            );
+            (id, out)
+        });
+        served_ms = served_ms.min(ms);
+        let record = registry.get(id).expect("finished record retained");
+        assert_eq!(
+            record.summary.map(|s| s.cells_executed),
+            Some(out.explored),
+            "registry record disagrees with the run's ground truth"
+        );
+    }
+    ServeReport {
+        plain_ms,
+        served_ms,
+    }
+}
+
 fn render_json(
     calibration_ms: f64,
     threads: usize,
     cores: usize,
     rows: &[WorkloadReport],
     obs: &ObsReport,
+    serve: &ServeReport,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -271,6 +359,14 @@ fn render_json(
         obs.plain_ms,
         obs.observed_ms,
         obs.overhead_pct(),
+    );
+    let _ = writeln!(
+        s,
+        "  \"serve_overhead\": {{ \"plain_ms\": {:.3}, \"served_ms\": {:.3}, \
+         \"overhead_pct\": {:.2} }},",
+        serve.plain_ms,
+        serve.served_ms,
+        serve.overhead_pct(),
     );
     let _ = writeln!(s, "  \"metrics\": {}", obs.metrics_json.trim_end());
     s.push_str("}\n");
@@ -402,7 +498,17 @@ fn main() -> ExitCode {
         obs.overhead_pct(),
     );
 
-    let json = render_json(calibration_ms, args.threads, cores, &rows, &obs);
+    // Serve-mode run on the same shape: the fixed per-request price of the
+    // query registry, per-query trace and process-metrics fold.
+    let serve = serve_mode_run(&WorkloadSpec::new(10_000, 3, 0.3));
+    println!(
+        "serve-mode      plain {:8.1}ms  served   {:8.1}ms  overhead {:+.2}%  (registry ok)",
+        serve.plain_ms,
+        serve.served_ms,
+        serve.overhead_pct(),
+    );
+
+    let json = render_json(calibration_ms, args.threads, cores, &rows, &obs, &serve);
     if let Some(path) = &args.out {
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("bench_smoke: writing {path}: {e}");

@@ -282,6 +282,18 @@ pub fn run_contraction(
     cfg: &AcquireConfig,
     kind: EvalLayerKind,
 ) -> Result<AcqOutcome, CoreError> {
+    run_contraction_with(exec, query, cfg, kind, &CancellationToken::new())
+}
+
+/// [`run_contraction`] with an externally owned [`CancellationToken`], so a
+/// long-running host's shutdown interrupts contraction searches too.
+pub fn run_contraction_with(
+    exec: &mut Executor,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+    kind: EvalLayerKind,
+    cancel: &CancellationToken,
+) -> Result<AcqOutcome, CoreError> {
     let mut query = query.clone();
     exec.populate_domains(&mut query)?;
     let cq = contraction_query(&query)?;
@@ -290,16 +302,16 @@ pub fn run_contraction(
     match kind {
         EvalLayerKind::Scan => {
             let mut eval = ScanEvaluator::new(exec, &cq, &caps)?;
-            contract(&mut eval, &query, cfg)
+            contract_with(&mut eval, &query, cfg, cancel)
         }
         EvalLayerKind::CachedScore => {
             let mut eval = CachedScoreEvaluator::with_threads(exec, &cq, &caps, cfg.threads)?;
-            contract(&mut eval, &query, cfg)
+            contract_with(&mut eval, &query, cfg, cancel)
         }
         EvalLayerKind::GridIndex => {
             let mut eval =
                 GridIndexEvaluator::with_threads(exec, &cq, &caps, space.step(), cfg.threads)?;
-            contract(&mut eval, &query, cfg)
+            contract_with(&mut eval, &query, cfg, cancel)
         }
     }
 }

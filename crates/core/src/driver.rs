@@ -186,9 +186,14 @@ pub fn acquire_observed<E: EvaluationLayer>(
         obs.set_meta("evaluator", eval.kind_name());
         obs.set_meta("workers", &workers.to_string());
         obs.set_meta("dims", &space.dims().to_string());
+        // Serve mode attaches a registry request ID before the run; tagging
+        // the root span keeps traces attributable once more than one query
+        // has flowed through a handle's lifetime.
+        let query_id = obs.query_id();
         obs.trace(0, || {
+            let qid = query_id.map(|id| format!("[q{id}] ")).unwrap_or_default();
             format!(
-                "acquire: target {} ({} workers, {} dims)",
+                "{qid}acquire: target {} ({} workers, {} dims)",
                 query.constraint.target,
                 workers,
                 space.dims()
@@ -430,8 +435,10 @@ pub fn acquire_observed<E: EvaluationLayer>(
     if obs.is_enabled() {
         obs.record_exec_stats(&stats.fields());
         let (termination, n_answers) = (&termination, answers.len());
+        let query_id = obs.query_id();
         obs.trace(0, || {
-            format!("done: {termination} — explored {explored}, {n_answers} answer(s)")
+            let qid = query_id.map(|id| format!("[q{id}] ")).unwrap_or_default();
+            format!("{qid}done: {termination} — explored {explored}, {n_answers} answer(s)")
         });
     }
     Ok(AcqOutcome {
@@ -503,11 +510,25 @@ pub fn run_acquire_observed(
     kind: EvalLayerKind,
     obs: &Obs,
 ) -> Result<AcqOutcome, CoreError> {
+    run_acquire_cancellable(exec, query, cfg, kind, &CancellationToken::new(), obs)
+}
+
+/// [`run_acquire_observed`] with an externally owned [`CancellationToken`]:
+/// the entry point for long-running hosts (the serve binary) whose graceful
+/// shutdown must interrupt in-flight searches cooperatively.
+pub fn run_acquire_cancellable(
+    exec: &mut Executor,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+    kind: EvalLayerKind,
+    cancel: &CancellationToken,
+    obs: &Obs,
+) -> Result<AcqOutcome, CoreError> {
     let mut query = query.clone();
     exec.populate_domains(&mut query)?;
     let space = RefinedSpace::new(&query, cfg)?;
     let caps = space.caps();
-    let cancel = CancellationToken::new();
+    let cancel = cancel.clone();
     match kind {
         EvalLayerKind::Scan => {
             let mut eval = ScanEvaluator::new(exec, &query, &caps)?;

@@ -130,6 +130,21 @@ pub enum InterruptReason {
     Fault(String),
 }
 
+impl InterruptReason {
+    /// Stable machine-readable name used in JSON sinks (CLI `--json`, the
+    /// serve registry, explain profiles).
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Self::DeadlineExceeded => "deadline",
+            Self::ExploredBudget => "explored-budget",
+            Self::MemoryBudget => "memory-budget",
+            Self::Cancelled => "cancelled",
+            Self::Fault(_) => "fault",
+        }
+    }
+}
+
 impl std::fmt::Display for InterruptReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -176,6 +191,17 @@ impl Termination {
         match self {
             Self::Interrupted { reason, .. } => Some(reason),
             _ => None,
+        }
+    }
+
+    /// Stable machine-readable status name: `"satisfied"`, `"exhausted"`,
+    /// or the interrupt's [`InterruptReason::slug`].
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Self::Satisfied => "satisfied",
+            Self::Exhausted => "exhausted",
+            Self::Interrupted { reason, .. } => reason.slug(),
         }
     }
 }
@@ -401,5 +427,20 @@ mod tests {
         assert!(!t.is_complete());
         assert_eq!(t.interrupt_reason(), Some(&InterruptReason::Cancelled));
         assert!(t.to_string().contains("cancelled"), "{t}");
+    }
+
+    #[test]
+    fn slugs_are_stable() {
+        assert_eq!(Termination::Satisfied.slug(), "satisfied");
+        assert_eq!(Termination::Exhausted.slug(), "exhausted");
+        let t = Termination::Interrupted {
+            reason: InterruptReason::DeadlineExceeded,
+            explored: 1,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(t.slug(), "deadline");
+        assert_eq!(InterruptReason::ExploredBudget.slug(), "explored-budget");
+        assert_eq!(InterruptReason::MemoryBudget.slug(), "memory-budget");
+        assert_eq!(InterruptReason::Fault("x".into()).slug(), "fault");
     }
 }

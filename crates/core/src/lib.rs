@@ -64,6 +64,7 @@ pub mod fasthash;
 pub mod fault;
 pub mod govern;
 mod pool;
+pub mod profile;
 mod repartition;
 mod result;
 mod session;
@@ -73,8 +74,13 @@ mod store;
 pub use acq_obs::{MetricsSnapshot, Obs};
 pub use bitmap_eval::BitmapIndexEvaluator;
 pub use config::{AcquireConfig, Parallelism};
-pub use contraction::{contract, contract_with, contraction_query, run_contraction};
-pub use driver::{acquire, acquire_observed, acquire_with, run_acquire, run_acquire_observed};
+pub use contraction::{
+    contract, contract_with, contraction_query, run_contraction, run_contraction_with,
+};
+pub use driver::{
+    acquire, acquire_observed, acquire_with, run_acquire, run_acquire_cancellable,
+    run_acquire_observed,
+};
 pub use error::CoreError;
 pub use estimate::HistogramEstimator;
 pub use eval::{
@@ -83,6 +89,7 @@ pub use eval::{
 };
 pub use fault::{FaultInjectingLayer, FaultSchedule};
 pub use govern::{CancellationToken, ExecutionBudget, FaultPolicy, InterruptReason, Termination};
+pub use profile::ExplainProfile;
 pub use repartition::repartition;
 pub use result::{AcqOutcome, RefinedQueryResult};
 pub use session::Session;

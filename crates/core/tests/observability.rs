@@ -243,3 +243,93 @@ fn session_threads_its_observability_handle_through_runs() {
         .unwrap();
     assert_eq!(after_second, first.explored + second.explored);
 }
+
+/// Serve-mode instrumentation: every request runs against its own tracing
+/// handle with a registry request ID attached, and the finished snapshot is
+/// folded into a process-scoped registry. None of that may perturb the
+/// outcome — bit-identical across threads 1–8 — and the per-query
+/// `cells_executed == explored` invariant must hold in the registry record
+/// of every request.
+#[test]
+fn serve_style_instrumentation_preserves_parallel_equivalence() {
+    use acq_obs::{Metrics, QueryRegistry, QuerySummary};
+
+    let baseline = fingerprint(&run_with(&Obs::disabled(), &AcquireConfig::default()));
+
+    let process_metrics = Metrics::new();
+    let registry = QueryRegistry::default();
+    for threads in 1..=8 {
+        let cfg = AcquireConfig::default().with_parallelism(Parallelism::Fixed(threads));
+        let obs = Obs::with_trace(4096);
+        let id = registry.begin(format!("threads={threads}"), threads);
+        obs.set_query_id(id);
+        let t0 = Instant::now();
+        let out = run_with(&obs, &cfg);
+        assert_eq!(
+            fingerprint(&out),
+            baseline,
+            "serve instrumentation perturbed the outcome at {threads} thread(s)"
+        );
+
+        let snap = obs.snapshot().unwrap();
+        registry.finish(
+            id,
+            QuerySummary {
+                termination: out.termination.slug().to_string(),
+                explored: out.explored,
+                cells_executed: snap.counter("cells_executed").unwrap(),
+                answers: out.queries.len() as u64,
+                satisfied: out.satisfied,
+                layers: out.layers,
+            },
+            t0.elapsed().as_millis() as u64,
+            obs.render_trace_json(),
+        );
+        process_metrics.absorb_snapshot(&snap);
+
+        // The per-query record pins the at-most-once invariant.
+        let rec = registry.get(id).unwrap();
+        let sum = rec.summary.as_ref().unwrap();
+        assert_eq!(
+            sum.cells_executed, sum.explored,
+            "registry record violates cells_executed == explored at {threads} thread(s)"
+        );
+        // Request IDs tag the per-query trace.
+        let trace = rec.trace_json.unwrap();
+        assert!(trace.contains(&format!("[q{id}] acquire:")), "{trace}");
+    }
+
+    // The process registry saw 8 identical runs: totals are 8× one run.
+    let (running, completed, dropped) = registry.counts();
+    assert_eq!((running, completed, dropped), (0, 8, 0));
+    let one = run_with(&Obs::enabled(), &AcquireConfig::default());
+    assert_eq!(process_metrics.cells_executed.get(), 8 * one.explored);
+    assert_eq!(process_metrics.at_most_once_violations.get(), 0);
+}
+
+/// The explain profile's Eq. 17 accounting must agree with the live run:
+/// `cells_executed == explored` and `regions_reused == explored · d` for
+/// any thread count.
+#[test]
+fn explain_profile_matches_live_accounting() {
+    use acquire_core::ExplainProfile;
+
+    for threads in [1, 4] {
+        let cfg = AcquireConfig::default().with_parallelism(Parallelism::Fixed(threads));
+        let obs = Obs::enabled();
+        let t0 = Instant::now();
+        let out = run_with(&obs, &cfg);
+        let snap = obs.snapshot().unwrap();
+        let q = query(800.0);
+        let p = ExplainProfile::new(&q, &cfg, &out, Some(&snap), t0.elapsed());
+        assert_eq!(p.cells_executed, out.explored);
+        assert_eq!(p.regions_reused, out.explored * 2);
+        assert_eq!(p.subqueries_total, out.explored * 3);
+        assert_eq!(p.at_most_once_violations, 0);
+        assert_eq!(p.workers, threads);
+        assert!(
+            p.explore_exec.is_some(),
+            "instrumented run has a phase split"
+        );
+    }
+}

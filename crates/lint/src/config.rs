@@ -17,6 +17,7 @@
 //!
 //! [obs-discipline]
 //! worker_paths = ["crates/core/src/pool.rs"]
+//! commit_paths = ["crates/serve/src/telemetry.rs"]
 //! ```
 
 use std::collections::BTreeMap;
@@ -39,6 +40,9 @@ pub struct Config {
     pub sleep_allowed: Vec<String>,
     /// Worker-closure files where metric commits need `worker-metric-ok`.
     pub worker_paths: Vec<String>,
+    /// Instrument-commit-path files where blocking I/O and lock acquisition
+    /// need `commit-io-ok`.
+    pub commit_paths: Vec<String>,
 }
 
 fn prefix_match(prefixes: &[String], rel_path: &str) -> bool {
@@ -76,6 +80,12 @@ impl Config {
     #[must_use]
     pub fn is_worker_path(&self, rel_path: &str) -> bool {
         prefix_match(&self.worker_paths, rel_path)
+    }
+
+    /// Whether `rel_path` is an instrument-commit path.
+    #[must_use]
+    pub fn is_commit_path(&self, rel_path: &str) -> bool {
+        prefix_match(&self.commit_paths, rel_path)
     }
 
     /// Parses the configuration text, rejecting unknown sections, unknown
@@ -127,6 +137,7 @@ impl Config {
                 ("determinism", "clock_allowed") => cfg.clock_allowed = values,
                 ("determinism", "sleep_allowed") => cfg.sleep_allowed = values,
                 ("obs-discipline", "worker_paths") => cfg.worker_paths = values,
+                ("obs-discipline", "commit_paths") => cfg.commit_paths = values,
                 (s, k) => return Err(format!("line {lineno}: unknown key {k:?} in [{s}]")),
             }
         }
@@ -223,7 +234,8 @@ mod tests {
              sleep_allowed = [\"crates/core/src/fault.rs\"]\n\
              \n\
              [obs-discipline]\n\
-             worker_paths = [\"crates/core/src/pool.rs\"]\n",
+             worker_paths = [\"crates/core/src/pool.rs\"]\n\
+             commit_paths = [\"crates/serve/src/telemetry.rs\"]\n",
         )
         .unwrap();
         assert!(cfg.allows("panic-hygiene", "crates/compat/rand/src/lib.rs"));
@@ -232,6 +244,8 @@ mod tests {
         assert!(cfg.clock_allowed("crates/obs/src/lib.rs"));
         assert!(cfg.sleep_allowed("crates/core/src/fault.rs"));
         assert!(cfg.is_worker_path("crates/core/src/pool.rs"));
+        assert!(cfg.is_commit_path("crates/serve/src/telemetry.rs"));
+        assert!(!cfg.is_commit_path("crates/serve/src/server.rs"));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub struct Annotations {
     lint_allow: BTreeMap<u32, Vec<String>>,
     relaxed_ok: BTreeSet<u32>,
     worker_metric_ok: BTreeSet<u32>,
+    commit_io_ok: BTreeSet<u32>,
 }
 
 impl Annotations {
@@ -65,6 +66,9 @@ impl Annotations {
             }
             if find_after(&c.text, "worker-metric-ok").is_some_and(reason_present) {
                 a.worker_metric_ok.insert(anchor);
+            }
+            if find_after(&c.text, "commit-io-ok").is_some_and(reason_present) {
+                a.commit_io_ok.insert(anchor);
             }
         }
         a
@@ -95,6 +99,12 @@ impl Annotations {
     #[must_use]
     pub fn worker_metric_ok(&self, line: u32) -> bool {
         Self::covers(&self.worker_metric_ok, line)
+    }
+
+    /// Whether a `commit-io-ok: <reason>` annotation covers `line`.
+    #[must_use]
+    pub fn commit_io_ok(&self, line: u32) -> bool {
+        Self::covers(&self.commit_io_ok, line)
     }
 }
 

@@ -125,6 +125,47 @@ fn obs_discipline_fixture_exact_positions() {
 }
 
 #[test]
+fn commit_io_fixture_exact_positions() {
+    // The sleep is granted on the determinism side so this test isolates
+    // the commit-path contract (in real commit paths it stays forbidden on
+    // both counts).
+    let cfg = Config::parse(
+        "[determinism]\nsleep_allowed = [\"virtual/\"]\n\
+         [obs-discipline]\ncommit_paths = [\"virtual/\"]\n",
+    )
+    .unwrap();
+    let (v, a) = check_source(
+        "virtual/telemetry.rs",
+        &fixture("commit_io.rs"),
+        FileContext::Lib,
+        &cfg,
+    );
+    assert_eq!(
+        positions(&v, "obs-discipline"),
+        [(5, 36), (6, 12), (7, 5), (8, 18)],
+        "blocking lock, write_all, println! and sleep at their seeded positions"
+    );
+    assert_eq!(v.len(), 4, "{v:?}");
+    // try_lock, the relaxed atomic, and the commit-io-ok-annotated lock all
+    // satisfy the rule outright.
+    assert!(a.is_empty());
+}
+
+#[test]
+fn commit_io_fixture_is_silent_off_the_commit_paths() {
+    let (v, _) = check_source(
+        "crates/serve/src/server.rs",
+        &fixture("commit_io.rs"),
+        FileContext::Lib,
+        &Config::default(),
+    );
+    assert!(
+        positions(&v, "obs-discipline").is_empty(),
+        "commit-path checks must not fire elsewhere: {v:?}"
+    );
+}
+
+#[test]
 fn error_hygiene_fixture_exact_positions() {
     let (v, _) = check_source(
         "crates/query/src/fixture.rs",

@@ -1,0 +1,12 @@
+// Seeded commit-path fixture: blocking lock acquisition, blocking stream
+// I/O, an output macro and a sleep, plus the sanctioned alternatives.
+
+pub fn seeded(stream: &mut TcpStream) {
+    let guard = self.last_decay_ms.lock();
+    stream.write_all(b"metrics");
+    println!("scraped");
+    std::thread::sleep(POLL);
+    let fine = self.last_decay_ms.try_lock();
+    self.total.fetch_add(1, Ordering::Relaxed); // relaxed-ok: wait-free commit
+    let cold = self.last_decay_ms.lock(); // commit-io-ok: one-time init before serving
+}

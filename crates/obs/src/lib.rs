@@ -27,19 +27,28 @@
 
 pub mod json;
 pub mod metrics;
+pub mod registry;
 pub mod schema;
 pub mod snapshot;
 pub mod trace;
+pub mod window;
 
 pub use metrics::{Counter, Gauge, Histogram, Metrics, WorkerStats, MAX_WORKERS};
-pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_VERSION};
+pub use registry::{QueryRecord, QueryRegistry, QueryStatus, QuerySummary};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_QUANTILES, SNAPSHOT_VERSION};
 pub use trace::{TraceBuf, TraceEvent};
+pub use window::{DecayingHistogram, RateCounter};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Default bound on retained trace events.
 pub const DEFAULT_TRACE_CAPACITY: usize = 10_000;
+
+/// Sentinel in `ObsInner::query_id` meaning "no request ID attached";
+/// [`QueryRegistry`] IDs start at 1.
+const QUERY_ID_UNSET: u64 = 0;
 
 #[derive(Debug)]
 struct ObsInner {
@@ -48,6 +57,7 @@ struct ObsInner {
     start: Instant,
     exec_stats: Mutex<Vec<(String, u64)>>,
     meta: Mutex<Vec<(String, String)>>,
+    query_id: AtomicU64,
 }
 
 /// A cloneable observability handle; see the crate docs for the three
@@ -81,6 +91,7 @@ impl Obs {
                 start: Instant::now(),
                 exec_stats: Mutex::new(Vec::new()),
                 meta: Mutex::new(Vec::new()),
+                query_id: AtomicU64::new(QUERY_ID_UNSET),
             })),
         }
     }
@@ -193,6 +204,35 @@ impl Obs {
         let buf = inner.trace.as_ref()?;
         Some(buf.render(inner.metrics.trace_dropped.get()))
     }
+
+    /// Renders the trace buffer as JSON (with an honest `truncated` flag),
+    /// or `None` unless tracing. This is what `GET /trace/<id>` serves.
+    pub fn render_trace_json(&self) -> Option<String> {
+        let inner = self.inner.as_deref()?;
+        let buf = inner.trace.as_ref()?;
+        Some(buf.render_json(inner.metrics.trace_dropped.get()))
+    }
+
+    /// Attaches a [`QueryRegistry`] request ID to this handle. The driver
+    /// reads it back ([`Obs::query_id`]) to tag its phase spans, so a trace
+    /// scraped from a multi-query server is attributable to its request.
+    /// Also mirrored into the snapshot metadata as `query_id`.
+    pub fn set_query_id(&self, id: u64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.query_id.store(id, Ordering::Relaxed); // relaxed-ok: tag set once before the search
+            self.set_meta("query_id", &id.to_string());
+        }
+    }
+
+    /// The attached request ID, if any.
+    pub fn query_id(&self) -> Option<u64> {
+        let inner = self.inner.as_deref()?;
+        // relaxed-ok: tag read, no ordering needed
+        match inner.query_id.load(Ordering::Relaxed) {
+            QUERY_ID_UNSET => None,
+            id => Some(id),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +297,22 @@ mod tests {
             vec![("layer".to_string(), "grid-index".to_string())]
         );
         assert_eq!(snap.exec_stats, vec![("cell_queries".to_string(), 9)]);
+    }
+
+    #[test]
+    fn query_ids_attach_and_surface_in_meta() {
+        let obs = Obs::enabled();
+        assert_eq!(obs.query_id(), None);
+        obs.set_query_id(7);
+        assert_eq!(obs.query_id(), Some(7));
+        let snap = obs.snapshot().unwrap();
+        assert!(snap
+            .meta
+            .contains(&("query_id".to_string(), "7".to_string())));
+        // Disabled handles stay inert.
+        let off = Obs::disabled();
+        off.set_query_id(3);
+        assert_eq!(off.query_id(), None);
     }
 
     #[test]

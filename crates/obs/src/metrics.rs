@@ -162,6 +162,43 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Halves every cell (buckets, `count`, `sum`), rounding down.
+    ///
+    /// Used by [`crate::window::DecayingHistogram`]. Each cell subtracts
+    /// `v - v/2` instead of storing `v/2`, so observations racing with the
+    /// sweep survive it instead of being overwritten.
+    pub fn halve(&self) {
+        for cell in self.cells() {
+            let v = cell.load(Ordering::Relaxed);
+            cell.fetch_sub(v - v / 2, Ordering::Relaxed);
+        }
+    }
+
+    /// Zeroes every cell the same race-tolerant way as [`Self::halve`].
+    pub fn halve_to_zero(&self) {
+        for cell in self.cells() {
+            let v = cell.load(Ordering::Relaxed);
+            cell.fetch_sub(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds a captured snapshot of a same-bounds histogram into this one.
+    /// Snapshots over different bounds are ignored (shape mismatch).
+    pub fn absorb(&self, snap: &crate::snapshot::HistogramSnapshot) {
+        if snap.buckets.len() != self.buckets.len() {
+            return;
+        }
+        for (cell, &(_, n)) in self.buckets.iter().zip(&snap.buckets) {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+    }
+
+    fn cells(&self) -> impl Iterator<Item = &AtomicU64> {
+        self.buckets.iter().chain([&self.count, &self.sum])
+    }
 }
 
 /// Maximum worker slots tracked individually; workers beyond this alias into
@@ -313,6 +350,55 @@ impl Metrics {
         .filter_map(|(k, v)| v.map(|v| (k, v)))
         .collect()
     }
+
+    /// Folds a finished run's snapshot into this registry.
+    ///
+    /// This is how `acq-serve` aggregates: each request runs against its own
+    /// per-query [`crate::Obs`] handle (so `/trace/<id>` and explain profiles
+    /// stay per-query), and at completion the query's snapshot is absorbed
+    /// into one process-scoped registry scraped by `/metrics`. Counters and
+    /// histogram buckets add; gauges keep the maximum seen across runs, which
+    /// preserves the peak semantics (`store_peak`) and gives "worst run so
+    /// far" for the rest.
+    pub fn absorb_snapshot(&self, snap: &crate::snapshot::MetricsSnapshot) {
+        for &(name, v) in &snap.counters {
+            match name {
+                "cells_executed" => self.cells_executed.add(v),
+                "cells_speculative" => self.cells_speculative.add(v),
+                "answers_found" => self.answers_found.add(v),
+                "repartitions" => self.repartitions.add(v),
+                "interrupts" => self.interrupts.add(v),
+                "faults_injected" => self.faults_injected.add(v),
+                "at_most_once_violations" => self.at_most_once_violations.add(v),
+                "worker_steals" => self.worker_steals.add(v),
+                "trace_dropped" => self.trace_dropped.add(v),
+                _ => {} // counters added after this writer are skipped, not lost: they stay in the per-query snapshot
+            }
+        }
+        for &(name, v) in &snap.gauges {
+            match name {
+                "current_layer" => self.current_layer.raise(v),
+                "frontier_batch" => self.frontier_batch.raise(v),
+                "store_len" => self.store_len.raise(v),
+                "store_peak" => self.store_peak.raise(v),
+                "store_bytes" => self.store_bytes.raise(v),
+                "budget_headroom" => self.budget_headroom.raise(v),
+                _ => {}
+            }
+        }
+        for h in &snap.histograms {
+            match h.name {
+                "cell_latency_ns" => self.cell_latency_ns.absorb(h),
+                "batch_cells" => self.batch_cells.absorb(h),
+                _ => {}
+            }
+        }
+        for &(w, cells, steals) in &snap.workers {
+            let slot = &self.workers[w.min(MAX_WORKERS - 1)];
+            slot.cells.add(cells);
+            slot.steals.add(steals);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +432,59 @@ mod tests {
         assert_eq!(h.sum(), 5 + 10 + 11 + 100 + 5000);
         // Bounds are inclusive: 10 lands in the first bucket, 5000 overflows.
         assert_eq!(h.bucket_counts(), vec![2, 2, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_halving_and_absorb() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [5, 5, 50, 500] {
+            h.observe(v);
+        }
+        h.halve();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 280);
+        assert_eq!(h.bucket_counts(), vec![1, 0, 0], "halving rounds down");
+        h.halve_to_zero();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+
+        let src = Histogram::new(&[10, 100]);
+        src.observe(7);
+        src.observe(700);
+        let snap = crate::snapshot::HistogramSnapshot::of("h", &src);
+        h.absorb(&snap);
+        h.absorb(&snap);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1414);
+        assert_eq!(h.bucket_counts(), vec![2, 0, 2]);
+        // Shape mismatch is ignored rather than corrupting buckets.
+        let other = Histogram::new(&[1]);
+        other.observe(1);
+        h.absorb(&crate::snapshot::HistogramSnapshot::of("o", &other));
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn absorb_snapshot_adds_counters_and_raises_gauges() {
+        let per_query = Metrics::new();
+        per_query.cells_executed.add(10);
+        per_query.answers_found.add(2);
+        per_query.store_peak.set(30);
+        per_query.cell_latency_ns.observe(500);
+        per_query.record_worker_cell(1, true);
+        let snap = crate::snapshot::MetricsSnapshot::capture(&per_query, 0, vec![], vec![]);
+
+        let process = Metrics::new();
+        process.cells_executed.add(5);
+        process.store_peak.set(40);
+        process.absorb_snapshot(&snap);
+        process.absorb_snapshot(&snap);
+        assert_eq!(process.cells_executed.get(), 25);
+        assert_eq!(process.answers_found.get(), 4);
+        assert_eq!(process.store_peak.get(), Some(40), "gauges keep the max");
+        assert_eq!(process.cell_latency_ns.count(), 2);
+        assert_eq!(process.worker_tallies(), vec![(1, 2, 2)]);
+        assert_eq!(process.worker_steals.get(), 2);
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //! document (`--metrics-out`, validated in CI against
 //! `schemas/metrics.schema.json`) and a Prometheus text exposition.
 
-use crate::metrics::Metrics;
+use crate::metrics::{Histogram, Metrics};
 
 /// Snapshot format version emitted in the JSON document. Bump when the
 /// structure changes and update `schemas/metrics.schema.json` to match.
-pub const SNAPSHOT_VERSION: u64 = 1;
+///
+/// v2: histogram objects gained estimated `p50`/`p95`/`p99` quantiles
+/// (`null` while the histogram is empty).
+pub const SNAPSHOT_VERSION: u64 = 2;
+
+/// Quantiles estimated for every histogram snapshot, `(label, q)`.
+pub const SNAPSHOT_QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
 
 /// One histogram captured at snapshot time.
 #[derive(Debug, Clone)]
@@ -20,6 +26,62 @@ pub struct HistogramSnapshot {
     /// `(upper_bound, count)` per bucket; `None` is the overflow (`+Inf`)
     /// bucket. Counts are per-bucket, not cumulative.
     pub buckets: Vec<(Option<u64>, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Captures `h` under `name`.
+    pub fn of(name: &'static str, h: &Histogram) -> Self {
+        let buckets = h
+            .bounds()
+            .iter()
+            .map(|&b| Some(b))
+            .chain(std::iter::once(None))
+            .zip(h.bucket_counts())
+            .collect();
+        Self {
+            name,
+            count: h.count(),
+            sum: h.sum(),
+            buckets,
+        }
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) by linear interpolation
+    /// within the bucket that crosses the target rank, the standard
+    /// fixed-bucket estimator. Observations in the overflow bucket are
+    /// clamped to the last finite bound (there is no upper edge to
+    /// interpolate towards), so tail quantiles are *under*-estimates when
+    /// the overflow bucket is populated. Returns `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        let mut lower = 0u64; // previous bucket's upper bound
+        for &(bound, count) in &self.buckets {
+            let before = cumulative;
+            cumulative += count;
+            if count > 0 && cumulative as f64 >= target {
+                return Some(match bound {
+                    Some(b) => {
+                        let frac = ((target - before as f64) / count as f64).clamp(0.0, 1.0);
+                        lower as f64 + frac * (b - lower) as f64
+                    }
+                    None => lower as f64,
+                });
+            }
+            if let Some(b) = bound {
+                lower = b;
+            }
+        }
+        Some(lower as f64)
+    }
+
+    /// The [`SNAPSHOT_QUANTILES`] estimates, in order.
+    pub fn quantiles(&self) -> [(&'static str, Option<f64>); 3] {
+        SNAPSHOT_QUANTILES.map(|(label, q)| (label, self.quantile(q)))
+    }
 }
 
 /// A consistent-enough point-in-time capture of every instrument.
@@ -59,22 +121,7 @@ impl MetricsSnapshot {
             ("batch_cells", &metrics.batch_cells),
         ]
         .into_iter()
-        .map(|(name, h)| {
-            let counts = h.bucket_counts();
-            let buckets = h
-                .bounds()
-                .iter()
-                .map(|&b| Some(b))
-                .chain(std::iter::once(None))
-                .zip(counts)
-                .collect();
-            HistogramSnapshot {
-                name,
-                count: h.count(),
-                sum: h.sum(),
-                buckets,
-            }
-        })
+        .map(|(name, h)| HistogramSnapshot::of(name, h))
         .collect();
         Self {
             uptime_ms,
@@ -125,9 +172,16 @@ impl MetricsSnapshot {
                 s.push(',');
             }
             s.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                "\"{}\":{{\"count\":{},\"sum\":{}",
                 h.name, h.count, h.sum
             ));
+            for (label, q) in h.quantiles() {
+                match q {
+                    Some(v) => s.push_str(&format!(",\"{label}\":{}", fmt_f64(v))),
+                    None => s.push_str(&format!(",\"{label}\":null")),
+                }
+            }
+            s.push_str(",\"buckets\":[");
             for (j, (bound, count)) in h.buckets.iter().enumerate() {
                 if j > 0 {
                     s.push(',');
@@ -165,19 +219,35 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot in the Prometheus text exposition format, with
-    /// every series prefixed `acq_`.
+    /// every series prefixed `acq_`, `# HELP`/`# TYPE` headers, and label
+    /// values escaped per the exposition-format rules.
     pub fn to_prometheus(&self) -> String {
         let mut s = String::with_capacity(2048);
         for &(name, v) in &self.counters {
-            s.push_str(&format!(
-                "# TYPE acq_{name}_total counter\nacq_{name}_total {v}\n"
-            ));
+            push_header(
+                &mut s,
+                &format!("acq_{name}_total"),
+                instrument_help(name),
+                "counter",
+            );
+            s.push_str(&format!("acq_{name}_total {v}\n"));
         }
         for &(name, v) in &self.gauges {
-            s.push_str(&format!("# TYPE acq_{name} gauge\nacq_{name} {v}\n"));
+            push_header(
+                &mut s,
+                &format!("acq_{name}"),
+                instrument_help(name),
+                "gauge",
+            );
+            s.push_str(&format!("acq_{name} {v}\n"));
         }
         for h in &self.histograms {
-            s.push_str(&format!("# TYPE acq_{} histogram\n", h.name));
+            push_header(
+                &mut s,
+                &format!("acq_{}", h.name),
+                instrument_help(h.name),
+                "histogram",
+            );
             let mut cumulative = 0u64;
             for (bound, count) in &h.buckets {
                 cumulative += count;
@@ -192,6 +262,24 @@ impl MetricsSnapshot {
             }
             s.push_str(&format!("acq_{}_sum {}\n", h.name, h.sum));
             s.push_str(&format!("acq_{}_count {}\n", h.name, h.count));
+            let quantiles = h.quantiles();
+            if quantiles.iter().any(|(_, v)| v.is_some()) {
+                push_header(
+                    &mut s,
+                    &format!("acq_{}_quantile", h.name),
+                    "Estimated quantiles (linear interpolation within buckets)",
+                    "gauge",
+                );
+                for ((_, q), (_, v)) in SNAPSHOT_QUANTILES.iter().zip(quantiles) {
+                    if let Some(v) = v {
+                        s.push_str(&format!(
+                            "acq_{}_quantile{{quantile=\"{q}\"}} {}\n",
+                            h.name,
+                            fmt_f64(v)
+                        ));
+                    }
+                }
+            }
         }
         for &(w, cells, steals) in &self.workers {
             s.push_str(&format!(
@@ -202,11 +290,103 @@ impl MetricsSnapshot {
             ));
         }
         for (name, v) in &self.exec_stats {
-            s.push_str(&format!(
-                "# TYPE acq_exec_{name}_total counter\nacq_exec_{name}_total {v}\n"
-            ));
+            push_header(
+                &mut s,
+                &format!("acq_exec_{name}_total"),
+                "Engine executor statistic bridged from ExecStats",
+                "counter",
+            );
+            s.push_str(&format!("acq_exec_{name}_total {v}\n"));
+        }
+        if !self.meta.is_empty() {
+            push_header(
+                &mut s,
+                "acq_meta",
+                "Free-form run metadata as an info-style series (always 1)",
+                "gauge",
+            );
+            for (k, v) in &self.meta {
+                s.push_str(&format!(
+                    "acq_meta{{key=\"{}\",value=\"{}\"}} 1\n",
+                    prom_escape_label(k),
+                    prom_escape_label(v)
+                ));
+            }
         }
         s
+    }
+}
+
+/// Emits `# HELP` and `# TYPE` header lines for a metric family.
+fn push_header(s: &mut String, family: &str, help: &str, kind: &str) {
+    s.push_str(&format!(
+        "# HELP {family} {}\n# TYPE {family} {kind}\n",
+        prom_escape_help(help)
+    ));
+}
+
+/// Escapes a Prometheus label *value*: backslash, double-quote and newline
+/// must be escaped inside the `label="…"` syntax.
+pub fn prom_escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a `# HELP` string: only backslash and newline are special there
+/// (quotes are legal verbatim in help text).
+pub fn prom_escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` compactly for both JSON and Prometheus: integral values
+/// print without a fraction, everything else with just enough digits.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One-line help text per instrument, keyed by snapshot name.
+fn instrument_help(name: &str) -> &'static str {
+    match name {
+        "cells_executed" => "Committed cell executions (equals AcqOutcome.explored)",
+        "cells_speculative" => "Speculative cell executions on pool workers",
+        "answers_found" => "Refined queries that satisfied the constraint",
+        "repartitions" => "Repartition rounds performed (Algorithm 4)",
+        "interrupts" => "Runs that ended on a budget or cancellation interrupt",
+        "faults_injected" => "Injected faults fired under the active FaultPolicy",
+        "at_most_once_violations" => {
+            "At-most-once violations detected at the result slots (must be 0)"
+        }
+        "worker_steals" => "Cross-chunk steals in the Explore worker pool",
+        "trace_dropped" => "Trace events discarded because the bounded buffer was full",
+        "current_layer" => "Expand layer currently being explored",
+        "frontier_batch" => "Cells in the most recent Expand batch",
+        "store_len" => "Live entries in the aggregate store",
+        "store_peak" => "Peak live entries in the aggregate store",
+        "store_bytes" => "Approximate bytes held by the aggregate store",
+        "budget_headroom" => "Remaining max_explored budget",
+        "cell_latency_ns" => "Per-cell execution latency in nanoseconds",
+        "batch_cells" => "Expand batch size distribution in cells",
+        _ => "ACQ pipeline instrument",
     }
 }
 
@@ -263,7 +443,10 @@ mod tests {
         let snap = sample();
         let json = snap.to_json();
         let v = crate::json::parse(&json).expect("snapshot JSON parses");
-        assert_eq!(v.pointer("/version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            v.pointer("/version").and_then(|v| v.as_u64()),
+            Some(SNAPSHOT_VERSION)
+        );
         assert_eq!(
             v.pointer("/counters/cells_executed")
                 .and_then(|v| v.as_u64()),
@@ -298,6 +481,118 @@ mod tests {
             text.contains("acq_worker_cells_total{worker=\"1\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 observations of 1..=100 over bounds [10, 50, 100]: the
+        // estimator should land near the exact order statistics.
+        let h = Histogram::new(&[10, 50, 100]);
+        for v in 1..=100 {
+            h.observe(v);
+        }
+        let snap = HistogramSnapshot::of("h", &h);
+        let p50 = snap.quantile(0.50).unwrap();
+        let p95 = snap.quantile(0.95).unwrap();
+        let p99 = snap.quantile(0.99).unwrap();
+        assert!((p50 - 50.0).abs() <= 1.0, "p50={p50}");
+        assert!((p95 - 95.0).abs() <= 1.0, "p95={p95}");
+        assert!((p99 - 99.0).abs() <= 1.0, "p99={p99}");
+        // Edges.
+        assert_eq!(snap.quantile(0.0), Some(0.0));
+        assert_eq!(snap.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn quantiles_clamp_to_last_finite_bound_on_overflow() {
+        let h = Histogram::new(&[10]);
+        for _ in 0..10 {
+            h.observe(1000); // all overflow
+        }
+        let snap = HistogramSnapshot::of("h", &h);
+        assert_eq!(snap.quantile(0.99), Some(10.0), "no edge to interpolate to");
+    }
+
+    #[test]
+    fn empty_histogram_has_null_quantiles() {
+        let h = Histogram::new(&[10]);
+        let snap = HistogramSnapshot::of("h", &h);
+        assert_eq!(snap.quantile(0.5), None);
+        // JSON renders them as null, not as a bogus number.
+        let m = Metrics::new();
+        let full = MetricsSnapshot::capture(&m, 0, vec![], vec![]);
+        let v = crate::json::parse(&full.to_json()).unwrap();
+        assert!(matches!(
+            v.pointer("/histograms/cell_latency_ns/p50"),
+            Some(crate::json::JsonValue::Null)
+        ));
+    }
+
+    #[test]
+    fn json_and_prometheus_surface_quantiles() {
+        let snap = sample();
+        let v = crate::json::parse(&snap.to_json()).unwrap();
+        // One observation of 500ns: every quantile sits in (250, 1000].
+        let p99 = match v.pointer("/histograms/cell_latency_ns/p99") {
+            Some(crate::json::JsonValue::Num(n)) => *n,
+            other => panic!("p99 missing: {other:?}"),
+        };
+        assert!(p99 > 250.0 && p99 <= 1000.0, "p99={p99}");
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("acq_cell_latency_ns_quantile{quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE acq_cell_latency_ns_quantile gauge"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_headers_have_help_lines() {
+        let text = sample().to_prometheus();
+        assert!(
+            text.contains(
+                "# HELP acq_cells_executed_total Committed cell executions \
+                 (equals AcqOutcome.explored)\n# TYPE acq_cells_executed_total counter"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("# HELP acq_current_layer "), "{text}");
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let m = Metrics::new();
+        let snap = MetricsSnapshot::capture(
+            &m,
+            0,
+            vec![],
+            vec![("sql".to_string(), "select \"x\\y\"\nfrom t".to_string())],
+        );
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains(r#"acq_meta{key="sql",value="select \"x\\y\"\nfrom t"} 1"#),
+            "{text}"
+        );
+        assert!(
+            !text.contains("select \"x\\y\"\nfrom"),
+            "raw newline must not split the series line: {text}"
+        );
+    }
+
+    #[test]
+    fn escaping_helpers_cover_the_edge_cases() {
+        assert_eq!(prom_escape_label(r"a\b"), r"a\\b");
+        assert_eq!(prom_escape_label("a\"b"), "a\\\"b");
+        assert_eq!(prom_escape_label("a\nb"), "a\\nb");
+        // Help strings escape backslash/newline but leave quotes alone.
+        assert_eq!(
+            prom_escape_help("say \"hi\"\\now\nplease"),
+            "say \"hi\"\\\\now\\nplease"
+        );
+        assert_eq!(prom_escape_help("plain"), "plain");
     }
 
     #[test]

@@ -91,6 +91,43 @@ impl TraceBuf {
         }
         out
     }
+
+    /// Buffer capacity (events retained before drops begin).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Renders the buffer as a JSON document:
+    /// `{"events":[{"at_ns":…,"dur_ns":…|null,"depth":…,"label":"…"},…],
+    ///   "dropped":N,"truncated":bool}`.
+    ///
+    /// `truncated` is the honesty bit for `GET /trace/<id>`: when `dropped`
+    /// is nonzero the span tree the caller sees is a prefix, not the run.
+    pub fn render_json(&self, dropped: u64) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 64 + 64);
+        out.push_str("{\"events\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"at_ns\":{},\"dur_ns\":", e.at.as_nanos()));
+            match e.dur {
+                Some(d) => out.push_str(&d.as_nanos().to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(&format!(
+                ",\"depth\":{},\"label\":\"{}\"}}",
+                e.depth,
+                crate::snapshot::json_escape(&e.label)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"dropped\":{dropped},\"truncated\":{}}}",
+            dropped > 0
+        ));
+        out
+    }
 }
 
 /// Formats a duration with a unit scaled to its magnitude.
@@ -135,6 +172,41 @@ mod tests {
         assert!(text.contains("a\n"), "{text}");
         assert!(text.contains("(1.5ms)   b"), "{text}");
         assert!(text.contains("1 event(s) dropped"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_reports_truncation_honestly() {
+        let buf = TraceBuf::new(2);
+        assert!(buf.push(ev(1, "quote \" and \\ backslash")));
+        assert!(buf.push(TraceEvent {
+            dur: Some(Duration::from_nanos(42)),
+            ..ev(2, "b")
+        }));
+        assert!(!buf.push(ev(3, "dropped")));
+        let json = buf.render_json(1);
+        let v = crate::json::parse(&json).expect("trace JSON parses");
+        assert_eq!(v.pointer("/dropped").and_then(|v| v.as_u64()), Some(1));
+        assert!(matches!(
+            v.pointer("/truncated"),
+            Some(crate::json::JsonValue::Bool(true))
+        ));
+        assert_eq!(
+            v.pointer("/events/0/label").and_then(|v| v.as_str()),
+            Some("quote \" and \\ backslash")
+        );
+        assert_eq!(
+            v.pointer("/events/1/dur_ns").and_then(|v| v.as_u64()),
+            Some(42)
+        );
+
+        // A buffer with headroom reports truncated=false.
+        let ok = TraceBuf::new(8);
+        ok.push(ev(1, "a"));
+        let v = crate::json::parse(&ok.render_json(0)).unwrap();
+        assert!(matches!(
+            v.pointer("/truncated"),
+            Some(crate::json::JsonValue::Bool(false))
+        ));
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Process-scoped instruments for long-running servers.
+//!
+//! The PR 3 instruments ([`crate::Metrics`]) are cumulative-forever, which
+//! is the right shape for one-shot runs but useless for *watching* a
+//! service: a counter that only ever grows cannot answer "how many queries
+//! per second right now?". This module adds the two time-aware primitives
+//! `acq-serve` exposes on `/metrics`:
+//!
+//! * [`RateCounter`] — a cumulative counter plus a ring of per-second
+//!   buckets, so a scrape can report both the all-time total and the rate
+//!   over the most recent window without the scraper having to keep state.
+//! * [`DecayingHistogram`] — a fixed-bucket latency histogram whose bucket
+//!   counts are halved every half-life, so p50/p95/p99 estimates track the
+//!   *recent* latency distribution instead of being dominated by startup.
+//!
+//! Both record through relaxed atomics only — they are safe to commit from
+//! request threads — and both take the current time as an explicit
+//! `elapsed-since-epoch` argument so tests can drive the clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::metrics::Histogram;
+use crate::snapshot::HistogramSnapshot;
+
+/// Ring slots in a [`RateCounter`]; one per second.
+pub const RATE_SLOTS: usize = 64;
+
+/// Default averaging window for [`RateCounter::rate_per_sec`].
+pub const DEFAULT_RATE_WINDOW_SECS: u64 = 30;
+
+/// A cumulative counter with a per-second ring for rate estimation.
+///
+/// `record` is two relaxed `fetch_add`s plus at most one slot recycle; the
+/// ring aliases after [`RATE_SLOTS`] seconds, so each slot carries the
+/// second it was last written and is lazily zeroed when a new second claims
+/// it. Rates are therefore exact over any window shorter than the ring.
+#[derive(Debug)]
+pub struct RateCounter {
+    total: AtomicU64,
+    /// Event counts per ring slot.
+    slots: [AtomicU64; RATE_SLOTS],
+    /// The absolute second each slot last counted for.
+    stamps: [AtomicU64; RATE_SLOTS],
+}
+
+impl Default for RateCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sentinel stamp for a slot that has never been written. Using an
+/// impossible second (not representable within ~584 billion years of
+/// uptime) keeps slot 0 of second 0 distinguishable from "never".
+const STAMP_EMPTY: u64 = u64::MAX;
+
+impl RateCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self {
+            total: AtomicU64::new(0),
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+            stamps: std::array::from_fn(|_| AtomicU64::new(STAMP_EMPTY)),
+        }
+    }
+
+    /// Adds `n` events at `now` (elapsed since the process epoch).
+    pub fn record(&self, n: u64, now: Duration) {
+        self.total.fetch_add(n, Ordering::Relaxed); // relaxed-ok: independent monotone counter
+        let sec = now.as_secs();
+        let i = (sec % RATE_SLOTS as u64) as usize;
+        // Recycle the slot if it still carries an older second. The swap
+        // makes exactly one thread the recycler; events the losers already
+        // added for the *new* second are lost with the old count, which
+        // under-counts one slot by at most the events of one race window —
+        // acceptable for a rate gauge, never for `total`.
+        // relaxed-ok: rate gauge tolerates racy recycle
+        if self.stamps[i].load(Ordering::Relaxed) != sec {
+            // relaxed-ok: swap picks one recycler
+            if self.stamps[i].swap(sec, Ordering::Relaxed) != sec {
+                self.slots[i].store(0, Ordering::Relaxed); // relaxed-ok: rate gauge tolerates racy recycle
+            }
+        }
+        self.slots[i].fetch_add(n, Ordering::Relaxed); // relaxed-ok: per-slot gauge, no ordering needed
+    }
+
+    /// All-time event count.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed) // relaxed-ok: monotone counter read
+    }
+
+    /// Events per second averaged over the last `window` full seconds
+    /// before `now`, clamped to the ring capacity. The current (partial)
+    /// second is excluded so a scrape early in a second does not read an
+    /// artificially low rate.
+    pub fn rate_per_sec(&self, window: u64, now: Duration) -> f64 {
+        let window = window.clamp(1, RATE_SLOTS as u64 - 1);
+        let current = now.as_secs();
+        let mut sum = 0u64;
+        for back in 1..=window {
+            let Some(sec) = current.checked_sub(back) else {
+                break;
+            };
+            let i = (sec % RATE_SLOTS as u64) as usize;
+            // relaxed-ok: gauge read, staleness tolerated
+            if self.stamps[i].load(Ordering::Relaxed) == sec {
+                sum += self.slots[i].load(Ordering::Relaxed); // relaxed-ok: gauge read, staleness tolerated
+            }
+        }
+        sum as f64 / window as f64
+    }
+}
+
+/// A fixed-bucket histogram whose counts decay by half every `half_life`.
+///
+/// Observations go through the inner lock-free [`Histogram`]; decay is a
+/// periodic sweep that halves every bucket (and `count`/`sum`), serialised
+/// by a `try_lock` so sweeps never run concurrently and — crucially for the
+/// serve crate's instrument-commit discipline — `observe` never *blocks*:
+/// a thread that loses the sweep race skips the decay (the winner is doing
+/// it) and just records. The sweep subtracts `v - v/2` from each cell
+/// instead of storing `v/2`, so observations that land *during* a sweep are
+/// preserved rather than overwritten.
+#[derive(Debug)]
+pub struct DecayingHistogram {
+    inner: Histogram,
+    half_life: Duration,
+    /// Elapsed-at-last-decay, in milliseconds; guarded by the sweep lock.
+    last_decay_ms: Mutex<u64>,
+}
+
+impl DecayingHistogram {
+    /// Creates a decaying histogram over `bounds` with the given half-life.
+    pub fn new(bounds: &'static [u64], half_life: Duration) -> Self {
+        Self {
+            inner: Histogram::new(bounds),
+            half_life: half_life.max(Duration::from_millis(1)),
+            last_decay_ms: Mutex::new(0),
+        }
+    }
+
+    /// Records one observation at `now`, applying any due decay first.
+    pub fn observe(&self, v: u64, now: Duration) {
+        self.maybe_decay(now);
+        self.inner.observe(v);
+    }
+
+    /// Snapshot of the decayed distribution under `name`, applying any due
+    /// decay first.
+    pub fn snapshot(&self, name: &'static str, now: Duration) -> HistogramSnapshot {
+        self.maybe_decay(now);
+        HistogramSnapshot::of(name, &self.inner)
+    }
+
+    /// Applies one halving per elapsed half-life (capped so a long-idle
+    /// histogram zeroes out instead of sweeping 64 times).
+    fn maybe_decay(&self, now: Duration) {
+        let now_ms = now.as_millis() as u64;
+        let mut last = match self.last_decay_ms.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            // Another thread holds the sweep; never block a commit path.
+            Err(std::sync::TryLockError::WouldBlock) => return,
+        };
+        let hl_ms = self.half_life.as_millis().max(1) as u64;
+        let due = now_ms.saturating_sub(*last) / hl_ms;
+        if due == 0 {
+            return;
+        }
+        for _ in 0..due.min(8) {
+            self.inner.halve();
+        }
+        if due > 8 {
+            // ≥ 9 half-lives idle: the surviving counts round to zero.
+            self.inner.halve_to_zero();
+        }
+        *last += due * hl_ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: u64) -> Duration {
+        Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn rate_counter_totals_and_windows() {
+        let c = RateCounter::new();
+        // 5 events/sec for seconds 0..10.
+        for sec in 0..10 {
+            c.record(5, s(sec));
+        }
+        assert_eq!(c.total(), 50);
+        // At t=10, the last 5 full seconds each carry 5 events.
+        assert!((c.rate_per_sec(5, s(10)) - 5.0).abs() < 1e-9);
+        // A long idle gap: slots age out of the window.
+        assert_eq!(c.rate_per_sec(5, s(1000)), 0.0);
+        assert_eq!(c.total(), 50, "total never decays");
+    }
+
+    #[test]
+    fn rate_counter_ring_recycles_aliased_slots() {
+        let c = RateCounter::new();
+        c.record(100, s(3));
+        // Second 3 + RATE_SLOTS aliases into the same slot; the old count
+        // must not leak into the new second's rate.
+        let aliased = 3 + RATE_SLOTS as u64;
+        c.record(7, s(aliased));
+        assert!((c.rate_per_sec(1, s(aliased + 1)) - 7.0).abs() < 1e-9);
+        assert_eq!(c.total(), 107);
+    }
+
+    #[test]
+    fn rate_excludes_the_partial_current_second() {
+        let c = RateCounter::new();
+        c.record(9, s(5));
+        // Scraping within second 5 ignores its partial count...
+        assert_eq!(c.rate_per_sec(3, s(5)), 0.0);
+        // ...and sees it once the second has completed.
+        assert!((c.rate_per_sec(1, s(6)) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decaying_histogram_halves_per_half_life() {
+        let h = DecayingHistogram::new(&[10, 100], Duration::from_secs(10));
+        for _ in 0..8 {
+            h.observe(5, s(0));
+        }
+        assert_eq!(h.snapshot("h", s(9)).count, 8, "within one half-life");
+        assert_eq!(h.snapshot("h", s(10)).count, 4);
+        assert_eq!(h.snapshot("h", s(20)).count, 2);
+        // Nine+ half-lives idle: fully decayed.
+        assert_eq!(h.snapshot("h", s(200)).count, 0);
+        // New observations land on the decayed state.
+        h.observe(50, s(201));
+        let snap = h.snapshot("h", s(201));
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 50);
+    }
+
+    #[test]
+    fn decay_is_monotone_in_time() {
+        let h = DecayingHistogram::new(&[10], Duration::from_secs(1));
+        for _ in 0..1000 {
+            h.observe(1, s(0));
+        }
+        let mut prev = h.snapshot("h", s(0)).count;
+        for t in 1..12 {
+            let cur = h.snapshot("h", s(t)).count;
+            assert!(cur <= prev, "t={t}: {cur} > {prev}");
+            prev = cur;
+        }
+        assert_eq!(prev, 0, "1000 observations decay out within 11 halvings");
+    }
+}

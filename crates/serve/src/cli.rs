@@ -1,0 +1,233 @@
+//! Command-line entry point, shared by the `acq-serve` binary and the root
+//! CLI's `acq serve` subcommand.
+
+use std::time::Duration;
+
+use acq_datagen::{patients, tpch, users, GenConfig};
+use acq_engine::{csv, Catalog};
+use acquire_core::EvalLayerKind;
+
+use crate::server::Server;
+use crate::state::ServeConfig;
+
+/// Usage text for `acq-serve --help` (and `acq serve --help`).
+pub const USAGE: &str = "usage: acq-serve [OPTIONS]
+
+options:
+  --addr HOST:PORT     bind address (default 127.0.0.1:7171; port 0 = ephemeral)
+  --table NAME=PATH    load a CSV file as table NAME (repeatable)
+  --demo NAME          generate a demo table: users | patients | tpch (repeatable)
+  --demo-rows N        demo table size (default 50000)
+  --layer KIND         evaluation layer: grid | cached | scan (default grid)
+  --gamma G            default refinement threshold when a request omits it
+  --delta D            default aggregate error threshold when a request omits it
+  --max-deadline SECS  hard per-query wall-clock cap (default 30)
+  --max-threads N      most worker threads one request may ask for (default 8)
+  --max-concurrent N   in-flight requests before shedding with 503 (default 16)
+  --trace-capacity N   per-query trace buffer capacity (default 10000)
+  --help               this message
+
+endpoints: POST /query[?explain=1]  GET /metrics /healthz /readyz /queries
+           GET /trace/<id>  POST /shutdown
+
+The request body for POST /query is JSON:
+  {\"sql\": \"SELECT ... CONSTRAINT ...\", \"gamma\"?, \"delta\"?,
+   \"norm\"? (\"l1\"|\"l2\"|\"linf\"), \"threads\"?, \"timeout_secs\"?,
+   \"max_explored\"?, \"max_store_bytes\"?, \"top\"?}";
+
+/// Parsed `acq-serve` options: the server config plus data sources.
+#[derive(Debug)]
+pub struct ServeOpts {
+    /// Server configuration assembled from flags.
+    pub config: ServeConfig,
+    /// `--table NAME=PATH` pairs.
+    pub tables: Vec<(String, String)>,
+    /// `--demo NAME` datasets.
+    pub demos: Vec<String>,
+    /// `--demo-rows`.
+    pub demo_rows: usize,
+}
+
+/// Parses `acq-serve` flags. `Err` carries the message to print (usage on
+/// `--help`).
+pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<ServeOpts, String> {
+    let mut args = args.peekable();
+    let mut opts = ServeOpts {
+        config: ServeConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            ..ServeConfig::default()
+        },
+        tables: Vec::new(),
+        demos: Vec::new(),
+        demo_rows: 50_000,
+    };
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--addr" => opts.config.addr = need("--addr")?,
+            "--table" => {
+                let spec = need("--table")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--table expects NAME=PATH, got {spec}"))?;
+                opts.tables.push((name.to_string(), path.to_string()));
+            }
+            "--demo" => opts.demos.push(need("--demo")?),
+            "--demo-rows" => {
+                opts.demo_rows = need("--demo-rows")?
+                    .parse()
+                    .map_err(|e| format!("--demo-rows: {e}"))?;
+            }
+            "--layer" => {
+                opts.config.layer = match need("--layer")?.as_str() {
+                    "grid" => EvalLayerKind::GridIndex,
+                    "cached" => EvalLayerKind::CachedScore,
+                    "scan" => EvalLayerKind::Scan,
+                    other => return Err(format!("unknown layer {other}")),
+                };
+            }
+            "--gamma" => {
+                opts.config.gamma = need("--gamma")?
+                    .parse()
+                    .map_err(|e| format!("--gamma: {e}"))?;
+            }
+            "--delta" => {
+                opts.config.delta = need("--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?;
+            }
+            "--max-deadline" => {
+                let secs: f64 = need("--max-deadline")?
+                    .parse()
+                    .map_err(|e| format!("--max-deadline: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!(
+                        "--max-deadline: expected positive seconds, got {secs}"
+                    ));
+                }
+                opts.config.max_deadline = Duration::from_secs_f64(secs);
+            }
+            "--max-threads" => {
+                opts.config.max_threads = need("--max-threads")?
+                    .parse()
+                    .map_err(|e| format!("--max-threads: {e}"))?;
+            }
+            "--max-concurrent" => {
+                opts.config.max_concurrent = need("--max-concurrent")?
+                    .parse()
+                    .map_err(|e| format!("--max-concurrent: {e}"))?;
+            }
+            "--trace-capacity" => {
+                opts.config.trace_capacity = need("--trace-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--trace-capacity: {e}"))?;
+            }
+            other => return Err(format!("unexpected argument {other}\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Loads `--table` CSVs and `--demo` datasets into one catalog, mirroring
+/// the one-shot CLI.
+pub fn build_catalog(opts: &ServeOpts) -> Result<Catalog, String> {
+    let mut catalog = Catalog::new();
+    for (name, path) in &opts.tables {
+        let table = csv::read_csv(name, path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "loaded {name}: {} rows, schema {}",
+            table.num_rows(),
+            table.schema()
+        );
+        catalog.register(table).map_err(|e| e.to_string())?;
+    }
+    for demo in &opts.demos {
+        let cfg = GenConfig::uniform(opts.demo_rows);
+        match demo.as_str() {
+            "users" => {
+                catalog
+                    .register(users::users(&cfg).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "patients" => {
+                catalog
+                    .register(patients::patients(&cfg).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "tpch" => {
+                let tp = tpch::generate(&cfg).map_err(|e| e.to_string())?;
+                for name in tp.table_names() {
+                    catalog
+                        .register((*tp.table(name).map_err(|e| e.to_string())?).clone())
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown demo dataset {other} (users|patients|tpch)"
+                ))
+            }
+        }
+        eprintln!("generated demo dataset: {demo} ({} rows)", opts.demo_rows);
+    }
+    if catalog.is_empty() {
+        return Err("no tables: pass --table NAME=PATH or --demo NAME".to_string());
+    }
+    Ok(catalog)
+}
+
+/// Parses `args`, builds the catalog, and serves until `POST /shutdown`.
+pub fn run<I: Iterator<Item = String>>(args: I) -> Result<(), String> {
+    let opts = parse_args(args)?;
+    let catalog = build_catalog(&opts)?;
+    let mut server = Server::start(opts.config, catalog).map_err(|e| e.to_string())?;
+    eprintln!("acq-serve listening on http://{}", server.addr());
+    server.join();
+    eprintln!("acq-serve stopped");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ServeOpts, String> {
+        parse_args(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let opts = parse(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--demo",
+            "users",
+            "--demo-rows",
+            "100",
+            "--max-threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(opts.config.addr, "127.0.0.1:0");
+        assert_eq!(opts.demos, vec!["users".to_string()]);
+        assert_eq!(opts.demo_rows, 100);
+        assert_eq!(opts.config.max_threads, 4);
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_error() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--gamma"]).is_err());
+        assert!(parse(&["--help"]).unwrap_err().starts_with("usage:"));
+    }
+
+    #[test]
+    fn empty_catalog_is_rejected() {
+        let opts = parse(&[]).unwrap();
+        assert!(build_catalog(&opts).unwrap_err().contains("no tables"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Request routing and the query execution path.
+//!
+//! Endpoints:
+//!
+//! | method | path            | body                                         |
+//! |--------|-----------------|----------------------------------------------|
+//! | GET    | `/healthz`      | liveness: always 200 while the process runs  |
+//! | GET    | `/readyz`       | readiness: 200 accepting, 503 shutting down  |
+//! | GET    | `/metrics`      | Prometheus text: pipeline + serve telemetry  |
+//! | GET    | `/queries`      | registry JSON: running + completed queries   |
+//! | GET    | `/trace/<id>`   | that query's span tree, with `truncated`     |
+//! | POST   | `/query`        | run an ACQ request; `?explain=1` adds profile|
+//! | POST   | `/shutdown`     | cancel the shutdown token (graceful stop)    |
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acq_engine::Executor;
+use acq_obs::json::{parse, JsonValue};
+use acq_obs::snapshot::json_escape;
+use acq_obs::{Obs, QuerySummary};
+use acq_query::{AcqQuery, CmpOp, Norm};
+use acq_sql::compile;
+use acquire_core::{
+    run_acquire_cancellable, run_contraction_with, AcqOutcome, AcquireConfig, ExecutionBudget,
+    ExplainProfile, RefinedQueryResult, Termination,
+};
+
+use crate::http::Request;
+use crate::state::ServerState;
+
+/// A finished response: status code, content type, body.
+pub type Response = (u16, &'static str, String);
+
+fn json_err(status: u16, msg: &str) -> Response {
+    (
+        status,
+        "application/json",
+        format!("{{\"error\":\"{}\"}}", json_escape(msg)),
+    )
+}
+
+/// Dispatches one request. Telemetry: every call commits a request event;
+/// `POST /query` additionally commits ok/err + latency on completion.
+pub fn handle(state: &Arc<ServerState>, req: &Request) -> Response {
+    state.telemetry.record_request(state.now());
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, "text/plain", "ok\n".to_string()),
+        ("GET", "/readyz") => {
+            if state.is_ready() {
+                (200, "text/plain", "ready\n".to_string())
+            } else {
+                (503, "text/plain", "not ready\n".to_string())
+            }
+        }
+        ("GET", "/metrics") => (200, "text/plain", render_metrics(state)),
+        ("GET", "/queries") => (200, "application/json", state.registry.to_json()),
+        ("GET", path) if path.starts_with("/trace/") => trace(state, &path["/trace/".len()..]),
+        ("POST", "/query") => query(state, req),
+        ("POST", "/shutdown") => {
+            state.shutdown.cancel();
+            (202, "application/json", "{\"shutdown\":true}".to_string())
+        }
+        ("GET" | "POST", _) => json_err(404, &format!("no such endpoint: {}", req.path)),
+        _ => json_err(405, &format!("method {} not supported", req.method)),
+    }
+}
+
+/// `GET /metrics`: the absorbed pipeline snapshot, serve-level telemetry,
+/// and registry occupancy, as one Prometheus text document.
+fn render_metrics(state: &Arc<ServerState>) -> String {
+    let now = state.now();
+    let snap =
+        acq_obs::MetricsSnapshot::capture(&state.metrics, now.as_millis() as u64, vec![], vec![]);
+    let mut s = snap.to_prometheus();
+    s.push_str(&state.telemetry.render_prometheus(now));
+    let (running, completed, dropped) = state.registry.counts();
+    s.push_str(&format!(
+        "# HELP acq_serve_queries_running In-flight queries\n\
+         # TYPE acq_serve_queries_running gauge\nacq_serve_queries_running {running}\n\
+         # HELP acq_serve_queries_retained Completed records retained\n\
+         # TYPE acq_serve_queries_retained gauge\nacq_serve_queries_retained {completed}\n\
+         # HELP acq_serve_records_dropped_total Completed records evicted from the bounded ring\n\
+         # TYPE acq_serve_records_dropped_total counter\nacq_serve_records_dropped_total {dropped}\n"
+    ));
+    s
+}
+
+/// `GET /trace/<id>`.
+fn trace(state: &Arc<ServerState>, id: &str) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return json_err(400, "trace id must be a number");
+    };
+    let Some(rec) = state.registry.get(id) else {
+        return json_err(
+            404,
+            &format!("no such query id {id} (evicted or never ran)"),
+        );
+    };
+    match (&rec.trace_json, rec.status) {
+        (Some(trace), _) => (200, "application/json", trace.clone()),
+        (None, acq_obs::QueryStatus::Running) => {
+            json_err(202, "query still running; trace is captured at completion")
+        }
+        (None, _) => json_err(404, &format!("query {id} retained no trace")),
+    }
+}
+
+/// Per-request knobs parsed from the `POST /query` JSON body.
+struct QueryRequest {
+    sql: String,
+    gamma: Option<f64>,
+    delta: Option<f64>,
+    norm: Option<Norm>,
+    threads: usize,
+    timeout: Option<Duration>,
+    max_explored: Option<u64>,
+    max_store_bytes: Option<usize>,
+    top: usize,
+}
+
+fn parse_query_request(body: &[u8]) -> Result<QueryRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let v = parse(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    if !matches!(v, JsonValue::Obj(_)) {
+        return Err("body must be a JSON object".to_string());
+    }
+    let sql = v
+        .get("sql")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing required string field \"sql\"".to_string())?
+        .to_string();
+    let num = |key: &str| -> Result<Option<f64>, String> {
+        match v.get(key) {
+            None | Some(JsonValue::Null) => Ok(None),
+            Some(val) => val
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| format!("field \"{key}\" must be a number")),
+        }
+    };
+    let norm = match v.get("norm").and_then(JsonValue::as_str) {
+        None => None,
+        Some("l1") => Some(Norm::L1),
+        Some("l2") => Some(Norm::Lp(2.0)),
+        Some("linf") | Some("loo") => Some(Norm::LInf),
+        Some(other) => return Err(format!("unknown norm \"{other}\" (l1|l2|linf)")),
+    };
+    let timeout = match num("timeout_secs")? {
+        Some(secs) if secs.is_finite() && secs > 0.0 => Some(Duration::from_secs_f64(secs)),
+        Some(_) => return Err("\"timeout_secs\" must be positive and finite".to_string()),
+        None => None,
+    };
+    Ok(QueryRequest {
+        sql,
+        gamma: num("gamma")?,
+        delta: num("delta")?,
+        norm,
+        threads: num("threads")?.map_or(1, |t| t.max(1.0) as usize),
+        timeout,
+        max_explored: num("max_explored")?.map(|n| n.max(0.0) as u64),
+        max_store_bytes: num("max_store_bytes")?.map(|n| n.max(0.0) as usize),
+        top: num("top")?.map_or(5, |t| t.max(1.0) as usize),
+    })
+}
+
+/// `POST /query`: compile, register, run with a per-query handle, respond.
+fn query(state: &Arc<ServerState>, req: &Request) -> Response {
+    if !state.is_ready() {
+        return json_err(503, "server is shutting down");
+    }
+    if !state.try_begin_request() {
+        return json_err(503, "at capacity; retry later");
+    }
+    let t0 = Instant::now();
+    let resp = run_query(state, req, t0);
+    state.end_request();
+    state
+        .telemetry
+        .record_query(resp.0 == 200, t0.elapsed(), state.now());
+    resp
+}
+
+fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant) -> Response {
+    let parsed = match parse_query_request(&req.body) {
+        Ok(p) => p,
+        Err(msg) => return json_err(400, &msg),
+    };
+    let threads = parsed.threads.min(state.config.max_threads);
+
+    let query = match compile(&parsed.sql, &state.catalog) {
+        Ok(q) => q,
+        Err(e) => return json_err(400, &format!("compile: {e}")),
+    };
+
+    // Per-request budget, clamped by the server's deadline cap so no query
+    // can pin a connection thread past it.
+    let deadline = parsed.timeout.map_or(state.config.max_deadline, |t| {
+        t.min(state.config.max_deadline)
+    });
+    let mut budget = ExecutionBudget::unlimited().with_deadline(deadline);
+    if let Some(n) = parsed.max_explored {
+        budget = budget.with_max_explored(n);
+    }
+    if let Some(b) = parsed.max_store_bytes {
+        budget = budget.with_max_store_bytes(b);
+    }
+    let cfg = AcquireConfig {
+        gamma: parsed.gamma.unwrap_or(state.config.gamma),
+        delta: parsed.delta.unwrap_or(state.config.delta),
+        norm: parsed.norm.clone().unwrap_or(Norm::L1),
+        budget,
+        ..Default::default()
+    }
+    .with_threads(threads);
+
+    let id = state.registry.begin(parsed.sql.clone(), threads);
+    // Per-query handle: keeps traces and profiles attributable to this
+    // request; folded into the process registry at completion.
+    let obs = Obs::with_trace(state.config.trace_capacity);
+    obs.set_query_id(id);
+
+    // Each request gets its own executor over the shared catalog (tables are
+    // Arc'd, so the clone is cheap) and a clone of the shutdown token: a
+    // graceful stop interrupts in-flight searches cooperatively.
+    let mut exec = Executor::new(state.catalog.clone());
+    let cancel = &state.shutdown;
+    let layer = state.config.layer;
+    let outcome = match query.constraint.op {
+        // §7.2: overshooting constraints run the contraction search.
+        CmpOp::Le | CmpOp::Lt => run_contraction_with(&mut exec, &query, &cfg, layer, cancel),
+        _ => {
+            run_acquire_cancellable(&mut exec, &query, &cfg, layer, cancel, &obs).map(|expanded| {
+                if !expanded.satisfied
+                    && query.constraint.op == CmpOp::Eq
+                    && expanded.original_aggregate > query.constraint.target
+                {
+                    // `=` with an already-overshooting original: fall through
+                    // to contraction, like the CLI; keep the expansion
+                    // outcome if nothing is contractible.
+                    run_contraction_with(&mut exec, &query, &cfg, layer, cancel).unwrap_or(expanded)
+                } else {
+                    expanded
+                }
+            })
+        }
+    };
+    let duration = t0.elapsed();
+
+    match outcome {
+        Ok(outcome) => {
+            obs.record_exec_stats(&outcome.stats.fields());
+            let snap = obs.snapshot();
+            state.registry.finish(
+                id,
+                QuerySummary {
+                    termination: outcome.termination.slug().to_string(),
+                    explored: outcome.explored,
+                    cells_executed: snap
+                        .as_ref()
+                        .and_then(|s| s.counter("cells_executed"))
+                        .unwrap_or(0),
+                    answers: outcome.queries.len() as u64,
+                    satisfied: outcome.satisfied,
+                    layers: outcome.layers,
+                },
+                duration.as_millis() as u64,
+                obs.render_trace_json(),
+            );
+            if let Some(snap) = &snap {
+                state.metrics.absorb_snapshot(snap);
+            }
+            let profile = req
+                .flag("explain")
+                .then(|| ExplainProfile::new(&query, &cfg, &outcome, snap.as_ref(), duration));
+            (
+                200,
+                "application/json",
+                outcome_json(id, &outcome, &query, parsed.top, duration, profile.as_ref()),
+            )
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            state
+                .registry
+                .fail(id, msg.clone(), duration.as_millis() as u64);
+            json_err(400, &format!("query {id} failed: {msg}"))
+        }
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn termination_json(t: &Termination) -> String {
+    match t {
+        Termination::Interrupted {
+            reason,
+            explored,
+            elapsed,
+        } => format!(
+            "{{\"status\":\"interrupted\",\"reason\":\"{}\",\"detail\":\"{}\",\
+             \"explored\":{},\"elapsed_ms\":{}}}",
+            reason.slug(),
+            json_escape(&reason.to_string()),
+            explored,
+            elapsed.as_millis()
+        ),
+        complete => format!("{{\"status\":\"{}\"}}", complete.slug()),
+    }
+}
+
+fn result_json(r: &RefinedQueryResult, original: &AcqQuery) -> String {
+    let pscores: Vec<String> = r.pscores.iter().map(|&p| json_num(p)).collect();
+    let changes: Vec<String> = if original.constraint.op.is_expanding() {
+        r.explain(original)
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    format!(
+        "{{\"pscores\":[{}],\"qscore\":{},\"aggregate\":{},\"error\":{},\
+         \"sql\":\"{}\",\"changes\":[{}]}}",
+        pscores.join(","),
+        json_num(r.qscore),
+        json_num(r.aggregate),
+        json_num(r.error),
+        json_escape(&r.sql),
+        changes.join(",")
+    )
+}
+
+fn outcome_json(
+    id: u64,
+    outcome: &AcqOutcome,
+    original: &AcqQuery,
+    top: usize,
+    duration: Duration,
+    profile: Option<&ExplainProfile>,
+) -> String {
+    let queries: Vec<String> = outcome
+        .queries
+        .iter()
+        .take(top)
+        .map(|r| result_json(r, original))
+        .collect();
+    let closest = outcome
+        .closest
+        .as_ref()
+        .map(|r| result_json(r, original))
+        .unwrap_or_else(|| "null".to_string());
+    let stats: Vec<String> = outcome
+        .stats
+        .fields()
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect();
+    let profile = profile
+        .map(ExplainProfile::to_json)
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\"id\":{id},\"satisfied\":{},\"termination\":{},\"original_aggregate\":{},\
+         \"explored\":{},\"layers\":{},\"duration_ms\":{},\"queries\":[{}],\
+         \"closest\":{},\"stats\":{{{}}},\"profile\":{}}}",
+        outcome.satisfied,
+        termination_json(&outcome.termination),
+        json_num(outcome.original_aggregate),
+        outcome.explored,
+        outcome.layers,
+        duration.as_millis(),
+        queries.join(","),
+        closest,
+        stats.join(","),
+        profile
+    )
+}

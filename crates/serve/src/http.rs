@@ -1,0 +1,206 @@
+//! A minimal HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! Hand-rolled on purpose — the workspace's no-external-deps house style —
+//! and deliberately small: one request per connection (`Connection: close`),
+//! the only headers honoured are `Content-Length` (bounded) and the request
+//! line, and everything else is passed through untouched. That covers every
+//! client the service targets: `curl`, Prometheus scrapers, and the repo's
+//! own tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted header section, request line included.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Raw query string after `?`, or empty.
+    pub query: String,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether the query string contains `key=1` or a bare `key` flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.query
+            .split('&')
+            .any(|kv| kv == key || kv == format!("{key}=1") || kv == format!("{key}=true"))
+    }
+}
+
+/// Errors surfaced to the client as a 4xx.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HttpError {
+    /// Malformed request line or headers.
+    Malformed(String),
+    /// Body longer than the server accepts.
+    TooLarge(usize),
+    /// Socket-level failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed(what) => write!(f, "malformed request: {what}"),
+            Self::TooLarge(cap) => write!(f, "request body exceeds {cap} bytes"),
+            Self::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads and parses one request from `stream`, rejecting bodies longer than
+/// `max_body`. The read timeout bounds how long a silent client can pin a
+/// connection thread.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    read_timeout: Duration,
+) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::Malformed("header section too long".into()));
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(max_body));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Writes one response and flushes. `Connection: close` always: the
+/// accept loop hands out one request per connection.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &str, max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            s.flush().unwrap();
+            s // keep alive until the server has read
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn, max_body, Duration::from_secs(2));
+        drop(client.join().unwrap());
+        req
+    }
+
+    #[test]
+    fn parses_request_line_query_and_body() {
+        let req = roundtrip(
+            "POST /query?explain=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.query, "explain=1");
+        assert!(req.flag("explain"));
+        assert!(!req.flag("verbose"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let err = roundtrip("POST /query HTTP/1.1\r\nContent-Length: 100\r\n\r\n", 10).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(10)), "{err}");
+    }
+
+    #[test]
+    fn get_without_body_parses() {
+        let req = roundtrip("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+}

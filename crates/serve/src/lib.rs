@@ -1,0 +1,38 @@
+//! `acq-serve`: a long-running ACQ service.
+//!
+//! The paper's algorithm (EDBT 2016, "Refinement Driven Processing of
+//! Aggregation Constrained Queries") is a batch search; this crate hosts it
+//! as a process: a hand-rolled HTTP/1.1 server (no external dependencies,
+//! per the workspace house style) that accepts ACQ requests and exposes the
+//! pipeline's observability as a live scrape/health surface.
+//!
+//! * `POST /query` — run an ACQ request (`?explain=1` adds an
+//!   EXPLAIN-style profile with the Eq. 17 reuse accounting);
+//! * `GET /metrics` — Prometheus text: the absorbed per-query pipeline
+//!   instruments plus serve-level rates and decaying latency quantiles;
+//! * `GET /queries` — the in-flight + recently-completed query registry;
+//! * `GET /trace/<id>` — a completed query's span tree, with honest
+//!   truncation reporting;
+//! * `GET /healthz`, `GET /readyz` — liveness and readiness;
+//! * `POST /shutdown` — graceful stop via the workspace's
+//!   [`acquire_core::CancellationToken`]; in-flight searches return their
+//!   anytime results.
+//!
+//! Every request runs against its own [`acq_obs::Obs`] handle, so the
+//! driver's serial-emission-order guarantees hold per query: outcomes stay
+//! bit-identical across thread counts with serve instrumentation enabled,
+//! and each registry record satisfies `cells_executed == explored`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cli;
+pub mod handlers;
+pub mod http;
+pub mod server;
+pub mod state;
+pub mod telemetry;
+
+pub use server::Server;
+pub use state::{ServeConfig, ServerState};
+pub use telemetry::Telemetry;

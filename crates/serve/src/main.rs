@@ -1,0 +1,21 @@
+//! `acq-serve` — host ACQ as a long-running service.
+//!
+//! ```text
+//! acq-serve --demo users --addr 127.0.0.1:7171
+//! curl -s localhost:7171/healthz
+//! curl -s -XPOST localhost:7171/query?explain=1 \
+//!   -d '{"sql": "SELECT * FROM users CONSTRAINT COUNT(*) >= 5K WHERE income <= 60000"}'
+//! curl -s localhost:7171/metrics
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match acq_serve::cli::run(std::env::args().skip(1)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The accept loop: bind, serve, drain, stop.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use acq_engine::Catalog;
+
+use crate::handlers::handle;
+use crate::http::{read_request, write_response, HttpError};
+use crate::state::{ServeConfig, ServerState};
+
+/// How often the accept loop polls the shutdown token while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// How long a connected client may take to send its request.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running server: the bound address plus the accept-loop thread.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts accepting in a background thread.
+    pub fn start(config: ServeConfig, catalog: Catalog) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept so the loop can poll the shutdown token; each
+        // accepted stream is switched back to blocking before use.
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState::new(config, catalog));
+        state.set_ready();
+        let loop_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("acq-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &loop_state))?;
+        Ok(Server {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for embedding hosts and tests.
+    #[must_use]
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Whether the server has stopped (shutdown requested and the accept
+    /// loop exited or about to).
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.state.shutdown.is_cancelled()
+    }
+
+    /// Requests graceful shutdown and joins the accept loop. In-flight
+    /// searches observe the cancelled token and return their anytime
+    /// results; their responses are still written.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.cancel();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (i.e. until something cancels the
+    /// shutdown token, e.g. `POST /shutdown`).
+    pub fn join(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !state.shutdown.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_state = Arc::clone(state);
+                let spawned = std::thread::Builder::new()
+                    .name("acq-serve-conn".to_string())
+                    .spawn(move || serve_connection(stream, &conn_state));
+                match spawned {
+                    Ok(h) => workers.push(h),
+                    Err(_) => continue, // thread exhaustion: drop the connection
+                }
+                workers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Drain: in-flight requests observe the cancelled token and finish with
+    // their anytime outcomes before the listener drops.
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let req = match read_request(&mut stream, state.config.max_body_bytes, READ_TIMEOUT) {
+        Ok(req) => req,
+        Err(e) => {
+            let (status, msg) = match &e {
+                HttpError::TooLarge(cap) => (413, format!("body exceeds {cap} bytes")),
+                HttpError::Malformed(what) => (400, what.clone()),
+                HttpError::Io(_) => return, // client went away; nothing to say
+            };
+            let body = format!("{{\"error\":\"{}\"}}", acq_obs::snapshot::json_escape(&msg));
+            let _ = write_response(&mut stream, status, "application/json", &body);
+            return;
+        }
+    };
+    let (status, content_type, body) = handle(state, &req);
+    let _ = write_response(&mut stream, status, content_type, &body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_on_ephemeral_port_and_shuts_down() {
+        let mut server = Server::start(ServeConfig::default(), Catalog::new()).unwrap();
+        assert_ne!(server.addr().port(), 0);
+        assert!(server.state().is_ready());
+        server.shutdown();
+        assert!(server.is_shutdown());
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared server state and configuration.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use acq_engine::Catalog;
+use acq_obs::{Metrics, QueryRegistry};
+use acquire_core::{CancellationToken, EvalLayerKind};
+
+use crate::telemetry::Telemetry;
+
+/// Server configuration; [`ServeConfig::default`] is what the tests and the
+/// smoke job use (loopback, ephemeral port).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7171`. Port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Evaluation layer requests run on.
+    pub layer: EvalLayerKind,
+    /// Default refinement threshold γ when a request omits it.
+    pub gamma: f64,
+    /// Default aggregate error threshold δ when a request omits it.
+    pub delta: f64,
+    /// Trace-buffer capacity of each per-query handle.
+    pub trace_capacity: usize,
+    /// Completed-query records retained by the registry.
+    pub completed_capacity: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Hard cap a request's wall-clock deadline is clamped to; also applied
+    /// to requests that ask for no deadline at all, so a pathological query
+    /// cannot pin a connection thread forever.
+    pub max_deadline: Duration,
+    /// Most worker threads one request may ask for.
+    pub max_threads: usize,
+    /// Concurrent in-flight requests before the server answers 503.
+    pub max_concurrent: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            layer: EvalLayerKind::GridIndex,
+            gamma: 10.0,
+            delta: 0.05,
+            trace_capacity: acq_obs::DEFAULT_TRACE_CAPACITY,
+            completed_capacity: acq_obs::registry::DEFAULT_COMPLETED_CAPACITY,
+            max_body_bytes: 64 * 1024,
+            max_deadline: Duration::from_secs(30),
+            max_threads: 8,
+            max_concurrent: 16,
+        }
+    }
+}
+
+/// Everything a connection thread needs, shared behind one `Arc`.
+#[derive(Debug)]
+pub struct ServerState {
+    /// Immutable configuration.
+    pub config: ServeConfig,
+    /// The loaded tables. `Catalog` is `Clone` with `Arc`'d tables, so each
+    /// request builds its own cheap `Executor` without cross-request locks.
+    pub catalog: Catalog,
+    /// Process-scoped pipeline instruments; per-query snapshots are folded
+    /// in as requests complete ([`Metrics::absorb_snapshot`]).
+    pub metrics: Metrics,
+    /// Serve-level request telemetry (rates, decaying latency).
+    pub telemetry: Telemetry,
+    /// In-flight + recently completed queries.
+    pub registry: QueryRegistry,
+    /// Cancelling this token starts graceful shutdown: the accept loop
+    /// stops taking connections and every in-flight search is interrupted
+    /// (the driver polls the token cooperatively).
+    pub shutdown: CancellationToken,
+    /// Set once the listener is bound; `GET /readyz` gates on it.
+    ready: AtomicBool,
+    /// In-flight request count, for the concurrency cap and `/readyz`.
+    in_flight: AtomicUsize,
+    /// Process epoch; telemetry timestamps are elapsed-since-here.
+    start: Instant,
+}
+
+impl ServerState {
+    /// Fresh state around a loaded catalog.
+    pub fn new(config: ServeConfig, catalog: Catalog) -> Self {
+        let completed_capacity = config.completed_capacity;
+        Self {
+            config,
+            catalog,
+            metrics: Metrics::new(),
+            telemetry: Telemetry::new(),
+            registry: QueryRegistry::new(completed_capacity),
+            shutdown: CancellationToken::new(),
+            ready: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since process start (the telemetry clock).
+    pub fn now(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Marks the listener bound and accepting.
+    pub fn set_ready(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// Whether the server is accepting work: bound and not shutting down.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire) && !self.shutdown.is_cancelled()
+    }
+
+    /// Tries to claim an in-flight slot; `false` means the concurrency cap
+    /// is hit and the caller should answer 503.
+    pub fn try_begin_request(&self) -> bool {
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.config.max_concurrent {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    /// Releases a slot claimed by [`ServerState::try_begin_request`].
+    pub fn end_request(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Current in-flight request count.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(max_concurrent: usize) -> ServerState {
+        ServerState::new(
+            ServeConfig {
+                max_concurrent,
+                ..ServeConfig::default()
+            },
+            Catalog::new(),
+        )
+    }
+
+    #[test]
+    fn readiness_requires_bind_and_no_shutdown() {
+        let s = state(4);
+        assert!(!s.is_ready(), "not ready before bind");
+        s.set_ready();
+        assert!(s.is_ready());
+        s.shutdown.cancel();
+        assert!(!s.is_ready(), "shutdown revokes readiness");
+    }
+
+    #[test]
+    fn concurrency_cap_sheds_load() {
+        let s = state(2);
+        assert!(s.try_begin_request());
+        assert!(s.try_begin_request());
+        assert!(!s.try_begin_request(), "third concurrent request rejected");
+        assert_eq!(s.in_flight(), 2);
+        s.end_request();
+        assert!(s.try_begin_request(), "slot reusable after release");
+    }
+}

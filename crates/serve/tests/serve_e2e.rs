@@ -1,0 +1,276 @@
+//! End-to-end tests over a real socket: start the server on an ephemeral
+//! port, speak HTTP/1.1 to it, and check the three tentpole guarantees —
+//! bit-identical outcomes across thread counts with serve instrumentation
+//! on, honest registry/trace reporting, and a scrapeable metrics surface.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use acq_engine::{Catalog, DataType, Field, TableBuilder, Value};
+use acq_obs::json::{parse, JsonValue};
+use acq_serve::{ServeConfig, Server};
+
+fn catalog() -> Catalog {
+    let mut b = TableBuilder::new(
+        "t",
+        vec![
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+        ],
+    )
+    .unwrap();
+    for i in 0..3000 {
+        b.push_row(vec![
+            Value::Float(f64::from(i) * 0.1),
+            Value::Float(f64::from(i % 150)),
+        ]);
+    }
+    let mut cat = Catalog::new();
+    cat.register(b.finish().unwrap()).unwrap();
+    cat
+}
+
+const SQL: &str = "SELECT * FROM t CONSTRAINT COUNT(*) >= 800 WHERE x <= 10 AND y <= 30";
+
+/// One blocking HTTP/1.1 exchange; returns (status, body).
+fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let req = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn start(config: ServeConfig) -> Server {
+    Server::start(config, catalog()).unwrap()
+}
+
+/// Drops the per-request volatile fields so outcome bodies compare equal
+/// across requests and thread counts.
+fn strip_volatile(body: &str) -> JsonValue {
+    let JsonValue::Obj(mut fields) = parse(body).unwrap() else {
+        panic!("outcome is not a JSON object: {body}");
+    };
+    for key in ["id", "duration_ms", "profile"] {
+        fields.remove(key);
+    }
+    JsonValue::Obj(fields)
+}
+
+#[test]
+fn outcomes_are_bit_identical_across_thread_counts() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let mut baseline: Option<JsonValue> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let body = format!("{{\"sql\":\"{SQL}\",\"threads\":{threads}}}");
+        let (status, resp) = http(addr, "POST", "/query", &body);
+        assert_eq!(status, 200, "threads={threads}: {resp}");
+        let out = strip_volatile(&resp);
+        assert_eq!(
+            out.pointer("/satisfied").and_then(JsonValue::as_bool),
+            Some(true),
+            "threads={threads}: {resp}"
+        );
+        match &baseline {
+            None => baseline = Some(out),
+            Some(b) => assert_eq!(b, &out, "threads={threads} diverged"),
+        }
+    }
+
+    // Registry: every completed record upholds the at-most-once invariant
+    // cells_executed == explored (Eq. 17 — only the cell itself runs).
+    let (status, body) = http(addr, "GET", "/queries", "");
+    assert_eq!(status, 200);
+    let v = parse(&body).unwrap();
+    let completed = match v.pointer("/completed") {
+        Some(JsonValue::Arr(records)) => records.clone(),
+        other => panic!("completed is not an array: {other:?} in {body}"),
+    };
+    assert_eq!(completed.len(), 4, "{body}");
+    for rec in &completed {
+        assert_eq!(
+            rec.pointer("/summary/cells_executed")
+                .and_then(JsonValue::as_u64),
+            rec.pointer("/summary/explored").and_then(JsonValue::as_u64),
+            "{body}"
+        );
+        assert_eq!(
+            rec.pointer("/status").and_then(JsonValue::as_str),
+            Some("completed")
+        );
+    }
+}
+
+#[test]
+fn explain_profile_reports_eq17_reuse_accounting() {
+    let server = start(ServeConfig::default());
+    let body = format!("{{\"sql\":\"{SQL}\",\"threads\":2}}");
+    let (status, resp) = http(server.addr(), "POST", "/query?explain=1", &body);
+    assert_eq!(status, 200, "{resp}");
+    let v = parse(&resp).unwrap();
+    let profile = v.pointer("/profile").expect("profile present");
+    let u = |key: &str| {
+        profile
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("{key} missing in {resp}"))
+    };
+    let dims = u("dims");
+    assert_eq!(dims, 2);
+    let explored = u("explored");
+    assert!(explored > 0);
+    // Eq. 17: each explored grid query decomposes into d+1 sub-queries of
+    // which only the cell executes; the other d come from reuse.
+    assert_eq!(u("cells_executed"), explored, "{resp}");
+    assert_eq!(u("regions_reused"), explored * dims, "{resp}");
+    assert_eq!(u("subqueries_total"), explored * (dims + 1), "{resp}");
+    assert_eq!(u("at_most_once_violations"), 0, "{resp}");
+    assert_eq!(u("workers"), 2);
+    assert_eq!(
+        profile.get("termination").and_then(JsonValue::as_str),
+        Some("satisfied")
+    );
+
+    // Without the flag the profile key stays null.
+    let (_, resp) = http(server.addr(), "POST", "/query", &body);
+    assert_eq!(
+        parse(&resp).unwrap().pointer("/profile"),
+        Some(&JsonValue::Null)
+    );
+}
+
+#[test]
+fn health_metrics_and_trace_surfaces() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, _) = http(addr, "GET", "/readyz", "");
+    assert_eq!(status, 200);
+
+    let body = format!("{{\"sql\":\"{SQL}\"}}");
+    let (status, resp) = http(addr, "POST", "/query", &body);
+    assert_eq!(status, 200, "{resp}");
+    let id = parse(&resp)
+        .unwrap()
+        .pointer("/id")
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+
+    // The scrape surface carries the absorbed pipeline counters, the serve
+    // telemetry, and the registry gauges.
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for series in [
+        "# TYPE acq_cells_executed_total counter",
+        "acq_serve_requests_total ",
+        "acq_serve_queries_ok_total 1",
+        "acq_serve_query_latency_ns_count 1",
+        "acq_serve_queries_running 0",
+        "acq_serve_queries_retained 1",
+    ] {
+        assert!(
+            metrics.contains(series),
+            "missing {series:?} in:\n{metrics}"
+        );
+    }
+
+    // The trace is retained per query and tagged with its id.
+    let (status, trace) = http(addr, "GET", &format!("/trace/{id}"), "");
+    assert_eq!(status, 200, "{trace}");
+    let t = parse(&trace).unwrap();
+    assert_eq!(
+        t.pointer("/truncated"),
+        Some(&JsonValue::Bool(false)),
+        "{trace}"
+    );
+    assert!(trace.contains(&format!("[q{id}] acquire:")), "{trace}");
+
+    let (status, _) = http(addr, "GET", "/trace/999", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "DELETE", "/query", "");
+    assert_eq!(status, 405);
+}
+
+#[test]
+fn tiny_trace_buffers_report_truncation_honestly() {
+    let server = start(ServeConfig {
+        trace_capacity: 8,
+        ..ServeConfig::default()
+    });
+    let body = format!("{{\"sql\":\"{SQL}\"}}");
+    let (status, resp) = http(server.addr(), "POST", "/query", &body);
+    assert_eq!(status, 200, "{resp}");
+    let id = parse(&resp)
+        .unwrap()
+        .pointer("/id")
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    let (status, trace) = http(server.addr(), "GET", &format!("/trace/{id}"), "");
+    assert_eq!(status, 200, "{trace}");
+    let t = parse(&trace).unwrap();
+    assert_eq!(
+        t.pointer("/truncated"),
+        Some(&JsonValue::Bool(true)),
+        "{trace}"
+    );
+    assert!(
+        t.pointer("/dropped").and_then(JsonValue::as_u64).unwrap() > 0,
+        "{trace}"
+    );
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_a_hang() {
+    let server = start(ServeConfig {
+        max_body_bytes: 256,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let (status, _) = http(addr, "POST", "/query", "this is not json");
+    assert_eq!(status, 400);
+    let (status, _) = http(addr, "POST", "/query", "{\"gamma\": 5}");
+    assert_eq!(status, 400, "missing sql must 400");
+    let (status, resp) = http(
+        addr,
+        "POST",
+        "/query",
+        "{\"sql\":\"SELECT * FROM missing CONSTRAINT COUNT(*) >= 1 WHERE x <= 1\"}",
+    );
+    assert_eq!(status, 400, "{resp}");
+    let big = format!("{{\"sql\":\"{}\"}}", "x".repeat(512));
+    let (status, _) = http(addr, "POST", "/query", &big);
+    assert_eq!(status, 413);
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let mut server = start(ServeConfig::default());
+    let addr = server.addr();
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 202);
+    server.join();
+    assert!(server.is_shutdown());
+    // The listener is gone: new connections are refused (or reset).
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}

@@ -7,6 +7,8 @@
 //!     "SELECT * FROM users CONSTRAINT COUNT(*) = 10K WHERE age <= 30"
 //!
 //! acq --demo users "SELECT * FROM users CONSTRAINT COUNT(*) = 5K WHERE income <= 60000"
+//!
+//! acq serve --demo users --addr 127.0.0.1:7171
 //! ```
 //!
 //! Loads CSV files into the engine catalog (`--table name=path`, repeatable;
@@ -16,11 +18,11 @@
 
 use std::process::ExitCode;
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use acquire::core::{
     run_acquire_observed, run_contraction, AcqOutcome, AcquireConfig, EvalLayerKind,
-    ExecutionBudget, FaultPolicy, InterruptReason, Obs, Termination,
+    ExecutionBudget, ExplainProfile, FaultPolicy, Obs, Termination,
 };
 use acquire::datagen::{patients, tpch, users, GenConfig};
 use acquire::engine::{csv, Catalog, Executor};
@@ -78,6 +80,7 @@ impl Default for Opts {
 }
 
 const USAGE: &str = "usage: acq [OPTIONS] \"<ACQ SQL>\"
+       acq serve [OPTIONS]            (long-running service; see acq serve --help)
 
 options:
   --table NAME=PATH   load a CSV file as table NAME (repeatable)
@@ -92,7 +95,10 @@ options:
   --threads N         worker threads for scoring and the parallel Explore
                       phase (default 1; results are bit-identical for any
                       value)
-  --explain           print the base-relation materialisation plan
+  --explain           print the base-relation materialisation plan and an
+                      EXPLAIN-style search profile (grid dims, layers,
+                      Eq. 17 reuse accounting, phase latency split); with
+                      --json, adds a \"profile\" key to the output
   --stats             print evaluation-layer work counters
   --timeout SECS      wall-clock deadline for the search (fractional ok);
                       on expiry the closest-so-far answer is returned
@@ -294,38 +300,22 @@ fn json_num(v: f64) -> String {
     }
 }
 
-/// Stable machine-readable slug for an interrupt reason (the human text of
-/// `Display` may change; these may not).
-fn reason_slug(reason: &InterruptReason) -> &'static str {
-    match reason {
-        InterruptReason::DeadlineExceeded => "deadline",
-        InterruptReason::ExploredBudget => "explored-budget",
-        InterruptReason::MemoryBudget => "memory-budget",
-        InterruptReason::Cancelled => "cancelled",
-        InterruptReason::Fault(_) => "fault",
-        _ => "other",
-    }
-}
-
 fn termination_json(t: &Termination) -> String {
     match t {
-        Termination::Satisfied => "{\"status\":\"satisfied\"}".to_string(),
-        Termination::Exhausted => "{\"status\":\"exhausted\"}".to_string(),
         Termination::Interrupted {
             reason,
             explored,
             elapsed,
         } => format!(
             "{{\"status\":\"interrupted\",\"reason\":\"{}\",\"detail\":\"{}\",\"explored\":{},\"elapsed_ms\":{}}}",
-            reason_slug(reason),
+            reason.slug(),
             json_escape(&reason.to_string()),
             explored,
             elapsed.as_millis()
         ),
-        other => format!(
-            "{{\"status\":\"{}\"}}",
-            json_escape(&other.to_string())
-        ),
+        // `slug()` is the stable machine-readable vocabulary shared with the
+        // serve registry; human `Display` text may change, slugs may not.
+        complete => format!("{{\"status\":\"{}\"}}", complete.slug()),
     }
 }
 
@@ -334,6 +324,7 @@ fn print_outcome_json(
     opts: &Opts,
     original: &acquire::query::AcqQuery,
     obs: &Obs,
+    profile: Option<&ExplainProfile>,
 ) {
     let expanding = original.constraint.op.is_expanding();
     let result_json = |r: &acquire::core::RefinedQueryResult| {
@@ -379,8 +370,13 @@ fn print_outcome_json(
         .snapshot()
         .map(|s| s.to_json())
         .unwrap_or_else(|| "null".to_string());
+    // The `profile` key appears only under --explain, mirroring the serve
+    // endpoint's `?explain=1` opt-in.
+    let profile = profile
+        .map(|p| format!(",\"profile\":{}", p.to_json()))
+        .unwrap_or_default();
     println!(
-        "{{\"satisfied\":{},\"termination\":{},\"original_aggregate\":{},\"explored\":{},\"queries\":[{}],\"closest\":{},\"stats\":{{{}}},\"metrics\":{}}}",
+        "{{\"satisfied\":{},\"termination\":{},\"original_aggregate\":{},\"explored\":{},\"queries\":[{}],\"closest\":{},\"stats\":{{{}}},\"metrics\":{}{}}}",
         outcome.satisfied,
         termination_json(&outcome.termination),
         json_num(outcome.original_aggregate),
@@ -388,7 +384,8 @@ fn print_outcome_json(
         queries.join(","),
         closest,
         stats.join(","),
-        metrics
+        metrics,
+        profile
     );
 }
 
@@ -397,9 +394,10 @@ fn print_outcome(
     opts: &Opts,
     original: &acquire::query::AcqQuery,
     obs: &Obs,
+    profile: Option<&ExplainProfile>,
 ) {
     if opts.json {
-        print_outcome_json(outcome, opts, original, obs);
+        print_outcome_json(outcome, opts, original, obs, profile);
         return;
     }
     if outcome.original_aggregate.is_finite() {
@@ -477,13 +475,16 @@ fn run() -> Result<(), String> {
     let tracing = opts.trace || opts.trace_out.is_some();
     let obs = if tracing {
         Obs::with_trace(acquire::obs::DEFAULT_TRACE_CAPACITY)
-    } else if opts.metrics_out.is_some() || opts.json {
+    } else if opts.metrics_out.is_some() || opts.json || opts.explain {
+        // --explain needs live counters for the profile's latency split and
+        // at-most-once audit.
         Obs::enabled()
     } else {
         Obs::disabled()
     };
 
     let mut exec = Executor::new(catalog);
+    let search_started = Instant::now();
     let outcome = match query.constraint.op {
         CmpOp::Le | CmpOp::Lt => {
             if !opts.json {
@@ -523,6 +524,7 @@ fn run() -> Result<(), String> {
             }
         }
     };
+    let search_duration = search_started.elapsed();
     if opts.explain && !opts.json {
         println!("base-relation plan:");
         for line in exec.last_plan() {
@@ -534,6 +536,18 @@ fn run() -> Result<(), String> {
     // paths run outside `acquire_observed`, and replacement is idempotent
     // for the plain expansion path.
     obs.record_exec_stats(&outcome.stats.fields());
+    let profile = opts.explain.then(|| {
+        ExplainProfile::new(
+            &query_for_explain,
+            &cfg,
+            &outcome,
+            obs.snapshot().as_ref(),
+            search_duration,
+        )
+    });
+    if opts.explain && !opts.json {
+        println!("{}", profile.as_ref().expect("built above").render_text());
+    }
     if let Some(trace) = obs.render_trace() {
         if let Some(path) = &opts.trace_out {
             std::fs::write(path, &trace).map_err(|e| format!("--trace-out {path}: {e}"))?;
@@ -549,7 +563,7 @@ fn run() -> Result<(), String> {
         std::fs::write(path, snapshot.to_json())
             .map_err(|e| format!("--metrics-out {path}: {e}"))?;
     }
-    print_outcome(&outcome, &opts, &query_for_explain, &obs);
+    print_outcome(&outcome, &opts, &query_for_explain, &obs, profile.as_ref());
     // `explain` interprets pscores as expansions of the original query;
     // contraction outcomes measure the remaining contraction instead, so
     // the per-predicate diff only applies to expansion searches.
@@ -568,7 +582,16 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    // `acq serve ...` delegates to the long-running service (the `acq-serve`
+    // binary shares the same entry point).
+    let mut args = std::env::args().skip(1).peekable();
+    let result = if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        acquire::serve::cli::run(args)
+    } else {
+        run()
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");

@@ -18,7 +18,9 @@
 //!   contraction;
 //! * [`baselines`] (`acq-baselines`) — Top-k, TQGen, BinSearch;
 //! * [`obs`] (`acq-obs`) — zero-dependency observability: spans, counters,
-//!   gauges, latency histograms, JSON/Prometheus snapshot sinks.
+//!   gauges, latency histograms, JSON/Prometheus snapshot sinks;
+//! * [`serve`] (`acq-serve`) — a long-running ACQ service: hand-rolled
+//!   HTTP/1.1, live telemetry, per-query profiles, scrape/health surface.
 //!
 //! ## Quickstart
 //!
@@ -56,5 +58,6 @@ pub use acq_datagen as datagen;
 pub use acq_engine as engine;
 pub use acq_obs as obs;
 pub use acq_query as query;
+pub use acq_serve as serve;
 pub use acq_sql as sql;
 pub use acquire_core as core;
