@@ -21,24 +21,34 @@
 //! per-request instrumentation path (query registry, per-query traced
 //! `Obs` handle, snapshot folded into a process-scoped `Metrics`) versus
 //! a bare library call, i.e. what one request pays for the `/queries`,
-//! `/trace/<id>` and `/metrics` surfaces. Baselines are versioned per PR
-//! (`BENCH_PR<n>.json`, see `BENCH_TRAJECTORY.md`); the parser accepts
-//! any version.
+//! `/trace/<id>` and `/metrics` surfaces. Version 4 adds `"overload"`: a
+//! live `acq-serve` on an ephemeral port with deliberately tight admission
+//! limits, flooded over real sockets at several times its concurrency
+//! limit — recording sustained answered-requests/second and the status
+//! histogram, and asserting the overload contract (every connection
+//! answered, statuses only from `{200, 503}` with rate limiting off).
+//! Baselines are versioned per PR (`BENCH_PR<n>.json`, see
+//! `BENCH_TRAJECTORY.md`); the parser accepts any version.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use acq_bench::{count_workload, measure, run_technique, Technique, WorkloadSpec};
 use acq_engine::Executor;
 use acq_obs::{Metrics, QueryRegistry, QuerySummary};
+use acq_serve::{ServeConfig, Server};
 use acquire_core::{run_acquire_observed, AcquireConfig, EvalLayerKind, Obs};
 
 /// Report format version. v2 added `pr`, `obs_overhead` and the embedded
-/// `metrics` snapshot; v3 adds `serve_overhead`. The baseline parser
-/// accepts older reports too.
-const REPORT_VERSION: u64 = 3;
+/// `metrics` snapshot; v3 added `serve_overhead`; v4 adds `overload`. The
+/// baseline parser accepts older reports too.
+const REPORT_VERSION: u64 = 4;
 /// The PR whose baseline this binary emits (`BENCH_PR<n>.json`).
-const BASELINE_PR: u64 = 5;
+const BASELINE_PR: u64 = 6;
 /// How much slower than the (calibration-scaled) baseline a workload may
 /// get before the check fails.
 const REGRESSION_FACTOR: f64 = 1.2;
@@ -317,6 +327,127 @@ fn serve_mode_run(spec: &WorkloadSpec) -> ServeReport {
     }
 }
 
+/// Throughput and status histogram of a socket-level flood against a live
+/// server with deliberately tight admission limits.
+struct OverloadReport {
+    conns: usize,
+    requests_per_conn: usize,
+    wall_ms: f64,
+    statuses: BTreeMap<u16, u64>,
+    dropped: u64,
+    /// The server's own admission accounting
+    /// ([`acq_obs::AdmissionStats::to_json`]), captured after the flood.
+    admission_json: String,
+}
+
+impl OverloadReport {
+    fn answered(&self) -> u64 {
+        self.statuses.values().sum()
+    }
+
+    fn per_sec(&self) -> f64 {
+        self.answered() as f64 / (self.wall_ms / 1000.0)
+    }
+}
+
+/// The flood query: forces real expansion work over the bench `lineitem`
+/// table, but every request carries a transport deadline so an admitted
+/// query never pins a worker for long.
+const OVERLOAD_SQL: &str = "SELECT * FROM lineitem CONSTRAINT COUNT(*) >= 8K WHERE l_quantity <= 1";
+
+/// One flood exchange; `None` means the connection was dropped without a
+/// parseable response — the thing the overload contract forbids.
+fn overload_exchange(addr: SocketAddr) -> Option<u16> {
+    // Fine-grained gamma multiplies refinement steps (and, on the Scan
+    // layer, full-table re-scans): each admitted query is real work.
+    let body = format!("{{\"sql\":\"{OVERLOAD_SQL}\",\"gamma\":0.2}}");
+    let req = format!(
+        "POST /query HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\
+         X-ACQ-Deadline-Ms: 400\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+    // A doorstep shed may close before the whole request lands; whatever
+    // the server already answered still counts, so fall through to read.
+    let _ = s.write_all(req.as_bytes());
+    let mut raw = String::new();
+    let _ = s.read_to_string(&mut raw);
+    raw.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Starts a real server over the bench catalog with tight admission limits
+/// (2 execution slots, 2-deep queue, 4x flood), floods it, and measures
+/// sustained answered-requests/second. Asserts the overload contract:
+/// every connection answered, every status honest.
+fn overload_run(spec: &WorkloadSpec) -> OverloadReport {
+    let workload = count_workload(spec);
+    let config = ServeConfig {
+        // The Scan layer re-executes every cell query, making each request
+        // expensive enough that a 4x flood genuinely overloads two slots.
+        layer: EvalLayerKind::Scan,
+        max_concurrent: 2,
+        max_queued: 2,
+        // Short queue patience relative to per-query cost, so the flood
+        // visibly exercises the shed path as well as the degrade path.
+        queue_wait: Duration::from_millis(10),
+        degrade_watermark: 0.5,
+        workers: 4,
+        accept_queue: 8,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config, workload.catalog.clone()).expect("bind overload server");
+    let addr = server.addr();
+    let conns = 8; // 4x the execution-slot limit
+    let requests_per_conn = 6;
+
+    let (outcomes, wall_ms) = measure(|| {
+        std::thread::scope(|s| {
+            let clients: Vec<_> = (0..conns)
+                .map(|_| {
+                    s.spawn(move || {
+                        (0..requests_per_conn)
+                            .map(|_| overload_exchange(addr))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            clients
+                .into_iter()
+                .flat_map(|h| h.join().expect("flood client panicked"))
+                .collect::<Vec<_>>()
+        })
+    });
+
+    let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut dropped = 0u64;
+    for outcome in outcomes {
+        match outcome {
+            Some(code) => *statuses.entry(code).or_insert(0) += 1,
+            None => dropped += 1,
+        }
+    }
+    assert_eq!(
+        dropped, 0,
+        "overload flood dropped connections: {statuses:?}"
+    );
+    for code in statuses.keys() {
+        // Rate limiting is off here, so the honest set is {200, 503}.
+        assert!(
+            matches!(code, 200 | 503),
+            "dishonest status {code} under overload: {statuses:?}"
+        );
+    }
+    OverloadReport {
+        conns,
+        requests_per_conn,
+        wall_ms,
+        statuses,
+        dropped,
+        admission_json: server.state().telemetry.admission.to_json(),
+    }
+}
+
 fn render_json(
     calibration_ms: f64,
     threads: usize,
@@ -324,6 +455,7 @@ fn render_json(
     rows: &[WorkloadReport],
     obs: &ObsReport,
     serve: &ServeReport,
+    overload: &OverloadReport,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -367,6 +499,28 @@ fn render_json(
         serve.plain_ms,
         serve.served_ms,
         serve.overhead_pct(),
+    );
+    // Overload throughput is a trend row, not a regression gate: its
+    // wall-clock depends on socket scheduling. The hard contract (no drops,
+    // honest statuses) is asserted inside overload_run itself.
+    let histogram: Vec<String> = overload
+        .statuses
+        .iter()
+        .map(|(code, n)| format!("\"{code}\": {n}"))
+        .collect();
+    let _ = writeln!(
+        s,
+        "  \"overload\": {{ \"conns\": {}, \"requests_per_conn\": {}, \
+         \"wall_ms\": {:.3}, \"answered\": {}, \"per_sec\": {:.1}, \
+         \"dropped\": {}, \"statuses\": {{ {} }}, \"admission\": {} }},",
+        overload.conns,
+        overload.requests_per_conn,
+        overload.wall_ms,
+        overload.answered(),
+        overload.per_sec(),
+        overload.dropped,
+        histogram.join(", "),
+        overload.admission_json.trim_end(),
     );
     let _ = writeln!(s, "  \"metrics\": {}", obs.metrics_json.trim_end());
     s.push_str("}\n");
@@ -508,7 +662,27 @@ fn main() -> ExitCode {
         serve.overhead_pct(),
     );
 
-    let json = render_json(calibration_ms, args.threads, cores, &rows, &obs, &serve);
+    // Socket-level overload flood against a live server with tight
+    // admission limits: sustained throughput under honest load shedding.
+    let overload = overload_run(&WorkloadSpec::new(10_000, 3, 0.3));
+    println!(
+        "overload        {} conns x {} reqs in {:8.1}ms  {:.1} answered/s  statuses {:?}",
+        overload.conns,
+        overload.requests_per_conn,
+        overload.wall_ms,
+        overload.per_sec(),
+        overload.statuses,
+    );
+
+    let json = render_json(
+        calibration_ms,
+        args.threads,
+        cores,
+        &rows,
+        &obs,
+        &serve,
+        &overload,
+    );
     if let Some(path) = &args.out {
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("bench_smoke: writing {path}: {e}");

@@ -76,6 +76,26 @@ impl ExecutionBudget {
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none() && self.max_explored.is_none() && self.max_store_bytes.is_none()
     }
+
+    /// This budget scaled down by `factor` (clamped to `0.0..=1.0`): every
+    /// limit that is set shrinks proportionally, limits that are unset stay
+    /// unset. This is the degraded-admission budget for overload serving —
+    /// past a load high-water mark, a server admits new searches with
+    /// `budget.shrunk(f)` so they return partial anytime answers quickly
+    /// instead of being shed outright.
+    #[must_use]
+    pub fn shrunk(&self, factor: f64) -> Self {
+        let f = if factor.is_finite() {
+            factor.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        Self {
+            deadline: self.deadline.map(|d| d.mul_f64(f)),
+            max_explored: self.max_explored.map(|n| (n as f64 * f) as u64),
+            max_store_bytes: self.max_store_bytes.map(|b| (b as f64 * f) as usize),
+        }
+    }
 }
 
 /// A shareable handle for interrupting a running search.
@@ -367,6 +387,35 @@ mod tests {
             CancellationToken::new(),
         );
         assert_eq!(g.check(0, 0), Some(InterruptReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn shrunk_scales_every_set_limit_and_leaves_unset_ones() {
+        let b = ExecutionBudget::unlimited()
+            .with_deadline(Duration::from_secs(10))
+            .with_max_explored(1000)
+            .with_max_store_bytes(4096)
+            .shrunk(0.25);
+        assert_eq!(b.deadline, Some(Duration::from_millis(2500)));
+        assert_eq!(b.max_explored, Some(250));
+        assert_eq!(b.max_store_bytes, Some(1024));
+
+        let unlimited = ExecutionBudget::unlimited().shrunk(0.1);
+        assert!(unlimited.is_unlimited(), "no limit appears from nowhere");
+
+        // Degenerate factors clamp instead of panicking.
+        let b = ExecutionBudget::unlimited()
+            .with_deadline(Duration::from_secs(1))
+            .shrunk(7.0);
+        assert_eq!(b.deadline, Some(Duration::from_secs(1)));
+        let b = ExecutionBudget::unlimited()
+            .with_max_explored(10)
+            .shrunk(-3.0);
+        assert_eq!(b.max_explored, Some(0));
+        let b = ExecutionBudget::unlimited()
+            .with_deadline(Duration::from_secs(1))
+            .shrunk(f64::NAN);
+        assert_eq!(b.deadline, Some(Duration::from_secs(1)));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Admission-control instruments for an overload-resilient server.
+//!
+//! `acq-serve` sheds, queues and degrades work instead of falling over;
+//! this module is the closed set of counters that make every one of those
+//! decisions observable. Like the pipeline registry ([`crate::Metrics`])
+//! there is no dynamic registration: the instruments are plain fields, so
+//! recording is a relaxed `fetch_add` and the scrape format is stable.
+//! Every counter is wait-free — these commits happen on request threads
+//! between accepting a query and writing its response (the serve crate's
+//! `commit_paths` discipline).
+
+use crate::metrics::Counter;
+
+/// Counters for every admission-control decision a server can take.
+///
+/// The Prometheus names rendered by [`AdmissionStats::render_prometheus`]
+/// are `<prefix>_<field>_total`; `acq-serve` uses the `acq_serve` prefix,
+/// giving e.g. `acq_serve_conn_rejected_total`.
+#[derive(Debug, Default)]
+pub struct AdmissionStats {
+    /// Connections shed at the door: the bounded accept queue was full (or
+    /// a connection-handling thread could not be obtained), so the server
+    /// answered `503` on the accepted stream instead of silently dropping it.
+    pub conn_rejected: Counter,
+    /// Queries rejected with `429 Too Many Requests` by a per-client or
+    /// global token bucket.
+    pub rate_limited: Counter,
+    /// Queries rejected with `503 Service Unavailable` at the query gate:
+    /// the pending queue was full, the queue wait timed out, or the server
+    /// was shutting down.
+    pub shed: Counter,
+    /// Admitted queries that waited in the bounded pending queue first.
+    pub queued: Counter,
+    /// Admitted queries run in best-effort mode with a shrunken budget
+    /// because load crossed the high-water mark; their responses carry
+    /// `"degraded": true` and an explicit termination status.
+    pub degraded: Counter,
+    /// Queries admitted to execution (degraded ones included).
+    pub admitted: Counter,
+    /// Requests that started arriving but did not complete within the read
+    /// deadline (slowloris headers, stalled bodies): answered `408`.
+    pub read_timeouts: Counter,
+    /// Additional requests served on an already-established keep-alive
+    /// connection (the first request on a connection does not count).
+    pub keepalive_reuses: Counter,
+}
+
+impl AdmissionStats {
+    /// Fresh instruments, all zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(name, help, counter)` rows in stable render order.
+    fn rows(&self) -> [(&'static str, &'static str, &Counter); 8] {
+        [
+            (
+                "conn_rejected",
+                "Connections shed with 503 at the bounded accept queue",
+                &self.conn_rejected,
+            ),
+            (
+                "rate_limited",
+                "Queries rejected with 429 by a token bucket",
+                &self.rate_limited,
+            ),
+            (
+                "shed",
+                "Queries rejected with 503 at the admission gate",
+                &self.shed,
+            ),
+            (
+                "queued",
+                "Admitted queries that waited in the pending queue",
+                &self.queued,
+            ),
+            (
+                "degraded",
+                "Admitted queries run best-effort with shrunken budgets",
+                &self.degraded,
+            ),
+            ("admitted", "Queries admitted to execution", &self.admitted),
+            (
+                "read_timeouts",
+                "Requests answered 408 after missing the read deadline",
+                &self.read_timeouts,
+            ),
+            (
+                "keepalive_reuses",
+                "Extra requests served over kept-alive connections",
+                &self.keepalive_reuses,
+            ),
+        ]
+    }
+
+    /// Renders every counter as Prometheus text under `prefix`
+    /// (`<prefix>_<name>_total`).
+    #[must_use]
+    pub fn render_prometheus(&self, prefix: &str) -> String {
+        let mut s = String::with_capacity(1024);
+        for (name, help, c) in self.rows() {
+            s.push_str(&format!(
+                "# HELP {prefix}_{name}_total {help}\n\
+                 # TYPE {prefix}_{name}_total counter\n\
+                 {prefix}_{name}_total {}\n",
+                c.get()
+            ));
+        }
+        s
+    }
+
+    /// Renders every counter as one flat JSON object (`{"name": value}`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        for (i, (name, _, c)) in self.rows().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{name}\":{}", c.get()));
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_rendering_covers_every_counter() {
+        let stats = AdmissionStats::new();
+        stats.conn_rejected.add(2);
+        stats.rate_limited.inc();
+        stats.shed.add(3);
+        stats.degraded.inc();
+        let text = stats.render_prometheus("acq_serve");
+        for series in [
+            "acq_serve_conn_rejected_total 2",
+            "acq_serve_rate_limited_total 1",
+            "acq_serve_shed_total 3",
+            "acq_serve_queued_total 0",
+            "acq_serve_degraded_total 1",
+            "acq_serve_admitted_total 0",
+            "acq_serve_read_timeouts_total 0",
+            "acq_serve_keepalive_reuses_total 0",
+        ] {
+            assert!(text.contains(series), "missing {series:?} in:\n{text}");
+        }
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "bad exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_rendering_parses_and_matches() {
+        let stats = AdmissionStats::new();
+        stats.admitted.add(5);
+        stats.keepalive_reuses.add(7);
+        let v = crate::json::parse(&stats.to_json()).expect("valid JSON");
+        assert_eq!(v.pointer("/admitted").and_then(|x| x.as_u64()), Some(5));
+        assert_eq!(
+            v.pointer("/keepalive_reuses").and_then(|x| x.as_u64()),
+            Some(7)
+        );
+        assert_eq!(v.pointer("/shed").and_then(|x| x.as_u64()), Some(0));
+    }
+}

@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod admission;
 pub mod json;
 pub mod metrics;
 pub mod registry;
@@ -33,6 +34,7 @@ pub mod snapshot;
 pub mod trace;
 pub mod window;
 
+pub use admission::AdmissionStats;
 pub use metrics::{Counter, Gauge, Histogram, Metrics, WorkerStats, MAX_WORKERS};
 pub use registry::{QueryRecord, QueryRegistry, QueryStatus, QuerySummary};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_QUANTILES, SNAPSHOT_VERSION};

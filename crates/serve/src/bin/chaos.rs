@@ -1,0 +1,278 @@
+//! `acq-chaos` — a hostile-client flood driver for a running `acq-serve`.
+//!
+//! Points a configurable mix of well-behaved and adversarial clients at a
+//! live server and verifies the overload contract from the outside: every
+//! connection gets an honest status from `{200, 400, 408, 413, 429, 503}`,
+//! nothing is silently dropped, slowloris tricklers are cut off with `408`,
+//! garbage gets `400`, and the server still answers `/healthz` afterwards.
+//!
+//! ```text
+//! acq-serve --demo users --addr 127.0.0.1:7171 &
+//! acq-chaos --addr 127.0.0.1:7171 --conns 32 --requests 4 \
+//!           --slowloris 4 --garbage 4 --report chaos-report.json
+//! ```
+//!
+//! Prints a JSON report (status histogram + per-probe verdicts) and exits
+//! nonzero if any connection was dropped, any status fell outside the
+//! honest set, or the server came out of the flood unhealthy.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+acq-chaos: flood a running acq-serve and audit its overload honesty
+
+USAGE:
+  acq-chaos --addr HOST:PORT [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT   target server (required)
+  --sql SQL          query the flood POSTs (default: the users demo query)
+  --conns N          concurrent flood clients (default 32)
+  --requests N       requests per flood client (default 4)
+  --deadline-ms N    X-ACQ-Deadline-Ms sent with each query (default 2000)
+  --slowloris N      trickling clients that must get 408 (default 4)
+  --garbage N        non-HTTP clients that must get 400 (default 4)
+  --report PATH      also write the JSON report to PATH
+  --help             this text
+
+Exit status: 0 when every connection was answered honestly, 1 otherwise.
+";
+
+const DEFAULT_SQL: &str = "SELECT * FROM users CONSTRAINT COUNT(*) >= 5K WHERE income <= 60000";
+
+/// Statuses the overload contract allows a client to see.
+const HONEST: &[u16] = &[200, 400, 408, 413, 429, 503];
+
+struct Opts {
+    addr: String,
+    sql: String,
+    conns: usize,
+    requests: usize,
+    deadline_ms: u64,
+    slowloris: usize,
+    garbage: usize,
+    report: Option<String>,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Option<Opts>, String> {
+    let mut opts = Opts {
+        addr: String::new(),
+        sql: DEFAULT_SQL.to_string(),
+        conns: 32,
+        requests: 4,
+        deadline_ms: 2000,
+        slowloris: 4,
+        garbage: 4,
+        report: None,
+    };
+    while let Some(arg) = args.next() {
+        let mut need = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--addr" => opts.addr = need("--addr")?,
+            "--sql" => opts.sql = need("--sql")?,
+            "--conns" => opts.conns = parse_num(&need("--conns")?, "--conns")?,
+            "--requests" => opts.requests = parse_num(&need("--requests")?, "--requests")?,
+            "--deadline-ms" => {
+                opts.deadline_ms = parse_num(&need("--deadline-ms")?, "--deadline-ms")? as u64;
+            }
+            "--slowloris" => opts.slowloris = parse_num(&need("--slowloris")?, "--slowloris")?,
+            "--garbage" => opts.garbage = parse_num(&need("--garbage")?, "--garbage")?,
+            "--report" => opts.report = Some(need("--report")?),
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err(format!("--addr is required\n\n{USAGE}"));
+    }
+    Ok(Some(opts))
+}
+
+fn parse_num(value: &str, flag: &str) -> Result<usize, String> {
+    value.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// One flood exchange: POST the query, read to EOF, return the status.
+/// `None` means the connection was dropped without a parseable response —
+/// the one thing the server must never do.
+fn flood_once(addr: SocketAddr, sql: &str, deadline_ms: u64) -> Option<u16> {
+    let body = format!("{{\"sql\":\"{}\"}}", sql.replace('"', "\\\""));
+    let req = format!(
+        "POST /query HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\n\
+         X-ACQ-Deadline-Ms: {deadline_ms}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(60))).ok()?;
+    // A shed may FIN/RST before the whole request lands; whatever was
+    // already answered still counts, so fall through to the read.
+    let _ = s.write_all(req.as_bytes());
+    let mut raw = String::new();
+    let _ = s.read_to_string(&mut raw);
+    raw.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Trickles a request that never completes its current header line, one
+/// byte every 25ms. Returns the status the server answered with — `408`
+/// once the read deadline fires (or `503` if the doorstep shed it first).
+fn slowloris_once(addr: SocketAddr) -> Option<u16> {
+    // Let the flood's initial connect storm drain first: a loris that
+    // arrives into a momentarily full accept queue is shed with 503 on the
+    // doorstep (honest, but then the read-deadline path goes unexercised).
+    std::thread::sleep(Duration::from_millis(500));
+    let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(60))).ok()?;
+    let mut drip = b"POST /query HTTP/1.1\r\nX-Drip: ".to_vec();
+    drip.resize(600, b'x'); // endless header value: no line ever completes
+    for byte in drip.chunks(1) {
+        if s.write_all(byte).is_err() {
+            break; // server gave up on us; go read its parting answer
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let mut raw = String::new();
+    let _ = s.read_to_string(&mut raw);
+    raw.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Writes bytes that are not HTTP. The server must answer 400, not hang.
+fn garbage_once(addr: SocketAddr) -> Option<u16> {
+    let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(60))).ok()?;
+    let _ = s.write_all(b"\x00\x13\x37 not http at all\r\n\r\n");
+    let mut raw = String::new();
+    let _ = s.read_to_string(&mut raw);
+    raw.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn healthz_ok(addr: SocketAddr) -> bool {
+    let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_secs(5)) else {
+        return false;
+    };
+    let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+    if s.write_all(b"GET /healthz HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\n\r\n")
+        .is_err()
+    {
+        return false;
+    }
+    let mut raw = String::new();
+    let _ = s.read_to_string(&mut raw);
+    raw.starts_with("HTTP/1.1 200")
+}
+
+fn run(opts: &Opts) -> Result<bool, String> {
+    let addr: SocketAddr = opts
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("--addr {}: {e}", opts.addr))?
+        .next()
+        .ok_or_else(|| format!("--addr {}: no usable address", opts.addr))?;
+
+    // Phase 1: the flood — conns clients, each POSTing back to back, with
+    // the slowloris and garbage probes running *concurrently* so the
+    // hostile clients compete with real work for the same worker pool.
+    let (statuses, dropped, loris, garbage) = std::thread::scope(|s| {
+        let flood: Vec<_> = (0..opts.conns)
+            .map(|_| {
+                s.spawn(|| {
+                    (0..opts.requests)
+                        .map(|_| flood_once(addr, &opts.sql, opts.deadline_ms))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let loris: Vec<_> = (0..opts.slowloris)
+            .map(|_| s.spawn(move || slowloris_once(addr)))
+            .collect();
+        let garbage: Vec<_> = (0..opts.garbage)
+            .map(|_| s.spawn(move || garbage_once(addr)))
+            .collect();
+
+        let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut dropped = 0u64;
+        for h in flood {
+            for outcome in h.join().expect("flood client panicked") {
+                match outcome {
+                    Some(code) => *statuses.entry(code).or_insert(0) += 1,
+                    None => dropped += 1,
+                }
+            }
+        }
+        let loris: Vec<Option<u16>> = loris
+            .into_iter()
+            .map(|h| h.join().expect("slowloris probe panicked"))
+            .collect();
+        let garbage: Vec<Option<u16>> = garbage
+            .into_iter()
+            .map(|h| h.join().expect("garbage probe panicked"))
+            .collect();
+        (statuses, dropped, loris, garbage)
+    });
+
+    // Phase 2: the audit. A hostile probe may also be shed on the doorstep
+    // with 503 while the flood saturates the accept queue — that is still
+    // an honest answer; what it must never get is silence or a hang.
+    let dishonest: Vec<u16> = statuses
+        .keys()
+        .copied()
+        .filter(|code| !HONEST.contains(code))
+        .collect();
+    let loris_408 = loris.iter().filter(|r| **r == Some(408)).count();
+    let loris_ok = loris.iter().all(|r| matches!(r, Some(408 | 503)));
+    let garbage_400 = garbage.iter().filter(|r| **r == Some(400)).count();
+    let garbage_ok = garbage.iter().all(|r| matches!(r, Some(400 | 503)));
+    let healthy = healthz_ok(addr);
+    let ok = dropped == 0 && dishonest.is_empty() && loris_ok && garbage_ok && healthy;
+
+    let histogram: Vec<String> = statuses
+        .iter()
+        .map(|(code, n)| format!("\"{code}\":{n}"))
+        .collect();
+    let report = format!(
+        "{{\"target\":\"{}\",\"conns\":{},\"requests_per_conn\":{},\
+         \"statuses\":{{{}}},\"dropped\":{dropped},\
+         \"dishonest_statuses\":{dishonest:?},\
+         \"slowloris\":{{\"sent\":{},\"got_408\":{loris_408},\"all_answered\":{loris_ok}}},\
+         \"garbage\":{{\"sent\":{},\"got_400\":{garbage_400},\"all_answered\":{garbage_ok}}},\
+         \"healthz_ok\":{healthy},\"ok\":{ok}}}",
+        opts.addr,
+        opts.conns,
+        opts.requests,
+        histogram.join(","),
+        opts.slowloris,
+        opts.garbage,
+    );
+    println!("{report}");
+    if let Some(path) = &opts.report {
+        std::fs::write(path, format!("{report}\n")).map_err(|e| format!("--report {path}: {e}"))?;
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(None) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(opts)) => match run(&opts) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -22,10 +22,27 @@ options:
   --gamma G            default refinement threshold when a request omits it
   --delta D            default aggregate error threshold when a request omits it
   --max-deadline SECS  hard per-query wall-clock cap (default 30)
-  --max-threads N      most worker threads one request may ask for (default 8)
-  --max-concurrent N   in-flight requests before shedding with 503 (default 16)
+  --max-threads N      most search threads one request may ask for (default 8)
+  --max-concurrent N   executing queries before new ones queue (default 16)
   --trace-capacity N   per-query trace buffer capacity (default 10000)
-  --help               this message
+
+overload / admission control:
+  --workers N            connection-worker threads (default 8)
+  --accept-queue N       accepted connections awaiting a worker before the
+                         acceptor sheds with 503 (default 64)
+  --read-timeout SECS    total first-byte-to-last budget per request; slower
+                         clients get 408 (default 5)
+  --keep-alive SECS      idle keep-alive connection lifetime (default 5)
+  --max-queued N         queries queued at the gate before shedding (default 32)
+  --queue-wait SECS      longest gate wait before a 503 (default 1)
+  --client-rate R        per-client queries/sec token bucket; 0 = off (default 0)
+  --client-burst N       per-client bucket burst (default 8)
+  --global-rate R        global queries/sec token bucket; 0 = off (default 0)
+  --global-burst N       global bucket burst (default 32)
+  --degrade-watermark F  load fraction of --max-concurrent above which
+                         admissions degrade to best-effort (default 0.75)
+  --degrade-factor F     budget multiplier for degraded admissions (default 0.25)
+  --help                 this message
 
 endpoints: POST /query[?explain=1]  GET /metrics /healthz /readyz /queries
            GET /trace/<id>  POST /shutdown
@@ -33,7 +50,11 @@ endpoints: POST /query[?explain=1]  GET /metrics /healthz /readyz /queries
 The request body for POST /query is JSON:
   {\"sql\": \"SELECT ... CONSTRAINT ...\", \"gamma\"?, \"delta\"?,
    \"norm\"? (\"l1\"|\"l2\"|\"linf\"), \"threads\"?, \"timeout_secs\"?,
-   \"max_explored\"?, \"max_store_bytes\"?, \"top\"?}";
+   \"deadline_ms\"?, \"max_explored\"?, \"max_store_bytes\"?, \"top\"?}
+A client deadline may also ride the X-ACQ-Deadline-Ms request header; the
+tightest of all supplied bounds wins. Overloaded servers answer 429/503
+with Retry-After, or degrade admitted queries to partial anytime answers
+(\"degraded\": true with an explicit \"termination\").";
 
 /// Parsed `acq-serve` options: the server config plus data sources.
 #[derive(Debug)]
@@ -46,6 +67,22 @@ pub struct ServeOpts {
     pub demos: Vec<String>,
     /// `--demo-rows`.
     pub demo_rows: usize,
+}
+
+fn positive_secs(flag: &str, value: &str) -> Result<Duration, String> {
+    let secs: f64 = value.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("{flag}: expected positive seconds, got {secs}"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn nonneg(flag: &str, value: &str) -> Result<f64, String> {
+    let v: f64 = value.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("{flag}: expected a non-negative number, got {v}"));
+    }
+    Ok(v)
 }
 
 /// Parses `acq-serve` flags. `Err` carries the message to print (usage on
@@ -125,6 +162,57 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<ServeOpts, Stri
                 opts.config.trace_capacity = need("--trace-capacity")?
                     .parse()
                     .map_err(|e| format!("--trace-capacity: {e}"))?;
+            }
+            "--workers" => {
+                opts.config.workers = need("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--accept-queue" => {
+                opts.config.accept_queue = need("--accept-queue")?
+                    .parse()
+                    .map_err(|e| format!("--accept-queue: {e}"))?;
+            }
+            "--read-timeout" => {
+                opts.config.read_timeout =
+                    positive_secs("--read-timeout", &need("--read-timeout")?)?;
+            }
+            "--keep-alive" => {
+                opts.config.keep_alive = positive_secs("--keep-alive", &need("--keep-alive")?)?;
+            }
+            "--max-queued" => {
+                opts.config.max_queued = need("--max-queued")?
+                    .parse()
+                    .map_err(|e| format!("--max-queued: {e}"))?;
+            }
+            "--queue-wait" => {
+                opts.config.queue_wait = positive_secs("--queue-wait", &need("--queue-wait")?)?;
+            }
+            "--client-rate" => {
+                opts.config.client_rate = nonneg("--client-rate", &need("--client-rate")?)?;
+            }
+            "--client-burst" => {
+                opts.config.client_burst = nonneg("--client-burst", &need("--client-burst")?)?;
+            }
+            "--global-rate" => {
+                opts.config.global_rate = nonneg("--global-rate", &need("--global-rate")?)?;
+            }
+            "--global-burst" => {
+                opts.config.global_burst = nonneg("--global-burst", &need("--global-burst")?)?;
+            }
+            "--degrade-watermark" => {
+                let f = nonneg("--degrade-watermark", &need("--degrade-watermark")?)?;
+                if f > 1.0 {
+                    return Err(format!("--degrade-watermark: expected 0..=1, got {f}"));
+                }
+                opts.config.degrade_watermark = f;
+            }
+            "--degrade-factor" => {
+                let f = nonneg("--degrade-factor", &need("--degrade-factor")?)?;
+                if f > 1.0 {
+                    return Err(format!("--degrade-factor: expected 0..=1, got {f}"));
+                }
+                opts.config.degrade_factor = f;
             }
             other => return Err(format!("unexpected argument {other}\n\n{USAGE}")),
         }
@@ -223,6 +311,55 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--gamma"]).is_err());
         assert!(parse(&["--help"]).unwrap_err().starts_with("usage:"));
+    }
+
+    #[test]
+    fn overload_flags_parse_and_validate() {
+        let opts = parse(&[
+            "--workers",
+            "4",
+            "--accept-queue",
+            "8",
+            "--read-timeout",
+            "2.5",
+            "--keep-alive",
+            "1",
+            "--max-queued",
+            "3",
+            "--queue-wait",
+            "0.25",
+            "--client-rate",
+            "10",
+            "--client-burst",
+            "5",
+            "--global-rate",
+            "100",
+            "--global-burst",
+            "50",
+            "--degrade-watermark",
+            "0.5",
+            "--degrade-factor",
+            "0.1",
+        ])
+        .unwrap();
+        assert_eq!(opts.config.workers, 4);
+        assert_eq!(opts.config.accept_queue, 8);
+        assert_eq!(opts.config.read_timeout, Duration::from_millis(2500));
+        assert_eq!(opts.config.keep_alive, Duration::from_secs(1));
+        assert_eq!(opts.config.max_queued, 3);
+        assert_eq!(opts.config.queue_wait, Duration::from_millis(250));
+        assert_eq!(opts.config.client_rate, 10.0);
+        assert_eq!(opts.config.client_burst, 5.0);
+        assert_eq!(opts.config.global_rate, 100.0);
+        assert_eq!(opts.config.global_burst, 50.0);
+        assert_eq!(opts.config.degrade_watermark, 0.5);
+        assert_eq!(opts.config.degrade_factor, 0.1);
+
+        assert!(parse(&["--read-timeout", "0"]).is_err());
+        assert!(parse(&["--queue-wait", "-1"]).is_err());
+        assert!(parse(&["--client-rate", "-2"]).is_err());
+        assert!(parse(&["--degrade-watermark", "1.5"]).is_err());
+        assert!(parse(&["--degrade-factor", "nan"]).is_err());
     }
 
     #[test]

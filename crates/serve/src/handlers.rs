@@ -12,6 +12,7 @@
 //! | POST   | `/query`        | run an ACQ request; `?explain=1` adds profile|
 //! | POST   | `/shutdown`     | cancel the shutdown token (graceful stop)    |
 
+use std::net::IpAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,40 +27,36 @@ use acquire_core::{
     ExplainProfile, RefinedQueryResult, Termination,
 };
 
-use crate::http::Request;
+use crate::admission::Admission;
+use crate::http::{Request, Response};
 use crate::state::ServerState;
 
-/// A finished response: status code, content type, body.
-pub type Response = (u16, &'static str, String);
-
 fn json_err(status: u16, msg: &str) -> Response {
-    (
-        status,
-        "application/json",
-        format!("{{\"error\":\"{}\"}}", json_escape(msg)),
-    )
+    Response::json(status, format!("{{\"error\":\"{}\"}}", json_escape(msg)))
 }
 
-/// Dispatches one request. Telemetry: every call commits a request event;
-/// `POST /query` additionally commits ok/err + latency on completion.
-pub fn handle(state: &Arc<ServerState>, req: &Request) -> Response {
+/// Dispatches one request. `peer` is the connection's remote IP, the
+/// per-client rate-limit key. Telemetry: every call commits a request
+/// event; `POST /query` additionally commits ok/err + latency on
+/// completion.
+pub fn handle(state: &Arc<ServerState>, req: &Request, peer: Option<IpAddr>) -> Response {
     state.telemetry.record_request(state.now());
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, "text/plain", "ok\n".to_string()),
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/readyz") => {
             if state.is_ready() {
-                (200, "text/plain", "ready\n".to_string())
+                Response::text(200, "ready\n")
             } else {
-                (503, "text/plain", "not ready\n".to_string())
+                Response::text(503, "not ready\n")
             }
         }
-        ("GET", "/metrics") => (200, "text/plain", render_metrics(state)),
-        ("GET", "/queries") => (200, "application/json", state.registry.to_json()),
+        ("GET", "/metrics") => Response::text(200, render_metrics(state)),
+        ("GET", "/queries") => Response::json(200, state.registry.to_json()),
         ("GET", path) if path.starts_with("/trace/") => trace(state, &path["/trace/".len()..]),
-        ("POST", "/query") => query(state, req),
+        ("POST", "/query") => query(state, req, peer),
         ("POST", "/shutdown") => {
             state.shutdown.cancel();
-            (202, "application/json", "{\"shutdown\":true}".to_string())
+            Response::json(202, "{\"shutdown\":true}")
         }
         ("GET" | "POST", _) => json_err(404, &format!("no such endpoint: {}", req.path)),
         _ => json_err(405, &format!("method {} not supported", req.method)),
@@ -83,6 +80,17 @@ fn render_metrics(state: &Arc<ServerState>) -> String {
          # HELP acq_serve_records_dropped_total Completed records evicted from the bounded ring\n\
          # TYPE acq_serve_records_dropped_total counter\nacq_serve_records_dropped_total {dropped}\n"
     ));
+    s.push_str(&format!(
+        "# HELP acq_serve_gate_active Queries holding an execution slot\n\
+         # TYPE acq_serve_gate_active gauge\nacq_serve_gate_active {}\n\
+         # HELP acq_serve_gate_queued Queries waiting at the admission gate\n\
+         # TYPE acq_serve_gate_queued gauge\nacq_serve_gate_queued {}\n\
+         # HELP acq_serve_gate_degrade_at Active count above which admissions degrade\n\
+         # TYPE acq_serve_gate_degrade_at gauge\nacq_serve_gate_degrade_at {}\n",
+        state.gate.active(),
+        state.gate.queued(),
+        state.gate.degrade_at(),
+    ));
     s
 }
 
@@ -98,7 +106,7 @@ fn trace(state: &Arc<ServerState>, id: &str) -> Response {
         );
     };
     match (&rec.trace_json, rec.status) {
-        (Some(trace), _) => (200, "application/json", trace.clone()),
+        (Some(trace), _) => Response::json(200, trace.clone()),
         (None, acq_obs::QueryStatus::Running) => {
             json_err(202, "query still running; trace is captured at completion")
         }
@@ -114,6 +122,7 @@ struct QueryRequest {
     norm: Option<Norm>,
     threads: usize,
     timeout: Option<Duration>,
+    deadline: Option<Duration>,
     max_explored: Option<u64>,
     max_store_bytes: Option<usize>,
     top: usize,
@@ -151,6 +160,14 @@ fn parse_query_request(body: &[u8]) -> Result<QueryRequest, String> {
         Some(_) => return Err("\"timeout_secs\" must be positive and finite".to_string()),
         None => None,
     };
+    // Client deadline propagation, JSON spelling; the `X-ACQ-Deadline-Ms`
+    // header is the transport spelling of the same thing, folded in by the
+    // caller. Whichever bound is tightest wins.
+    let deadline = match num("deadline_ms")? {
+        Some(ms) if ms.is_finite() && ms > 0.0 => Some(Duration::from_millis(ms as u64)),
+        Some(_) => return Err("\"deadline_ms\" must be positive and finite".to_string()),
+        None => None,
+    };
     Ok(QueryRequest {
         sql,
         gamma: num("gamma")?,
@@ -158,52 +175,98 @@ fn parse_query_request(body: &[u8]) -> Result<QueryRequest, String> {
         norm,
         threads: num("threads")?.map_or(1, |t| t.max(1.0) as usize),
         timeout,
+        deadline,
         max_explored: num("max_explored")?.map(|n| n.max(0.0) as u64),
         max_store_bytes: num("max_store_bytes")?.map(|n| n.max(0.0) as usize),
         top: num("top")?.map_or(5, |t| t.max(1.0) as usize),
     })
 }
 
-/// `POST /query`: compile, register, run with a per-query handle, respond.
-fn query(state: &Arc<ServerState>, req: &Request) -> Response {
+/// `POST /query`: rate-limit, parse, compile, pass the admission gate,
+/// register, run with a per-query handle, respond. Order matters — the
+/// cheap rejections (429s, 400s) happen before a gate slot is occupied.
+fn query(state: &Arc<ServerState>, req: &Request, peer: Option<IpAddr>) -> Response {
+    let stats = &state.telemetry.admission;
     if !state.is_ready() {
-        return json_err(503, "server is shutting down");
+        stats.shed.inc();
+        return json_err(503, "server is shutting down").with_retry_after(1);
     }
-    if !state.try_begin_request() {
-        return json_err(503, "at capacity; retry later");
+    if let Err(retry) = state.limiters.check(peer) {
+        stats.rate_limited.inc();
+        return json_err(429, "rate limited; slow down").with_retry_after(retry);
+    }
+    let (admission, permit) = state.gate.admit(&state.shutdown);
+    let (queued, degraded) = match admission {
+        Admission::Shed(retry) => {
+            stats.shed.inc();
+            return json_err(503, "at capacity; retry later").with_retry_after(retry);
+        }
+        Admission::Admitted { queued, degraded } => (queued, degraded),
+    };
+    stats.admitted.inc();
+    if queued {
+        stats.queued.inc();
+    }
+    if degraded {
+        stats.degraded.inc();
     }
     let t0 = Instant::now();
-    let resp = run_query(state, req, t0);
-    state.end_request();
+    let resp = run_query(state, req, t0, degraded);
+    drop(permit);
     state
         .telemetry
-        .record_query(resp.0 == 200, t0.elapsed(), state.now());
+        .record_query(resp.status == 200, t0.elapsed(), state.now());
     resp
 }
 
-fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant) -> Response {
+fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant, degraded: bool) -> Response {
     let parsed = match parse_query_request(&req.body) {
         Ok(p) => p,
         Err(msg) => return json_err(400, &msg),
     };
     let threads = parsed.threads.min(state.config.max_threads);
 
+    // `X-ACQ-Deadline-Ms`: the transport spelling of the client deadline.
+    let header_deadline = match req.header("x-acq-deadline-ms") {
+        None => None,
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
+            _ => {
+                return json_err(
+                    400,
+                    "X-ACQ-Deadline-Ms must be a positive integer (milliseconds)",
+                )
+            }
+        },
+    };
+
     let query = match compile(&parsed.sql, &state.catalog) {
         Ok(q) => q,
         Err(e) => return json_err(400, &format!("compile: {e}")),
     };
 
-    // Per-request budget, clamped by the server's deadline cap so no query
-    // can pin a connection thread past it.
-    let deadline = parsed.timeout.map_or(state.config.max_deadline, |t| {
-        t.min(state.config.max_deadline)
-    });
+    // Per-request budget: the tightest of the server's hard cap, the JSON
+    // knobs (`timeout_secs`, `deadline_ms`) and the deadline header — a
+    // query never outlives its caller or pins a worker past the cap.
+    let mut deadline = state.config.max_deadline;
+    for d in [parsed.timeout, parsed.deadline, header_deadline]
+        .into_iter()
+        .flatten()
+    {
+        deadline = deadline.min(d);
+    }
     let mut budget = ExecutionBudget::unlimited().with_deadline(deadline);
     if let Some(n) = parsed.max_explored {
         budget = budget.with_max_explored(n);
     }
     if let Some(b) = parsed.max_store_bytes {
         budget = budget.with_max_store_bytes(b);
+    }
+    if degraded {
+        // Past the high-water mark: best-effort admission. The shrunken
+        // budget turns overload into partial anytime answers (an explicit
+        // `termination` in the body) instead of sheds.
+        budget = budget.shrunk(state.config.degrade_factor);
     }
     let cfg = AcquireConfig {
         gamma: parsed.gamma.unwrap_or(state.config.gamma),
@@ -273,10 +336,17 @@ fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant) -> Response {
             let profile = req
                 .flag("explain")
                 .then(|| ExplainProfile::new(&query, &cfg, &outcome, snap.as_ref(), duration));
-            (
+            Response::json(
                 200,
-                "application/json",
-                outcome_json(id, &outcome, &query, parsed.top, duration, profile.as_ref()),
+                outcome_json(
+                    id,
+                    &outcome,
+                    &query,
+                    parsed.top,
+                    duration,
+                    degraded,
+                    profile.as_ref(),
+                ),
             )
         }
         Err(e) => {
@@ -343,6 +413,7 @@ fn outcome_json(
     original: &AcqQuery,
     top: usize,
     duration: Duration,
+    degraded: bool,
     profile: Option<&ExplainProfile>,
 ) -> String {
     let queries: Vec<String> = outcome
@@ -366,7 +437,8 @@ fn outcome_json(
         .map(ExplainProfile::to_json)
         .unwrap_or_else(|| "null".to_string());
     format!(
-        "{{\"id\":{id},\"satisfied\":{},\"termination\":{},\"original_aggregate\":{},\
+        "{{\"id\":{id},\"satisfied\":{},\"degraded\":{degraded},\"termination\":{},\
+         \"original_aggregate\":{},\
          \"explored\":{},\"layers\":{},\"duration_ms\":{},\"queries\":[{}],\
          \"closest\":{},\"stats\":{{{}}},\"profile\":{}}}",
         outcome.satisfied,

@@ -18,6 +18,15 @@
 //!   [`acquire_core::CancellationToken`]; in-flight searches return their
 //!   anytime results.
 //!
+//! The serving core is overload-resilient: a bounded acceptor feeds a
+//! fixed worker pool over HTTP/1.1 keep-alive sessions, admission control
+//! (per-client + global token buckets, then a bounded query gate) answers
+//! honest `429`/`503` with `Retry-After`, client deadlines propagate via
+//! `X-ACQ-Deadline-Ms`/`deadline_ms` into the execution budget, and past a
+//! load high-water mark queries degrade to best-effort — shrunken budgets
+//! returning partial anytime answers with an explicit `termination` —
+//! instead of being shed. See [`admission`] and `DESIGN.md`.
+//!
 //! Every request runs against its own [`acq_obs::Obs`] handle, so the
 //! driver's serial-emission-order guarantees hold per query: outcomes stay
 //! bit-identical across thread counts with serve instrumentation enabled,
@@ -26,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod cli;
 pub mod handlers;
 pub mod http;
@@ -33,6 +43,7 @@ pub mod server;
 pub mod state;
 pub mod telemetry;
 
+pub use admission::{Admission, QueryGate, RateLimiters, TokenBucket};
 pub use server::Server;
 pub use state::{ServeConfig, ServerState};
 pub use telemetry::Telemetry;

@@ -1,32 +1,97 @@
-//! The accept loop: bind, serve, drain, stop.
+//! The serving core: a bounded acceptor feeding a fixed worker pool.
+//!
+//! One acceptor thread owns the listener and pushes accepted streams into
+//! a bounded [`ConnQueue`]; a fixed pool of worker threads pops them and
+//! runs the keep-alive session loop ([`serve_connection`]). Nothing is
+//! spawned per connection, so overload cannot exhaust threads — it fills
+//! the queue, and the acceptor then sheds further connections *honestly*:
+//! a `503` with `Retry-After` is written on the accepted stream before it
+//! closes, and `acq_serve_conn_rejected_total` counts it.
+//!
+//! Graceful shutdown drains: the acceptor stops first, workers then serve
+//! every connection still in the queue (queries answer `503` because
+//! readiness is revoked; non-query endpoints still work), in-flight
+//! searches observe the cancelled token and return their partial anytime
+//! results, and `Server::shutdown` joins every thread.
 
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use acq_engine::Catalog;
 
 use crate::handlers::handle;
-use crate::http::{read_request, write_response, HttpError};
+use crate::http::{write_response, Conn, HttpError, Response};
 use crate::state::{ServeConfig, ServerState};
 
 /// How often the accept loop polls the shutdown token while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
-/// How long a connected client may take to send its request.
-const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// How often queue waiters (workers) poll the shutdown token.
+const QUEUE_POLL: Duration = Duration::from_millis(50);
 
-/// A running server: the bound address plus the accept-loop thread.
+/// A bounded MPMC queue of accepted connections.
+#[derive(Debug)]
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues, or hands the stream back when full (the caller sheds it).
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Pops the next connection. During shutdown the queue still drains:
+    /// `None` only once the queue is empty *and* the token is cancelled.
+    fn pop(&self, state: &ServerState) -> Option<TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(stream) = q.pop_front() {
+                return Some(stream);
+            }
+            if state.shutdown.is_cancelled() {
+                return None;
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(q, QUEUE_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+}
+
+/// A running server: the bound address plus its threads.
 pub struct Server {
     addr: SocketAddr,
     state: Arc<ServerState>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `config.addr` and starts accepting in a background thread.
+    /// Binds `config.addr`, spawns the worker pool and the acceptor.
     pub fn start(config: ServeConfig, catalog: Catalog) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -34,15 +99,48 @@ impl Server {
         // accepted stream is switched back to blocking before use.
         listener.set_nonblocking(true)?;
         let state = Arc::new(ServerState::new(config, catalog));
+        let queue = Arc::new(ConnQueue::new(state.config.accept_queue.max(1)));
+
+        let mut workers = Vec::with_capacity(state.config.workers.max(1));
+        for i in 0..state.config.workers.max(1) {
+            let worker_state = Arc::clone(&state);
+            let worker_queue = Arc::clone(&queue);
+            let spawned = std::thread::Builder::new()
+                .name(format!("acq-serve-worker-{i}"))
+                .spawn(move || worker_loop(&worker_queue, &worker_state));
+            match spawned {
+                Ok(h) => workers.push(h),
+                Err(e) => {
+                    // Fail closed at startup: release what was spawned.
+                    state.shutdown.cancel();
+                    for h in workers {
+                        let _ = h.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
         state.set_ready();
         let loop_state = Arc::clone(&state);
         let accept_thread = std::thread::Builder::new()
             .name("acq-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &loop_state))?;
+            .spawn(move || accept_loop(&listener, &queue, &loop_state));
+        let accept_thread = match accept_thread {
+            Ok(h) => Some(h),
+            Err(e) => {
+                state.shutdown.cancel();
+                for h in workers {
+                    let _ = h.join();
+                }
+                return Err(e);
+            }
+        };
         Ok(Server {
             addr,
             state,
-            accept_thread: Some(accept_thread),
+            accept_thread,
+            workers,
         })
     }
 
@@ -65,20 +163,26 @@ impl Server {
         self.state.shutdown.is_cancelled()
     }
 
-    /// Requests graceful shutdown and joins the accept loop. In-flight
-    /// searches observe the cancelled token and return their anytime
-    /// results; their responses are still written.
+    /// Requests graceful shutdown and joins every thread: the acceptor
+    /// stops taking connections, workers drain the queue (queued queries
+    /// answer `503`, in-flight searches return anytime results), then exit.
     pub fn shutdown(&mut self) {
         self.state.shutdown.cancel();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
     }
 
-    /// Blocks until the accept loop exits (i.e. until something cancels the
-    /// shutdown token, e.g. `POST /shutdown`).
+    /// Blocks until every serving thread exits (i.e. until something
+    /// cancels the shutdown token, e.g. `POST /shutdown`).
     pub fn join(&mut self) {
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
@@ -90,20 +194,13 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+fn accept_loop(listener: &TcpListener, queue: &Arc<ConnQueue>, state: &Arc<ServerState>) {
     while !state.shutdown.is_cancelled() {
         match listener.accept() {
             Ok((stream, _)) => {
-                let conn_state = Arc::clone(state);
-                let spawned = std::thread::Builder::new()
-                    .name("acq-serve-conn".to_string())
-                    .spawn(move || serve_connection(stream, &conn_state));
-                match spawned {
-                    Ok(h) => workers.push(h),
-                    Err(_) => continue, // thread exhaustion: drop the connection
+                if let Err(stream) = queue.push(stream) {
+                    shed_connection(stream, state);
                 }
-                workers.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -111,37 +208,99 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             Err(_) => std::thread::sleep(ACCEPT_POLL),
         }
     }
-    // Drain: in-flight requests observe the cancelled token and finish with
-    // their anytime outcomes before the listener drops.
-    for h in workers {
-        let _ = h.join();
+}
+
+/// The queue is full: answer `503` + `Retry-After` on the doorstep instead
+/// of silently dropping the connection, and account for it.
+fn shed_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    state.telemetry.admission.conn_rejected.inc();
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let resp = Response::json(503, "{\"error\":\"server saturated; connection shed\"}")
+        .with_retry_after(1);
+    if write_response(&stream, &resp, false).is_err() {
+        return;
+    }
+    // Lingering close: the client's request bytes are still unread, and
+    // closing now would RST the 503 out of its receive buffer — an honest
+    // shed must actually arrive. Send our FIN, then drain what the client
+    // wrote until it closes; the read timeout and iteration cap bound how
+    // long a hostile trickler can pin the acceptor here.
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    for _ in 0..32 {
+        match (&stream).read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
     }
 }
 
-fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+fn worker_loop(queue: &Arc<ConnQueue>, state: &Arc<ServerState>) {
+    while let Some(stream) = queue.pop(state) {
+        serve_connection(&stream, state);
+    }
+}
+
+/// One connection session: up to `max_requests_per_conn` keep-alive
+/// requests, each read under the total deadline, each answered honestly.
+fn serve_connection(stream: &TcpStream, state: &Arc<ServerState>) {
     if stream.set_nonblocking(false).is_err() {
         return;
     }
-    let req = match read_request(&mut stream, state.config.max_body_bytes, READ_TIMEOUT) {
-        Ok(req) => req,
-        Err(e) => {
-            let (status, msg) = match &e {
-                HttpError::TooLarge(cap) => (413, format!("body exceeds {cap} bytes")),
-                HttpError::Malformed(what) => (400, what.clone()),
-                HttpError::Io(_) => return, // client went away; nothing to say
+    let _ = stream.set_write_timeout(Some(state.config.read_timeout));
+    let peer = stream.peer_addr().ok().map(|a| a.ip());
+    let cfg = &state.config;
+    let mut conn = Conn::new(stream);
+    let abort = || state.shutdown.is_cancelled();
+    for served in 0..cfg.max_requests_per_conn {
+        let req =
+            match conn.read_request(cfg.max_body_bytes, cfg.read_timeout, cfg.keep_alive, &abort) {
+                Ok(req) => req,
+                Err(e) => {
+                    let resp = match &e {
+                        HttpError::Timeout => {
+                            state.telemetry.admission.read_timeouts.inc();
+                            Response::json(408, "{\"error\":\"request read deadline exceeded\"}")
+                        }
+                        HttpError::TooLarge(cap) => Response::json(
+                            413,
+                            format!("{{\"error\":\"request body exceeds {cap} bytes\"}}"),
+                        ),
+                        HttpError::Malformed(what) => Response::json(
+                            400,
+                            format!(
+                                "{{\"error\":\"{}\"}}",
+                                acq_obs::snapshot::json_escape(&format!(
+                                    "malformed request: {what}"
+                                ))
+                            ),
+                        ),
+                        // Peer gone or keep-alive idled out: nothing to say.
+                        HttpError::Closed | HttpError::Io(_) => return,
+                    };
+                    let _ = write_response(stream, &resp, false);
+                    return;
+                }
             };
-            let body = format!("{{\"error\":\"{}\"}}", acq_obs::snapshot::json_escape(&msg));
-            let _ = write_response(&mut stream, status, "application/json", &body);
+        if served > 0 {
+            state.telemetry.admission.keepalive_reuses.inc();
+        }
+        let resp = handle(state, &req, peer);
+        let keep = req.keep_alive()
+            && served + 1 < cfg.max_requests_per_conn
+            && !state.shutdown.is_cancelled();
+        if write_response(stream, &resp, keep).is_err() || !keep {
             return;
         }
-    };
-    let (status, content_type, body) = handle(state, &req);
-    let _ = write_response(&mut stream, status, content_type, &body);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
 
     #[test]
     fn starts_on_ephemeral_port_and_shuts_down() {
@@ -150,5 +309,42 @@ mod tests {
         assert!(server.state().is_ready());
         server.shutdown();
         assert!(server.is_shutdown());
+    }
+
+    #[test]
+    fn full_accept_queue_sheds_with_503_not_a_silent_drop() {
+        // workers = 0 is clamped to 1, but that one worker never gets this
+        // connection: capacity-1 queue is pre-filled by a parked stream.
+        let config = ServeConfig {
+            accept_queue: 1,
+            workers: 1,
+            keep_alive: Duration::from_secs(30),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config, Catalog::new()).unwrap();
+        let addr = server.addr();
+        // The single worker parks on the first connection's keep-alive
+        // wait; the second occupies the queue; the third must be shed.
+        let _parked1 = TcpStream::connect(addr).unwrap();
+        let _parked2 = TcpStream::connect(addr).unwrap();
+        // Give the acceptor time to move parked1 to the worker and leave
+        // parked2 in the queue, then flood until a shed is observed.
+        let mut shed_body = None;
+        for _ in 0..50 {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            s.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let mut raw = String::new();
+            let _ = s.read_to_string(&mut raw);
+            if raw.starts_with("HTTP/1.1 503") {
+                shed_body = Some(raw);
+                break;
+            }
+        }
+        let raw = shed_body.expect("flooding a 1-deep queue must shed");
+        assert!(raw.contains("Retry-After: 1\r\n"), "{raw}");
+        assert!(raw.contains("connection shed"), "{raw}");
+        assert!(server.state().telemetry.admission.conn_rejected.get() >= 1);
     }
 }

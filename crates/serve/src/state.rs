@@ -1,12 +1,13 @@
 //! Shared server state and configuration.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use acq_engine::Catalog;
 use acq_obs::{Metrics, QueryRegistry};
 use acquire_core::{CancellationToken, EvalLayerKind};
 
+use crate::admission::{QueryGate, RateLimiters};
 use crate::telemetry::Telemetry;
 
 /// Server configuration; [`ServeConfig::default`] is what the tests and the
@@ -29,12 +30,44 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Hard cap a request's wall-clock deadline is clamped to; also applied
     /// to requests that ask for no deadline at all, so a pathological query
-    /// cannot pin a connection thread forever.
+    /// cannot pin a worker thread forever.
     pub max_deadline: Duration,
-    /// Most worker threads one request may ask for.
+    /// Most search threads one request may ask for.
     pub max_threads: usize,
-    /// Concurrent in-flight requests before the server answers 503.
+    /// Concurrent executing queries before new ones queue (then shed).
     pub max_concurrent: usize,
+    /// Total budget from a request's first byte to its last — a client that
+    /// trickles slower than this gets `408` and the thread back.
+    pub read_timeout: Duration,
+    /// How long an idle keep-alive connection is held before closing.
+    pub keep_alive: Duration,
+    /// Requests served per connection before the server closes it (a
+    /// fairness valve against one chatty client monopolising a worker).
+    pub max_requests_per_conn: usize,
+    /// Fixed connection-worker threads (the session pool).
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before the acceptor sheds
+    /// new ones with `503`.
+    pub accept_queue: usize,
+    /// Queries waiting at the admission gate before new ones are shed.
+    pub max_queued: usize,
+    /// Longest a query waits at the gate before it is shed with `503`.
+    pub queue_wait: Duration,
+    /// Per-client token-bucket rate (queries/second); `0` disables.
+    pub client_rate: f64,
+    /// Per-client token-bucket burst.
+    pub client_burst: f64,
+    /// Global token-bucket rate (queries/second); `0` disables.
+    pub global_rate: f64,
+    /// Global token-bucket burst.
+    pub global_burst: f64,
+    /// Load fraction of `max_concurrent` above which admissions degrade to
+    /// best-effort (shrunken budgets, partial anytime answers). `1.0`
+    /// degrades only queued admissions.
+    pub degrade_watermark: f64,
+    /// Budget multiplier applied to degraded admissions
+    /// ([`acquire_core::ExecutionBudget::shrunk`]).
+    pub degrade_factor: f64,
 }
 
 impl Default for ServeConfig {
@@ -50,11 +83,24 @@ impl Default for ServeConfig {
             max_deadline: Duration::from_secs(30),
             max_threads: 8,
             max_concurrent: 16,
+            read_timeout: Duration::from_secs(5),
+            keep_alive: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
+            workers: 8,
+            accept_queue: 64,
+            max_queued: 32,
+            queue_wait: Duration::from_secs(1),
+            client_rate: 0.0,
+            client_burst: 8.0,
+            global_rate: 0.0,
+            global_burst: 32.0,
+            degrade_watermark: 0.75,
+            degrade_factor: 0.25,
         }
     }
 }
 
-/// Everything a connection thread needs, shared behind one `Arc`.
+/// Everything a worker thread needs, shared behind one `Arc`.
 #[derive(Debug)]
 pub struct ServerState {
     /// Immutable configuration.
@@ -65,18 +111,20 @@ pub struct ServerState {
     /// Process-scoped pipeline instruments; per-query snapshots are folded
     /// in as requests complete ([`Metrics::absorb_snapshot`]).
     pub metrics: Metrics,
-    /// Serve-level request telemetry (rates, decaying latency).
+    /// Serve-level request telemetry (rates, decaying latency, admission).
     pub telemetry: Telemetry,
     /// In-flight + recently completed queries.
     pub registry: QueryRegistry,
+    /// The admission gate: bounded query concurrency + bounded queue.
+    pub gate: QueryGate,
+    /// Token-bucket front door (per-client + global).
+    pub limiters: RateLimiters,
     /// Cancelling this token starts graceful shutdown: the accept loop
     /// stops taking connections and every in-flight search is interrupted
     /// (the driver polls the token cooperatively).
     pub shutdown: CancellationToken,
     /// Set once the listener is bound; `GET /readyz` gates on it.
     ready: AtomicBool,
-    /// In-flight request count, for the concurrency cap and `/readyz`.
-    in_flight: AtomicUsize,
     /// Process epoch; telemetry timestamps are elapsed-since-here.
     start: Instant,
 }
@@ -84,6 +132,18 @@ pub struct ServerState {
 impl ServerState {
     /// Fresh state around a loaded catalog.
     pub fn new(config: ServeConfig, catalog: Catalog) -> Self {
+        let gate = QueryGate::new(
+            config.max_concurrent,
+            config.max_queued,
+            config.queue_wait,
+            config.degrade_watermark,
+        );
+        let limiters = RateLimiters::new(
+            config.client_rate,
+            config.client_burst,
+            config.global_rate,
+            config.global_burst,
+        );
         let completed_capacity = config.completed_capacity;
         Self {
             config,
@@ -91,9 +151,10 @@ impl ServerState {
             metrics: Metrics::new(),
             telemetry: Telemetry::new(),
             registry: QueryRegistry::new(completed_capacity),
+            gate,
+            limiters,
             shutdown: CancellationToken::new(),
             ready: AtomicBool::new(false),
-            in_flight: AtomicUsize::new(0),
             start: Instant::now(),
         }
     }
@@ -113,36 +174,23 @@ impl ServerState {
         self.ready.load(Ordering::Acquire) && !self.shutdown.is_cancelled()
     }
 
-    /// Tries to claim an in-flight slot; `false` means the concurrency cap
-    /// is hit and the caller should answer 503.
-    pub fn try_begin_request(&self) -> bool {
-        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
-        if prev >= self.config.max_concurrent {
-            self.in_flight.fetch_sub(1, Ordering::AcqRel);
-            return false;
-        }
-        true
-    }
-
-    /// Releases a slot claimed by [`ServerState::try_begin_request`].
-    pub fn end_request(&self) {
-        self.in_flight.fetch_sub(1, Ordering::AcqRel);
-    }
-
-    /// Current in-flight request count.
+    /// Currently executing queries (the gate's occupancy).
     pub fn in_flight(&self) -> usize {
-        self.in_flight.load(Ordering::Acquire)
+        self.gate.active()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::Admission;
 
     fn state(max_concurrent: usize) -> ServerState {
         ServerState::new(
             ServeConfig {
                 max_concurrent,
+                max_queued: 0,
+                queue_wait: Duration::from_millis(100),
                 ..ServeConfig::default()
             },
             Catalog::new(),
@@ -160,13 +208,21 @@ mod tests {
     }
 
     #[test]
-    fn concurrency_cap_sheds_load() {
+    fn gate_caps_concurrency_and_sheds_load() {
         let s = state(2);
-        assert!(s.try_begin_request());
-        assert!(s.try_begin_request());
-        assert!(!s.try_begin_request(), "third concurrent request rejected");
+        let (a1, _p1) = s.gate.admit(&s.shutdown);
+        let (a2, _p2) = s.gate.admit(&s.shutdown);
+        assert!(matches!(a1, Admission::Admitted { .. }));
+        assert!(matches!(a2, Admission::Admitted { .. }));
+        let (a3, p3) = s.gate.admit(&s.shutdown);
+        assert!(
+            matches!(a3, Admission::Shed(_)),
+            "third concurrent query shed with no queue: {a3:?}"
+        );
+        assert!(p3.is_none());
         assert_eq!(s.in_flight(), 2);
-        s.end_request();
-        assert!(s.try_begin_request(), "slot reusable after release");
+        drop(_p1);
+        let (a4, _p4) = s.gate.admit(&s.shutdown);
+        assert!(matches!(a4, Admission::Admitted { .. }), "slot reusable");
     }
 }

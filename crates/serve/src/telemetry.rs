@@ -19,7 +19,7 @@ use std::time::Duration;
 use acq_obs::metrics::LATENCY_BUCKETS_NS;
 use acq_obs::snapshot::HistogramSnapshot;
 use acq_obs::window::DEFAULT_RATE_WINDOW_SECS;
-use acq_obs::{DecayingHistogram, RateCounter};
+use acq_obs::{AdmissionStats, DecayingHistogram, RateCounter};
 
 /// Half-life of the request-latency distribution: five minutes, so the
 /// scraped quantiles track the recent workload.
@@ -36,6 +36,10 @@ pub struct Telemetry {
     pub queries_err: RateCounter,
     /// End-to-end `POST /query` latency, decaying.
     pub query_latency_ns: DecayingHistogram,
+    /// Admission-control decisions (shed/degraded/rejected/…); every
+    /// instrument is a relaxed-atomic [`acq_obs::Counter`], so commits
+    /// here keep the wait-free discipline.
+    pub admission: AdmissionStats,
 }
 
 impl Default for Telemetry {
@@ -52,6 +56,7 @@ impl Telemetry {
             queries_ok: RateCounter::new(),
             queries_err: RateCounter::new(),
             query_latency_ns: DecayingHistogram::new(LATENCY_BUCKETS_NS, LATENCY_HALF_LIFE),
+            admission: AdmissionStats::new(),
         }
     }
 
@@ -131,6 +136,7 @@ impl Telemetry {
                 ));
             }
         }
+        s.push_str(&self.admission.render_prometheus("acq_serve"));
         s
     }
 
@@ -177,5 +183,11 @@ mod tests {
             text.contains("acq_serve_query_latency_ns_count 10"),
             "{text}"
         );
+        t.admission.shed.add(2);
+        t.admission.degraded.inc();
+        let text = t.render_prometheus(Duration::from_secs(10));
+        assert!(text.contains("acq_serve_shed_total 2"), "{text}");
+        assert!(text.contains("acq_serve_degraded_total 1"), "{text}");
+        assert!(text.contains("acq_serve_conn_rejected_total 0"), "{text}");
     }
 }

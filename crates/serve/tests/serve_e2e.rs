@@ -37,8 +37,11 @@ const SQL: &str = "SELECT * FROM t CONSTRAINT COUNT(*) >= 800 WHERE x <= 10 AND 
 fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
     let mut s = TcpStream::connect(addr).unwrap();
     s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    // `Connection: close` because this helper reads to EOF; keep-alive
+    // reuse is exercised by the chaos suite.
     let req = format!(
-        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
     s.write_all(req.as_bytes()).unwrap();
