@@ -27,8 +27,14 @@
 //! limit — recording sustained answered-requests/second and the status
 //! histogram, and asserting the overload contract (every connection
 //! answered, statuses only from `{200, 503}` with rate limiting off).
-//! Baselines are versioned per PR (`BENCH_PR<n>.json`, see
-//! `BENCH_TRAJECTORY.md`); the parser accepts any version.
+//! Version 5 adds `"pruning"`: a zone-map ablation on the largest fig10
+//! workload (serial, pruning on vs off) asserting bit-identical outcomes,
+//! `zones_pruned > 0` and a strict `tuples_scanned` reduction — the row CI's
+//! `prune-smoke` step gates on — plus `"speedup_gate"`, which records
+//! whether the parallel-speedup gate was evaluated or skipped for lack of
+//! cores (so a single-core baseline is self-describing). Baselines are
+//! versioned per PR (`BENCH_PR<n>.json`, see `BENCH_TRAJECTORY.md`); the
+//! parser accepts any version.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -44,11 +50,12 @@ use acq_serve::{ServeConfig, Server};
 use acquire_core::{run_acquire_observed, AcquireConfig, EvalLayerKind, Obs};
 
 /// Report format version. v2 added `pr`, `obs_overhead` and the embedded
-/// `metrics` snapshot; v3 added `serve_overhead`; v4 adds `overload`. The
-/// baseline parser accepts older reports too.
-const REPORT_VERSION: u64 = 4;
+/// `metrics` snapshot; v3 added `serve_overhead`; v4 added `overload`; v5
+/// adds `pruning` (zone-map ablation) and `speedup_gate`. The baseline
+/// parser accepts older reports too.
+const REPORT_VERSION: u64 = 5;
 /// The PR whose baseline this binary emits (`BENCH_PR<n>.json`).
-const BASELINE_PR: u64 = 6;
+const BASELINE_PR: u64 = 7;
 /// How much slower than the (calibration-scaled) baseline a workload may
 /// get before the check fails.
 const REGRESSION_FACTOR: f64 = 1.2;
@@ -135,10 +142,12 @@ impl WorkloadReport {
     }
 }
 
-/// Everything observable about a run except wall-clock, floats as bits.
-fn identity_key(r: &acq_bench::runner::RunResult) -> String {
+/// The search outcome with floats as bits, excluding the work counters:
+/// zone pruning legitimately changes `tuples_scanned`/`zones_*` while the
+/// answer must stay bit-identical.
+fn outcome_key(r: &acq_bench::runner::RunResult) -> String {
     format!(
-        "error={} qscore={} pscores={:?} aggregate={} queries={} satisfied={} peak_store={} stats={:?}",
+        "error={} qscore={} pscores={:?} aggregate={} queries={} satisfied={} peak_store={}",
         r.error.to_bits(),
         r.qscore.to_bits(),
         r.pscores.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
@@ -146,8 +155,14 @@ fn identity_key(r: &acq_bench::runner::RunResult) -> String {
         r.queries,
         r.satisfied,
         r.peak_store,
-        r.stats,
     )
+}
+
+/// Everything observable about a run except wall-clock, floats as bits.
+/// Includes the work counters: across thread counts (same pruning mode)
+/// even the accounting must agree.
+fn identity_key(r: &acq_bench::runner::RunResult) -> String {
+    format!("{} stats={:?}", outcome_key(r), r.stats)
 }
 
 fn run_workload(name: &'static str, spec: &WorkloadSpec, threads: usize) -> WorkloadReport {
@@ -182,6 +197,77 @@ fn run_workload(name: &'static str, spec: &WorkloadSpec, threads: usize) -> Work
         parallel_ms,
         cells: serial.queries,
         tuples_scanned: serial.stats.tuples_scanned,
+    }
+}
+
+/// Zone-map ablation on one workload: the same serial search with pruning
+/// on and off.
+struct PruneReport {
+    workload: &'static str,
+    pruned_ms: f64,
+    unpruned_ms: f64,
+    zones_pruned: u64,
+    zones_full: u64,
+    zones_scanned: u64,
+    tuples_pruned: u64,
+    tuples_unpruned: u64,
+}
+
+impl PruneReport {
+    fn speedup(&self) -> f64 {
+        self.unpruned_ms / self.pruned_ms
+    }
+}
+
+/// Runs `spec` serially with zone pruning on and off (best-of-2 each),
+/// asserts the outcomes are bit-identical, that pruning actually fired and
+/// that it scanned strictly fewer tuples. CI's `prune-smoke` step re-checks
+/// the recorded row from the report JSON, so a silently disabled pruning
+/// path cannot pass.
+fn pruning_ablation(workload_name: &'static str, spec: &WorkloadSpec) -> PruneReport {
+    let workload = count_workload(spec);
+    let technique = Technique::Acquire(EvalLayerKind::CachedScore);
+    let on_cfg = AcquireConfig::default();
+    let off_cfg = AcquireConfig::default().with_zone_pruning(false);
+
+    let mut pruned_ms = f64::INFINITY;
+    let mut unpruned_ms = f64::INFINITY;
+    let mut on = None;
+    let mut off = None;
+    for _ in 0..2 {
+        let r = run_technique(&workload, &technique, &on_cfg).expect("pruned run");
+        pruned_ms = pruned_ms.min(r.time_ms);
+        on = Some(r);
+        let r = run_technique(&workload, &technique, &off_cfg).expect("unpruned run");
+        unpruned_ms = unpruned_ms.min(r.time_ms);
+        off = Some(r);
+    }
+    let on = on.expect("ran");
+    let off = off.expect("ran");
+    assert_eq!(
+        outcome_key(&on),
+        outcome_key(&off),
+        "{workload_name}: zone pruning changed the search outcome"
+    );
+    assert!(
+        on.stats.zones_pruned > 0,
+        "{workload_name}: zone pruning never skipped a block"
+    );
+    assert!(
+        on.stats.tuples_scanned < off.stats.tuples_scanned,
+        "{workload_name}: pruned run must scan strictly fewer tuples ({} vs {})",
+        on.stats.tuples_scanned,
+        off.stats.tuples_scanned
+    );
+    PruneReport {
+        workload: workload_name,
+        pruned_ms,
+        unpruned_ms,
+        zones_pruned: on.stats.zones_pruned,
+        zones_full: on.stats.zones_full,
+        zones_scanned: on.stats.zones_scanned,
+        tuples_pruned: on.stats.tuples_scanned,
+        tuples_unpruned: off.stats.tuples_scanned,
     }
 }
 
@@ -448,15 +534,27 @@ fn overload_run(spec: &WorkloadSpec) -> OverloadReport {
     }
 }
 
-fn render_json(
+/// Host-level run context stamped into the report header and consulted by
+/// the speedup gate.
+struct RunInfo {
     calibration_ms: f64,
     threads: usize,
     cores: usize,
+}
+
+fn render_json(
+    info: &RunInfo,
     rows: &[WorkloadReport],
+    prune: &PruneReport,
     obs: &ObsReport,
     serve: &ServeReport,
     overload: &OverloadReport,
 ) -> String {
+    let RunInfo {
+        calibration_ms,
+        threads,
+        cores,
+    } = *info;
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"version\": {REPORT_VERSION},");
@@ -480,6 +578,39 @@ fn render_json(
         );
     }
     s.push_str("  ],\n");
+    // The zone-map ablation row CI's prune-smoke step gates on: pruning
+    // must have fired and must have scanned strictly fewer tuples, with a
+    // bit-identical outcome (asserted in pruning_ablation before this is
+    // rendered).
+    let _ = writeln!(
+        s,
+        "  \"pruning\": {{ \"workload\": \"{}\", \"pruned_serial_ms\": {:.3}, \
+         \"unpruned_serial_ms\": {:.3}, \"speedup\": {:.3}, \"zones_pruned\": {}, \
+         \"zones_full\": {}, \"zones_scanned\": {}, \"tuples_scanned_pruned\": {}, \
+         \"tuples_scanned_unpruned\": {} }},",
+        prune.workload,
+        prune.pruned_ms,
+        prune.unpruned_ms,
+        prune.speedup(),
+        prune.zones_pruned,
+        prune.zones_full,
+        prune.zones_scanned,
+        prune.tuples_pruned,
+        prune.tuples_unpruned,
+    );
+    // Whether the parallel-speedup gate can be evaluated on this host, so a
+    // baseline recorded on a single-core machine is self-describing instead
+    // of silently carrying a meaningless sub-1.0 speedup.
+    let _ = writeln!(
+        s,
+        "  \"speedup_gate\": {{ \"skipped\": {}, \"reason\": {} }},",
+        cores < threads,
+        if cores < threads {
+            format!("\"{cores} core(s) < {threads} threads: no parallel speedup is physically possible\"")
+        } else {
+            "null".to_string()
+        },
+    );
     // Wall-clock is environment-dependent, so the overhead is recorded for
     // trend-watching only; the hard <2% gate lives in the test suite where
     // it can retry. The embedded snapshot, by contrast, is deterministic
@@ -642,6 +773,22 @@ fn main() -> ExitCode {
         rows.push(r);
     }
 
+    // Zone-map ablation on the largest fig10 workload: pruning on vs off,
+    // serial, bit-identical outcomes enforced.
+    let prune = pruning_ablation("fig10_100k", &WorkloadSpec::new(100_000, 3, 0.3));
+    println!(
+        "\npruning         on {:8.1}ms  off {:8.1}ms  speedup {:.2}x  zones p/f/s {}/{}/{}  \
+         tuples {} -> {}",
+        prune.pruned_ms,
+        prune.unpruned_ms,
+        prune.speedup(),
+        prune.zones_pruned,
+        prune.zones_full,
+        prune.zones_scanned,
+        prune.tuples_unpruned,
+        prune.tuples_pruned,
+    );
+
     // Instrumented run on the mid-size fig9 shape: validates the metrics
     // snapshot against ground truth and records observability overhead.
     let obs = observed_run(&WorkloadSpec::new(10_000, 3, 0.3));
@@ -675,10 +822,13 @@ fn main() -> ExitCode {
     );
 
     let json = render_json(
-        calibration_ms,
-        args.threads,
-        cores,
+        &RunInfo {
+            calibration_ms,
+            threads: args.threads,
+            cores,
+        },
         &rows,
+        &prune,
         &obs,
         &serve,
         &overload,

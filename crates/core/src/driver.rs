@@ -529,6 +529,7 @@ pub fn run_acquire_cancellable(
     let space = RefinedSpace::new(&query, cfg)?;
     let caps = space.caps();
     let cancel = cancel.clone();
+    exec.set_zone_pruning(cfg.zone_pruning);
     match kind {
         EvalLayerKind::Scan => {
             let mut eval = ScanEvaluator::new(exec, &query, &caps)?;

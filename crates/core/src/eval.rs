@@ -40,6 +40,12 @@ pub struct CellCost {
     pub index_probes: u64,
     /// Cells skipped as provably empty (§7.4).
     pub cells_skipped: u64,
+    /// Zone-map blocks skipped outright by min/max classification.
+    pub zones_pruned: u64,
+    /// Zone-map blocks aggregated wholesale without predicate re-evaluation.
+    pub zones_full: u64,
+    /// Zone-map blocks that straddled the cell band and were scanned.
+    pub zones_scanned: u64,
 }
 
 impl CellCost {
@@ -49,6 +55,20 @@ impl CellCost {
         stats.tuples_scanned += self.tuples_scanned;
         stats.index_probes += self.index_probes;
         stats.cells_skipped += self.cells_skipped;
+        stats.zones_pruned += self.zones_pruned;
+        stats.zones_full += self.zones_full;
+        stats.zones_scanned += self.zones_scanned;
+    }
+
+    /// A cost carrying only a cell scan's accounting (no index work).
+    pub(crate) fn from_scan(scan: &acq_engine::CellScan) -> Self {
+        Self {
+            tuples_scanned: scan.tuples_scanned,
+            zones_pruned: scan.zones_pruned,
+            zones_full: scan.zones_full,
+            zones_scanned: scan.zones_scanned,
+            ..Self::default()
+        }
     }
 }
 
@@ -169,14 +189,8 @@ impl EvaluationLayer for ScanEvaluator<'_> {
 
 impl ParallelCells for ScanEvaluator<'_> {
     fn cell_aggregate_shared(&self, cell: &[CellRange]) -> EngineResult<(AggState, CellCost)> {
-        let (state, scanned) = self.exec.cell_aggregate_shared(&self.rq, &self.rel, cell)?;
-        Ok((
-            state,
-            CellCost {
-                tuples_scanned: scanned,
-                ..CellCost::default()
-            },
-        ))
+        let (state, scan) = self.exec.cell_aggregate_shared(&self.rq, &self.rel, cell)?;
+        Ok((state, CellCost::from_scan(&scan)))
     }
 }
 
@@ -184,7 +198,19 @@ impl ParallelCells for ScanEvaluator<'_> {
 // Shared score-matrix machinery
 // ---------------------------------------------------------------------------
 
+/// Rows per score-matrix zone block. Smaller than the engine's table
+/// blocks: matrix rows are score-sorted, so tight blocks buy sharper
+/// per-cell bands at negligible metadata cost.
+const MATRIX_ZONE_BLOCK: usize = 256;
+
 /// Per-tuple scores and aggregate inputs, computed once.
+///
+/// Rows are stored clustered: sorted by their integer-quantised score
+/// vector (lexicographic, original index as tie-break). The sort is
+/// unconditional — it happens whether or not zone pruning is enabled and is
+/// independent of the thread count used to score tuples — so every
+/// consumer folds the exact same row order and results stay bit-identical
+/// across pruning on/off and threads 1–N.
 #[derive(Debug)]
 struct ScoreMatrix {
     /// Flattened `n × d` refinement scores of admissible tuples.
@@ -192,6 +218,9 @@ struct ScoreMatrix {
     /// Aggregate-column value per admissible tuple.
     vals: Vec<f64>,
     d: usize,
+    /// Per-block, per-dimension exact score bounds:
+    /// `zones[b * d + k] = (min, max)` of dimension `k` in block `b`.
+    zones: Vec<(f64, f64)>,
 }
 
 impl ScoreMatrix {
@@ -245,7 +274,7 @@ impl ScoreMatrix {
             vals.extend(v);
         }
         exec.stats_mut().tuples_scanned += n as u64;
-        Ok(Self { scores, vals, d })
+        Ok(Self::finalize(scores, vals, d))
     }
 
     fn build(exec: &mut Executor, rq: &ResolvedQuery, rel: &Relation) -> EngineResult<Self> {
@@ -261,11 +290,150 @@ impl ScoreMatrix {
             }
         }
         exec.stats_mut().tuples_scanned += rel.len() as u64;
-        Ok(Self { scores, vals, d })
+        Ok(Self::finalize(scores, vals, d))
+    }
+
+    /// Clusters rows by quantised score and computes the per-block zone
+    /// bounds. Deterministic given `(scores, vals, d)`.
+    fn finalize(mut scores: Vec<f64>, mut vals: Vec<f64>, d: usize) -> Self {
+        let n = vals.len();
+        if d > 0 && n > 1 {
+            // Matrix scores are finite by construction (infinite-score
+            // tuples never enter), so total_cmp is a plain total order.
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            perm.sort_unstable_by(|&a, &b| {
+                let (ra, rb) = (a as usize * d, b as usize * d);
+                for k in 0..d {
+                    let (qa, qb) = (scores[ra + k].floor(), scores[rb + k].floor());
+                    if qa != qb {
+                        return qa.total_cmp(&qb);
+                    }
+                }
+                a.cmp(&b)
+            });
+            let mut s2 = Vec::with_capacity(scores.len());
+            let mut v2 = Vec::with_capacity(n);
+            for &p in &perm {
+                let p = p as usize;
+                s2.extend_from_slice(&scores[p * d..(p + 1) * d]);
+                v2.push(vals[p]);
+            }
+            scores = s2;
+            vals = v2;
+        }
+        let blocks = n.div_ceil(MATRIX_ZONE_BLOCK);
+        let mut zones = Vec::with_capacity(blocks * d);
+        for b in 0..blocks {
+            let start = b * MATRIX_ZONE_BLOCK;
+            let end = (start + MATRIX_ZONE_BLOCK).min(n);
+            for k in 0..d {
+                let mut mn = f64::INFINITY;
+                let mut mx = f64::NEG_INFINITY;
+                for i in start..end {
+                    let s = scores[i * d + k];
+                    if s < mn {
+                        mn = s;
+                    }
+                    if s > mx {
+                        mx = s;
+                    }
+                }
+                zones.push((mn, mx));
+            }
+        }
+        Self {
+            scores,
+            vals,
+            d,
+            zones,
+        }
     }
 
     fn len(&self) -> usize {
         self.vals.len()
+    }
+
+    /// How block `b` relates to `cell` in score space: exact comparisons
+    /// against the block's per-dimension bounds, no arithmetic that could
+    /// round (see DESIGN, "Zone-map pruning and the determinism contract").
+    fn classify_block(&self, b: usize, cell: &[CellRange]) -> acq_engine::BlockClass {
+        use acq_engine::BlockClass;
+        let zs = &self.zones[b * self.d..(b + 1) * self.d];
+        let mut cls = BlockClass::Full;
+        for (r, &(mn, mx)) in cell.iter().zip(zs) {
+            let c = match r {
+                CellRange::Zero => {
+                    if mn > 0.0 || mx < 0.0 {
+                        BlockClass::Skip
+                    } else if mn == 0.0 && mx == 0.0 {
+                        BlockClass::Full
+                    } else {
+                        BlockClass::Scan
+                    }
+                }
+                CellRange::Open { lo, hi } => {
+                    if mx <= *lo || mn > *hi {
+                        BlockClass::Skip
+                    } else if mn > *lo && mx <= *hi {
+                        BlockClass::Full
+                    } else {
+                        BlockClass::Scan
+                    }
+                }
+            };
+            cls = cls.and(c);
+            if cls == BlockClass::Skip {
+                return BlockClass::Skip;
+            }
+        }
+        cls
+    }
+
+    /// The shared cell scan of the cached-score layer: zone-pruned block
+    /// walk when enabled, full filter otherwise. Folds qualifying rows into
+    /// `state` in row order (bit-identical either way) and returns the
+    /// deferred accounting.
+    fn cell_scan_into(&self, cell: &[CellRange], state: &mut AggState, pruned: bool) -> CellCost {
+        use acq_engine::BlockClass;
+        let n = self.len();
+        let mut cost = CellCost::default();
+        if !pruned {
+            cost.tuples_scanned = n as u64;
+            for i in 0..n {
+                if self.row(i).iter().zip(cell).all(|(s, r)| r.contains(*s)) {
+                    state.update(self.vals[i]);
+                }
+            }
+            return cost;
+        }
+        let mut start = 0usize;
+        let mut b = 0usize;
+        while start < n {
+            let end = (start + MATRIX_ZONE_BLOCK).min(n);
+            match self.classify_block(b, cell) {
+                BlockClass::Skip => cost.zones_pruned += 1,
+                BlockClass::Full => {
+                    cost.zones_full += 1;
+                    if let AggState::Count(c) = state {
+                        *c += (end - start) as u64;
+                    } else {
+                        state.update_many(self.vals[start..end].iter().copied());
+                    }
+                }
+                BlockClass::Scan => {
+                    cost.zones_scanned += 1;
+                    cost.tuples_scanned += (end - start) as u64;
+                    for i in start..end {
+                        if self.row(i).iter().zip(cell).all(|(s, r)| r.contains(*s)) {
+                            state.update(self.vals[i]);
+                        }
+                    }
+                }
+            }
+            start = end;
+            b += 1;
+        }
+        cost
     }
 
     #[inline]
@@ -294,6 +462,9 @@ pub struct CachedScoreEvaluator<'a> {
     exec: &'a mut Executor,
     rq: ResolvedQuery,
     matrix: ScoreMatrix,
+    /// Captured from the executor at construction: whether cell queries
+    /// walk the score-matrix zone blocks or filter every cached row.
+    zone_pruning: bool,
 }
 
 impl<'a> CachedScoreEvaluator<'a> {
@@ -314,22 +485,23 @@ impl<'a> CachedScoreEvaluator<'a> {
         let rq = exec.resolve(query)?;
         let rel = exec.base_relation(&rq, caps)?;
         let matrix = ScoreMatrix::build_with_threads(exec, &rq, &rel, threads)?;
-        Ok(Self { exec, rq, matrix })
+        let zone_pruning = exec.zone_pruning();
+        Ok(Self {
+            exec,
+            rq,
+            matrix,
+            zone_pruning,
+        })
     }
 }
 
 impl EvaluationLayer for CachedScoreEvaluator<'_> {
     fn cell_aggregate(&mut self, cell: &[CellRange]) -> EngineResult<AggState> {
-        let stats = self.exec.stats_mut();
-        stats.cell_queries += 1;
-        stats.tuples_scanned += self.matrix.len() as u64;
         let mut state = self.empty_state()?;
-        for i in 0..self.matrix.len() {
-            let row = self.matrix.row(i);
-            if row.iter().zip(cell).all(|(s, r)| r.contains(*s)) {
-                state.update(self.matrix.vals[i]);
-            }
-        }
+        let cost = self
+            .matrix
+            .cell_scan_into(cell, &mut state, self.zone_pruning);
+        cost.apply(self.exec.stats_mut());
         Ok(state)
     }
 
@@ -370,19 +542,10 @@ impl EvaluationLayer for CachedScoreEvaluator<'_> {
 impl ParallelCells for CachedScoreEvaluator<'_> {
     fn cell_aggregate_shared(&self, cell: &[CellRange]) -> EngineResult<(AggState, CellCost)> {
         let mut state = self.empty_state()?;
-        for i in 0..self.matrix.len() {
-            let row = self.matrix.row(i);
-            if row.iter().zip(cell).all(|(s, r)| r.contains(*s)) {
-                state.update(self.matrix.vals[i]);
-            }
-        }
-        Ok((
-            state,
-            CellCost {
-                tuples_scanned: self.matrix.len() as u64,
-                ..CellCost::default()
-            },
-        ))
+        let cost = self
+            .matrix
+            .cell_scan_into(cell, &mut state, self.zone_pruning);
+        Ok((state, cost))
     }
 }
 
@@ -777,6 +940,18 @@ mod tests {
             after.cells_skipped - mid.cells_skipped,
             mid.cells_skipped - before.cells_skipped
         );
+        assert_eq!(
+            after.zones_pruned - mid.zones_pruned,
+            mid.zones_pruned - before.zones_pruned
+        );
+        assert_eq!(
+            after.zones_full - mid.zones_full,
+            mid.zones_full - before.zones_full
+        );
+        assert_eq!(
+            after.zones_scanned - mid.zones_scanned,
+            mid.zones_scanned - before.zones_scanned
+        );
     }
 
     #[test]
@@ -812,6 +987,85 @@ mod tests {
             let mut grid = GridIndexEvaluator::new(&mut e3, &q, &caps(), step).unwrap();
             check_shared_matches(&mut grid, cell);
         }
+    }
+
+    #[test]
+    fn cached_zone_pruning_is_bit_identical_and_prunes() {
+        fn zsetup() -> (Executor, AcqQuery) {
+            let mut b = TableBuilder::new("t", vec![Field::new("x", DataType::Float)]).unwrap();
+            // Deliberately unsorted insertion order: the matrix clustering
+            // sort, not the on-disk layout, has to produce the pruning.
+            for i in 0..2048u32 {
+                b.push_row(vec![Value::Float(f64::from((i * 1021) % 2048))]);
+            }
+            let mut cat = Catalog::new();
+            cat.register(b.finish().unwrap()).unwrap();
+            let q = AcqQuery::builder()
+                .table("t")
+                .predicate(
+                    Predicate::select(
+                        ColRef::new("t", "x"),
+                        Interval::new(0.0, 100.0),
+                        RefineSide::Upper,
+                    )
+                    .with_domain(Interval::new(0.0, 2047.0)),
+                )
+                .constraint(AggConstraint::new(
+                    AggregateSpec::sum(ColRef::new("t", "x")),
+                    CmpOp::Ge,
+                    1.0,
+                ))
+                .build()
+                .unwrap();
+            (Executor::new(cat), q)
+        }
+        // Scores are x - 100 (clamped at 0), so with 2048 rows the sorted
+        // matrix has eight 256-row blocks with disjoint score bands.
+        let cells = [
+            vec![CellRange::Zero],
+            vec![CellRange::Open {
+                lo: 500.0,
+                hi: 600.0,
+            }],
+            // Spans block 2's whole band: exercises the full-block fold.
+            vec![CellRange::Open {
+                lo: 411.5,
+                hi: 668.5,
+            }],
+            // Beyond every score: every block is pruned.
+            vec![CellRange::Open {
+                lo: 5000.0,
+                hi: 5010.0,
+            }],
+        ];
+        let (mut e_on, q) = zsetup();
+        let mut on = CachedScoreEvaluator::new(&mut e_on, &q, &[5000.0]).unwrap();
+        let (mut e_off, _) = zsetup();
+        e_off.set_zone_pruning(false);
+        let mut off = CachedScoreEvaluator::new(&mut e_off, &q, &[5000.0]).unwrap();
+        assert_eq!(on.universe_size(), 2048);
+        for cell in &cells {
+            // SUM over floats: bitwise equality proves fold-order identity,
+            // not just set equality of the qualifying rows.
+            assert_eq!(
+                on.cell_aggregate(cell).unwrap().value(),
+                off.cell_aggregate(cell).unwrap().value(),
+                "cell {cell:?}"
+            );
+        }
+        let son = on.stats();
+        let soff = off.stats();
+        assert!(son.zones_pruned > 0, "pruning never fired: {son}");
+        assert!(son.zones_full > 0, "full-block fold never fired: {son}");
+        assert!(
+            son.tuples_scanned < soff.tuples_scanned,
+            "pruned path must scan strictly fewer tuples ({} vs {})",
+            son.tuples_scanned,
+            soff.tuples_scanned
+        );
+        assert_eq!(soff.zones_pruned, 0, "disabled path classifies nothing");
+        assert_eq!(soff.zones_full, 0);
+        assert_eq!(soff.zones_scanned, 0);
     }
 
     #[test]

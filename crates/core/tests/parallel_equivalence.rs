@@ -148,6 +148,7 @@ fn run_layer(
     cancel: &CancellationToken,
 ) -> Result<AcqOutcome, CoreError> {
     let mut exec = Executor::new(catalog());
+    exec.set_zone_pruning(cfg.zone_pruning);
     let mut query = query.clone();
     exec.populate_domains(&mut query).unwrap();
     let space = RefinedSpace::new(&query, cfg).unwrap();
@@ -225,6 +226,150 @@ fn budget_interrupts_are_identical_across_thread_counts() {
 }
 
 // ---------------------------------------------------------------------------
+// Zone-map pruning ablation
+// ---------------------------------------------------------------------------
+
+/// [`fingerprint`] minus `stats`: disabling zone pruning legitimately
+/// changes `tuples_scanned` and zeroes the zone counters, while every
+/// answer-bearing field must stay bit-identical between the two modes.
+fn outcome_fingerprint(out: &AcqOutcome) -> String {
+    let termination = match &out.termination {
+        Termination::Interrupted {
+            reason, explored, ..
+        } => format!("Interrupted(reason={reason:?}, explored={explored})"),
+        t => format!("{t:?}"),
+    };
+    format!(
+        "satisfied={} explored={} layers={} peak_store={} original={} \
+         termination={termination} closest={:?} answers={:?}",
+        out.satisfied,
+        out.explored,
+        out.layers,
+        out.peak_store,
+        bits(out.original_aggregate),
+        out.closest.as_ref().map(result_key),
+        out.queries.iter().map(result_key).collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn zone_pruning_ablation_is_bit_identical_across_thread_counts() {
+    for (query, delta) in [(ge_query(800.0), 0.05), (eq_query(801.0), 0.001)] {
+        let on_cfg = AcquireConfig::default().with_delta(delta);
+        let off_cfg = on_cfg.clone().with_zone_pruning(false);
+        let on = run(Layer::Cached, &query, &on_cfg);
+        let off = run(Layer::Cached, &query, &off_cfg);
+        // The answers must agree bit for bit; only the scan accounting may
+        // differ between the two modes.
+        assert_eq!(outcome_fingerprint(&on), outcome_fingerprint(&off));
+        // The ablation must be real: pruning engages and saves tuple work,
+        // and with pruning off the zone counters stay untouched.
+        assert!(on.stats.zones_pruned > 0, "{:?}", on.stats);
+        assert!(
+            on.stats.tuples_scanned < off.stats.tuples_scanned,
+            "{:?} vs {:?}",
+            on.stats,
+            off.stats
+        );
+        assert_eq!(off.stats.zones_pruned, 0);
+        assert_eq!(off.stats.zones_full, 0);
+        assert_eq!(off.stats.zones_scanned, 0);
+        // Within each mode the full fingerprint — stats included — is
+        // thread-count invariant.
+        let on_base = fingerprint(&on);
+        let off_base = fingerprint(&off);
+        for par in parallel_settings() {
+            let on_cfg = on_cfg.clone().with_parallelism(par);
+            let off_cfg = off_cfg.clone().with_parallelism(par);
+            assert_eq!(
+                fingerprint(&run(Layer::Cached, &query, &on_cfg)),
+                on_base,
+                "pruning on, {par:?}"
+            );
+            assert_eq!(
+                fingerprint(&run(Layer::Cached, &query, &off_cfg)),
+                off_base,
+                "pruning off, {par:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zone_pruning_ablation_holds_under_budgets_and_faults() {
+    let query = ge_query(800.0);
+
+    // Explored budgets that land mid-layer: the interrupt must strike the
+    // same logical cell in both modes and on every thread count.
+    for k in [1, 5, 40] {
+        let on_cfg =
+            AcquireConfig::default().with_budget(ExecutionBudget::unlimited().with_max_explored(k));
+        let off_cfg = on_cfg.clone().with_zone_pruning(false);
+        let on = run(Layer::Cached, &query, &on_cfg);
+        let off = run(Layer::Cached, &query, &off_cfg);
+        assert_eq!(
+            outcome_fingerprint(&on),
+            outcome_fingerprint(&off),
+            "budget {k}"
+        );
+        let on_base = fingerprint(&on);
+        let off_base = fingerprint(&off);
+        for par in [Parallelism::Fixed(4), Parallelism::Fixed(7)] {
+            let on_cfg = on_cfg.clone().with_parallelism(par);
+            let off_cfg = off_cfg.clone().with_parallelism(par);
+            assert_eq!(
+                fingerprint(&run(Layer::Cached, &query, &on_cfg)),
+                on_base,
+                "budget {k}, pruning on, {par:?}"
+            );
+            assert_eq!(
+                fingerprint(&run(Layer::Cached, &query, &off_cfg)),
+                off_base,
+                "budget {k}, pruning off, {par:?}"
+            );
+        }
+    }
+
+    // Deterministic fault schedules: coordinate-keyed faults strike the
+    // same cell whether or not its blocks were pruned, under both
+    // policies, and each mode stays thread-count invariant.
+    for seed in [2, 5, 9] {
+        let schedule = FaultSchedule::mixed(seed, 0.15, 0.1);
+        for policy in [FaultPolicy::BestEffort, FaultPolicy::Propagate] {
+            let on_cfg = AcquireConfig::default();
+            let off_cfg = on_cfg.clone().with_zone_pruning(false);
+            let key = |r: &Result<AcqOutcome, CoreError>| match r {
+                Ok(out) => format!("Ok({})", outcome_fingerprint(out)),
+                Err(e) => format!("Err({e:?})"),
+            };
+            let full_key = |r: &Result<AcqOutcome, CoreError>| match r {
+                Ok(out) => format!("Ok({})", fingerprint(out)),
+                Err(e) => format!("Err({e:?})"),
+            };
+            let on = run_faulted(&schedule, policy, &on_cfg);
+            let off = run_faulted(&schedule, policy, &off_cfg);
+            assert_eq!(key(&on), key(&off), "seed {seed}, {policy:?}");
+            let on_base = full_key(&on);
+            let off_base = full_key(&off);
+            for par in [Parallelism::Fixed(4), Parallelism::Fixed(7)] {
+                let on_cfg = on_cfg.clone().with_parallelism(par);
+                let off_cfg = off_cfg.clone().with_parallelism(par);
+                assert_eq!(
+                    full_key(&run_faulted(&schedule, policy, &on_cfg)),
+                    on_base,
+                    "seed {seed}, {policy:?}, pruning on, {par:?}"
+                );
+                assert_eq!(
+                    full_key(&run_faulted(&schedule, policy, &off_cfg)),
+                    off_base,
+                    "seed {seed}, {policy:?}, pruning off, {par:?}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fault injection
 // ---------------------------------------------------------------------------
 
@@ -235,6 +380,7 @@ fn run_faulted(
 ) -> Result<AcqOutcome, CoreError> {
     let query = ge_query(800.0);
     let mut exec = Executor::new(catalog());
+    exec.set_zone_pruning(cfg.zone_pruning);
     let mut query = query.clone();
     exec.populate_domains(&mut query).unwrap();
     let cfg = cfg.clone().with_fault_policy(policy);

@@ -13,16 +13,18 @@
 //! it (tuples violating them can never be admitted); refinable predicates
 //! keep every tuple within the search's per-dimension refinement caps.
 
-use acq_query::{AcqQuery, Interval, PredFunction};
+use acq_query::{AcqQuery, Interval, PredFunction, Predicate};
 
 use crate::aggregate::{AggState, UdaRegistry};
 use crate::catalog::Catalog;
+use crate::column::NumSlice;
 use crate::error::{EngineError, EngineResult};
 use crate::join::{band_join, hash_equi_join};
 use crate::relation::Relation;
 use crate::scoring::ResolvedQuery;
 use crate::stats::ExecStats;
 use crate::table::Table;
+use crate::zone::{classify, BlockClass, BlockStat, CellScan, ZONE_BLOCK};
 
 /// Default cap on materialised cross products (rows).
 pub const DEFAULT_CROSS_PRODUCT_LIMIT: u64 = 20_000_000;
@@ -73,6 +75,8 @@ pub struct Executor {
     uda: UdaRegistry,
     stats: ExecStats,
     cross_product_limit: u64,
+    /// Whether cell queries may use the zone-map pruned kernel path.
+    zone_pruning: bool,
     /// Human-readable trace of the most recent base-relation
     /// materialisation (scan prefilters, join order, band widths).
     last_plan: Vec<String>,
@@ -87,6 +91,7 @@ impl Executor {
             uda: UdaRegistry::new(),
             stats: ExecStats::default(),
             cross_product_limit: DEFAULT_CROSS_PRODUCT_LIMIT,
+            zone_pruning: true,
             last_plan: Vec::new(),
         }
     }
@@ -103,6 +108,26 @@ impl Executor {
     pub fn with_cross_product_limit(mut self, limit: u64) -> Self {
         self.cross_product_limit = limit;
         self
+    }
+
+    /// Enables or disables the zone-map pruned cell path (builder form).
+    /// Results are bit-identical either way; pruning only changes how much
+    /// work cell queries do.
+    #[must_use]
+    pub fn with_zone_pruning(mut self, on: bool) -> Self {
+        self.zone_pruning = on;
+        self
+    }
+
+    /// Enables or disables the zone-map pruned cell path.
+    pub fn set_zone_pruning(&mut self, on: bool) {
+        self.zone_pruning = on;
+    }
+
+    /// Whether the zone-map pruned cell path is enabled.
+    #[must_use]
+    pub fn zone_pruning(&self) -> bool {
+        self.zone_pruning
     }
 
     /// The catalog.
@@ -466,11 +491,18 @@ impl Executor {
         cell: &[CellRange],
     ) -> EngineResult<AggState> {
         self.stats.cell_queries += 1;
-        self.cell_aggregate_rows(rq, rel, cell, 0..rel.len())
+        let (state, scan) = self.cell_scan(rq, rel, cell)?;
+        self.commit_scan(&scan);
+        Ok(state)
     }
 
     /// Cell query restricted to candidate rows (used by index-backed
     /// evaluation layers, §7.4). Does not bump the cell-query counter.
+    ///
+    /// Every candidate is visited (and counted in `tuples_scanned`: the
+    /// index already pruned the rest), but when the kernel plan applies the
+    /// per-candidate predicate evaluation is skipped for candidates whose
+    /// zone block classifies as fully-outside or fully-inside the cell.
     pub fn cell_aggregate_rows(
         &mut self,
         rq: &ResolvedQuery,
@@ -479,8 +511,48 @@ impl Executor {
         rows: impl Iterator<Item = usize>,
     ) -> EngineResult<AggState> {
         assert_eq!(cell.len(), rq.dims(), "one range per flexible predicate");
-        let bound = rq.bind(rel)?;
         let mut state = AggState::empty(&rq.query.constraint.spec, &self.uda)?;
+        if self.zone_pruning {
+            if let Some(plan) = KernelPlan::build(rq, rel, cell) {
+                let mut scan = CellScan::default();
+                let nblocks = rel.tables()[0].num_rows().div_ceil(ZONE_BLOCK);
+                let mut classes: Vec<Option<BlockClass>> = vec![None; nblocks];
+                // Qualifying base rows in candidate order; folding them at
+                // the end preserves the scalar path's update order exactly.
+                let mut quals: Vec<u32> = Vec::new();
+                for row in rows {
+                    scan.tuples_scanned += 1;
+                    let base = rel.base_row(row, 0) as usize;
+                    let b = base / ZONE_BLOCK;
+                    let cls = match classes[b] {
+                        Some(c) => c,
+                        None => {
+                            let c = plan.classify_block(b);
+                            match c {
+                                BlockClass::Skip => scan.zones_pruned += 1,
+                                BlockClass::Full => scan.zones_full += 1,
+                                BlockClass::Scan => scan.zones_scanned += 1,
+                            }
+                            classes[b] = Some(c);
+                            c
+                        }
+                    };
+                    match cls {
+                        BlockClass::Skip => {}
+                        BlockClass::Full => quals.push(base as u32),
+                        BlockClass::Scan => {
+                            if plan.row_qualifies(base) {
+                                quals.push(base as u32);
+                            }
+                        }
+                    }
+                }
+                plan.fold_gather(&mut state, &quals);
+                self.commit_scan(&scan);
+                return Ok(state);
+            }
+        }
+        let bound = rq.bind(rel)?;
         let mut scores = vec![0.0; rq.dims()];
         let mut scanned = 0u64;
         for row in rows {
@@ -498,22 +570,50 @@ impl Executor {
 
     /// Shared-state variant of [`Executor::cell_aggregate`] for concurrent
     /// cell evaluation: takes `&self`, touches no work counters, and returns
-    /// the number of tuples scanned so the caller can account the work later
-    /// in a deterministic (commit) order. The scan itself is identical to
-    /// [`Executor::cell_aggregate`], so the returned state is bit-identical.
+    /// the scan accounting (tuples + zone-block classes) so the caller can
+    /// commit the work later in a deterministic (serial emission) order.
+    /// The scan itself is identical to [`Executor::cell_aggregate`], so the
+    /// returned state is bit-identical.
     pub fn cell_aggregate_shared(
         &self,
         rq: &ResolvedQuery,
         rel: &Relation,
         cell: &[CellRange],
-    ) -> EngineResult<(AggState, u64)> {
+    ) -> EngineResult<(AggState, CellScan)> {
+        self.cell_scan(rq, rel, cell)
+    }
+
+    /// The one cell-scan implementation behind both the serial and the
+    /// shared cell path: zone-map pruned kernels when the query shape
+    /// allows, the scalar row loop otherwise. Pure with respect to
+    /// `self.stats` — accounting is returned, not committed.
+    fn cell_scan(
+        &self,
+        rq: &ResolvedQuery,
+        rel: &Relation,
+        cell: &[CellRange],
+    ) -> EngineResult<(AggState, CellScan)> {
         assert_eq!(cell.len(), rq.dims(), "one range per flexible predicate");
-        let bound = rq.bind(rel)?;
         let mut state = AggState::empty(&rq.query.constraint.spec, &self.uda)?;
+        let mut scan = CellScan::default();
+        if self.zone_pruning {
+            if let Some(plan) = KernelPlan::build(rq, rel, cell) {
+                if rel.is_identity() {
+                    plan.scan_identity(rel.len(), &mut state, &mut scan);
+                    return Ok((state, scan));
+                }
+                if let Some(rows) = rel.single_table_rows() {
+                    plan.scan_rows(rows, &mut state, &mut scan);
+                    return Ok((state, scan));
+                }
+            }
+        }
+        // Scalar fallback: joins, categorical/string predicate columns, or
+        // pruning disabled.
+        let bound = rq.bind(rel)?;
         let mut scores = vec![0.0; rq.dims()];
-        let mut scanned = 0u64;
         for row in 0..rel.len() {
-            scanned += 1;
+            scan.tuples_scanned += 1;
             if !bound.score_into(rel, row, &mut scores) {
                 continue;
             }
@@ -521,7 +621,15 @@ impl Executor {
                 state.update(bound.agg_value(rel, row));
             }
         }
-        Ok((state, scanned))
+        Ok((state, scan))
+    }
+
+    /// Applies a cell scan's deferred accounting to the work counters.
+    fn commit_scan(&mut self, scan: &CellScan) {
+        self.stats.tuples_scanned += scan.tuples_scanned;
+        self.stats.zones_pruned += scan.zones_pruned;
+        self.stats.zones_full += scan.zones_full;
+        self.stats.zones_scanned += scan.zones_scanned;
     }
 
     /// Executes a **full refined query**: aggregates the tuples admitted
@@ -559,6 +667,180 @@ impl Executor {
     ) -> EngineResult<AggState> {
         let zeros = vec![0.0; rq.dims()];
         self.full_aggregate(rq, rel, &zeros)
+    }
+}
+
+/// One predicate of the kernel path, bound to its base-table column values
+/// and zone map, plus the cell range it must satisfy (`None` = NOREFINE).
+struct KernelDim<'a> {
+    pred: &'a Predicate,
+    vals: NumSlice<'a>,
+    zones: &'a [BlockStat],
+    range: Option<CellRange>,
+}
+
+/// The vectorised cell-query plan: applies when the relation is a single
+/// table and every predicate is a numeric attribute selection on it.
+/// Everything else (joins, categorical predicates, string columns) keeps
+/// the scalar path, which stays correct for all shapes.
+struct KernelPlan<'a> {
+    dims: Vec<KernelDim<'a>>,
+    /// Aggregate column values; `None` contributes `0.0` per qualifying row
+    /// (COUNT, or a non-numeric aggregate column), exactly like
+    /// [`BoundQuery::agg_value`](crate::scoring::BoundQuery::agg_value).
+    agg: Option<NumSlice<'a>>,
+}
+
+impl<'a> KernelPlan<'a> {
+    fn build(rq: &'a ResolvedQuery, rel: &'a Relation, cell: &[CellRange]) -> Option<Self> {
+        let plan = rq.single_table_plan(rel)?;
+        let table = &rel.tables()[0];
+        let mut dims = Vec::with_capacity(plan.cols.len());
+        let mut k = 0usize;
+        for (i, pred) in rq.query.predicates.iter().enumerate() {
+            let col = plan.cols[i];
+            let vals = table.column(col).num_slice()?;
+            let zones = table.zones(col).blocks();
+            let range = if pred.refinable {
+                let r = cell[k];
+                k += 1;
+                Some(r)
+            } else {
+                None
+            };
+            dims.push(KernelDim {
+                pred,
+                vals,
+                zones,
+                range,
+            });
+        }
+        debug_assert_eq!(k, cell.len());
+        let agg = plan.agg.and_then(|c| table.column(c).num_slice());
+        Some(Self { dims, agg })
+    }
+
+    /// Meet of the per-dimension block classes (short-circuits on `Skip`).
+    fn classify_block(&self, b: usize) -> BlockClass {
+        let mut cls = BlockClass::Full;
+        for d in &self.dims {
+            cls = cls.and(classify(d.pred, d.range.as_ref(), &d.zones[b]));
+            if cls == BlockClass::Skip {
+                return BlockClass::Skip;
+            }
+        }
+        cls
+    }
+
+    /// Whether one base row's score vector lies in the cell. Equivalent to
+    /// the scalar `score_into` + `CellRange::contains` chain: infinite
+    /// scores fail `contains` on flexible dimensions, and NOREFINE scores
+    /// are `0.0` exactly when finite.
+    #[inline]
+    fn row_qualifies(&self, row: usize) -> bool {
+        for d in &self.dims {
+            let s = d.pred.score_value(d.vals.get(row));
+            let ok = match &d.range {
+                Some(r) => r.contains(s),
+                None => s == 0.0,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Full cell scan over an identity (full-table) relation: walk zone
+    /// blocks in order, skipping, wholesale-aggregating or scanning each.
+    fn scan_identity(&self, n: usize, state: &mut AggState, scan: &mut CellScan) {
+        let mut sel: Vec<u32> = Vec::with_capacity(ZONE_BLOCK);
+        let mut start = 0usize;
+        let mut b = 0usize;
+        while start < n {
+            let end = (start + ZONE_BLOCK).min(n);
+            match self.classify_block(b) {
+                BlockClass::Skip => scan.zones_pruned += 1,
+                BlockClass::Full => {
+                    scan.zones_full += 1;
+                    self.fold_contig(state, start, end);
+                }
+                BlockClass::Scan => {
+                    scan.zones_scanned += 1;
+                    scan.tuples_scanned += (end - start) as u64;
+                    sel.clear();
+                    for r in start..end {
+                        if self.row_qualifies(r) {
+                            sel.push(r as u32);
+                        }
+                    }
+                    self.fold_gather(state, &sel);
+                }
+            }
+            start = end;
+            b += 1;
+        }
+    }
+
+    /// Full cell scan over a subset relation: group consecutive base rows
+    /// by zone block (prefilters keep row ids ascending, so each block is
+    /// one run) and classify each run once.
+    fn scan_rows(&self, rows: &[u32], state: &mut AggState, scan: &mut CellScan) {
+        let mut sel: Vec<u32> = Vec::with_capacity(ZONE_BLOCK);
+        let n = rows.len();
+        let mut i = 0usize;
+        while i < n {
+            let b = rows[i] as usize / ZONE_BLOCK;
+            let mut j = i + 1;
+            while j < n && rows[j] as usize / ZONE_BLOCK == b {
+                j += 1;
+            }
+            let run = &rows[i..j];
+            match self.classify_block(b) {
+                BlockClass::Skip => scan.zones_pruned += 1,
+                BlockClass::Full => {
+                    scan.zones_full += 1;
+                    self.fold_gather(state, run);
+                }
+                BlockClass::Scan => {
+                    scan.zones_scanned += 1;
+                    scan.tuples_scanned += run.len() as u64;
+                    sel.clear();
+                    for &r in run {
+                        if self.row_qualifies(r as usize) {
+                            sel.push(r);
+                        }
+                    }
+                    self.fold_gather(state, &sel);
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// Folds the contiguous base rows `start..end` into the aggregate, in
+    /// row order — bit-identical to per-row `update` calls.
+    fn fold_contig(&self, state: &mut AggState, start: usize, end: usize) {
+        if let AggState::Count(c) = state {
+            // COUNT is associative over u64 exactly, so a full block folds
+            // in O(1); value aggregates keep the per-row fold order.
+            *c += (end - start) as u64;
+        } else if let Some(vals) = self.agg {
+            state.update_many((start..end).map(|r| vals.get(r)));
+        } else {
+            state.update_many((start..end).map(|_| 0.0));
+        }
+    }
+
+    /// Folds the given base rows into the aggregate, in slice order.
+    fn fold_gather(&self, state: &mut AggState, rows: &[u32]) {
+        if let AggState::Count(c) = state {
+            *c += rows.len() as u64;
+        } else if let Some(vals) = self.agg {
+            state.update_many(rows.iter().map(|&r| vals.get(r as usize)));
+        } else {
+            state.update_many(rows.iter().map(|_| 0.0));
+        }
     }
 }
 
@@ -823,6 +1105,156 @@ mod tests {
         assert!(plan.contains("scan a:"), "{plan}");
         assert!(plan.contains("scan b:"), "{plan}");
         assert!(plan.contains("hash join on a.k = b.k"), "{plan}");
+    }
+
+    /// 5000 sorted rows: zone blocks carry tight value bands, so the
+    /// pruned path must skip whole blocks yet return bit-identical states.
+    fn sorted_catalog() -> Catalog {
+        let mut b = TableBuilder::new("t", vec![Field::new("y", DataType::Float)]).unwrap();
+        for i in 0..5000 {
+            b.push_row(vec![Value::Float(i as f64)]);
+        }
+        let mut c = Catalog::new();
+        c.register(b.finish().unwrap()).unwrap();
+        c
+    }
+
+    fn sorted_query(spec: AggregateSpec) -> AcqQuery {
+        AcqQuery::builder()
+            .table("t")
+            .predicate(Predicate::select(
+                ColRef::new("t", "y"),
+                Interval::new(0.0, 100.0),
+                RefineSide::Upper,
+            ))
+            .constraint(AggConstraint::new(spec, CmpOp::Ge, 1.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zone_pruned_cells_match_scalar_and_prune() {
+        let mut ex = Executor::new(sorted_catalog());
+        let rq = ex.resolve(&sorted_query(AggregateSpec::count())).unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        let cells = [
+            vec![CellRange::Zero],
+            vec![CellRange::Open { lo: 0.0, hi: 100.0 }],
+            vec![CellRange::Open {
+                lo: 100.0,
+                hi: 200.0,
+            }],
+        ];
+        for cell in &cells {
+            ex.set_zone_pruning(true);
+            ex.reset_stats();
+            let on = ex.cell_aggregate(&rq, &rel, cell).unwrap();
+            let s_on = ex.stats();
+            ex.set_zone_pruning(false);
+            ex.reset_stats();
+            let off = ex.cell_aggregate(&rq, &rel, cell).unwrap();
+            let s_off = ex.stats();
+            assert_eq!(on.value(), off.value());
+            assert!(s_on.zones_pruned > 0, "expected pruning for {cell:?}");
+            assert!(
+                s_on.tuples_scanned < s_off.tuples_scanned,
+                "{cell:?}: {} !< {}",
+                s_on.tuples_scanned,
+                s_off.tuples_scanned
+            );
+            // The scalar path reports no zone activity at all.
+            assert_eq!(
+                s_off.zones_pruned + s_off.zones_full + s_off.zones_scanned,
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn zone_full_blocks_fold_sums_bit_identically() {
+        let mut ex = Executor::new(sorted_catalog());
+        let rq = ex
+            .resolve(&sorted_query(AggregateSpec::sum(ColRef::new("t", "y"))))
+            .unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        // Band (0, 2000] covers values (100, 2100]: block [1024, 2047] is
+        // fully inside and must be folded wholesale.
+        let cell = vec![CellRange::Open {
+            lo: 0.0,
+            hi: 2000.0,
+        }];
+        ex.set_zone_pruning(true);
+        ex.reset_stats();
+        let on = ex.cell_aggregate(&rq, &rel, &cell).unwrap();
+        let s_on = ex.stats();
+        ex.set_zone_pruning(false);
+        let off = ex.cell_aggregate(&rq, &rel, &cell).unwrap();
+        assert_eq!(s_on.zones_full, 1);
+        assert!(s_on.zones_pruned >= 2);
+        // f64 sums in identical fold order are bit-identical.
+        assert_eq!(on.value(), off.value());
+    }
+
+    #[test]
+    fn zone_pruning_handles_subset_relations() {
+        let mut ex = Executor::new(sorted_catalog());
+        let rq = ex.resolve(&sorted_query(AggregateSpec::count())).unwrap();
+        // Cap 1000%: prefilter keeps y <= 1100 (a subset relation).
+        let rel = ex.base_relation(&rq, &[1000.0]).unwrap();
+        assert!(!rel.is_identity());
+        assert_eq!(rel.len(), 1101);
+        let cell = vec![CellRange::Open { lo: 0.0, hi: 500.0 }];
+        ex.set_zone_pruning(true);
+        ex.reset_stats();
+        let on = ex.cell_aggregate(&rq, &rel, &cell).unwrap();
+        let s_on = ex.stats();
+        ex.set_zone_pruning(false);
+        let off = ex.cell_aggregate(&rq, &rel, &cell).unwrap();
+        assert_eq!(on.value(), off.value());
+        assert_eq!(on.value(), Some(500.0)); // y in (100, 600]
+        assert!(s_on.zones_pruned > 0);
+        assert!(s_on.tuples_scanned < rel.len() as u64);
+    }
+
+    #[test]
+    fn shared_cell_scan_matches_serial_with_zone_accounting() {
+        let mut ex = Executor::new(sorted_catalog());
+        let rq = ex.resolve(&sorted_query(AggregateSpec::count())).unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        let cell = vec![CellRange::Zero];
+        ex.reset_stats();
+        let serial = ex.cell_aggregate(&rq, &rel, &cell).unwrap();
+        let s = ex.stats();
+        let (shared, scan) = ex.cell_aggregate_shared(&rq, &rel, &cell).unwrap();
+        assert_eq!(serial.value(), shared.value());
+        assert_eq!(scan.tuples_scanned, s.tuples_scanned);
+        assert_eq!(scan.zones_pruned, s.zones_pruned);
+        assert_eq!(scan.zones_full, s.zones_full);
+        assert_eq!(scan.zones_scanned, s.zones_scanned);
+    }
+
+    #[test]
+    fn candidate_rows_use_zone_classes() {
+        let mut ex = Executor::new(sorted_catalog());
+        let rq = ex.resolve(&sorted_query(AggregateSpec::count())).unwrap();
+        let rel = ex.base_relation(&rq, &[f64::INFINITY]).unwrap();
+        let cell = vec![CellRange::Zero];
+        // Candidates spanning a straddling block (0) and a skip block (4).
+        let candidates: Vec<usize> = vec![0, 50, 100, 101, 4500];
+        ex.reset_stats();
+        let a = ex
+            .cell_aggregate_rows(&rq, &rel, &cell, candidates.clone().into_iter())
+            .unwrap();
+        let s = ex.stats();
+        assert_eq!(a.value(), Some(3.0)); // y in {0, 50, 100}
+        assert_eq!(s.tuples_scanned, candidates.len() as u64);
+        assert_eq!(s.zones_scanned, 1);
+        assert_eq!(s.zones_pruned, 1);
+        ex.set_zone_pruning(false);
+        let b = ex
+            .cell_aggregate_rows(&rq, &rel, &cell, candidates.into_iter())
+            .unwrap();
+        assert_eq!(a.value(), b.value());
     }
 
     #[test]

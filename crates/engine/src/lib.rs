@@ -20,6 +20,11 @@
 //!   and registered user-defined aggregates);
 //! * the §7.4 bitmap grid index ([`index::BitmapGridIndex`]) that lets an
 //!   evaluation layer skip empty cells without executing them;
+//! * per-column block min/max **zone maps** built at table load time
+//!   ([`zone`]): the cell path classifies each block against the cell's
+//!   score band as skip / fully-inside / straddling, so most tuples are
+//!   never read ([`ExecStats`] reports `zones_pruned` / `zones_full` /
+//!   `zones_scanned`);
 //! * [`ExecStats`] work counters (queries issued, tuples scanned, rows
 //!   joined) so experiments can report machine-independent costs.
 //!
@@ -45,6 +50,7 @@ mod scoring;
 mod stats;
 mod table;
 mod value;
+pub mod zone;
 
 pub use aggregate::{AggState, SumSquares, UdaRegistry, UdaState};
 pub use catalog::Catalog;
@@ -59,3 +65,4 @@ pub use scoring::{BoundQuery, ResolvedQuery};
 pub use stats::ExecStats;
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Value};
+pub use zone::{BlockClass, BlockStat, CellScan, ColumnZones, ZONE_BLOCK};

@@ -8,6 +8,7 @@ use crate::column::ColumnData;
 use crate::error::{EngineError, EngineResult};
 use crate::schema::{Field, Schema};
 use crate::value::Value;
+use crate::zone::ColumnZones;
 
 /// An immutable in-memory table.
 #[derive(Debug, Clone)]
@@ -15,6 +16,7 @@ pub struct Table {
     name: String,
     schema: Arc<Schema>,
     columns: Vec<ColumnData>,
+    zones: Vec<ColumnZones>,
     rows: usize,
 }
 
@@ -51,10 +53,14 @@ impl Table {
                 });
             }
         }
+        // Zone maps are built once at load time; tables are immutable so
+        // the stats can never go stale.
+        let zones = columns.iter().map(ColumnZones::build).collect();
         Ok(Self {
             name,
             schema: Arc::new(schema),
             columns,
+            zones,
             rows,
         })
     }
@@ -87,6 +93,14 @@ impl Table {
     #[must_use]
     pub fn column_by_name(&self, name: &str) -> Option<&ColumnData> {
         self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Zone map (per-block min/max statistics) for the column at `idx`,
+    /// built at load time over [`crate::zone::ZONE_BLOCK`]-row blocks.
+    /// Empty for string columns.
+    #[must_use]
+    pub fn zones(&self, idx: usize) -> &ColumnZones {
+        &self.zones[idx]
     }
 
     /// Value at `(row, col)`.

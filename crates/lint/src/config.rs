@@ -18,6 +18,7 @@
 //! [obs-discipline]
 //! worker_paths = ["crates/core/src/pool.rs"]
 //! commit_paths = ["crates/serve/src/telemetry.rs"]
+//! zone_stat_paths = ["crates/engine/src/zone.rs"]
 //! ```
 
 use std::collections::BTreeMap;
@@ -43,6 +44,10 @@ pub struct Config {
     /// Instrument-commit-path files where blocking I/O and lock acquisition
     /// need `commit-io-ok`.
     pub commit_paths: Vec<String>,
+    /// The only files allowed to mutate the zone-map counters
+    /// (`zones_pruned`/`zones_full`/`zones_scanned`): the serial emission
+    /// path plus the pure scan accounting it commits from.
+    pub zone_stat_paths: Vec<String>,
 }
 
 fn prefix_match(prefixes: &[String], rel_path: &str) -> bool {
@@ -86,6 +91,12 @@ impl Config {
     #[must_use]
     pub fn is_commit_path(&self, rel_path: &str) -> bool {
         prefix_match(&self.commit_paths, rel_path)
+    }
+
+    /// Whether `rel_path` may mutate the zone-map counters.
+    #[must_use]
+    pub fn is_zone_stat_path(&self, rel_path: &str) -> bool {
+        prefix_match(&self.zone_stat_paths, rel_path)
     }
 
     /// Parses the configuration text, rejecting unknown sections, unknown
@@ -138,6 +149,7 @@ impl Config {
                 ("determinism", "sleep_allowed") => cfg.sleep_allowed = values,
                 ("obs-discipline", "worker_paths") => cfg.worker_paths = values,
                 ("obs-discipline", "commit_paths") => cfg.commit_paths = values,
+                ("obs-discipline", "zone_stat_paths") => cfg.zone_stat_paths = values,
                 (s, k) => return Err(format!("line {lineno}: unknown key {k:?} in [{s}]")),
             }
         }
@@ -235,7 +247,8 @@ mod tests {
              \n\
              [obs-discipline]\n\
              worker_paths = [\"crates/core/src/pool.rs\"]\n\
-             commit_paths = [\"crates/serve/src/telemetry.rs\"]\n",
+             commit_paths = [\"crates/serve/src/telemetry.rs\"]\n\
+             zone_stat_paths = [\"crates/engine/src/zone.rs\"]\n",
         )
         .unwrap();
         assert!(cfg.allows("panic-hygiene", "crates/compat/rand/src/lib.rs"));
@@ -246,6 +259,8 @@ mod tests {
         assert!(cfg.is_worker_path("crates/core/src/pool.rs"));
         assert!(cfg.is_commit_path("crates/serve/src/telemetry.rs"));
         assert!(!cfg.is_commit_path("crates/serve/src/server.rs"));
+        assert!(cfg.is_zone_stat_path("crates/engine/src/zone.rs"));
+        assert!(!cfg.is_zone_stat_path("crates/engine/src/executor.rs"));
     }
 
     #[test]

@@ -263,6 +263,11 @@ pub struct Metrics {
     /// Deterministic: Expand batch size distribution.
     pub batch_cells: Histogram,
     workers: Vec<WorkerStats>,
+    /// Accumulated engine work counters (`ExecStats` fields, including the
+    /// zone-map counters) summed across every absorbed per-query snapshot,
+    /// keyed by field name in first-seen order. This is what lets a
+    /// process-scoped `/metrics` scrape surface `acq_exec_*_total` lines.
+    exec_stats: std::sync::Mutex<Vec<(String, u64)>>,
 }
 
 impl Default for Metrics {
@@ -293,7 +298,16 @@ impl Metrics {
             cell_latency_ns: Histogram::new(LATENCY_BUCKETS_NS),
             batch_cells: Histogram::new(BATCH_BUCKETS),
             workers: (0..MAX_WORKERS).map(|_| WorkerStats::default()).collect(),
+            exec_stats: std::sync::Mutex::new(Vec::new()),
         }
+    }
+
+    /// The accumulated engine work counters, in first-seen field order.
+    pub fn exec_stat_values(&self) -> Vec<(String, u64)> {
+        self.exec_stats
+            .lock()
+            .map(|g| g.clone())
+            .unwrap_or_default()
     }
 
     /// Records one speculative cell execution by worker `w`, stolen or not.
@@ -356,10 +370,10 @@ impl Metrics {
     /// This is how `acq-serve` aggregates: each request runs against its own
     /// per-query [`crate::Obs`] handle (so `/trace/<id>` and explain profiles
     /// stay per-query), and at completion the query's snapshot is absorbed
-    /// into one process-scoped registry scraped by `/metrics`. Counters and
-    /// histogram buckets add; gauges keep the maximum seen across runs, which
-    /// preserves the peak semantics (`store_peak`) and gives "worst run so
-    /// far" for the rest.
+    /// into one process-scoped registry scraped by `/metrics`. Counters,
+    /// engine work counters (`exec_stats`) and histogram buckets add; gauges
+    /// keep the maximum seen across runs, which preserves the peak semantics
+    /// (`store_peak`) and gives "worst run so far" for the rest.
     pub fn absorb_snapshot(&self, snap: &crate::snapshot::MetricsSnapshot) {
         for &(name, v) in &snap.counters {
             match name {
@@ -397,6 +411,14 @@ impl Metrics {
             let slot = &self.workers[w.min(MAX_WORKERS - 1)];
             slot.cells.add(cells);
             slot.steals.add(steals);
+        }
+        if let Ok(mut acc) = self.exec_stats.lock() {
+            for (name, v) in &snap.exec_stats {
+                match acc.iter_mut().find(|(k, _)| k == name) {
+                    Some((_, total)) => *total += v,
+                    None => acc.push((name.clone(), *v)),
+                }
+            }
         }
     }
 }
@@ -485,6 +507,30 @@ mod tests {
         assert_eq!(process.cell_latency_ns.count(), 2);
         assert_eq!(process.worker_tallies(), vec![(1, 2, 2)]);
         assert_eq!(process.worker_steals.get(), 2);
+    }
+
+    #[test]
+    fn absorb_snapshot_accumulates_exec_stats() {
+        let per_query = Metrics::new();
+        let snap = crate::snapshot::MetricsSnapshot::capture(
+            &per_query,
+            0,
+            vec![
+                ("tuples_scanned".to_string(), 100),
+                ("zones_pruned".to_string(), 7),
+            ],
+            vec![],
+        );
+        let process = Metrics::new();
+        process.absorb_snapshot(&snap);
+        process.absorb_snapshot(&snap);
+        assert_eq!(
+            process.exec_stat_values(),
+            vec![
+                ("tuples_scanned".to_string(), 200),
+                ("zones_pruned".to_string(), 14),
+            ]
+        );
     }
 
     #[test]

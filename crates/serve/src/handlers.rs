@@ -67,8 +67,12 @@ pub fn handle(state: &Arc<ServerState>, req: &Request, peer: Option<IpAddr>) -> 
 /// and registry occupancy, as one Prometheus text document.
 fn render_metrics(state: &Arc<ServerState>) -> String {
     let now = state.now();
-    let snap =
-        acq_obs::MetricsSnapshot::capture(&state.metrics, now.as_millis() as u64, vec![], vec![]);
+    let snap = acq_obs::MetricsSnapshot::capture(
+        &state.metrics,
+        now.as_millis() as u64,
+        state.metrics.exec_stat_values(),
+        vec![],
+    );
     let mut s = snap.to_prometheus();
     s.push_str(&state.telemetry.render_prometheus(now));
     let (running, completed, dropped) = state.registry.counts();
