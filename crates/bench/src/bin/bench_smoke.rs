@@ -32,30 +32,44 @@
 //! `zones_pruned > 0` and a strict `tuples_scanned` reduction — the row CI's
 //! `prune-smoke` step gates on — plus `"speedup_gate"`, which records
 //! whether the parallel-speedup gate was evaluated or skipped for lack of
-//! cores (so a single-core baseline is self-describing). Baselines are
-//! versioned per PR (`BENCH_PR<n>.json`, see `BENCH_TRAJECTORY.md`); the
-//! parser accepts any version.
+//! cores (so a single-core baseline is self-describing). Version 6 adds
+//! `"recorder_overhead"`: the same workload run with the live-progress path
+//! fully armed — a `ProgressSink` attached to the driver and a
+//! `FlightRecorder` sampling the process metrics at its default cadence —
+//! versus an identical recorder-less run. Like `obs_overhead`, the row is a
+//! trend record; the hard <2% gate lives in the test suite where it can
+//! retry (`crates/core/tests/observability.rs`). Baselines are versioned
+//! per PR (`BENCH_PR<n>.json`, see `BENCH_TRAJECTORY.md`); the parser
+//! accepts any version.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use acq_bench::{count_workload, measure, run_technique, Technique, WorkloadSpec};
 use acq_engine::Executor;
-use acq_obs::{Metrics, QueryRegistry, QuerySummary};
+use acq_obs::{
+    FlightRecorder, Metrics, QueryRegistry, QuerySummary, DEFAULT_RECORDER_CADENCE,
+    DEFAULT_RECORDER_CAPACITY,
+};
 use acq_serve::{ServeConfig, Server};
-use acquire_core::{run_acquire_observed, AcquireConfig, EvalLayerKind, Obs};
+use acquire_core::{
+    run_acquire_observed, run_acquire_progress, AcquireConfig, CancellationToken, EvalLayerKind,
+    Obs, ProgressSink, DEFAULT_PROGRESS_CAPACITY,
+};
 
 /// Report format version. v2 added `pr`, `obs_overhead` and the embedded
 /// `metrics` snapshot; v3 added `serve_overhead`; v4 added `overload`; v5
-/// adds `pruning` (zone-map ablation) and `speedup_gate`. The baseline
-/// parser accepts older reports too.
-const REPORT_VERSION: u64 = 5;
+/// added `pruning` (zone-map ablation) and `speedup_gate`; v6 adds
+/// `recorder_overhead` (progress sink + flight recorder armed). The
+/// baseline parser accepts older reports too.
+const REPORT_VERSION: u64 = 6;
 /// The PR whose baseline this binary emits (`BENCH_PR<n>.json`).
-const BASELINE_PR: u64 = 7;
+const BASELINE_PR: u64 = 8;
 /// How much slower than the (calibration-scaled) baseline a workload may
 /// get before the check fails.
 const REGRESSION_FACTOR: f64 = 1.2;
@@ -333,6 +347,92 @@ fn observed_run(spec: &WorkloadSpec) -> ObsReport {
     }
 }
 
+/// Wall-clock comparison of a plain instrumented run against one with the
+/// full live-progress path armed: a [`ProgressSink`] fed from the driver's
+/// layer-boundary commits plus a [`FlightRecorder`] sampling the process
+/// metrics at its default cadence.
+struct RecorderReport {
+    plain_ms: f64,
+    recorded_ms: f64,
+    /// Layer-boundary events the sink captured on the final run.
+    events: u64,
+    /// Samples the recorder's background thread took while runs were live.
+    samples: u64,
+}
+
+impl RecorderReport {
+    fn overhead_pct(&self) -> f64 {
+        (self.recorded_ms / self.plain_ms - 1.0) * 100.0
+    }
+}
+
+/// Runs one workload serially with metrics enabled (the recorder-less
+/// baseline), then identically with a progress sink attached and a flight
+/// recorder running at [`DEFAULT_RECORDER_CADENCE`] over a process-scoped
+/// [`Metrics`] that absorbs each run's snapshot — i.e. exactly what an
+/// `acq-serve` request pays when someone is watching `/timeseries` and
+/// `/query/<id>/progress`. Best-of-3 each; asserts the sink saw a strictly
+/// monotone stream ending in a terminal event.
+fn recorder_run(spec: &WorkloadSpec) -> RecorderReport {
+    let workload = count_workload(spec);
+    let cfg = AcquireConfig::default();
+    let kind = EvalLayerKind::CachedScore;
+    let process_metrics = Arc::new(Metrics::new());
+    let recorder = FlightRecorder::start(
+        Arc::clone(&process_metrics),
+        DEFAULT_RECORDER_CADENCE,
+        DEFAULT_RECORDER_CAPACITY,
+    );
+
+    let mut plain_ms = f64::INFINITY;
+    let mut recorded_ms = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..3 {
+        let obs = Obs::enabled();
+        let mut exec = Executor::new(workload.catalog.clone());
+        let (out, ms) =
+            measure(|| run_acquire_observed(&mut exec, &workload.query, &cfg, kind, &obs));
+        out.expect("recorder-less run");
+        plain_ms = plain_ms.min(ms);
+
+        let obs = Obs::enabled();
+        let sink = ProgressSink::new(DEFAULT_PROGRESS_CAPACITY);
+        let mut exec = Executor::new(workload.catalog.clone());
+        let (out, ms) = measure(|| {
+            run_acquire_progress(
+                &mut exec,
+                &workload.query,
+                &cfg,
+                kind,
+                &CancellationToken::new(),
+                &obs,
+                Some(&sink),
+            )
+        });
+        let out = out.expect("recorded run");
+        recorded_ms = recorded_ms.min(ms);
+        process_metrics.absorb_snapshot(&obs.snapshot().expect("enabled handle"));
+
+        let (stream, _, missed) = sink.drain_from(0);
+        assert_eq!(missed, 0, "default capacity must hold the whole stream");
+        assert!(
+            stream.windows(2).all(|w| w[0].explored < w[1].explored),
+            "progress stream not strictly monotone"
+        );
+        let last = stream.last().expect("at least the terminal event");
+        assert!(last.terminal, "stream must end with the terminal event");
+        assert_eq!(last.explored, out.explored, "terminal totals disagree");
+        events = stream.len() as u64;
+    }
+    recorder.sample_now();
+    RecorderReport {
+        plain_ms,
+        recorded_ms,
+        events,
+        samples: recorder.len() as u64,
+    }
+}
+
 /// Wall-clock comparison of a bare library run against the serve crate's
 /// per-request path.
 struct ServeReport {
@@ -547,6 +647,7 @@ fn render_json(
     rows: &[WorkloadReport],
     prune: &PruneReport,
     obs: &ObsReport,
+    recorder: &RecorderReport,
     serve: &ServeReport,
     overload: &OverloadReport,
 ) -> String {
@@ -622,6 +723,19 @@ fn render_json(
         obs.plain_ms,
         obs.observed_ms,
         obs.overhead_pct(),
+    );
+    // Progress sink + flight recorder armed, like obs_overhead a trend row:
+    // the <2% hard gate is the retrying test in
+    // crates/core/tests/observability.rs.
+    let _ = writeln!(
+        s,
+        "  \"recorder_overhead\": {{ \"plain_ms\": {:.3}, \"recorded_ms\": {:.3}, \
+         \"overhead_pct\": {:.2}, \"events\": {}, \"samples\": {} }},",
+        recorder.plain_ms,
+        recorder.recorded_ms,
+        recorder.overhead_pct(),
+        recorder.events,
+        recorder.samples,
     );
     let _ = writeln!(
         s,
@@ -799,6 +913,17 @@ fn main() -> ExitCode {
         obs.overhead_pct(),
     );
 
+    // Live-progress run on the same shape: progress sink attached, flight
+    // recorder sampling at its default cadence.
+    let recorder = recorder_run(&WorkloadSpec::new(10_000, 3, 0.3));
+    println!(
+        "recorder        plain {:8.1}ms  recorded {:8.1}ms  overhead {:+.2}%  ({} events)",
+        recorder.plain_ms,
+        recorder.recorded_ms,
+        recorder.overhead_pct(),
+        recorder.events,
+    );
+
     // Serve-mode run on the same shape: the fixed per-request price of the
     // query registry, per-query trace and process-metrics fold.
     let serve = serve_mode_run(&WorkloadSpec::new(10_000, 3, 0.3));
@@ -830,6 +955,7 @@ fn main() -> ExitCode {
         &rows,
         &prune,
         &obs,
+        &recorder,
         &serve,
         &overload,
     );

@@ -39,6 +39,7 @@ use crate::expand::{BestFirstExpander, BfsExpander, Expander, LinfExpander};
 use crate::explore::Explorer;
 use crate::govern::{CancellationToken, FaultPolicy, Governor, InterruptReason, Termination};
 use crate::pool::{self, CellOutcome};
+use crate::progress::{ProgressEvent, ProgressSink};
 use crate::repartition::repartition;
 use crate::result::{AcqOutcome, RefinedQueryResult};
 use crate::space::{GridPoint, RefinedSpace};
@@ -118,6 +119,26 @@ pub fn acquire_observed<E: EvaluationLayer>(
     cancel: &CancellationToken,
     obs: &Obs,
 ) -> Result<AcqOutcome, CoreError> {
+    acquire_progress(eval, query, cfg, cancel, obs, None)
+}
+
+/// [`acquire_observed`] with an optional live [`ProgressSink`].
+///
+/// With a sink attached the driver emits a [`ProgressEvent`] at every
+/// serial layer-boundary commit and one terminal event when the search
+/// ends. Emission is **observational only**: the sink is wait-free
+/// (try-push, drop-counted — a slow or absent reader costs the commit path
+/// nothing), no event ever feeds back into the search, and the outcome is
+/// bit-identical to a run without the sink for every thread count. With
+/// `None` this *is* [`acquire_observed`].
+pub fn acquire_progress<E: EvaluationLayer>(
+    eval: &mut E,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+    cancel: &CancellationToken,
+    obs: &Obs,
+    progress: Option<&ProgressSink>,
+) -> Result<AcqOutcome, CoreError> {
     cfg.validate()?;
     query.validate_with_norm(&cfg.norm)?;
     let space = RefinedSpace::new(query, cfg)?;
@@ -178,6 +199,11 @@ pub fn acquire_observed<E: EvaluationLayer>(
     let explored_limit = cfg
         .max_explored
         .min(cfg.budget.max_explored.unwrap_or(u64::MAX));
+    // Progress plumbing: the run clock exists only when a sink is attached
+    // and feeds `elapsed_ms` alone — events never branch the search.
+    // lint-allow(determinism): progress timestamps only; never branches the search
+    let progress_start = progress.map(|_| Instant::now());
+    let progress_query_id = obs.query_id().unwrap_or(0);
     // Last layer traced as an expand event: serial mode produces one
     // single-query batch per grid point, which would flood the trace with
     // identical lines; multi-cell batches always trace.
@@ -284,6 +310,22 @@ pub fn acquire_observed<E: EvaluationLayer>(
                     explorer.evict_below(min);
                 }
                 current_layer = layer;
+                // The serial layer-boundary commit: the one place mid-run
+                // progress is emitted. `explored` is strictly monotone
+                // across these events — at least one cell commits between
+                // consecutive boundaries.
+                if let (Some(sink), Some(start)) = (progress, progress_start) {
+                    sink.try_push(ProgressEvent {
+                        query_id: progress_query_id,
+                        layer,
+                        explored,
+                        frontier: batch.len() as u64,
+                        store_bytes: explorer.store().approx_bytes() as u64,
+                        zones_pruned: eval.stats().zones_pruned,
+                        elapsed_ms: start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+                        terminal: false,
+                    });
+                }
             }
             let (computed, cell_ns) = match prefetched.as_mut().and_then(|slots| slots[i].take()) {
                 Some(CellOutcome::Done(cell_state, cost, nanos)) => {
@@ -432,6 +474,18 @@ pub fn acquire_observed<E: EvaluationLayer>(
         None => Termination::Exhausted,
     };
     let stats = eval.stats();
+    if let (Some(sink), Some(start)) = (progress, progress_start) {
+        sink.try_push(ProgressEvent {
+            query_id: progress_query_id,
+            layer: current_layer,
+            explored,
+            frontier: 0,
+            store_bytes: explorer.store().approx_bytes() as u64,
+            zones_pruned: stats.zones_pruned,
+            elapsed_ms: start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+            terminal: true,
+        });
+    }
     if obs.is_enabled() {
         obs.record_exec_stats(&stats.fields());
         let (termination, n_answers) = (&termination, answers.len());
@@ -524,6 +578,23 @@ pub fn run_acquire_cancellable(
     cancel: &CancellationToken,
     obs: &Obs,
 ) -> Result<AcqOutcome, CoreError> {
+    run_acquire_progress(exec, query, cfg, kind, cancel, obs, None)
+}
+
+/// [`run_acquire_cancellable`] with an optional live [`ProgressSink`]: the
+/// entry point for hosts (the serve binary, the CLI's `--progress`) that
+/// stream the refinement trajectory while the search runs. With `None`
+/// this *is* [`run_acquire_cancellable`]; see [`acquire_progress`] for the
+/// emission contract.
+pub fn run_acquire_progress(
+    exec: &mut Executor,
+    query: &AcqQuery,
+    cfg: &AcquireConfig,
+    kind: EvalLayerKind,
+    cancel: &CancellationToken,
+    obs: &Obs,
+    progress: Option<&ProgressSink>,
+) -> Result<AcqOutcome, CoreError> {
     let mut query = query.clone();
     exec.populate_domains(&mut query)?;
     let space = RefinedSpace::new(&query, cfg)?;
@@ -533,16 +604,16 @@ pub fn run_acquire_cancellable(
     match kind {
         EvalLayerKind::Scan => {
             let mut eval = ScanEvaluator::new(exec, &query, &caps)?;
-            acquire_observed(&mut eval, &query, cfg, &cancel, obs)
+            acquire_progress(&mut eval, &query, cfg, &cancel, obs, progress)
         }
         EvalLayerKind::CachedScore => {
             let mut eval = CachedScoreEvaluator::with_threads(exec, &query, &caps, cfg.threads)?;
-            acquire_observed(&mut eval, &query, cfg, &cancel, obs)
+            acquire_progress(&mut eval, &query, cfg, &cancel, obs, progress)
         }
         EvalLayerKind::GridIndex => {
             let mut eval =
                 GridIndexEvaluator::with_threads(exec, &query, &caps, space.step(), cfg.threads)?;
-            acquire_observed(&mut eval, &query, cfg, &cancel, obs)
+            acquire_progress(&mut eval, &query, cfg, &cancel, obs, progress)
         }
     }
 }

@@ -65,6 +65,7 @@ pub mod fault;
 pub mod govern;
 mod pool;
 pub mod profile;
+pub mod progress;
 mod repartition;
 mod result;
 mod session;
@@ -78,8 +79,8 @@ pub use contraction::{
     contract, contract_with, contraction_query, run_contraction, run_contraction_with,
 };
 pub use driver::{
-    acquire, acquire_observed, acquire_with, run_acquire, run_acquire_cancellable,
-    run_acquire_observed,
+    acquire, acquire_observed, acquire_progress, acquire_with, run_acquire,
+    run_acquire_cancellable, run_acquire_observed, run_acquire_progress,
 };
 pub use error::CoreError;
 pub use estimate::HistogramEstimator;
@@ -90,6 +91,7 @@ pub use eval::{
 pub use fault::{FaultInjectingLayer, FaultSchedule};
 pub use govern::{CancellationToken, ExecutionBudget, FaultPolicy, InterruptReason, Termination};
 pub use profile::ExplainProfile;
+pub use progress::{ProgressEvent, ProgressSink, DEFAULT_PROGRESS_CAPACITY};
 pub use repartition::repartition;
 pub use result::{AcqOutcome, RefinedQueryResult};
 pub use session::Session;

@@ -1,0 +1,345 @@
+//! Live refinement progress: wait-free event sink for layer-boundary commits.
+//!
+//! The driver emits a [`ProgressEvent`] at every serial layer-boundary commit
+//! and one terminal event when the search ends. Events flow through a
+//! [`ProgressSink`] — a bounded single-writer ring that *never blocks the
+//! commit path*: the writer uses `try_lock` per slot and drops the event
+//! (counted) if a reader holds the slot. Readers poll with [`drain_from`]
+//! using a monotonically increasing cursor; lapped events are reported as
+//! `missed`, never silently skipped.
+//!
+//! This file is on the lint `progress_sink_paths` grant: `try_push` may only
+//! be called from here and from the driver's serial emission points
+//! (enforced by acq-lint's obs-discipline contract 5).
+//!
+//! [`drain_from`]: ProgressSink::drain_from
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default slot count for a [`ProgressSink`] ring.
+pub const DEFAULT_PROGRESS_CAPACITY: usize = 1024;
+
+/// One refinement progress observation.
+///
+/// Emitted at each serial layer-boundary commit (and once at termination with
+/// `terminal = true`). `explored` is strictly monotone across the events of a
+/// single run: at least one cell commits between consecutive layer
+/// boundaries, and the terminal event reports the final count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Registry id of the query this run belongs to (0 when unregistered).
+    pub query_id: u64,
+    /// Grid layer the driver just committed into.
+    pub layer: u64,
+    /// Cells explored so far (strictly monotone across events).
+    pub explored: u64,
+    /// Size of the batch being committed at this boundary.
+    pub frontier: u64,
+    /// Approximate bytes held by the result store.
+    pub store_bytes: u64,
+    /// Zone-map cells pruned so far by the evaluator.
+    pub zones_pruned: u64,
+    /// Milliseconds since the run started.
+    pub elapsed_ms: u64,
+    /// True only for the final event of a run.
+    pub terminal: bool,
+}
+
+impl ProgressEvent {
+    /// The event's fields as a braceless JSON fragment, so callers can
+    /// append extra fields (e.g. the sealed outcome) before closing.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"query_id\":{},\"layer\":{},\"explored\":{},\"frontier\":{},\
+             \"store_bytes\":{},\"zones_pruned\":{},\"elapsed_ms\":{},\"terminal\":{}",
+            self.query_id,
+            self.layer,
+            self.explored,
+            self.frontier,
+            self.store_bytes,
+            self.zones_pruned,
+            self.elapsed_ms,
+            self.terminal
+        )
+    }
+
+    /// The event as a standalone JSON object.
+    pub fn to_json(&self) -> String {
+        format!("{{{}}}", self.json_fields())
+    }
+}
+
+/// Bounded wait-free progress ring: one writer (the driver's serial commit
+/// path), any number of polling readers.
+///
+/// Writer side: [`try_push`] claims the next slot with `try_lock`. If a
+/// reader holds that slot the event is dropped and `dropped` is bumped —
+/// the commit path never waits. Each slot stores `(seq, event)` so readers
+/// can detect being lapped.
+///
+/// Reader side: [`drain_from`] returns every retained event at or after the
+/// cursor, the next cursor, and how many events were missed (evicted by
+/// wraparound or dropped at the slot).
+///
+/// [`try_push`]: ProgressSink::try_push
+/// [`drain_from`]: ProgressSink::drain_from
+pub struct ProgressSink {
+    slots: Vec<Mutex<Option<(u64, ProgressEvent)>>>,
+    /// Sequence number of the next event to be written.
+    head: AtomicU64,
+    /// Events discarded because a reader held the target slot.
+    dropped: AtomicU64,
+    /// Set once a terminal event has been accepted.
+    terminal_seen: AtomicBool,
+}
+
+impl ProgressSink {
+    /// A sink retaining at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            slots.push(Mutex::new(None));
+        }
+        ProgressSink {
+            slots,
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            terminal_seen: AtomicBool::new(false),
+        }
+    }
+
+    /// Slot count of the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Sequence number of the next event to be written; events with
+    /// sequence `< head()` have been offered (though the oldest may have
+    /// been evicted by wraparound).
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events dropped because the commit path would have had to wait.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed) // relaxed-ok: monotone counter read
+    }
+
+    /// True once a terminal event has been accepted into the ring.
+    pub fn is_terminated(&self) -> bool {
+        self.terminal_seen.load(Ordering::Acquire)
+    }
+
+    /// Offer an event without ever blocking. Returns `false` (and counts the
+    /// drop) if the target slot is momentarily held by a reader.
+    ///
+    /// Single-writer: only the driver's serial emission path may call this
+    /// for a given sink.
+    pub fn try_push(&self, event: ProgressEvent) -> bool {
+        let seq = self.head.load(Ordering::Acquire);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        match slot.try_lock() {
+            Ok(mut guard) => {
+                *guard = Some((seq, event));
+                drop(guard);
+                self.head.store(seq + 1, Ordering::Release);
+                if event.terminal {
+                    self.terminal_seen.store(true, Ordering::Release);
+                }
+                true
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent monotone counter
+                false
+            }
+        }
+    }
+
+    /// Read every retained event with sequence `>= cursor`, in order.
+    ///
+    /// Returns `(events, next_cursor, missed)`. `missed` counts events the
+    /// reader can no longer observe: evicted by ring wraparound before the
+    /// cursor caught up, or overwritten between the head load and the slot
+    /// read (lapped). Resume the next poll from `next_cursor`.
+    pub fn drain_from(&self, cursor: u64) -> (Vec<ProgressEvent>, u64, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let oldest = head.saturating_sub(cap);
+        let mut missed = if cursor < oldest { oldest - cursor } else { 0 };
+        let start = cursor.max(oldest);
+        let mut events = Vec::new();
+        for seq in start..head {
+            let slot = &self.slots[(seq % cap) as usize];
+            match slot.try_lock() {
+                Ok(guard) => match *guard {
+                    Some((stored_seq, ev)) if stored_seq == seq => events.push(ev),
+                    // Lapped (or never written after a drop): unobservable.
+                    _ => missed += 1,
+                },
+                // Writer (or another reader) holds the slot right now; the
+                // writer would have dropped rather than overwrite, so this
+                // event is gone for us too.
+                Err(_) => missed += 1,
+            }
+        }
+        (events, head, missed)
+    }
+}
+
+impl std::fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressSink")
+            .field("capacity", &self.capacity())
+            .field("head", &self.head())
+            .field("dropped", &self.dropped())
+            .field("terminated", &self.is_terminated())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(explored: u64, terminal: bool) -> ProgressEvent {
+        ProgressEvent {
+            query_id: 7,
+            layer: 2,
+            explored,
+            frontier: 16,
+            store_bytes: 1024,
+            zones_pruned: 3,
+            elapsed_ms: 5,
+            terminal,
+        }
+    }
+
+    #[test]
+    fn push_then_drain_round_trips_in_order() {
+        let sink = ProgressSink::new(8);
+        for i in 0..5 {
+            assert!(sink.try_push(ev(i, false)));
+        }
+        let (events, next, missed) = sink.drain_from(0);
+        assert_eq!(events.len(), 5);
+        assert_eq!(next, 5);
+        assert_eq!(missed, 0);
+        assert!(events.windows(2).all(|w| w[0].explored < w[1].explored));
+        // Nothing new: empty drain from the returned cursor.
+        let (events, next2, missed) = sink.drain_from(next);
+        assert!(events.is_empty());
+        assert_eq!(next2, 5);
+        assert_eq!(missed, 0);
+    }
+
+    #[test]
+    fn wraparound_reports_missed_events() {
+        let sink = ProgressSink::new(4);
+        for i in 0..10 {
+            assert!(sink.try_push(ev(i, false)));
+        }
+        // Ring holds the last 4; the first 6 are gone.
+        let (events, next, missed) = sink.drain_from(0);
+        assert_eq!(missed, 6);
+        assert_eq!(next, 10);
+        assert_eq!(
+            events.iter().map(|e| e.explored).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn writer_drops_instead_of_blocking_on_held_slot() {
+        let sink = ProgressSink::new(2);
+        assert!(sink.try_push(ev(0, false)));
+        assert!(sink.try_push(ev(1, false)));
+        // Hold the slot the writer wants next (seq 2 -> slot 0).
+        let guard = sink.slots[0].lock().unwrap();
+        assert!(!sink.try_push(ev(2, false)));
+        assert_eq!(sink.dropped(), 1);
+        drop(guard);
+        assert!(sink.try_push(ev(3, false)));
+        assert_eq!(sink.dropped(), 1);
+        // head only advanced for accepted events.
+        assert_eq!(sink.head(), 3);
+    }
+
+    #[test]
+    fn terminal_flag_latches() {
+        let sink = ProgressSink::new(4);
+        assert!(!sink.is_terminated());
+        sink.try_push(ev(1, false));
+        assert!(!sink.is_terminated());
+        sink.try_push(ev(2, true));
+        assert!(sink.is_terminated());
+        let (events, _, _) = sink.drain_from(0);
+        assert!(events.last().unwrap().terminal);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let sink = ProgressSink::new(0);
+        assert_eq!(sink.capacity(), 1);
+        assert!(sink.try_push(ev(0, false)));
+        let (events, _, _) = sink.drain_from(0);
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn event_json_has_all_fields() {
+        let e = ev(42, true);
+        let json = e.to_json();
+        let parsed = acq_obs::json::parse(&json).expect("valid json");
+        assert_eq!(
+            parsed.pointer("/explored").and_then(|v| v.as_f64()),
+            Some(42.0)
+        );
+        assert_eq!(
+            parsed.pointer("/terminal").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert_eq!(
+            parsed.pointer("/query_id").and_then(|v| v.as_f64()),
+            Some(7.0)
+        );
+        assert_eq!(
+            parsed.pointer("/zones_pruned").and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn concurrent_reader_never_sees_out_of_order_explored() {
+        use std::sync::Arc;
+        let sink = Arc::new(ProgressSink::new(16));
+        let writer = {
+            let sink = Arc::clone(&sink);
+            std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    sink.try_push(ev(i, i == 1999));
+                }
+            })
+        };
+        let mut cursor = 0u64;
+        let mut last = None::<u64>;
+        while !sink.is_terminated() || cursor < sink.head() {
+            let (events, next, _missed) = sink.drain_from(cursor);
+            cursor = next;
+            for e in events {
+                if let Some(prev) = last {
+                    assert!(
+                        e.explored > prev,
+                        "explored regressed: {} -> {}",
+                        prev,
+                        e.explored
+                    );
+                }
+                last = Some(e.explored);
+            }
+            std::thread::yield_now();
+        }
+        writer.join().unwrap();
+    }
+}

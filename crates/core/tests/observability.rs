@@ -207,6 +207,74 @@ fn prometheus_exposition_covers_every_instrument_family() {
     }
 }
 
+/// The full live-progress path — a `ProgressSink` fed at every layer
+/// boundary plus a `FlightRecorder` sampling a process-scoped `Metrics` at
+/// its default cadence — must stay within 2% of an identical recorder-less
+/// run: that is the price a served query pays while someone watches
+/// `/query/<id>/progress` and `/timeseries`. Same retry discipline as the
+/// disabled-handle gate above: min-of-5 per attempt, absolute floor, three
+/// attempts so only a systematic regression fails.
+#[test]
+fn progress_and_recorder_overhead_is_below_two_percent() {
+    use acq_obs::{FlightRecorder, Metrics, DEFAULT_RECORDER_CADENCE, DEFAULT_RECORDER_CAPACITY};
+    use acquire_core::{acquire_progress, ProgressSink, DEFAULT_PROGRESS_CAPACITY};
+    use std::sync::Arc;
+
+    let cfg = AcquireConfig::default();
+    run_with(&Obs::enabled(), &cfg); // warm-up
+
+    let run_recorded = |sink: &ProgressSink| {
+        let mut exec = Executor::new(catalog());
+        let mut q = query(800.0);
+        exec.populate_domains(&mut q).unwrap();
+        let space = RefinedSpace::new(&q, &cfg).unwrap();
+        let caps = space.caps();
+        let mut eval = CachedScoreEvaluator::new(&mut exec, &q, &caps).unwrap();
+        let obs = Obs::enabled();
+        acquire_progress(
+            &mut eval,
+            &q,
+            &cfg,
+            &CancellationToken::new(),
+            &obs,
+            Some(sink),
+        )
+        .unwrap();
+        obs
+    };
+
+    let process_metrics = Arc::new(Metrics::new());
+    let _recorder = FlightRecorder::start(
+        Arc::clone(&process_metrics),
+        DEFAULT_RECORDER_CADENCE,
+        DEFAULT_RECORDER_CAPACITY,
+    );
+
+    let mut last = String::new();
+    for _attempt in 0..3 {
+        let mut plain = f64::INFINITY;
+        let mut recorded = f64::INFINITY;
+        for _ in 0..5 {
+            let t = Instant::now();
+            run_with(&Obs::enabled(), &cfg);
+            plain = plain.min(t.elapsed().as_secs_f64() * 1e3);
+
+            let sink = ProgressSink::new(DEFAULT_PROGRESS_CAPACITY);
+            let t = Instant::now();
+            let obs = run_recorded(&sink);
+            recorded = recorded.min(t.elapsed().as_secs_f64() * 1e3);
+            process_metrics.absorb_snapshot(&obs.snapshot().unwrap());
+            assert!(sink.is_terminated(), "run must emit its terminal event");
+        }
+        let allowed = plain * 1.02 + 15.0;
+        if recorded <= allowed {
+            return;
+        }
+        last = format!("recorded run {recorded:.1}ms exceeds {allowed:.1}ms (plain {plain:.1}ms)");
+    }
+    panic!("{last}");
+}
+
 // ---------------------------------------------------------------------------
 // Session plumbing
 // ---------------------------------------------------------------------------

@@ -25,10 +25,10 @@ use acq_query::{
 };
 use acquire_core::govern::Termination;
 use acquire_core::{
-    acquire_observed, acquire_with, AcqOutcome, AcquireConfig, CachedScoreEvaluator,
-    CancellationToken, CellCost, CoreError, EvaluationLayer, ExecutionBudget, FaultInjectingLayer,
-    FaultPolicy, FaultSchedule, GridIndexEvaluator, Obs, ParallelCells, Parallelism,
-    RefinedQueryResult, RefinedSpace,
+    acquire_observed, acquire_progress, acquire_with, AcqOutcome, AcquireConfig,
+    CachedScoreEvaluator, CancellationToken, CellCost, CoreError, EvaluationLayer, ExecutionBudget,
+    FaultInjectingLayer, FaultPolicy, FaultSchedule, GridIndexEvaluator, Obs, ParallelCells,
+    Parallelism, ProgressSink, RefinedQueryResult, RefinedSpace,
 };
 
 // ---------------------------------------------------------------------------
@@ -805,6 +805,66 @@ fn metrics_match_ground_truth_under_budgets_and_faults() {
             let out =
                 acquire_observed(&mut eval, &query, &cfg, &CancellationToken::new(), &obs).unwrap();
             assert_metrics_ground_truth(&obs, &out, &format!("faults seed {seed}, {par:?}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Progress streaming is observational only
+// ---------------------------------------------------------------------------
+
+/// Attaching a [`ProgressSink`] must not perturb the search: outcomes stay
+/// bit-identical to the sink-less run on every thread count, and the event
+/// stream itself is well-formed — `explored` strictly monotone, exactly one
+/// terminal event, the terminal totals agreeing with the outcome.
+#[test]
+fn progress_sink_leaves_outcomes_bit_identical_across_thread_counts() {
+    for (query, delta) in [(ge_query(800.0), 0.05), (eq_query(801.0), 0.001)] {
+        let serial_cfg = AcquireConfig::default().with_delta(delta);
+        let baseline = fingerprint(&run(Layer::Cached, &query, &serial_cfg));
+        let mut settings = vec![Parallelism::Serial];
+        settings.extend(parallel_settings());
+        for par in settings {
+            let cfg = serial_cfg.clone().with_parallelism(par);
+            let mut exec = Executor::new(catalog());
+            exec.set_zone_pruning(cfg.zone_pruning);
+            let mut query = query.clone();
+            exec.populate_domains(&mut query).unwrap();
+            let space = RefinedSpace::new(&query, &cfg).unwrap();
+            let caps = space.caps();
+            let sink = ProgressSink::new(4096);
+            let mut eval = CachedScoreEvaluator::new(&mut exec, &query, &caps).unwrap();
+            let out = acquire_progress(
+                &mut eval,
+                &query,
+                &cfg,
+                &CancellationToken::new(),
+                &Obs::disabled(),
+                Some(&sink),
+            )
+            .unwrap();
+            assert_eq!(
+                fingerprint(&out),
+                baseline,
+                "{par:?}: attaching the sink changed the outcome"
+            );
+
+            // The stream must be honest about what it observed.
+            let (events, _, missed) = sink.drain_from(0);
+            assert_eq!(missed, 0, "{par:?}: 4096 slots must not wrap here");
+            assert_eq!(sink.dropped(), 0, "{par:?}: single reader never contends");
+            assert!(!events.is_empty(), "{par:?}: no events emitted");
+            assert!(
+                events.windows(2).all(|w| w[0].explored < w[1].explored),
+                "{par:?}: explored not strictly monotone"
+            );
+            let terminal_count = events.iter().filter(|e| e.terminal).count();
+            assert_eq!(terminal_count, 1, "{par:?}: exactly one terminal event");
+            let last = events.last().unwrap();
+            assert!(last.terminal, "{par:?}: terminal event must come last");
+            assert_eq!(last.explored, out.explored, "{par:?}");
+            assert_eq!(last.layer, out.layers, "{par:?}");
+            assert!(sink.is_terminated(), "{par:?}");
         }
     }
 }

@@ -19,6 +19,7 @@
 //! worker_paths = ["crates/core/src/pool.rs"]
 //! commit_paths = ["crates/serve/src/telemetry.rs"]
 //! zone_stat_paths = ["crates/engine/src/zone.rs"]
+//! progress_sink_paths = ["crates/core/src/driver.rs"]
 //! ```
 
 use std::collections::BTreeMap;
@@ -48,6 +49,10 @@ pub struct Config {
     /// (`zones_pruned`/`zones_full`/`zones_scanned`): the serial emission
     /// path plus the pure scan accounting it commits from.
     pub zone_stat_paths: Vec<String>,
+    /// The only files allowed to push into a progress sink
+    /// (`.try_push(…)`): the driver's serial layer-boundary commits, the
+    /// sink's own implementation, and the serve-side broker.
+    pub progress_sink_paths: Vec<String>,
 }
 
 fn prefix_match(prefixes: &[String], rel_path: &str) -> bool {
@@ -97,6 +102,12 @@ impl Config {
     #[must_use]
     pub fn is_zone_stat_path(&self, rel_path: &str) -> bool {
         prefix_match(&self.zone_stat_paths, rel_path)
+    }
+
+    /// Whether `rel_path` may push progress events into a sink.
+    #[must_use]
+    pub fn is_progress_sink_path(&self, rel_path: &str) -> bool {
+        prefix_match(&self.progress_sink_paths, rel_path)
     }
 
     /// Parses the configuration text, rejecting unknown sections, unknown
@@ -150,6 +161,7 @@ impl Config {
                 ("obs-discipline", "worker_paths") => cfg.worker_paths = values,
                 ("obs-discipline", "commit_paths") => cfg.commit_paths = values,
                 ("obs-discipline", "zone_stat_paths") => cfg.zone_stat_paths = values,
+                ("obs-discipline", "progress_sink_paths") => cfg.progress_sink_paths = values,
                 (s, k) => return Err(format!("line {lineno}: unknown key {k:?} in [{s}]")),
             }
         }
@@ -248,7 +260,8 @@ mod tests {
              [obs-discipline]\n\
              worker_paths = [\"crates/core/src/pool.rs\"]\n\
              commit_paths = [\"crates/serve/src/telemetry.rs\"]\n\
-             zone_stat_paths = [\"crates/engine/src/zone.rs\"]\n",
+             zone_stat_paths = [\"crates/engine/src/zone.rs\"]\n\
+             progress_sink_paths = [\"crates/core/src/driver.rs\"]\n",
         )
         .unwrap();
         assert!(cfg.allows("panic-hygiene", "crates/compat/rand/src/lib.rs"));
@@ -261,6 +274,8 @@ mod tests {
         assert!(!cfg.is_commit_path("crates/serve/src/server.rs"));
         assert!(cfg.is_zone_stat_path("crates/engine/src/zone.rs"));
         assert!(!cfg.is_zone_stat_path("crates/engine/src/executor.rs"));
+        assert!(cfg.is_progress_sink_path("crates/core/src/driver.rs"));
+        assert!(!cfg.is_progress_sink_path("crates/core/src/pool.rs"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! **obs-discipline** — observability must not perturb determinism.
 //!
-//! Four contracts (the first two from PR 3, the third from PR 5, the
-//! fourth from PR 7):
+//! Five contracts (the first two from PR 3, the third from PR 5, the
+//! fourth from PR 7, the fifth from PR 8):
 //!
 //! * **Lazy trace labels.** `Obs::trace`/`trace_span` take a label closure
 //!   so a disabled handle never builds a string. An eager argument (string
@@ -31,6 +31,13 @@
 //!   the files listed in `[obs-discipline] zone_stat_paths` would let
 //!   worker-side code perturb the deterministic stats, so it is flagged
 //!   wherever it appears. Reads and comparisons are free.
+//! * **Progress sinks are fed only from the serial emission path.** The
+//!   streaming progress contract (strictly monotone `explored`, terminal
+//!   event last) holds because every [`acquire_core::ProgressSink`] push
+//!   happens at a layer-boundary commit in the driver. A `.try_push(…)`
+//!   call anywhere outside `[obs-discipline] progress_sink_paths` — a
+//!   worker closure, an evaluation layer, a request handler — could
+//!   interleave events out of order, so it is flagged wherever it appears.
 
 use crate::config::Config;
 use crate::report::Diagnostic;
@@ -94,6 +101,19 @@ pub fn check(f: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
                     ),
                 ));
             }
+        }
+        if name == "try_push" && is_method_call(toks, i) && !cfg.is_progress_sink_path(&f.rel_path)
+        {
+            out.push(
+                f.diag(
+                    "obs-discipline",
+                    t,
+                    "progress sink push `.try_push(…)` outside `[obs-discipline] \
+                 progress_sink_paths`; events are emitted only at the driver's serial \
+                 layer-boundary commits"
+                        .to_string(),
+                ),
+            );
         }
         if ZONE_COUNTERS.contains(&name)
             && is_zone_mutation(toks, i)
@@ -310,6 +330,26 @@ mod tests {
         let cfg =
             Config::parse("[obs-discipline]\nzone_stat_paths = [\"crates/engine/src/zone.rs\"]\n")
                 .unwrap();
+        let mut out = Vec::new();
+        check(&f, &cfg, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn progress_sink_pushes_are_confined() {
+        let src = "fn f(sink: &ProgressSink) { sink.try_push(event); }";
+        // Off the sanctioned paths a push is flagged wherever it appears…
+        assert_eq!(run("crates/core/src/pool.rs", src).len(), 1);
+        assert_eq!(run("crates/engine/src/executor.rs", src).len(), 1);
+        // …a free call or a different method is not…
+        assert!(run("crates/core/src/pool.rs", "fn f() { try_push(e); }").is_empty());
+        assert!(run("crates/core/src/pool.rs", "fn f() { q.push(e); }").is_empty());
+        // …and a sanctioned path may push.
+        let f = SourceFile::new("crates/core/src/driver.rs", src, FileContext::Lib);
+        let cfg = Config::parse(
+            "[obs-discipline]\nprogress_sink_paths = [\"crates/core/src/driver.rs\"]\n",
+        )
+        .unwrap();
         let mut out = Vec::new();
         check(&f, &cfg, &mut out);
         assert!(out.is_empty());

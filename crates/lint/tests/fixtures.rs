@@ -144,6 +144,35 @@ fn obs_discipline_zone_mutation_is_silent_on_zone_stat_paths() {
 }
 
 #[test]
+fn progress_sink_fixture_exact_positions() {
+    let (v, a) = check_source(
+        "virtual/worker.rs",
+        &fixture("progress_sink.rs"),
+        FileContext::Lib,
+        &Config::default(),
+    );
+    assert_eq!(
+        positions(&v, "obs-discipline"),
+        [(5, 10)],
+        "the method-call try_push alone; plain push and the free call pass"
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(a.is_empty());
+}
+
+#[test]
+fn progress_sink_fixture_is_silent_on_the_sanctioned_paths() {
+    let cfg = Config::parse("[obs-discipline]\nprogress_sink_paths = [\"virtual/\"]\n").unwrap();
+    let (v, _) = check_source(
+        "virtual/driver.rs",
+        &fixture("progress_sink.rs"),
+        FileContext::Lib,
+        &cfg,
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
 fn commit_io_fixture_exact_positions() {
     // The sleep is granted on the determinism side so this test isolates
     // the commit-path contract (in real commit paths it stays forbidden on
@@ -255,7 +284,12 @@ fn fixtures_are_inert_in_their_real_test_context() {
     // The workspace walk classifies tests/fixtures/*.rs as test files, where
     // none of the library-context rules apply — the seeded violations must
     // not leak into the repo's own lint run.
-    for name in ["panic_hygiene.rs", "determinism.rs", "atomics_audit.rs"] {
+    for name in [
+        "panic_hygiene.rs",
+        "determinism.rs",
+        "atomics_audit.rs",
+        "progress_sink.rs",
+    ] {
         let rel = format!("crates/lint/tests/fixtures/{name}");
         let (v, _) = check_source(&rel, &fixture(name), FileContext::Test, &Config::default());
         assert!(v.is_empty(), "{name}: {v:?}");

@@ -1,0 +1,8 @@
+// Seeded progress-sink fixture: a `.try_push(…)` off the sanctioned
+// progress_sink_paths, alongside calls the fifth contract must not flag.
+
+pub fn seeded(sink: &ProgressSink, queue: &mut Vec<u64>) {
+    sink.try_push(event);
+    queue.push(7);
+    try_push(standalone);
+}

@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod registry;
 pub mod schema;
 pub mod snapshot;
+pub mod timeseries;
 pub mod trace;
 pub mod window;
 
@@ -38,6 +39,9 @@ pub use admission::AdmissionStats;
 pub use metrics::{Counter, Gauge, Histogram, Metrics, WorkerStats, MAX_WORKERS};
 pub use registry::{QueryRecord, QueryRegistry, QueryStatus, QuerySummary};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_QUANTILES, SNAPSHOT_VERSION};
+pub use timeseries::{
+    FlightRecorder, DEFAULT_RECORDER_CADENCE, DEFAULT_RECORDER_CAPACITY, TIMESERIES_VERSION,
+};
 pub use trace::{TraceBuf, TraceEvent};
 pub use window::{DecayingHistogram, RateCounter};
 
@@ -213,6 +217,16 @@ impl Obs {
         let inner = self.inner.as_deref()?;
         let buf = inner.trace.as_ref()?;
         Some(buf.render_json(inner.metrics.trace_dropped.get()))
+    }
+
+    /// Renders the trace buffer in the Chrome trace-event format (see
+    /// [`TraceBuf::render_chrome`]), or `None` unless tracing. This is what
+    /// `GET /trace/<id>?format=chrome` and `--trace-format=chrome` serve;
+    /// the output opens directly in `ui.perfetto.dev`.
+    pub fn render_trace_chrome(&self) -> Option<String> {
+        let inner = self.inner.as_deref()?;
+        let buf = inner.trace.as_ref()?;
+        Some(buf.render_chrome(inner.metrics.trace_dropped.get()))
     }
 
     /// Attaches a [`QueryRegistry`] request ID to this handle. The driver

@@ -457,6 +457,22 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_snapshot_has_no_quantiles() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.bucket_counts(), vec![0, 0, 0, 0]);
+        let snap = crate::snapshot::HistogramSnapshot::of("h", &h);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), None, "q={q}");
+        }
+        assert_eq!(
+            snap.quantiles(),
+            [("p50", None), ("p95", None), ("p99", None)]
+        );
+    }
+
+    #[test]
     fn histogram_halving_and_absorb() {
         let h = Histogram::new(&[10, 100]);
         for v in [5, 5, 50, 500] {

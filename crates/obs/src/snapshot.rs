@@ -17,6 +17,16 @@ pub const SNAPSHOT_VERSION: u64 = 3;
 /// Quantiles estimated for every histogram snapshot, `(label, q)`.
 pub const SNAPSHOT_QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
 
+/// Version label of the `acq_build_info` series (the crate package version).
+pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Revision label of the `acq_build_info` series: the `ACQ_BUILD_COMMIT`
+/// environment variable captured at compile time, or `"unknown"`.
+pub const BUILD_REVISION: &str = match option_env!("ACQ_BUILD_COMMIT") {
+    Some(rev) => rev,
+    None => "unknown",
+};
+
 /// One histogram captured at snapshot time.
 #[derive(Debug, Clone)]
 pub struct HistogramSnapshot {
@@ -226,6 +236,24 @@ impl MetricsSnapshot {
     /// values escaped per the exposition-format rules.
     pub fn to_prometheus(&self) -> String {
         let mut s = String::with_capacity(2048);
+        push_header(
+            &mut s,
+            "acq_build_info",
+            "Build information as an info-style series (always 1)",
+            "gauge",
+        );
+        s.push_str(&format!(
+            "acq_build_info{{version=\"{}\",revision=\"{}\"}} 1\n",
+            prom_escape_label(BUILD_VERSION),
+            prom_escape_label(BUILD_REVISION)
+        ));
+        push_header(
+            &mut s,
+            "acq_uptime_ms",
+            "Milliseconds since the metrics handle was created",
+            "gauge",
+        );
+        s.push_str(&format!("acq_uptime_ms {}\n", self.uptime_ms));
         for &(name, v) in &self.counters {
             push_header(
                 &mut s,
@@ -359,7 +387,7 @@ pub fn prom_escape_help(s: &str) -> String {
 
 /// Formats an `f64` compactly for both JSON and Prometheus: integral values
 /// print without a fraction, everything else with just enough digits.
-fn fmt_f64(v: f64) -> String {
+pub fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -468,6 +496,20 @@ mod tests {
             v.pointer("/meta/layer").and_then(|v| v.as_str()),
             Some("grid-index")
         );
+    }
+
+    #[test]
+    fn prometheus_surfaces_build_info_and_uptime() {
+        let text = sample().to_prometheus();
+        assert!(
+            text.contains(&format!(
+                "acq_build_info{{version=\"{BUILD_VERSION}\",revision=\"{BUILD_REVISION}\"}} 1\n"
+            )),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE acq_build_info gauge"), "{text}");
+        assert!(text.contains("acq_uptime_ms 12\n"), "{text}");
+        assert!(text.contains("# TYPE acq_uptime_ms gauge"), "{text}");
     }
 
     #[test]

@@ -128,6 +128,78 @@ impl TraceBuf {
         ));
         out
     }
+
+    /// Renders the buffer in the Chrome trace-event JSON format, directly
+    /// loadable in `ui.perfetto.dev` or `chrome://tracing`.
+    ///
+    /// Spans become complete (`"ph":"X"`) events with microsecond `ts`/`dur`
+    /// — `ts` is the span *start* (the buffer records completion times, so
+    /// the duration is subtracted back) — and instantaneous events become
+    /// thread-scoped instants (`"ph":"i"`, `"s":"t"`). The recording depth
+    /// maps to `tid` (depth 0 → tid 1), which renders each nesting level as
+    /// its own track. Drop accounting rides along in `otherData`.
+    pub fn render_chrome(&self, dropped: u64) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 96 + 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let tid = u32::from(e.depth) + 1;
+            let name = crate::snapshot::json_escape(&e.label);
+            match e.dur {
+                Some(d) => {
+                    let ts = e.at.saturating_sub(d).as_micros();
+                    out.push_str(&format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\
+                         \"pid\":1,\"tid\":{tid}}}",
+                        d.as_micros()
+                    ));
+                }
+                None => {
+                    out.push_str(&format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                         \"pid\":1,\"tid\":{tid}}}",
+                        e.at.as_micros()
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped\":{dropped},\
+             \"truncated\":{}}}}}",
+            dropped > 0
+        ));
+        out
+    }
+}
+
+/// Re-renders a [`TraceBuf::render_json`] document in the Chrome
+/// trace-event format.
+///
+/// The query registry retains the *rendered* trace, not the live buffer,
+/// so serving `GET /trace/<id>?format=chrome` means converting the stored
+/// document. Returns `None` when `json` is not a trace render.
+pub fn chrome_from_render_json(json: &str) -> Option<String> {
+    let v = crate::json::parse(json).ok()?;
+    let events = v.pointer("/events")?.as_arr()?;
+    let dropped = v.pointer("/dropped").and_then(|d| d.as_u64()).unwrap_or(0);
+    let buf = TraceBuf::new(events.len().max(1));
+    for e in events {
+        let at = Duration::from_nanos(e.get("at_ns")?.as_u64()?);
+        let dur = match e.get("dur_ns") {
+            None | Some(crate::json::JsonValue::Null) => None,
+            Some(d) => Some(Duration::from_nanos(d.as_u64()?)),
+        };
+        buf.push(TraceEvent {
+            at,
+            dur,
+            depth: e.get("depth")?.as_u64()?.min(u64::from(u8::MAX)) as u8,
+            label: e.get("label")?.as_str()?.to_string(),
+        });
+    }
+    Some(buf.render_chrome(dropped))
 }
 
 /// Formats a duration with a unit scaled to its magnitude.
@@ -207,6 +279,73 @@ mod tests {
             v.pointer("/truncated"),
             Some(crate::json::JsonValue::Bool(false))
         ));
+    }
+
+    #[test]
+    fn chrome_export_maps_spans_and_instants() {
+        let buf = TraceBuf::new(8);
+        assert!(buf.push(ev(5, "instant")));
+        assert!(buf.push(TraceEvent {
+            dur: Some(Duration::from_millis(3)),
+            depth: 1,
+            ..ev(10, "span") // recorded at completion: started at 7ms
+        }));
+        let json = buf.render_chrome(2);
+        let v = crate::json::parse(&json).expect("chrome JSON parses");
+        assert_eq!(
+            v.pointer("/traceEvents/0/ph").and_then(|v| v.as_str()),
+            Some("i")
+        );
+        assert_eq!(
+            v.pointer("/traceEvents/0/s").and_then(|v| v.as_str()),
+            Some("t")
+        );
+        assert_eq!(
+            v.pointer("/traceEvents/0/ts").and_then(|v| v.as_u64()),
+            Some(5_000)
+        );
+        assert_eq!(
+            v.pointer("/traceEvents/1/ph").and_then(|v| v.as_str()),
+            Some("X")
+        );
+        // ts is the span start: completion at 10ms minus 3ms duration.
+        assert_eq!(
+            v.pointer("/traceEvents/1/ts").and_then(|v| v.as_u64()),
+            Some(7_000)
+        );
+        assert_eq!(
+            v.pointer("/traceEvents/1/dur").and_then(|v| v.as_u64()),
+            Some(3_000)
+        );
+        assert_eq!(
+            v.pointer("/traceEvents/1/tid").and_then(|v| v.as_u64()),
+            Some(2),
+            "depth 1 renders on tid 2"
+        );
+        assert_eq!(
+            v.pointer("/otherData/dropped").and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        assert!(matches!(
+            v.pointer("/otherData/truncated"),
+            Some(crate::json::JsonValue::Bool(true))
+        ));
+    }
+
+    #[test]
+    fn chrome_round_trips_through_the_rendered_json() {
+        let buf = TraceBuf::new(4);
+        buf.push(ev(5, "instant"));
+        buf.push(TraceEvent {
+            dur: Some(Duration::from_millis(3)),
+            depth: 1,
+            ..ev(10, "span")
+        });
+        let direct = buf.render_chrome(1);
+        let via_json = chrome_from_render_json(&buf.render_json(1)).expect("converts");
+        assert_eq!(via_json, direct, "stored-render conversion is lossless");
+        assert_eq!(chrome_from_render_json("not json"), None);
+        assert_eq!(chrome_from_render_json("{\"events\":7}"), None);
     }
 
     #[test]

@@ -216,6 +216,46 @@ mod tests {
     }
 
     #[test]
+    fn rate_counter_wraps_around_after_idle_gap_longer_than_window() {
+        let c = RateCounter::new();
+        // A burst, then an idle gap longer than the whole ring (so every
+        // slot's stamp is stale when traffic resumes).
+        for sec in 0..10 {
+            c.record(4, s(sec));
+        }
+        let resume = 10 + RATE_SLOTS as u64 + 17;
+        c.record(6, s(resume));
+        c.record(6, s(resume + 1));
+        // The window after the gap sees only post-gap traffic: stale slots
+        // alias into range but their stamps disqualify them.
+        assert!((c.rate_per_sec(2, s(resume + 2)) - 6.0).abs() < 1e-9);
+        // A wide window is not polluted by pre-gap slots either.
+        let wide = c.rate_per_sec(RATE_SLOTS as u64 - 1, s(resume + 2));
+        assert!(
+            (wide - 12.0 / (RATE_SLOTS as f64 - 1.0)).abs() < 1e-9,
+            "only the 12 post-gap events may count, got {wide}"
+        );
+        assert_eq!(c.total(), 52, "total survives the gap undecayed");
+    }
+
+    #[test]
+    fn empty_histograms_report_no_quantiles() {
+        // A decaying histogram that has never observed anything...
+        let h = DecayingHistogram::new(&[10, 100], Duration::from_secs(1));
+        let snap = h.snapshot("h", s(5));
+        assert_eq!(snap.count, 0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), None, "q={q}");
+        }
+        // ...and one that decayed all the way back to empty.
+        let d = DecayingHistogram::new(&[10], Duration::from_secs(1));
+        d.observe(5, s(0));
+        let decayed = d.snapshot("h", s(100));
+        assert_eq!(decayed.count, 0);
+        assert_eq!(decayed.quantile(0.5), None);
+    }
+
+    #[test]
     fn rate_excludes_the_partial_current_second() {
         let c = RateCounter::new();
         c.record(9, s(5));

@@ -7,10 +7,15 @@
 //! | GET    | `/healthz`      | liveness: always 200 while the process runs  |
 //! | GET    | `/readyz`       | readiness: 200 accepting, 503 shutting down  |
 //! | GET    | `/metrics`      | Prometheus text: pipeline + serve telemetry  |
+//! | GET    | `/timeseries`   | flight-recorder ring + rates (`?window=SECS`)|
 //! | GET    | `/queries`      | registry JSON: running + completed queries   |
-//! | GET    | `/trace/<id>`   | that query's span tree, with `truncated`     |
+//! | GET    | `/trace/<id>`   | that query's span tree, with `truncated`;    |
+//! |        |                 | `?format=chrome` re-renders for Perfetto     |
 //! | POST   | `/query`        | run an ACQ request; `?explain=1` adds profile|
 //! | POST   | `/shutdown`     | cancel the shutdown token (graceful stop)    |
+//!
+//! `GET /query/<id>/progress` (chunked NDJSON) is dispatched by the session
+//! loop before this buffered handler; see [`crate::progress`].
 
 use std::net::IpAddr;
 use std::sync::Arc;
@@ -23,12 +28,12 @@ use acq_obs::{Obs, QuerySummary};
 use acq_query::{AcqQuery, CmpOp, Norm};
 use acq_sql::compile;
 use acquire_core::{
-    run_acquire_cancellable, run_contraction_with, AcqOutcome, AcquireConfig, ExecutionBudget,
+    run_acquire_progress, run_contraction_with, AcqOutcome, AcquireConfig, ExecutionBudget,
     ExplainProfile, RefinedQueryResult, Termination,
 };
 
 use crate::admission::Admission;
-use crate::http::{Request, Response};
+use crate::http::{Request, Response, PROMETHEUS_CONTENT_TYPE};
 use crate::state::ServerState;
 
 fn json_err(status: u16, msg: &str) -> Response {
@@ -50,9 +55,13 @@ pub fn handle(state: &Arc<ServerState>, req: &Request, peer: Option<IpAddr>) -> 
                 Response::text(503, "not ready\n")
             }
         }
-        ("GET", "/metrics") => Response::text(200, render_metrics(state)),
+        // The versioned content type is what Prometheus' scraper expects
+        // for the 0.0.4 text exposition format; bare text/plain parses but
+        // is out of spec.
+        ("GET", "/metrics") => Response::new(200, PROMETHEUS_CONTENT_TYPE, render_metrics(state)),
+        ("GET", "/timeseries") => timeseries(state, req),
         ("GET", "/queries") => Response::json(200, state.registry.to_json()),
-        ("GET", path) if path.starts_with("/trace/") => trace(state, &path["/trace/".len()..]),
+        ("GET", path) if path.starts_with("/trace/") => trace(state, req, &path["/trace/".len()..]),
         ("POST", "/query") => query(state, req, peer),
         ("POST", "/shutdown") => {
             state.shutdown.cancel();
@@ -98,10 +107,29 @@ fn render_metrics(state: &Arc<ServerState>) -> String {
     s
 }
 
-/// `GET /trace/<id>`.
-fn trace(state: &Arc<ServerState>, id: &str) -> Response {
+/// `GET /timeseries`: the flight recorder's ring, with per-counter rates
+/// over `?window=SECS` (default [`acq_obs::window::DEFAULT_RATE_WINDOW_SECS`]).
+fn timeseries(state: &Arc<ServerState>, req: &Request) -> Response {
+    let window = match req.param("window") {
+        None | Some("") => Duration::from_secs(acq_obs::window::DEFAULT_RATE_WINDOW_SECS),
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(secs) if secs.is_finite() && secs > 0.0 => Duration::from_secs_f64(secs),
+            _ => return json_err(400, "window must be positive seconds"),
+        },
+    };
+    Response::json(200, state.recorder.to_json(window))
+}
+
+/// `GET /trace/<id>`; `?format=chrome` converts the stored render to the
+/// Chrome trace-event format (loadable in Perfetto).
+fn trace(state: &Arc<ServerState>, req: &Request, id: &str) -> Response {
     let Ok(id) = id.parse::<u64>() else {
         return json_err(400, "trace id must be a number");
+    };
+    let chrome = match req.param("format") {
+        None | Some("json") => false,
+        Some("chrome") => true,
+        Some(other) => return json_err(400, &format!("unknown trace format \"{other}\"")),
     };
     let Some(rec) = state.registry.get(id) else {
         return json_err(
@@ -110,6 +138,10 @@ fn trace(state: &Arc<ServerState>, id: &str) -> Response {
         );
     };
     match (&rec.trace_json, rec.status) {
+        (Some(trace), _) if chrome => match acq_obs::trace::chrome_from_render_json(trace) {
+            Some(converted) => Response::json(200, converted),
+            None => json_err(500, &format!("stored trace for query {id} is unreadable")),
+        },
         (Some(trace), _) => Response::json(200, trace.clone()),
         (None, acq_obs::QueryStatus::Running) => {
             json_err(202, "query still running; trace is captured at completion")
@@ -286,6 +318,10 @@ fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant, degraded: boo
     // request; folded into the process registry at completion.
     let obs = Obs::with_trace(state.config.trace_capacity);
     obs.set_query_id(id);
+    // The progress channel is registered before the search starts so a
+    // watcher connecting mid-run sees every boundary event; the channel is
+    // sealed below with the exact response body this handler returns.
+    let channel = state.progress.register(id);
 
     // Each request gets its own executor over the shared catalog (tables are
     // Arc'd, so the clone is cheap) and a clone of the shutdown token: a
@@ -297,7 +333,16 @@ fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant, degraded: boo
         // §7.2: overshooting constraints run the contraction search.
         CmpOp::Le | CmpOp::Lt => run_contraction_with(&mut exec, &query, &cfg, layer, cancel),
         _ => {
-            run_acquire_cancellable(&mut exec, &query, &cfg, layer, cancel, &obs).map(|expanded| {
+            run_acquire_progress(
+                &mut exec,
+                &query,
+                &cfg,
+                layer,
+                cancel,
+                &obs,
+                Some(&channel.sink),
+            )
+            .map(|expanded| {
                 if !expanded.satisfied
                     && query.constraint.op == CmpOp::Eq
                     && expanded.original_aggregate > query.constraint.target
@@ -340,24 +385,26 @@ fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant, degraded: boo
             let profile = req
                 .flag("explain")
                 .then(|| ExplainProfile::new(&query, &cfg, &outcome, snap.as_ref(), duration));
-            Response::json(
-                200,
-                outcome_json(
-                    id,
-                    &outcome,
-                    &query,
-                    parsed.top,
-                    duration,
-                    degraded,
-                    profile.as_ref(),
-                ),
-            )
+            let body = outcome_json(
+                id,
+                &outcome,
+                &query,
+                parsed.top,
+                duration,
+                degraded,
+                profile.as_ref(),
+            );
+            // Seal with the response body *verbatim* so the stream's
+            // terminal `outcome` is byte-identical to this answer.
+            channel.seal(body.clone());
+            Response::json(200, body)
         }
         Err(e) => {
             let msg = e.to_string();
             state
                 .registry
                 .fail(id, msg.clone(), duration.as_millis() as u64);
+            channel.fail();
             json_err(400, &format!("query {id} failed: {msg}"))
         }
     }

@@ -34,6 +34,14 @@ const SHUTDOWN_GRACE: Duration = Duration::from_millis(200);
 /// Read-buffer size; requests larger than this just take several `recv`s.
 const READ_BUF: usize = 4096;
 
+/// The Prometheus text exposition content type `/metrics` must serve —
+/// scrapers negotiate on the `version` parameter, so a bare `text/plain`
+/// is out of spec.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// The NDJSON content type used by the streaming progress endpoint.
+pub const NDJSON_CONTENT_TYPE: &str = "application/x-ndjson";
+
 /// One parsed request.
 #[derive(Debug)]
 pub struct Request {
@@ -57,6 +65,15 @@ impl Request {
         self.query
             .split('&')
             .any(|kv| kv == key || kv == format!("{key}=1") || kv == format!("{key}=true"))
+    }
+
+    /// Value of query parameter `key` (`?key=value`), if present. A bare
+    /// `key` with no `=` yields an empty string.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+            (k == key).then_some(v)
+        })
     }
 
     /// First value of header `name` (case-insensitive), if present.
@@ -386,6 +403,7 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        410 => "Gone",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -416,6 +434,64 @@ pub fn write_response(
     stream.write_all(head.as_bytes())?;
     stream.write_all(resp.body.as_bytes())?;
     stream.flush()
+}
+
+/// An in-flight HTTP/1.1 chunked-transfer response.
+///
+/// Buffered responses carry `Content-Length`; streaming endpoints (NDJSON
+/// progress) cannot know their length up front, so they use chunked
+/// transfer encoding instead: each [`chunk`] writes a `{len:x}\r\n…\r\n`
+/// frame and [`finish`] writes the `0\r\n\r\n` terminator. The head pins
+/// `Connection: close` — a stream's natural end is the terminator, and
+/// closing keeps the connection loop out of the streaming path entirely.
+///
+/// Dropping without [`finish`] leaves the stream unterminated, which a
+/// well-behaved client detects as a truncated body — the honest signal for
+/// an aborted stream.
+///
+/// [`chunk`]: ChunkedResponse::chunk
+/// [`finish`]: ChunkedResponse::finish
+pub struct ChunkedResponse<'a> {
+    stream: &'a TcpStream,
+}
+
+impl<'a> ChunkedResponse<'a> {
+    /// Writes the response head and arms chunked encoding.
+    pub fn begin(
+        mut stream: &'a TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            reason(status),
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(Self { stream })
+    }
+
+    /// Writes one chunk and flushes so the client sees it immediately.
+    /// Empty payloads are skipped — a zero-length chunk is the terminator.
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let mut stream = self.stream;
+        stream.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+        stream.write_all(data)?;
+        stream.write_all(b"\r\n")?;
+        stream.flush()
+    }
+
+    /// Writes the terminating zero-length chunk.
+    pub fn finish(self) -> std::io::Result<()> {
+        let mut stream = self.stream;
+        stream.write_all(b"0\r\n\r\n")?;
+        stream.flush()
+    }
 }
 
 #[cfg(test)]
@@ -591,6 +667,49 @@ mod tests {
         assert!(second.body.is_empty());
         let _ = done_tx.send(());
         client.join().unwrap();
+    }
+
+    #[test]
+    fn query_params_parse_values_and_bare_keys() {
+        let req = roundtrip(
+            "GET /timeseries?window=15&format=chrome&bare HTTP/1.1\r\nHost: x\r\n\r\n",
+            64,
+        )
+        .unwrap();
+        assert_eq!(req.param("window"), Some("15"));
+        assert_eq!(req.param("format"), Some("chrome"));
+        assert_eq!(req.param("bare"), Some(""));
+        assert_eq!(req.param("missing"), None);
+    }
+
+    #[test]
+    fn chunked_responses_frame_and_terminate() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut raw = String::new();
+            s.read_to_string(&mut raw).unwrap();
+            raw
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut resp = ChunkedResponse::begin(&stream, 200, NDJSON_CONTENT_TYPE).unwrap();
+        resp.chunk(b"{\"layer\":1}\n").unwrap();
+        resp.chunk(b"").unwrap(); // empty payloads must not terminate the stream
+        resp.chunk(b"{\"layer\":2}\n").unwrap();
+        resp.finish().unwrap();
+        drop(stream);
+        let raw = reader.join().unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+        assert!(
+            raw.contains("Transfer-Encoding: chunked\r\n") && !raw.contains("Content-Length"),
+            "{raw}"
+        );
+        assert!(raw.contains("Connection: close\r\n"), "{raw}");
+        // 12 bytes per line -> hex "c" framing, then the terminator.
+        assert!(raw.contains("c\r\n{\"layer\":1}\n\r\n"), "{raw}");
+        assert!(raw.contains("c\r\n{\"layer\":2}\n\r\n"), "{raw}");
+        assert!(raw.ends_with("0\r\n\r\n"), "{raw}");
     }
 
     #[test]

@@ -8,11 +8,17 @@
 //!
 //! * `POST /query` — run an ACQ request (`?explain=1` adds an
 //!   EXPLAIN-style profile with the Eq. 17 reuse accounting);
+//! * `GET /query/<id>/progress` — live refinement progress as NDJSON over
+//!   chunked transfer encoding: one event per layer boundary, a terminal
+//!   line carrying the exact `POST /query` response body;
 //! * `GET /metrics` — Prometheus text: the absorbed per-query pipeline
 //!   instruments plus serve-level rates and decaying latency quantiles;
+//! * `GET /timeseries` — the metrics flight recorder: a bounded
+//!   delta-encoded ring of counter samples with per-counter rates;
 //! * `GET /queries` — the in-flight + recently-completed query registry;
 //! * `GET /trace/<id>` — a completed query's span tree, with honest
-//!   truncation reporting;
+//!   truncation reporting (`?format=chrome` re-renders it as Chrome
+//!   trace-event JSON for Perfetto);
 //! * `GET /healthz`, `GET /readyz` — liveness and readiness;
 //! * `POST /shutdown` — graceful stop via the workspace's
 //!   [`acquire_core::CancellationToken`]; in-flight searches return their
@@ -39,11 +45,13 @@ pub mod admission;
 pub mod cli;
 pub mod handlers;
 pub mod http;
+pub mod progress;
 pub mod server;
 pub mod state;
 pub mod telemetry;
 
 pub use admission::{Admission, QueryGate, RateLimiters, TokenBucket};
+pub use progress::{ProgressBroker, ProgressChannel};
 pub use server::Server;
 pub use state::{ServeConfig, ServerState};
 pub use telemetry::Telemetry;

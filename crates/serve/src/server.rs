@@ -25,6 +25,7 @@ use acq_engine::Catalog;
 
 use crate::handlers::handle;
 use crate::http::{write_response, Conn, HttpError, Response};
+use crate::progress::{progress_path_id, stream_progress};
 use crate::state::{ServeConfig, ServerState};
 
 /// How often the accept loop polls the shutdown token while idle.
@@ -286,6 +287,26 @@ fn serve_connection(stream: &TcpStream, state: &Arc<ServerState>) {
             };
         if served > 0 {
             state.telemetry.admission.keepalive_reuses.inc();
+        }
+        // Streaming bypass: `GET /query/<id>/progress` writes chunked
+        // NDJSON on the socket directly, so it cannot go through the
+        // buffered handle → write_response path. Errors (bad id, unknown
+        // query) come back as ordinary responses and keep the session.
+        if let Some(id) = progress_path_id(&req.method, &req.path) {
+            state.telemetry.record_request(state.now());
+            match stream_progress(state, stream, id) {
+                Some(resp) => {
+                    let keep = req.keep_alive()
+                        && served + 1 < cfg.max_requests_per_conn
+                        && !state.shutdown.is_cancelled();
+                    if write_response(stream, &resp, keep).is_err() || !keep {
+                        return;
+                    }
+                    continue;
+                }
+                // Chunked responses are Connection: close by construction.
+                None => return,
+            }
         }
         let resp = handle(state, &req, peer);
         let keep = req.keep_alive()

@@ -1,13 +1,15 @@
 //! Shared server state and configuration.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acq_engine::Catalog;
-use acq_obs::{Metrics, QueryRegistry};
+use acq_obs::{FlightRecorder, Metrics, QueryRegistry};
 use acquire_core::{CancellationToken, EvalLayerKind};
 
 use crate::admission::{QueryGate, RateLimiters};
+use crate::progress::ProgressBroker;
 use crate::telemetry::Telemetry;
 
 /// Server configuration; [`ServeConfig::default`] is what the tests and the
@@ -68,6 +70,10 @@ pub struct ServeConfig {
     /// Budget multiplier applied to degraded admissions
     /// ([`acquire_core::ExecutionBudget::shrunk`]).
     pub degrade_factor: f64,
+    /// Sampling cadence of the metrics flight recorder (`GET /timeseries`).
+    pub recorder_cadence: Duration,
+    /// Samples the flight recorder retains before evicting the oldest.
+    pub recorder_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +102,8 @@ impl Default for ServeConfig {
             global_burst: 32.0,
             degrade_watermark: 0.75,
             degrade_factor: 0.25,
+            recorder_cadence: acq_obs::DEFAULT_RECORDER_CADENCE,
+            recorder_capacity: acq_obs::DEFAULT_RECORDER_CAPACITY,
         }
     }
 }
@@ -109,8 +117,13 @@ pub struct ServerState {
     /// request builds its own cheap `Executor` without cross-request locks.
     pub catalog: Catalog,
     /// Process-scoped pipeline instruments; per-query snapshots are folded
-    /// in as requests complete ([`Metrics::absorb_snapshot`]).
-    pub metrics: Metrics,
+    /// in as requests complete ([`Metrics::absorb_snapshot`]). `Arc`'d so
+    /// the flight-recorder sampler thread can hold its own reference.
+    pub metrics: Arc<Metrics>,
+    /// Background sampler over `metrics`; `GET /timeseries` renders it.
+    pub recorder: FlightRecorder,
+    /// Live progress channels for streaming `GET /query/<id>/progress`.
+    pub progress: ProgressBroker,
     /// Serve-level request telemetry (rates, decaying latency, admission).
     pub telemetry: Telemetry,
     /// In-flight + recently completed queries.
@@ -145,10 +158,18 @@ impl ServerState {
             config.global_burst,
         );
         let completed_capacity = config.completed_capacity;
+        let metrics = Arc::new(Metrics::new());
+        let recorder = FlightRecorder::start(
+            Arc::clone(&metrics),
+            config.recorder_cadence,
+            config.recorder_capacity,
+        );
         Self {
             config,
             catalog,
-            metrics: Metrics::new(),
+            metrics,
+            recorder,
+            progress: ProgressBroker::default(),
             telemetry: Telemetry::new(),
             registry: QueryRegistry::new(completed_capacity),
             gate,

@@ -266,6 +266,209 @@ fn malformed_requests_get_4xx_not_a_hang() {
     assert_eq!(status, 413);
 }
 
+/// One blocking exchange returning the raw response text (status line,
+/// headers and body) for header-level assertions.
+fn http_raw(addr: SocketAddr, method: &str, target: &str, body: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let req = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    raw
+}
+
+/// Reassembles a `Transfer-Encoding: chunked` body into its payload.
+/// Panics unless the stream ends with the zero-length terminal chunk —
+/// a missing terminator is the protocol's honest truncation signal.
+fn dechunk(raw: &str) -> String {
+    let mut out = String::new();
+    let mut rest = raw;
+    loop {
+        let (size_line, tail) = rest.split_once("\r\n").expect("chunk size line");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            return out;
+        }
+        out.push_str(&tail[..size]);
+        assert_eq!(&tail[size..size + 2], "\r\n", "chunk data terminator");
+        rest = &tail[size + 2..];
+    }
+}
+
+fn progress_schema() -> JsonValue {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas/progress.schema.json");
+    parse(&std::fs::read_to_string(&path).unwrap()).unwrap()
+}
+
+#[test]
+fn progress_stream_replays_monotone_schema_valid_events() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let schema = progress_schema();
+    for threads in [1usize, 2, 4, 8] {
+        let body = format!("{{\"sql\":\"{SQL}\",\"threads\":{threads}}}");
+        let (status, resp) = http(addr, "POST", "/query", &body);
+        assert_eq!(status, 200, "threads={threads}: {resp}");
+        let id = parse(&resp)
+            .unwrap()
+            .pointer("/id")
+            .and_then(JsonValue::as_u64)
+            .unwrap();
+
+        // The broker retains finished channels, so the stream replays the
+        // full event history after the query has already completed.
+        let raw = http_raw(addr, "GET", &format!("/query/{id}/progress"), "");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        assert!(
+            raw.contains("Transfer-Encoding: chunked\r\n")
+                && raw.contains("Content-Type: application/x-ndjson\r\n"),
+            "{raw}"
+        );
+        let body = raw.split_once("\r\n\r\n").unwrap().1;
+        let ndjson = dechunk(body);
+        let lines: Vec<&str> = ndjson.lines().collect();
+        assert!(!lines.is_empty(), "no events for threads={threads}");
+
+        // Every line validates against the published schema; `explored` is
+        // strictly monotone; only the last line is terminal.
+        let mut last_explored = 0u64;
+        for (i, line) in lines.iter().enumerate() {
+            let event = parse(line).unwrap_or_else(|e| panic!("bad NDJSON {line}: {e:?}"));
+            let errors = acq_obs::schema::validate(&schema, &event);
+            assert!(errors.is_empty(), "{line}: {errors:?}");
+            let explored = event
+                .pointer("/explored")
+                .and_then(JsonValue::as_u64)
+                .unwrap();
+            assert!(
+                explored > last_explored || (i == 0 && explored > 0),
+                "explored not strictly monotone at line {i}: {ndjson}"
+            );
+            last_explored = explored;
+            assert_eq!(
+                event.pointer("/terminal").and_then(JsonValue::as_bool),
+                Some(i == lines.len() - 1),
+                "terminal must be the last event and only it: {ndjson}"
+            );
+        }
+
+        // The terminal event embeds the sealed outcome *verbatim* — the
+        // stream's answer is byte-identical to the POST /query response.
+        let terminal = lines.last().unwrap();
+        assert!(
+            terminal.ends_with(&format!(",\"outcome\":{resp}}}")),
+            "terminal outcome is not the POST body byte-for-byte:\n{terminal}\nvs\n{resp}"
+        );
+    }
+}
+
+#[test]
+fn progress_stream_error_statuses() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let (status, _) = http(addr, "GET", "/query/not-a-number/progress", "");
+    assert_eq!(status, 400);
+    let (status, _) = http(addr, "GET", "/query/999/progress", "");
+    assert_eq!(status, 404, "unknown id");
+    // Non-GET methods fall through to normal dispatch (405/404), never the
+    // streaming path.
+    let (status, _) = http(addr, "POST", "/query/1/progress", "");
+    assert_ne!(status, 200);
+}
+
+#[test]
+fn timeseries_surface_reports_recorder_state() {
+    let server = start(ServeConfig {
+        recorder_cadence: Duration::from_millis(20),
+        recorder_capacity: 16,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    // Let the sampler take a few samples at its fast test cadence.
+    std::thread::sleep(Duration::from_millis(120));
+    let (status, body) = http(addr, "GET", "/timeseries", "");
+    assert_eq!(status, 200, "{body}");
+    let v = parse(&body).unwrap();
+    assert_eq!(v.pointer("/version").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(
+        v.pointer("/cadence_ms").and_then(JsonValue::as_u64),
+        Some(20)
+    );
+    assert_eq!(v.pointer("/capacity").and_then(JsonValue::as_u64), Some(16));
+    let counters = match v.pointer("/counters") {
+        Some(JsonValue::Arr(a)) => a.len(),
+        other => panic!("counters not an array: {other:?}"),
+    };
+    assert!(counters > 0, "{body}");
+    let samples = match v.pointer("/samples") {
+        Some(JsonValue::Arr(a)) => a.len(),
+        other => panic!("samples not an array: {other:?}"),
+    };
+    assert!(samples >= 2, "sampler took no samples: {body}");
+
+    // The rate window is a query parameter; non-positive values are refused.
+    let (status, _) = http(addr, "GET", "/timeseries?window=5", "");
+    assert_eq!(status, 200);
+    let (status, _) = http(addr, "GET", "/timeseries?window=0", "");
+    assert_eq!(status, 400);
+}
+
+#[test]
+fn metrics_content_type_is_versioned_prometheus_text() {
+    let server = start(ServeConfig::default());
+    let raw = http_raw(server.addr(), "GET", "/metrics", "");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(
+        raw.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"),
+        "scrapers negotiate on the versioned text content type: {raw}"
+    );
+}
+
+#[test]
+fn trace_chrome_format_exports_trace_events() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let body = format!("{{\"sql\":\"{SQL}\"}}");
+    let (status, resp) = http(addr, "POST", "/query", &body);
+    assert_eq!(status, 200, "{resp}");
+    let id = parse(&resp)
+        .unwrap()
+        .pointer("/id")
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+
+    let (status, chrome) = http(addr, "GET", &format!("/trace/{id}?format=chrome"), "");
+    assert_eq!(status, 200, "{chrome}");
+    let t = parse(&chrome).unwrap();
+    let events = match t.pointer("/traceEvents") {
+        Some(JsonValue::Arr(a)) => a.clone(),
+        other => panic!("traceEvents not an array: {other:?} in {chrome}"),
+    };
+    assert!(!events.is_empty(), "{chrome}");
+    for e in &events {
+        assert!(e.pointer("/name").and_then(JsonValue::as_str).is_some());
+        assert!(e.pointer("/ph").and_then(JsonValue::as_str).is_some());
+    }
+    assert_eq!(
+        t.pointer("/otherData/dropped").and_then(JsonValue::as_u64),
+        Some(0),
+        "{chrome}"
+    );
+
+    // Explicit json format matches the default render; unknown formats 400.
+    let (_, plain) = http(addr, "GET", &format!("/trace/{id}"), "");
+    let (_, json_fmt) = http(addr, "GET", &format!("/trace/{id}?format=json"), "");
+    assert_eq!(plain, json_fmt);
+    let (status, _) = http(addr, "GET", &format!("/trace/{id}?format=perfetto"), "");
+    assert_eq!(status, 400);
+}
+
 #[test]
 fn shutdown_endpoint_stops_the_server() {
     let mut server = start(ServeConfig::default());

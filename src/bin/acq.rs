@@ -18,11 +18,14 @@
 
 use std::process::ExitCode;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acquire::core::{
-    run_acquire_observed, run_contraction, AcqOutcome, AcquireConfig, EvalLayerKind,
-    ExecutionBudget, ExplainProfile, FaultPolicy, Obs, Termination,
+    run_acquire_progress, run_contraction, AcqOutcome, AcquireConfig, CancellationToken,
+    EvalLayerKind, ExecutionBudget, ExplainProfile, FaultPolicy, Obs, ProgressSink, Termination,
+    DEFAULT_PROGRESS_CAPACITY,
 };
 use acquire::datagen::{patients, tpch, users, GenConfig};
 use acquire::engine::{csv, Catalog, Executor};
@@ -49,6 +52,8 @@ struct Opts {
     best_effort: bool,
     trace: bool,
     trace_out: Option<String>,
+    trace_chrome: bool,
+    progress: bool,
     metrics_out: Option<String>,
 }
 
@@ -74,6 +79,8 @@ impl Default for Opts {
             best_effort: false,
             trace: false,
             trace_out: None,
+            trace_chrome: false,
+            progress: false,
             metrics_out: None,
         }
     }
@@ -109,6 +116,11 @@ options:
   --trace             print a human-readable phase-span trace of the search
                       to stderr
   --trace-out PATH    write the trace to PATH instead
+  --trace-format FMT  text | chrome; chrome emits Chrome trace-event JSON
+                      loadable in ui.perfetto.dev, and implies --trace when
+                      no trace sink is set
+  --progress          stream refinement progress to stderr while the search
+                      runs: one NDJSON event per layer boundary
   --metrics-out PATH  write a JSON metrics snapshot (counters, gauges,
                       latency histograms, worker utilisation) to PATH
   --help              this message
@@ -189,6 +201,14 @@ fn parse_args() -> Result<Opts, String> {
             "--best-effort" => opts.best_effort = true,
             "--trace" => opts.trace = true,
             "--trace-out" => opts.trace_out = Some(need("--trace-out")?),
+            "--trace-format" => {
+                opts.trace_chrome = match need("--trace-format")?.as_str() {
+                    "text" => false,
+                    "chrome" => true,
+                    other => return Err(format!("unknown trace format {other} (text|chrome)")),
+                };
+            }
+            "--progress" => opts.progress = true,
             "--metrics-out" => opts.metrics_out = Some(need("--metrics-out")?),
             "--timeout" => {
                 let secs: f64 = need("--timeout")?
@@ -472,7 +492,7 @@ fn run() -> Result<(), String> {
 
     // Observability: tracing when a trace sink is requested, counters-only
     // when only metrics/JSON are, disabled otherwise (the zero-cost default).
-    let tracing = opts.trace || opts.trace_out.is_some();
+    let tracing = opts.trace || opts.trace_out.is_some() || opts.trace_chrome;
     let obs = if tracing {
         Obs::with_trace(acquire::obs::DEFAULT_TRACE_CAPACITY)
     } else if opts.metrics_out.is_some() || opts.json || opts.explain {
@@ -484,6 +504,38 @@ fn run() -> Result<(), String> {
     };
 
     let mut exec = Executor::new(catalog);
+
+    // --progress: a polling printer drains the driver's wait-free sink to
+    // stderr so stdout stays reserved for the answer. The `done` flag covers
+    // runs that never reach a terminal event (contraction searches drive no
+    // sink): the printer reads it *before* draining, guaranteeing one final
+    // drain after the search ends.
+    let progress = opts
+        .progress
+        .then(|| Arc::new(ProgressSink::new(DEFAULT_PROGRESS_CAPACITY)));
+    let done = Arc::new(AtomicBool::new(false));
+    let printer = progress.as_ref().map(|sink| {
+        let sink = Arc::clone(sink);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut cursor = 0u64;
+            loop {
+                let was_done = done.load(Ordering::Acquire);
+                let (events, next, _missed) = sink.drain_from(cursor);
+                cursor = next;
+                let mut terminal = false;
+                for e in &events {
+                    eprintln!("{}", e.to_json());
+                    terminal |= e.terminal;
+                }
+                if terminal || was_done {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    });
+
     let search_started = Instant::now();
     let outcome = match query.constraint.op {
         CmpOp::Le | CmpOp::Lt => {
@@ -495,8 +547,16 @@ fn run() -> Result<(), String> {
             run_contraction(&mut exec, &query, &cfg, opts.layer).map_err(|e| e.to_string())?
         }
         _ => {
-            let expanded = run_acquire_observed(&mut exec, &query, &cfg, opts.layer, &obs)
-                .map_err(|e| e.to_string())?;
+            let expanded = run_acquire_progress(
+                &mut exec,
+                &query,
+                &cfg,
+                opts.layer,
+                &CancellationToken::new(),
+                &obs,
+                progress.as_deref(),
+            )
+            .map_err(|e| e.to_string())?;
             // §7.2 also covers `=` constraints whose original query already
             // returns too much: expansion can only grow the aggregate, so
             // fall through to the contraction search.
@@ -525,6 +585,10 @@ fn run() -> Result<(), String> {
         }
     };
     let search_duration = search_started.elapsed();
+    done.store(true, Ordering::Release);
+    if let Some(handle) = printer {
+        let _ = handle.join();
+    }
     if opts.explain && !opts.json {
         println!("base-relation plan:");
         for line in exec.last_plan() {
@@ -548,12 +612,23 @@ fn run() -> Result<(), String> {
     if opts.explain && !opts.json {
         println!("{}", profile.as_ref().expect("built above").render_text());
     }
-    if let Some(trace) = obs.render_trace() {
+    let trace = if opts.trace_chrome {
+        obs.render_trace_chrome()
+    } else {
+        obs.render_trace()
+    };
+    if let Some(trace) = trace {
         if let Some(path) = &opts.trace_out {
             std::fs::write(path, &trace).map_err(|e| format!("--trace-out {path}: {e}"))?;
         }
-        if opts.trace {
-            eprint!("{trace}");
+        // Chrome format implies stderr output when no file sink is set; the
+        // text render carries its own trailing newline, the JSON does not.
+        if opts.trace || (opts.trace_chrome && opts.trace_out.is_none()) {
+            if opts.trace_chrome {
+                eprintln!("{trace}");
+            } else {
+                eprint!("{trace}");
+            }
         }
     }
     if let Some(path) = &opts.metrics_out {
