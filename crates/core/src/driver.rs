@@ -122,6 +122,16 @@ pub fn acquire_observed<E: EvaluationLayer>(
     acquire_progress(eval, query, cfg, cancel, obs, None)
 }
 
+/// The serial progress commit: the single place the driver pushes into a
+/// [`ProgressSink`]. Stamping the elapsed time and pushing live in one
+/// named function so `[commit-reachability]` can root its closure exactly
+/// here — everything this (and [`ProgressSink::try_push`]) touches must
+/// stay wait-free.
+fn emit_progress(sink: &ProgressSink, start: Instant, mut event: ProgressEvent) {
+    event.elapsed_ms = start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+    sink.try_push(event);
+}
+
 /// [`acquire_observed`] with an optional live [`ProgressSink`].
 ///
 /// With a sink attached the driver emits a [`ProgressEvent`] at every
@@ -315,16 +325,20 @@ pub fn acquire_progress<E: EvaluationLayer>(
                 // across these events — at least one cell commits between
                 // consecutive boundaries.
                 if let (Some(sink), Some(start)) = (progress, progress_start) {
-                    sink.try_push(ProgressEvent {
-                        query_id: progress_query_id,
-                        layer,
-                        explored,
-                        frontier: batch.len() as u64,
-                        store_bytes: explorer.store().approx_bytes() as u64,
-                        zones_pruned: eval.stats().zones_pruned,
-                        elapsed_ms: start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
-                        terminal: false,
-                    });
+                    emit_progress(
+                        sink,
+                        start,
+                        ProgressEvent {
+                            query_id: progress_query_id,
+                            layer,
+                            explored,
+                            frontier: batch.len() as u64,
+                            store_bytes: explorer.store().approx_bytes() as u64,
+                            zones_pruned: eval.stats().zones_pruned,
+                            elapsed_ms: 0,
+                            terminal: false,
+                        },
+                    );
                 }
             }
             let (computed, cell_ns) = match prefetched.as_mut().and_then(|slots| slots[i].take()) {
@@ -475,16 +489,20 @@ pub fn acquire_progress<E: EvaluationLayer>(
     };
     let stats = eval.stats();
     if let (Some(sink), Some(start)) = (progress, progress_start) {
-        sink.try_push(ProgressEvent {
-            query_id: progress_query_id,
-            layer: current_layer,
-            explored,
-            frontier: 0,
-            store_bytes: explorer.store().approx_bytes() as u64,
-            zones_pruned: stats.zones_pruned,
-            elapsed_ms: start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
-            terminal: true,
-        });
+        emit_progress(
+            sink,
+            start,
+            ProgressEvent {
+                query_id: progress_query_id,
+                layer: current_layer,
+                explored,
+                frontier: 0,
+                store_bytes: explorer.store().approx_bytes() as u64,
+                zones_pruned: stats.zones_pruned,
+                elapsed_ms: 0,
+                terminal: true,
+            },
+        );
     }
     if obs.is_enabled() {
         obs.record_exec_stats(&stats.fields());

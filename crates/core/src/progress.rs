@@ -167,7 +167,7 @@ impl ProgressSink {
         let head = self.head.load(Ordering::Acquire);
         let cap = self.slots.len() as u64;
         let oldest = head.saturating_sub(cap);
-        let mut missed = if cursor < oldest { oldest - cursor } else { 0 };
+        let mut missed = oldest.saturating_sub(cursor);
         let start = cursor.max(oldest);
         let mut events = Vec::new();
         for seq in start..head {

@@ -1,0 +1,242 @@
+//! The suppression ratchet (`lint-baseline.json`).
+//!
+//! The committed baseline records, per rule, how many findings survive as
+//! violations and how many an escape hatch absorbed. CI regenerates the
+//! counts from the current report and compares: **counts may only go
+//! down**. A new suppression — inline annotation or `lint.toml` prefix —
+//! shows up as an `allowed` count going up and fails the ratchet, so every
+//! new escape hatch is a deliberate, reviewed baseline update
+//! (`acq-lint --write-baseline`), never a drive-by. Paired with the
+//! `suppression-audit` rule (dead hatches are errors) the suppression
+//! population is squeezed from both ends.
+//!
+//! The parser covers exactly the JSON this module writes, in the same
+//! zero-dependency spirit as the `lint.toml` parser.
+
+use std::collections::BTreeMap;
+
+use crate::report::{escape, Report};
+use crate::rules;
+
+/// Per-rule finding counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Findings that survived every escape hatch.
+    pub violations: u64,
+    /// Findings an inline annotation or `lint.toml` absorbed.
+    pub allowed: u64,
+}
+
+/// The committed per-rule counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Counts keyed by rule name; rules with zero findings are included so
+    /// the file is self-describing.
+    pub rules: BTreeMap<String, Counts>,
+}
+
+impl Baseline {
+    /// Tallies the current report into a baseline.
+    #[must_use]
+    pub fn from_report(report: &Report) -> Self {
+        let mut rules_map: BTreeMap<String, Counts> = rules::ALL
+            .iter()
+            .map(|r| ((*r).to_string(), Counts::default()))
+            .collect();
+        for d in &report.violations {
+            rules_map.entry(d.rule.to_string()).or_default().violations += 1;
+        }
+        for a in &report.allowed {
+            rules_map
+                .entry(a.diagnostic.rule.to_string())
+                .or_default()
+                .allowed += 1;
+        }
+        Self { rules: rules_map }
+    }
+
+    /// Renders the committed JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"rules\": {\n");
+        let last = self.rules.len().saturating_sub(1);
+        for (i, (rule, c)) in self.rules.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{ \"violations\": {}, \"allowed\": {} }}{}\n",
+                escape(rule),
+                c.violations,
+                c.allowed,
+                if i < last { "," } else { "" }
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the committed JSON form.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let rules_start = text
+            .find("\"rules\"")
+            .ok_or_else(|| "missing \"rules\" object".to_string())?;
+        let mut rest = &text[rules_start + "\"rules\"".len()..];
+        rest = rest
+            .trim_start()
+            .strip_prefix(':')
+            .and_then(|r| r.trim_start().strip_prefix('{'))
+            .ok_or_else(|| "\"rules\" is not an object".to_string())?;
+        let mut rules_map = BTreeMap::new();
+        loop {
+            rest = rest.trim_start();
+            if rest.starts_with('}') {
+                break;
+            }
+            rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+            let (rule, after_key) = parse_string(rest)?;
+            rest = after_key
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| format!("{rule}: expected `:`"))?;
+            let (violations, r) = parse_field(rest, "violations")?;
+            let (allowed_count, r) = parse_field(r, "allowed")?;
+            rest = r
+                .trim_start()
+                .strip_prefix('}')
+                .ok_or_else(|| format!("{rule}: unterminated counts object"))?;
+            rules_map.insert(
+                rule,
+                Counts {
+                    violations,
+                    allowed: allowed_count,
+                },
+            );
+        }
+        Ok(Self { rules: rules_map })
+    }
+
+    /// The ratchet: every count in `current` must be `<=` the committed
+    /// count. Returns one message per regression, empty when the ratchet
+    /// holds. Rules absent from the committed baseline start at zero.
+    #[must_use]
+    pub fn regressions(&self, current: &Self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (rule, now) in &current.rules {
+            let base = self.rules.get(rule).copied().unwrap_or_default();
+            if now.violations > base.violations {
+                out.push(format!(
+                    "{rule}: violations went {} -> {} (baseline ratchet only goes down)",
+                    base.violations, now.violations
+                ));
+            }
+            if now.allowed > base.allowed {
+                out.push(format!(
+                    "{rule}: suppressed findings went {} -> {}; new escape hatches need a \
+                     reviewed `--write-baseline` update",
+                    base.allowed, now.allowed
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Parses a leading `"string"`, returning it and the remainder.
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let body = s
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected a string at {:?}", &s[..s.len().min(20)]))?;
+    let end = body
+        .find('"')
+        .ok_or_else(|| "unterminated string".to_string())?;
+    Ok((body[..end].to_string(), &body[end + 1..]))
+}
+
+/// Parses `{ "name": 123` (first field) or `, "name": 123` and returns the
+/// number plus the remainder after it.
+fn parse_field<'a>(s: &'a str, name: &str) -> Result<(u64, &'a str), String> {
+    let s = s.trim_start();
+    let s = s
+        .strip_prefix('{')
+        .or_else(|| s.strip_prefix(','))
+        .map_or(s, str::trim_start);
+    let (key, rest) = parse_string(s)?;
+    if key != name {
+        return Err(format!("expected field {name:?}, found {key:?}"));
+    }
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("{name}: expected `:`"))?
+        .trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return Err(format!("{name}: expected a number"));
+    }
+    let value = digits.parse::<u64>().map_err(|e| format!("{name}: {e}"))?;
+    Ok((value, &rest[digits.len()..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Allowed, AllowedBy, Diagnostic};
+
+    fn report(v: &[&'static str], a: &[&'static str]) -> Report {
+        let diag = |rule: &'static str| Diagnostic {
+            rule,
+            file: "crates/x/src/a.rs".to_string(),
+            line: 1,
+            col: 1,
+            message: "m".to_string(),
+        };
+        Report {
+            files_scanned: 1,
+            violations: v.iter().map(|r| diag(r)).collect(),
+            allowed: a
+                .iter()
+                .map(|r| Allowed {
+                    diagnostic: diag(r),
+                    by: AllowedBy::Inline,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = Baseline::from_report(&report(
+            &["panic-hygiene"],
+            &["atomics-audit", "atomics-audit", "commit-reachability"],
+        ));
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.rules["atomics-audit"].allowed, 2);
+        assert_eq!(parsed.rules["panic-hygiene"].violations, 1);
+        // Every rule appears even at zero.
+        assert_eq!(parsed.rules.len(), crate::rules::ALL.len());
+    }
+
+    #[test]
+    fn ratchet_flags_only_increases() {
+        let base = Baseline::from_report(&report(&[], &["atomics-audit", "atomics-audit"]));
+        let fewer = Baseline::from_report(&report(&[], &["atomics-audit"]));
+        assert!(base.regressions(&fewer).is_empty(), "going down is fine");
+        let more = Baseline::from_report(&report(
+            &[],
+            &["atomics-audit", "atomics-audit", "atomics-audit"],
+        ));
+        let regs = base.regressions(&more);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(
+            regs[0].contains("atomics-audit: suppressed findings went 2 -> 3"),
+            "{regs:?}"
+        );
+        let new_violation = Baseline::from_report(&report(&["lock-order"], &[]));
+        assert!(!base.regressions(&new_violation).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"rules\": {\"x\": {\"violations\": }}}").is_err());
+    }
+}

@@ -17,14 +17,31 @@
 //!
 //! [obs-discipline]
 //! worker_paths = ["crates/core/src/pool.rs"]
-//! commit_paths = ["crates/serve/src/telemetry.rs"]
 //! zone_stat_paths = ["crates/engine/src/zone.rs"]
 //! progress_sink_paths = ["crates/core/src/driver.rs"]
+//!
+//! [commit-reachability]
+//! # serial-emission commit functions: `<file>::<fn>` or `<file>::*`
+//! roots = ["crates/serve/src/telemetry.rs::*"]
 //! ```
 
 use std::collections::BTreeMap;
 
 use crate::rules;
+
+/// One configuration entry with its `lint.toml` position, recorded so the
+/// suppression audit can point at stale prefixes.
+#[derive(Debug, Clone)]
+pub struct ConfigEntry {
+    /// Section name (`allow`, `determinism`, …).
+    pub section: String,
+    /// Key inside the section (`panic-hygiene`, `clock_allowed`, …).
+    pub key: String,
+    /// One array element (a path prefix or a commit root).
+    pub value: String,
+    /// 1-based line of the key in `lint.toml`.
+    pub line: u32,
+}
 
 /// Parsed configuration. Path values are workspace-relative prefixes: an
 /// entry matches a file when it is a prefix of the file's relative path, so
@@ -42,9 +59,11 @@ pub struct Config {
     pub sleep_allowed: Vec<String>,
     /// Worker-closure files where metric commits need `worker-metric-ok`.
     pub worker_paths: Vec<String>,
-    /// Instrument-commit-path files where blocking I/O and lock acquisition
-    /// need `commit-io-ok`.
-    pub commit_paths: Vec<String>,
+    /// Serial-emission commit functions (`<file>::<fn>` or `<file>::*`):
+    /// the roots of the commit-reachability closure. Everything transitively
+    /// callable from a root must stay wait-free unless a blocking site
+    /// carries `// commit-io-ok: <reason>`.
+    pub commit_roots: Vec<String>,
     /// The only files allowed to mutate the zone-map counters
     /// (`zones_pruned`/`zones_full`/`zones_scanned`): the serial emission
     /// path plus the pure scan accounting it commits from.
@@ -53,6 +72,8 @@ pub struct Config {
     /// (`.try_push(…)`): the driver's serial layer-boundary commits, the
     /// sink's own implementation, and the serve-side broker.
     pub progress_sink_paths: Vec<String>,
+    /// Every entry with its `lint.toml` line, for the suppression audit.
+    pub entries: Vec<ConfigEntry>,
 }
 
 fn prefix_match(prefixes: &[String], rel_path: &str) -> bool {
@@ -92,10 +113,10 @@ impl Config {
         prefix_match(&self.worker_paths, rel_path)
     }
 
-    /// Whether `rel_path` is an instrument-commit path.
+    /// Parses a commit root entry into `(file, fn-or-star)`.
     #[must_use]
-    pub fn is_commit_path(&self, rel_path: &str) -> bool {
-        prefix_match(&self.commit_paths, rel_path)
+    pub fn parse_root(entry: &str) -> Option<(&str, &str)> {
+        entry.rsplit_once("::")
     }
 
     /// Whether `rel_path` may mutate the zone-map counters.
@@ -125,7 +146,7 @@ impl Config {
             if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
                 section = name.trim().to_string();
                 match section.as_str() {
-                    "allow" | "determinism" | "obs-discipline" => {}
+                    "allow" | "determinism" | "obs-discipline" | "commit-reachability" => {}
                     other => return Err(format!("line {lineno}: unknown section [{other}]")),
                 }
                 continue;
@@ -145,6 +166,12 @@ impl Config {
             }
             let values =
                 parse_string_array(&value).map_err(|e| format!("line {lineno}: {key}: {e}"))?;
+            cfg.entries.extend(values.iter().map(|v| ConfigEntry {
+                section: section.clone(),
+                key: key.to_string(),
+                value: v.clone(),
+                line: lineno as u32,
+            }));
             match (section.as_str(), key) {
                 ("allow", rule) => {
                     if !rules::ALL.contains(&rule) {
@@ -159,9 +186,9 @@ impl Config {
                 ("determinism", "clock_allowed") => cfg.clock_allowed = values,
                 ("determinism", "sleep_allowed") => cfg.sleep_allowed = values,
                 ("obs-discipline", "worker_paths") => cfg.worker_paths = values,
-                ("obs-discipline", "commit_paths") => cfg.commit_paths = values,
                 ("obs-discipline", "zone_stat_paths") => cfg.zone_stat_paths = values,
                 ("obs-discipline", "progress_sink_paths") => cfg.progress_sink_paths = values,
+                ("commit-reachability", "roots") => cfg.commit_roots = values,
                 (s, k) => return Err(format!("line {lineno}: unknown key {k:?} in [{s}]")),
             }
         }
@@ -259,9 +286,12 @@ mod tests {
              \n\
              [obs-discipline]\n\
              worker_paths = [\"crates/core/src/pool.rs\"]\n\
-             commit_paths = [\"crates/serve/src/telemetry.rs\"]\n\
              zone_stat_paths = [\"crates/engine/src/zone.rs\"]\n\
-             progress_sink_paths = [\"crates/core/src/driver.rs\"]\n",
+             progress_sink_paths = [\"crates/core/src/driver.rs\"]\n\
+             \n\
+             [commit-reachability]\n\
+             roots = [\"crates/serve/src/telemetry.rs::*\", \
+             \"crates/core/src/driver.rs::emit_progress\"]\n",
         )
         .unwrap();
         assert!(cfg.allows("panic-hygiene", "crates/compat/rand/src/lib.rs"));
@@ -270,8 +300,14 @@ mod tests {
         assert!(cfg.clock_allowed("crates/obs/src/lib.rs"));
         assert!(cfg.sleep_allowed("crates/core/src/fault.rs"));
         assert!(cfg.is_worker_path("crates/core/src/pool.rs"));
-        assert!(cfg.is_commit_path("crates/serve/src/telemetry.rs"));
-        assert!(!cfg.is_commit_path("crates/serve/src/server.rs"));
+        assert_eq!(
+            Config::parse_root(&cfg.commit_roots[0]),
+            Some(("crates/serve/src/telemetry.rs", "*"))
+        );
+        assert_eq!(
+            Config::parse_root(&cfg.commit_roots[1]),
+            Some(("crates/core/src/driver.rs", "emit_progress"))
+        );
         assert!(cfg.is_zone_stat_path("crates/engine/src/zone.rs"));
         assert!(!cfg.is_zone_stat_path("crates/engine/src/executor.rs"));
         assert!(cfg.is_progress_sink_path("crates/core/src/driver.rs"));
@@ -295,5 +331,32 @@ mod tests {
     fn hash_inside_string_is_not_a_comment() {
         let cfg = Config::parse("[allow]\ndeterminism = [\"a#b/\"]\n").unwrap();
         assert!(cfg.allows("determinism", "a#b/x.rs"));
+    }
+
+    #[test]
+    fn entries_record_lint_toml_lines() {
+        let cfg = Config::parse(
+            "[allow]\n\
+             panic-hygiene = [\"crates/compat/\"]\n\
+             [determinism]\n\
+             clock_allowed = [\n\
+                 \"crates/obs/\",\n\
+                 \"crates/bench/\",\n\
+             ]\n",
+        )
+        .unwrap();
+        let summary: Vec<(String, String, u32)> = cfg
+            .entries
+            .iter()
+            .map(|e| (e.key.clone(), e.value.clone(), e.line))
+            .collect();
+        assert_eq!(
+            summary,
+            [
+                ("panic-hygiene".into(), "crates/compat/".into(), 2),
+                ("clock_allowed".into(), "crates/obs/".into(), 4),
+                ("clock_allowed".into(), "crates/bench/".into(), 4),
+            ]
+        );
     }
 }

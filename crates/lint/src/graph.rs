@@ -1,0 +1,783 @@
+//! The approximate workspace call graph — step two of cross-file analysis.
+//!
+//! For every library function indexed by [`ItemIndex`], this layer extracts
+//! three things from the body tokens:
+//!
+//! * **call sites**, resolved to candidate workspace functions by name and
+//!   receiver shape (`self.m(…)` prefers the current impl's method,
+//!   `self.field.m(…)` follows the indexed field type, `Type::m(…)` and
+//!   `module::m(…)` follow the qualifier, bare `m(…)` prefers same-file
+//!   free functions). Resolution is deliberately an over-approximation —
+//!   when the receiver's type is unknown, every method of that name is a
+//!   candidate — except for ubiquitous std method names (`push`, `get`,
+//!   `insert`, …), where by-name fallback would connect everything to
+//!   everything and drown the rules in noise;
+//! * **blocking primitives**: the same blocking sets the PR 5 textual
+//!   commit-path contract used (`.lock()`, channel `recv`, stream I/O,
+//!   `thread::sleep`, `print!`-family macros), now recorded per function so
+//!   commit-reachability can chase them through calls. A blocking-named
+//!   method that *confidently* resolves to a workspace function (e.g. a
+//!   `fn lock(&self)` helper) is a call edge instead — the primitive is
+//!   found inside the helper;
+//! * **lock acquisitions** with an approximate hold window: from the
+//!   `.lock()` site to an explicit `drop(guard)`, else to the end of the
+//!   guard's enclosing scope (let-bound guards) or statement (temporary
+//!   guards). `try_lock` never blocks and is not an acquisition.
+
+use std::collections::BTreeMap;
+
+use crate::index::{FnItem, ItemIndex};
+use crate::lexer::{Tok, Token};
+use crate::rules::SourceFile;
+
+/// Blocking method calls (on unknown receivers). `try_lock` is the
+/// sanctioned alternative and is a distinct identifier.
+pub const BLOCKING_METHODS: [&str; 11] = [
+    "lock",
+    "read_line",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+];
+
+/// Blocking free calls (`qualifier::name`).
+pub const BLOCKING_QUALIFIED: [(&str, &str); 5] = [
+    ("thread", "sleep"),
+    ("fs", "read"),
+    ("fs", "write"),
+    ("File", "open"),
+    ("File", "create"),
+];
+
+/// Blocking output macros.
+pub const BLOCKING_MACROS: [&str; 4] = ["print", "println", "eprint", "eprintln"];
+
+/// Method names too common for by-name fallback resolution: connecting
+/// every `.push(…)` to every `fn push` in the workspace would make the
+/// over-approximation useless.
+const COMMON_METHODS: [&str; 36] = [
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "clear",
+    "take",
+    "set",
+    "extend",
+    "drain",
+    "entry",
+    "keys",
+    "values",
+    "map",
+    "filter",
+    "fold",
+    "min",
+    "max",
+    "cmp",
+    "eq",
+    "hash",
+    "fmt",
+    "drop",
+    "write",
+];
+
+/// One resolved call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Token index of the callee name identifier.
+    pub tok: usize,
+    /// Candidate callee function ids (empty: external / unresolved).
+    pub callees: Vec<usize>,
+    /// Callee name as written.
+    pub name: String,
+}
+
+/// One blocking primitive inside a function body.
+#[derive(Debug, Clone)]
+pub struct BlockingSite {
+    /// Token index of the blocking identifier.
+    pub tok: usize,
+    /// Diagnostic subject phrase (``blocking call `.lock(…)` ``).
+    pub what: String,
+}
+
+/// One lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    /// Token index of the `lock` identifier.
+    pub tok: usize,
+    /// Token index past which the guard is certainly dead.
+    pub hold_end: usize,
+    /// Stable lock name: `Owner.field` (owner = impl type or file stem).
+    pub lock: String,
+}
+
+/// Per-function call, blocking and lock facts for the whole workspace.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Call sites per function id (parallel to `ItemIndex::fns`).
+    pub calls: Vec<Vec<CallSite>>,
+    /// Blocking primitives per function id.
+    pub blocking: Vec<Vec<BlockingSite>>,
+    /// Lock acquisitions per function id.
+    pub locks: Vec<Vec<LockAcq>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every indexed lib function.
+    #[must_use]
+    pub fn build(files: &[SourceFile], idx: &ItemIndex) -> Self {
+        let mut g = Self::default();
+        for (id, item) in idx.fns.iter().enumerate() {
+            let mut ext = Extractor {
+                files,
+                idx,
+                item,
+                id,
+                calls: Vec::new(),
+                blocking: Vec::new(),
+                locks: Vec::new(),
+            };
+            if item.is_lib {
+                ext.run();
+            }
+            g.calls.push(ext.calls);
+            g.blocking.push(ext.blocking);
+            g.locks.push(ext.locks);
+        }
+        g
+    }
+
+    /// Functions reachable from `roots` (inclusive), with the BFS parent of
+    /// each reached function for chain reconstruction.
+    #[must_use]
+    pub fn reachable(&self, roots: &[usize]) -> BTreeMap<usize, Option<usize>> {
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(r) {
+                e.insert(None);
+                queue.push(r);
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let f = queue[qi];
+            qi += 1;
+            for call in &self.calls[f] {
+                for &callee in &call.callees {
+                    if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(callee) {
+                        e.insert(Some(f));
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain `root → … → f` under a BFS parent map.
+    #[must_use]
+    pub fn chain(parent: &BTreeMap<usize, Option<usize>>, mut f: usize) -> Vec<usize> {
+        let mut chain = vec![f];
+        while let Some(Some(p)) = parent.get(&f) {
+            chain.push(*p);
+            f = *p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The fixpoint lock closure: for each function, every lock name it may
+    /// acquire directly or through any callee chain.
+    #[must_use]
+    pub fn lock_closure(&self) -> Vec<Vec<String>> {
+        let n = self.calls.len();
+        let mut sets: Vec<Vec<String>> = (0..n)
+            .map(|f| {
+                let mut s: Vec<String> = self.locks[f].iter().map(|l| l.lock.clone()).collect();
+                s.sort();
+                s.dedup();
+                s
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for f in 0..n {
+                let mut merged = sets[f].clone();
+                for call in &self.calls[f] {
+                    for &callee in &call.callees {
+                        for l in &sets[callee] {
+                            if !merged.contains(l) {
+                                merged.push(l.clone());
+                            }
+                        }
+                    }
+                }
+                if merged.len() != sets[f].len() {
+                    merged.sort();
+                    sets[f] = merged;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return sets;
+            }
+        }
+    }
+}
+
+struct Extractor<'a> {
+    files: &'a [SourceFile],
+    idx: &'a ItemIndex,
+    item: &'a FnItem,
+    #[allow(dead_code)]
+    id: usize,
+    calls: Vec<CallSite>,
+    blocking: Vec<BlockingSite>,
+    locks: Vec<LockAcq>,
+}
+
+/// The receiver shape of a method call, read backwards from the `.`.
+enum Receiver {
+    /// `self.m(…)`.
+    SelfDirect,
+    /// `self.field.m(…)` — the field name.
+    SelfField(String),
+    /// `x.m(…)` / `x.y.m(…)` — the last plain identifier in the chain.
+    Ident(String),
+    /// `expr.m(…)` — a call result or index expression.
+    Expr,
+}
+
+impl Extractor<'_> {
+    fn toks(&self) -> &[Token] {
+        &self.files[self.item.file].scanned.tokens
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        match self.toks().get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        matches!(self.toks().get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    fn run(&mut self) {
+        let Some((open, close)) = self.item.body else {
+            return;
+        };
+        for i in open + 1..close {
+            let Some(name) = self.ident(i).map(str::to_string) else {
+                continue;
+            };
+            // Macros: only the blocking output family matters.
+            if self.punct(i + 1, '!') {
+                if BLOCKING_MACROS.contains(&name.as_str()) {
+                    self.blocking.push(BlockingSite {
+                        tok: i,
+                        what: format!("blocking output macro `{name}!`"),
+                    });
+                }
+                continue;
+            }
+            if !self.punct(i + 1, '(') {
+                continue;
+            }
+            let is_method = i >= 1 && self.punct(i - 1, '.');
+            let is_qualified = i >= 3 && self.punct(i - 1, ':') && self.punct(i - 2, ':');
+            if is_method {
+                self.method_call(i, &name, open, close);
+            } else if is_qualified {
+                self.qualified_call(i, &name);
+            } else {
+                self.bare_call(i, &name);
+            }
+        }
+    }
+
+    fn method_call(&mut self, i: usize, name: &str, body_open: usize, body_close: usize) {
+        let recv = self.receiver(i - 1);
+        let confident = self.resolve_confident(&recv, name);
+        if let Some(callees) = confident {
+            self.calls.push(CallSite {
+                tok: i,
+                callees,
+                name: name.to_string(),
+            });
+            return;
+        }
+        if name == "lock" {
+            let lock = self.lock_name(&recv);
+            if let Some(lock) = lock {
+                let hold_end = self.hold_end(i, body_open, body_close);
+                self.locks.push(LockAcq {
+                    tok: i,
+                    hold_end,
+                    lock,
+                });
+            }
+            self.blocking.push(BlockingSite {
+                tok: i,
+                what: "blocking call `.lock(…)`".to_string(),
+            });
+            return;
+        }
+        if BLOCKING_METHODS.contains(&name) {
+            self.blocking.push(BlockingSite {
+                tok: i,
+                what: format!("blocking call `.{name}(…)`"),
+            });
+            return;
+        }
+        // Weak fallback: every workspace method of that name, unless the
+        // name is too common to mean anything.
+        if COMMON_METHODS.contains(&name) {
+            return;
+        }
+        let callees: Vec<usize> = self
+            .idx
+            .named(name)
+            .iter()
+            .copied()
+            .filter(|&f| self.idx.fns[f].is_lib && self.idx.fns[f].impl_type.is_some())
+            .collect();
+        if !callees.is_empty() {
+            self.calls.push(CallSite {
+                tok: i,
+                callees,
+                name: name.to_string(),
+            });
+        }
+    }
+
+    fn qualified_call(&mut self, i: usize, name: &str) {
+        let Some(q) = self.ident(i - 3).map(str::to_string) else {
+            // `<T as Trait>::m(…)` and similar — unresolved.
+            return;
+        };
+        // `Type::m` first, then `module::m` (free fns in `module.rs`).
+        let mut callees: Vec<usize> = self
+            .idx
+            .named(name)
+            .iter()
+            .copied()
+            .filter(|&f| self.idx.fns[f].is_lib && self.idx.fns[f].impl_type.as_deref() == Some(&q))
+            .collect();
+        if callees.is_empty() {
+            callees = self
+                .idx
+                .named(name)
+                .iter()
+                .copied()
+                .filter(|&f| {
+                    let item = &self.idx.fns[f];
+                    item.is_lib
+                        && item.impl_type.is_none()
+                        && (self.idx.file_stems[item.file] == q || item.module.last() == Some(&q))
+                })
+                .collect();
+        }
+        if !callees.is_empty() {
+            self.calls.push(CallSite {
+                tok: i,
+                callees,
+                name: name.to_string(),
+            });
+            return;
+        }
+        for (qual, n) in BLOCKING_QUALIFIED {
+            if name == n && q == qual {
+                self.blocking.push(BlockingSite {
+                    tok: i,
+                    what: format!("blocking call `{qual}::{n}(…)`"),
+                });
+            }
+        }
+    }
+
+    fn bare_call(&mut self, i: usize, name: &str) {
+        // Keywords and constructors (`Some(…)`, `Ok(…)`) are not calls.
+        const KEYWORDS: [&str; 8] = ["if", "while", "for", "match", "return", "move", "in", "as"];
+        if KEYWORDS.contains(&name) || name.chars().next().is_some_and(char::is_uppercase) {
+            return;
+        }
+        let same_file: Vec<usize> = self
+            .idx
+            .named(name)
+            .iter()
+            .copied()
+            .filter(|&f| {
+                let item = &self.idx.fns[f];
+                item.is_lib && item.impl_type.is_none() && item.file == self.item.file
+            })
+            .collect();
+        let callees = if same_file.is_empty() {
+            self.idx
+                .named(name)
+                .iter()
+                .copied()
+                .filter(|&f| self.idx.fns[f].is_lib && self.idx.fns[f].impl_type.is_none())
+                .collect()
+        } else {
+            same_file
+        };
+        if !callees.is_empty() {
+            self.calls.push(CallSite {
+                tok: i,
+                callees,
+                name: name.to_string(),
+            });
+        }
+    }
+
+    /// Reads the receiver chain backwards from the `.` at `dot`.
+    fn receiver(&self, dot: usize) -> Receiver {
+        let mut idents: Vec<String> = Vec::new();
+        let mut j = dot;
+        while j >= 1 && self.punct(j, '.') {
+            match self.ident(j - 1) {
+                Some(name) => {
+                    idents.push(name.to_string());
+                    if j < 2 {
+                        break;
+                    }
+                    j -= 2;
+                }
+                None => return Receiver::Expr, // `foo().m(…)`, `a[i].m(…)`
+            }
+        }
+        idents.reverse();
+        match idents.as_slice() {
+            [one] if one == "self" => Receiver::SelfDirect,
+            [first, rest @ ..] if first == "self" && !rest.is_empty() => {
+                Receiver::SelfField(rest[rest.len() - 1].clone())
+            }
+            [.., last] => Receiver::Ident(last.clone()),
+            [] => Receiver::Expr,
+        }
+    }
+
+    /// Type-confident resolution: the receiver's type is known and has a
+    /// method of this name in the index.
+    fn resolve_confident(&self, recv: &Receiver, name: &str) -> Option<Vec<usize>> {
+        let ty: &str = match recv {
+            Receiver::SelfDirect => self.item.impl_type.as_deref()?,
+            Receiver::SelfField(field) => {
+                let owner = self.item.impl_type.as_deref()?;
+                self.idx.field_type(owner, field)?
+            }
+            Receiver::Ident(_) | Receiver::Expr => return None,
+        };
+        let callees: Vec<usize> = self
+            .idx
+            .named(name)
+            .iter()
+            .copied()
+            .filter(|&f| self.idx.fns[f].is_lib && self.idx.fns[f].impl_type.as_deref() == Some(ty))
+            .collect();
+        (!callees.is_empty()).then_some(callees)
+    }
+
+    /// The stable name of the mutex acquired at a `.lock()` site:
+    /// `Owner.field` where owner is the impl type (or the file stem at file
+    /// scope) and field is the last identifier in the receiver chain.
+    fn lock_name(&self, recv: &Receiver) -> Option<String> {
+        let owner = self
+            .item
+            .impl_type
+            .clone()
+            .unwrap_or_else(|| self.idx.file_stems[self.item.file].clone());
+        match recv {
+            Receiver::SelfField(field) => Some(format!("{owner}.{field}")),
+            Receiver::Ident(name) => Some(format!("{owner}.{name}")),
+            Receiver::SelfDirect | Receiver::Expr => None,
+        }
+    }
+
+    /// The token index past which the guard from the `.lock()` at `i` is
+    /// certainly dead: an explicit `drop(guard)`, the end of the enclosing
+    /// scope for let-bound guards, or the end of the statement for
+    /// temporaries.
+    fn hold_end(&self, i: usize, body_open: usize, body_close: usize) -> usize {
+        let scope_close = self.enclosing_scope_close(i, body_open, body_close);
+        // `let [mut] g = <chain>.lock()…` — find the binding, if any.
+        let chain_start = self.chain_start(i);
+        let guard = self.let_guard(chain_start);
+        match guard {
+            Some(g) => {
+                // `drop(g)` before scope end kills the guard early.
+                let toks = self.toks();
+                for j in i..scope_close {
+                    if self.ident(j) == Some("drop")
+                        && self.punct(j + 1, '(')
+                        && self.ident(j + 2) == Some(&g)
+                        && self.punct(j + 3, ')')
+                    {
+                        return j;
+                    }
+                    let _ = toks;
+                }
+                scope_close
+            }
+            None => {
+                // Temporary guard: dead at the end of the statement.
+                let mut depth = 0i32;
+                for j in i..scope_close {
+                    if self.punct(j, '(') || self.punct(j, '[') {
+                        depth += 1;
+                    } else if self.punct(j, ')') || self.punct(j, ']') {
+                        depth -= 1;
+                    } else if self.punct(j, ';') && depth <= 0 {
+                        return j;
+                    }
+                }
+                scope_close
+            }
+        }
+    }
+
+    /// The first token of the receiver chain for the method ident at `i`.
+    fn chain_start(&self, i: usize) -> usize {
+        let mut j = i;
+        while j >= 2 && self.punct(j - 1, '.') && self.ident(j - 2).is_some() {
+            j -= 2;
+        }
+        j
+    }
+
+    /// `let [mut] g =` immediately before `chain_start`, if present.
+    fn let_guard(&self, chain_start: usize) -> Option<String> {
+        if chain_start < 3 || !self.punct(chain_start - 1, '=') {
+            return None;
+        }
+        let g = self.ident(chain_start - 2)?;
+        let kw = self.ident(chain_start - 3);
+        if kw == Some("let") {
+            return Some(g.to_string());
+        }
+        if kw == Some("mut") && self.ident(chain_start.checked_sub(4)?) == Some("let") {
+            return Some(g.to_string());
+        }
+        None
+    }
+
+    /// The `}` closing the innermost brace scope containing token `i`.
+    fn enclosing_scope_close(&self, i: usize, body_open: usize, body_close: usize) -> usize {
+        let mut stack: Vec<usize> = Vec::new();
+        for j in body_open..=body_close.min(self.toks().len().saturating_sub(1)) {
+            if j >= i {
+                break;
+            }
+            if self.punct(j, '{') {
+                stack.push(j);
+            } else if self.punct(j, '}') {
+                stack.pop();
+            }
+        }
+        let Some(&innermost) = stack.last() else {
+            return body_close;
+        };
+        // Find its matching close.
+        let mut depth = 0i32;
+        for j in innermost..=body_close {
+            if self.punct(j, '{') {
+                depth += 1;
+            } else if self.punct(j, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        body_close
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn build(srcs: &[(&str, &str)]) -> (Vec<SourceFile>, ItemIndex, CallGraph) {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(p, s)| SourceFile::new(p, s, FileContext::Lib))
+            .collect();
+        let idx = ItemIndex::build(&files);
+        let graph = CallGraph::build(&files, &idx);
+        (files, idx, graph)
+    }
+
+    fn fn_id(idx: &ItemIndex, name: &str) -> usize {
+        idx.named(name)[0]
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_impl() {
+        let (_, idx, g) = build(&[(
+            "crates/x/src/a.rs",
+            "struct A { w: Widget }\n\
+             impl A { fn top(&self) { self.mid(); } fn mid(&self) {} }\n\
+             impl Widget { fn mid(&self) {} }\n",
+        )]);
+        let top = fn_id(&idx, "top");
+        assert_eq!(g.calls[top].len(), 1);
+        assert_eq!(
+            g.calls[top][0].callees,
+            vec![idx
+                .named("mid")
+                .iter()
+                .copied()
+                .find(|&f| idx.fns[f].impl_type.as_deref() == Some("A"))
+                .unwrap()],
+            "self.mid() resolves to A::mid, not Widget::mid"
+        );
+    }
+
+    #[test]
+    fn field_typed_receivers_follow_the_field() {
+        let (_, idx, g) = build(&[(
+            "crates/x/src/a.rs",
+            "struct A { w: Widget }\n\
+             impl A { fn top(&self) { self.w.render(); } }\n\
+             impl Widget { fn render(&self) {} }\n\
+             impl Gadget { fn render(&self) {} }\n",
+        )]);
+        let top = fn_id(&idx, "top");
+        let widget_render = idx
+            .named("render")
+            .iter()
+            .copied()
+            .find(|&f| idx.fns[f].impl_type.as_deref() == Some("Widget"))
+            .unwrap();
+        assert_eq!(g.calls[top][0].callees, vec![widget_render]);
+    }
+
+    #[test]
+    fn cross_file_module_calls_resolve_by_stem() {
+        let (_, idx, g) = build(&[
+            (
+                "crates/x/src/driver.rs",
+                "fn commit() { pool::execute_batch(); }\n",
+            ),
+            ("crates/x/src/pool.rs", "pub fn execute_batch() {}\n"),
+        ]);
+        let commit = fn_id(&idx, "commit");
+        assert_eq!(
+            g.calls[commit][0].callees,
+            vec![fn_id(&idx, "execute_batch")]
+        );
+    }
+
+    #[test]
+    fn blocking_primitives_are_recorded_not_resolved() {
+        let (_, idx, g) = build(&[(
+            "crates/x/src/a.rs",
+            "struct A { m: Mutex }\n\
+             impl A { fn f(&self, rx: Receiver<u8>) { let g = self.m.lock(); rx.recv(); \
+             std::thread::sleep(d); println!(\"x\"); self.m.try_lock(); } }\n",
+        )]);
+        let f = fn_id(&idx, "f");
+        let whats: Vec<&str> = g.blocking[f].iter().map(|b| b.what.as_str()).collect();
+        assert_eq!(whats.len(), 4, "{whats:?}");
+        assert!(whats[0].contains(".lock"));
+        assert!(whats[1].contains(".recv"));
+        assert!(whats[2].contains("thread::sleep"));
+        assert!(whats[3].contains("println!"));
+        assert_eq!(g.locks[f].len(), 1);
+        assert_eq!(g.locks[f][0].lock, "A.m");
+    }
+
+    #[test]
+    fn blocking_named_helpers_become_call_edges() {
+        // `self.lock()` resolves to the indexed helper; the primitive lives
+        // inside the helper and is reached transitively.
+        let (_, idx, g) = build(&[(
+            "crates/x/src/registry.rs",
+            "struct R { inner: Mutex }\n\
+             impl R { fn get(&self) { self.lock(); } fn lock(&self) { self.inner.lock(); } }\n",
+        )]);
+        let get = fn_id(&idx, "get");
+        assert_eq!(
+            g.blocking[get].len(),
+            0,
+            "self.lock() is a call, not a primitive"
+        );
+        assert_eq!(g.calls[get].len(), 1);
+        let helper = g.calls[get][0].callees[0];
+        assert_eq!(g.blocking[helper].len(), 1);
+        assert_eq!(g.locks[helper][0].lock, "R.inner");
+    }
+
+    #[test]
+    fn reachability_chains_reconstruct() {
+        let (_, idx, g) = build(&[(
+            "crates/x/src/a.rs",
+            "fn root() { middle(); }\nfn middle() { leaf(); }\nfn leaf() {}\nfn island() {}\n",
+        )]);
+        let parent = g.reachable(&[fn_id(&idx, "root")]);
+        assert!(parent.contains_key(&fn_id(&idx, "leaf")));
+        assert!(!parent.contains_key(&fn_id(&idx, "island")));
+        let chain = CallGraph::chain(&parent, fn_id(&idx, "leaf"));
+        let names: Vec<&str> = chain.iter().map(|&f| idx.fns[f].name.as_str()).collect();
+        assert_eq!(names, ["root", "middle", "leaf"]);
+    }
+
+    #[test]
+    fn lock_closure_rolls_up_through_calls() {
+        let (_, idx, g) = build(&[(
+            "crates/x/src/a.rs",
+            "struct A { x: Mutex } struct B { y: Mutex }\n\
+             impl A { fn outer(&self, b: &B) { let g = self.x.lock(); self.helper(); } \
+             fn helper(&self) {} }\n\
+             impl B { fn inner_lock(&self) { let g = self.y.lock(); } }\n",
+        )]);
+        let closure = g.lock_closure();
+        assert_eq!(closure[fn_id(&idx, "outer")], ["A.x"]);
+        assert_eq!(closure[fn_id(&idx, "inner_lock")], ["B.y"]);
+    }
+
+    #[test]
+    fn hold_windows_end_at_drop_or_statement() {
+        let (_, idx, g) = build(&[(
+            "crates/x/src/a.rs",
+            "struct A { m: Mutex, n: Mutex }\n\
+             impl A { fn f(&self) { let g = self.m.lock(); g.x += 1; drop(g); \
+             self.n.lock().unwrap().y = 2; other(); } }\n\
+             fn other() {}\n",
+        )]);
+        let f = fn_id(&idx, "f");
+        assert_eq!(g.locks[f].len(), 2);
+        let toks_dropped_before = g.locks[f][0].hold_end < g.locks[f][1].tok;
+        assert!(toks_dropped_before, "drop(g) ends the first hold window");
+        // The temporary guard dies at its `;`, before the `other()` call.
+        let other_call = g.calls[f]
+            .iter()
+            .find(|c| c.name == "other")
+            .expect("other() resolved");
+        assert!(g.locks[f][1].hold_end < other_call.tok);
+    }
+}

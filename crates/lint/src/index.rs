@@ -1,0 +1,437 @@
+//! The workspace item index — step one of cross-file analysis.
+//!
+//! [`ItemIndex::build`] walks every scanned file's token stream and records
+//! the items the call-graph layer needs: functions (with the token range of
+//! their bodies), the `impl` block and inline `mod` nesting each function
+//! sits in, and struct field types (one level — `field: Type<…>` records
+//! the head segment `Type`). The parse is the same brace-matching approach
+//! as [`crate::context::test_regions`]: token shapes, not a grammar. It is
+//! deliberately approximate — good enough to resolve call sites by name
+//! and receiver shape, never authoritative about types.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, Token};
+use crate::rules::SourceFile;
+
+/// One indexed function.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index of the containing file in the workspace file list.
+    pub file: usize,
+    /// Bare function name (`check`, `render_prometheus`).
+    pub name: String,
+    /// `impl`/`trait` block type the function sits in, if any.
+    pub impl_type: Option<String>,
+    /// Inline `mod` nesting inside the file (usually empty).
+    pub module: Vec<String>,
+    /// 1-based position of the name identifier.
+    pub line: u32,
+    /// 1-based column of the name identifier.
+    pub col: u32,
+    /// Token-index range of the body: `(open_brace, close_brace)`,
+    /// inclusive. `None` for bodyless trait methods.
+    pub body: Option<(usize, usize)>,
+    /// Whether the function is library code (lib context, outside
+    /// `#[cfg(test)]` regions). Only lib functions join the call graph.
+    pub is_lib: bool,
+}
+
+impl FnItem {
+    /// Human-readable qualified name for diagnostics:
+    /// `Type::name` inside an impl, `stem::name` at file scope.
+    #[must_use]
+    pub fn qual_name(&self, file_stem: &str) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => format!("{file_stem}::{}", self.name),
+        }
+    }
+}
+
+/// The whole-workspace item index.
+#[derive(Debug, Default)]
+pub struct ItemIndex {
+    /// Every indexed function, in (file, token) order.
+    pub fns: Vec<FnItem>,
+    /// Function ids by bare name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `(struct, field) -> type head` for one-level receiver typing.
+    pub field_types: BTreeMap<(String, String), String>,
+    /// Per-file stem (`admission` for `crates/serve/src/admission.rs`).
+    pub file_stems: Vec<String>,
+}
+
+impl ItemIndex {
+    /// Builds the index over every file.
+    #[must_use]
+    pub fn build(files: &[SourceFile]) -> Self {
+        let mut idx = Self::default();
+        for (fi, f) in files.iter().enumerate() {
+            idx.file_stems.push(file_stem(&f.rel_path));
+            let toks = &f.scanned.tokens;
+            let pairs = brace_pairs(toks);
+            let mut p = Parser {
+                idx: &mut idx,
+                file: fi,
+                src: f,
+                pairs: &pairs,
+            };
+            p.items(0, toks.len(), &mut Vec::new(), None);
+        }
+        for (id, item) in idx.fns.iter().enumerate() {
+            idx.by_name.entry(item.name.clone()).or_default().push(id);
+        }
+        idx
+    }
+
+    /// Function ids whose bare name is `name`.
+    #[must_use]
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// The recorded field type head for `(owner, field)`.
+    #[must_use]
+    pub fn field_type(&self, owner: &str, field: &str) -> Option<&str> {
+        self.field_types
+            .get(&(owner.to_string(), field.to_string()))
+            .map(String::as_str)
+    }
+}
+
+/// The file-name stem used to qualify file-scope functions.
+#[must_use]
+pub fn file_stem(rel_path: &str) -> String {
+    rel_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(rel_path)
+        .trim_end_matches(".rs")
+        .to_string()
+}
+
+/// `open brace token index -> close brace token index` for every `{`.
+fn brace_pairs(toks: &[Token]) -> BTreeMap<usize, usize> {
+    let mut pairs = BTreeMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.tok {
+            Tok::Punct('{') => stack.push(i),
+            Tok::Punct('}') => {
+                if let Some(open) = stack.pop() {
+                    pairs.insert(open, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    pairs
+}
+
+struct Parser<'a> {
+    idx: &'a mut ItemIndex,
+    file: usize,
+    src: &'a SourceFile,
+    pairs: &'a BTreeMap<usize, usize>,
+}
+
+impl Parser<'_> {
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.src.scanned.tokens.get(i)
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        match self.tok(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        matches!(self.tok(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    /// Indexes the items inside token range `[lo, hi)`.
+    fn items(&mut self, lo: usize, hi: usize, module: &mut Vec<String>, impl_type: Option<&str>) {
+        let mut i = lo;
+        while i < hi {
+            match self.ident(i) {
+                Some("mod") => {
+                    if let (Some(name), true) = (self.ident(i + 1), self.punct(i + 2, '{')) {
+                        let close = self.pairs.get(&(i + 2)).copied().unwrap_or(hi);
+                        module.push(name.to_string());
+                        self.items(i + 3, close, module, impl_type);
+                        module.pop();
+                        i = close + 1;
+                        continue;
+                    }
+                    i += 1;
+                }
+                Some("impl" | "trait") => {
+                    if let Some((ty, open)) = self.impl_header(i, hi) {
+                        let close = self.pairs.get(&open).copied().unwrap_or(hi);
+                        self.items(open + 1, close, module, Some(&ty));
+                        i = close + 1;
+                        continue;
+                    }
+                    i += 1;
+                }
+                Some("struct") => {
+                    i = self.struct_fields(i, hi);
+                }
+                Some("fn") => {
+                    i = self.fn_item(i, hi, module, impl_type);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Parses an `impl`/`trait` header starting at `kw`: returns the
+    /// subject type name and the index of the body's opening brace.
+    /// `impl<T> Foo<T>` → `Foo`; `impl Trait for Bar` → `Bar`;
+    /// `trait Name` → `Name`.
+    fn impl_header(&self, kw: usize, hi: usize) -> Option<(String, usize)> {
+        let mut last_path_head: Option<String> = None;
+        let mut angle = 0i32;
+        let mut j = kw + 1;
+        while j < hi {
+            match self.tok(j).map(|t| t.tok.clone()) {
+                Some(Tok::Punct('<')) => angle += 1,
+                Some(Tok::Punct('>')) => angle -= 1,
+                Some(Tok::Punct('{')) if angle <= 0 => {
+                    return last_path_head.map(|t| (t, j));
+                }
+                Some(Tok::Punct(';')) if angle <= 0 => return None, // `impl Foo;` — not a block
+                Some(Tok::Ident(s)) if angle <= 0 => match s.as_str() {
+                    // `for` restarts the subject path; `where` ends it.
+                    "for" => last_path_head = None,
+                    "where" => {
+                        // Scan on for the brace without touching the type.
+                        let mut k = j + 1;
+                        while k < hi && !self.punct(k, '{') {
+                            k += 1;
+                        }
+                        return last_path_head.map(|t| (t, k));
+                    }
+                    "dyn" | "mut" | "const" | "unsafe" => {}
+                    _ => {
+                        // Path segments: keep the last one before generics.
+                        last_path_head = Some(s);
+                    }
+                },
+                Some(_) => {}
+                None => return None,
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Records field types of a `struct Name { … }`; returns the index to
+    /// resume scanning from.
+    fn struct_fields(&mut self, kw: usize, hi: usize) -> usize {
+        let Some(name) = self.ident(kw + 1).map(str::to_string) else {
+            return kw + 1;
+        };
+        // Find the body brace (tuple structs and unit structs hit `(`/`;`).
+        let mut j = kw + 2;
+        let mut angle = 0i32;
+        while j < hi {
+            if self.punct(j, '<') {
+                angle += 1;
+            } else if self.punct(j, '>') {
+                angle -= 1;
+            } else if angle <= 0 && (self.punct(j, ';') || self.punct(j, '(')) {
+                return j + 1;
+            } else if angle <= 0 && self.punct(j, '{') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(&close) = self.pairs.get(&j) else {
+            return j + 1;
+        };
+        // Fields at depth 1: `ident :` not preceded by another `:`.
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < close {
+            if self.punct(k, '{') {
+                depth += 1;
+            } else if self.punct(k, '}') {
+                depth -= 1;
+            } else if depth == 1
+                && self.punct(k + 1, ':')
+                && !self.punct(k + 2, ':')
+                && !self.punct(k - 1, ':')
+            {
+                if let (Some(field), Some(ty)) = (self.ident(k), self.type_head(k + 2, close)) {
+                    self.idx
+                        .field_types
+                        .insert((name.clone(), field.to_string()), ty);
+                }
+            }
+            k += 1;
+        }
+        close + 1
+    }
+
+    /// The head type name of the type expression starting at `j`: skips
+    /// references, lifetimes and modifiers, follows path segments, and
+    /// returns the last segment before generic arguments.
+    fn type_head(&self, mut j: usize, hi: usize) -> Option<String> {
+        let mut head = None;
+        while j < hi {
+            match self.tok(j).map(|t| t.tok.clone()) {
+                Some(Tok::Punct('&' | '(' | ')')) | Some(Tok::Lifetime(_)) => {}
+                Some(Tok::Ident(s)) => match s.as_str() {
+                    "mut" | "dyn" | "impl" | "const" => {}
+                    _ => {
+                        head = Some(s);
+                        // `::` continues the path; anything else ends it.
+                        if !(self.punct(j + 1, ':') && self.punct(j + 2, ':')) {
+                            return head;
+                        }
+                        j += 2;
+                    }
+                },
+                _ => return head,
+            }
+            j += 1;
+        }
+        head
+    }
+
+    /// Indexes a `fn name …` item; returns the index to resume from (one
+    /// past the name — the body is scanned again by the graph layer and by
+    /// nested-item indexing via recursion).
+    fn fn_item(
+        &mut self,
+        kw: usize,
+        hi: usize,
+        module: &mut Vec<String>,
+        impl_type: Option<&str>,
+    ) -> usize {
+        let Some(t) = self.tok(kw + 1).cloned() else {
+            return kw + 1;
+        };
+        let Tok::Ident(name) = t.tok.clone() else {
+            return kw + 1; // `fn(` pointer type, or `r#fn` call site
+        };
+        // Find the body `{` or the trailing `;` at bracket depth 0.
+        let mut depth = 0i32;
+        let mut j = kw + 2;
+        let mut body = None;
+        while j < hi {
+            match self.tok(j).map(|t| &t.tok) {
+                Some(Tok::Punct('(' | '[')) => depth += 1,
+                Some(Tok::Punct(')' | ']')) => depth -= 1,
+                Some(Tok::Punct(';')) if depth == 0 => break,
+                Some(Tok::Punct('{')) if depth == 0 => {
+                    body = self.pairs.get(&j).map(|&close| (j, close));
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        self.idx.fns.push(FnItem {
+            file: self.file,
+            name,
+            impl_type: impl_type.map(str::to_string),
+            module: module.clone(),
+            line: t.line,
+            col: t.col,
+            body,
+            is_lib: self.src.is_lib_line(t.line),
+        });
+        if let Some((open, close)) = body {
+            // Nested `fn` items inside the body keep the same scope.
+            self.items(open + 1, close, module, impl_type);
+            return close + 1;
+        }
+        j + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn index(src: &str) -> ItemIndex {
+        let f = SourceFile::new("crates/x/src/widget.rs", src, FileContext::Lib);
+        ItemIndex::build(&[f])
+    }
+
+    #[test]
+    fn fns_get_scopes_and_bodies() {
+        let idx = index(
+            "fn free() { helper(); }\n\
+             impl Widget { fn method(&self) -> u32 { 1 } }\n\
+             impl fmt::Display for Widget { fn fmt(&self) {} }\n\
+             trait Draw { fn draw(&self); fn blank(&self) {} }\n\
+             mod inner { fn nested() {} }\n",
+        );
+        let names: Vec<(String, Option<String>)> = idx
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.impl_type.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("free".into(), None),
+                ("method".into(), Some("Widget".into())),
+                ("fmt".into(), Some("Widget".into())),
+                ("draw".into(), Some("Draw".into())),
+                ("blank".into(), Some("Draw".into())),
+                ("nested".into(), None),
+            ]
+        );
+        assert!(idx.fns[0].body.is_some());
+        assert!(idx.fns[3].body.is_none(), "bodyless trait method");
+        assert_eq!(idx.fns[5].module, ["inner"]);
+        assert_eq!(idx.fns[0].qual_name("widget"), "widget::free");
+        assert_eq!(idx.fns[1].qual_name("widget"), "Widget::method");
+    }
+
+    #[test]
+    fn struct_field_types_record_head_segments() {
+        let idx = index(
+            "struct Telemetry { latency: DecayingHistogram, hits: std::sync::Mutex<Vec<u64>>, \
+             pub rate: obs::RateCounter }\n\
+             struct Unit;\nstruct Tuple(u32, u32);\n",
+        );
+        assert_eq!(
+            idx.field_type("Telemetry", "latency"),
+            Some("DecayingHistogram")
+        );
+        assert_eq!(idx.field_type("Telemetry", "hits"), Some("Mutex"));
+        assert_eq!(idx.field_type("Telemetry", "rate"), Some("RateCounter"));
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses_resolve_the_subject() {
+        let idx = index(
+            "impl<T: Ord> Stack<T> { fn push2(&mut self) {} }\n\
+             impl<T> From<T> for Wrapper<T> where T: Clone { fn from2(&self) {} }\n",
+        );
+        assert_eq!(idx.fns[0].impl_type.as_deref(), Some("Stack"));
+        assert_eq!(idx.fns[1].impl_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn test_region_fns_are_not_lib() {
+        let f = SourceFile::new(
+            "crates/x/src/widget.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\n",
+            FileContext::Lib,
+        );
+        let idx = ItemIndex::build(&[f]);
+        assert!(idx.fns[0].is_lib);
+        assert!(!idx.fns[1].is_lib, "test-region fn excluded from the graph");
+    }
+}

@@ -47,12 +47,14 @@ pub struct Comment {
     pub text: String,
     /// 1-based line of the opening delimiter.
     pub line: u32,
+    /// 1-based byte column of the opening delimiter.
+    pub col: u32,
     /// 1-based line of the closing delimiter (differs for block comments).
     pub end_line: u32,
 }
 
 /// The result of scanning one source file.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Scanned {
     /// Significant tokens in source order.
     pub tokens: Vec<Token>,
@@ -135,6 +137,7 @@ pub fn scan(text: &str) -> Scanned {
                 out.comments.push(Comment {
                     text,
                     line,
+                    col,
                     end_line: line,
                 });
             }
@@ -159,6 +162,7 @@ pub fn scan(text: &str) -> Scanned {
                 out.comments.push(Comment {
                     text: String::from_utf8_lossy(&s.bytes[start..s.pos]).into_owned(),
                     line,
+                    col,
                     end_line: s.line,
                 });
             }
@@ -448,5 +452,74 @@ mod tests {
             idents(r"let c = '\n'; let u = '\u{1F600}'; done"),
             vec!["let", "c", "let", "u", "done"]
         );
+    }
+
+    // ---- edge cases the call-graph parser leans on -----------------------
+
+    #[test]
+    fn raw_strings_with_fences_never_leak_fn_items() {
+        // A `fn ` inside a fenced raw string must not look like an item to
+        // the index; the whole literal collapses to one `Tok::Literal`.
+        let src = r####"let s = r##"fn not_an_item() { a.lock(); }"##; fn real() {}"####;
+        assert_eq!(idents(src), vec!["let", "s", "fn", "real"]);
+        // An inner `"#` sequence with too few hashes does not terminate.
+        let src = r####"let s = r##"has "# inside"##; fn after() {}"####;
+        assert_eq!(idents(src), vec!["let", "s", "fn", "after"]);
+    }
+
+    #[test]
+    fn nested_block_comments_containing_quotes() {
+        // Quotes inside comments never open string literals, so the
+        // comment's `*/` terminators keep their meaning (rustc nests block
+        // comments without string-awareness, and so do we).
+        let s = scan("/* outer \" /* inner ' */ still \" comment */ fn live() {}");
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(
+            idents("/* \" /* ' */ \" */ fn live() {}"),
+            vec!["fn", "live"]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal_inside_generic_args() {
+        // `Vec<'a>` keeps a lifetime, `Some('a')` keeps a char literal, and
+        // a lifetime bound list mixes both shapes on one line.
+        let s = scan("fn f<'g, T: Iter<'g>>(x: Map<'g, char>) { take(Some('g')); }");
+        let lifetimes = s
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.tok, Tok::Lifetime(n) if n == "g"))
+            .count();
+        assert_eq!(lifetimes, 3, "three `'g` lifetimes: {:?}", s.tokens);
+        assert_eq!(
+            s.tokens.iter().filter(|t| t.tok == Tok::Literal).count(),
+            1,
+            "one 'g' char literal"
+        );
+    }
+
+    #[test]
+    fn raw_fn_identifiers_are_idents_not_items() {
+        // `r#fn` is an identifier spelled like a keyword: it must come back
+        // as `Ident("fn")` at the right position, and downstream item
+        // parsing is expected to treat `self.r#fn()` call sites by token
+        // shape, not by the `fn` spelling alone.
+        let s = scan("let r#fn = 1; obj.r#fn();");
+        let fns: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Ident("fn".into()))
+            .collect();
+        assert_eq!(fns.len(), 2);
+        assert_eq!((fns[0].line, fns[0].col), (1, 5));
+        // `r#` consumes into the ident; no stray `#` punctuation survives.
+        assert!(!s.tokens.iter().any(|t| t.tok == Tok::Punct('#')));
+    }
+
+    #[test]
+    fn comments_carry_columns() {
+        let s = scan("let x = 1; // trailing\n    /* indented */\n");
+        assert_eq!((s.comments[0].line, s.comments[0].col), (1, 12));
+        assert_eq!((s.comments[1].line, s.comments[1].col), (2, 5));
     }
 }

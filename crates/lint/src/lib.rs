@@ -6,7 +6,9 @@
 //! turns those conventions into enforced invariants: a zero-dependency
 //! analyzer that scans every workspace `.rs` file with a hand-rolled Rust
 //! token lexer (the same approach as `acq-sql`'s SQL lexer), classifies
-//! each file's compilation context, and checks six rule families:
+//! each file's compilation context, and checks nine rule families — six
+//! per-file, three over the cross-file call graph built by [`index`] and
+//! [`graph`]:
 //!
 //! | rule | invariant it protects |
 //! |---|---|
@@ -16,24 +18,33 @@
 //! | `obs-discipline` | metric determinism: lazy trace labels, serial-loop-only deterministic commits |
 //! | `error-hygiene` | API stability: public error enums stay `#[non_exhaustive]` |
 //! | `forbid-unsafe` | memory safety: `#![forbid(unsafe_code)]` on every crate root |
+//! | `commit-reachability` | wait-free commits: nothing blocking transitively callable from a commit fn |
+//! | `lock-order` | deadlock freedom: one global mutex acquisition order |
+//! | `suppression-audit` | escape hatches stay honest: dead annotations and stale config are errors |
 //!
 //! Two escape hatches, both audited in the report: a checked-in
 //! [`Config`] (`lint.toml`) allowlist of path prefixes, and inline
 //! `// lint-allow(<rule>): <reason>` annotations (plus the rule-specific
-//! `// relaxed-ok:` / `// worker-metric-ok:` justifications). Diagnostics
-//! are rustc-style `file:line:col`; `--json` emits a report validated
-//! against `schemas/lint.schema.json` in CI, the same pattern as
-//! `validate_metrics`.
+//! `// relaxed-ok:` / `// worker-metric-ok:` / `// commit-io-ok:`
+//! justifications). The suppression audit closes the loop: every hatch
+//! must still cover a real finding. Diagnostics are rustc-style
+//! `file:line:col`; `--json` emits a report validated against
+//! `schemas/lint.schema.json` in CI, and `--sarif` emits a SARIF 2.1.0
+//! subset (`schemas/sarif-subset.schema.json`) for code-scanning upload.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod baseline;
 pub mod config;
 pub mod context;
+pub mod graph;
+pub mod index;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -67,6 +78,35 @@ impl std::error::Error for LintError {}
 /// Directories never scanned (build output, VCS, editor state).
 const SKIP_DIRS: [&str; 4] = ["target", ".git", ".claude", "node_modules"];
 
+/// The whole workspace prepared for cross-file analysis: every scanned
+/// file plus the item index and approximate call graph over them. The
+/// three workspace-level rules (`commit-reachability`, `lock-order`,
+/// `suppression-audit`) run against this; the per-file rules only need the
+/// individual [`SourceFile`]s.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Every scanned file, in sorted path order.
+    pub files: Vec<SourceFile>,
+    /// Functions, impl blocks and struct fields across all files.
+    pub index: index::ItemIndex,
+    /// Call, blocking-site and lock-acquisition edges per function.
+    pub graph: graph::CallGraph,
+}
+
+impl Workspace {
+    /// Builds the index and call graph over `files`.
+    #[must_use]
+    pub fn new(files: Vec<SourceFile>) -> Self {
+        let index = index::ItemIndex::build(&files);
+        let graph = graph::CallGraph::build(&files, &index);
+        Self {
+            files,
+            index,
+            graph,
+        }
+    }
+}
+
 /// Checks one file's text as `rel_path` in `context`, splitting findings
 /// into surviving violations and suppressed ones. This is the unit the
 /// fixture tests drive directly (forcing `FileContext::Lib` on files that
@@ -99,25 +139,78 @@ pub fn check_source(
     (violations, allowed)
 }
 
+/// Runs every rule — per-file and workspace-level — over a prepared
+/// [`Workspace`], routing each finding through the escape hatches. A
+/// `commit-reachability` finding is additionally suppressible by
+/// `// commit-io-ok: <reason>` at the blocking site; `suppression-audit`
+/// findings against `lint.toml` itself have no inline hatch by design.
+#[must_use]
+pub fn check_workspace(ws: &Workspace, cfg: &Config) -> (Vec<Diagnostic>, Vec<Allowed>) {
+    let mut raw = Vec::new();
+    for file in &ws.files {
+        raw.extend(rules::check_file(file, cfg));
+    }
+    rules::commit_reachability::check(ws, cfg, &mut raw);
+    rules::lock_order::check(ws, cfg, &mut raw);
+    rules::suppression_audit::check(ws, cfg, &mut raw);
+
+    let by_path: std::collections::BTreeMap<&str, &SourceFile> =
+        ws.files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+    let mut violations = Vec::new();
+    let mut allowed = Vec::new();
+    for d in raw {
+        let file = by_path.get(d.file.as_str());
+        if cfg.allows(d.rule, &d.file) {
+            allowed.push(Allowed {
+                diagnostic: d,
+                by: AllowedBy::Config,
+            });
+        } else if file.is_some_and(|f| {
+            f.annotations.allows(d.rule, d.line)
+                || (d.rule == "commit-reachability" && f.annotations.commit_io_ok(d.line))
+        }) {
+            allowed.push(Allowed {
+                diagnostic: d,
+                by: AllowedBy::Inline,
+            });
+        } else {
+            violations.push(d);
+        }
+    }
+    (violations, allowed)
+}
+
 /// Walks the workspace at `root` and checks every `.rs` file, classifying
 /// contexts from the path. Files are visited in sorted order so the report
 /// is deterministic — an invariant this tool would be embarrassed to break.
 pub fn run_workspace(root: &Path, cfg: &Config) -> Result<Report, LintError> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
-
-    let mut report = Report::default();
-    for rel in files {
-        let text = std::fs::read_to_string(root.join(&rel))
-            .map_err(|e| LintError::Io(format!("{rel}: {e}")))?;
-        let (violations, allowed) = check_source(&rel, &text, context::classify(&rel), cfg);
-        report.violations.extend(violations);
-        report.allowed.extend(allowed);
-        report.files_scanned += 1;
-    }
+    let ws = load_workspace(root)?;
+    let (violations, allowed) = check_workspace(&ws, cfg);
+    let mut report = Report {
+        files_scanned: ws.files.len(),
+        violations,
+        allowed,
+    };
     report.sort();
     Ok(report)
+}
+
+/// Walks the workspace at `root`, scans every `.rs` file in sorted order
+/// and builds the cross-file index and call graph — the prepared input for
+/// [`check_workspace`], exposed separately so tests can interrogate the
+/// graph layers (e.g. the lock-order self-check) directly.
+pub fn load_workspace(root: &Path) -> Result<Workspace, LintError> {
+    let mut rels = Vec::new();
+    collect_rs_files(root, root, &mut rels)?;
+    rels.sort();
+
+    let mut files = Vec::new();
+    for rel in rels {
+        let text = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| LintError::Io(format!("{rel}: {e}")))?;
+        files.push(SourceFile::new(&rel, &text, context::classify(&rel)));
+    }
+    Ok(Workspace::new(files))
 }
 
 /// Loads `lint.toml` from `path`; a missing file is an empty config so the

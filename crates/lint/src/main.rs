@@ -2,21 +2,31 @@
 //!
 //! ```text
 //! acq-lint --workspace [--root <dir>] [--config <lint.toml>]
-//!          [--json <report.json>] [--verbose]
+//!          [--json <report.json>] [--sarif <report.sarif>]
+//!          [--baseline <lint-baseline.json>] [--write-baseline] [--verbose]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error —
-//! the same contract as `validate_metrics`.
+//! `--baseline` compares the run against the committed per-rule counts and
+//! fails when any count *increased* (the suppression ratchet);
+//! `--write-baseline` rewrites the file from the current run instead — the
+//! deliberate, reviewed way to admit a new suppression.
+//!
+//! Exit codes: `0` clean, `1` violations found or ratchet regression, `2`
+//! usage or I/O error — the same contract as `validate_metrics`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use acq_lint::{load_config, run_workspace};
+use acq_lint::baseline::Baseline;
+use acq_lint::{load_config, run_workspace, sarif};
 
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
     json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
     verbose: bool,
 }
 
@@ -25,6 +35,9 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         config: None,
         json: None,
+        sarif: None,
+        baseline: None,
+        write_baseline: false,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -36,16 +49,23 @@ fn parse_args() -> Result<Args, String> {
             "--root" => args.root = next_path(&mut it, "--root")?,
             "--config" => args.config = Some(next_path(&mut it, "--config")?),
             "--json" => args.json = Some(next_path(&mut it, "--json")?),
+            "--sarif" => args.sarif = Some(next_path(&mut it, "--sarif")?),
+            "--baseline" => args.baseline = Some(next_path(&mut it, "--baseline")?),
+            "--write-baseline" => args.write_baseline = true,
             "--verbose" => args.verbose = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: acq-lint --workspace [--root <dir>] [--config <lint.toml>] \
-                     [--json <report.json>] [--verbose]"
+                     [--json <report.json>] [--sarif <report.sarif>] \
+                     [--baseline <lint-baseline.json>] [--write-baseline] [--verbose]"
                         .to_string(),
                 )
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
+    }
+    if args.write_baseline && args.baseline.is_none() {
+        return Err("--write-baseline requires --baseline <path>".to_string());
     }
     Ok(args)
 }
@@ -88,8 +108,42 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(sarif_path) = &args.sarif {
+        if let Err(e) = std::fs::write(sarif_path, sarif::render(&report)) {
+            eprintln!("error: cannot write {}: {e}", sarif_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let mut ratchet_failed = false;
+    if let Some(baseline_path) = &args.baseline {
+        let current = Baseline::from_report(&report);
+        if args.write_baseline {
+            if let Err(e) = std::fs::write(baseline_path, current.to_json()) {
+                eprintln!("error: cannot write {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        } else {
+            let committed = match std::fs::read_to_string(baseline_path) {
+                Ok(text) => match Baseline::parse(&text) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("error: {}: {e}", baseline_path.display());
+                        return ExitCode::from(2);
+                    }
+                },
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            for regression in committed.regressions(&current) {
+                eprintln!("error[baseline]: {regression}");
+                ratchet_failed = true;
+            }
+        }
+    }
     print!("{}", report.render_text(args.verbose));
-    if report.is_clean() {
+    if report.is_clean() && !ratchet_failed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

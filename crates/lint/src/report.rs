@@ -62,7 +62,9 @@ pub struct Report {
 }
 
 /// Version stamp of the JSON report layout (`schemas/lint.schema.json`).
-pub const REPORT_VERSION: u64 = 1;
+/// Version 2 added the three workspace-level rules (commit-reachability,
+/// lock-order, suppression-audit) to the rule enum.
+pub const REPORT_VERSION: u64 = 2;
 
 impl Report {
     /// Sorts both lists by (file, line, col, rule) for deterministic output.
@@ -171,7 +173,7 @@ fn render_diags<'a>(
 }
 
 /// Minimal JSON string escaping (the report contains no exotic content).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,179 @@
+//! **commit-reachability** — nothing blocking is *transitively* callable
+//! from a serial-emission commit function.
+//!
+//! The PR 5 obs-discipline contract checked blocking calls textually inside
+//! listed commit *files*; a `.lock()` one function-hop away was invisible.
+//! This rule supersedes it with a graph closure: the commit functions named
+//! by `[commit-reachability] roots` (`<file>::<fn>` or `<file>::*`) are the
+//! BFS roots, and every blocking primitive inside any reachable library
+//! function is an error, anchored at the blocking site with the call chain
+//! in the message. The blocking sets are the same ones the textual contract
+//! used (`.lock()`, channel `recv`, stream I/O, `thread::sleep`,
+//! `print!`-family macros); `try_lock` and relaxed atomics remain the
+//! sanctioned wait-free alternatives, and a justified blocking site carries
+//! `// commit-io-ok: <reason>` exactly as before.
+//!
+//! The roots are *functions*, not files, because commit files legitimately
+//! contain non-commit code: `driver.rs` owns both the serial emission
+//! commits and the speculative phase whose `pool::execute_batch` join
+//! blocks by design.
+
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::graph::CallGraph;
+use crate::index::file_stem;
+use crate::report::Diagnostic;
+use crate::Workspace;
+
+/// Runs the rule, emitting **all** findings (the caller routes
+/// `commit-io-ok` / `lint-allow` suppression so suppressed findings stay
+/// audited in the report).
+pub fn check(ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let roots = resolve_roots(ws, cfg);
+    if roots.is_empty() {
+        return;
+    }
+    let parent = ws.graph.reachable(&roots);
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    // Deterministic order: walk functions in index order.
+    for (f, item) in ws.index.fns.iter().enumerate() {
+        if !parent.contains_key(&f) || !item.is_lib {
+            continue;
+        }
+        let chain = CallGraph::chain(&parent, f);
+        let chain_names: Vec<String> = chain
+            .iter()
+            .map(|&g| {
+                let it = &ws.index.fns[g];
+                it.qual_name(&ws.index.file_stems[it.file])
+            })
+            .collect();
+        let root_item = &ws.index.fns[chain[0]];
+        let root_name = format!(
+            "{}::{}",
+            file_stem(&ws.files[root_item.file].rel_path),
+            root_item.name
+        );
+        for site in &ws.graph.blocking[f] {
+            if !seen.insert((item.file, site.tok)) {
+                continue;
+            }
+            let t = &ws.files[item.file].scanned.tokens[site.tok];
+            let via = if chain_names.len() > 1 {
+                format!(" via `{}`", chain_names.join(" → "))
+            } else {
+                String::new()
+            };
+            out.push(Diagnostic {
+                rule: "commit-reachability",
+                file: ws.files[item.file].rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{} reachable from commit fn `{root_name}`{via}; commit paths must stay \
+                     wait-free (atomics or `try_lock`) — restructure or justify with \
+                     `// commit-io-ok: <reason>`",
+                    site.what
+                ),
+            });
+        }
+    }
+}
+
+/// Resolves `[commit-reachability] roots` entries to function ids.
+#[must_use]
+pub fn resolve_roots(ws: &Workspace, cfg: &Config) -> Vec<usize> {
+    let mut roots = Vec::new();
+    for entry in &cfg.commit_roots {
+        let Some((file, name)) = Config::parse_root(entry) else {
+            continue;
+        };
+        for (f, item) in ws.index.fns.iter().enumerate() {
+            if !item.is_lib || ws.files[item.file].rel_path != file {
+                continue;
+            }
+            if name == "*" || item.name == name {
+                roots.push(f);
+            }
+        }
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::rules::SourceFile;
+
+    fn ws(srcs: &[(&str, &str)]) -> Workspace {
+        Workspace::new(
+            srcs.iter()
+                .map(|(p, s)| SourceFile::new(p, s, FileContext::Lib))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn two_hop_blocking_call_is_found_with_its_chain() {
+        let w = ws(&[
+            ("virtual/commit.rs", "pub fn emit() { middle::relay(); }\n"),
+            ("virtual/middle.rs", "pub fn relay() { sink::store(); }\n"),
+            (
+                "virtual/sink.rs",
+                "pub fn store() { let g = STATE.lock(); }\n",
+            ),
+        ]);
+        let cfg = Config::parse("[commit-reachability]\nroots = [\"virtual/commit.rs::emit\"]\n")
+            .unwrap();
+        let mut out = Vec::new();
+        check(&w, &cfg, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!((out[0].line, out[0].col), (1, 32));
+        assert!(
+            out[0].message.contains("commit fn `commit::emit`"),
+            "{}",
+            out[0].message
+        );
+        assert!(
+            out[0]
+                .message
+                .contains("commit::emit → middle::relay → sink::store"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn functions_off_the_closure_may_block() {
+        let w = ws(&[(
+            "virtual/driver.rs",
+            "pub fn emit() { tally(); }\nfn tally() {}\n\
+             pub fn speculate() { let g = POOL.lock(); }\n",
+        )]);
+        let cfg = Config::parse("[commit-reachability]\nroots = [\"virtual/driver.rs::emit\"]\n")
+            .unwrap();
+        let mut out = Vec::new();
+        check(&w, &cfg, &mut out);
+        assert!(
+            out.is_empty(),
+            "speculate() is not reachable from emit(): {out:?}"
+        );
+    }
+
+    #[test]
+    fn star_roots_cover_the_whole_file() {
+        let w = ws(&[(
+            "virtual/telemetry.rs",
+            "pub fn record() { std::thread::sleep(d); }\npub fn render() { println!(\"x\"); }\n",
+        )]);
+        let cfg = Config::parse("[commit-reachability]\nroots = [\"virtual/telemetry.rs::*\"]\n")
+            .unwrap();
+        let mut out = Vec::new();
+        check(&w, &cfg, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+}

@@ -1,0 +1,296 @@
+//! **lock-order** — every pair of mutexes is acquired in one global order.
+//!
+//! The serve crate's overload machinery and the progress broker both nest
+//! locks (`RateLimiters.clients` → `RateLimiters.global`,
+//! `ProgressBroker.channels` → `ProgressChannel.sealed`); a second code
+//! path nesting any such pair in the *opposite* order is a deadlock waiting
+//! for load. Per function, the call-graph layer records lock acquisitions
+//! with approximate hold windows; this rule turns them into a lock-order
+//! graph: an edge `L → M` means some function acquires `M` (directly, or
+//! transitively through a call) while holding `L`. Any cycle is an error,
+//! reported rustc-style with one acquisition chain per edge so both sides
+//! of the inversion are visible. Acyclicity is exactly the existence of one
+//! consistent global order.
+//!
+//! A length-1 cycle (`L → L`) is re-acquisition of a mutex already held —
+//! self-deadlock with `std::sync::Mutex` — and is reported the same way.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::report::Diagnostic;
+use crate::Workspace;
+
+/// One lock-order edge with its provenance.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Lock held when the edge fires.
+    pub from: String,
+    /// Lock acquired while `from` is held.
+    pub to: String,
+    /// Qualified name of the function where the nested acquisition happens.
+    pub holder: String,
+    /// File of the nested acquisition (or call) site.
+    pub file: String,
+    /// 1-based line of that site.
+    pub line: u32,
+    /// 1-based column of that site.
+    pub col: u32,
+    /// Callee carrying the transitive acquisition, if the edge crosses a
+    /// call boundary.
+    pub via: Option<String>,
+}
+
+/// Builds every lock-order edge in the workspace, sorted for determinism.
+#[must_use]
+pub fn edges(ws: &Workspace) -> Vec<LockEdge> {
+    let closure = ws.graph.lock_closure();
+    let mut out = Vec::new();
+    for (f, item) in ws.index.fns.iter().enumerate() {
+        if !item.is_lib {
+            continue;
+        }
+        let toks = &ws.files[item.file].scanned.tokens;
+        let holder = item.qual_name(&ws.index.file_stems[item.file]);
+        let rel = &ws.files[item.file].rel_path;
+        for a in &ws.graph.locks[f] {
+            // Direct nesting: a second acquisition inside the hold window.
+            for b in &ws.graph.locks[f] {
+                if b.tok > a.tok && b.tok <= a.hold_end {
+                    let t = &toks[b.tok];
+                    out.push(LockEdge {
+                        from: a.lock.clone(),
+                        to: b.lock.clone(),
+                        holder: holder.clone(),
+                        file: rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        via: None,
+                    });
+                }
+            }
+            // Transitive nesting: a call inside the hold window whose
+            // closure acquires locks.
+            for c in &ws.graph.calls[f] {
+                if c.tok <= a.tok || c.tok > a.hold_end {
+                    continue;
+                }
+                let t = &toks[c.tok];
+                let mut transitive: BTreeSet<&str> = BTreeSet::new();
+                for &callee in &c.callees {
+                    for l in &closure[callee] {
+                        transitive.insert(l);
+                    }
+                }
+                for l in transitive {
+                    out.push(LockEdge {
+                        from: a.lock.clone(),
+                        to: l.to_string(),
+                        holder: holder.clone(),
+                        file: rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        via: Some(c.name.clone()),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (&a.from, &a.to, &a.file, a.line, a.col).cmp(&(&b.from, &b.to, &b.file, b.line, b.col))
+    });
+    out.dedup_by(|a, b| a.from == b.from && a.to == b.to && a.holder == b.holder);
+    out
+}
+
+/// Runs the rule: any cycle in the lock-order graph is an error.
+pub fn check(ws: &Workspace, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let all = edges(ws);
+    for cycle in find_cycles(&all) {
+        let first = &cycle[0];
+        let mut msg = format!(
+            "lock-order cycle: no global acquisition order exists for {}",
+            cycle
+                .iter()
+                .map(|e| format!("`{}`", e.from))
+                .collect::<Vec<_>>()
+                .join(" → ")
+        );
+        for e in &cycle {
+            let via = e
+                .via
+                .as_ref()
+                .map(|v| format!(" through call to `{v}`"))
+                .unwrap_or_default();
+            msg.push_str(&format!(
+                "\n  = note: `{}` then `{}` in `{}`{via} at {}:{}:{}",
+                e.from, e.to, e.holder, e.file, e.line, e.col
+            ));
+        }
+        out.push(Diagnostic {
+            rule: "lock-order",
+            file: first.file.clone(),
+            line: first.line,
+            col: first.col,
+            message: msg,
+        });
+    }
+}
+
+/// Finds every elementary cycle in the edge list, deduplicated by the set
+/// of participating locks (rotation-normalised), in deterministic order.
+fn find_cycles(all: &[LockEdge]) -> Vec<Vec<LockEdge>> {
+    let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in all {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    let mut cycles: Vec<Vec<LockEdge>> = Vec::new();
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    // DFS from every node; a path returning to its origin is a cycle.
+    let starts: Vec<&str> = adj.keys().copied().collect();
+    for start in starts {
+        let mut path: Vec<&LockEdge> = Vec::new();
+        let mut on_path: BTreeSet<&str> = BTreeSet::new();
+        dfs(start, start, &adj, &mut path, &mut on_path, &mut |cycle| {
+            let mut key: Vec<String> = cycle.iter().map(|e| e.from.clone()).collect();
+            key.sort();
+            if seen.insert(key) {
+                cycles.push(cycle.iter().map(|&e| e.clone()).collect());
+            }
+        });
+    }
+    cycles
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    origin: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a LockEdge>>,
+    path: &mut Vec<&'a LockEdge>,
+    on_path: &mut BTreeSet<&'a str>,
+    emit: &mut impl FnMut(&[&'a LockEdge]),
+) {
+    on_path.insert(node);
+    for e in adj.get(node).map_or(&[][..], Vec::as_slice) {
+        path.push(e);
+        if e.to == origin {
+            emit(path);
+        } else if !on_path.contains(e.to.as_str()) {
+            dfs(&e.to, origin, adj, path, on_path, emit);
+        }
+        path.pop();
+    }
+    on_path.remove(node);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::rules::SourceFile;
+
+    fn ws(srcs: &[(&str, &str)]) -> Workspace {
+        Workspace::new(
+            srcs.iter()
+                .map(|(p, s)| SourceFile::new(p, s, FileContext::Lib))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn opposite_nesting_orders_are_a_cycle() {
+        let w = ws(&[(
+            "virtual/gate.rs",
+            "struct G { a: Mutex, b: Mutex }\n\
+             impl G {\n\
+                 fn fwd(&self) { let x = self.a.lock(); let y = self.b.lock(); }\n\
+                 fn rev(&self) { let y = self.b.lock(); let x = self.a.lock(); }\n\
+             }\n",
+        )]);
+        let mut out = Vec::new();
+        check(&w, &Config::default(), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("lock-order cycle"),
+            "{}",
+            out[0].message
+        );
+        assert!(out[0].message.contains("G.a"), "{}", out[0].message);
+        assert!(out[0].message.contains("G.b"), "{}", out[0].message);
+        assert!(out[0].message.contains("`G::fwd`"), "{}", out[0].message);
+        assert!(out[0].message.contains("`G::rev`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn consistent_nesting_is_clean() {
+        let w = ws(&[(
+            "virtual/gate.rs",
+            "struct G { a: Mutex, b: Mutex }\n\
+             impl G {\n\
+                 fn one(&self) { let x = self.a.lock(); let y = self.b.lock(); }\n\
+                 fn two(&self) { let x = self.a.lock(); let y = self.b.lock(); }\n\
+                 fn solo(&self) { let y = self.b.lock(); }\n\
+             }\n",
+        )]);
+        let mut out = Vec::new();
+        check(&w, &Config::default(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        let es = edges(&w);
+        assert!(
+            es.iter().all(|e| e.from == "G.a" && e.to == "G.b"),
+            "{es:?}"
+        );
+    }
+
+    #[test]
+    fn dropping_the_first_guard_breaks_the_edge() {
+        let w = ws(&[(
+            "virtual/gate.rs",
+            "struct G { a: Mutex, b: Mutex }\n\
+             impl G {\n\
+                 fn fwd(&self) { let x = self.a.lock(); drop(x); let y = self.b.lock(); }\n\
+                 fn rev(&self) { let y = self.b.lock(); drop(y); let x = self.a.lock(); }\n\
+             }\n",
+        )]);
+        let mut out = Vec::new();
+        check(&w, &Config::default(), &mut out);
+        assert!(
+            out.is_empty(),
+            "released-before-acquire never orders: {out:?}"
+        );
+    }
+
+    #[test]
+    fn cross_function_inversion_is_caught_through_calls() {
+        let w = ws(&[(
+            "virtual/broker.rs",
+            "struct Broker { channels: Mutex } struct Chan { sealed: Mutex }\n\
+             impl Broker { fn publish(&self, c: &Chan) { let g = self.channels.lock(); \
+             c.seal_now(); } }\n\
+             impl Chan { fn seal_now(&self) { let s = self.sealed.lock(); } \
+             fn registering(&self, b: &Broker) { let s = self.sealed.lock(); \
+             b.subscribe(); } }\n\
+             impl Broker { fn subscribe(&self) { let g = self.channels.lock(); } }\n",
+        )]);
+        let mut out = Vec::new();
+        check(&w, &Config::default(), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("through call to"),
+            "transitive edges name the callee: {}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn self_reacquisition_is_a_length_one_cycle() {
+        let w = ws(&[(
+            "virtual/gate.rs",
+            "struct G { a: Mutex }\n\
+             impl G { fn twice(&self) { let x = self.a.lock(); let y = self.a.lock(); } }\n",
+        )]);
+        let mut out = Vec::new();
+        check(&w, &Config::default(), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+}

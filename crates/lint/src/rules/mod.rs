@@ -8,11 +8,14 @@
 //! suppressed findings still appear in the report's `allowed` list.
 
 pub mod atomics_audit;
+pub mod commit_reachability;
 pub mod determinism;
 pub mod error_hygiene;
 pub mod forbid_unsafe;
+pub mod lock_order;
 pub mod obs_discipline;
 pub mod panic_hygiene;
+pub mod suppression_audit;
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -22,15 +25,59 @@ use crate::lexer::{Scanned, Tok, Token};
 use crate::report::Diagnostic;
 
 /// Every rule family, in report order. `lint.toml`'s `[allow]` keys are
-/// validated against this list.
-pub const ALL: [&str; 6] = [
+/// validated against this list. The last three are workspace-level rules
+/// (they run over the call graph, not a single file).
+pub const ALL: [&str; 9] = [
     "panic-hygiene",
     "determinism",
     "atomics-audit",
     "obs-discipline",
     "error-hygiene",
     "forbid-unsafe",
+    "commit-reachability",
+    "lock-order",
+    "suppression-audit",
 ];
+
+/// The kind of one inline annotation, for the suppression audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnKind {
+    /// `lint-allow(<rule>)` with the rule name as written.
+    LintAllow(String),
+    /// `relaxed-ok` (satisfies atomics-audit).
+    RelaxedOk,
+    /// `worker-metric-ok` (satisfies obs-discipline's worker contract).
+    WorkerMetricOk,
+    /// `commit-io-ok` (satisfies commit-reachability).
+    CommitIoOk,
+}
+
+impl AnnKind {
+    /// The annotation spelling for diagnostics.
+    #[must_use]
+    pub fn spelling(&self) -> String {
+        match self {
+            Self::LintAllow(rule) => format!("lint-allow({rule})"),
+            Self::RelaxedOk => "relaxed-ok".to_string(),
+            Self::WorkerMetricOk => "worker-metric-ok".to_string(),
+            Self::CommitIoOk => "commit-io-ok".to_string(),
+        }
+    }
+}
+
+/// One counted annotation with the position of its comment, so the
+/// suppression audit can point at dead ones exactly.
+#[derive(Debug, Clone)]
+pub struct AnnRecord {
+    /// What the annotation claims to suppress.
+    pub kind: AnnKind,
+    /// The line whose findings it covers (plus the line after).
+    pub anchor: u32,
+    /// 1-based line of the comment's opening delimiter.
+    pub line: u32,
+    /// 1-based column of the comment's opening delimiter.
+    pub col: u32,
+}
 
 /// Inline escape-hatch annotations, indexed by the line they cover. An
 /// annotation on line `L` covers findings on `L` (trailing comment) and
@@ -41,6 +88,8 @@ pub struct Annotations {
     relaxed_ok: BTreeSet<u32>,
     worker_metric_ok: BTreeSet<u32>,
     commit_io_ok: BTreeSet<u32>,
+    /// Every counted annotation, in source order, for the audit.
+    pub records: Vec<AnnRecord>,
 }
 
 impl Annotations {
@@ -50,7 +99,13 @@ impl Annotations {
     pub fn parse(scanned: &Scanned) -> Self {
         let mut a = Self::default();
         for c in &scanned.comments {
+            // Doc comments (`///`, `//!`, `/**`, `/*!`) talk *about* the
+            // annotation syntax; only plain comments can suppress.
+            if matches!(c.text.as_bytes().get(2), Some(b'/' | b'!' | b'*')) {
+                continue;
+            }
             let anchor = c.end_line;
+            let mut kinds: Vec<AnnKind> = Vec::new();
             if let Some(rest) = find_after(&c.text, "lint-allow(") {
                 if let Some((rule, after)) = rest.split_once(')') {
                     if reason_present(after) {
@@ -58,18 +113,28 @@ impl Annotations {
                             .entry(anchor)
                             .or_default()
                             .push(rule.trim().to_string());
+                        kinds.push(AnnKind::LintAllow(rule.trim().to_string()));
                     }
                 }
             }
             if find_after(&c.text, "relaxed-ok").is_some_and(reason_present) {
                 a.relaxed_ok.insert(anchor);
+                kinds.push(AnnKind::RelaxedOk);
             }
             if find_after(&c.text, "worker-metric-ok").is_some_and(reason_present) {
                 a.worker_metric_ok.insert(anchor);
+                kinds.push(AnnKind::WorkerMetricOk);
             }
             if find_after(&c.text, "commit-io-ok").is_some_and(reason_present) {
                 a.commit_io_ok.insert(anchor);
+                kinds.push(AnnKind::CommitIoOk);
             }
+            a.records.extend(kinds.into_iter().map(|kind| AnnRecord {
+                kind,
+                anchor,
+                line: c.line,
+                col: c.col,
+            }));
         }
         a
     }
@@ -160,11 +225,23 @@ impl SourceFile {
 
     /// Emits a diagnostic at token `t`.
     pub(crate) fn diag(&self, rule: &'static str, t: &Token, message: String) -> Diagnostic {
+        self.diag_at(rule, t.line, t.col, message)
+    }
+
+    /// Emits a diagnostic at an explicit position (comment sites and other
+    /// non-token anchors).
+    pub(crate) fn diag_at(
+        &self,
+        rule: &'static str,
+        line: u32,
+        col: u32,
+        message: String,
+    ) -> Diagnostic {
         Diagnostic {
             rule,
             file: self.rel_path.clone(),
-            line: t.line,
-            col: t.col,
+            line,
+            col,
             message,
         }
     }

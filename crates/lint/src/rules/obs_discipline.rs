@@ -1,7 +1,10 @@
 //! **obs-discipline** — observability must not perturb determinism.
 //!
-//! Five contracts (the first two from PR 3, the third from PR 5, the
-//! fourth from PR 7, the fifth from PR 8):
+//! Four contracts (the first two from PR 3, the third from PR 7, the
+//! fourth from PR 8). A fifth — no blocking calls in the textually listed
+//! instrument-commit *files* — was superseded in PR 9 by the
+//! call-graph-aware `commit-reachability` rule, which follows commit
+//! *functions* across files instead of trusting a file list:
 //!
 //! * **Lazy trace labels.** `Obs::trace`/`trace_span` take a label closure
 //!   so a disabled handle never builds a string. An eager argument (string
@@ -15,14 +18,6 @@
 //!   explicitly nondeterministic-class instruments, and each such commit
 //!   carries a `// worker-metric-ok: <reason>` annotation naming why the
 //!   instrument tolerates thread-schedule dependence.
-//! * **No blocking in instrument-commit paths.** The files listed in
-//!   `[obs-discipline] commit_paths` run on request threads between
-//!   accepting a query and writing its response (e.g. the serve crate's
-//!   telemetry): everything there must be wait-free atomics or `try_lock`.
-//!   Blocking lock acquisition (`.lock()`, channel `recv`, `join`, `wait`)
-//!   and blocking I/O (stream reads/writes, `fs::…`, `print!`-family
-//!   macros, `thread::sleep`) are flagged unless the line carries a
-//!   `// commit-io-ok: <reason>` annotation.
 //! * **Zone counters commit only on the serial emission path.** The
 //!   zone-map accounting (`zones_pruned`/`zones_full`/`zones_scanned`) is
 //!   part of the §9 determinism contract: scans accumulate it in pure
@@ -42,37 +37,10 @@
 use crate::config::Config;
 use crate::report::Diagnostic;
 
-use super::{ident_at, is_method_call, matching_paren, punct_at, qualified_by, SourceFile};
+use super::{ident_at, is_method_call, matching_paren, punct_at, SourceFile};
 
 /// Metric-commit method names audited on worker paths.
 const COMMIT_METHODS: [&str; 5] = ["inc", "add", "observe", "record_exec_stats", "set_meta"];
-
-/// Blocking method calls forbidden in instrument-commit paths. `try_lock`
-/// is the sanctioned alternative and is a distinct identifier, so it never
-/// matches `lock`.
-const BLOCKING_METHODS: [&str; 9] = [
-    "lock",
-    "read_line",
-    "read_exact",
-    "read_to_end",
-    "read_to_string",
-    "write_all",
-    "flush",
-    "recv",
-    "wait",
-];
-
-/// Blocking free calls (`qualifier::name`) forbidden in commit paths.
-const BLOCKING_QUALIFIED: [(&str, &str); 5] = [
-    ("thread", "sleep"),
-    ("fs", "read"),
-    ("fs", "write"),
-    ("File", "open"),
-    ("File", "create"),
-];
-
-/// Blocking output macros forbidden in commit paths.
-const BLOCKING_MACROS: [&str; 4] = ["print", "println", "eprint", "eprintln"];
 
 /// Zone-map counter fields whose mutation is confined to
 /// `[obs-discipline] zone_stat_paths`.
@@ -82,25 +50,12 @@ const ZONE_COUNTERS: [&str; 3] = ["zones_pruned", "zones_full", "zones_scanned"]
 pub fn check(f: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
     let toks = &f.scanned.tokens;
     let worker_path = cfg.is_worker_path(&f.rel_path);
-    let commit_path = cfg.is_commit_path(&f.rel_path);
     for (i, t) in toks.iter().enumerate() {
         let Some(name) = ident_at(toks, i) else {
             continue;
         };
         if !f.is_lib_line(t.line) {
             continue;
-        }
-        if commit_path && !f.annotations.commit_io_ok(t.line) {
-            if let Some(what) = blocking_call(toks, i, name) {
-                out.push(f.diag(
-                    "obs-discipline",
-                    t,
-                    format!(
-                        "{what} in an instrument-commit path without `// commit-io-ok: <reason>`; \
-                         commit paths must stay wait-free (atomics or `try_lock`)"
-                    ),
-                ));
-            }
         }
         if name == "try_push" && is_method_call(toks, i) && !cfg.is_progress_sink_path(&f.rel_path)
         {
@@ -152,25 +107,6 @@ pub fn check(f: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Classifies the identifier at `i` as a forbidden blocking call in a
-/// commit path, returning the diagnostic's subject phrase.
-fn blocking_call(toks: &[crate::lexer::Token], i: usize, name: &str) -> Option<String> {
-    if is_method_call(toks, i) && BLOCKING_METHODS.contains(&name) {
-        return Some(format!("blocking call `.{name}(…)`"));
-    }
-    if punct_at(toks, i + 1, '(') {
-        for (q, n) in BLOCKING_QUALIFIED {
-            if name == n && qualified_by(toks, i, q) {
-                return Some(format!("blocking call `{q}::{n}(…)`"));
-            }
-        }
-    }
-    if BLOCKING_MACROS.contains(&name) && punct_at(toks, i + 1, '!') {
-        return Some(format!("blocking output macro `{name}!`"));
-    }
-    None
-}
-
 /// Whether the zone-counter field at ident index `i` is being written:
 /// `+=`, `-=`, or a plain `=` that is not part of `==`. Struct-literal
 /// initialisation (`zones_pruned: 0`), reads and comparisons all pass.
@@ -215,8 +151,7 @@ mod tests {
         let f = SourceFile::new(path, src, FileContext::Lib);
         let cfg = Config::parse(
             "[obs-discipline]\n\
-             worker_paths = [\"crates/core/src/pool.rs\"]\n\
-             commit_paths = [\"crates/serve/src/telemetry.rs\"]\n",
+             worker_paths = [\"crates/core/src/pool.rs\"]\n",
         )
         .unwrap();
         let mut out = Vec::new();
@@ -266,39 +201,6 @@ mod tests {
         .is_empty());
         // Off the worker paths the commit-side check does not apply.
         assert!(run("crates/core/src/driver.rs", src).is_empty());
-    }
-
-    #[test]
-    fn commit_paths_forbid_blocking_calls() {
-        let commit = "crates/serve/src/telemetry.rs";
-        // Lock acquisition, blocking stream I/O, fs calls, output macros,
-        // and sleeps are all flagged there…
-        for src in [
-            "fn f() { let g = self.last.lock(); }",
-            "fn f(s: &mut TcpStream) { s.write_all(b\"x\"); }",
-            "fn f(s: &mut TcpStream) { s.flush(); }",
-            "fn f() { std::fs::write(\"p\", \"x\"); }",
-            "fn f() { println!(\"scrape\"); }",
-            "fn f() { std::thread::sleep(d); }",
-            "fn f(rx: &Receiver<u64>) { rx.recv(); }",
-        ] {
-            assert_eq!(run(commit, src).len(), 1, "{src}");
-        }
-        // …while the wait-free alternatives pass,
-        for src in [
-            "fn f() { let g = self.last.try_lock(); }",
-            "fn f() { self.total.fetch_add(1, Ordering::Relaxed); }",
-        ] {
-            assert!(run(commit, src).is_empty(), "{src}");
-        }
-        // an annotated line is exempt with its reason on record,
-        assert!(run(
-            commit,
-            "fn f() { let g = self.last.lock(); // commit-io-ok: cold init path\n}"
-        )
-        .is_empty());
-        // and off the commit paths the check does not apply.
-        assert!(run("crates/serve/src/server.rs", "fn f() { s.flush(); }").is_empty());
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! SARIF 2.1.0 subset renderer.
+//!
+//! Emits the report as a single-run SARIF log so CI can upload it to any
+//! code-scanning UI that speaks the format. Only the subset described by
+//! `schemas/sarif-subset.schema.json` is produced: one `run` with the tool
+//! driver's rule table, one `result` per finding with a physical location,
+//! and `suppressions` entries for findings an escape hatch absorbed
+//! (`inSource` for inline annotations, `external` for `lint.toml`). The
+//! schema validator in `tests/workspace_clean.rs` keeps renderer and schema
+//! honest against each other, the same arrangement as the JSON report.
+
+use std::fmt::Write as _;
+
+use crate::report::{escape, AllowedBy, Diagnostic, Report};
+use crate::rules;
+
+/// The SARIF version this renderer targets.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// One-line rule descriptions for the driver's rule table.
+#[must_use]
+pub fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "panic-hygiene" => "library code degrades, never aborts",
+        "determinism" => "no unordered iteration, clocks or sleeps on the emission path",
+        "atomics-audit" => "every Ordering::Relaxed carries its soundness argument",
+        "obs-discipline" => "lazy trace labels, serial-loop-only deterministic commits",
+        "error-hygiene" => "public error enums stay #[non_exhaustive]",
+        "forbid-unsafe" => "#![forbid(unsafe_code)] on every crate root",
+        "commit-reachability" => "nothing blocking transitively callable from a commit fn",
+        "lock-order" => "one global mutex acquisition order (no deadlock cycles)",
+        "suppression-audit" => "dead suppressions and stale lint.toml entries are errors",
+        _ => "project invariant",
+    }
+}
+
+/// Renders the report as a SARIF 2.1.0 log.
+#[must_use]
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    let _ = writeln!(out, "  \"version\": \"{SARIF_VERSION}\",");
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"acq-lint\",\n");
+    let _ = writeln!(
+        out,
+        "          \"version\": \"{}\",",
+        env!("CARGO_PKG_VERSION")
+    );
+    out.push_str("          \"informationUri\": \"https://example.invalid/acquire/acq-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in rules::ALL.iter().enumerate() {
+        let _ = write!(
+            out,
+            "            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}",
+            escape(rule),
+            escape(rule_description(rule))
+        );
+        out.push_str(if i + 1 < rules::ALL.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    let mut first = true;
+    for d in &report.violations {
+        push_result(&mut out, &mut first, d, None);
+    }
+    for a in &report.allowed {
+        push_result(&mut out, &mut first, &a.diagnostic, Some(a.by));
+    }
+    if !first {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+fn push_result(out: &mut String, first: &mut bool, d: &Diagnostic, by: Option<AllowedBy>) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n        {\n");
+    let _ = writeln!(out, "          \"ruleId\": \"{}\",", escape(d.rule));
+    let _ = writeln!(
+        out,
+        "          \"level\": \"{}\",",
+        if by.is_some() { "note" } else { "error" }
+    );
+    let _ = writeln!(
+        out,
+        "          \"message\": {{ \"text\": \"{}\" }},",
+        escape(&d.message)
+    );
+    out.push_str("          \"locations\": [\n");
+    out.push_str("            { \"physicalLocation\": {\n");
+    let _ = writeln!(
+        out,
+        "              \"artifactLocation\": {{ \"uri\": \"{}\" }},",
+        escape(&d.file)
+    );
+    let _ = writeln!(
+        out,
+        "              \"region\": {{ \"startLine\": {}, \"startColumn\": {} }}",
+        d.line, d.col
+    );
+    out.push_str("            } }\n          ]");
+    if let Some(by) = by {
+        let kind = match by {
+            AllowedBy::Inline => "inSource",
+            AllowedBy::Config => "external",
+        };
+        let _ = write!(
+            out,
+            ",\n          \"suppressions\": [ {{ \"kind\": \"{kind}\" }} ]"
+        );
+    }
+    out.push_str("\n        }");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Allowed;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            files_scanned: 3,
+            violations: vec![Diagnostic {
+                rule: "lock-order",
+                file: "crates/serve/src/admission.rs".to_string(),
+                line: 41,
+                col: 9,
+                message: "lock-order cycle: \"a\" then \"b\"".to_string(),
+            }],
+            allowed: vec![Allowed {
+                diagnostic: Diagnostic {
+                    rule: "commit-reachability",
+                    file: "crates/core/src/driver.rs".to_string(),
+                    line: 7,
+                    col: 3,
+                    message: "`.lock()` reachable from commit fn".to_string(),
+                },
+                by: AllowedBy::Inline,
+            }],
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn renders_version_rules_and_both_result_kinds() {
+        let s = render(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""), "{s}");
+        for rule in rules::ALL {
+            assert!(s.contains(&format!("\"id\": \"{rule}\"")), "missing {rule}");
+        }
+        assert!(s.contains("\"level\": \"error\""), "{s}");
+        assert!(s.contains("\"level\": \"note\""), "{s}");
+        assert!(s.contains("\"kind\": \"inSource\""), "{s}");
+        assert!(s.contains("\"startLine\": 41, \"startColumn\": 9"), "{s}");
+    }
+
+    #[test]
+    fn message_quotes_are_escaped() {
+        let s = render(&sample());
+        assert!(s.contains("cycle: \\\"a\\\" then \\\"b\\\""), "{s}");
+    }
+}

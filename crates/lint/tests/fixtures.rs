@@ -8,13 +8,29 @@
 
 use std::path::Path;
 
-use acq_lint::{check_source, Allowed, AllowedBy, Config, Diagnostic, FileContext};
+use acq_lint::{
+    check_source, check_workspace, Allowed, AllowedBy, Config, Diagnostic, FileContext, SourceFile,
+    Workspace,
+};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Builds a workspace from fixture files re-homed at virtual lib paths, the
+/// workspace-rule analogue of forcing [`FileContext::Lib`] in `check_source`.
+fn fixture_workspace(files: &[(&str, &str)]) -> Workspace {
+    Workspace::new(
+        files
+            .iter()
+            .map(|(fixture_name, rel_path)| {
+                SourceFile::new(rel_path, &fixture(fixture_name), FileContext::Lib)
+            })
+            .collect(),
+    )
 }
 
 /// `(line, col)` pairs of the violations attributed to `rule`.
@@ -173,43 +189,98 @@ fn progress_sink_fixture_is_silent_on_the_sanctioned_paths() {
 }
 
 #[test]
-fn commit_io_fixture_exact_positions() {
-    // The sleep is granted on the determinism side so this test isolates
-    // the commit-path contract (in real commit paths it stays forbidden on
-    // both counts).
-    let cfg = Config::parse(
-        "[determinism]\nsleep_allowed = [\"virtual/\"]\n\
-         [obs-discipline]\ncommit_paths = [\"virtual/\"]\n",
-    )
-    .unwrap();
-    let (v, a) = check_source(
-        "virtual/telemetry.rs",
-        &fixture("commit_io.rs"),
-        FileContext::Lib,
-        &cfg,
-    );
+fn commit_reachability_fixture_exact_positions() {
+    // A blocking lock and an output macro two call hops from the commit
+    // root, across three files.
+    let ws = fixture_workspace(&[
+        ("commit_reach/commit.rs", "virtual/commit.rs"),
+        ("commit_reach/relay.rs", "virtual/relay.rs"),
+        ("commit_reach/sink.rs", "virtual/sink.rs"),
+    ]);
+    let cfg =
+        Config::parse("[commit-reachability]\nroots = [\"virtual/commit.rs::emit\"]\n").unwrap();
+    let (v, a) = check_workspace(&ws, &cfg);
     assert_eq!(
-        positions(&v, "obs-discipline"),
-        [(5, 36), (6, 12), (7, 5), (8, 18)],
-        "blocking lock, write_all, println! and sleep at their seeded positions"
+        positions(&v, "commit-reachability"),
+        [(5, 27), (6, 5)],
+        "the blocking lock and the println! in sink.rs: {v:?}"
     );
-    assert_eq!(v.len(), 4, "{v:?}");
-    // try_lock, the relaxed atomic, and the commit-io-ok-annotated lock all
-    // satisfy the rule outright.
-    assert!(a.is_empty());
+    assert!(v.iter().all(|d| d.file == "virtual/sink.rs"), "{v:?}");
+    assert!(
+        v[0].message
+            .contains("via `commit::emit → relay::forward → sink::store`"),
+        "the two-hop chain is printed: {}",
+        v[0].message
+    );
+    assert_eq!(v.len(), 2, "no other rule fires on this fixture: {v:?}");
+    // try_lock and the relaxed atomic pass outright; the commit-io-ok lock
+    // is suppressed but stays audited.
+    assert_eq!(
+        allowed_positions(&a, "commit-reachability"),
+        [(10, 26, AllowedBy::Inline)]
+    );
 }
 
 #[test]
-fn commit_io_fixture_is_silent_off_the_commit_paths() {
-    let (v, _) = check_source(
-        "crates/serve/src/server.rs",
-        &fixture("commit_io.rs"),
-        FileContext::Lib,
-        &Config::default(),
+fn commit_reachability_roots_are_function_granular() {
+    // Rooting a *different* function in the same file leaves the blocking
+    // sink unreachable — and the suppression audit then calls out the
+    // now-dead `commit-io-ok` annotation instead.
+    let ws = fixture_workspace(&[
+        ("commit_reach/commit.rs", "virtual/commit.rs"),
+        ("commit_reach/relay.rs", "virtual/relay.rs"),
+        ("commit_reach/sink.rs", "virtual/sink.rs"),
+    ]);
+    let (v, _) = check_workspace(&ws, &Config::default());
+    assert!(positions(&v, "commit-reachability").is_empty(), "{v:?}");
+    assert_eq!(
+        positions(&v, "suppression-audit"),
+        [(10, 34)],
+        "without roots the commit-io-ok annotation is dead: {v:?}"
+    );
+}
+
+#[test]
+fn lock_order_fixture_exact_positions() {
+    let ws = fixture_workspace(&[("lock_cycle.rs", "virtual/gate.rs")]);
+    let (v, a) = check_workspace(&ws, &Config::default());
+    assert_eq!(
+        positions(&v, "lock-order"),
+        [(9, 24)],
+        "one cycle, anchored at fwd()'s nested acquisition: {v:?}"
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    let msg = &v[0].message;
+    assert!(
+        msg.contains("`Gate.a` → `Gate.b`") || msg.contains("`Gate.b` → `Gate.a`"),
+        "{msg}"
     );
     assert!(
-        positions(&v, "obs-discipline").is_empty(),
-        "commit-path checks must not fire elsewhere: {v:?}"
+        msg.contains("`Gate::fwd`") && msg.contains("`Gate::rev`"),
+        "{msg}"
+    );
+    assert!(a.is_empty(), "{a:?}");
+}
+
+#[test]
+fn dead_suppression_fixture_exact_positions() {
+    let ws = fixture_workspace(&[("dead_suppression.rs", "virtual/helper.rs")]);
+    let (v, a) = check_workspace(&ws, &Config::default());
+    assert_eq!(
+        positions(&v, "suppression-audit"),
+        [(8, 19)],
+        "the stale lint-allow, at its comment position: {v:?}"
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(
+        v[0].message.contains("dead suppression"),
+        "{}",
+        v[0].message
+    );
+    // The live annotation still suppresses its unwrap, audited as usual.
+    assert_eq!(
+        allowed_positions(&a, "panic-hygiene"),
+        [(4, 7, AllowedBy::Inline)]
     );
 }
 

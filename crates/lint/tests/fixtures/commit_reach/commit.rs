@@ -1,0 +1,6 @@
+// Seeded commit-reachability fixture, file 1 of 3: the commit root. The
+// blocking work hides two call hops away, in sink.rs.
+
+pub fn emit() {
+    relay::forward();
+}

@@ -1,0 +1,6 @@
+// Seeded commit-reachability fixture, file 2 of 3: the innocent middle
+// hop between the commit root and the blocking sink.
+
+pub fn forward() {
+    sink::store();
+}

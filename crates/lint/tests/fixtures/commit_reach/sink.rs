@@ -1,0 +1,11 @@
+// Seeded commit-reachability fixture, file 3 of 3: blocking primitives
+// two hops from the commit root, plus the sanctioned alternatives.
+
+pub fn store(t: &Telemetry) {
+    let guard = t.history.lock();
+    println!("stored");
+    drop(guard);
+    let fine = t.history.try_lock();
+    t.total.fetch_add(1, Ordering::Relaxed); // relaxed-ok: wait-free commit
+    let cold = t.history.lock(); // commit-io-ok: one-time init before serving
+}

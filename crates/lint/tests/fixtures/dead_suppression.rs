@@ -1,0 +1,9 @@
+// Seeded suppression-audit fixture: one live annotation, one dead one.
+
+pub fn live(x: Option<u32>) -> u32 {
+    x.unwrap() // lint-allow(panic-hygiene): fixture invariant holds
+}
+
+pub fn dead() -> u32 {
+    checked_add() // lint-allow(panic-hygiene): stale since the refactor
+}

@@ -1,0 +1,15 @@
+// Seeded lock-order fixture: `Gate.a` then `Gate.b` in fwd() but `Gate.b`
+// then `Gate.a` in rev() — no global acquisition order exists.
+
+struct Gate { a: Mutex<u32>, b: Mutex<u32> }
+
+impl Gate {
+    pub fn fwd(&self) {
+        let x = self.a.lock();
+        let y = self.b.lock();
+    }
+    pub fn rev(&self) {
+        let y = self.b.lock();
+        let x = self.a.lock();
+    }
+}

@@ -1,11 +1,18 @@
-//! The linter must ship clean on its own workspace, and the JSON report it
-//! emits must validate against `schemas/lint.schema.json` — the same
-//! contract CI enforces with `validate_metrics`.
+//! The linter must ship clean on its own workspace, and the JSON and SARIF
+//! reports it emits must validate against their committed schemas — the
+//! same contracts CI enforces with `validate_metrics`. The committed
+//! `lint-baseline.json` ratchet and the serve crate's lock order are
+//! self-checked here too: the repo is its own richest fixture.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
+use acq_lint::baseline::Baseline;
 use acq_lint::report::REPORT_VERSION;
-use acq_lint::{check_source, load_config, run_workspace, Config, FileContext, Report};
+use acq_lint::rules::lock_order;
+use acq_lint::{
+    check_source, load_config, load_workspace, run_workspace, sarif, Config, FileContext, Report,
+};
 use acq_obs::{json, schema};
 
 fn repo_root() -> PathBuf {
@@ -17,10 +24,14 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn lint_schema() -> json::JsonValue {
-    let path = repo_root().join("schemas/lint.schema.json");
+fn committed_schema(rel: &str) -> json::JsonValue {
+    let path = repo_root().join(rel);
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-    json::parse(&text).expect("lint.schema.json parses")
+    json::parse(&text).unwrap_or_else(|e| panic!("{rel} parses: {e:?}"))
+}
+
+fn lint_schema() -> json::JsonValue {
+    committed_schema("schemas/lint.schema.json")
 }
 
 fn run_repo() -> Report {
@@ -65,10 +76,7 @@ fn the_json_report_validates_against_the_committed_schema() {
     );
 }
 
-#[test]
-fn a_dirty_report_also_validates_against_the_schema() {
-    // Exercise the `violations` array branch of the schema, which the clean
-    // repo run never populates.
+fn dirty_report() -> Report {
     let cfg = Config::default();
     let (violations, allowed) = check_source(
         "crates/core/src/fixture.rs",
@@ -77,11 +85,18 @@ fn a_dirty_report_also_validates_against_the_schema() {
         &cfg,
     );
     assert_eq!(violations.len(), 1);
-    let report = Report {
+    Report {
         files_scanned: 1,
         violations,
         allowed,
-    };
+    }
+}
+
+#[test]
+fn a_dirty_report_also_validates_against_the_schema() {
+    // Exercise the `violations` array branch of the schema, which the clean
+    // repo run never populates.
+    let report = dirty_report();
     let value = json::parse(&report.to_json()).expect("report JSON parses");
     let errors = schema::validate(&lint_schema(), &value);
     assert!(errors.is_empty(), "schema violations: {errors:?}");
@@ -90,5 +105,128 @@ fn a_dirty_report_also_validates_against_the_schema() {
             .pointer("/summary/clean")
             .and_then(json::JsonValue::as_bool),
         Some(false)
+    );
+}
+
+#[test]
+fn the_sarif_log_validates_against_the_committed_schema() {
+    let sarif_schema = committed_schema("schemas/sarif-subset.schema.json");
+    // The clean repo run exercises the rule table and the suppression
+    // (level=note) branch; the dirty sample exercises level=error results.
+    for report in [run_repo(), dirty_report()] {
+        let value = json::parse(&sarif::render(&report)).expect("SARIF JSON parses");
+        let errors = schema::validate(&sarif_schema, &value);
+        assert!(errors.is_empty(), "SARIF schema violations: {errors:?}");
+    }
+}
+
+#[test]
+fn the_committed_baseline_matches_the_current_run_and_roundtrips() {
+    let path = repo_root().join("lint-baseline.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let committed = Baseline::parse(&text).expect("lint-baseline.json parses");
+    let current = Baseline::from_report(&run_repo());
+    // The ratchet: no per-rule count may exceed the committed baseline.
+    let regressions = committed.regressions(&current);
+    assert!(
+        regressions.is_empty(),
+        "baseline regressions: {regressions:#?}"
+    );
+    // And the committed file must not lag behind either — when suppressions
+    // are removed the baseline is re-written in the same change, so the two
+    // stay byte-for-byte in sync (`--write-baseline` emits this rendering).
+    assert_eq!(
+        text,
+        current.to_json(),
+        "stale lint-baseline.json: rerun with --baseline lint-baseline.json --write-baseline"
+    );
+    let reparsed = Baseline::parse(&current.to_json()).expect("rendered baseline reparses");
+    assert!(reparsed.regressions(&current).is_empty());
+    assert!(current.regressions(&reparsed).is_empty());
+}
+
+#[test]
+fn the_serve_crate_acquires_its_locks_in_one_global_order() {
+    // The lock-order rule only *errors* on cycles; this self-check pins the
+    // stronger property for the overload-control files, which juggle three
+    // mutexes (`Admission.clients`, `Admission.state`, the progress
+    // registry and response queues): the union of every acquisition edge
+    // must form one consistent global order — topologically sortable, no
+    // lock ever taken in both orders anywhere in the workspace.
+    let ws = load_workspace(&repo_root()).expect("workspace loads");
+    let edges = lock_order::edges(&ws);
+
+    let serve_files = [
+        "crates/serve/src/admission.rs",
+        "crates/serve/src/progress.rs",
+        "crates/serve/src/server.rs",
+    ];
+    for file in serve_files {
+        let acquires = ws
+            .index
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, item)| ws.files[item.file].rel_path == file)
+            .map(|(f, _)| ws.graph.locks[f].len())
+            .sum::<usize>();
+        assert!(
+            acquires > 0,
+            "{file}: call graph sees no lock acquisitions — extractor regression?"
+        );
+    }
+
+    // Kahn's algorithm over the full edge set: every lock is a node, every
+    // hold-then-acquire pair a directed edge. A global order exists iff the
+    // graph is acyclic.
+    let mut succ: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut indegree: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in &edges {
+        indegree.entry(e.from.as_str()).or_default();
+        indegree.entry(e.to.as_str()).or_default();
+        if succ
+            .entry(e.from.as_str())
+            .or_default()
+            .insert(e.to.as_str())
+        {
+            *indegree.entry(e.to.as_str()).or_default() += 1;
+        }
+        assert!(
+            !succ
+                .get(e.to.as_str())
+                .is_some_and(|s| s.contains(e.from.as_str())),
+            "locks `{}` and `{}` are acquired in both orders (second order in `{}` at {}:{}:{})",
+            e.from,
+            e.to,
+            e.holder,
+            e.file,
+            e.line,
+            e.col
+        );
+    }
+    let mut ready: Vec<&str> = indegree
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(l, _)| *l)
+        .collect();
+    let mut sorted = 0usize;
+    while let Some(lock) = ready.pop() {
+        sorted += 1;
+        for next in succ.get(lock).into_iter().flatten() {
+            let d = indegree.get_mut(next).expect("node was registered");
+            *d -= 1;
+            if *d == 0 {
+                ready.push(next);
+            }
+        }
+    }
+    assert_eq!(
+        sorted,
+        indegree.len(),
+        "lock graph has a cycle; edges: {:#?}",
+        edges
+            .iter()
+            .map(|e| format!("{} -> {} in {}", e.from, e.to, e.holder))
+            .collect::<Vec<_>>()
     );
 }

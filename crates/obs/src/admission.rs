@@ -43,6 +43,9 @@ pub struct AdmissionStats {
     /// Additional requests served on an already-established keep-alive
     /// connection (the first request on a connection does not count).
     pub keepalive_reuses: Counter,
+    /// Per-client token buckets dropped by the limiter's TTL sweep or its
+    /// size cap — the memory bound holding under address-diverse floods.
+    pub clients_evicted: Counter,
 }
 
 impl AdmissionStats {
@@ -53,7 +56,7 @@ impl AdmissionStats {
     }
 
     /// `(name, help, counter)` rows in stable render order.
-    fn rows(&self) -> [(&'static str, &'static str, &Counter); 8] {
+    fn rows(&self) -> [(&'static str, &'static str, &Counter); 9] {
         [
             (
                 "conn_rejected",
@@ -90,6 +93,11 @@ impl AdmissionStats {
                 "keepalive_reuses",
                 "Extra requests served over kept-alive connections",
                 &self.keepalive_reuses,
+            ),
+            (
+                "clients_evicted",
+                "Per-client token buckets dropped by the TTL sweep or size cap",
+                &self.clients_evicted,
             ),
         ]
     }

@@ -20,6 +20,7 @@
 
 use std::collections::BTreeMap;
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -30,7 +31,16 @@ const GATE_POLL: Duration = Duration::from_millis(50);
 
 /// Retained per-client buckets; oldest-keyed entries are evicted beyond
 /// this, bounding memory under an address-diverse flood.
-const MAX_TRACKED_CLIENTS: usize = 4096;
+pub const MAX_TRACKED_CLIENTS: usize = 4096;
+
+/// Per-client buckets idle (no `check` touch) for this long are swept.
+/// Generous compared to any real refill horizon: a bucket idle this long
+/// has long since refilled to `burst`, so recreating it fresh is lossless.
+pub const CLIENT_TTL: Duration = Duration::from_secs(300);
+
+/// The TTL sweep runs at most this often, amortising the map scan instead
+/// of paying it on every request.
+pub const SWEEP_INTERVAL: Duration = Duration::from_secs(60);
 
 /// A standard token bucket: `rate` tokens/second refill up to `burst`.
 #[derive(Debug, Clone)]
@@ -72,43 +82,67 @@ impl TokenBucket {
     }
 }
 
+/// The per-client bucket map plus its sweep bookkeeping, guarded together.
+#[derive(Debug)]
+struct ClientBuckets {
+    map: BTreeMap<IpAddr, TokenBucket>,
+    last_sweep: Instant,
+}
+
 /// The rate-limiting front door: one global bucket plus per-client buckets.
 #[derive(Debug)]
 pub struct RateLimiters {
     client_rate: f64,
     client_burst: f64,
     global: Mutex<TokenBucket>,
-    clients: Mutex<BTreeMap<IpAddr, TokenBucket>>,
+    clients: Mutex<ClientBuckets>,
+    // Relaxed is sound: an independent monotonic tally, drained wholesale
+    // into the telemetry counter; no cross-variable ordering is implied.
+    evicted: AtomicU64,
 }
 
 impl RateLimiters {
     /// Builds both tiers; a rate of `0` disables that tier.
     #[must_use]
     pub fn new(client_rate: f64, client_burst: f64, global_rate: f64, global_burst: f64) -> Self {
+        let now = Instant::now();
         Self {
             client_rate,
             client_burst,
-            global: Mutex::new(TokenBucket::new(global_rate, global_burst, Instant::now())),
-            clients: Mutex::new(BTreeMap::new()),
+            global: Mutex::new(TokenBucket::new(global_rate, global_burst, now)),
+            clients: Mutex::new(ClientBuckets {
+                map: BTreeMap::new(),
+                last_sweep: now,
+            }),
+            evicted: AtomicU64::new(0),
         }
     }
 
     /// Checks the caller against its per-client bucket, then the global
     /// one. `Err(secs)` is the larger applicable `Retry-After`.
     pub fn check(&self, peer: Option<IpAddr>) -> Result<(), u32> {
-        let now = Instant::now();
+        self.check_at(peer, Instant::now())
+    }
+
+    /// [`check`](Self::check) with an injected clock, so floods that span
+    /// simulated hours (TTL sweeps, refill horizons) are testable in
+    /// microseconds.
+    pub fn check_at(&self, peer: Option<IpAddr>, now: Instant) -> Result<(), u32> {
         if self.client_rate > 0.0 {
             if let Some(ip) = peer {
                 let mut clients = self.clients.lock().unwrap_or_else(PoisonError::into_inner);
-                if clients.len() >= MAX_TRACKED_CLIENTS && !clients.contains_key(&ip) {
+                self.sweep(&mut clients, now);
+                if clients.map.len() >= MAX_TRACKED_CLIENTS && !clients.map.contains_key(&ip) {
                     // Bounded memory beats per-client fairness under an
                     // address-diverse flood; the global bucket still holds.
-                    let evict = clients.keys().next().copied();
+                    let evict = clients.map.keys().next().copied();
                     if let Some(k) = evict {
-                        clients.remove(&k);
+                        clients.map.remove(&k);
+                        self.evicted.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotonic tally, no ordering implied
                     }
                 }
                 let bucket = clients
+                    .map
                     .entry(ip)
                     .or_insert_with(|| TokenBucket::new(self.client_rate, self.client_burst, now));
                 bucket.try_acquire(now)?;
@@ -118,6 +152,43 @@ impl RateLimiters {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .try_acquire(now)
+    }
+
+    /// Drops buckets idle past [`CLIENT_TTL`], at most once per
+    /// [`SWEEP_INTERVAL`]. Without this, one slow address-diverse drip
+    /// (one request per spoofed IP) pins `MAX_TRACKED_CLIENTS` dead
+    /// buckets forever; with it the map tracks only the working set.
+    fn sweep(&self, clients: &mut ClientBuckets, now: Instant) {
+        if now.saturating_duration_since(clients.last_sweep) < SWEEP_INTERVAL {
+            return;
+        }
+        clients.last_sweep = now;
+        let before = clients.map.len();
+        clients
+            .map
+            .retain(|_, b| now.saturating_duration_since(b.refilled) < CLIENT_TTL);
+        let swept = (before - clients.map.len()) as u64;
+        if swept > 0 {
+            self.evicted.fetch_add(swept, Ordering::Relaxed); // relaxed-ok: monotonic tally, no ordering implied
+        }
+    }
+
+    /// Per-client buckets currently tracked.
+    #[must_use]
+    pub fn tracked_clients(&self) -> usize {
+        self.clients
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// Drains the pending eviction tally (TTL sweep + size cap). The
+    /// caller folds the delta into the cumulative
+    /// `acq_serve_clients_evicted_total` counter, so draining keeps the
+    /// exported series monotone while this internal tally stays small.
+    pub fn take_evicted(&self) -> u64 {
+        self.evicted.swap(0, Ordering::Relaxed) // relaxed-ok: monotonic tally, no ordering implied
     }
 }
 

@@ -227,7 +227,14 @@ fn query(state: &Arc<ServerState>, req: &Request, peer: Option<IpAddr>) -> Respo
         stats.shed.inc();
         return json_err(503, "server is shutting down").with_retry_after(1);
     }
-    if let Err(retry) = state.limiters.check(peer) {
+    let admitted_by_limiter = state.limiters.check(peer);
+    // Fold bucket evictions (TTL sweep or size cap) into the cumulative
+    // counter whichever way the check went — sweeps fire on admits too.
+    let evicted = state.limiters.take_evicted();
+    if evicted > 0 {
+        stats.clients_evicted.add(evicted);
+    }
+    if let Err(retry) = admitted_by_limiter {
         stats.rate_limited.inc();
         return json_err(429, "rate limited; slow down").with_retry_after(retry);
     }

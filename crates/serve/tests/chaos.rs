@@ -490,3 +490,61 @@ fn shutdown_under_load_drains_in_flight_rejects_queued_and_joins() {
     assert_eq!(running, 0, "registry leaked a running record");
     assert!(completed >= 1);
 }
+
+// ---------------------------------------------------------------------------
+// Spoofed-IP flood against the rate limiter's bucket map
+// ---------------------------------------------------------------------------
+
+#[test]
+fn spoofed_ip_flood_keeps_bucket_memory_bounded_and_ttl_sweeps_the_corpse_pile() {
+    use std::net::{IpAddr, Ipv4Addr};
+
+    use acq_serve::admission::{CLIENT_TTL, MAX_TRACKED_CLIENTS, SWEEP_INTERVAL};
+    use acq_serve::RateLimiters;
+
+    // Per-client limiting on, global tier open: every spoofed address gets
+    // its own bucket, which is exactly the memory attack being simulated.
+    let lim = RateLimiters::new(10.0, 5.0, 0.0, 1.0);
+    let t0 = Instant::now();
+    let spoof = |i: usize| IpAddr::V4(Ipv4Addr::from(0x0a00_0000u32 + i as u32));
+
+    // Burst phase: 3x the cap in distinct spoofed source addresses, all
+    // inside one sweep interval. The map must stop at the cap, with the
+    // overflow evicted (and tallied), not accumulated.
+    let flood = 3 * MAX_TRACKED_CLIENTS;
+    for i in 0..flood {
+        let _ = lim.check_at(Some(spoof(i)), t0);
+    }
+    assert_eq!(lim.tracked_clients(), MAX_TRACKED_CLIENTS);
+    assert_eq!(lim.take_evicted(), (flood - MAX_TRACKED_CLIENTS) as u64);
+
+    // Idle phase: the flood stops. One legitimate client arriving after the
+    // TTL horizon triggers the amortised sweep, which must reclaim every
+    // corpse bucket in one pass — this is the unbounded-growth fix: before
+    // the sweep, the dead flood pinned the cap's worth of memory forever.
+    let later = t0 + CLIENT_TTL + SWEEP_INTERVAL;
+    let legit: IpAddr = "192.168.7.7".parse().unwrap();
+    assert!(lim.check_at(Some(legit), later).is_ok());
+    assert_eq!(
+        lim.tracked_clients(),
+        1,
+        "only the live client survives the TTL sweep"
+    );
+    assert_eq!(lim.take_evicted(), MAX_TRACKED_CLIENTS as u64);
+
+    // The sweep is amortised: a second wave arriving right after does not
+    // rescan per request, and a still-active client is never swept.
+    for i in 0..100 {
+        let _ = lim.check_at(Some(spoof(i)), later);
+    }
+    let keepalive = later + CLIENT_TTL - Duration::from_secs(1);
+    assert!(lim.check_at(Some(legit), keepalive).is_ok());
+    let after_second_sweep = keepalive + SWEEP_INTERVAL;
+    assert!(lim.check_at(Some(legit), after_second_sweep).is_ok());
+    assert_eq!(
+        lim.tracked_clients(),
+        1,
+        "the touched client outlives idle spoofed ones"
+    );
+    assert_eq!(lim.take_evicted(), 100);
+}
