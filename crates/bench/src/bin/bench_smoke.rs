@@ -38,9 +38,15 @@
 //! `FlightRecorder` sampling the process metrics at its default cadence —
 //! versus an identical recorder-less run. Like `obs_overhead`, the row is a
 //! trend record; the hard <2% gate lives in the test suite where it can
-//! retry (`crates/core/tests/observability.rs`). Baselines are versioned
-//! per PR (`BENCH_PR<n>.json`, see `BENCH_TRAJECTORY.md`); the parser
-//! accepts any version.
+//! retry (`crates/core/tests/observability.rs`). Version 7 adds
+//! `"ops_overhead"`: the fig10 sweep run with the full operations layer
+//! armed — every request's lifecycle record formatted and appended to a
+//! durable journal (wait-free ring, dedicated writer thread) plus an SLO
+//! alert engine evaluated against a flight-recorder probe once per request,
+//! far more often than the production 250ms cadence — versus identical
+//! journal-less runs, asserting zero ring drops and zero write errors.
+//! Baselines are versioned per PR (`BENCH_PR<n>.json`, see
+//! `BENCH_TRAJECTORY.md`); the parser accepts any version.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -56,7 +62,7 @@ use acq_obs::{
     FlightRecorder, Metrics, QueryRegistry, QuerySummary, DEFAULT_RECORDER_CADENCE,
     DEFAULT_RECORDER_CAPACITY,
 };
-use acq_serve::{ServeConfig, Server};
+use acq_serve::{alerts::parse_alerts, AlertEngine, ServeConfig, Server};
 use acquire_core::{
     run_acquire_observed, run_acquire_progress, AcquireConfig, CancellationToken, EvalLayerKind,
     Obs, ProgressSink, DEFAULT_PROGRESS_CAPACITY,
@@ -64,12 +70,13 @@ use acquire_core::{
 
 /// Report format version. v2 added `pr`, `obs_overhead` and the embedded
 /// `metrics` snapshot; v3 added `serve_overhead`; v4 added `overload`; v5
-/// added `pruning` (zone-map ablation) and `speedup_gate`; v6 adds
-/// `recorder_overhead` (progress sink + flight recorder armed). The
-/// baseline parser accepts older reports too.
-const REPORT_VERSION: u64 = 6;
+/// added `pruning` (zone-map ablation) and `speedup_gate`; v6 added
+/// `recorder_overhead` (progress sink + flight recorder armed); v7 adds
+/// `ops_overhead` (durable journal + alert engine armed over the fig10
+/// sweep). The baseline parser accepts older reports too.
+const REPORT_VERSION: u64 = 7;
 /// The PR whose baseline this binary emits (`BENCH_PR<n>.json`).
-const BASELINE_PR: u64 = 8;
+const BASELINE_PR: u64 = 10;
 /// How much slower than the (calibration-scaled) baseline a workload may
 /// get before the check fails.
 const REGRESSION_FACTOR: f64 = 1.2;
@@ -634,6 +641,147 @@ fn overload_run(spec: &WorkloadSpec) -> OverloadReport {
     }
 }
 
+/// Wall-clock cost of the full operations layer, measured per fig10
+/// workload.
+struct OpsRow {
+    name: &'static str,
+    plain_ms: f64,
+    ops_ms: f64,
+}
+
+/// The fig10 sweep with the durable journal and the SLO alert engine armed.
+struct OpsReport {
+    rows: Vec<OpsRow>,
+    /// Journal ring accounting after the sweep: the row is only honest if
+    /// nothing was silently dropped or lost to disk errors.
+    written: u64,
+    dropped: u64,
+    write_errors: u64,
+    /// Alert-state transitions over the sweep (quiet rules: must be zero).
+    transitions: u64,
+}
+
+impl OpsReport {
+    fn overhead_pct(&self) -> f64 {
+        let plain: f64 = self.rows.iter().map(|r| r.plain_ms).sum();
+        let ops: f64 = self.rows.iter().map(|r| r.ops_ms).sum();
+        (ops / plain - 1.0) * 100.0
+    }
+}
+
+/// Runs the fig10 sweep twice per workload (best-of-3 each): once plain
+/// (metrics enabled, no operations layer) and once with a durable journal
+/// receiving one lifecycle record per request via its wait-free ring and an
+/// [`AlertEngine`] evaluated against a flight-recorder probe after every
+/// request — a strictly harsher cadence than the production alert thread's
+/// 250ms interval. The record is formatted inside the measured region so
+/// the row charges everything a served request pays. Asserts the ring
+/// dropped nothing, the writer hit no disk errors, and the (quiet) rules
+/// never paged; the wall-clock delta itself is a trend row, with the hard
+/// <2% gate in `crates/serve/tests/ops_overhead.rs` where it can retry.
+fn ops_run(specs: &[(&'static str, WorkloadSpec)]) -> OpsReport {
+    use acq_obs::journal::{Journal, DEFAULT_JOURNAL_CAPACITY, DEFAULT_JOURNAL_MAX_BYTES};
+
+    let path = std::env::temp_dir().join(format!("acq-bench-ops-{}.journal", std::process::id()));
+    let journal = Journal::open(&path, DEFAULT_JOURNAL_MAX_BYTES, DEFAULT_JOURNAL_CAPACITY)
+        .expect("open bench journal");
+    let ring = journal.ring();
+    // Two realistic, deliberately quiet rules: a missing signal (never
+    // pages by contract) and an unreachable error-rate threshold. The
+    // evaluation cost is identical to rules that would page.
+    let mut engine = AlertEngine::new(
+        parse_alerts(
+            "[[rule]]\nname = \"p99-latency-high\"\nsignal = \"p99_latency_ms\"\n\
+             threshold = 1e12\nwindow_secs = 60\n\n\
+             [[rule]]\nname = \"error-rate-high\"\nsignal = \"queries_err_per_sec\"\n\
+             threshold = 1e12\nwindow_secs = 60\nfor_secs = 30\n",
+        )
+        .expect("bench alert rules"),
+    );
+    let process_metrics = Arc::new(Metrics::new());
+    let recorder = FlightRecorder::start(
+        Arc::clone(&process_metrics),
+        DEFAULT_RECORDER_CADENCE,
+        DEFAULT_RECORDER_CAPACITY,
+    );
+    let probe = |signal: &str, window: Duration| -> Option<f64> {
+        signal
+            .strip_suffix("_per_sec")
+            .and_then(|counter| recorder.rate(counter, window))
+    };
+    let t0 = std::time::Instant::now();
+
+    let cfg = AcquireConfig::default();
+    let kind = EvalLayerKind::CachedScore;
+    let mut rows = Vec::new();
+    let mut transitions = 0u64;
+    let mut id = 0u64;
+    for (name, spec) in specs {
+        let workload = count_workload(spec);
+        let mut plain_ms = f64::INFINITY;
+        let mut ops_ms = f64::INFINITY;
+        for _ in 0..3 {
+            let obs = Obs::enabled();
+            let mut exec = Executor::new(workload.catalog.clone());
+            let (out, ms) =
+                measure(|| run_acquire_observed(&mut exec, &workload.query, &cfg, kind, &obs));
+            out.expect("plain run");
+            plain_ms = plain_ms.min(ms);
+
+            let obs = Obs::enabled();
+            let mut exec = Executor::new(workload.catalog.clone());
+            id += 1;
+            let (accepted, ms) = measure(|| {
+                let out = run_acquire_observed(&mut exec, &workload.query, &cfg, kind, &obs)
+                    .expect("ops run");
+                process_metrics.absorb_snapshot(&obs.snapshot().expect("enabled handle"));
+                let record = format!(
+                    "{{\"v\":1,\"kind\":\"query\",\"at_ms\":{},\"id\":{id},\"status\":200,\
+                     \"queued\":false,\"degraded\":false,\"satisfied\":{},\
+                     \"termination\":\"{}\",\"layers\":{},\"explored\":{},\
+                     \"zones_pruned\":{},\"duration_ms\":0.0,\
+                     \"outcome_key\":\"{:016x}\"}}",
+                    acq_obs::journal::unix_ms(),
+                    out.satisfied,
+                    out.termination.slug(),
+                    out.layers,
+                    out.explored,
+                    out.stats.zones_pruned,
+                    out.original_aggregate.to_bits(),
+                );
+                let accepted = ring.try_append(record);
+                transitions += engine.evaluate(t0.elapsed(), &probe).len() as u64;
+                accepted
+            });
+            assert!(accepted, "{name}: journal ring dropped a bench record");
+            ops_ms = ops_ms.min(ms);
+        }
+        rows.push(OpsRow {
+            name,
+            plain_ms,
+            ops_ms,
+        });
+    }
+    assert!(
+        journal.flush(Duration::from_secs(10)),
+        "journal writer did not settle"
+    );
+    let report = OpsReport {
+        rows,
+        written: ring.written(),
+        dropped: ring.dropped(),
+        write_errors: ring.write_errors(),
+        transitions,
+    };
+    assert_eq!(report.written, id, "every bench record must reach disk");
+    assert_eq!(report.dropped, 0, "ring dropped records under bench load");
+    assert_eq!(report.write_errors, 0, "journal writer hit disk errors");
+    assert_eq!(report.transitions, 0, "quiet rules paged during the sweep");
+    drop(journal);
+    let _ = std::fs::remove_file(&path);
+    report
+}
+
 /// Host-level run context stamped into the report header and consulted by
 /// the speedup gate.
 struct RunInfo {
@@ -642,6 +790,7 @@ struct RunInfo {
     cores: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     info: &RunInfo,
     rows: &[WorkloadReport],
@@ -650,6 +799,7 @@ fn render_json(
     recorder: &RecorderReport,
     serve: &ServeReport,
     overload: &OverloadReport,
+    ops: &OpsReport,
 ) -> String {
     let RunInfo {
         calibration_ms,
@@ -766,6 +916,35 @@ fn render_json(
         overload.dropped,
         histogram.join(", "),
         overload.admission_json.trim_end(),
+    );
+    // The full operations layer (durable journal + alert engine) armed over
+    // the fig10 sweep. A trend row like the other overheads; the hard <2%
+    // gate retries in crates/serve/tests/ops_overhead.rs. The ring/writer
+    // integrity half (no drops, no write errors, quiet rules stayed quiet)
+    // is asserted inside ops_run before this renders. The key is "workload"
+    // (matching the pruning row), not "name": parse_baseline scans every
+    // `"name"` in the file expecting serial_ms/parallel_ms to follow.
+    let ops_rows: Vec<String> = ops
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{ \"workload\": \"{}\", \"plain_ms\": {:.3}, \"ops_ms\": {:.3} }}",
+                r.name, r.plain_ms, r.ops_ms
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        s,
+        "  \"ops_overhead\": {{ \"workloads\": [ {} ], \"overhead_pct\": {:.2}, \
+         \"journal_written\": {}, \"journal_dropped\": {}, \"journal_write_errors\": {}, \
+         \"alert_transitions\": {} }},",
+        ops_rows.join(", "),
+        ops.overhead_pct(),
+        ops.written,
+        ops.dropped,
+        ops.write_errors,
+        ops.transitions,
     );
     let _ = writeln!(s, "  \"metrics\": {}", obs.metrics_json.trim_end());
     s.push_str("}\n");
@@ -946,6 +1125,23 @@ fn main() -> ExitCode {
         overload.statuses,
     );
 
+    // Operations layer (durable journal + alert engine) armed over the
+    // fig10 sweep; the same workloads already ran bare above, so the delta
+    // is the price of durability plus alerting.
+    let ops = ops_run(&[
+        ("fig10_1k", WorkloadSpec::new(1_000, 3, 0.3)),
+        ("fig10_10k", WorkloadSpec::new(10_000, 3, 0.3)),
+        ("fig10_100k", WorkloadSpec::new(100_000, 3, 0.3)),
+    ]);
+    println!(
+        "ops             overhead {:+.2}%  journal {} written / {} dropped / {} errors  \
+         alerts quiet",
+        ops.overhead_pct(),
+        ops.written,
+        ops.dropped,
+        ops.write_errors,
+    );
+
     let json = render_json(
         &RunInfo {
             calibration_ms,
@@ -958,6 +1154,7 @@ fn main() -> ExitCode {
         &recorder,
         &serve,
         &overload,
+        &ops,
     );
     if let Some(path) = &args.out {
         if let Err(e) = std::fs::write(path, &json) {

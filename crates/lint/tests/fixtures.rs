@@ -222,6 +222,35 @@ fn commit_reachability_fixture_exact_positions() {
 }
 
 #[test]
+fn commit_reachability_flags_journal_write_on_the_append_root() {
+    // The journal contract: `try_append` is a commit root, so a disk write
+    // reachable from it — here one hop away in the writer module — must be
+    // flagged. The wait-free pieces (try_lock slot, relaxed cursor) pass.
+    let ws = fixture_workspace(&[
+        ("commit_reach_journal/journal.rs", "virtual/journal.rs"),
+        ("commit_reach_journal/writer.rs", "virtual/writer.rs"),
+    ]);
+    let cfg =
+        Config::parse("[commit-reachability]\nroots = [\"virtual/journal.rs::try_append\"]\n")
+            .unwrap();
+    let (v, a) = check_workspace(&ws, &cfg);
+    assert_eq!(
+        positions(&v, "commit-reachability"),
+        [(6, 12)],
+        "the write_all in writer.rs, at its exact position: {v:?}"
+    );
+    assert_eq!(v[0].file, "virtual/writer.rs", "{v:?}");
+    assert!(
+        v[0].message
+            .contains("via `journal::try_append → writer::persist`"),
+        "the call chain from the append root is printed: {}",
+        v[0].message
+    );
+    assert_eq!(v.len(), 1, "no other rule fires on this fixture: {v:?}");
+    assert!(a.is_empty(), "{a:?}");
+}
+
+#[test]
 fn commit_reachability_roots_are_function_granular() {
     // Rooting a *different* function in the same file leaves the blocking
     // sink unreachable — and the suppression audit then calls out the

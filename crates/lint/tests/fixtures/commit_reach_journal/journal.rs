@@ -1,0 +1,9 @@
+// Seeded commit-reachability fixture (journal flavour), file 1 of 2: a
+// journal append root that wrongly persists inline instead of handing the
+// record to the wait-free ring for the writer thread to drain.
+
+pub fn try_append(j: &Journal, record: String) {
+    let slot = j.slots[0].try_lock();
+    j.head.fetch_add(1, Ordering::Relaxed); // relaxed-ok: wait-free cursor
+    writer::persist(j, record);
+}

@@ -1,0 +1,8 @@
+// Seeded commit-reachability fixture (journal flavour), file 2 of 2: the
+// blocking disk write one call hop from the append root — exactly the
+// mistake the journal's ring/writer-thread split exists to prevent.
+
+pub fn persist(j: &Journal, record: String) {
+    j.file.write_all(record.as_bytes());
+    j.written.fetch_add(1, Ordering::Relaxed); // relaxed-ok: wait-free tally
+}

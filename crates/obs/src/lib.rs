@@ -26,6 +26,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod admission;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod registry;
@@ -36,11 +37,15 @@ pub mod trace;
 pub mod window;
 
 pub use admission::AdmissionStats;
+pub use journal::{
+    Journal, JournalRing, DEFAULT_JOURNAL_CAPACITY, DEFAULT_JOURNAL_MAX_BYTES, JOURNAL_VERSION,
+};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, WorkerStats, MAX_WORKERS};
 pub use registry::{QueryRecord, QueryRegistry, QueryStatus, QuerySummary};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_QUANTILES, SNAPSHOT_VERSION};
 pub use timeseries::{
-    FlightRecorder, DEFAULT_RECORDER_CADENCE, DEFAULT_RECORDER_CAPACITY, TIMESERIES_VERSION,
+    CounterSource, FlightRecorder, DEFAULT_RECORDER_CADENCE, DEFAULT_RECORDER_CAPACITY,
+    TIMESERIES_VERSION,
 };
 pub use trace::{TraceBuf, TraceEvent};
 pub use window::{DecayingHistogram, RateCounter};

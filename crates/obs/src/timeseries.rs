@@ -44,6 +44,14 @@ pub const RECORDER_GAUGES: &[&str] = &[
     "budget_headroom",
 ];
 
+/// A named external counter column sampled alongside the [`Metrics`]
+/// registry. Serve-level counters (shed, 429s, journal drops) live in other
+/// crates; closure sources keep the dependency arrow pointing this way
+/// while still giving those counters delta-encoded history and
+/// [`FlightRecorder::rate`] windows — which is what the SLO alert engine
+/// evaluates its burn-rate rules over.
+pub type CounterSource = (String, Arc<dyn Fn() -> u64 + Send + Sync>);
+
 fn gauge_reads(m: &Metrics) -> Vec<Option<u64>> {
     vec![
         m.current_layer.get(),
@@ -82,7 +90,8 @@ struct RecorderInner {
     cadence: Duration,
     capacity: usize,
     start: Instant,
-    counter_names: Vec<&'static str>,
+    counter_names: Vec<String>,
+    extra: Vec<CounterSource>,
     ring: Mutex<Ring>,
     stop: AtomicBool,
 }
@@ -90,12 +99,13 @@ struct RecorderInner {
 impl RecorderInner {
     fn sample(&self) {
         let at_ms = self.start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
-        let counters: Vec<u64> = self
+        let mut counters: Vec<u64> = self
             .metrics
             .counter_values()
             .iter()
             .map(|&(_, v)| v)
             .collect();
+        counters.extend(self.extra.iter().map(|(_, read)| read()));
         let gauges = gauge_reads(&self.metrics);
         let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
         let deltas = counters
@@ -142,9 +152,18 @@ impl std::fmt::Debug for FlightRecorder {
 }
 
 impl FlightRecorder {
-    fn build(metrics: Arc<Metrics>, cadence: Duration, capacity: usize) -> Arc<RecorderInner> {
-        let counter_names: Vec<&'static str> =
-            metrics.counter_values().iter().map(|&(k, _)| k).collect();
+    fn build(
+        metrics: Arc<Metrics>,
+        cadence: Duration,
+        capacity: usize,
+        extra: Vec<CounterSource>,
+    ) -> Arc<RecorderInner> {
+        let mut counter_names: Vec<String> = metrics
+            .counter_values()
+            .iter()
+            .map(|&(k, _)| k.to_string())
+            .collect();
+        counter_names.extend(extra.iter().map(|(name, _)| name.clone()));
         let n = counter_names.len();
         Arc::new(RecorderInner {
             metrics,
@@ -152,6 +171,7 @@ impl FlightRecorder {
             capacity: capacity.max(1),
             start: Instant::now(),
             counter_names,
+            extra,
             ring: Mutex::new(Ring {
                 samples: VecDeque::new(),
                 last_counters: vec![0; n],
@@ -164,8 +184,19 @@ impl FlightRecorder {
     /// A recorder without a sampler thread; callers drive it with
     /// [`FlightRecorder::sample_now`].
     pub fn paused(metrics: Arc<Metrics>, cadence: Duration, capacity: usize) -> Self {
+        Self::paused_with_sources(metrics, cadence, capacity, Vec::new())
+    }
+
+    /// [`FlightRecorder::paused`] plus extra [`CounterSource`] columns
+    /// appended after the registry counters.
+    pub fn paused_with_sources(
+        metrics: Arc<Metrics>,
+        cadence: Duration,
+        capacity: usize,
+        extra: Vec<CounterSource>,
+    ) -> Self {
         Self {
-            inner: Self::build(metrics, cadence, capacity),
+            inner: Self::build(metrics, cadence, capacity, extra),
             sampler: None,
         }
     }
@@ -173,7 +204,18 @@ impl FlightRecorder {
     /// Starts the recorder with a background sampler thread capturing one
     /// sample every `cadence` (clamped to ≥ 1 ms; `capacity` to ≥ 1).
     pub fn start(metrics: Arc<Metrics>, cadence: Duration, capacity: usize) -> Self {
-        let inner = Self::build(metrics, cadence, capacity);
+        Self::start_with_sources(metrics, cadence, capacity, Vec::new())
+    }
+
+    /// [`FlightRecorder::start`] plus extra [`CounterSource`] columns
+    /// appended after the registry counters.
+    pub fn start_with_sources(
+        metrics: Arc<Metrics>,
+        cadence: Duration,
+        capacity: usize,
+        extra: Vec<CounterSource>,
+    ) -> Self {
+        let inner = Self::build(metrics, cadence, capacity, extra);
         let worker = Arc::clone(&inner);
         let sampler = std::thread::Builder::new()
             .name("acq-flight-recorder".to_string())
@@ -253,7 +295,7 @@ impl FlightRecorder {
             .inner
             .counter_names
             .iter()
-            .position(|&name| name == counter)?;
+            .position(|name| name == counter)?;
         let ring = self
             .inner
             .ring
@@ -473,6 +515,77 @@ mod tests {
             doc.pointer("/rate_window_ms").and_then(|v| v.as_f64()),
             Some(5000.0)
         );
+    }
+
+    #[test]
+    fn wraparound_at_exact_capacity_boundary() {
+        // Satellite coverage: filling the ring to *exactly* capacity must
+        // not evict; the very next sample evicts exactly one, and the
+        // surviving window is the newest `capacity` samples in order.
+        let (metrics, rec) = recorder(3);
+        for i in 0..3u64 {
+            metrics.cells_executed.add(i + 1); // deltas 1, 2, 3
+            rec.sample_now();
+        }
+        assert_eq!(rec.len(), 3, "exactly full, nothing evicted yet");
+        assert_eq!(rec.evicted(), 0);
+        metrics.cells_executed.add(4);
+        rec.sample_now();
+        assert_eq!(rec.len(), 3, "capacity holds");
+        assert_eq!(rec.evicted(), 1, "exactly the oldest sample evicted");
+        let doc = json::parse(&rec.to_json(Duration::from_secs(30))).unwrap();
+        let samples = doc.pointer("/samples").unwrap().as_arr().unwrap();
+        let col0: Vec<f64> = samples
+            .iter()
+            .map(|s| s.pointer("/deltas/0").and_then(|v| v.as_f64()).unwrap())
+            .collect();
+        assert_eq!(col0, vec![2.0, 3.0, 4.0], "oldest delta gone, order kept");
+        // Delta continuity across the eviction: the next sample still
+        // encodes against the last absolute value, not the evicted one.
+        metrics.cells_executed.add(7);
+        rec.sample_now();
+        let doc = json::parse(&rec.to_json(Duration::from_secs(30))).unwrap();
+        assert_eq!(
+            doc.pointer("/samples/2/deltas/0").and_then(|v| v.as_f64()),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn extra_sources_append_columns_and_rates() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let metrics = Arc::new(Metrics::new());
+        let shed = Arc::new(AtomicU64::new(0));
+        let reader = Arc::clone(&shed);
+        let rec = FlightRecorder::paused_with_sources(
+            Arc::clone(&metrics),
+            Duration::from_millis(1000),
+            8,
+            vec![(
+                "serve_shed".to_string(),
+                Arc::new(move || reader.load(Ordering::Relaxed)),
+            )],
+        );
+        shed.store(4, Ordering::Relaxed);
+        rec.sample_now();
+        shed.store(9, Ordering::Relaxed);
+        rec.sample_now();
+        let doc = json::parse(&rec.to_json(Duration::from_secs(30))).unwrap();
+        let counters = doc.pointer("/counters").unwrap().as_arr().unwrap();
+        assert_eq!(
+            counters.last().and_then(|v| v.as_str()),
+            Some("serve_shed"),
+            "external column appended after the registry counters"
+        );
+        let last = counters.len() - 1;
+        let delta = |i: usize| {
+            doc.pointer(&format!("/samples/{i}/deltas/{last}"))
+                .and_then(|v| v.as_f64())
+                .unwrap()
+        };
+        assert_eq!(delta(0), 4.0);
+        assert_eq!(delta(1), 5.0);
+        assert!(rec.rate("serve_shed", Duration::from_secs(30)).unwrap() > 0.0);
     }
 
     #[test]

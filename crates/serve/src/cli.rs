@@ -44,11 +44,23 @@ overload / admission control:
   --degrade-watermark F  load fraction of --max-concurrent above which
                          admissions degrade to best-effort (default 0.75)
   --degrade-factor F     budget multiplier for degraded admissions (default 0.25)
+
+operations (journal + alerts):
+  --journal PATH         append every request lifecycle and alert transition as
+                         NDJSON (schemas/journal.schema.json) to this file,
+                         size-rotated; replay offline with `acq journal`
+  --journal-max-bytes N  active-segment size before rotation (default 8388608)
+  --journal-capacity N   in-memory journal ring capacity (default 4096)
+  --alerts PATH          load declarative SLO rules (threshold / burn_rate)
+                         from this TOML file; states at GET /alerts and
+                         acq_alert_firing{rule=...} on /metrics
+  --alert-interval SECS  alert evaluation cadence (default 0.25)
   --help                 this message
 
 endpoints: POST /query[?explain=1]  GET /metrics /healthz /readyz /queries
            GET /query/<id>/progress (chunked NDJSON)  GET /timeseries[?window=SECS]
-           GET /trace/<id>[?format=chrome]  POST /shutdown
+           GET /alerts  GET /dashboard  GET /trace/<id>[?format=chrome]
+           POST /shutdown
 
 The request body for POST /query is JSON:
   {\"sql\": \"SELECT ... CONSTRAINT ...\", \"gamma\"?, \"delta\"?,
@@ -226,6 +238,30 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<ServeOpts, Stri
                 }
                 opts.config.degrade_factor = f;
             }
+            "--journal" => {
+                opts.config.journal_path = Some(std::path::PathBuf::from(need("--journal")?));
+            }
+            "--journal-max-bytes" => {
+                let n: u64 = need("--journal-max-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--journal-max-bytes: {e}"))?;
+                if n == 0 {
+                    return Err("--journal-max-bytes: expected a positive size".to_string());
+                }
+                opts.config.journal_max_bytes = n;
+            }
+            "--journal-capacity" => {
+                opts.config.journal_capacity = need("--journal-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--journal-capacity: {e}"))?;
+            }
+            "--alerts" => {
+                opts.config.alerts_path = Some(std::path::PathBuf::from(need("--alerts")?));
+            }
+            "--alert-interval" => {
+                opts.config.alert_interval =
+                    positive_secs("--alert-interval", &need("--alert-interval")?)?;
+            }
             other => return Err(format!("unexpected argument {other}\n\n{USAGE}")),
         }
     }
@@ -377,6 +413,37 @@ mod tests {
         assert!(parse(&["--client-rate", "-2"]).is_err());
         assert!(parse(&["--degrade-watermark", "1.5"]).is_err());
         assert!(parse(&["--degrade-factor", "nan"]).is_err());
+    }
+
+    #[test]
+    fn ops_flags_parse_and_validate() {
+        let opts = parse(&[
+            "--journal",
+            "/tmp/acq.journal",
+            "--journal-max-bytes",
+            "1024",
+            "--journal-capacity",
+            "16",
+            "--alerts",
+            "alerts.toml",
+            "--alert-interval",
+            "0.05",
+        ])
+        .unwrap();
+        assert_eq!(
+            opts.config.journal_path.as_deref(),
+            Some(std::path::Path::new("/tmp/acq.journal"))
+        );
+        assert_eq!(opts.config.journal_max_bytes, 1024);
+        assert_eq!(opts.config.journal_capacity, 16);
+        assert_eq!(
+            opts.config.alerts_path.as_deref(),
+            Some(std::path::Path::new("alerts.toml"))
+        );
+        assert_eq!(opts.config.alert_interval, Duration::from_millis(50));
+        assert!(parse(&["--journal-max-bytes", "0"]).is_err());
+        assert!(parse(&["--alert-interval", "0"]).is_err());
+        assert!(parse(&["--journal"]).is_err());
     }
 
     #[test]

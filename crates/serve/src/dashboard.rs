@@ -1,0 +1,361 @@
+//! The self-contained live dashboard served at `GET /dashboard`.
+//!
+//! One hand-written HTML page — inline CSS and JS, zero external requests
+//! (no CDN, no fonts, no framework) — that polls the server's own JSON
+//! endpoints (`/timeseries`, `/alerts`, `/queries`) every two seconds and
+//! renders:
+//!
+//! - **alert badges** — one per `alerts.toml` rule, state shown as icon +
+//!   label (never color alone) in the reserved status palette;
+//! - **stat tiles** — trailing-window rates (requests, errors, shed, 429s,
+//!   journal drops) straight from the `/timeseries` `rates` header, plus
+//!   in-flight and firing counts;
+//! - **sparklines** — one single-series SVG line per recorder column of
+//!   interest, delta-encoded samples drawn as-is, with a shared
+//!   crosshair + tooltip hover layer and a direct label on the last value;
+//! - **a recent-queries table** — the accessible table view of the same
+//!   activity the charts summarize.
+//!
+//! Colors follow the role system: one categorical series hue for every
+//! sparkline (single-series charts need no legend — the title names the
+//! series), status colors reserved for alert state, text always in ink
+//! tokens. Light and dark are both first-class; dark swaps tokens via
+//! `prefers-color-scheme`.
+
+/// The complete `GET /dashboard` document.
+pub const DASHBOARD_HTML: &str = r##"<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>acq-serve dashboard</title>
+<style>
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7; --ring: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --status-good: #0ca30c; --status-warn: #fab219; --status-crit: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835; --ring: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 16px 20px 40px; background: var(--page); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header { display: flex; align-items: baseline; gap: 12px; margin-bottom: 12px; }
+h1 { font-size: 18px; margin: 0; }
+h2 { font-size: 13px; font-weight: 600; color: var(--ink-2); margin: 18px 0 8px;
+     text-transform: uppercase; letter-spacing: .04em; }
+#status { color: var(--muted); font-size: 12px; }
+#status.err { color: var(--status-crit); }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--ring); border-radius: 8px;
+  padding: 10px 14px; min-width: 128px;
+}
+.tile .v { font-size: 22px; font-weight: 600; }
+.tile .k { font-size: 12px; color: var(--ink-2); }
+.badge { display: flex; align-items: center; gap: 8px; }
+.badge .dot { font-size: 15px; }
+.badge.firing .dot { color: var(--status-crit); }
+.badge.pending .dot { color: var(--status-warn); }
+.badge.inactive .dot { color: var(--status-good); }
+.badge .meta { color: var(--muted); font-size: 12px; }
+.sparks { display: flex; flex-wrap: wrap; gap: 10px; }
+.spark {
+  background: var(--surface-1); border: 1px solid var(--ring); border-radius: 8px;
+  padding: 8px 12px 6px; position: relative;
+}
+.spark .t { font-size: 12px; color: var(--ink-2); margin-bottom: 2px; }
+.spark .last { font-size: 12px; color: var(--ink-2); float: right; }
+.spark svg { display: block; }
+table { border-collapse: collapse; width: 100%; background: var(--surface-1);
+        border: 1px solid var(--ring); border-radius: 8px; }
+th, td { text-align: left; padding: 5px 10px; border-top: 1px solid var(--grid);
+         font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-size: 12px; font-weight: 600; border-top: none; }
+td.sql { color: var(--ink-2); max-width: 420px; overflow: hidden;
+         text-overflow: ellipsis; white-space: nowrap; }
+#tooltip {
+  position: fixed; display: none; pointer-events: none; z-index: 10;
+  background: var(--surface-1); border: 1px solid var(--ring); border-radius: 6px;
+  padding: 4px 8px; font-size: 12px; color: var(--ink-1);
+  box-shadow: 0 2px 8px rgba(0,0,0,.15);
+}
+.empty { color: var(--muted); font-size: 12px; }
+</style>
+</head>
+<body>
+<header><h1>acq-serve</h1><div id="status">connecting…</div></header>
+
+<h2>Alerts</h2>
+<div id="alerts" class="tiles"><span class="empty">no alert rules loaded</span></div>
+
+<h2>Now</h2>
+<div id="stats" class="tiles"></div>
+
+<h2>Recent activity <span style="font-weight:400;color:var(--muted)">(per sample interval)</span></h2>
+<div id="sparks" class="sparks"></div>
+
+<h2>Recent queries</h2>
+<table id="queries">
+  <thead><tr><th>id</th><th>status</th><th>ms</th><th>termination</th>
+  <th>satisfied</th><th>sql</th></tr></thead>
+  <tbody><tr><td colspan="6" class="empty">none yet</td></tr></tbody>
+</table>
+
+<div id="tooltip"></div>
+<script>
+"use strict";
+const POLL_MS = 2000, W = 260, H = 56, PAD = 4;
+const SPARK_COLS = [
+  ["serve_requests", "requests"],
+  ["serve_queries_err", "query errors"],
+  ["serve_shed", "shed (503)"],
+  ["serve_rate_limited", "rate limited (429)"],
+  ["journal_dropped", "journal drops"],
+  ["cells_executed", "cells executed"],
+];
+const $ = (id) => document.getElementById(id);
+const el = (tag, cls, text) => {
+  const e = document.createElement(tag);
+  if (cls) e.className = cls;
+  if (text !== undefined) e.textContent = text;
+  return e;
+};
+const fmt = (v) => {
+  if (v === null || v === undefined || Number.isNaN(v)) return "–";
+  if (Math.abs(v) >= 1000) return Math.round(v).toLocaleString();
+  return (Math.round(v * 100) / 100).toString();
+};
+
+function renderAlerts(doc) {
+  const box = $("alerts");
+  box.textContent = "";
+  const rules = (doc && doc.rules) || [];
+  if (!rules.length) {
+    box.appendChild(el("span", "empty", "no alert rules loaded"));
+    return 0;
+  }
+  let firing = 0;
+  for (const r of rules) {
+    if (r.state === "firing") firing++;
+    const icon = r.state === "firing" ? "▲" : r.state === "pending" ? "◆" : "✓";
+    const tile = el("div", "tile badge " + r.state);
+    tile.appendChild(el("span", "dot", icon));
+    const body = el("div");
+    body.appendChild(el("div", "", r.name + " — " + r.state));
+    body.appendChild(el("div", "meta",
+      r.signal + " " + fmt(r.value) + " / " + fmt(r.threshold) +
+      (r.state_ms ? " · " + Math.round(r.state_ms / 1000) + "s" : "")));
+    tile.appendChild(body);
+    box.appendChild(tile);
+  }
+  return firing;
+}
+
+function rateOf(ts, name) {
+  if (!ts) return null;
+  const i = ts.counters.indexOf(name);
+  return i < 0 ? null : ts.rates[i];
+}
+
+function renderStats(ts, queries, firing) {
+  const box = $("stats");
+  box.textContent = "";
+  const running = queries && queries.running ? queries.running.length : 0;
+  const tiles = [
+    ["requests /s", rateOf(ts, "serve_requests")],
+    ["errors /s", rateOf(ts, "serve_queries_err")],
+    ["shed /s", rateOf(ts, "serve_shed")],
+    ["429 /s", rateOf(ts, "serve_rate_limited")],
+    ["journal drops /s", rateOf(ts, "journal_dropped")],
+    ["in flight", running],
+    ["alerts firing", firing],
+  ];
+  for (const [k, v] of tiles) {
+    const t = el("div", "tile");
+    t.appendChild(el("div", "v", fmt(v)));
+    t.appendChild(el("div", "k", k));
+    box.appendChild(t);
+  }
+}
+
+function sparkSeries(ts, col) {
+  const i = ts.counters.indexOf(col);
+  if (i < 0) return null;
+  return ts.samples.map((s) => ({ at: s.at_ms, v: s.deltas[i] }));
+}
+
+function drawSpark(host, title, pts) {
+  const card = el("div", "spark");
+  const head = el("div", "t", title);
+  const last = pts.length ? pts[pts.length - 1].v : null;
+  head.appendChild(el("span", "last", fmt(last)));
+  card.appendChild(head);
+  const ns = "http://www.w3.org/2000/svg";
+  const svg = document.createElementNS(ns, "svg");
+  svg.setAttribute("width", W); svg.setAttribute("height", H);
+  const max = Math.max(1, ...pts.map((p) => p.v));
+  const x = (i) => pts.length < 2 ? W / 2 : PAD + (i * (W - 2 * PAD)) / (pts.length - 1);
+  const y = (v) => H - PAD - (v / max) * (H - 2 * PAD);
+  const base = document.createElementNS(ns, "line");
+  base.setAttribute("x1", PAD); base.setAttribute("x2", W - PAD);
+  base.setAttribute("y1", H - PAD); base.setAttribute("y2", H - PAD);
+  base.setAttribute("stroke", "var(--baseline)");
+  svg.appendChild(base);
+  if (pts.length) {
+    const path = document.createElementNS(ns, "path");
+    path.setAttribute("d", pts.map((p, i) =>
+      (i ? "L" : "M") + x(i).toFixed(1) + " " + y(p.v).toFixed(1)).join(" "));
+    path.setAttribute("fill", "none");
+    path.setAttribute("stroke", "var(--series-1)");
+    path.setAttribute("stroke-width", "2");
+    path.setAttribute("stroke-linejoin", "round");
+    svg.appendChild(path);
+    const end = document.createElementNS(ns, "circle");
+    end.setAttribute("cx", x(pts.length - 1)); end.setAttribute("cy", y(last));
+    end.setAttribute("r", "4"); end.setAttribute("fill", "var(--series-1)");
+    end.setAttribute("stroke", "var(--surface-1)"); end.setAttribute("stroke-width", "2");
+    svg.appendChild(end);
+  }
+  const cross = document.createElementNS(ns, "line");
+  cross.setAttribute("y1", PAD); cross.setAttribute("y2", H - PAD);
+  cross.setAttribute("stroke", "var(--grid)"); cross.setAttribute("visibility", "hidden");
+  svg.appendChild(cross);
+  svg.addEventListener("mousemove", (ev) => {
+    if (!pts.length) return;
+    const r = svg.getBoundingClientRect();
+    const i = Math.max(0, Math.min(pts.length - 1,
+      Math.round(((ev.clientX - r.left - PAD) / (W - 2 * PAD)) * (pts.length - 1))));
+    cross.setAttribute("x1", x(i)); cross.setAttribute("x2", x(i));
+    cross.setAttribute("visibility", "visible");
+    const tip = $("tooltip");
+    tip.textContent = "t+" + (pts[i].at / 1000).toFixed(0) + "s · " + fmt(pts[i].v);
+    tip.style.display = "block";
+    tip.style.left = (ev.clientX + 12) + "px";
+    tip.style.top = (ev.clientY - 10) + "px";
+  });
+  svg.addEventListener("mouseleave", () => {
+    cross.setAttribute("visibility", "hidden");
+    $("tooltip").style.display = "none";
+  });
+  card.appendChild(svg);
+  host.appendChild(card);
+}
+
+function renderSparks(ts) {
+  const box = $("sparks");
+  box.textContent = "";
+  if (!ts || !ts.samples.length) {
+    box.appendChild(el("span", "empty", "no samples yet"));
+    return;
+  }
+  for (const [col, title] of SPARK_COLS) {
+    const pts = sparkSeries(ts, col);
+    if (pts) drawSpark(box, title, pts);
+  }
+}
+
+function renderQueries(doc) {
+  const tbody = $("queries").querySelector("tbody");
+  tbody.textContent = "";
+  const rows = doc ? [...(doc.running || []), ...(doc.completed || [])] : [];
+  rows.sort((a, b) => b.id - a.id);
+  if (!rows.length) {
+    const tr = el("tr");
+    const td = el("td", "empty", "none yet");
+    td.colSpan = 6;
+    tr.appendChild(td);
+    tbody.appendChild(tr);
+    return;
+  }
+  for (const q of rows.slice(0, 12)) {
+    const tr = el("tr");
+    tr.appendChild(el("td", "", String(q.id)));
+    tr.appendChild(el("td", "", q.status));
+    tr.appendChild(el("td", "", q.duration_ms === null ? "…" : String(q.duration_ms)));
+    tr.appendChild(el("td", "", q.termination || ""));
+    tr.appendChild(el("td", "", q.satisfied === undefined ? "" : String(q.satisfied)));
+    tr.appendChild(el("td", "sql", q.sql));
+    tbody.appendChild(tr);
+  }
+}
+
+async function grab(url) {
+  try {
+    const r = await fetch(url, { cache: "no-store" });
+    return r.ok ? await r.json() : null;
+  } catch (_) {
+    return null;
+  }
+}
+
+async function poll() {
+  const [ts, alerts, queries] = await Promise.all(
+    ["/timeseries", "/alerts", "/queries"].map(grab));
+  const ok = ts !== null;
+  const st = $("status");
+  st.textContent = ok ? "live · polling every " + POLL_MS / 1000 + "s" : "unreachable — retrying";
+  st.className = ok ? "" : "err";
+  const firing = renderAlerts(alerts);
+  renderStats(ts, queries, firing);
+  renderSparks(ts);
+  renderQueries(queries);
+  setTimeout(poll, POLL_MS);
+}
+poll();
+</script>
+</body>
+</html>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dashboard_polls_the_three_endpoints() {
+        for endpoint in ["/timeseries", "/alerts", "/queries"] {
+            assert!(DASHBOARD_HTML.contains(endpoint), "missing {endpoint}");
+        }
+    }
+
+    #[test]
+    fn dashboard_is_self_contained() {
+        // No external requests of any kind: the page must render on an
+        // air-gapped operator box.
+        for needle in ["http://", "https://", "src=", "@import", "url("] {
+            let hits = DASHBOARD_HTML
+                .match_indices(needle)
+                .filter(|(i, _)| {
+                    // The SVG namespace URI is an identifier, not a fetch.
+                    !DASHBOARD_HTML[*i..].starts_with("http://www.w3.org/2000/svg")
+                })
+                .count();
+            assert_eq!(hits, 0, "external reference via {needle}");
+        }
+        assert!(DASHBOARD_HTML.contains("<style>"), "inline styles only");
+        assert!(DASHBOARD_HTML.contains("<script>"), "inline script only");
+    }
+
+    #[test]
+    fn alert_states_pair_icon_with_label() {
+        // Status is never color alone: each state renders an icon glyph and
+        // the state word.
+        for glyph in ["▲", "◆", "✓"] {
+            assert!(DASHBOARD_HTML.contains(glyph), "missing state icon {glyph}");
+        }
+        assert!(DASHBOARD_HTML.contains("r.name + \" — \" + r.state"));
+    }
+}

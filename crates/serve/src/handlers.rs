@@ -9,6 +9,8 @@
 //! | GET    | `/metrics`      | Prometheus text: pipeline + serve telemetry  |
 //! | GET    | `/timeseries`   | flight-recorder ring + rates (`?window=SECS`)|
 //! | GET    | `/queries`      | registry JSON: running + completed queries   |
+//! | GET    | `/alerts`       | SLO alert engine rule states as JSON         |
+//! | GET    | `/dashboard`    | self-contained live HTML dashboard           |
 //! | GET    | `/trace/<id>`   | that query's span tree, with `truncated`;    |
 //! |        |                 | `?format=chrome` re-renders for Perfetto     |
 //! | POST   | `/query`        | run an ACQ request; `?explain=1` adds profile|
@@ -18,7 +20,7 @@
 //! loop before this buffered handler; see [`crate::progress`].
 
 use std::net::IpAddr;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 use acq_engine::Executor;
@@ -61,6 +63,12 @@ pub fn handle(state: &Arc<ServerState>, req: &Request, peer: Option<IpAddr>) -> 
         ("GET", "/metrics") => Response::new(200, PROMETHEUS_CONTENT_TYPE, render_metrics(state)),
         ("GET", "/timeseries") => timeseries(state, req),
         ("GET", "/queries") => Response::json(200, state.registry.to_json()),
+        ("GET", "/alerts") => alerts_json(state),
+        ("GET", "/dashboard") => Response::new(
+            200,
+            "text/html; charset=utf-8",
+            crate::dashboard::DASHBOARD_HTML,
+        ),
         ("GET", path) if path.starts_with("/trace/") => trace(state, req, &path["/trace/".len()..]),
         ("POST", "/query") => query(state, req, peer),
         ("POST", "/shutdown") => {
@@ -104,7 +112,49 @@ fn render_metrics(state: &Arc<ServerState>) -> String {
         state.gate.queued(),
         state.gate.degrade_at(),
     ));
+    if let Some(ring) = state.journal_ring() {
+        s.push_str(&format!(
+            "# HELP acq_journal_written_total Journal records persisted to disk\n\
+             # TYPE acq_journal_written_total counter\nacq_journal_written_total {}\n\
+             # HELP acq_journal_dropped_total Journal records dropped at the wait-free ring\n\
+             # TYPE acq_journal_dropped_total counter\nacq_journal_dropped_total {}\n\
+             # HELP acq_journal_rotations_total Journal segment rotations\n\
+             # TYPE acq_journal_rotations_total counter\nacq_journal_rotations_total {}\n\
+             # HELP acq_journal_write_errors_total Journal disk-write failures\n\
+             # TYPE acq_journal_write_errors_total counter\nacq_journal_write_errors_total {}\n\
+             # HELP acq_journal_torn_repaired_total Torn trailing lines truncated at open\n\
+             # TYPE acq_journal_torn_repaired_total counter\nacq_journal_torn_repaired_total {}\n",
+            ring.written(),
+            ring.dropped(),
+            ring.rotations(),
+            ring.write_errors(),
+            ring.torn_repaired(),
+        ));
+    }
+    if let Some(engine) = &state.alerts {
+        let engine = engine.lock().unwrap_or_else(PoisonError::into_inner);
+        s.push_str(&engine.render_prometheus());
+    }
     s
+}
+
+/// `GET /alerts`: every rule's current state. With no `--alerts` file the
+/// endpoint still answers — an empty rule list, so dashboards and probes
+/// need not special-case a disabled engine.
+fn alerts_json(state: &Arc<ServerState>) -> Response {
+    match &state.alerts {
+        Some(engine) => {
+            let engine = engine.lock().unwrap_or_else(PoisonError::into_inner);
+            Response::json(200, engine.to_json(state.now()))
+        }
+        None => Response::json(
+            200,
+            format!(
+                "{{\"version\":{},\"rules\":[]}}",
+                crate::alerts::ALERTS_VERSION
+            ),
+        ),
+    }
 }
 
 /// `GET /timeseries`: the flight recorder's ring, with per-counter rates
@@ -225,6 +275,7 @@ fn query(state: &Arc<ServerState>, req: &Request, peer: Option<IpAddr>) -> Respo
     let stats = &state.telemetry.admission;
     if !state.is_ready() {
         stats.shed.inc();
+        journal_query(state, "\"status\":503,\"error\":\"shutting down\"");
         return json_err(503, "server is shutting down").with_retry_after(1);
     }
     let admitted_by_limiter = state.limiters.check(peer);
@@ -236,12 +287,14 @@ fn query(state: &Arc<ServerState>, req: &Request, peer: Option<IpAddr>) -> Respo
     }
     if let Err(retry) = admitted_by_limiter {
         stats.rate_limited.inc();
+        journal_query(state, "\"status\":429,\"error\":\"rate limited\"");
         return json_err(429, "rate limited; slow down").with_retry_after(retry);
     }
     let (admission, permit) = state.gate.admit(&state.shutdown);
     let (queued, degraded) = match admission {
         Admission::Shed(retry) => {
             stats.shed.inc();
+            journal_query(state, "\"status\":503,\"error\":\"shed: at capacity\"");
             return json_err(503, "at capacity; retry later").with_retry_after(retry);
         }
         Admission::Admitted { queued, degraded } => (queued, degraded),
@@ -254,7 +307,7 @@ fn query(state: &Arc<ServerState>, req: &Request, peer: Option<IpAddr>) -> Respo
         stats.degraded.inc();
     }
     let t0 = Instant::now();
-    let resp = run_query(state, req, t0, degraded);
+    let resp = run_query(state, req, t0, queued, degraded);
     drop(permit);
     state
         .telemetry
@@ -262,10 +315,23 @@ fn query(state: &Arc<ServerState>, req: &Request, peer: Option<IpAddr>) -> Respo
     resp
 }
 
-fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant, degraded: bool) -> Response {
+fn run_query(
+    state: &Arc<ServerState>,
+    req: &Request,
+    t0: Instant,
+    queued: bool,
+    degraded: bool,
+) -> Response {
+    let reject = |msg: &str| {
+        journal_query(
+            state,
+            &format!("\"status\":400,\"error\":\"{}\"", json_escape(msg)),
+        );
+        json_err(400, msg)
+    };
     let parsed = match parse_query_request(&req.body) {
         Ok(p) => p,
-        Err(msg) => return json_err(400, &msg),
+        Err(msg) => return reject(&msg),
     };
     let threads = parsed.threads.min(state.config.max_threads);
 
@@ -275,17 +341,14 @@ fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant, degraded: boo
         Some(v) => match v.trim().parse::<u64>() {
             Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
             _ => {
-                return json_err(
-                    400,
-                    "X-ACQ-Deadline-Ms must be a positive integer (milliseconds)",
-                )
+                return reject("X-ACQ-Deadline-Ms must be a positive integer (milliseconds)");
             }
         },
     };
 
     let query = match compile(&parsed.sql, &state.catalog) {
         Ok(q) => q,
-        Err(e) => return json_err(400, &format!("compile: {e}")),
+        Err(e) => return reject(&format!("compile: {e}")),
     };
 
     // Per-request budget: the tightest of the server's hard cap, the JSON
@@ -389,17 +452,37 @@ fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant, degraded: boo
             if let Some(snap) = &snap {
                 state.metrics.absorb_snapshot(snap);
             }
-            let profile = req
-                .flag("explain")
-                .then(|| ExplainProfile::new(&query, &cfg, &outcome, snap.as_ref(), duration));
+            // The digest doubles as the journal's Eq. 17 accounting, so it
+            // is computed whether or not the client asked to `?explain=1`.
+            let digest = ExplainProfile::new(&query, &cfg, &outcome, snap.as_ref(), duration);
+            let key = outcome_key(&outcome);
+            journal_query(
+                state,
+                &format!(
+                    "\"id\":{id},\"status\":200,\"queued\":{queued},\"degraded\":{degraded},\
+                     \"satisfied\":{},\"termination\":\"{}\",\"layers\":{},\"explored\":{},\
+                     \"zones_pruned\":{},\"duration_ms\":{},\"outcome_key\":\"{key}\",\
+                     \"digest\":{{\"dims\":{},\"layers\":{},\"explored\":{},\
+                     \"cells_executed\":{},\"regions_reused\":{},\"subqueries_total\":{},\
+                     \"at_most_once_violations\":{}}}",
+                    outcome.satisfied,
+                    outcome.termination.slug(),
+                    outcome.layers,
+                    outcome.explored,
+                    outcome.stats.zones_pruned,
+                    duration.as_millis(),
+                    digest.dims,
+                    digest.layers_expanded,
+                    digest.explored,
+                    digest.cells_executed,
+                    digest.regions_reused,
+                    digest.subqueries_total,
+                    digest.at_most_once_violations,
+                ),
+            );
+            let profile = req.flag("explain").then_some(&digest);
             let body = outcome_json(
-                id,
-                &outcome,
-                &query,
-                parsed.top,
-                duration,
-                degraded,
-                profile.as_ref(),
+                id, &outcome, &query, parsed.top, duration, degraded, &key, profile,
             );
             // Seal with the response body *verbatim* so the stream's
             // terminal `outcome` is byte-identical to this answer.
@@ -412,9 +495,64 @@ fn run_query(state: &Arc<ServerState>, req: &Request, t0: Instant, degraded: boo
                 .registry
                 .fail(id, msg.clone(), duration.as_millis() as u64);
             channel.fail();
+            journal_query(
+                state,
+                &format!(
+                    "\"id\":{id},\"status\":400,\"queued\":{queued},\"degraded\":{degraded},\
+                     \"duration_ms\":{},\"error\":\"{}\"",
+                    duration.as_millis(),
+                    json_escape(&msg)
+                ),
+            );
             json_err(400, &format!("query {id} failed: {msg}"))
         }
     }
+}
+
+/// Appends one `kind:"query"` NDJSON record (see
+/// `schemas/journal.schema.json`) when journaling is on. The append is
+/// wait-free — a full ring drops the record and counts it, so slow disks
+/// never back-pressure request threads.
+fn journal_query(state: &Arc<ServerState>, fields: &str) {
+    if let Some(ring) = state.journal_ring() {
+        ring.try_append(format!(
+            "{{\"v\":{},\"kind\":\"query\",\"at_ms\":{},{fields}}}",
+            acq_obs::JOURNAL_VERSION,
+            acq_obs::journal::unix_ms(),
+        ));
+    }
+}
+
+/// FNV-1a over the answer-bearing response fields: satisfaction, the
+/// termination slug, and every returned refinement's SQL + aggregate +
+/// error bits (plus the near-miss). Floats are hashed as IEEE bit
+/// patterns, so the key is bit-exact: two runs agree on `outcome_key` iff
+/// they agree on every answer a client could act on — the serve-level
+/// spelling of the workspace's determinism guarantee, checked across
+/// thread counts in `serve_e2e`.
+fn outcome_key(outcome: &AcqOutcome) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff; // field separator, so ("ab","c") != ("a","bc")
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    eat(&[u8::from(outcome.satisfied)]);
+    eat(outcome.termination.slug().as_bytes());
+    for r in &outcome.queries {
+        eat(r.sql.as_bytes());
+        eat(&r.aggregate.to_bits().to_le_bytes());
+        eat(&r.error.to_bits().to_le_bytes());
+    }
+    if let Some(r) = &outcome.closest {
+        eat(r.sql.as_bytes());
+        eat(&r.aggregate.to_bits().to_le_bytes());
+        eat(&r.error.to_bits().to_le_bytes());
+    }
+    format!("{h:016x}")
 }
 
 fn json_num(v: f64) -> String {
@@ -465,6 +603,7 @@ fn result_json(r: &RefinedQueryResult, original: &AcqQuery) -> String {
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn outcome_json(
     id: u64,
     outcome: &AcqOutcome,
@@ -472,6 +611,7 @@ fn outcome_json(
     top: usize,
     duration: Duration,
     degraded: bool,
+    outcome_key: &str,
     profile: Option<&ExplainProfile>,
 ) -> String {
     let queries: Vec<String> = outcome
@@ -497,7 +637,8 @@ fn outcome_json(
     format!(
         "{{\"id\":{id},\"satisfied\":{},\"degraded\":{degraded},\"termination\":{},\
          \"original_aggregate\":{},\
-         \"explored\":{},\"layers\":{},\"duration_ms\":{},\"queries\":[{}],\
+         \"explored\":{},\"layers\":{},\"duration_ms\":{},\"outcome_key\":\"{outcome_key}\",\
+         \"queries\":[{}],\
          \"closest\":{},\"stats\":{{{}}},\"profile\":{}}}",
         outcome.satisfied,
         termination_json(&outcome.termination),

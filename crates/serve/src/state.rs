@@ -1,14 +1,17 @@
 //! Shared server state and configuration.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use acq_engine::Catalog;
-use acq_obs::{FlightRecorder, Metrics, QueryRegistry};
+use acq_obs::journal::JournalRing;
+use acq_obs::{CounterSource, FlightRecorder, Journal, Metrics, QueryRegistry};
 use acquire_core::{CancellationToken, EvalLayerKind};
 
 use crate::admission::{QueryGate, RateLimiters};
+use crate::alerts::{AlertEngine, AlertRule};
 use crate::progress::ProgressBroker;
 use crate::telemetry::Telemetry;
 
@@ -74,6 +77,16 @@ pub struct ServeConfig {
     pub recorder_cadence: Duration,
     /// Samples the flight recorder retains before evicting the oldest.
     pub recorder_capacity: usize,
+    /// Durable query-journal path; `None` disables journaling.
+    pub journal_path: Option<PathBuf>,
+    /// Size at which the active journal segment rotates.
+    pub journal_max_bytes: u64,
+    /// Journal ring capacity (records buffered between writer drains).
+    pub journal_capacity: usize,
+    /// `alerts.toml` path; `None` disables the alert engine.
+    pub alerts_path: Option<PathBuf>,
+    /// Cadence of the alert evaluation thread.
+    pub alert_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +117,11 @@ impl Default for ServeConfig {
             degrade_factor: 0.25,
             recorder_cadence: acq_obs::DEFAULT_RECORDER_CADENCE,
             recorder_capacity: acq_obs::DEFAULT_RECORDER_CAPACITY,
+            journal_path: None,
+            journal_max_bytes: acq_obs::DEFAULT_JOURNAL_MAX_BYTES,
+            journal_capacity: acq_obs::DEFAULT_JOURNAL_CAPACITY,
+            alerts_path: None,
+            alert_interval: Duration::from_millis(250),
         }
     }
 }
@@ -125,13 +143,23 @@ pub struct ServerState {
     /// Live progress channels for streaming `GET /query/<id>/progress`.
     pub progress: ProgressBroker,
     /// Serve-level request telemetry (rates, decaying latency, admission).
-    pub telemetry: Telemetry,
+    /// `Arc`'d so the flight recorder's counter-source closures can read
+    /// the same instruments the `/metrics` scrape reads.
+    pub telemetry: Arc<Telemetry>,
     /// In-flight + recently completed queries.
     pub registry: QueryRegistry,
     /// The admission gate: bounded query concurrency + bounded queue.
     pub gate: QueryGate,
     /// Token-bucket front door (per-client + global).
     pub limiters: RateLimiters,
+    /// The durable query journal, when `--journal` is set. The writer
+    /// thread lives inside; request threads only touch the wait-free ring.
+    pub journal: Option<Journal>,
+    /// Cached producer handle of `journal` (so the hot path never clones).
+    journal_ring: Option<Arc<JournalRing>>,
+    /// The SLO alert engine state, when `--alerts` is set. Locked only by
+    /// the evaluation thread and read-side renderers — never a commit path.
+    pub alerts: Option<Mutex<AlertEngine>>,
     /// Cancelling this token starts graceful shutdown: the accept loop
     /// stops taking connections and every in-flight search is interrupted
     /// (the driver polls the token cooperatively).
@@ -144,7 +172,18 @@ pub struct ServerState {
 
 impl ServerState {
     /// Fresh state around a loaded catalog.
+    ///
+    /// Panics if the ops config is invalid (unopenable `journal_path`,
+    /// unparseable `alerts_path`); callers that set those use
+    /// [`ServerState::try_new`] and surface the error.
     pub fn new(config: ServeConfig, catalog: Catalog) -> Self {
+        Self::try_new(config, catalog).expect("ops config invalid") // lint-allow(panic-hygiene): only reachable with journal/alerts config, whose callers use try_new
+    }
+
+    /// Fresh state around a loaded catalog, surfacing ops-config errors
+    /// (journal file unopenable, `alerts.toml` unparseable) instead of
+    /// starting a server that silently neither journals nor pages.
+    pub fn try_new(config: ServeConfig, catalog: Catalog) -> Result<Self, String> {
         let gate = QueryGate::new(
             config.max_concurrent,
             config.max_queued,
@@ -159,25 +198,111 @@ impl ServerState {
         );
         let completed_capacity = config.completed_capacity;
         let metrics = Arc::new(Metrics::new());
-        let recorder = FlightRecorder::start(
+        let telemetry = Arc::new(Telemetry::new());
+        let journal = match &config.journal_path {
+            Some(path) => Some(
+                Journal::open(path, config.journal_max_bytes, config.journal_capacity)
+                    .map_err(|e| format!("journal {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
+        let journal_ring = journal.as_ref().map(Journal::ring);
+        let alerts = match &config.alerts_path {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("alerts {}: {e}", path.display()))?;
+                let rules: Vec<AlertRule> = crate::alerts::parse_alerts(&text)
+                    .map_err(|e| format!("alerts {}: {e}", path.display()))?;
+                Some(Mutex::new(AlertEngine::new(rules)))
+            }
+            None => None,
+        };
+        let recorder = FlightRecorder::start_with_sources(
             Arc::clone(&metrics),
             config.recorder_cadence,
             config.recorder_capacity,
+            Self::recorder_sources(&telemetry, journal_ring.as_ref()),
         );
-        Self {
+        Ok(Self {
             config,
             catalog,
             metrics,
             recorder,
             progress: ProgressBroker::default(),
-            telemetry: Telemetry::new(),
+            telemetry,
             registry: QueryRegistry::new(completed_capacity),
             gate,
             limiters,
+            journal,
+            journal_ring,
+            alerts,
             shutdown: CancellationToken::new(),
             ready: AtomicBool::new(false),
             start: Instant::now(),
+        })
+    }
+
+    /// The serve-level counters exported as flight-recorder columns, which
+    /// is what gives shed/429/error/journal-drop rates a windowed history
+    /// for the dashboard sparklines and the alert engine's rules.
+    fn recorder_sources(
+        telemetry: &Arc<Telemetry>,
+        journal_ring: Option<&Arc<JournalRing>>,
+    ) -> Vec<CounterSource> {
+        let t = |name: &str, read: Arc<dyn Fn() -> u64 + Send + Sync>| -> CounterSource {
+            (name.to_string(), read)
+        };
+        let c = Arc::clone;
+        let mut sources: Vec<CounterSource> = vec![
+            t("serve_requests", {
+                let t = c(telemetry);
+                Arc::new(move || t.requests.total())
+            }),
+            t("serve_queries_ok", {
+                let t = c(telemetry);
+                Arc::new(move || t.queries_ok.total())
+            }),
+            t("serve_queries_err", {
+                let t = c(telemetry);
+                Arc::new(move || t.queries_err.total())
+            }),
+            t("serve_shed", {
+                let t = c(telemetry);
+                Arc::new(move || t.admission.shed.get())
+            }),
+            t("serve_rate_limited", {
+                let t = c(telemetry);
+                Arc::new(move || t.admission.rate_limited.get())
+            }),
+            t("serve_degraded", {
+                let t = c(telemetry);
+                Arc::new(move || t.admission.degraded.get())
+            }),
+        ];
+        if let Some(ring) = journal_ring {
+            let ring = Arc::clone(ring);
+            sources.push(t("journal_dropped", Arc::new(move || ring.dropped())));
         }
+        sources
+    }
+
+    /// The journal's wait-free producer handle, when journaling is on.
+    #[inline]
+    pub fn journal_ring(&self) -> Option<&Arc<JournalRing>> {
+        self.journal_ring.as_ref()
+    }
+
+    /// Resolves one alert-rule signal: `p99_latency_ms` reads the decaying
+    /// request-latency histogram; any `<counter>_per_sec` name reads the
+    /// flight recorder's rate for that column over `window`.
+    pub fn alert_signal(&self, signal: &str, window: Duration) -> Option<f64> {
+        if signal == "p99_latency_ms" {
+            let snap = self.telemetry.latency_snapshot(self.now());
+            let (_, p99) = snap.quantiles()[2];
+            return p99.map(|ns| ns / 1e6);
+        }
+        let counter = signal.strip_suffix("_per_sec")?;
+        self.recorder.rate(counter, window)
     }
 
     /// Elapsed time since process start (the telemetry clock).

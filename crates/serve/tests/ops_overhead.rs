@@ -1,0 +1,133 @@
+//! The hard gate for the operations layer: a request served with the
+//! durable journal and the SLO alert engine armed must stay within 2% (plus
+//! an absolute floor) of an identical request against a server with neither
+//! — the whole point of the wait-free ring / writer-thread split and the
+//! off-request alert thread. Same retry discipline as the overhead gates in
+//! `crates/core/tests/observability.rs`: min-of-5 per attempt, absolute
+//! floor so millisecond-scale requests don't flake, three attempts so only
+//! a systematic regression fails. `bench_smoke`'s `ops_overhead` row records
+//! the same comparison as a trend line.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use acq_engine::{Catalog, DataType, Field, TableBuilder, Value};
+use acq_serve::{ServeConfig, Server};
+
+fn catalog() -> Catalog {
+    let mut b = TableBuilder::new(
+        "t",
+        vec![
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+        ],
+    )
+    .unwrap();
+    for i in 0..3000 {
+        b.push_row(vec![
+            Value::Float(f64::from(i) * 0.1),
+            Value::Float(f64::from(i % 150)),
+        ]);
+    }
+    let mut cat = Catalog::new();
+    cat.register(b.finish().unwrap()).unwrap();
+    cat
+}
+
+const SQL: &str = "SELECT * FROM t CONSTRAINT COUNT(*) >= 800 WHERE x <= 10 AND y <= 30";
+
+/// One blocking POST /query exchange; panics on a non-200.
+fn query(addr: SocketAddr) {
+    let body = format!("{{\"sql\":\"{SQL}\"}}");
+    let req = format!(
+        "POST /query HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    s.write_all(req.as_bytes()).unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+}
+
+#[test]
+fn journal_and_alert_overhead_is_below_two_percent() {
+    let journal_path = std::env::temp_dir().join(format!(
+        "acq-serve-ops-overhead-{}.journal",
+        std::process::id()
+    ));
+    let alerts_path = std::env::temp_dir().join(format!(
+        "acq-serve-ops-overhead-{}.alerts.toml",
+        std::process::id()
+    ));
+    // Quiet rules: unreachable thresholds, so the gate measures evaluation
+    // cost without alert churn. The production 250ms cadence is kept.
+    std::fs::write(
+        &alerts_path,
+        "[[rule]]\nname = \"p99-latency-high\"\nsignal = \"p99_latency_ms\"\n\
+         threshold = 1e12\nwindow_secs = 60\n\n\
+         [[rule]]\nname = \"error-rate-high\"\nsignal = \"serve_queries_err_per_sec\"\n\
+         threshold = 1e12\nwindow_secs = 60\n",
+    )
+    .unwrap();
+
+    let plain_server = Server::start(ServeConfig::default(), catalog()).unwrap();
+    let ops_server = Server::start(
+        ServeConfig {
+            journal_path: Some(journal_path.clone()),
+            alerts_path: Some(alerts_path.clone()),
+            ..ServeConfig::default()
+        },
+        catalog(),
+    )
+    .unwrap();
+
+    // Warm-up both paths (lazy init, page cache, first journal write).
+    query(plain_server.addr());
+    query(ops_server.addr());
+
+    let mut requests = 1u64; // the ops warm-up request above
+    let mut outcome = Err(String::new());
+    for _attempt in 0..3 {
+        let mut plain = f64::INFINITY;
+        let mut ops = f64::INFINITY;
+        for _ in 0..5 {
+            let t = Instant::now();
+            query(plain_server.addr());
+            plain = plain.min(t.elapsed().as_secs_f64() * 1e3);
+
+            let t = Instant::now();
+            query(ops_server.addr());
+            ops = ops.min(t.elapsed().as_secs_f64() * 1e3);
+            requests += 1;
+        }
+        let allowed = plain * 1.02 + 15.0;
+        if ops <= allowed {
+            outcome = Ok(());
+            break;
+        }
+        outcome = Err(format!(
+            "ops-armed request {ops:.1}ms exceeds {allowed:.1}ms (plain {plain:.1}ms)"
+        ));
+    }
+
+    // Durability must not have been traded for the speed just measured:
+    // every request's record reached disk, none were dropped.
+    let journal = ops_server.state().journal.as_ref().unwrap();
+    assert!(journal.flush(Duration::from_secs(10)));
+    let ring = journal.ring();
+    assert_eq!(ring.written(), requests, "a bench record never hit disk");
+    assert_eq!(ring.dropped(), 0);
+    assert_eq!(ring.write_errors(), 0);
+
+    drop(plain_server);
+    drop(ops_server);
+    let _ = std::fs::remove_file(&journal_path);
+    let _ = std::fs::remove_file(&alerts_path);
+    if let Err(e) = outcome {
+        panic!("{e}");
+    }
+}

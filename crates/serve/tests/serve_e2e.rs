@@ -469,6 +469,385 @@ fn trace_chrome_format_exports_trace_events() {
     assert_eq!(status, 400);
 }
 
+fn journal_schema() -> JsonValue {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas/journal.schema.json");
+    parse(&std::fs::read_to_string(&path).unwrap()).unwrap()
+}
+
+/// A collision-free scratch path for journal files.
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static N: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "acq-serve-e2e-{tag}-{}-{}.journal",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Removes a journal and any rotated segments it left behind.
+fn remove_journal(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    for seg in acq_obs::journal::segment_paths(path) {
+        let _ = std::fs::remove_file(seg);
+    }
+}
+
+#[test]
+fn journal_records_are_schema_valid_and_share_the_response_outcome_key() {
+    let path = temp_path("key");
+    let server = start(ServeConfig {
+        journal_path: Some(path.clone()),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // The same query across thread counts: responses must stay
+    // bit-identical (volatiles aside) and carry one shared outcome_key.
+    let mut keys_by_id = Vec::new();
+    let mut baseline: Option<JsonValue> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let body = format!("{{\"sql\":\"{SQL}\",\"threads\":{threads}}}");
+        let (status, resp) = http(addr, "POST", "/query", &body);
+        assert_eq!(status, 200, "threads={threads}: {resp}");
+        let v = parse(&resp).unwrap();
+        let id = v.pointer("/id").and_then(JsonValue::as_u64).unwrap();
+        let key = v
+            .pointer("/outcome_key")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| panic!("no outcome_key in {resp}"))
+            .to_string();
+        assert_eq!(key.len(), 16, "outcome_key is 16 hex chars: {key}");
+        keys_by_id.push((id, key));
+        let out = strip_volatile(&resp);
+        match &baseline {
+            None => baseline = Some(out),
+            Some(b) => assert_eq!(b, &out, "threads={threads} diverged"),
+        }
+    }
+    let first_key = keys_by_id[0].1.clone();
+    assert!(
+        keys_by_id.iter().all(|(_, k)| *k == first_key),
+        "outcome_key must be thread-count invariant: {keys_by_id:?}"
+    );
+    // And a rejected request is journaled too (shutting-down shed comes
+    // later; here a compile failure takes the status-400 path).
+    let (status, _) = http(
+        addr,
+        "POST",
+        "/query",
+        "{\"sql\":\"SELECT * FROM missing CONSTRAINT COUNT(*) >= 1 WHERE x <= 1\"}",
+    );
+    assert_eq!(status, 400);
+
+    let journal = server.state().journal.as_ref().expect("journal is on");
+    assert!(
+        journal.flush(Duration::from_secs(10)),
+        "journal writer did not settle"
+    );
+    let read = acq_obs::journal::read_journal(&path).unwrap();
+    assert_eq!(read.torn, 0, "clean shutdownless read");
+    let schema = journal_schema();
+    let mut journal_keys = Vec::new();
+    let mut saw_reject = false;
+    for line in &read.records {
+        let v = parse(line).unwrap_or_else(|e| panic!("bad journal line {line}: {e:?}"));
+        let errors = acq_obs::schema::validate(&schema, &v);
+        assert!(errors.is_empty(), "{line}: {errors:?}");
+        assert_eq!(
+            v.pointer("/kind").and_then(JsonValue::as_str),
+            Some("query")
+        );
+        match v.pointer("/id").and_then(JsonValue::as_u64) {
+            Some(id) => {
+                if let Some(key) = v.pointer("/outcome_key").and_then(JsonValue::as_str) {
+                    journal_keys.push((id, key.to_string()));
+                    // The Eq. 17 digest rides every completed record.
+                    let d = |f: &str| {
+                        v.pointer(&format!("/digest/{f}"))
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or_else(|| panic!("digest.{f} missing in {line}"))
+                    };
+                    assert_eq!(d("cells_executed"), d("explored"), "{line}");
+                    assert_eq!(d("regions_reused"), d("explored") * d("dims"), "{line}");
+                    assert_eq!(d("at_most_once_violations"), 0, "{line}");
+                } else {
+                    saw_reject = true; // the compile failure carries id+error
+                }
+            }
+            None => saw_reject = true,
+        }
+    }
+    journal_keys.sort_unstable();
+    keys_by_id.sort_unstable();
+    assert_eq!(
+        journal_keys, keys_by_id,
+        "journal and responses must agree on every outcome_key"
+    );
+    assert!(saw_reject, "the 400 rejection must be journaled: {read:?}");
+    drop(server);
+    remove_journal(&path);
+}
+
+#[test]
+fn journal_survives_restart_and_replays_the_torn_tail_honestly() {
+    let path = temp_path("restart");
+    // First process lifetime: two queries, clean shutdown.
+    {
+        let server = start(ServeConfig {
+            journal_path: Some(path.clone()),
+            ..ServeConfig::default()
+        });
+        for _ in 0..2 {
+            let body = format!("{{\"sql\":\"{SQL}\"}}");
+            let (status, resp) = http(server.addr(), "POST", "/query", &body);
+            assert_eq!(status, 200, "{resp}");
+        }
+        let journal = server.state().journal.as_ref().unwrap();
+        assert!(journal.flush(Duration::from_secs(10)));
+    } // Drop: the writer thread drains and joins — the "kill".
+
+    // Simulate a crash mid-write: a torn final line with no newline.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"v\":1,\"kind\":\"query\",\"at_ms\":12")
+            .unwrap();
+    }
+    let read = acq_obs::journal::read_journal(&path).unwrap();
+    assert_eq!(read.torn, 1, "the torn tail is counted, not parsed");
+    assert_eq!(read.records.len(), 2, "{read:?}");
+    let summary = acq_obs::journal::summarize(&read);
+    assert_eq!(summary.queries, 2);
+    assert_eq!(summary.torn, 1);
+    assert_eq!(summary.malformed, 0);
+    assert_eq!(summary.by_termination.get("satisfied"), Some(&2));
+
+    // Second process lifetime: reopening repairs the tail and appends.
+    let server = start(ServeConfig {
+        journal_path: Some(path.clone()),
+        ..ServeConfig::default()
+    });
+    let journal = server.state().journal.as_ref().unwrap();
+    assert_eq!(
+        journal.ring().torn_repaired(),
+        1,
+        "reopen truncates the torn tail and owns up to it"
+    );
+    let body = format!("{{\"sql\":\"{SQL}\"}}");
+    let (status, resp) = http(server.addr(), "POST", "/query", &body);
+    assert_eq!(status, 200, "{resp}");
+    assert!(journal.flush(Duration::from_secs(10)));
+    let read = acq_obs::journal::read_journal(&path).unwrap();
+    assert_eq!(read.torn, 0, "repaired on reopen");
+    assert_eq!(
+        read.records.len(),
+        3,
+        "both lifetimes' records replay: {read:?}"
+    );
+    drop(server);
+    remove_journal(&path);
+}
+
+#[test]
+fn shed_alert_fires_under_flood_resolves_after_and_both_edges_are_journaled() {
+    let journal_path = temp_path("alert");
+    let alerts_path = temp_path("alert-rules");
+    std::fs::write(
+        &alerts_path,
+        "[[rule]]\n\
+         name = \"shed-rate-high\"\n\
+         signal = \"serve_shed_per_sec\"\n\
+         threshold = 0.2\n\
+         window_secs = 2\n",
+    )
+    .unwrap();
+    let mut server = Server::start(
+        ServeConfig {
+            max_concurrent: 1,
+            max_queued: 0,
+            queue_wait: Duration::from_millis(50),
+            recorder_cadence: Duration::from_millis(25),
+            alert_interval: Duration::from_millis(25),
+            journal_path: Some(journal_path.clone()),
+            alerts_path: Some(alerts_path.clone()),
+            ..ServeConfig::default()
+        },
+        catalog(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Flood from several clients: with one execution slot and no queue,
+    // collisions shed with 503 and the shed rate climbs.
+    let mut shed = 0u32;
+    let flood_deadline = std::time::Instant::now() + Duration::from_secs(20);
+    'flood: while std::time::Instant::now() < flood_deadline {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let body = format!("{{\"sql\":\"{SQL}\"}}");
+                    http(addr, "POST", "/query", &body).0
+                })
+            })
+            .collect();
+        for h in handles {
+            if h.join().unwrap() == 503 {
+                shed += 1;
+            }
+        }
+        if shed >= 3 {
+            break 'flood;
+        }
+    }
+    assert!(shed >= 3, "flood produced no sheds");
+
+    // The rule must reach `firing` (and export as a gauge) within the
+    // 2-second rate window.
+    let fire_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut fired = false;
+    while std::time::Instant::now() < fire_deadline {
+        let (status, body) = http(addr, "GET", "/alerts", "");
+        assert_eq!(status, 200, "{body}");
+        let v = parse(&body).unwrap();
+        if v.pointer("/rules/0/state").and_then(JsonValue::as_str) == Some("firing") {
+            fired = true;
+            let (_, metrics) = http(addr, "GET", "/metrics", "");
+            assert!(
+                metrics.contains("acq_alert_firing{rule=\"shed-rate-high\"} 1"),
+                "{metrics}"
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(fired, "shed-rate rule never fired");
+
+    // Quiet period: the trailing window drains and the rule resolves.
+    let resolve_deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut resolved = false;
+    while std::time::Instant::now() < resolve_deadline {
+        let (_, body) = http(addr, "GET", "/alerts", "");
+        let v = parse(&body).unwrap();
+        if v.pointer("/rules/0/state").and_then(JsonValue::as_str) == Some("inactive") {
+            resolved = true;
+            let (_, metrics) = http(addr, "GET", "/metrics", "");
+            assert!(
+                metrics.contains("acq_alert_firing{rule=\"shed-rate-high\"} 0"),
+                "{metrics}"
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(resolved, "shed-rate rule never resolved after the flood");
+
+    // Both edges are durable: the journal carries the firing and resolved
+    // transitions, schema-valid like everything else.
+    let journal = server.state().journal.as_ref().unwrap();
+    assert!(journal.flush(Duration::from_secs(10)));
+    let read = acq_obs::journal::read_journal(&journal_path).unwrap();
+    let schema = journal_schema();
+    let mut transitions = Vec::new();
+    for line in &read.records {
+        let v = parse(line).unwrap();
+        let errors = acq_obs::schema::validate(&schema, &v);
+        assert!(errors.is_empty(), "{line}: {errors:?}");
+        if v.pointer("/kind").and_then(JsonValue::as_str) == Some("alert") {
+            assert_eq!(
+                v.pointer("/rule").and_then(JsonValue::as_str),
+                Some("shed-rate-high")
+            );
+            transitions.push(
+                v.pointer("/transition")
+                    .and_then(JsonValue::as_str)
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+    }
+    assert_eq!(
+        transitions,
+        vec!["firing".to_string(), "resolved".to_string()],
+        "exactly one firing edge then one resolved edge: {read:?}"
+    );
+    let summary = acq_obs::journal::summarize(&read);
+    assert_eq!(summary.by_alert.get("shed-rate-high firing"), Some(&1));
+    assert_eq!(summary.by_alert.get("shed-rate-high resolved"), Some(&1));
+
+    server.shutdown();
+    remove_journal(&journal_path);
+    let _ = std::fs::remove_file(&alerts_path);
+}
+
+#[test]
+fn dashboard_is_served_self_contained_and_alerts_endpoint_degrades_gracefully() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let raw = http_raw(addr, "GET", "/dashboard", "");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(
+        raw.contains("Content-Type: text/html; charset=utf-8\r\n"),
+        "{raw}"
+    );
+    let body = raw.split_once("\r\n\r\n").unwrap().1;
+    for needle in [
+        "/timeseries",
+        "/alerts",
+        "/queries",
+        "sparkSeries",
+        "</html>",
+    ] {
+        assert!(body.contains(needle), "dashboard lacks {needle}");
+    }
+    // Without --alerts the endpoint still answers an empty document.
+    let (status, body) = http(addr, "GET", "/alerts", "");
+    assert_eq!(status, 200);
+    let v = parse(&body).unwrap();
+    assert_eq!(v.pointer("/version").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(v.pointer("/rules"), Some(&JsonValue::Arr(Vec::new())));
+}
+
+#[test]
+fn bad_ops_config_fails_startup_loudly() {
+    // An unparseable alerts file must refuse to serve, not silently not page.
+    let alerts_path = temp_path("bad-rules");
+    std::fs::write(
+        &alerts_path,
+        "[[rule]]\nname = \"x\"\nsignal = \"s\"\nthreshold = 1\nbogus = 1\n",
+    )
+    .unwrap();
+    let err = match Server::start(
+        ServeConfig {
+            alerts_path: Some(alerts_path.clone()),
+            ..ServeConfig::default()
+        },
+        catalog(),
+    ) {
+        Ok(_) => panic!("typo'd alerts.toml must fail startup"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("unknown key"), "{err}");
+    let _ = std::fs::remove_file(&alerts_path);
+
+    // A journal path whose directory doesn't exist fails the same way.
+    let err = match Server::start(
+        ServeConfig {
+            journal_path: Some(std::path::PathBuf::from("/nonexistent-acq-dir/q.journal")),
+            ..ServeConfig::default()
+        },
+        catalog(),
+    ) {
+        Ok(_) => panic!("unopenable journal must fail startup"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("journal"), "{err}");
+}
+
 #[test]
 fn shutdown_endpoint_stops_the_server() {
     let mut server = start(ServeConfig::default());

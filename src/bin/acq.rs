@@ -88,6 +88,7 @@ impl Default for Opts {
 
 const USAGE: &str = "usage: acq [OPTIONS] \"<ACQ SQL>\"
        acq serve [OPTIONS]            (long-running service; see acq serve --help)
+       acq journal <COMMAND> [ARGS]   (inspect a --journal file; see acq journal --help)
 
 options:
   --table NAME=PATH   load a CSV file as table NAME (repeatable)
@@ -656,15 +657,111 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+const JOURNAL_USAGE: &str = "usage: acq journal <COMMAND> [ARGS]
+
+commands:
+  summarize PATH     record counts by kind and termination, alert transitions
+                     by rule, torn-tail and malformed-line accounting
+  grep NEEDLE PATH   print records containing NEEDLE (fixed string match)
+  replay PATH        print every record in order, oldest rotated segment
+                     first, skipping (and counting) a torn final line
+
+PATH is the file passed to `acq serve --journal`; rotated segments
+(PATH.1, PATH.2, ...) are discovered automatically. Records are NDJSON
+validated against schemas/journal.schema.json.";
+
+/// `acq journal <summarize|grep|replay>`: offline inspection of a
+/// `--journal` NDJSON log, torn tails included honestly.
+fn run_journal<I: Iterator<Item = String>>(mut args: I) -> Result<(), String> {
+    let cmd = args
+        .next()
+        .ok_or_else(|| format!("journal: missing command\n\n{JOURNAL_USAGE}"))?;
+    let need_path = |arg: Option<String>| -> Result<std::path::PathBuf, String> {
+        arg.map(std::path::PathBuf::from)
+            .ok_or_else(|| format!("journal {cmd}: missing PATH\n\n{JOURNAL_USAGE}"))
+    };
+    let read = |path: &std::path::Path| {
+        let read = acquire::obs::journal::read_journal(path)
+            .map_err(|e| format!("journal: {}: {e}", path.display()))?;
+        if read.segments == 0 {
+            return Err(format!("journal: {}: no such journal", path.display()));
+        }
+        Ok(read)
+    };
+    // Journal output is meant for pipelines (`acq journal grep ... | head`);
+    // when the downstream reader closes early, stop quietly like cat does
+    // instead of panicking on the broken pipe.
+    let emit = |out: &mut std::io::StdoutLock<'_>, line: &str| -> bool {
+        use std::io::Write as _;
+        writeln!(out, "{line}").is_ok()
+    };
+    match cmd.as_str() {
+        "--help" | "-h" => Err(JOURNAL_USAGE.to_string()),
+        "replay" => {
+            let read = read(&need_path(args.next())?)?;
+            let mut out = std::io::stdout().lock();
+            for r in &read.records {
+                if !emit(&mut out, r) {
+                    break;
+                }
+            }
+            if read.torn > 0 {
+                eprintln!("journal: skipped {} torn final line(s)", read.torn);
+            }
+            Ok(())
+        }
+        "grep" => {
+            let needle = args
+                .next()
+                .ok_or_else(|| format!("journal grep: missing NEEDLE\n\n{JOURNAL_USAGE}"))?;
+            let read = read(&need_path(args.next())?)?;
+            let mut out = std::io::stdout().lock();
+            for r in read.records.iter().filter(|r| r.contains(&needle)) {
+                if !emit(&mut out, r) {
+                    break;
+                }
+            }
+            Ok(())
+        }
+        "summarize" => {
+            let path = need_path(args.next())?;
+            let read = read(&path)?;
+            let s = acquire::obs::journal::summarize(&read);
+            println!("journal {}:", path.display());
+            println!("  segments: {}", read.segments);
+            println!(
+                "  records: {} ({} query, {} alert), malformed: {}, torn: {}",
+                s.records, s.queries, s.alerts, s.malformed, s.torn
+            );
+            for (term, n) in &s.by_termination {
+                println!("  termination {term}: {n}");
+            }
+            for (edge, n) in &s.by_alert {
+                println!("  alert {edge}: {n}");
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "journal: unknown command {other}\n\n{JOURNAL_USAGE}"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     // `acq serve ...` delegates to the long-running service (the `acq-serve`
-    // binary shares the same entry point).
+    // binary shares the same entry point); `acq journal ...` inspects the
+    // durable query journal that service writes.
     let mut args = std::env::args().skip(1).peekable();
-    let result = if args.peek().map(String::as_str) == Some("serve") {
-        args.next();
-        acquire::serve::cli::run(args)
-    } else {
-        run()
+    let result = match args.peek().map(String::as_str) {
+        Some("serve") => {
+            args.next();
+            acquire::serve::cli::run(args)
+        }
+        Some("journal") => {
+            args.next();
+            run_journal(args)
+        }
+        _ => run(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
